@@ -1,0 +1,44 @@
+# Convenience targets for the MoLoc reproduction. Everything is plain
+# `go` underneath; the Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper table/figure plus ablations (EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments
+
+# One benchmark per table/figure plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Compile-check and run every example once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/twins
+	$(GO) run ./examples/crowdsourcing
+	$(GO) run ./examples/streaming
+	$(GO) run ./examples/zeroeffort
+	$(GO) run ./examples/navigation
+	$(GO) run ./examples/mall
+
+clean:
+	$(GO) clean ./...

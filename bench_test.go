@@ -1,0 +1,492 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (regenerating it and reporting its headline metrics via
+// b.ReportMetric), plus micro-benchmarks of the hot paths. Run with:
+//
+//	go test -bench=. -benchmem
+package moloc_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"moloc/internal/core"
+	"moloc/internal/exp"
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/localizer"
+	"moloc/internal/motion"
+	"moloc/internal/rf"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *exp.Context
+	benchCtxErr  error
+)
+
+// expContext builds the paper-scale experiment context once and shares
+// it across benchmarks; building it is itself measured by
+// BenchmarkPipelineBuild.
+func expContext(b *testing.B) *exp.Context {
+	b.Helper()
+	benchCtxOnce.Do(func() {
+		benchCtx, benchCtxErr = exp.NewDefaultContext(3)
+	})
+	if benchCtxErr != nil {
+		b.Fatalf("building experiment context: %v", benchCtxErr)
+	}
+	return benchCtx
+}
+
+// reportMetrics forwards an experiment's scalar outcomes to the
+// benchmark framework.
+func reportMetrics(b *testing.B, r *exp.Result) {
+	b.Helper()
+	for k, v := range r.Metrics {
+		b.ReportMetric(v, k)
+	}
+}
+
+func BenchmarkFig4StepDetection(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkFig6MotionDB(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkFig7Overall(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkFig8LargeErrors(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkTable1Convergence(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationCSCvsDSC(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationCSC()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationSanitation(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationSanitation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationCandidateK(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationCandidateK()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationHMM(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationBaselines()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationMapFallback(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationMapFallback()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+// BenchmarkPipelineBuild measures the end-to-end system construction:
+// survey, trace generation, and motion-database training at paper
+// scale.
+func BenchmarkPipelineBuild(b *testing.B) {
+	cfg := core.NewConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func benchDeployment(b *testing.B) (*exp.Context, *core.Deployment) {
+	b.Helper()
+	ctx := expContext(b)
+	dep, err := ctx.Deployment(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctx, dep
+}
+
+func BenchmarkFingerprintKNN(b *testing.B) {
+	_, dep := benchDeployment(b)
+	fp := dep.TestData[0].StartFP
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dep.FDB.KNearest(fp, 8)
+	}
+}
+
+func BenchmarkMotionMatchProb(b *testing.B) {
+	ctx, _ := benchDeployment(b)
+	e, ok := ctx.Sys.MDB.Lookup(1, 2)
+	if !ok {
+		b.Fatal("entry 1-2 missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Prob(92, 5.5, 20, 1)
+	}
+}
+
+func BenchmarkMoLocLocalize(b *testing.B) {
+	ctx, dep := benchDeployment(b)
+	ml, err := localizer.NewMoLoc(dep.FDB, ctx.Sys.MDB, ctx.Sys.Config.MoLoc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	td := dep.TestData[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.Reset()
+		ml.Localize(localizer.Observation{FP: td.StartFP})
+		for _, ld := range td.Legs {
+			ml.Localize(localizer.Observation{FP: ld.FP, Motion: ld.RLM})
+		}
+	}
+}
+
+func BenchmarkStepDetection(b *testing.B) {
+	gen, err := sensors.NewGenerator(sensors.NewParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, _ := gen.Walk(nil, 0, 60, 1.8, 90, sensors.Device{}, 0, stats.NewRNG(1))
+	cfg := motion.NewConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		motion.DetectSteps(cfg, samples)
+	}
+}
+
+func BenchmarkRLMExtract(b *testing.B) {
+	gen, err := sensors.NewGenerator(sensors.NewParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples, _ := gen.Walk(nil, 0, 4, 1.8, 90, sensors.Device{}, 0, stats.NewRNG(1))
+	cfg := motion.NewConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		motion.Extract(cfg, samples, 0, 4, 0.75, nil)
+	}
+}
+
+func BenchmarkRFSample(b *testing.B) {
+	model, err := rf.NewModel(floorplan.OfficeHall(), rf.NewParams(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	pos := floorplan.OfficeHall().LocPos(13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Sample(pos, rng)
+	}
+}
+
+func BenchmarkWalkGraphShortestPath(b *testing.B) {
+	plan := floorplan.OfficeHall()
+	graph := floorplan.BuildWalkGraph(plan, floorplan.OfficeHallAdjDist)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := graph.ShortestPath(1, 28); !ok {
+			b.Fatal("no path")
+		}
+	}
+}
+
+func BenchmarkRadioMapBuild(b *testing.B) {
+	model, err := rf.NewModel(floorplan.OfficeHall(), rf.NewParams(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	survey, err := fingerprint.Survey(model, fingerprint.NewSurveyConfig(), stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := survey.BuildDB(fingerprint.Euclidean{}, model.NumAPs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFingerprintType(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationFingerprintType()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationGyro(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationGyro()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationAPOutage(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationAPOutage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationPoisonedCrowd(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationPoisonedCrowd()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationParticle(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationParticle()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationZeroSurvey(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationZeroSurvey()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+// BenchmarkScalability sweeps the environment size: end-to-end MoLoc
+// localization cost per fix as the reference grid grows well beyond the
+// paper's 28 locations.
+func BenchmarkScalability(b *testing.B) {
+	for _, size := range []struct{ cols, rows int }{{7, 4}, {16, 10}, {32, 16}} {
+		n := size.cols * size.rows
+		b.Run(fmt.Sprintf("locs_%d", n), func(b *testing.B) {
+			o := floorplan.GridOptions{
+				Cols: size.cols, Rows: size.rows,
+				SpacingX: 5, SpacingY: 4, Margin: 3, APs: 12,
+			}
+			plan, err := floorplan.Grid(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.NewConfig()
+			cfg.Plan = plan
+			cfg.AdjDist = floorplan.GridAdjDist(o)
+			cfg.NumTrainTraces = 80
+			cfg.NumTestTraces = 8
+			sys, err := core.Build(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dep, err := sys.Deploy(sys.AllAPs())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ml, err := dep.NewMoLoc()
+			if err != nil {
+				b.Fatal(err)
+			}
+			td := dep.TestData[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ml.Reset()
+				ml.Localize(localizer.Observation{FP: td.StartFP})
+				for _, ld := range td.Legs {
+					ml.Localize(localizer.Observation{FP: ld.FP, Motion: ld.RLM})
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExtensionSelfHealing(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.ExtensionSelfHealing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkExtensionAging(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.ExtensionAging()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkExtensionPeerAssist(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.ExtensionPeerAssist()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}
+
+func BenchmarkAblationSurveyDensity(b *testing.B) {
+	ctx := expContext(b)
+	for i := 0; i < b.N; i++ {
+		r, err := ctx.AblationSurveyDensity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMetrics(b, r)
+		}
+	}
+}

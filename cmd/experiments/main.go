@@ -1,0 +1,67 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation plus the DESIGN.md ablations, printing paper-style rows
+// with the paper's reference values alongside the measured ones.
+//
+// Usage:
+//
+//	experiments [-seed N] [-only id] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moloc/internal/exp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed     = flag.Int64("seed", 3, "experiment seed")
+		only     = flag.String("only", "", "run a single experiment by ID (fig4, fig6, fig7, fig8, tab1, abl-...)")
+		markdown = flag.Bool("markdown", false, "emit Markdown sections instead of plain text")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	ctx, err := exp.NewDefaultContext(*seed)
+	if err != nil {
+		return err
+	}
+	results, err := ctx.All()
+	if err != nil {
+		return err
+	}
+	if *list {
+		for _, r := range results {
+			fmt.Printf("%-15s %s\n", r.ID, r.Title)
+		}
+		return nil
+	}
+	for _, r := range results {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		if *markdown {
+			fmt.Printf("### %s — %s\n\n```\n", r.ID, r.Title)
+			for _, line := range r.Lines {
+				fmt.Println(line)
+			}
+			fmt.Print("```\n\n")
+		} else {
+			fmt.Printf("== %s: %s ==\n", r.ID, r.Title)
+			for _, line := range r.Lines {
+				fmt.Println(" ", line)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Command floorview renders a built-in floor plan as ASCII art and
+// prints its walk-graph statistics: reference locations, aisles, and
+// which geographically close pairs are not mutually walkable (the
+// consistency cases the motion database must respect).
+//
+// Usage:
+//
+//	floorview [-plan office|mall|museum] [-cell 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"moloc/internal/floorplan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "floorview:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		planName = flag.String("plan", "office", "floor plan: office, mall, or museum")
+		cell     = flag.Float64("cell", 1.0, "ASCII cell size in meters")
+	)
+	flag.Parse()
+
+	var (
+		plan *floorplan.Plan
+		adj  float64
+	)
+	switch *planName {
+	case "office":
+		plan, adj = floorplan.OfficeHall(), floorplan.OfficeHallAdjDist
+	case "mall":
+		plan, adj = floorplan.Mall(), floorplan.MallAdjDist
+	case "museum":
+		plan, adj = floorplan.Museum(), floorplan.MuseumAdjDist
+	default:
+		return fmt.Errorf("unknown plan %q", *planName)
+	}
+
+	fmt.Print(floorplan.RenderASCII(plan, *cell))
+
+	graph := floorplan.BuildWalkGraph(plan, adj)
+	fmt.Printf("\nwalk graph: %d nodes, %d aisles, connected=%v\n",
+		graph.NumNodes(), graph.NumEdges(), graph.Connected())
+
+	// Geographically close pairs that are NOT walkable directly: the
+	// consistency principle in action.
+	fmt.Println("close but severed pairs (straight line blocked):")
+	found := false
+	for i := 1; i <= plan.NumLocs(); i++ {
+		for j := i + 1; j <= plan.NumLocs(); j++ {
+			if plan.LocDist(i, j) <= adj && !graph.Adjacent(i, j) {
+				if _, d, ok := graph.ShortestPath(i, j); ok {
+					fmt.Printf("  %d-%d: straight %.1fm, walkable %.1fm\n",
+						i, j, plan.LocDist(i, j), d)
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		fmt.Println("  (none)")
+	}
+	return nil
+}

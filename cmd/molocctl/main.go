@@ -1,0 +1,148 @@
+// Command molocctl is a demo client for molocd: it simulates a walker
+// in the same world the server was built from (same plan and seed),
+// streams the walker's IMU samples and WiFi scans to a tracking
+// session, and prints each fix the server returns next to the walker's
+// true position.
+//
+// Start the server first:
+//
+//	go run ./cmd/molocd -addr :8080
+//
+// Then:
+//
+//	go run ./cmd/molocctl -server http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"moloc/internal/core"
+	"moloc/internal/geom"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "molocctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		server = flag.String("server", "http://localhost:8080", "molocd base URL")
+		seed   = flag.Int64("seed", 3, "world seed; must match the server's")
+		legs   = flag.Int("legs", 10, "walk length in aisle legs")
+	)
+	flag.Parse()
+
+	// Rebuild the same world locally to simulate the walker's phone.
+	cfg := core.NewConfig()
+	cfg.Seed = *seed
+	sys, err := core.Build(cfg)
+	if err != nil {
+		return err
+	}
+	tcfg := trace.NewConfig()
+	tcfg.NumLegs = *legs
+	tcfg.PauseProb = 0
+	sg, err := sensors.NewGenerator(cfg.Sensors)
+	if err != nil {
+		return err
+	}
+	tg, err := trace.NewGenerator(sys.Plan, sys.Graph, sg, cfg.Motion, tcfg)
+	if err != nil {
+		return err
+	}
+	user := trace.DefaultUsers()[0]
+	walk := tg.Generate(user, stats.NewRNG(2024))
+
+	// Open a session.
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := post(*server+"/v1/sessions",
+		map[string]float64{"height_m": user.HeightM, "weight_kg": user.WeightKg},
+		&created); err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	fmt.Printf("session %s on %s; streaming a %d-leg walk by %s\n",
+		created.SessionID, *server, len(walk.Legs), user.Name)
+	base := *server + "/v1/sessions/" + created.SessionID
+
+	scanRNG := stats.NewRNG(2025)
+	nextScan := 0.0
+	for _, leg := range walk.Legs {
+		if err := post(base+"/imu", map[string]interface{}{"samples": leg.Samples}, nil); err != nil {
+			return fmt.Errorf("imu: %w", err)
+		}
+		for _, s := range leg.Samples {
+			if s.T < nextScan {
+				continue
+			}
+			frac := (s.T - leg.T0) / (leg.T1 - leg.T0)
+			pos := sys.Plan.LocPos(leg.From).Lerp(sys.Plan.LocPos(leg.To), frac)
+			rss := sys.Model.Sample(pos, scanRNG)
+			if err := post(base+"/scan", map[string]interface{}{"t": s.T, "rss": rss}, nil); err != nil {
+				return fmt.Errorf("scan: %w", err)
+			}
+			nextScan = s.T + 0.5
+		}
+		var fix struct {
+			T   float64 `json:"t"`
+			Loc int     `json:"loc"`
+			X   float64 `json:"x"`
+			Y   float64 `json:"y"`
+		}
+		status, err := postStatus(base+"/tick", map[string]float64{"t": leg.T1}, &fix)
+		if err != nil {
+			return fmt.Errorf("tick: %w", err)
+		}
+		if status == http.StatusOK {
+			truth := sys.Plan.LocPos(leg.To)
+			fmt.Printf("t=%5.1fs server says location %2d %v; walker is at %v (%.1fm off)\n",
+				fix.T, fix.Loc, geom.Pt(fix.X, fix.Y), truth,
+				geom.Pt(fix.X, fix.Y).Dist(truth))
+		}
+	}
+	return nil
+}
+
+// post sends JSON and optionally decodes a JSON response, requiring a
+// 2xx status.
+func post(url string, body interface{}, out interface{}) error {
+	status, err := postStatus(url, body, out)
+	if err != nil {
+		return err
+	}
+	if status < 200 || status >= 300 {
+		return fmt.Errorf("%s: status %d", url, status)
+	}
+	return nil
+}
+
+func postStatus(url string, body interface{}, out interface{}) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode >= 200 && resp.StatusCode < 300 &&
+		resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestPostStatusDecodes2xx(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"session_id":"s9"}`))
+	}))
+	defer ts.Close()
+	var out struct {
+		SessionID string `json:"session_id"`
+	}
+	status, err := postStatus(ts.URL, map[string]int{"x": 1}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusCreated || out.SessionID != "s9" {
+		t.Errorf("status=%d out=%+v", status, out)
+	}
+}
+
+func TestPostRequires2xx(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	defer ts.Close()
+	if err := post(ts.URL, nil, nil); err == nil {
+		t.Error("non-2xx should error")
+	}
+}
+
+func TestPostStatusSkipsNoContent(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+	var out map[string]string
+	status, err := postStatus(ts.URL, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusNoContent || out != nil {
+		t.Errorf("status=%d out=%v", status, out)
+	}
+}

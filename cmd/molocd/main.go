@@ -1,0 +1,97 @@
+// Command molocd serves MoLoc localization over HTTP: it builds a
+// deployment (plan, radio map, crowdsourced motion database) and exposes
+// the tracking-session API of internal/server.
+//
+// Usage:
+//
+//	molocd [-addr :8080] [-plan office|mall|museum] [-seed N] [-aps N] [-horus]
+//
+// Try it:
+//
+//	curl -s -X POST localhost:8080/v1/sessions -d '{"height_m":1.71,"weight_kg":68}'
+//	curl -s localhost:8080/v1/healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"moloc/internal/core"
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "molocd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		planName = flag.String("plan", "office", "floor plan: office, mall, or museum")
+		seed     = flag.Int64("seed", 3, "world seed")
+		aps      = flag.Int("aps", 0, "number of APs to use (0 = all)")
+		horus    = flag.Bool("horus", false, "use the probabilistic (Horus-style) radio map")
+		bundle   = flag.String("bundle", "", "serve a pre-built deployment bundle (see molocsim -export) instead of building")
+	)
+	flag.Parse()
+
+	if *bundle != "" {
+		b, err := core.LoadBundle(*bundle)
+		if err != nil {
+			return err
+		}
+		srv, err := server.New(b.Plan, b.FDB, b.FDB.NumAPs(), b.MDB, b.Motion)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "molocd serving bundle %s on %s (%d locations, %d APs)\n",
+			*bundle, *addr, b.Plan.NumLocs(), b.FDB.NumAPs())
+		return http.ListenAndServe(*addr, srv.Handler())
+	}
+
+	cfg := core.NewConfig()
+	cfg.Seed = *seed
+	switch *planName {
+	case "office":
+	case "mall":
+		cfg.Plan = floorplan.Mall()
+		cfg.AdjDist = floorplan.MallAdjDist
+	case "museum":
+		cfg.Plan = floorplan.Museum()
+		cfg.AdjDist = floorplan.MuseumAdjDist
+	default:
+		return fmt.Errorf("unknown plan %q", *planName)
+	}
+
+	fmt.Fprintf(os.Stderr, "building deployment (plan=%s seed=%d)...\n", *planName, *seed)
+	sys, err := core.Build(cfg)
+	if err != nil {
+		return err
+	}
+	apIdx := sys.AllAPs()
+	if *aps > 0 && *aps < len(apIdx) {
+		apIdx = apIdx[:*aps]
+	}
+	dep, err := sys.Deploy(apIdx)
+	if err != nil {
+		return err
+	}
+	var src fingerprint.CandidateSource = dep.FDB
+	if *horus {
+		src = dep.GDB
+	}
+	srv, err := server.New(sys.Plan, src, len(apIdx), sys.MDB, cfg.Motion)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "molocd listening on %s (%d locations, %d APs, horus=%v)\n",
+		*addr, sys.Plan.NumLocs(), len(apIdx), *horus)
+	return http.ListenAndServe(*addr, srv.Handler())
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts("4, 5,6", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 4 || got[2] != 6 {
+		t.Errorf("parseCounts = %v", got)
+	}
+	if _, err := parseCounts("7", 6); err == nil {
+		t.Error("out-of-range count should error")
+	}
+	if _, err := parseCounts("x", 6); err == nil {
+		t.Error("non-numeric count should error")
+	}
+	if _, err := parseCounts("0", 6); err == nil {
+		t.Error("zero should error")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median(nil); got != 0 {
+		t.Errorf("empty median = %v", got)
+	}
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+}

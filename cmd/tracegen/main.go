@@ -1,0 +1,88 @@
+// Command tracegen generates crowdsourced walking traces over a
+// built-in floor plan and writes them as JSON, for inspection or for
+// feeding external tools.
+//
+// Usage:
+//
+//	tracegen [-plan office|mall|museum] [-n 10] [-legs 16] [-seed 1] [-o traces.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/motion"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		planName = flag.String("plan", "office", "floor plan: office, mall, or museum")
+		n        = flag.Int("n", 10, "number of traces")
+		legs     = flag.Int("legs", 16, "legs per trace")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var (
+		plan *floorplan.Plan
+		adj  float64
+	)
+	switch *planName {
+	case "office":
+		plan, adj = floorplan.OfficeHall(), floorplan.OfficeHallAdjDist
+	case "mall":
+		plan, adj = floorplan.Mall(), floorplan.MallAdjDist
+	case "museum":
+		plan, adj = floorplan.Museum(), floorplan.MuseumAdjDist
+	default:
+		return fmt.Errorf("unknown plan %q", *planName)
+	}
+	graph := floorplan.BuildWalkGraph(plan, adj)
+
+	sg, err := sensors.NewGenerator(sensors.NewParams())
+	if err != nil {
+		return err
+	}
+	tcfg := trace.NewConfig()
+	tcfg.NumLegs = *legs
+	tg, err := trace.NewGenerator(plan, graph, sg, motion.NewConfig(), tcfg)
+	if err != nil {
+		return err
+	}
+	traces := tg.GenerateBatch(trace.DefaultUsers(), *n, stats.NewRNG(*seed))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(traces); err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	total := 0
+	for _, tr := range traces {
+		total += len(tr.Legs)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d traces (%d legs) on %s\n", len(traces), total, plan.Name)
+	return nil
+}

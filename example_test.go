@@ -1,0 +1,63 @@
+package moloc_test
+
+import (
+	"fmt"
+
+	"moloc"
+)
+
+// Example shows the five-step pipeline: build the world, deploy an AP
+// subset, construct localizers, evaluate, and summarize. (Building the
+// full paper-scale system takes a few seconds, so the example prints
+// nothing verifiable and is compile-checked only.)
+func Example() {
+	sys, err := moloc.Build(moloc.NewConfig())
+	if err != nil {
+		panic(err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		panic(err)
+	}
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		panic(err)
+	}
+	summary := moloc.Summarize(dep.Evaluate(ml))
+	fmt.Printf("MoLoc: %.0f%% accuracy, %.2f m mean error\n",
+		summary.Accuracy*100, summary.MeanErr)
+}
+
+// ExampleConfig shows how experiments customize the pipeline: a
+// different floor plan, trace volume, and candidate count.
+func ExampleConfig() {
+	cfg := moloc.NewConfig()
+	cfg.Plan = moloc.Mall()
+	cfg.AdjDist = moloc.MallAdjDist
+	cfg.NumTrainTraces = 200
+	cfg.MoLoc.K = 5
+
+	sys, err := moloc.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sys.Plan.Name, sys.Plan.NumLocs())
+}
+
+// ExampleLargeErrorLocs shows the Fig. 8 analysis: find the locations
+// where the baseline suffers from fingerprint twins and measure both
+// methods there.
+func ExampleLargeErrorLocs() {
+	sys, err := moloc.Build(moloc.NewConfig())
+	if err != nil {
+		panic(err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		panic(err)
+	}
+	wifi := dep.Evaluate(dep.NewWiFi())
+	twins := moloc.LargeErrorLocs(wifi, 6, 0.5)
+	at := moloc.FilterByTrueLoc(wifi, twins)
+	fmt.Printf("twin victims %v: WiFi mean error %.1f m\n", twins, at.MeanErr)
+}

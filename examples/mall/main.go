@@ -1,0 +1,68 @@
+// Mall runs MoLoc on a larger environment than the paper's office hall:
+// a two-corridor shopping mall with 31 reference locations and 8 APs.
+// It sweeps the AP count to show how MoLoc keeps accuracy up as radio
+// evidence thins out, and prints the mall's twin locations.
+//
+// Run with:
+//
+//	go run ./examples/mall
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"moloc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mall:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := moloc.NewConfig()
+	cfg.Plan = moloc.Mall()
+	cfg.AdjDist = moloc.MallAdjDist
+	cfg.NumTrainTraces = 200 // the mall is bigger; give the crowd more walks
+	cfg.NumTestTraces = 40
+
+	sys, err := moloc.Build(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mall: %d locations, %d aisles, %d APs, %d train / %d test traces\n",
+		sys.Plan.NumLocs(), sys.Graph.NumEdges(), sys.Model.NumAPs(),
+		len(sys.TrainTraces), len(sys.TestTraces))
+
+	fmt.Printf("%-6s %-7s %9s %9s %8s\n", "APs", "method", "accuracy", "mean(m)", "max(m)")
+	for _, n := range []int{4, 6, 8} {
+		dep, err := sys.Deploy(sys.AllAPs()[:n])
+		if err != nil {
+			return err
+		}
+		ml, err := dep.NewMoLoc()
+		if err != nil {
+			return err
+		}
+		wifiRes := dep.Evaluate(dep.NewWiFi())
+		w := moloc.Summarize(wifiRes)
+		m := moloc.Summarize(dep.Evaluate(ml))
+		fmt.Printf("%-6d %-7s %8.1f%% %9.2f %8.2f\n", n, "WiFi", w.Accuracy*100, w.MeanErr, w.MaxErr)
+		fmt.Printf("%-6d %-7s %8.1f%% %9.2f %8.2f\n", n, "MoLoc", m.Accuracy*100, m.MeanErr, m.MaxErr)
+
+		if n == len(sys.AllAPs()) {
+			twins := moloc.LargeErrorLocs(wifiRes, 6, 0.5)
+			fmt.Printf("twin victims at full AP set: %v\n", twins)
+			if len(twins) > 0 {
+				tw := moloc.FilterByTrueLoc(wifiRes, twins)
+				tm := moloc.FilterByTrueLoc(dep.Evaluate(ml), twins)
+				fmt.Printf("at those locations, WiFi mean %.2f m vs MoLoc %.2f m\n",
+					tw.MeanErr, tm.MeanErr)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+// Navigation demonstrates the application the paper's introduction
+// motivates: guiding a user through a building. A walker strolls the
+// office hall; the tracker localizes them every 3 seconds, and a
+// navigator recomputes the shortest walkable route to the destination
+// from every fix, issuing the next instruction.
+//
+// Run with:
+//
+//	go run ./examples/navigation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"moloc"
+	"moloc/internal/fingerprint"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+	"moloc/internal/tracker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "navigation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := moloc.Build(moloc.NewConfig())
+	if err != nil {
+		return err
+	}
+	fdb, err := sys.Survey.BuildDB(fingerprint.Euclidean{}, sys.Model.NumAPs())
+	if err != nil {
+		return err
+	}
+
+	const destination = 22 // south-west corner of the hall
+	fmt.Printf("guiding a walker to location %d at %v\n",
+		destination, sys.Plan.LocPos(destination))
+
+	// The walker wanders; the navigator only sees fixes.
+	tcfg := trace.NewConfig()
+	tcfg.NumLegs = 12
+	tcfg.PauseProb = 0
+	sg, err := sensors.NewGenerator(sys.Config.Sensors)
+	if err != nil {
+		return err
+	}
+	tg, err := trace.NewGenerator(sys.Plan, sys.Graph, sg, sys.Config.Motion, tcfg)
+	if err != nil {
+		return err
+	}
+	user := moloc.DefaultUsers()[3]
+	walk := tg.Generate(user, stats.NewRNG(11))
+
+	stepLen := motion.StepLength(sys.Config.Motion, user.HeightM, user.WeightKg)
+	tk, err := tracker.New(sys.Plan, fdb, sys.MDB, tracker.NewConfig(stepLen))
+	if err != nil {
+		return err
+	}
+
+	scanRNG := stats.NewRNG(12)
+	nextScan := 0.0
+	for _, leg := range walk.Legs {
+		for _, s := range leg.Samples {
+			tk.AddIMU(s)
+			if s.T >= nextScan {
+				frac := (s.T - leg.T0) / (leg.T1 - leg.T0)
+				pos := sys.Plan.LocPos(leg.From).Lerp(sys.Plan.LocPos(leg.To), frac)
+				tk.AddScan(s.T, sys.Model.Sample(pos, scanRNG))
+				nextScan = s.T + 0.5
+			}
+			fix, ok := tk.Tick(s.T)
+			if !ok {
+				continue
+			}
+			path, dist, reachable := sys.Graph.ShortestPath(fix.Loc, destination)
+			if !reachable {
+				fmt.Printf("t=%5.1fs at %d: destination unreachable!\n", fix.T, fix.Loc)
+				continue
+			}
+			switch {
+			case fix.Loc == destination:
+				fmt.Printf("t=%5.1fs at %d: you have arrived\n", fix.T, fix.Loc)
+			default:
+				next := path[1]
+				bearing := sys.Plan.LocBearing(fix.Loc, next)
+				fmt.Printf("t=%5.1fs at %2d: head %s to %2d (%.0fm of %.0fm remaining, %d stops)\n",
+					fix.T, fix.Loc, compassWord(bearing), next,
+					sys.Plan.LocDist(fix.Loc, next), dist, len(path)-1)
+			}
+		}
+	}
+	return nil
+}
+
+// compassWord names a bearing for human instructions.
+func compassWord(deg float64) string {
+	dirs := []string{"north", "north-east", "east", "south-east",
+		"south", "south-west", "west", "north-west"}
+	idx := int(geom.NormalizeDeg(deg+22.5) / 45)
+	return dirs[idx%8]
+}

@@ -1,0 +1,53 @@
+// Quickstart: build the paper's office-hall experiment end to end and
+// compare MoLoc with plain WiFi fingerprinting in a dozen lines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"moloc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Build the whole pipeline: office hall, RF model, site survey,
+	//    crowdsourced motion database, walking traces.
+	sys, err := moloc.Build(moloc.NewConfig())
+	if err != nil {
+		return err
+	}
+
+	// 2. Deploy with all six APs.
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		return err
+	}
+
+	// 3. Evaluate the WiFi baseline and MoLoc on the held-out traces.
+	wifi := moloc.Summarize(dep.Evaluate(dep.NewWiFi()))
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		return err
+	}
+	molocSum := moloc.Summarize(dep.Evaluate(ml))
+
+	fmt.Printf("office hall, %d test localization attempts\n", wifi.N)
+	fmt.Printf("WiFi fingerprinting: accuracy %.0f%%, mean error %.2f m\n",
+		wifi.Accuracy*100, wifi.MeanErr)
+	fmt.Printf("MoLoc:               accuracy %.0f%%, mean error %.2f m\n",
+		molocSum.Accuracy*100, molocSum.MeanErr)
+	fmt.Printf("MoLoc improves accuracy by %.1fx and keeps the mean error under 1 m: %v\n",
+		molocSum.Accuracy/wifi.Accuracy, molocSum.MeanErr < 1)
+	return nil
+}

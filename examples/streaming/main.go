@@ -1,0 +1,94 @@
+// Streaming demonstrates MoLoc's online serving mode: instead of the
+// leg-aligned evaluation protocol, a tracking session consumes raw
+// 10 Hz IMU samples and ~2 Hz WiFi scans exactly as a phone would
+// produce them, and emits a location fix every 3 seconds (the paper's
+// localization interval).
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"moloc"
+	"moloc/internal/fingerprint"
+	"moloc/internal/motion"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+	"moloc/internal/tracker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "streaming:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Build the office-hall deployment once.
+	sys, err := moloc.Build(moloc.NewConfig())
+	if err != nil {
+		return err
+	}
+	fdb, err := sys.Survey.BuildDB(fingerprint.Euclidean{}, sys.Model.NumAPs())
+	if err != nil {
+		return err
+	}
+
+	// One walker takes a fresh stroll the system has never seen.
+	tcfg := trace.NewConfig()
+	tcfg.NumLegs = 10
+	tcfg.PauseProb = 0
+	sg, err := sensors.NewGenerator(sys.Config.Sensors)
+	if err != nil {
+		return err
+	}
+	tg, err := trace.NewGenerator(sys.Plan, sys.Graph, sg, sys.Config.Motion, tcfg)
+	if err != nil {
+		return err
+	}
+	user := moloc.DefaultUsers()[2]
+	walk := tg.Generate(user, stats.NewRNG(2026))
+
+	// Open a tracking session for this user.
+	stepLen := motion.StepLength(sys.Config.Motion, user.HeightM, user.WeightKg)
+	tk, err := tracker.New(sys.Plan, fdb, sys.MDB, tracker.NewConfig(stepLen))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("streaming a %.0f-second walk by %s (%.2fm/s) through the tracker\n",
+		walk.Legs[len(walk.Legs)-1].T1, user.Name, user.SpeedMps)
+	fmt.Printf("%8s %6s %28s %s\n", "time", "fix", "true position", "note")
+
+	scanRNG := stats.NewRNG(2027)
+	nextScan := 0.0
+	for _, leg := range walk.Legs {
+		for _, s := range leg.Samples {
+			tk.AddIMU(s)
+			if s.T >= nextScan {
+				frac := (s.T - leg.T0) / (leg.T1 - leg.T0)
+				pos := sys.Plan.LocPos(leg.From).Lerp(sys.Plan.LocPos(leg.To), frac)
+				tk.AddScan(s.T, sys.Model.Sample(pos, scanRNG))
+				nextScan = s.T + 0.5
+			}
+			if fix, ok := tk.Tick(s.T); ok {
+				frac := (fix.T - leg.T0) / (leg.T1 - leg.T0)
+				truth := sys.Plan.LocPos(leg.From).Lerp(sys.Plan.LocPos(leg.To), frac)
+				note := "fingerprint only"
+				if fix.Moved {
+					note = "fused with motion"
+				}
+				fmt.Printf("%7.1fs %6d %20s (%.1fm off) %s\n",
+					fix.T, fix.Loc, truth.String(),
+					sys.Plan.LocPos(fix.Loc).Dist(truth), note)
+			}
+		}
+	}
+	return nil
+}

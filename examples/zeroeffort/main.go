@@ -1,0 +1,88 @@
+// Zeroeffort builds a fingerprint database with no manual site survey —
+// the WILL/LiFS/Zee direction the paper defers — and compares
+// localization over it against the surveyed radio map.
+//
+// The pipeline: unlabeled walks (raw compass, step counts,
+// fingerprints) are decoded against the floor plan's walk graph with a
+// Viterbi search over the unknown phone-placement offset; one round of
+// EM with the bootstrapped radio map as emission model snaps the labels
+// into place.
+//
+// Run with:
+//
+//	go run ./examples/zeroeffort
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"moloc"
+	"moloc/internal/eval"
+	"moloc/internal/fingerprint"
+	"moloc/internal/localizer"
+	"moloc/internal/stats"
+	"moloc/internal/zerosurvey"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zeroeffort:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := moloc.Build(moloc.NewConfig())
+	if err != nil {
+		return err
+	}
+
+	// The same crowdsourced walks that trained the motion database,
+	// stripped of labels: only raw compass means, step-count offsets,
+	// and fingerprints.
+	walks, err := zerosurvey.PrepareWalks(sys.TrainTraces, sys.Survey.MotionEst,
+		sys.Config.Motion, stats.NewRNG(7))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decoding %d unlabeled walks over the %s walk graph\n",
+		len(walks), sys.Plan.Name)
+
+	res, err := zerosurvey.Infer(sys.Plan, sys.Graph, walks, zerosurvey.NewConfig())
+	if err != nil {
+		return err
+	}
+	for i, acc := range res.LabelAccuracy {
+		fmt.Printf("  EM round %d: %.1f%% of fingerprints labeled correctly\n", i, acc*100)
+	}
+
+	zeroDB, holes, err := zerosurvey.BuildRadioMap(sys.Plan, res,
+		fingerprint.Euclidean{}, sys.Model.NumAPs())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("zero-effort radio map built (%d locations filled from neighbors)\n", holes)
+
+	// Compare against the manually surveyed deployment.
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		return err
+	}
+	surveyedML, err := dep.NewMoLoc()
+	if err != nil {
+		return err
+	}
+	zeroML, err := localizer.NewMoLoc(zeroDB, sys.MDB, sys.Config.MoLoc)
+	if err != nil {
+		return err
+	}
+	surveyed := moloc.Summarize(dep.Evaluate(surveyedML))
+	zero := moloc.Summarize(eval.Run(sys.Plan, zeroML, dep.TestData))
+	fmt.Printf("MoLoc over the surveyed map:    accuracy %.1f%%, mean error %.2f m\n",
+		surveyed.Accuracy*100, surveyed.MeanErr)
+	fmt.Printf("MoLoc over the zero-effort map: accuracy %.1f%%, mean error %.2f m\n",
+		zero.Accuracy*100, zero.MeanErr)
+	fmt.Println("site survey hours saved: all of them")
+	return nil
+}

@@ -1,0 +1,3 @@
+module moloc
+
+go 1.22

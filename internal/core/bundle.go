@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+)
+
+// Bundle is a serialized deployment: everything a localization server
+// needs to serve fixes, without rebuilding the world. A bundle
+// directory holds plan.json, radiomap.json, motiondb.json, and
+// bundle.json (metadata + motion configuration).
+type Bundle struct {
+	Plan   *floorplan.Plan
+	FDB    *fingerprint.DB
+	MDB    *motiondb.DB
+	Motion motion.Config
+	// APIdx records which APs of the plan the radio map covers, in
+	// order.
+	APIdx []int
+}
+
+// bundleMeta is the serialized form of the bundle's non-database state.
+type bundleMeta struct {
+	APIdx  []int         `json:"ap_idx"`
+	Motion motion.Config `json:"motion"`
+}
+
+const (
+	bundlePlanFile  = "plan.json"
+	bundleRadioFile = "radiomap.json"
+	bundleMotionDB  = "motiondb.json"
+	bundleMetaFile  = "bundle.json"
+)
+
+// SaveBundle writes the deployment to a directory, creating it if
+// needed.
+func (d *Deployment) SaveBundle(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: create bundle dir: %w", err)
+	}
+	if err := floorplan.SaveJSON(d.System.Plan, filepath.Join(dir, bundlePlanFile)); err != nil {
+		return err
+	}
+	if err := d.FDB.SaveJSON(filepath.Join(dir, bundleRadioFile)); err != nil {
+		return err
+	}
+	if err := d.System.MDB.SaveJSON(filepath.Join(dir, bundleMotionDB)); err != nil {
+		return err
+	}
+	meta, err := json.MarshalIndent(bundleMeta{
+		APIdx:  d.APIdx,
+		Motion: d.System.Config.Motion,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: marshal bundle meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, bundleMetaFile), meta, 0o644); err != nil {
+		return fmt.Errorf("core: write bundle meta: %w", err)
+	}
+	return nil
+}
+
+// LoadBundle reads a deployment bundle and validates its pieces agree
+// on the number of locations.
+func LoadBundle(dir string) (*Bundle, error) {
+	plan, err := floorplan.LoadJSON(filepath.Join(dir, bundlePlanFile))
+	if err != nil {
+		return nil, err
+	}
+	fdb, err := fingerprint.LoadJSON(filepath.Join(dir, bundleRadioFile))
+	if err != nil {
+		return nil, err
+	}
+	mdb, err := motiondb.LoadJSON(filepath.Join(dir, bundleMotionDB))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, bundleMetaFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: read bundle meta: %w", err)
+	}
+	var meta bundleMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("core: parse bundle meta: %w", err)
+	}
+	if err := meta.Motion.Validate(); err != nil {
+		return nil, err
+	}
+	if fdb.NumLocs() != plan.NumLocs() || mdb.NumLocs() != plan.NumLocs() {
+		return nil, fmt.Errorf("core: bundle pieces disagree: plan %d, radio map %d, motion DB %d locations",
+			plan.NumLocs(), fdb.NumLocs(), mdb.NumLocs())
+	}
+	if len(meta.APIdx) != fdb.NumAPs() {
+		return nil, fmt.Errorf("core: bundle lists %d APs, radio map has %d",
+			len(meta.APIdx), fdb.NumAPs())
+	}
+	return &Bundle{
+		Plan:   plan,
+		FDB:    fdb,
+		MDB:    mdb,
+		Motion: meta.Motion,
+		APIdx:  meta.APIdx,
+	}, nil
+}

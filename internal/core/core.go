@@ -1,0 +1,341 @@
+// Package core orchestrates the full MoLoc pipeline end to end: build
+// the environment and RF model, run the simulated site survey, generate
+// crowdsourced walking traces, train the motion database, and evaluate
+// localizers — the paper's Sections IV–VI as one reproducible system.
+//
+// A System owns everything that is shared across experiment settings
+// (plan, survey, traces); a Deployment specializes it to an AP subset
+// (the paper's 4/5/6-AP sweeps) with its own radio map, motion
+// database, and processed test traces.
+package core
+
+import (
+	"fmt"
+
+	"moloc/internal/crowd"
+	"moloc/internal/eval"
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/localizer"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/rf"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+)
+
+// Config assembles every tunable of the pipeline. NewConfig returns the
+// paper's experiment configuration; tests and ablations copy and modify
+// it.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce equal systems.
+	Seed int64
+	// Plan is the floor plan; nil selects the office hall of Fig. 5.
+	Plan *floorplan.Plan
+	// AdjDist is the walk-graph adjacency threshold in meters.
+	AdjDist float64
+	// RF, Sensors, Motion, Survey, Trace, Builder, MoLoc, HMM hold the
+	// per-subsystem parameters.
+	RF      rf.Params
+	Sensors sensors.Params
+	Motion  motion.Config
+	Survey  fingerprint.SurveyConfig
+	Trace   trace.Config
+	Builder motiondb.BuilderConfig
+	MoLoc   localizer.Config
+	HMM     localizer.HMMConfig
+	// Users are the simulated walkers.
+	Users []trace.UserProfile
+	// NumTrainTraces and NumTestTraces split the crowdsourced walks; the
+	// paper collected 184 traces and used 150 for training, 34 for
+	// localization tests.
+	NumTrainTraces int
+	NumTestTraces  int
+}
+
+// NewConfig returns the paper's configuration on the office hall.
+func NewConfig() Config {
+	return Config{
+		Seed:           3,
+		AdjDist:        floorplan.OfficeHallAdjDist,
+		RF:             rf.NewParams(),
+		Sensors:        sensors.NewParams(),
+		Motion:         motion.NewConfig(),
+		Survey:         fingerprint.NewSurveyConfig(),
+		Trace:          trace.NewConfig(),
+		Builder:        motiondb.NewBuilderConfig(),
+		MoLoc:          localizer.NewConfig(),
+		HMM:            localizer.NewHMMConfig(),
+		Users:          trace.DefaultUsers(),
+		NumTrainTraces: 150,
+		NumTestTraces:  34,
+	}
+}
+
+// Validate rejects inconsistent configuration.
+func (c Config) Validate() error {
+	if c.NumTrainTraces < 1 || c.NumTestTraces < 1 {
+		return fmt.Errorf("core: need at least one training and one test trace")
+	}
+	if len(c.Users) == 0 {
+		return fmt.Errorf("core: need at least one user profile")
+	}
+	if c.AdjDist <= 0 {
+		return fmt.Errorf("core: AdjDist must be positive, got %g", c.AdjDist)
+	}
+	return nil
+}
+
+// System holds everything shared across deployments: the environment,
+// the RF model, the site survey, and the generated traces.
+type System struct {
+	Config Config
+	Plan   *floorplan.Plan
+	Graph  *floorplan.WalkGraph
+	Model  *rf.Model
+	Survey *fingerprint.SurveyResult
+
+	TrainTraces []*trace.Trace
+	TestTraces  []*trace.Trace
+
+	// MDB is the motion database, trained once with the full AP set, as
+	// in the paper: Fig. 6 validates a single motion database that all
+	// AP-count settings then share. MDBBuilder exposes its sanitation
+	// drop counts.
+	MDB        *motiondb.DB
+	MDBBuilder *motiondb.Builder
+
+	// TestData are the test traces processed once with the full AP set:
+	// motion processing is sensor-side and does not depend on how many
+	// APs the localizer uses. Deployments project the fingerprints.
+	TestData []*crowd.TraceData
+
+	root *stats.RNG
+}
+
+// Build runs the shared pipeline stages: environment, RF model, site
+// survey, trace generation.
+func Build(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plan := cfg.Plan
+	if plan == nil {
+		plan = floorplan.OfficeHall()
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	graph := floorplan.BuildWalkGraph(plan, cfg.AdjDist)
+	if !graph.Connected() {
+		return nil, fmt.Errorf("core: walk graph of %q is disconnected", plan.Name)
+	}
+
+	root := stats.NewRNG(cfg.Seed)
+	model, err := rf.NewModel(plan, cfg.RF, stats.HashSeed("rf")^cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	survey, err := fingerprint.Survey(model, cfg.Survey, root.Fork("survey"))
+	if err != nil {
+		return nil, err
+	}
+
+	sensorGen, err := sensors.NewGenerator(cfg.Sensors)
+	if err != nil {
+		return nil, err
+	}
+	traceGen, err := trace.NewGenerator(plan, graph, sensorGen, cfg.Motion, cfg.Trace)
+	if err != nil {
+		return nil, err
+	}
+	train := traceGen.GenerateBatch(cfg.Users, cfg.NumTrainTraces, root.Fork("train-traces"))
+	test := traceGen.GenerateBatch(cfg.Users, cfg.NumTestTraces, root.Fork("test-traces"))
+
+	sys := &System{
+		Config:      cfg,
+		Plan:        plan,
+		Graph:       graph,
+		Model:       model,
+		Survey:      survey,
+		TrainTraces: train,
+		TestTraces:  test,
+		root:        root,
+	}
+	if err := sys.trainMotionDB(); err != nil {
+		return nil, err
+	}
+	if err := sys.processTestTraces(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// processTestTraces runs the test traces through the crowd pipeline
+// once with the full AP set.
+func (s *System) processTestTraces() error {
+	fdb, err := s.Survey.BuildDB(fingerprint.Euclidean{}, s.Model.NumAPs())
+	if err != nil {
+		return err
+	}
+	pipe, err := crowd.NewPipeline(s.Plan, fdb, s.Survey.Test, s.Config.Motion)
+	if err != nil {
+		return err
+	}
+	rng := s.root.Fork("test-data")
+	s.TestData = make([]*crowd.TraceData, 0, len(s.TestTraces))
+	for _, tr := range s.TestTraces {
+		s.TestData = append(s.TestData, pipe.Process(tr, rng))
+	}
+	return nil
+}
+
+// trainMotionDB runs the crowdsourcing pipeline once, with the full AP
+// set, and stores the resulting motion database on the system.
+func (s *System) trainMotionDB() error {
+	fdb, err := s.Survey.BuildDB(fingerprint.Euclidean{}, s.Model.NumAPs())
+	if err != nil {
+		return err
+	}
+	pipe, err := crowd.NewPipeline(s.Plan, fdb, s.Survey.MotionEst, s.Config.Motion)
+	if err != nil {
+		return err
+	}
+	mdb, builder, err := crowd.BuildMotionDB(pipe, s.Graph, s.TrainTraces,
+		s.Config.Builder, s.root.Fork("motion-db"))
+	if err != nil {
+		return err
+	}
+	s.MDB = mdb
+	s.MDBBuilder = builder
+	return nil
+}
+
+// RetrainMotionDB rebuilds the motion database with a different builder
+// configuration (used by the sanitation ablation) and installs it on
+// the system. The RNG stream is re-forked from the same label, so the
+// underlying observations are identical across configurations.
+func (s *System) RetrainMotionDB(cfg motiondb.BuilderConfig) error {
+	old := s.Config.Builder
+	s.Config.Builder = cfg
+	if err := s.trainMotionDB(); err != nil {
+		s.Config.Builder = old
+		return err
+	}
+	return nil
+}
+
+// Deployment is a System specialized to an AP subset: its radio map,
+// trained motion database, and processed test traces.
+type Deployment struct {
+	System *System
+	// APIdx are the AP indices (into the plan's AP list) in use.
+	APIdx []int
+	// FDB is the deterministic radio map (per-location mean vectors).
+	FDB *fingerprint.DB
+	// GDB is the Horus-style probabilistic radio map fitted to the same
+	// survey samples.
+	GDB *fingerprint.GaussianDB
+	// TestData are the processed test traces, ready for eval.Run.
+	TestData []*crowd.TraceData
+}
+
+// AllAPs returns the index list selecting every AP of the system's
+// plan.
+func (s *System) AllAPs() []int {
+	idx := make([]int, s.Model.NumAPs())
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// Deploy builds the per-AP-subset artifacts: the projected radio map
+// and the projected test traces. The motion database and the extracted
+// RLMs are shared across deployments (see System.MDB and
+// System.TestData).
+func (s *System) Deploy(apIdx []int) (*Deployment, error) {
+	if len(apIdx) == 0 {
+		return nil, fmt.Errorf("core: empty AP subset")
+	}
+	survey := s.Survey.ProjectAPs(apIdx)
+	fdb, err := survey.BuildDB(fingerprint.Euclidean{}, len(apIdx))
+	if err != nil {
+		return nil, err
+	}
+	gdb, err := fingerprint.NewGaussianDB(len(apIdx), survey.Train)
+	if err != nil {
+		return nil, err
+	}
+	testData := make([]*crowd.TraceData, 0, len(s.TestData))
+	for _, td := range s.TestData {
+		testData = append(testData, crowd.ProjectTraceData(td, apIdx))
+	}
+	return &Deployment{
+		System:   s,
+		APIdx:    apIdx,
+		FDB:      fdb,
+		GDB:      gdb,
+		TestData: testData,
+	}, nil
+}
+
+// NewWiFi returns the WiFi fingerprinting baseline for this deployment.
+func (d *Deployment) NewWiFi() localizer.Localizer {
+	return localizer.NewWiFiNN(d.FDB)
+}
+
+// NewMoLoc returns the MoLoc localizer for this deployment.
+func (d *Deployment) NewMoLoc() (localizer.Localizer, error) {
+	return localizer.NewMoLoc(d.FDB, d.System.MDB, d.System.Config.MoLoc)
+}
+
+// NewHMM returns the HMM baseline for this deployment.
+func (d *Deployment) NewHMM() (localizer.Localizer, error) {
+	return localizer.NewHMM(d.FDB, d.System.Graph, d.System.Config.HMM)
+}
+
+// NewDeadReckoning returns the motion-only ablation localizer.
+func (d *Deployment) NewDeadReckoning() (localizer.Localizer, error) {
+	return localizer.NewDeadReckoning(d.FDB, d.System.MDB, d.System.Config.MoLoc)
+}
+
+// NewHorus returns the Horus-style probabilistic fingerprinting
+// baseline for this deployment.
+func (d *Deployment) NewHorus() localizer.Localizer {
+	return localizer.NewHorus(d.GDB)
+}
+
+// NewMoLocHorus returns MoLoc running on top of the probabilistic
+// radio map instead of the deterministic one — the paper's claim that
+// it can be built "atop existing fingerprinting-based localization
+// systems, regardless of fingerprint types".
+func (d *Deployment) NewMoLocHorus() (localizer.Localizer, error) {
+	return localizer.NewMoLoc(d.GDB, d.System.MDB, d.System.Config.MoLoc)
+}
+
+// NewParticle returns the continuous-space particle-filter localizer,
+// the heavier alternative the paper's efficiency argument weighs MoLoc
+// against.
+func (d *Deployment) NewParticle(cfg localizer.ParticleConfig) (localizer.Localizer, error) {
+	return localizer.NewParticle(d.System.Plan, d.GDB, cfg)
+}
+
+// NewModelBased returns the RSS-modeling baseline (EZ / Lim et al.
+// style): per-AP log-distance fits inverted into ranges, trilaterated.
+func (d *Deployment) NewModelBased() (localizer.Localizer, error) {
+	return localizer.NewModelBased(d.System.Plan, d.FDB, d.APIdx,
+		localizer.NewModelBasedConfig())
+}
+
+// Evaluate replays the deployment's test traces through the localizer.
+func (d *Deployment) Evaluate(loc localizer.Localizer) []eval.TraceResult {
+	return eval.Run(d.System.Plan, loc, d.TestData)
+}
+
+// MotionDBErrors returns the motion database's validation errors
+// against the map ground truth (the Fig. 6 distributions).
+func (s *System) MotionDBErrors() (dirErrs, offErrs []float64) {
+	return s.MDB.ValidationErrors(s.Plan)
+}

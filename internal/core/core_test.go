@@ -1,0 +1,361 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"moloc/internal/eval"
+	"moloc/internal/floorplan"
+	"moloc/internal/localizer"
+)
+
+// smallConfig returns a reduced configuration that keeps the full
+// pipeline intact but runs in well under a second.
+func smallConfig() Config {
+	cfg := NewConfig()
+	cfg.NumTrainTraces = 40
+	cfg.NumTestTraces = 10
+	cfg.Trace.NumLegs = 8
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := NewConfig().Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NumTrainTraces = 0 },
+		func(c *Config) { c.NumTestTraces = 0 },
+		func(c *Config) { c.Users = nil },
+		func(c *Config) { c.AdjDist = 0 },
+	}
+	for i, mutate := range bad {
+		c := NewConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestBuildRejectsBadSubConfigs(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RF.PathLossExp = -1
+	if _, err := Build(cfg); err == nil {
+		t.Error("invalid RF params should be rejected")
+	}
+	cfg = smallConfig()
+	cfg.Plan = &floorplan.Plan{Width: -1, Height: 1}
+	if _, err := Build(cfg); err == nil {
+		t.Error("invalid plan should be rejected")
+	}
+	cfg = smallConfig()
+	cfg.AdjDist = 0.5 // disconnects the walk graph
+	if _, err := Build(cfg); err == nil {
+		t.Error("disconnected walk graph should be rejected")
+	}
+}
+
+func TestBuildArtifacts(t *testing.T) {
+	sys, err := Build(smallConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if sys.Plan.Name != "office-hall" {
+		t.Errorf("default plan = %s", sys.Plan.Name)
+	}
+	if len(sys.TrainTraces) != 40 || len(sys.TestTraces) != 10 {
+		t.Errorf("traces = %d/%d", len(sys.TrainTraces), len(sys.TestTraces))
+	}
+	if len(sys.TestData) != 10 {
+		t.Errorf("TestData = %d", len(sys.TestData))
+	}
+	if sys.MDB == nil || sys.MDB.NumLocs() != 28 {
+		t.Fatal("motion DB missing or wrong size")
+	}
+	// With the map fallback, every walk-graph edge is covered.
+	for i := 1; i <= 28; i++ {
+		for _, e := range sys.Graph.Neighbors(i) {
+			if _, ok := sys.MDB.Lookup(i, e.To); !ok {
+				t.Errorf("edge %d-%d uncovered", i, e.To)
+			}
+		}
+	}
+	dirErrs, offErrs := sys.MotionDBErrors()
+	if len(dirErrs) == 0 || len(offErrs) == 0 {
+		t.Error("validation errors should be non-empty")
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	a, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrainTraces[0].Start != b.TrainTraces[0].Start {
+		t.Error("trace generation differs under same seed")
+	}
+	if a.TestData[0].StartEst != b.TestData[0].StartEst {
+		t.Error("test processing differs under same seed")
+	}
+	ae, _ := a.MDB.Lookup(1, 2)
+	be, _ := b.MDB.Lookup(1, 2)
+	if ae != be {
+		t.Error("motion DB differs under same seed")
+	}
+}
+
+func TestDeploy(t *testing.T) {
+	sys, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Deploy(nil); err == nil {
+		t.Error("empty AP subset should be rejected")
+	}
+	dep, err := sys.Deploy([]int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if dep.FDB.NumAPs() != 4 {
+		t.Errorf("deployed FDB has %d APs", dep.FDB.NumAPs())
+	}
+	if len(dep.TestData) != 10 {
+		t.Errorf("deployed TestData = %d", len(dep.TestData))
+	}
+	if len(dep.TestData[0].StartFP) != 4 {
+		t.Error("test fingerprints should be projected")
+	}
+	if got := sys.AllAPs(); len(got) != 6 || got[5] != 5 {
+		t.Errorf("AllAPs = %v", got)
+	}
+}
+
+func TestLocalizerConstructors(t *testing.T) {
+	sys, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dep.NewWiFi().Name(); got != "wifi-nn" {
+		t.Errorf("wifi name = %s", got)
+	}
+	ml, err := dep.NewMoLoc()
+	if err != nil || ml.Name() != "moloc" {
+		t.Errorf("moloc: %v, %v", ml, err)
+	}
+	h, err := dep.NewHMM()
+	if err != nil || h.Name() != "hmm" {
+		t.Errorf("hmm: %v, %v", h, err)
+	}
+	dr, err := dep.NewDeadReckoning()
+	if err != nil || dr.Name() != "dead-reckoning" {
+		t.Errorf("dead reckoning: %v, %v", dr, err)
+	}
+}
+
+func TestEndToEndMoLocBeatsWiFi(t *testing.T) {
+	// The headline claim (Fig. 7): MoLoc outperforms plain WiFi
+	// fingerprinting, at every AP count.
+	cfg := smallConfig()
+	cfg.NumTestTraces = 16
+	sys, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{4, 6} {
+		dep, err := sys.Deploy(sys.AllAPs()[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ml, err := dep.NewMoLoc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wifi := eval.Summarize(dep.Evaluate(dep.NewWiFi()))
+		moloc := eval.Summarize(dep.Evaluate(ml))
+		if moloc.Accuracy <= wifi.Accuracy {
+			t.Errorf("%d-AP: MoLoc %.2f should beat WiFi %.2f",
+				n, moloc.Accuracy, wifi.Accuracy)
+		}
+		if moloc.MeanErr >= wifi.MeanErr {
+			t.Errorf("%d-AP: MoLoc mean %.2f should beat WiFi %.2f",
+				n, moloc.MeanErr, wifi.MeanErr)
+		}
+	}
+}
+
+func TestRetrainMotionDB(t *testing.T) {
+	sys, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.MDB
+	cfg := sys.Config.Builder
+	cfg.MapFallback = false
+	if err := sys.RetrainMotionDB(cfg); err != nil {
+		t.Fatalf("RetrainMotionDB: %v", err)
+	}
+	if sys.MDB == before {
+		t.Error("motion DB should be replaced")
+	}
+	if sys.Config.Builder.MapFallback {
+		t.Error("config should be updated")
+	}
+	// Invalid config restores the old one.
+	bad := cfg
+	bad.MinSamples = 0
+	if err := sys.RetrainMotionDB(bad); err == nil {
+		t.Error("invalid builder config should fail")
+	}
+	if sys.Config.Builder.MinSamples == 0 {
+		t.Error("failed retrain must not corrupt the config")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	sys, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs()[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := dep.SaveBundle(dir); err != nil {
+		t.Fatalf("SaveBundle: %v", err)
+	}
+	b, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatalf("LoadBundle: %v", err)
+	}
+	if b.Plan.NumLocs() != 28 || b.FDB.NumAPs() != 5 || len(b.APIdx) != 5 {
+		t.Errorf("bundle shape wrong: %d locs, %d APs", b.Plan.NumLocs(), b.FDB.NumAPs())
+	}
+	// The loaded radio map matches the original bit-for-bit.
+	for loc := 1; loc <= 28; loc++ {
+		a, bfp := dep.FDB.At(loc), b.FDB.At(loc)
+		for i := range a {
+			if a[i] != bfp[i] {
+				t.Fatalf("radio map changed at loc %d", loc)
+			}
+		}
+	}
+	// The loaded motion DB matches too.
+	want, _ := sys.MDB.Lookup(1, 2)
+	got, ok := b.MDB.Lookup(1, 2)
+	if !ok || want != got {
+		t.Error("motion DB changed in the bundle")
+	}
+	// A localizer built from the bundle behaves identically.
+	mlOrig, err := dep.NewMoLoc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlBundle, err := localizer.NewMoLoc(b.FDB, b.MDB, sys.Config.MoLoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origRes := eval.Summarize(dep.Evaluate(mlOrig))
+	bundleRes := eval.Summarize(eval.Run(b.Plan, mlBundle, dep.TestData))
+	if origRes.Accuracy != bundleRes.Accuracy {
+		t.Errorf("bundle localizer diverges: %.3f vs %.3f",
+			bundleRes.Accuracy, origRes.Accuracy)
+	}
+}
+
+func TestLoadBundleErrors(t *testing.T) {
+	if _, err := LoadBundle(t.TempDir()); err == nil {
+		t.Error("empty dir should fail")
+	}
+}
+
+func TestAltLocalizerConstructors(t *testing.T) {
+	sys, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dep.NewHorus().Name(); got != "horus" {
+		t.Errorf("horus name = %s", got)
+	}
+	mlh, err := dep.NewMoLocHorus()
+	if err != nil || mlh.Name() != "moloc" {
+		t.Errorf("moloc-horus: %v %v", mlh, err)
+	}
+	pf, err := dep.NewParticle(localizer.NewParticleConfig())
+	if err != nil || pf.Name() != "particle" {
+		t.Errorf("particle: %v %v", pf, err)
+	}
+	// All three localize the first test observation without blowing up.
+	td := dep.TestData[0]
+	for _, lc := range []localizer.Localizer{dep.NewHorus(), mlh, pf} {
+		if got := lc.Localize(localizer.Observation{FP: td.StartFP}); got < 1 || got > 28 {
+			t.Errorf("%s: estimate %d out of range", lc.Name(), got)
+		}
+	}
+}
+
+func TestSaveBundleErrors(t *testing.T) {
+	sys, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unwritable destination: a path through an existing *file*.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.SaveBundle(filepath.Join(blocker, "sub")); err == nil {
+		t.Error("bundle under a file should fail")
+	}
+}
+
+func TestLoadBundleCorruption(t *testing.T) {
+	sys, err := Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := dep.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the metadata.
+	if err := os.WriteFile(filepath.Join(dir, "bundle.json"), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(dir); err == nil {
+		t.Error("corrupt metadata should fail")
+	}
+	// Restore metadata, corrupt the radio map.
+	if err := dep.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "radiomap.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(dir); err == nil {
+		t.Error("missing radio map should fail")
+	}
+}

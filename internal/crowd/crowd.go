@@ -1,0 +1,228 @@
+// Package crowd implements MoLoc's crowdsourcing pipeline (paper
+// Sec. IV-B): it replays walking traces, attaches the RSS fingerprints a
+// phone would scan at each reference location it passes, estimates those
+// locations with the fingerprint database, extracts relative location
+// measurements from the IMU streams (with two-pass placement-offset
+// calibration), and feeds the results to the motion-database builder.
+//
+// The same processing produces the observation sequences the evaluation
+// feeds to the localizers, so training and testing share one code path.
+package crowd
+
+import (
+	"fmt"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+)
+
+// FPPool holds per-location fingerprint samples to draw from when a
+// trace passes a reference location: pool[i] are the available scans at
+// location i+1. The survey's MotionEst samples feed training, the Test
+// samples feed evaluation (paper Sec. VI-A).
+type FPPool [][]fingerprint.Fingerprint
+
+// LegData is the processed form of one trace leg.
+type LegData struct {
+	// TrueFrom/TrueTo are the ground-truth endpoints (known only to the
+	// evaluation; the paper gets them from user feedback marks).
+	TrueFrom int
+	TrueTo   int
+	// EstFrom/EstTo are the fingerprint-database estimates of the
+	// endpoints, what the crowdsourcing pipeline actually believes.
+	EstFrom int
+	EstTo   int
+	// FP is the fingerprint scanned on arrival at TrueTo.
+	FP fingerprint.Fingerprint
+	// RLM is the extracted relative location measurement, nil when the
+	// motion unit decided the user was not walking.
+	RLM *motion.RLM
+}
+
+// TraceData is the processed form of one trace.
+type TraceData struct {
+	StartTrue int
+	StartEst  int
+	StartFP   fingerprint.Fingerprint
+	Legs      []LegData
+}
+
+// Pipeline processes traces against a plan, a fingerprint database, and
+// a fingerprint pool.
+type Pipeline struct {
+	plan *floorplan.Plan
+	fdb  *fingerprint.DB
+	pool FPPool
+	mcfg motion.Config
+}
+
+// NewPipeline builds a processing pipeline. The pool must cover every
+// reference location with at least one sample.
+func NewPipeline(plan *floorplan.Plan, fdb *fingerprint.DB, pool FPPool,
+	mcfg motion.Config) (*Pipeline, error) {
+	if err := mcfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pool) != plan.NumLocs() {
+		return nil, fmt.Errorf("crowd: pool covers %d locations, plan has %d",
+			len(pool), plan.NumLocs())
+	}
+	for i, scans := range pool {
+		if len(scans) == 0 {
+			return nil, fmt.Errorf("crowd: no fingerprint samples for location %d", i+1)
+		}
+	}
+	if fdb.NumLocs() != plan.NumLocs() {
+		return nil, fmt.Errorf("crowd: fingerprint DB covers %d locations, plan has %d",
+			fdb.NumLocs(), plan.NumLocs())
+	}
+	return &Pipeline{plan: plan, fdb: fdb, pool: pool, mcfg: mcfg}, nil
+}
+
+// pickFP draws one pooled fingerprint for the true location.
+func (p *Pipeline) pickFP(loc int, rng *stats.RNG) fingerprint.Fingerprint {
+	scans := p.pool[loc-1]
+	return scans[rng.Intn(len(scans))]
+}
+
+// Process replays one trace: it scans a fingerprint at every visited
+// reference location, estimates the visit locations, calibrates the
+// compass placement offset from the estimated leg bearings (pass one),
+// and extracts each leg's RLM with the calibrated headings (pass two).
+func (p *Pipeline) Process(tr *trace.Trace, rng *stats.RNG) *TraceData {
+	visits := tr.Visits()
+	fps := make([]fingerprint.Fingerprint, len(visits))
+	ests := make([]int, len(visits))
+	for i, loc := range visits {
+		fps[i] = p.pickFP(loc, rng)
+		ests[i] = p.fdb.Nearest(fps[i])
+	}
+
+	// Pass one: placement-offset calibration in the spirit of Zee. Legs
+	// whose estimated endpoints differ contribute (compass mean, believed
+	// map bearing) pairs. Mislocalized legs produce outlier pairs, so the
+	// calibration is trimmed: a first round forms a consensus offset, a
+	// second round keeps only the pairs near it. The offset is constant
+	// per trace (the phone does not change hands mid-walk), so trimming
+	// converges quickly.
+	type calibPair struct{ compass, bearing float64 }
+	var pairs []calibPair
+	for i, leg := range tr.Legs {
+		if ests[i] == ests[i+1] {
+			continue
+		}
+		pairs = append(pairs, calibPair{
+			compass: motion.MeanHeading(leg.Samples),
+			bearing: p.plan.LocBearing(ests[i], ests[i+1]),
+		})
+	}
+	// Mode-finding: correct pairs cluster tightly around the true offset
+	// while mislocalized pairs scatter at grid-angle multiples, so the
+	// densest window wins. Each pair votes for every window center
+	// within windowDeg of its offset; the center with the most votes
+	// seeds the final estimator.
+	var est motion.HeadingEstimator
+	if len(pairs) > 0 {
+		const windowDeg = 20.0
+		bestCount, bestCenter := -1, 0.0
+		for _, center := range pairs {
+			c := geom.AngleDiff(center.compass, center.bearing)
+			count := 0
+			for _, pr := range pairs {
+				if geom.AbsAngleDiff(geom.AngleDiff(pr.compass, pr.bearing), c) <= windowDeg {
+					count++
+				}
+			}
+			if count > bestCount {
+				bestCount, bestCenter = count, c
+			}
+		}
+		for _, pr := range pairs {
+			if geom.AbsAngleDiff(geom.AngleDiff(pr.compass, pr.bearing), bestCenter) <= windowDeg {
+				est.Observe(pr.compass, pr.bearing)
+			}
+		}
+	}
+
+	// Pass two: RLM extraction with corrected headings.
+	stepLen := motion.StepLength(p.mcfg, tr.User.HeightM, tr.User.WeightKg)
+	td := &TraceData{
+		StartTrue: visits[0],
+		StartEst:  ests[0],
+		StartFP:   fps[0],
+	}
+	for i, leg := range tr.Legs {
+		ld := LegData{
+			TrueFrom: leg.From,
+			TrueTo:   leg.To,
+			EstFrom:  ests[i],
+			EstTo:    ests[i+1],
+			FP:       fps[i+1],
+		}
+		if rlm, ok := motion.Extract(p.mcfg, leg.Samples, leg.T0, leg.T1, stepLen, &est); ok {
+			ld.RLM = &rlm
+		}
+		td.Legs = append(td.Legs, ld)
+	}
+	return td
+}
+
+// Observations converts processed trace data into motion-database
+// observations: every walking leg contributes one RLM between its
+// *estimated* endpoints, exactly what a deployed system (with no ground
+// truth) could record.
+func Observations(td *TraceData) []motiondb.Observation {
+	var out []motiondb.Observation
+	for _, ld := range td.Legs {
+		if ld.RLM == nil {
+			continue
+		}
+		out = append(out, motiondb.Observation{
+			From: ld.EstFrom, To: ld.EstTo, RLM: *ld.RLM,
+		})
+	}
+	return out
+}
+
+// ProjectTraceData returns a copy of td with every fingerprint
+// restricted to the given AP indices. The evaluation's AP-count sweeps
+// project processed traces this way: the RLMs are sensor-derived and do
+// not depend on how many APs the localizer may use, so they are shared.
+func ProjectTraceData(td *TraceData, apIdx []int) *TraceData {
+	out := &TraceData{
+		StartTrue: td.StartTrue,
+		StartEst:  td.StartEst,
+		StartFP:   td.StartFP.Project(apIdx),
+		Legs:      make([]LegData, len(td.Legs)),
+	}
+	for i, ld := range td.Legs {
+		out.Legs[i] = ld
+		out.Legs[i].FP = ld.FP.Project(apIdx)
+	}
+	return out
+}
+
+// BuildMotionDB runs the full training pipeline: process every trace,
+// feed all observations to a motion-database builder, and build. A
+// non-nil graph enables the builder's adjacency consistency filter and
+// map fallback. It returns the database together with the builder for
+// drop-count introspection.
+func BuildMotionDB(p *Pipeline, graph *floorplan.WalkGraph, traces []*trace.Trace,
+	cfg motiondb.BuilderConfig, rng *stats.RNG) (*motiondb.DB, *motiondb.Builder, error) {
+	builder, err := motiondb.NewBuilder(p.plan, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if graph != nil {
+		builder.UseGraph(graph)
+	}
+	for _, tr := range traces {
+		builder.AddAll(Observations(p.Process(tr, rng)))
+	}
+	return builder.Build(), builder, nil
+}

@@ -1,0 +1,280 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/rf"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+)
+
+// fixture bundles a small office-hall setup for pipeline tests.
+type fixture struct {
+	plan   *floorplan.Plan
+	graph  *floorplan.WalkGraph
+	fdb    *fingerprint.DB
+	pool   FPPool
+	pipe   *Pipeline
+	traces []*trace.Trace
+}
+
+func newFixture(t *testing.T, numTraces int) *fixture {
+	t.Helper()
+	plan := floorplan.OfficeHall()
+	graph := floorplan.BuildWalkGraph(plan, floorplan.OfficeHallAdjDist)
+	model, err := rf.NewModel(plan, rf.NewParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survey, err := fingerprint.Survey(model, fingerprint.NewSurveyConfig(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdb, err := survey.BuildDB(fingerprint.Euclidean{}, model.NumAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewPipeline(plan, fdb, survey.MotionEst, motion.NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := sensors.NewGenerator(sensors.NewParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcfg := trace.NewConfig()
+	tcfg.NumLegs = 8
+	tg, err := trace.NewGenerator(plan, graph, sg, motion.NewConfig(), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		plan:   plan,
+		graph:  graph,
+		fdb:    fdb,
+		pool:   survey.MotionEst,
+		pipe:   pipe,
+		traces: tg.GenerateBatch(trace.DefaultUsers(), numTraces, stats.NewRNG(3)),
+	}
+}
+
+func TestNewPipelineErrors(t *testing.T) {
+	fx := newFixture(t, 1)
+	// Pool size mismatch.
+	if _, err := NewPipeline(fx.plan, fx.fdb, fx.pool[:5], motion.NewConfig()); err == nil {
+		t.Error("short pool should be rejected")
+	}
+	// Empty pool bucket.
+	badPool := make(FPPool, len(fx.pool))
+	copy(badPool, fx.pool)
+	badPool[3] = nil
+	if _, err := NewPipeline(fx.plan, fx.fdb, badPool, motion.NewConfig()); err == nil {
+		t.Error("empty pool bucket should be rejected")
+	}
+	// Invalid motion config.
+	if _, err := NewPipeline(fx.plan, fx.fdb, fx.pool, motion.Config{}); err == nil {
+		t.Error("invalid motion config should be rejected")
+	}
+	// DB size mismatch.
+	small, err := fingerprint.NewDB(fingerprint.Euclidean{}, 6,
+		[][]fingerprint.Fingerprint{{make(fingerprint.Fingerprint, 6)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPipeline(fx.plan, small, fx.pool, motion.NewConfig()); err == nil {
+		t.Error("small fingerprint DB should be rejected")
+	}
+}
+
+func TestProcessStructure(t *testing.T) {
+	fx := newFixture(t, 1)
+	tr := fx.traces[0]
+	td := fx.pipe.Process(tr, stats.NewRNG(5))
+	if td.StartTrue != tr.Start {
+		t.Errorf("StartTrue = %d, want %d", td.StartTrue, tr.Start)
+	}
+	if len(td.Legs) != len(tr.Legs) {
+		t.Fatalf("legs = %d, want %d", len(td.Legs), len(tr.Legs))
+	}
+	for i, ld := range td.Legs {
+		if ld.TrueFrom != tr.Legs[i].From || ld.TrueTo != tr.Legs[i].To {
+			t.Errorf("leg %d ground truth mismatch", i)
+		}
+		if ld.EstFrom < 1 || ld.EstFrom > 28 || ld.EstTo < 1 || ld.EstTo > 28 {
+			t.Errorf("leg %d estimates out of range: %d, %d", i, ld.EstFrom, ld.EstTo)
+		}
+		if len(ld.FP) != 6 {
+			t.Errorf("leg %d fingerprint has %d APs", i, len(ld.FP))
+		}
+	}
+}
+
+func TestProcessEstimatesMostlyReasonable(t *testing.T) {
+	fx := newFixture(t, 4)
+	correct, total := 0, 0
+	for _, tr := range fx.traces {
+		td := fx.pipe.Process(tr, stats.NewRNG(7))
+		for _, ld := range td.Legs {
+			total++
+			if ld.EstTo == ld.TrueTo {
+				correct++
+			}
+		}
+	}
+	// Estimates are NN fixes under fingerprint ambiguity; far from
+	// perfect but far better than chance (1/28).
+	frac := float64(correct) / float64(total)
+	if frac < 0.3 {
+		t.Errorf("NN estimate accuracy %.2f implausibly low", frac)
+	}
+}
+
+func TestProcessRLMQuality(t *testing.T) {
+	fx := newFixture(t, 4)
+	var dirErr, offErr stats.Online
+	walking := 0
+	total := 0
+	for _, tr := range fx.traces {
+		td := fx.pipe.Process(tr, stats.NewRNG(9))
+		for _, ld := range td.Legs {
+			total++
+			if ld.RLM == nil {
+				continue
+			}
+			walking++
+			gtDir, gtOff := floorplan.GroundTruthRLM(fx.plan, ld.TrueFrom, ld.TrueTo)
+			dirErr.Add(geom.AbsAngleDiff(ld.RLM.Dir, gtDir))
+			offErr.Add(math.Abs(ld.RLM.Off - gtOff))
+		}
+	}
+	if walking < total*3/4 {
+		t.Errorf("only %d/%d legs recognized as walking", walking, total)
+	}
+	if dirErr.Mean() > 20 {
+		t.Errorf("mean RLM direction error %.1f deg too large", dirErr.Mean())
+	}
+	if offErr.Mean() > 0.8 {
+		t.Errorf("mean RLM offset error %.2f m too large", offErr.Mean())
+	}
+}
+
+func TestObservations(t *testing.T) {
+	fx := newFixture(t, 1)
+	td := fx.pipe.Process(fx.traces[0], stats.NewRNG(11))
+	obs := Observations(td)
+	if len(obs) == 0 {
+		t.Fatal("no observations produced")
+	}
+	walking := 0
+	for _, ld := range td.Legs {
+		if ld.RLM != nil {
+			walking++
+		}
+	}
+	if len(obs) != walking {
+		t.Errorf("observations = %d, walking legs = %d", len(obs), walking)
+	}
+	for _, o := range obs {
+		if o.From < 1 || o.To < 1 {
+			t.Errorf("invalid endpoints %+v", o)
+		}
+	}
+}
+
+func TestProjectTraceData(t *testing.T) {
+	fx := newFixture(t, 1)
+	td := fx.pipe.Process(fx.traces[0], stats.NewRNG(13))
+	p := ProjectTraceData(td, []int{0, 2})
+	if len(p.StartFP) != 2 {
+		t.Errorf("projected start FP width = %d", len(p.StartFP))
+	}
+	if p.StartFP[1] != td.StartFP[2] {
+		t.Error("projection should map AP index 2 to slot 1")
+	}
+	for i, ld := range p.Legs {
+		if len(ld.FP) != 2 {
+			t.Fatalf("leg %d projected width = %d", i, len(ld.FP))
+		}
+		if ld.TrueTo != td.Legs[i].TrueTo || (ld.RLM == nil) != (td.Legs[i].RLM == nil) {
+			t.Fatal("projection must preserve non-fingerprint fields")
+		}
+	}
+	// Original untouched.
+	if len(td.StartFP) != 6 {
+		t.Error("projection must not mutate the input")
+	}
+}
+
+func TestBuildMotionDB(t *testing.T) {
+	fx := newFixture(t, 30)
+	mdb, builder, err := BuildMotionDB(fx.pipe, fx.graph, fx.traces,
+		motiondb.NewBuilderConfig(), stats.NewRNG(17))
+	if err != nil {
+		t.Fatalf("BuildMotionDB: %v", err)
+	}
+	if mdb.NumLocs() != 28 {
+		t.Errorf("NumLocs = %d", mdb.NumLocs())
+	}
+	// With the map fallback every walk-graph edge must be covered.
+	for i := 1; i <= 28; i++ {
+		for _, e := range fx.graph.Neighbors(i) {
+			if e.To < i {
+				continue
+			}
+			if _, ok := mdb.Lookup(i, e.To); !ok {
+				t.Errorf("edge %d-%d untrained and unseeded", i, e.To)
+			}
+		}
+	}
+	// Trained entries should be close to map truth.
+	dirErrs, offErrs := mdb.ValidationErrors(fx.plan)
+	if stats.Mean(dirErrs) > 15 {
+		t.Errorf("mean direction error %.1f too large", stats.Mean(dirErrs))
+	}
+	if stats.Mean(offErrs) > 1 {
+		t.Errorf("mean offset error %.2f too large", stats.Mean(offErrs))
+	}
+	selfLoops, nonAdj, _, _ := builder.Dropped()
+	if selfLoops == 0 && nonAdj == 0 {
+		t.Log("note: no dropped observations; unusual but not wrong")
+	}
+}
+
+func TestBuildMotionDBNilGraph(t *testing.T) {
+	fx := newFixture(t, 5)
+	mdb, _, err := BuildMotionDB(fx.pipe, nil, fx.traces,
+		motiondb.NewBuilderConfig(), stats.NewRNG(19))
+	if err != nil {
+		t.Fatalf("BuildMotionDB: %v", err)
+	}
+	if mdb.NumLocs() != 28 {
+		t.Error("nil graph should still build a database")
+	}
+}
+
+func TestProcessDeterminism(t *testing.T) {
+	fx := newFixture(t, 1)
+	a := fx.pipe.Process(fx.traces[0], stats.NewRNG(23))
+	b := fx.pipe.Process(fx.traces[0], stats.NewRNG(23))
+	if a.StartEst != b.StartEst {
+		t.Fatal("start estimate differs under same seed")
+	}
+	for i := range a.Legs {
+		if a.Legs[i].EstTo != b.Legs[i].EstTo {
+			t.Fatal("estimates differ under same seed")
+		}
+		if (a.Legs[i].RLM == nil) != (b.Legs[i].RLM == nil) {
+			t.Fatal("RLM presence differs under same seed")
+		}
+		if a.Legs[i].RLM != nil && *a.Legs[i].RLM != *b.Legs[i].RLM {
+			t.Fatal("RLMs differ under same seed")
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package eval implements the paper's trace-driven evaluation
+// methodology (Sec. VI): it replays processed test traces through a
+// localizer, measures localization errors against the ground-truth
+// reference locations, and computes the aggregate statistics behind
+// Figs. 7–8 (error CDFs, overall and at large-error locations) and
+// Table I (convergence to accurate localization).
+package eval
+
+import (
+	"sort"
+
+	"moloc/internal/crowd"
+	"moloc/internal/floorplan"
+	"moloc/internal/localizer"
+	"moloc/internal/stats"
+)
+
+// LegResult is one localization attempt: the ground truth, the
+// estimate, and the error in meters (0 when the estimate is exact).
+type LegResult struct {
+	Index   int     `json:"index"` // 0 is the initial fix of the trace
+	TrueLoc int     `json:"true_loc"`
+	EstLoc  int     `json:"est_loc"`
+	Err     float64 `json:"err"`
+}
+
+// TraceResult is the localization record of one test trace.
+type TraceResult struct {
+	Results []LegResult `json:"results"`
+}
+
+// Run replays every processed trace through the localizer: the initial
+// fingerprint fix first, then one observation per leg (fingerprint at
+// arrival plus the leg's RLM). The localizer is Reset between traces.
+func Run(plan *floorplan.Plan, loc localizer.Localizer, data []*crowd.TraceData) []TraceResult {
+	out := make([]TraceResult, 0, len(data))
+	for _, td := range data {
+		loc.Reset()
+		var tr TraceResult
+		est := loc.Localize(localizer.Observation{FP: td.StartFP})
+		tr.Results = append(tr.Results, legResult(plan, 0, td.StartTrue, est))
+		for i, ld := range td.Legs {
+			obs := localizer.Observation{FP: ld.FP, Motion: ld.RLM}
+			est = loc.Localize(obs)
+			tr.Results = append(tr.Results, legResult(plan, i+1, ld.TrueTo, est))
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func legResult(plan *floorplan.Plan, idx, truth, est int) LegResult {
+	r := LegResult{Index: idx, TrueLoc: truth, EstLoc: est}
+	if est != truth {
+		r.Err = plan.LocDist(truth, est)
+	}
+	return r
+}
+
+// Errors flattens all localization errors, in trace order.
+func Errors(results []TraceResult) []float64 {
+	var out []float64
+	for _, tr := range results {
+		for _, r := range tr.Results {
+			out = append(out, r.Err)
+		}
+	}
+	return out
+}
+
+// Summary aggregates a result set.
+type Summary struct {
+	// N is the number of localization attempts.
+	N int
+	// Accuracy is the fraction of attempts at the exact ground-truth
+	// reference location (the paper's "localization accuracy").
+	Accuracy float64
+	// MeanErr and MaxErr are in meters.
+	MeanErr float64
+	MaxErr  float64
+	// CDF is the empirical error distribution, for the Fig. 7/8 curves.
+	CDF *stats.CDF
+}
+
+// Summarize computes the Summary of a result set.
+func Summarize(results []TraceResult) Summary {
+	errs := Errors(results)
+	return summarizeErrs(errs)
+}
+
+func summarizeErrs(errs []float64) Summary {
+	s := Summary{N: len(errs), CDF: stats.NewCDF(errs)}
+	if s.N == 0 {
+		return s
+	}
+	exact := 0
+	for _, e := range errs {
+		if e == 0 {
+			exact++
+		}
+	}
+	s.Accuracy = float64(exact) / float64(s.N)
+	s.MeanErr = stats.Mean(errs)
+	s.MaxErr = stats.Max(errs)
+	return s
+}
+
+// LargeErrorLocs identifies the reference locations where the given
+// (baseline) results show large errors: a location qualifies when at
+// least minFrac of the attempts whose ground truth is that location
+// erred by more than threshold meters. The paper extracts locations
+// where WiFi fingerprinting errs over 6 m (Sec. VI-B3); pairs like
+// (2, 15) and (10, 27) in its deployment are fingerprint twins.
+func LargeErrorLocs(results []TraceResult, threshold, minFrac float64) []int {
+	total := map[int]int{}
+	large := map[int]int{}
+	for _, tr := range results {
+		for _, r := range tr.Results {
+			total[r.TrueLoc]++
+			if r.Err > threshold {
+				large[r.TrueLoc]++
+			}
+		}
+	}
+	var out []int
+	for loc, n := range total {
+		if n > 0 && float64(large[loc])/float64(n) >= minFrac {
+			out = append(out, loc)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FilterByTrueLoc keeps only the attempts whose ground truth is in locs
+// and summarizes them. Fig. 8 applies this with the large-error
+// locations of the WiFi baseline to both methods.
+func FilterByTrueLoc(results []TraceResult, locs []int) Summary {
+	want := make(map[int]bool, len(locs))
+	for _, l := range locs {
+		want[l] = true
+	}
+	var errs []float64
+	for _, tr := range results {
+		for _, r := range tr.Results {
+			if want[r.TrueLoc] {
+				errs = append(errs, r.Err)
+			}
+		}
+	}
+	return summarizeErrs(errs)
+}
+
+// Convergence aggregates the Table I statistics over the traces whose
+// initial estimate was wrong: how many erroneous localizations (EL)
+// occur before the first accurate one, and how accurate the estimates
+// are afterwards.
+type Convergence struct {
+	// Traces is the number of traces with an erroneous initial estimate.
+	Traces int
+	// MeanEL is the average number of erroneous localizations before the
+	// first accurate one (traces that never converge contribute their
+	// full length).
+	MeanEL float64
+	// Converged is how many of those traces eventually localized
+	// accurately at least once.
+	Converged int
+	// N, Accuracy, MeanErr, MaxErr summarize all estimates after the
+	// first accurate one, across the considered traces.
+	N        int
+	Accuracy float64
+	MeanErr  float64
+	MaxErr   float64
+}
+
+// ConvergenceStats computes Table I's statistics from a result set.
+func ConvergenceStats(results []TraceResult) Convergence {
+	var c Convergence
+	var elSum float64
+	var subsequent []float64
+	for _, tr := range results {
+		if len(tr.Results) == 0 || tr.Results[0].Err == 0 {
+			continue // accurate initial estimate; not considered
+		}
+		c.Traces++
+		firstAccurate := -1
+		for i, r := range tr.Results {
+			if r.Err == 0 {
+				firstAccurate = i
+				break
+			}
+		}
+		if firstAccurate < 0 {
+			elSum += float64(len(tr.Results))
+			continue
+		}
+		c.Converged++
+		elSum += float64(firstAccurate)
+		for _, r := range tr.Results[firstAccurate+1:] {
+			subsequent = append(subsequent, r.Err)
+		}
+	}
+	if c.Traces > 0 {
+		c.MeanEL = elSum / float64(c.Traces)
+	}
+	s := summarizeErrs(subsequent)
+	c.N, c.Accuracy, c.MeanErr, c.MaxErr = s.N, s.Accuracy, s.MeanErr, s.MaxErr
+	return c
+}

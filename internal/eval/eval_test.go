@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"moloc/internal/crowd"
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/localizer"
+)
+
+// scripted is a test localizer that replays a fixed estimate sequence.
+type scripted struct {
+	estimates []int
+	i         int
+	resets    int
+}
+
+func (s *scripted) Name() string { return "scripted" }
+
+func (s *scripted) Localize(localizer.Observation) int {
+	e := s.estimates[s.i]
+	s.i++
+	return e
+}
+
+func (s *scripted) Reset() { s.resets++ }
+
+// fakeData builds a processed trace with the given true visit sequence.
+func fakeData(visits []int) *crowd.TraceData {
+	td := &crowd.TraceData{
+		StartTrue: visits[0],
+		StartFP:   fingerprint.Fingerprint{-50},
+	}
+	for i := 1; i < len(visits); i++ {
+		td.Legs = append(td.Legs, crowd.LegData{
+			TrueFrom: visits[i-1],
+			TrueTo:   visits[i],
+			FP:       fingerprint.Fingerprint{-50},
+		})
+	}
+	return td
+}
+
+func TestRun(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	data := []*crowd.TraceData{fakeData([]int{1, 2, 3})}
+	loc := &scripted{estimates: []int{1, 9, 3}}
+	results := Run(plan, loc, data)
+	if loc.resets != 1 {
+		t.Errorf("resets = %d, want 1", loc.resets)
+	}
+	if len(results) != 1 || len(results[0].Results) != 3 {
+		t.Fatalf("unexpected result shape: %+v", results)
+	}
+	r := results[0].Results
+	if r[0].Err != 0 || r[2].Err != 0 {
+		t.Error("exact estimates should have zero error")
+	}
+	if r[1].EstLoc != 9 || r[1].TrueLoc != 2 {
+		t.Errorf("leg 1 record wrong: %+v", r[1])
+	}
+	wantErr := plan.LocDist(2, 9)
+	if math.Abs(r[1].Err-wantErr) > 1e-9 {
+		t.Errorf("leg 1 error = %v, want %v", r[1].Err, wantErr)
+	}
+	if r[0].Index != 0 || r[1].Index != 1 || r[2].Index != 2 {
+		t.Error("indices should count from 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	data := []*crowd.TraceData{fakeData([]int{1, 2, 3, 4})}
+	loc := &scripted{estimates: []int{1, 2, 10, 4}} // 3 exact, 1 miss
+	results := Run(plan, loc, data)
+	s := Summarize(results)
+	if s.N != 4 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.Accuracy-0.75) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 0.75", s.Accuracy)
+	}
+	missErr := plan.LocDist(3, 10)
+	if math.Abs(s.MeanErr-missErr/4) > 1e-9 {
+		t.Errorf("MeanErr = %v, want %v", s.MeanErr, missErr/4)
+	}
+	if math.Abs(s.MaxErr-missErr) > 1e-9 {
+		t.Errorf("MaxErr = %v, want %v", s.MaxErr, missErr)
+	}
+	if s.CDF.N() != 4 {
+		t.Error("CDF should hold all errors")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Accuracy != 0 || s.MeanErr != 0 {
+		t.Errorf("empty summary should be zeros: %+v", s)
+	}
+}
+
+func TestErrorsOrder(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	data := []*crowd.TraceData{fakeData([]int{1, 2}), fakeData([]int{5, 6})}
+	loc := &scripted{estimates: []int{1, 2, 5, 7}}
+	errs := Errors(Run(plan, loc, data))
+	if len(errs) != 4 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if errs[0] != 0 || errs[1] != 0 || errs[2] != 0 || errs[3] == 0 {
+		t.Errorf("unexpected error pattern: %v", errs)
+	}
+}
+
+func TestLargeErrorLocs(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	// Location 2 is consistently estimated as its far twin 15 (12+ m),
+	// location 3 is always right.
+	data := []*crowd.TraceData{fakeData([]int{2, 3, 2, 3})}
+	loc := &scripted{estimates: []int{15, 3, 15, 3}}
+	results := Run(plan, loc, data)
+	locs := LargeErrorLocs(results, 6, 0.5)
+	if len(locs) != 1 || locs[0] != 2 {
+		t.Errorf("LargeErrorLocs = %v, want [2]", locs)
+	}
+	// Higher threshold excludes it.
+	if got := LargeErrorLocs(results, 20, 0.5); len(got) != 0 {
+		t.Errorf("threshold 20 should yield none, got %v", got)
+	}
+	// minFrac of 1 requires every attempt to be large.
+	if got := LargeErrorLocs(results, 6, 1); len(got) != 1 {
+		t.Errorf("all attempts at 2 are large; got %v", got)
+	}
+}
+
+func TestFilterByTrueLoc(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	data := []*crowd.TraceData{fakeData([]int{2, 3, 2})}
+	loc := &scripted{estimates: []int{15, 3, 2}}
+	results := Run(plan, loc, data)
+	s := FilterByTrueLoc(results, []int{2})
+	if s.N != 2 {
+		t.Fatalf("filtered N = %d, want 2", s.N)
+	}
+	if math.Abs(s.Accuracy-0.5) > 1e-12 {
+		t.Errorf("filtered accuracy = %v, want 0.5", s.Accuracy)
+	}
+	if got := FilterByTrueLoc(results, nil); got.N != 0 {
+		t.Error("empty filter should match nothing")
+	}
+}
+
+func TestConvergenceStats(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	// Trace A: wrong, wrong, right, right, wrong -> EL=2, subsequent
+	// {right, wrong}.
+	// Trace B: right initial -> not considered.
+	// Trace C: never right -> EL = full length, no subsequent.
+	data := []*crowd.TraceData{
+		fakeData([]int{1, 2, 3, 4, 5}),
+		fakeData([]int{1, 2}),
+		fakeData([]int{1, 2, 3}),
+	}
+	loc := &scripted{estimates: []int{
+		9, 10, 3, 4, 12, // trace A
+		1, 2, // trace B
+		9, 10, 11, // trace C
+	}}
+	results := Run(plan, loc, data)
+	c := ConvergenceStats(results)
+	if c.Traces != 2 {
+		t.Fatalf("Traces = %d, want 2 (A and C)", c.Traces)
+	}
+	if c.Converged != 1 {
+		t.Errorf("Converged = %d, want 1", c.Converged)
+	}
+	// EL: A=2, C=3 -> mean 2.5.
+	if math.Abs(c.MeanEL-2.5) > 1e-12 {
+		t.Errorf("MeanEL = %v, want 2.5", c.MeanEL)
+	}
+	// Subsequent: A's estimates after index 2: {4 right, 12 wrong}.
+	if c.N != 2 {
+		t.Fatalf("subsequent N = %d, want 2", c.N)
+	}
+	if math.Abs(c.Accuracy-0.5) > 1e-12 {
+		t.Errorf("subsequent accuracy = %v, want 0.5", c.Accuracy)
+	}
+	wantMax := plan.LocDist(5, 12)
+	if math.Abs(c.MaxErr-wantMax) > 1e-9 {
+		t.Errorf("subsequent max = %v, want %v", c.MaxErr, wantMax)
+	}
+}
+
+func TestConvergenceAllAccurate(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	data := []*crowd.TraceData{fakeData([]int{1, 2})}
+	loc := &scripted{estimates: []int{1, 2}}
+	c := ConvergenceStats(Run(plan, loc, data))
+	if c.Traces != 0 || c.MeanEL != 0 {
+		t.Errorf("no erroneous-initial traces expected: %+v", c)
+	}
+}

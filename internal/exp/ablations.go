@@ -1,0 +1,534 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"moloc/internal/core"
+	"moloc/internal/crowd"
+	"moloc/internal/eval"
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/localizer"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+	"moloc/internal/zerosurvey"
+)
+
+// AblationCSC quantifies the paper's Continuous Step Counting claim
+// (Sec. IV-B1): CSC recovers the odd-time motion DSC misses, so its
+// offset estimates are more accurate.
+func (c *Context) AblationCSC() (*Result, error) {
+	r := &Result{ID: "abl-csc", Title: "Ablation — Continuous vs Discrete Step Counting"}
+	gen, err := sensors.NewGenerator(c.Sys.Config.Sensors)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := c.Sys.Config.Motion
+	const (
+		stepLen  = 0.75
+		stepFreq = 1.8
+	)
+	for _, duration := range []float64{3, 4, 6} {
+		trueDist := stepLen * stepFreq * duration
+		var dsc, csc stats.Online
+		rng := stats.NewRNG(c.Sys.Config.Seed ^ 0xc5c)
+		for trial := 0; trial < 200; trial++ {
+			// A random gait phase makes the odd time vary per trial.
+			phase := rng.Uniform(0, 2*math.Pi)
+			samples, _ := gen.Walk(nil, 0, duration, stepFreq, 90,
+				sensors.Device{}, phase, rng)
+			steps := motion.DetectSteps(mcfg, samples)
+			if len(steps) == 0 {
+				continue
+			}
+			dsc.Add(math.Abs(motion.OffsetDSC(steps, stepLen) - trueDist))
+			csc.Add(math.Abs(motion.OffsetCSC(steps, 0, duration, stepLen) - trueDist))
+		}
+		r.addLine("interval %.0fs (%.2fm true): DSC err=%.3fm CSC err=%.3fm (%.1fx better)",
+			duration, trueDist, dsc.Mean(), csc.Mean(), dsc.Mean()/csc.Mean())
+		if duration == 3 {
+			r.setMetric("dsc_err_m", dsc.Mean())
+			r.setMetric("csc_err_m", csc.Mean())
+		}
+	}
+	return r, nil
+}
+
+// AblationSanitation rebuilds the motion database at each sanitation
+// level (none / coarse / coarse+fine, Sec. IV-B2) and measures both the
+// database validity (Fig. 6 metrics) and the downstream 6-AP MoLoc
+// accuracy. Without sanitation, mislocalized crowdsourced RLMs poison
+// the Gaussians.
+func (c *Context) AblationSanitation() (*Result, error) {
+	r := &Result{ID: "abl-sanit", Title: "Ablation — motion-database sanitation levels"}
+	original := c.Sys.Config.Builder
+	defer func() {
+		// Restore the paper's configuration for later experiments.
+		if err := c.Sys.RetrainMotionDB(original); err != nil {
+			panic("exp: failed to restore motion DB: " + err.Error())
+		}
+	}()
+
+	levels := []struct {
+		name  string
+		level motiondb.Sanitation
+	}{
+		{"none", motiondb.SanitationNone},
+		{"coarse", motiondb.SanitationCoarse},
+		{"coarse+fine", motiondb.SanitationFull},
+	}
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	for _, lv := range levels {
+		cfg := original
+		cfg.Level = lv.level
+		if err := c.Sys.RetrainMotionDB(cfg); err != nil {
+			return nil, err
+		}
+		dirErrs, offErrs := c.Sys.MotionDBErrors()
+		dm, _, dmax := cdfStats(dirErrs)
+		om, _, omax := cdfStats(offErrs)
+		ml, err := dep.NewMoLoc()
+		if err != nil {
+			return nil, err
+		}
+		acc := eval.Summarize(dep.Evaluate(ml)).Accuracy
+		r.addLine("%-12s dir med/max=%.1f/%.1f deg, off med/max=%.2f/%.2f m, 6-AP MoLoc acc=%.1f%%",
+			lv.name, dm, dmax, om, omax, acc*100)
+		r.setMetric("acc_"+lv.name, acc)
+		r.setMetric("dirmed_"+lv.name, dm)
+	}
+	return r, nil
+}
+
+// AblationCandidateK sweeps the candidate-set size k of Eq. 3. k = 1
+// degenerates to plain nearest-neighbor fingerprinting; very large k
+// admits distant twins into every evaluation.
+func (c *Context) AblationCandidateK() (*Result, error) {
+	r := &Result{ID: "abl-k", Title: "Ablation — candidate-set size k"}
+	for _, n := range []int{4, 6} {
+		dep, err := c.Deployment(n)
+		if err != nil {
+			return nil, err
+		}
+		line := ""
+		for _, k := range []int{1, 2, 3, 5, 8, 12} {
+			cfg := c.Sys.Config.MoLoc
+			cfg.K = k
+			ml, err := localizer.NewMoLoc(dep.FDB, c.Sys.MDB, cfg)
+			if err != nil {
+				return nil, err
+			}
+			acc := eval.Summarize(dep.Evaluate(ml)).Accuracy
+			line += fmt.Sprintf(" k=%d:%.1f%%", k, acc*100)
+			r.setMetric(metricName(fmt.Sprintf("acc_k%d", k), n), acc)
+		}
+		r.addLine("%d-AP:%s", n, line)
+	}
+	return r, nil
+}
+
+// AblationBaselines compares MoLoc against the accelerometer-assisted
+// HMM of Liu et al. [23] (the related-work critique: prone to initial
+// localization error) and a motion-only dead-reckoning tracker, on the
+// 6-AP setting.
+func (c *Context) AblationBaselines() (*Result, error) {
+	r := &Result{ID: "abl-hmm", Title: "Ablation — MoLoc vs HMM and dead reckoning"}
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		return nil, err
+	}
+	hmm, err := dep.NewHMM()
+	if err != nil {
+		return nil, err
+	}
+	dr, err := dep.NewDeadReckoning()
+	if err != nil {
+		return nil, err
+	}
+	mb, err := dep.NewModelBased()
+	if err != nil {
+		return nil, err
+	}
+	for _, lc := range []localizer.Localizer{dep.NewWiFi(), mb, hmm, dr, ml} {
+		res := dep.Evaluate(lc)
+		s := eval.Summarize(res)
+		cv := eval.ConvergenceStats(res)
+		r.addLine("%-15s acc=%5.1f%% mean=%.2fm EL=%.2f subsequent-acc=%.0f%%",
+			lc.Name(), s.Accuracy*100, s.MeanErr, cv.MeanEL, cv.Accuracy*100)
+		r.setMetric("acc_"+lc.Name(), s.Accuracy)
+		r.setMetric("el_"+lc.Name(), cv.MeanEL)
+	}
+	return r, nil
+}
+
+// AblationMapFallback measures the map-seeding hybrid (DESIGN.md): with
+// the fallback off, aisles that crowdsourcing left under-trained have
+// no motion entry and MoLoc treats them as unreachable.
+func (c *Context) AblationMapFallback() (*Result, error) {
+	r := &Result{ID: "abl-fallback", Title: "Ablation — map fallback for untrained aisles"}
+	original := c.Sys.Config.Builder
+	defer func() {
+		if err := c.Sys.RetrainMotionDB(original); err != nil {
+			panic("exp: failed to restore motion DB: " + err.Error())
+		}
+	}()
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	for _, on := range []bool{false, true} {
+		cfg := original
+		// Starve the motion database (as sparse crowdsourcing would) so
+		// the fallback has aisles to seed: demand far more surviving
+		// samples per pair than the training walks provide everywhere.
+		cfg.MinSamples = 40
+		cfg.MapFallback = on
+		if err := c.Sys.RetrainMotionDB(cfg); err != nil {
+			return nil, err
+		}
+		ml, err := dep.NewMoLoc()
+		if err != nil {
+			return nil, err
+		}
+		acc := eval.Summarize(dep.Evaluate(ml)).Accuracy
+		name := "off"
+		if on {
+			name = "on"
+		}
+		r.addLine("fallback %-3s: entries=%d seeded=%d 6-AP MoLoc acc=%.1f%%",
+			name, c.Sys.MDB.NumEntries(), c.Sys.MDBBuilder.MapSeeded(), acc*100)
+		r.setMetric("acc_fallback_"+name, acc)
+	}
+	return r, nil
+}
+
+// AblationFingerprintType runs MoLoc over both candidate sources — the
+// deterministic radio map of Eq. 1–4 and a Horus-style probabilistic
+// map — supporting the paper's compatibility claim ("regardless of
+// fingerprint types").
+func (c *Context) AblationFingerprintType() (*Result, error) {
+	r := &Result{ID: "abl-horus", Title: "Ablation — deterministic vs probabilistic fingerprinting"}
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		return nil, err
+	}
+	mlh, err := dep.NewMoLocHorus()
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range []struct {
+		name string
+		key  string
+		loc  localizer.Localizer
+	}{
+		{"NN (Eq. 2)", "nn", dep.NewWiFi()},
+		{"Horus ML", "horus", dep.NewHorus()},
+		{"MoLoc on NN", "moloc_nn", ml},
+		{"MoLoc on Horus", "moloc_horus", mlh},
+	} {
+		s := eval.Summarize(dep.Evaluate(row.loc))
+		r.addLine("%-15s acc=%5.1f%% mean=%.2fm max=%.2fm",
+			row.name, s.Accuracy*100, s.MeanErr, s.MaxErr)
+		r.setMetric("acc_"+row.key, s.Accuracy)
+	}
+	return r, nil
+}
+
+// AblationGyro measures the gyroscope+Kalman heading refinement the
+// paper names as future work: per-leg RLM direction error with the raw
+// compass mean versus the gyro-fused track, and the downstream MoLoc
+// accuracy when the whole pipeline (training and testing) uses fusion.
+func (c *Context) AblationGyro() (*Result, error) {
+	r := &Result{ID: "abl-gyro", Title: "Ablation — gyroscope-fused heading (paper future work)"}
+
+	// Sensor-level: per-leg direction error under oracle placement
+	// calibration, isolating the heading estimator.
+	mcfgRaw := c.Sys.Config.Motion
+	mcfgRaw.UseGyro = false
+	mcfgGyro := c.Sys.Config.Motion
+	mcfgGyro.UseGyro = true
+	var rawErr, gyroErr stats.Online
+	for _, tr := range c.Sys.TestTraces {
+		var est motion.HeadingEstimator
+		est.Observe(tr.Device.PlacementOffset+tr.Device.Bias, 0)
+		stepLen := motion.StepLength(mcfgRaw, tr.User.HeightM, tr.User.WeightKg)
+		for _, leg := range tr.Legs {
+			gtDir := c.Sys.Plan.LocBearing(leg.From, leg.To)
+			if rlm, ok := motion.Extract(mcfgRaw, leg.Samples, leg.T0, leg.T1, stepLen, &est); ok {
+				rawErr.Add(geom.AbsAngleDiff(rlm.Dir, gtDir))
+			}
+			if rlm, ok := motion.Extract(mcfgGyro, leg.Samples, leg.T0, leg.T1, stepLen, &est); ok {
+				gyroErr.Add(geom.AbsAngleDiff(rlm.Dir, gtDir))
+			}
+		}
+	}
+	r.addLine("per-leg direction error: compass=%.2f deg, gyro-fused=%.2f deg",
+		rawErr.Mean(), gyroErr.Mean())
+	r.setMetric("dir_err_compass_deg", rawErr.Mean())
+	r.setMetric("dir_err_gyro_deg", gyroErr.Mean())
+
+	// Pipeline-level: rebuild the whole system with fusion enabled.
+	cfg := c.Sys.Config
+	cfg.Motion.UseGyro = true
+	fusedSys, err := core.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fusedDep, err := fusedSys.Deploy(fusedSys.AllAPs())
+	if err != nil {
+		return nil, err
+	}
+	fusedML, err := fusedDep.NewMoLoc()
+	if err != nil {
+		return nil, err
+	}
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		return nil, err
+	}
+	base := eval.Summarize(dep.Evaluate(ml))
+	fused := eval.Summarize(fusedDep.Evaluate(fusedML))
+	r.addLine("6-AP MoLoc accuracy: compass=%.1f%%, gyro-fused=%.1f%%",
+		base.Accuracy*100, fused.Accuracy*100)
+	r.setMetric("acc_compass", base.Accuracy)
+	r.setMetric("acc_gyro", fused.Accuracy)
+	return r, nil
+}
+
+// AblationParticle pits MoLoc against a 500-particle Monte-Carlo
+// localizer over the same Gaussian radio map — the "delicate"
+// alternative the paper says it deliberately avoids to save energy
+// ("we make a compromise on the delicacy of the localization
+// algorithm"). The experiment reports both accuracy and measured
+// compute per localization, quantifying that trade-off.
+func (c *Context) AblationParticle() (*Result, error) {
+	r := &Result{ID: "abl-particle", Title: "Ablation — MoLoc vs particle filter (efficiency trade-off)"}
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		return nil, err
+	}
+	pf, err := dep.NewParticle(localizer.NewParticleConfig())
+	if err != nil {
+		return nil, err
+	}
+	for _, lc := range []localizer.Localizer{ml, pf} {
+		start := time.Now()
+		res := dep.Evaluate(lc)
+		elapsed := time.Since(start)
+		n := 0
+		for _, tr := range res {
+			n += len(tr.Results)
+		}
+		s := eval.Summarize(res)
+		perFix := elapsed / time.Duration(n)
+		r.addLine("%-9s acc=%5.1f%% mean=%.2fm compute=%s/fix",
+			lc.Name(), s.Accuracy*100, s.MeanErr, perFix.Round(time.Microsecond))
+		r.setMetric("acc_"+lc.Name(), s.Accuracy)
+		r.setMetric("us_per_fix_"+lc.Name(), float64(perFix.Microseconds()))
+	}
+	return r, nil
+}
+
+// AblationZeroSurvey builds the fingerprint database with no manual
+// site survey (the WILL/LiFS/Zee direction the paper defers): label
+// inference over unlabeled walks via Viterbi decoding on the walk
+// graph plus EM refinement, then compares localization over the
+// zero-effort radio map against the surveyed one.
+func (c *Context) AblationZeroSurvey() (*Result, error) {
+	r := &Result{ID: "abl-zerosurvey", Title: "Extension — zero-effort (crowdsourced) radio map"}
+	walks, err := zerosurvey.PrepareWalks(c.Sys.TrainTraces, c.Sys.Survey.MotionEst,
+		c.Sys.Config.Motion, stats.NewRNG(c.Sys.Config.Seed^0x2e20))
+	if err != nil {
+		return nil, err
+	}
+	res, err := zerosurvey.Infer(c.Sys.Plan, c.Sys.Graph, walks, zerosurvey.NewConfig())
+	if err != nil {
+		return nil, err
+	}
+	for i, acc := range res.LabelAccuracy {
+		r.addLine("EM iteration %d: label accuracy %.1f%% (chance %.1f%%)",
+			i, acc*100, 100.0/float64(c.Sys.Plan.NumLocs()))
+		r.setMetric(fmt.Sprintf("label_acc_iter%d", i), acc)
+	}
+	zeroDB, holes, err := zerosurvey.BuildRadioMap(c.Sys.Plan, res,
+		fingerprint.Euclidean{}, c.Sys.Model.NumAPs())
+	if err != nil {
+		return nil, err
+	}
+	r.addLine("radio map built with %d unvisited locations filled from neighbors", holes)
+
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	surveyedWiFi := eval.Summarize(dep.Evaluate(dep.NewWiFi()))
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		return nil, err
+	}
+	surveyedMoLoc := eval.Summarize(dep.Evaluate(ml))
+
+	zeroWiFi := eval.Summarize(eval.Run(c.Sys.Plan, localizer.NewWiFiNN(zeroDB), dep.TestData))
+	zeroML, err := localizer.NewMoLoc(zeroDB, c.Sys.MDB, c.Sys.Config.MoLoc)
+	if err != nil {
+		return nil, err
+	}
+	zeroMoLoc := eval.Summarize(eval.Run(c.Sys.Plan, zeroML, dep.TestData))
+	r.addLine("surveyed map:    WiFi acc=%.1f%%, MoLoc acc=%.1f%%",
+		surveyedWiFi.Accuracy*100, surveyedMoLoc.Accuracy*100)
+	r.addLine("zero-effort map: WiFi acc=%.1f%%, MoLoc acc=%.1f%%",
+		zeroWiFi.Accuracy*100, zeroMoLoc.Accuracy*100)
+	r.setMetric("wifi_surveyed", surveyedWiFi.Accuracy)
+	r.setMetric("wifi_zero", zeroWiFi.Accuracy)
+	r.setMetric("moloc_surveyed", surveyedMoLoc.Accuracy)
+	r.setMetric("moloc_zero", zeroMoLoc.Accuracy)
+	return r, nil
+}
+
+// ExtensionMall reruns the headline comparison on a second environment
+// — the two-corridor mall plan with 31 locations and 8 APs — showing
+// the reproduction's conclusions are not an artifact of the office
+// hall's geometry.
+func (c *Context) ExtensionMall() (*Result, error) {
+	r := &Result{ID: "ext-mall", Title: "Extension — generalization to the mall plan"}
+	// Inherit the context's scale (trace counts, noise) so test runs
+	// stay fast and the default run matches the other experiments.
+	cfg := c.Sys.Config
+	cfg.Plan = floorplan.Mall()
+	cfg.AdjDist = floorplan.MallAdjDist
+	sys, err := core.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range []int{4, 8} {
+		dep, err := sys.Deploy(sys.AllAPs()[:n])
+		if err != nil {
+			return nil, err
+		}
+		ml, err := dep.NewMoLoc()
+		if err != nil {
+			return nil, err
+		}
+		w := eval.Summarize(dep.Evaluate(dep.NewWiFi()))
+		m := eval.Summarize(dep.Evaluate(ml))
+		r.addLine("%d-AP: WiFi acc=%.1f%%/%.2fm, MoLoc acc=%.1f%%/%.2fm",
+			n, w.Accuracy*100, w.MeanErr, m.Accuracy*100, m.MeanErr)
+		r.setMetric(metricName("wifi_acc", n), w.Accuracy)
+		r.setMetric(metricName("moloc_acc", n), m.Accuracy)
+	}
+	return r, nil
+}
+
+// AblationUserDiversity tests cross-gait generalization of the motion
+// database: the paper recruits four walkers with diverse height and
+// speed. Training the motion database on a single walker's traces and
+// testing against everyone shows whether the step-length model and CSC
+// wash out individual gait.
+func (c *Context) AblationUserDiversity() (*Result, error) {
+	r := &Result{ID: "abl-users", Title: "Ablation — motion DB trained on one walker vs four"}
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	fdb, err := c.Sys.Survey.BuildDB(fingerprint.Euclidean{}, c.Sys.Model.NumAPs())
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := crowd.NewPipeline(c.Sys.Plan, fdb, c.Sys.Survey.MotionEst, c.Sys.Config.Motion)
+	if err != nil {
+		return nil, err
+	}
+	users := c.Sys.Config.Users
+	evalWith := func(train []*trace.Trace, label string) error {
+		mdb, _, err := crowd.BuildMotionDB(pipe, c.Sys.Graph, train,
+			c.Sys.Config.Builder, stats.NewRNG(c.Sys.Config.Seed^0x05e2))
+		if err != nil {
+			return err
+		}
+		ml, err := localizer.NewMoLoc(dep.FDB, mdb, c.Sys.Config.MoLoc)
+		if err != nil {
+			return err
+		}
+		acc := eval.Summarize(dep.Evaluate(ml)).Accuracy
+		r.addLine("%-22s %3d traces: MoLoc acc=%.1f%%", label, len(train), acc*100)
+		r.setMetric("acc_"+label, acc)
+		return nil
+	}
+	// Single-walker training set (same volume as one user contributes).
+	var solo []*trace.Trace
+	for _, tr := range c.Sys.TrainTraces {
+		if tr.User.Name == users[0].Name {
+			solo = append(solo, tr)
+		}
+	}
+	if err := evalWith(solo, "one-walker"); err != nil {
+		return nil, err
+	}
+	if err := evalWith(c.Sys.TrainTraces, "all-walkers"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// AblationSurveyDensity sweeps the number of site-survey samples per
+// location used to build the radio map — the manual effort knob the
+// crowdsourcing literature attacks. Fewer samples mean a noisier map;
+// MoLoc's motion evidence compensates for part of it.
+func (c *Context) AblationSurveyDensity() (*Result, error) {
+	r := &Result{ID: "abl-survey", Title: "Ablation — site-survey samples per location"}
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	full := c.Sys.Survey.Train
+	for _, nSamples := range []int{3, 10, 40} {
+		trimmed := make([][]fingerprint.Fingerprint, len(full))
+		for i, scans := range full {
+			k := nSamples
+			if k > len(scans) {
+				k = len(scans)
+			}
+			trimmed[i] = scans[:k]
+		}
+		fdb, err := fingerprint.NewDB(fingerprint.Euclidean{}, c.Sys.Model.NumAPs(), trimmed)
+		if err != nil {
+			return nil, err
+		}
+		ml, err := localizer.NewMoLoc(fdb, c.Sys.MDB, c.Sys.Config.MoLoc)
+		if err != nil {
+			return nil, err
+		}
+		w := eval.Summarize(eval.Run(c.Sys.Plan, localizer.NewWiFiNN(fdb), dep.TestData))
+		m := eval.Summarize(eval.Run(c.Sys.Plan, ml, dep.TestData))
+		r.addLine("%2d samples/location: WiFi acc=%.1f%%, MoLoc acc=%.1f%%",
+			nSamples, w.Accuracy*100, m.Accuracy*100)
+		r.setMetric(fmt.Sprintf("wifi_s%d", nSamples), w.Accuracy)
+		r.setMetric(fmt.Sprintf("moloc_s%d", nSamples), m.Accuracy)
+	}
+	return r, nil
+}

@@ -1,0 +1,146 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (Sec. VI) plus the ablations called out in DESIGN.md. Each
+// experiment returns a Result holding paper-style text rows and scalar
+// metrics; cmd/experiments prints them and the benchmark harness
+// reports them via testing.B.
+package exp
+
+import (
+	"fmt"
+
+	"moloc/internal/core"
+	"moloc/internal/eval"
+	"moloc/internal/stats"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID matches DESIGN.md's per-experiment index (fig4, fig6a, ...).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Lines are formatted rows, including the paper's reference values
+	// where the paper states them.
+	Lines []string
+	// Metrics are scalar outcomes keyed by a short name, for benchmark
+	// reporting and tests.
+	Metrics map[string]float64
+}
+
+func (r *Result) addLine(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) setMetric(key string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[key] = v
+}
+
+// Context owns a built system and caches per-AP-count deployments so a
+// sequence of experiments shares the expensive setup.
+type Context struct {
+	Sys  *core.System
+	deps map[int]*core.Deployment
+}
+
+// NewContext builds an experiment context from a configuration.
+func NewContext(cfg core.Config) (*Context, error) {
+	sys, err := core.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Sys: sys, deps: make(map[int]*core.Deployment)}, nil
+}
+
+// NewDefaultContext builds the paper's configuration with the given
+// seed.
+func NewDefaultContext(seed int64) (*Context, error) {
+	cfg := core.NewConfig()
+	cfg.Seed = seed
+	return NewContext(cfg)
+}
+
+// Deployment returns (and caches) the deployment using the first
+// numAPs access points, the paper's nested AP subsets.
+func (c *Context) Deployment(numAPs int) (*core.Deployment, error) {
+	if d, ok := c.deps[numAPs]; ok {
+		return d, nil
+	}
+	all := c.Sys.AllAPs()
+	if numAPs < 1 || numAPs > len(all) {
+		return nil, fmt.Errorf("exp: AP count %d out of range [1,%d]", numAPs, len(all))
+	}
+	d, err := c.Sys.Deploy(all[:numAPs])
+	if err != nil {
+		return nil, err
+	}
+	c.deps[numAPs] = d
+	return d, nil
+}
+
+// apCounts are the paper's evaluation settings.
+var apCounts = []int{4, 5, 6}
+
+// evalPair runs WiFi and MoLoc on a deployment and returns both
+// result sets.
+func (c *Context) evalPair(numAPs int) (wifi, moloc []eval.TraceResult, err error) {
+	dep, err := c.Deployment(numAPs)
+	if err != nil {
+		return nil, nil, err
+	}
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		return nil, nil, err
+	}
+	return dep.Evaluate(dep.NewWiFi()), dep.Evaluate(ml), nil
+}
+
+// All runs every registered experiment in DESIGN.md order.
+func (c *Context) All() ([]*Result, error) {
+	type runner struct {
+		name string
+		run  func() (*Result, error)
+	}
+	runners := []runner{
+		{"fig4", c.Fig4},
+		{"fig6", c.Fig6},
+		{"fig7", c.Fig7},
+		{"fig8", c.Fig8},
+		{"tab1", c.Table1},
+		{"abl-csc", c.AblationCSC},
+		{"abl-sanit", c.AblationSanitation},
+		{"abl-k", c.AblationCandidateK},
+		{"abl-hmm", c.AblationBaselines},
+		{"abl-fallback", c.AblationMapFallback},
+		{"abl-horus", c.AblationFingerprintType},
+		{"abl-gyro", c.AblationGyro},
+		{"abl-outage", c.AblationAPOutage},
+		{"abl-poison", c.AblationPoisonedCrowd},
+		{"abl-particle", c.AblationParticle},
+		{"abl-users", c.AblationUserDiversity},
+		{"abl-survey", c.AblationSurveyDensity},
+		{"abl-zerosurvey", c.AblationZeroSurvey},
+		{"ext-mall", c.ExtensionMall},
+		{"ext-interval", c.ExtensionInterval},
+		{"ext-peer", c.ExtensionPeerAssist},
+		{"ext-aging", c.ExtensionAging},
+		{"ext-healing", c.ExtensionSelfHealing},
+	}
+	out := make([]*Result, 0, len(runners))
+	for _, r := range runners {
+		res, err := r.run()
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", r.name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// cdfStats formats median/p90/max of a sample.
+func cdfStats(xs []float64) (median, p90, max float64) {
+	c := stats.NewCDF(xs)
+	return c.Median(), c.Percentile(0.9), c.Max()
+}

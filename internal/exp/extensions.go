@@ -1,0 +1,325 @@
+package exp
+
+import (
+	"fmt"
+
+	"moloc/internal/crowd"
+	"moloc/internal/eval"
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/localizer"
+	"moloc/internal/motion"
+	"moloc/internal/rf"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+	"moloc/internal/tracker"
+)
+
+// ExtensionInterval sweeps the localization interval of the online
+// tracker (the paper fixes it at 3 s without justification): shorter
+// intervals leave too few steps for a reliable RLM, longer ones act on
+// stale fingerprints and blur several aisles into one measurement. The
+// metric is the continuous-space tracking error against the walker's
+// interpolated true position.
+func (c *Context) ExtensionInterval() (*Result, error) {
+	r := &Result{ID: "ext-interval", Title: "Extension — localization-interval sweep (online tracker)"}
+
+	fdb, err := c.Sys.Survey.BuildDB(fingerprint.Euclidean{}, c.Sys.Model.NumAPs())
+	if err != nil {
+		return nil, err
+	}
+	// Fresh pause-free walks so the true position interpolates linearly.
+	tcfg := c.Sys.Config.Trace
+	tcfg.PauseProb = 0
+	sg, err := sensors.NewGenerator(c.Sys.Config.Sensors)
+	if err != nil {
+		return nil, err
+	}
+	tg, err := trace.NewGenerator(c.Sys.Plan, c.Sys.Graph, sg, c.Sys.Config.Motion, tcfg)
+	if err != nil {
+		return nil, err
+	}
+	walkRNG := stats.NewRNG(c.Sys.Config.Seed ^ 0x171)
+	users := c.Sys.Config.Users
+	walks := tg.GenerateBatch(users, 10, walkRNG)
+
+	for _, interval := range []float64{1.5, 3, 6} {
+		var trackErr stats.Online
+		scanRNG := stats.NewRNG(c.Sys.Config.Seed ^ 0x172)
+		for wi, walk := range walks {
+			user := users[wi%len(users)]
+			stepLen := motion.StepLength(c.Sys.Config.Motion, user.HeightM, user.WeightKg)
+			cfg := tracker.NewConfig(stepLen)
+			cfg.IntervalSec = interval
+			cfg.Motion = c.Sys.Config.Motion
+			cfg.MoLoc = c.Sys.Config.MoLoc
+			tk, err := tracker.New(c.Sys.Plan, fdb, c.Sys.MDB, cfg)
+			if err != nil {
+				return nil, err
+			}
+			truePos := func(ts float64) geom.Point {
+				for _, leg := range walk.Legs {
+					if ts <= leg.T1 {
+						frac := (ts - leg.T0) / (leg.T1 - leg.T0)
+						return c.Sys.Plan.LocPos(leg.From).Lerp(c.Sys.Plan.LocPos(leg.To), frac)
+					}
+				}
+				return c.Sys.Plan.LocPos(walk.Legs[len(walk.Legs)-1].To)
+			}
+			nextScan := 0.0
+			for _, leg := range walk.Legs {
+				for _, s := range leg.Samples {
+					tk.AddIMU(s)
+					if s.T >= nextScan {
+						tk.AddScan(s.T, c.Sys.Model.Sample(truePos(s.T), scanRNG))
+						nextScan = s.T + 0.5
+					}
+					if fix, ok := tk.Tick(s.T); ok {
+						trackErr.Add(c.Sys.Plan.LocPos(fix.Loc).Dist(truePos(fix.T)))
+					}
+				}
+			}
+		}
+		r.addLine("interval %.1fs: %d fixes, mean tracking error %.2fm",
+			interval, trackErr.N(), trackErr.Mean())
+		r.setMetric(fmt.Sprintf("err_m_%.1fs", interval), trackErr.Mean())
+	}
+	return r, nil
+}
+
+// ExtensionPeerAssist reproduces the comparison the paper's related
+// work implies (Liu et al. [12]): groups of co-present peers with
+// acoustic-style pairwise ranging jointly localize, pruning twins by
+// mutual distance constraints. Peer assistance does help — but it needs
+// peers; MoLoc reaches the same regime self-contained, which is the
+// paper's argument.
+func (c *Context) ExtensionPeerAssist() (*Result, error) {
+	r := &Result{ID: "ext-peer", Title: "Extension — peer-assisted baseline (Liu et al. [12] style)"}
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	pa, err := localizer.NewPeerAssist(c.Sys.Plan, dep.FDB, localizer.NewPeerConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	rng := stats.NewRNG(c.Sys.Config.Seed ^ 0x9ee5)
+	const (
+		groups    = 150
+		groupSize = 3
+	)
+	soloRight, peerRight, total := 0, 0, 0
+	for g := 0; g < groups; g++ {
+		// Three peers at distinct random reference locations, each with
+		// a held-out test scan, with noisy pairwise ranges.
+		locs := rng.Perm(c.Sys.Plan.NumLocs())[:groupSize]
+		pg := localizer.PeerGroup{Ranges: make([][]float64, groupSize)}
+		for i := range locs {
+			locs[i]++
+			pool := c.Sys.Survey.Test[locs[i]-1]
+			pg.FPs = append(pg.FPs, pool[rng.Intn(len(pool))])
+		}
+		for i := range locs {
+			pg.Ranges[i] = make([]float64, groupSize)
+			for j := range locs {
+				if i != j {
+					pg.Ranges[i][j] = c.Sys.Plan.LocDist(locs[i], locs[j]) + rng.Norm(0, 0.4)
+				}
+			}
+		}
+		got, err := pa.LocalizeGroup(pg)
+		if err != nil {
+			return nil, err
+		}
+		for i := range locs {
+			total++
+			if dep.FDB.Nearest(pg.FPs[i]) == locs[i] {
+				soloRight++
+			}
+			if got[i] == locs[i] {
+				peerRight++
+			}
+		}
+	}
+	solo := float64(soloRight) / float64(total)
+	peer := float64(peerRight) / float64(total)
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		return nil, err
+	}
+	molocAcc := eval.Summarize(dep.Evaluate(ml)).Accuracy
+	r.addLine("solo WiFi NN:            acc=%.1f%%", solo*100)
+	r.addLine("peer-assisted (3 peers): acc=%.1f%% (needs co-present peers + ranging)", peer*100)
+	r.addLine("MoLoc (self-contained):  acc=%.1f%% (sensors the user already carries)", molocAcc*100)
+	r.setMetric("acc_solo", solo)
+	r.setMetric("acc_peer", peer)
+	r.setMetric("acc_moloc", molocAcc)
+	return r, nil
+}
+
+// ExtensionAging models radio-map aging: after the site survey, every
+// AP's transmit power drifts by a few dB (firmware updates, hardware
+// replacement, seasonal attenuation). Stale radio maps are the chronic
+// operational pain of fingerprinting systems; motion assistance absorbs
+// a good part of it.
+func (c *Context) ExtensionAging() (*Result, error) {
+	r := &Result{ID: "ext-aging", Title: "Extension — radio-map aging (per-AP power drift)"}
+	fdb, err := c.Sys.Survey.BuildDB(fingerprint.Euclidean{}, c.Sys.Model.NumAPs())
+	if err != nil {
+		return nil, err
+	}
+
+	for _, driftDB := range []float64{0, 2, 4} {
+		// A drifted copy of the world: per-AP transmit power offsets of
+		// the given magnitude, alternating sign.
+		plan := floorplan.OfficeHall()
+		params := c.Sys.Config.RF
+		for i := range plan.APs {
+			sign := 1.0
+			if i%2 == 1 {
+				sign = -1
+			}
+			plan.APs[i].TxPower = params.RefPower + sign*driftDB
+		}
+		drifted, err := rf.NewModel(plan, params, stats.HashSeed("rf")^c.Sys.Config.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// Fresh test-time fingerprints from the drifted world.
+		rng := stats.NewRNG(c.Sys.Config.Seed ^ 0xa9e)
+		pool := make(crowd.FPPool, plan.NumLocs())
+		for loc := 1; loc <= plan.NumLocs(); loc++ {
+			for k := 0; k < 10; k++ {
+				pool[loc-1] = append(pool[loc-1],
+					fingerprint.Fingerprint(drifted.Sample(plan.LocPos(loc), rng)))
+			}
+		}
+		pipe, err := crowd.NewPipeline(c.Sys.Plan, fdb, pool, c.Sys.Config.Motion)
+		if err != nil {
+			return nil, err
+		}
+		var data []*crowd.TraceData
+		for _, tr := range c.Sys.TestTraces {
+			data = append(data, pipe.Process(tr, rng))
+		}
+		ml, err := localizer.NewMoLoc(fdb, c.Sys.MDB, c.Sys.Config.MoLoc)
+		if err != nil {
+			return nil, err
+		}
+		w := eval.Summarize(eval.Run(c.Sys.Plan, localizer.NewWiFiNN(fdb), data))
+		m := eval.Summarize(eval.Run(c.Sys.Plan, ml, data))
+		r.addLine("drift ±%.0fdB: WiFi acc=%.1f%%, MoLoc acc=%.1f%%",
+			driftDB, w.Accuracy*100, m.Accuracy*100)
+		r.setMetric(fmt.Sprintf("wifi_drift%.0f", driftDB), w.Accuracy)
+		r.setMetric(fmt.Sprintf("moloc_drift%.0f", driftDB), m.Accuracy)
+	}
+	return r, nil
+}
+
+// ExtensionSelfHealing combines the aging scenario with a rolling radio
+// map: MoLoc's confident fixes feed their scans back into the believed
+// location's buffer, and the radio map is rebuilt periodically. Over
+// enough serving traffic, the drifted map heals itself without a
+// re-survey.
+func (c *Context) ExtensionSelfHealing() (*Result, error) {
+	r := &Result{ID: "ext-healing", Title: "Extension — self-healing radio map under drift"}
+
+	// Stale surveyed map, drifted world (the ext-aging worst case).
+	fdb, err := c.Sys.Survey.BuildDB(fingerprint.Euclidean{}, c.Sys.Model.NumAPs())
+	if err != nil {
+		return nil, err
+	}
+	plan := floorplan.OfficeHall()
+	params := c.Sys.Config.RF
+	for i := range plan.APs {
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		plan.APs[i].TxPower = params.RefPower + sign*6
+	}
+	drifted, err := rf.NewModel(plan, params, stats.HashSeed("rf")^c.Sys.Config.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(c.Sys.Config.Seed ^ 0x4ea1)
+	pool := make(crowd.FPPool, plan.NumLocs())
+	for loc := 1; loc <= plan.NumLocs(); loc++ {
+		for k := 0; k < 10; k++ {
+			pool[loc-1] = append(pool[loc-1],
+				fingerprint.Fingerprint(drifted.Sample(plan.LocPos(loc), rng)))
+		}
+	}
+
+	// Serving traffic: replay the training walks as anonymous users.
+	pipe, err := crowd.NewPipeline(c.Sys.Plan, fdb, pool, c.Sys.Config.Motion)
+	if err != nil {
+		return nil, err
+	}
+	rolling, err := fingerprint.NewRollingMap(fdb, 12)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		confidence   = 0.8
+		rebuildEvery = 10
+	)
+	current := fdb
+	var windows []float64 // accuracy per 30-walk window
+	right, total := 0, 0
+	flush := func() {
+		if total > 0 {
+			windows = append(windows, float64(right)/float64(total))
+		}
+		right, total = 0, 0
+	}
+	for wi, tr := range c.Sys.TrainTraces {
+		td := pipe.Process(tr, rng)
+		ml, err := localizer.NewMoLoc(current, c.Sys.MDB, c.Sys.Config.MoLoc)
+		if err != nil {
+			return nil, err
+		}
+		est := ml.Localize(localizer.Observation{FP: td.StartFP})
+		if est == td.StartTrue {
+			right++
+		}
+		total++
+		for _, ld := range td.Legs {
+			est = ml.Localize(localizer.Observation{FP: ld.FP, Motion: ld.RLM})
+			if est == ld.TrueTo {
+				right++
+			}
+			total++
+			// Confident fixes refresh the believed location's buffer.
+			cands := ml.Candidates()
+			if len(cands) > 0 && cands[0].Prob >= confidence {
+				if err := rolling.Add(est, ld.FP); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if (wi+1)%rebuildEvery == 0 {
+			if current, err = rolling.Snapshot(fingerprint.Euclidean{}); err != nil {
+				return nil, err
+			}
+		}
+		if (wi+1)%30 == 0 {
+			flush()
+		}
+	}
+	flush()
+	for i, acc := range windows {
+		r.addLine("walks %3d-%3d: MoLoc acc=%.1f%%", i*30+1, (i+1)*30, acc*100)
+		r.setMetric(fmt.Sprintf("acc_window%d", i), acc)
+	}
+	if len(windows) >= 2 {
+		first, last := windows[0], windows[len(windows)-1]
+		r.addLine("healing gain: %.1f accuracy points (stale %.1f%% -> healed %.1f%%)",
+			(last-first)*100, first*100, last*100)
+		r.setMetric("healing_gain", last-first)
+	}
+	return r, nil
+}

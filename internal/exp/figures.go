@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+
+	"moloc/internal/eval"
+	"moloc/internal/motion"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+// Fig4 reproduces the acceleration signature of Fig. 4: a user walking
+// ten steps, sampled at 10 Hz, with the steps recovered by the peak
+// detector. The paper's figure shows the magnitude oscillating several
+// m/s^2 around gravity with one marked peak per step.
+func (c *Context) Fig4() (*Result, error) {
+	r := &Result{ID: "fig4", Title: "Fig. 4 — acceleration signature of 10 steps"}
+
+	gen, err := sensors.NewGenerator(c.Sys.Config.Sensors)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		stepFreq = 1.8 // Hz
+		steps    = 10.0
+	)
+	duration := steps / stepFreq
+	rng := stats.NewRNG(c.Sys.Config.Seed ^ 0xf14)
+	samples, _ := gen.Walk(nil, 0, duration, stepFreq, 90, sensors.Device{}, 0, rng)
+
+	detected := motion.DetectSteps(c.Sys.Config.Motion, samples)
+	var mag stats.Online
+	lo, hi := samples[0].Accel, samples[0].Accel
+	for _, s := range samples {
+		mag.Add(s.Accel)
+		if s.Accel < lo {
+			lo = s.Accel
+		}
+		if s.Accel > hi {
+			hi = s.Accel
+		}
+	}
+	r.addLine("walked %.1f s at %.1f steps/s (10 true steps), %d samples at %.0f Hz",
+		duration, stepFreq, len(samples), c.Sys.Config.Sensors.SampleRate)
+	r.addLine("magnitude range %.1f..%.1f m/s^2 around gravity %.2f (paper: ~4..16)",
+		lo, hi, sensors.Gravity)
+	r.addLine("detected %d steps (paper marks 10)", len(detected))
+	r.setMetric("steps_detected", float64(len(detected)))
+	r.setMetric("mag_range", hi-lo)
+	return r, nil
+}
+
+// Fig6 reproduces the motion-database validity study of Fig. 6: the
+// CDFs of the trained entries' direction errors (paper: median ~3 deg,
+// max ~15 deg) and offset errors (median ~0.13 m, max ~0.46 m) against
+// the map-derived ground truth.
+func (c *Context) Fig6() (*Result, error) {
+	r := &Result{ID: "fig6", Title: "Fig. 6 — errors in the motion database"}
+	dirErrs, offErrs := c.Sys.MotionDBErrors()
+	dm, d90, dmax := cdfStats(dirErrs)
+	om, o90, omax := cdfStats(offErrs)
+	r.addLine("entries=%d (every walk-graph aisle covered)", c.Sys.MDB.NumEntries())
+	r.addLine("direction error: median=%.1f deg p90=%.1f max=%.1f (paper: median 3, max 15)",
+		dm, d90, dmax)
+	r.addLine("offset error:    median=%.2f m  p90=%.2f max=%.2f (paper: median 0.13, max 0.46)",
+		om, o90, omax)
+	r.setMetric("dir_median_deg", dm)
+	r.setMetric("dir_max_deg", dmax)
+	r.setMetric("off_median_m", om)
+	r.setMetric("off_max_m", omax)
+	return r, nil
+}
+
+// paperFig7 holds the paper's reported average localization accuracies
+// for Fig. 7 (Sec. VI-B2), indexed by AP count.
+var paperFig7 = map[int]struct{ wifi, moloc float64 }{
+	4: {0.31, 0.75},
+	5: {0.36, 0.82},
+	6: {0.43, 0.86},
+}
+
+// Fig7 reproduces the overall localization comparison of Fig. 7(a-c):
+// error CDFs of MoLoc versus WiFi fingerprinting with 4, 5, and 6 APs.
+func (c *Context) Fig7() (*Result, error) {
+	r := &Result{ID: "fig7", Title: "Fig. 7 — overall localization error CDFs, MoLoc vs WiFi"}
+	for _, n := range apCounts {
+		wifiRes, molocRes, err := c.evalPair(n)
+		if err != nil {
+			return nil, err
+		}
+		w := eval.Summarize(wifiRes)
+		m := eval.Summarize(molocRes)
+		ref := paperFig7[n]
+		r.addLine("%d-AP WiFi : acc=%4.1f%% mean=%.2fm p50=%.2fm max=%.2fm (paper acc %.0f%%)",
+			n, w.Accuracy*100, w.MeanErr, w.CDF.Median(), w.MaxErr, ref.wifi*100)
+		r.addLine("%d-AP MoLoc: acc=%4.1f%% mean=%.2fm p50=%.2fm max=%.2fm (paper acc %.0f%%)",
+			n, m.Accuracy*100, m.MeanErr, m.CDF.Median(), m.MaxErr, ref.moloc*100)
+		r.setMetric(metricName("wifi_acc", n), w.Accuracy)
+		r.setMetric(metricName("moloc_acc", n), m.Accuracy)
+		r.setMetric(metricName("wifi_mean_m", n), w.MeanErr)
+		r.setMetric(metricName("moloc_mean_m", n), m.MeanErr)
+		// CDF points for plotting, every 10th percentile, plus an ASCII
+		// rendering of the two curves (the Fig. 7 panel for this AP
+		// count).
+		line := "      MoLoc CDF:"
+		for p := 1; p <= 9; p++ {
+			line += fmtQuantile(m.CDF, float64(p)/10)
+		}
+		r.Lines = append(r.Lines, line)
+		line = "      WiFi  CDF:"
+		for p := 1; p <= 9; p++ {
+			line += fmtQuantile(w.CDF, float64(p)/10)
+		}
+		r.Lines = append(r.Lines, line)
+		r.Lines = append(r.Lines, asciiCDF([]cdfSeries{
+			{name: "WiFi", mark: 'w', cdf: w.CDF},
+			{name: "MoLoc", mark: 'M', cdf: m.CDF},
+		}, 48, 8)...)
+	}
+	return r, nil
+}
+
+// Fig8 reproduces Fig. 8(a-c): the same comparison restricted to the
+// locations where WiFi fingerprinting errs by more than 6 m — the
+// fingerprint-twin victims. The paper reports MoLoc cutting the mean
+// error at these locations by ~6.8 m and the maximum by ~4 m.
+func (c *Context) Fig8() (*Result, error) {
+	r := &Result{ID: "fig8", Title: "Fig. 8 — performance at large-error (twin) locations"}
+	// A location qualifies as a twin victim when at least half of the
+	// attempts there err beyond the paper's 6 m cut — the persistent
+	// confusions, not occasional scan noise.
+	const (
+		threshold = 6.0
+		minFrac   = 0.5
+	)
+	for _, n := range apCounts {
+		wifiRes, molocRes, err := c.evalPair(n)
+		if err != nil {
+			return nil, err
+		}
+		locs := eval.LargeErrorLocs(wifiRes, threshold, minFrac)
+		if len(locs) == 0 {
+			r.addLine("%d-AP: no locations with frequent >%gm WiFi errors", n, threshold)
+			continue
+		}
+		w := eval.FilterByTrueLoc(wifiRes, locs)
+		m := eval.FilterByTrueLoc(molocRes, locs)
+		r.addLine("%d-AP twin locations %v", n, locs)
+		r.addLine("%d-AP WiFi : acc=%4.1f%% mean=%.2fm max=%.2fm", n,
+			w.Accuracy*100, w.MeanErr, w.MaxErr)
+		r.addLine("%d-AP MoLoc: acc=%4.1f%% mean=%.2fm max=%.2fm (mean cut by %.2fm; paper ~6.8m)",
+			n, m.Accuracy*100, m.MeanErr, m.MaxErr, w.MeanErr-m.MeanErr)
+		r.setMetric(metricName("mean_reduction_m", n), w.MeanErr-m.MeanErr)
+		r.setMetric(metricName("max_reduction_m", n), w.MaxErr-m.MaxErr)
+		r.setMetric(metricName("twin_locs", n), float64(len(locs)))
+	}
+	return r, nil
+}
+
+func metricName(base string, apCount int) string {
+	return fmt.Sprintf("%s_%dap", base, apCount)
+}
+
+func fmtQuantile(c *stats.CDF, p float64) string {
+	return fmt.Sprintf(" p%.0f=%.1fm", p*100, c.Percentile(p))
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"moloc/internal/stats"
+)
+
+// asciiCDF renders one or more empirical CDFs as a small text chart,
+// the closest a terminal gets to the paper's Figs. 6–8. Each series is
+// drawn with its own rune; later series overwrite earlier ones where
+// they coincide.
+func asciiCDF(series []cdfSeries, width, height int) []string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxX := 0.0
+	for _, s := range series {
+		maxX = math.Max(maxX, s.cdf.Max())
+	}
+	if maxX <= 0 {
+		maxX = 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for col := 0; col < width; col++ {
+			x := maxX * float64(col) / float64(width-1)
+			p := s.cdf.At(x)
+			row := int(math.Round(float64(height-1) * (1 - p)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = s.mark
+		}
+	}
+
+	lines := make([]string, 0, height+2)
+	for r, row := range grid {
+		label := "      "
+		switch r {
+		case 0:
+			label = "1.0 | "
+		case height - 1:
+			label = "0.0 | "
+		default:
+			label = "    | "
+		}
+		lines = append(lines, label+string(row))
+	}
+	lines = append(lines, "    +"+strings.Repeat("-", width))
+	axis := fmt.Sprintf("     0m%sm", strings.Repeat(" ", width-7)+fmt.Sprintf("%.0f", maxX))
+	lines = append(lines, axis)
+	var legend []string
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.mark, s.name))
+	}
+	lines = append(lines, "     "+strings.Join(legend, "  "))
+	return lines
+}
+
+// cdfSeries pairs a CDF with its chart mark and legend name.
+type cdfSeries struct {
+	name string
+	mark rune
+	cdf  *stats.CDF
+}

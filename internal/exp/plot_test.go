@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"moloc/internal/stats"
+)
+
+func TestAsciiCDF(t *testing.T) {
+	a := stats.NewCDF([]float64{0, 0, 0, 1, 2, 3, 4, 8})
+	b := stats.NewCDF([]float64{0, 2, 4, 6, 8, 10, 12, 16})
+	lines := asciiCDF([]cdfSeries{
+		{name: "fast", mark: 'f', cdf: a},
+		{name: "slow", mark: 's', cdf: b},
+	}, 40, 8)
+	if len(lines) != 11 { // 8 rows + axis + labels + legend
+		t.Fatalf("lines = %d", len(lines))
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"1.0 |", "0.0 |", "f=fast", "s=slow", "16m"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("chart missing %q:\n%s", want, joined)
+		}
+	}
+	// Both marks must appear in the body.
+	if !strings.ContainsRune(joined, 'f') || !strings.ContainsRune(joined, 's') {
+		t.Error("series marks missing")
+	}
+	// Degenerate sizes clamp instead of exploding.
+	tiny := asciiCDF([]cdfSeries{{name: "x", mark: 'x', cdf: a}}, 1, 1)
+	if len(tiny) == 0 {
+		t.Error("tiny chart should still render")
+	}
+	// All-zero CDF does not divide by zero.
+	zero := stats.NewCDF([]float64{0, 0})
+	if got := asciiCDF([]cdfSeries{{name: "z", mark: 'z', cdf: zero}}, 20, 4); len(got) == 0 {
+		t.Error("zero CDF should render")
+	}
+}

@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"moloc/internal/core"
+	"moloc/internal/crowd"
+	"moloc/internal/eval"
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/localizer"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/rf"
+	"moloc/internal/stats"
+)
+
+// AblationAPOutage injects a serving-time failure the paper's
+// deployment would eventually face: one of the six APs dies after the
+// site survey, so every test scan reports it as not detected while the
+// radio map still expects it. Fingerprint-only localization degrades
+// hard; MoLoc's motion matching vetoes most of the resulting wrong
+// candidates.
+func (c *Context) AblationAPOutage() (*Result, error) {
+	r := &Result{ID: "abl-outage", Title: "Robustness — AP outage at serving time"}
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		return nil, err
+	}
+	healthyWiFi := eval.Summarize(dep.Evaluate(dep.NewWiFi()))
+	healthyMoLoc := eval.Summarize(dep.Evaluate(ml))
+	r.addLine("healthy: WiFi acc=%.1f%%, MoLoc acc=%.1f%%",
+		healthyWiFi.Accuracy*100, healthyMoLoc.Accuracy*100)
+	r.setMetric("wifi_healthy", healthyWiFi.Accuracy)
+	r.setMetric("moloc_healthy", healthyMoLoc.Accuracy)
+
+	// Kill AP 0 (one of the mirror pair, the worst case for twins) in
+	// every test fingerprint.
+	dead := killAP(dep.TestData, 0)
+	mlDead, err := dep.NewMoLoc()
+	if err != nil {
+		return nil, err
+	}
+	wifiOut := eval.Summarize(eval.Run(c.Sys.Plan, dep.NewWiFi(), dead))
+	molocOut := eval.Summarize(eval.Run(c.Sys.Plan, mlDead, dead))
+	r.addLine("ap1 dead: WiFi acc=%.1f%% (-%.1f), MoLoc acc=%.1f%% (-%.1f)",
+		wifiOut.Accuracy*100, (healthyWiFi.Accuracy-wifiOut.Accuracy)*100,
+		molocOut.Accuracy*100, (healthyMoLoc.Accuracy-molocOut.Accuracy)*100)
+	r.setMetric("wifi_outage", wifiOut.Accuracy)
+	r.setMetric("moloc_outage", molocOut.Accuracy)
+
+	// Mitigation: the matched-only dissimilarity scores only APs heard
+	// in both the scan and the radio map, so a dead AP stops poisoning
+	// every comparison. Rebuild the radio map with it and re-evaluate.
+	survey := c.Sys.Survey.ProjectAPs(dep.APIdx)
+	robustFDB, err := survey.BuildDB(fingerprint.MatchedOnly{Missing: rf.NotDetected}, len(dep.APIdx))
+	if err != nil {
+		return nil, err
+	}
+	mlRobust, err := localizer.NewMoLoc(robustFDB, c.Sys.MDB, c.Sys.Config.MoLoc)
+	if err != nil {
+		return nil, err
+	}
+	wifiRobust := eval.Summarize(eval.Run(c.Sys.Plan, localizer.NewWiFiNN(robustFDB), dead))
+	molocRobust := eval.Summarize(eval.Run(c.Sys.Plan, mlRobust, dead))
+	r.addLine("ap1 dead + matched-only metric: WiFi acc=%.1f%%, MoLoc acc=%.1f%%",
+		wifiRobust.Accuracy*100, molocRobust.Accuracy*100)
+	r.setMetric("wifi_outage_matched", wifiRobust.Accuracy)
+	r.setMetric("moloc_outage_matched", molocRobust.Accuracy)
+	return r, nil
+}
+
+// killAP returns a deep copy of the processed traces with the given AP
+// index reporting NotDetected in every fingerprint.
+func killAP(data []*crowd.TraceData, ap int) []*crowd.TraceData {
+	out := make([]*crowd.TraceData, len(data))
+	for i, td := range data {
+		cp := *td
+		cp.StartFP = killIn(td.StartFP, ap)
+		cp.Legs = make([]crowd.LegData, len(td.Legs))
+		for j, ld := range td.Legs {
+			cp.Legs[j] = ld
+			cp.Legs[j].FP = killIn(ld.FP, ap)
+		}
+		out[i] = &cp
+	}
+	return out
+}
+
+func killIn(f fingerprint.Fingerprint, ap int) fingerprint.Fingerprint {
+	cp := f.Clone()
+	cp[ap] = rf.NotDetected
+	return cp
+}
+
+// AblationPoisonedCrowd feeds the motion-database builder an
+// adversarial crowd: a fraction of the observations report plausible
+// (adjacent) pairs with systematically rotated directions and inflated
+// offsets — a miscalibrated or malicious contributor whose errors do
+// not cancel out in the mean. The paper's two-level sanitation is the
+// defense; without it the poisoned Gaussians drag MoLoc down.
+func (c *Context) AblationPoisonedCrowd() (*Result, error) {
+	r := &Result{ID: "abl-poison", Title: "Robustness — adversarial crowdsourcing"}
+	dep, err := c.Deployment(6)
+	if err != nil {
+		return nil, err
+	}
+	fdb, err := c.Sys.Survey.BuildDB(fingerprint.Euclidean{}, c.Sys.Model.NumAPs())
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := crowd.NewPipeline(c.Sys.Plan, fdb, c.Sys.Survey.MotionEst, c.Sys.Config.Motion)
+	if err != nil {
+		return nil, err
+	}
+	// Collect the honest observations once.
+	obsRNG := stats.NewRNG(c.Sys.Config.Seed ^ 0x9015)
+	var honest []motiondb.Observation
+	for _, tr := range c.Sys.TrainTraces {
+		honest = append(honest, crowd.Observations(pipe.Process(tr, obsRNG))...)
+	}
+
+	// Enumerate the walk-graph edges once: the adversary reports
+	// plausible (adjacent) pairs with garbage measurements, the kind of
+	// poison the adjacency filter alone cannot drop.
+	var edges [][2]int
+	for i := 1; i <= c.Sys.Plan.NumLocs(); i++ {
+		for _, e := range c.Sys.Graph.Neighbors(i) {
+			if e.To > i {
+				edges = append(edges, [2]int{i, e.To})
+			}
+		}
+	}
+	for _, poisonFrac := range []float64{0, 0.3, 0.6} {
+		for _, level := range []struct {
+			name string
+			lv   motiondb.Sanitation
+		}{{"none", motiondb.SanitationNone}, {"full", motiondb.SanitationFull}} {
+			cfg := c.Sys.Config.Builder
+			cfg.Level = level.lv
+			builder, err := motiondb.NewBuilder(c.Sys.Plan, cfg)
+			if err != nil {
+				return nil, err
+			}
+			builder.UseGraph(c.Sys.Graph)
+			builder.AddAll(honest)
+			poisonRNG := stats.NewRNG(c.Sys.Config.Seed ^ 0xbad)
+			// poisonFrac is the poisoned share of the final stream:
+			// n_p / (n_h + n_p) = frac.
+			nPoison := int(poisonFrac / (1 - poisonFrac) * float64(len(honest)))
+			for p := 0; p < nPoison; p++ {
+				edge := edges[poisonRNG.Intn(len(edges))]
+				gtDir, gtOff := floorplan.GroundTruthRLM(c.Sys.Plan, edge[0], edge[1])
+				builder.Add(motiondb.Observation{
+					From: edge[0],
+					To:   edge[1],
+					// A consistent 90-degree rotation and +2.5 m offset:
+					// errors that bias the fitted means rather than
+					// widening them.
+					RLM: motion.RLM{
+						Dir: geom.NormalizeDeg(gtDir + 90),
+						Off: gtOff + 2.5,
+					},
+				})
+			}
+			mdb := builder.Build()
+			ml, err := localizerOver(dep, mdb, c.Sys.Config.MoLoc)
+			if err != nil {
+				return nil, err
+			}
+			acc := eval.Summarize(dep.Evaluate(ml)).Accuracy
+			r.addLine("poison=%.0f%% sanitation=%-4s: entries=%d MoLoc acc=%.1f%%",
+				poisonFrac*100, level.name, mdb.NumEntries(), acc*100)
+			if poisonFrac > 0 {
+				r.setMetric("acc_poisoned_"+level.name, acc)
+			} else {
+				r.setMetric("acc_clean_"+level.name, acc)
+			}
+		}
+	}
+	return r, nil
+}
+
+// localizerOver builds a MoLoc localizer for a deployment using an
+// alternative motion database.
+func localizerOver(dep *core.Deployment, mdb *motiondb.DB, cfg localizer.Config) (localizer.Localizer, error) {
+	return localizer.NewMoLoc(dep.FDB, mdb, cfg)
+}

@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"moloc/internal/eval"
+)
+
+// paperTable1 holds the paper's Table I: erroneous localizations before
+// the first accurate one (EL), then accuracy / mean error / max error
+// of the subsequent estimates, per setting.
+var paperTable1 = map[int]struct {
+	wifiEL, wifiAcc, wifiMean, wifiMax     float64
+	molocEL, molocAcc, molocMean, molocMax float64
+}{
+	4: {3.28, 0.34, 4.91, 16.64, 1.57, 0.89, 0.67, 7.92},
+	5: {2.71, 0.39, 4.33, 14.70, 1.42, 0.93, 0.36, 6.25},
+	6: {2.25, 0.48, 3.27, 13.60, 1.13, 0.96, 0.22, 6.88},
+}
+
+// Table1 reproduces the convergence study of Table I: over the test
+// traces whose initial estimate is wrong, how many erroneous
+// localizations occur before the first accurate one, and how good the
+// estimates are afterwards. The paper's claim: MoLoc approximately
+// halves EL and pushes subsequent accuracy to ~90% or more.
+func (c *Context) Table1() (*Result, error) {
+	r := &Result{ID: "tab1", Title: "Table I — convergence of accurate localization"}
+	r.addLine("%-12s %6s %9s %9s %9s   (paper EL / acc)", "setting", "EL", "accuracy", "mean(m)", "max(m)")
+	for _, n := range apCounts {
+		wifiRes, molocRes, err := c.evalPair(n)
+		if err != nil {
+			return nil, err
+		}
+		ref := paperTable1[n]
+		wc := eval.ConvergenceStats(wifiRes)
+		mc := eval.ConvergenceStats(molocRes)
+		r.addLine("%d-AP WiFi   %6.2f %8.0f%% %9.2f %9.2f   (%.2f / %.0f%%)",
+			n, wc.MeanEL, wc.Accuracy*100, wc.MeanErr, wc.MaxErr, ref.wifiEL, ref.wifiAcc*100)
+		r.addLine("%d-AP MoLoc  %6.2f %8.0f%% %9.2f %9.2f   (%.2f / %.0f%%)",
+			n, mc.MeanEL, mc.Accuracy*100, mc.MeanErr, mc.MaxErr, ref.molocEL, ref.molocAcc*100)
+		r.setMetric(metricName("wifi_el", n), wc.MeanEL)
+		r.setMetric(metricName("moloc_el", n), mc.MeanEL)
+		r.setMetric(metricName("wifi_sub_acc", n), wc.Accuracy)
+		r.setMetric(metricName("moloc_sub_acc", n), mc.Accuracy)
+		r.setMetric(metricName("moloc_sub_mean_m", n), mc.MeanErr)
+	}
+	return r, nil
+}

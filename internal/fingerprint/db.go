@@ -1,0 +1,214 @@
+package fingerprint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Candidate is a location candidate returned by a k-NN query: a
+// reference location ID, its fingerprint dissimilarity m_i, and the
+// probability of Eq. 4, P(x = l_i | F) = (1/m_i) / sum_j (1/m_j).
+type Candidate struct {
+	Loc    int     `json:"loc"`
+	Dissim float64 `json:"dissim"`
+	Prob   float64 `json:"prob"`
+}
+
+// DB is the fingerprint database (radio map): one representative
+// fingerprint per reference location, built by averaging site-survey
+// samples. Location IDs are 1-based and contiguous.
+type DB struct {
+	metric Metric
+	numAPs int
+	// fps[i] is the radio-map fingerprint of location i+1.
+	fps []Fingerprint
+}
+
+// NewDB builds a radio map from per-location survey samples:
+// samples[i] holds the scans collected at location i+1, each of length
+// numAPs. The representative fingerprint is the per-AP mean, the
+// standard radio-map construction (RADAR). Every location needs at
+// least one sample.
+func NewDB(metric Metric, numAPs int, samples [][]Fingerprint) (*DB, error) {
+	if metric == nil {
+		return nil, fmt.Errorf("fingerprint: nil metric")
+	}
+	if numAPs <= 0 {
+		return nil, fmt.Errorf("fingerprint: numAPs must be positive, got %d", numAPs)
+	}
+	db := &DB{metric: metric, numAPs: numAPs, fps: make([]Fingerprint, len(samples))}
+	for i, scans := range samples {
+		if len(scans) == 0 {
+			return nil, fmt.Errorf("fingerprint: location %d has no survey samples", i+1)
+		}
+		mean := make(Fingerprint, numAPs)
+		for _, s := range scans {
+			if len(s) != numAPs {
+				return nil, fmt.Errorf("fingerprint: location %d sample has %d APs, want %d", i+1, len(s), numAPs)
+			}
+			for a, v := range s {
+				mean[a] += v
+			}
+		}
+		for a := range mean {
+			mean[a] /= float64(len(scans))
+		}
+		db.fps[i] = mean
+	}
+	return db, nil
+}
+
+// NumLocs returns the number of reference locations.
+func (db *DB) NumLocs() int { return len(db.fps) }
+
+// NumAPs returns the fingerprint dimensionality.
+func (db *DB) NumAPs() int { return db.numAPs }
+
+// Metric returns the dissimilarity metric in use.
+func (db *DB) Metric() Metric { return db.metric }
+
+// At returns the radio-map fingerprint of a location (1-based ID). The
+// returned slice must not be modified.
+func (db *DB) At(loc int) Fingerprint { return db.fps[loc-1] }
+
+// Nearest implements Eq. 2: the location whose radio-map fingerprint is
+// least dissimilar to f.
+func (db *DB) Nearest(f Fingerprint) int {
+	best, bestD := 0, 0.0
+	for i, rm := range db.fps {
+		d := db.metric.Distance(f, rm)
+		if best == 0 || d < bestD {
+			best, bestD = i+1, d
+		}
+	}
+	return best
+}
+
+// KNearest implements Eq. 3–4: the k locations with the smallest
+// dissimilarities to f, each with probability proportional to the
+// inverse of its dissimilarity. If any dissimilarity is zero (an exact
+// radio-map match), that candidate takes probability 1 and the rest 0,
+// the limit of the 1/m weighting. Candidates are sorted by descending
+// probability. k is clamped to the number of locations.
+func (db *DB) KNearest(f Fingerprint, k int) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(db.fps) {
+		k = len(db.fps)
+	}
+	all := make([]Candidate, len(db.fps))
+	for i, rm := range db.fps {
+		all[i] = Candidate{Loc: i + 1, Dissim: db.metric.Distance(f, rm)}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dissim != all[b].Dissim {
+			return all[a].Dissim < all[b].Dissim
+		}
+		return all[a].Loc < all[b].Loc // deterministic tie-break
+	})
+	top := all[:k]
+
+	// Eq. 4 with the exact-match limit.
+	exact := false
+	for _, c := range top {
+		if c.Dissim == 0 {
+			exact = true
+			break
+		}
+	}
+	if exact {
+		for i := range top {
+			if top[i].Dissim == 0 {
+				top[i].Prob = 1
+				// Multiple exact matches split the mass evenly.
+			}
+		}
+		var total float64
+		for _, c := range top {
+			total += c.Prob
+		}
+		for i := range top {
+			top[i].Prob /= total
+		}
+		return top
+	}
+	var invSum float64
+	for _, c := range top {
+		invSum += 1 / c.Dissim
+	}
+	for i := range top {
+		top[i].Prob = (1 / top[i].Dissim) / invSum
+	}
+	return top
+}
+
+// ProjectAPs returns a new DB restricted to the given AP indices,
+// reusing the same metric. The AP-count sweeps build a 4- and 5-AP
+// database from the 6-AP survey this way, mirroring the paper's use of
+// one survey for all settings.
+func (db *DB) ProjectAPs(apIdx []int) (*DB, error) {
+	for _, a := range apIdx {
+		if a < 0 || a >= db.numAPs {
+			return nil, fmt.Errorf("fingerprint: AP index %d out of range [0,%d)", a, db.numAPs)
+		}
+	}
+	out := &DB{metric: db.metric, numAPs: len(apIdx), fps: make([]Fingerprint, len(db.fps))}
+	for i, fp := range db.fps {
+		out.fps[i] = fp.Project(apIdx)
+	}
+	return out, nil
+}
+
+// dbJSON is the serialized form of DB.
+type dbJSON struct {
+	Metric string        `json:"metric"`
+	NumAPs int           `json:"num_aps"`
+	Fps    []Fingerprint `json:"fingerprints"`
+}
+
+// SaveJSON writes the radio map to a file. Only the metric name is
+// stored; LoadJSON restores the built-in metrics by name.
+func (db *DB) SaveJSON(path string) error {
+	data, err := json.MarshalIndent(dbJSON{
+		Metric: db.metric.Name(), NumAPs: db.numAPs, Fps: db.fps,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("fingerprint: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("fingerprint: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadJSON reads a radio map written by SaveJSON.
+func LoadJSON(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: read %s: %w", path, err)
+	}
+	var j dbJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("fingerprint: parse %s: %w", path, err)
+	}
+	var metric Metric
+	switch j.Metric {
+	case Euclidean{}.Name():
+		metric = Euclidean{}
+	case Manhattan{}.Name():
+		metric = Manhattan{}
+	case (MatchedOnly{}).Name():
+		metric = MatchedOnly{Missing: -100}
+	default:
+		return nil, fmt.Errorf("fingerprint: unknown metric %q", j.Metric)
+	}
+	for i, fp := range j.Fps {
+		if len(fp) != j.NumAPs {
+			return nil, fmt.Errorf("fingerprint: location %d has %d APs, header says %d", i+1, len(fp), j.NumAPs)
+		}
+	}
+	return &DB{metric: metric, numAPs: j.NumAPs, fps: j.Fps}, nil
+}

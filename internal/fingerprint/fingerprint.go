@@ -1,0 +1,121 @@
+// Package fingerprint implements the RSS-fingerprinting substrate of
+// MoLoc: fingerprint vectors, the Euclidean dissimilarity of Eq. 1, the
+// radio map built by site survey, nearest-neighbor localization (Eq. 2),
+// and the k-nearest-candidate selection with probabilities (Eq. 3–4)
+// that feeds MoLoc's candidate evaluation.
+package fingerprint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fingerprint is an RSS vector, one dBm value per AP in plan order.
+// Undetected APs hold rf.NotDetected (-100 dBm).
+type Fingerprint []float64
+
+// Clone returns a copy of f.
+func (f Fingerprint) Clone() Fingerprint {
+	c := make(Fingerprint, len(f))
+	copy(c, f)
+	return c
+}
+
+// Project returns the sub-fingerprint restricted to the given AP
+// indices, in the given order. MoLoc's AP-count sweeps (4/5/6 APs in
+// Figs. 7–8) evaluate on projected fingerprints.
+func (f Fingerprint) Project(apIdx []int) Fingerprint {
+	out := make(Fingerprint, len(apIdx))
+	for i, a := range apIdx {
+		out[i] = f[a]
+	}
+	return out
+}
+
+// Metric measures dissimilarity between two equal-length fingerprints.
+// Lower is more similar.
+type Metric interface {
+	Distance(a, b Fingerprint) float64
+	Name() string
+}
+
+// Euclidean is the paper's dissimilarity (Eq. 1):
+// phi^2(F, F') = sum_i (f_i - f'_i)^2.
+type Euclidean struct{}
+
+var _ Metric = Euclidean{}
+
+// Distance returns the Euclidean distance between a and b. It panics on
+// length mismatch, which indicates mixing fingerprints from different AP
+// sets — a programming error.
+func (Euclidean) Distance(a, b Fingerprint) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fingerprint: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "euclidean" }
+
+// Manhattan is an alternative L1 dissimilarity, provided for ablation.
+type Manhattan struct{}
+
+var _ Metric = Manhattan{}
+
+// Distance returns the L1 distance between a and b.
+func (Manhattan) Distance(a, b Fingerprint) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fingerprint: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Name implements Metric.
+func (Manhattan) Name() string { return "manhattan" }
+
+// MatchedOnly is a Euclidean variant that only scores APs detected in
+// both fingerprints, normalizing by the matched count. It is more robust
+// when AP dropout is heavy; provided for ablation.
+type MatchedOnly struct {
+	// Missing is the sentinel value marking an undetected AP
+	// (rf.NotDetected).
+	Missing float64
+}
+
+var _ Metric = MatchedOnly{}
+
+// Distance returns the RMS difference over APs heard in both vectors.
+// If no AP is shared, it returns a large constant so the pair ranks
+// last.
+func (m MatchedOnly) Distance(a, b Fingerprint) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fingerprint: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	n := 0
+	for i := range a {
+		if a[i] == m.Missing || b[i] == m.Missing {
+			continue
+		}
+		d := a[i] - b[i]
+		s += d * d
+		n++
+	}
+	if n == 0 {
+		return 1e6
+	}
+	return math.Sqrt(s / float64(n) * float64(len(a)))
+}
+
+// Name implements Metric.
+func (m MatchedOnly) Name() string { return "matched-only" }

@@ -1,0 +1,355 @@
+package fingerprint
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestEuclideanDistance(t *testing.T) {
+	e := Euclidean{}
+	tests := []struct {
+		name string
+		a, b Fingerprint
+		want float64
+	}{
+		{"identical", Fingerprint{-50, -60}, Fingerprint{-50, -60}, 0},
+		{"3-4-5", Fingerprint{0, 0}, Fingerprint{3, 4}, 5},
+		{"single dim", Fingerprint{-40}, Fingerprint{-47}, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := e.Distance(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Distance = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEuclideanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	Euclidean{}.Distance(Fingerprint{1}, Fingerprint{1, 2})
+}
+
+func TestMetricProperties(t *testing.T) {
+	// Symmetry and identity for all metrics, over random vectors.
+	metrics := []Metric{Euclidean{}, Manhattan{}, MatchedOnly{Missing: -100}}
+	for _, m := range metrics {
+		m := m
+		f := func(a, b [4]float64) bool {
+			fa := Fingerprint{a[0], a[1], a[2], a[3]}
+			fb := Fingerprint{b[0], b[1], b[2], b[3]}
+			for i := range fa {
+				if math.IsNaN(fa[i]) || math.IsInf(fa[i], 0) ||
+					math.IsNaN(fb[i]) || math.IsInf(fb[i], 0) {
+					return true
+				}
+				fa[i] = math.Mod(fa[i], 100)
+				fb[i] = math.Mod(fb[i], 100)
+			}
+			d1, d2 := m.Distance(fa, fb), m.Distance(fb, fa)
+			if math.Abs(d1-d2) > 1e-9 {
+				return false
+			}
+			return m.Distance(fa, fa) < 1e-9 || m.Name() == "matched-only"
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestManhattan(t *testing.T) {
+	m := Manhattan{}
+	if got := m.Distance(Fingerprint{1, 2}, Fingerprint{4, -2}); got != 7 {
+		t.Errorf("Manhattan = %v, want 7", got)
+	}
+}
+
+func TestMatchedOnly(t *testing.T) {
+	m := MatchedOnly{Missing: -100}
+	// Second AP missing on one side: only first AP scored, scaled by dims.
+	a := Fingerprint{-50, -100}
+	b := Fingerprint{-53, -70}
+	want := math.Sqrt(9.0 / 1 * 2)
+	if got := m.Distance(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MatchedOnly = %v, want %v", got, want)
+	}
+	// No shared AP: large constant.
+	if got := m.Distance(Fingerprint{-100, -50}, Fingerprint{-50, -100}); got != 1e6 {
+		t.Errorf("disjoint = %v, want 1e6", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	f := Fingerprint{-10, -20, -30, -40}
+	got := f.Project([]int{3, 0})
+	if len(got) != 2 || got[0] != -40 || got[1] != -10 {
+		t.Errorf("Project = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	f := Fingerprint{-1, -2}
+	c := f.Clone()
+	c[0] = 99
+	if f[0] != -1 {
+		t.Error("Clone must not share backing array")
+	}
+}
+
+func mustDB(t *testing.T) *DB {
+	t.Helper()
+	// Three locations, two APs each, one sample per location.
+	samples := [][]Fingerprint{
+		{{-40, -80}},
+		{{-60, -60}},
+		{{-80, -40}},
+	}
+	db, err := NewDB(Euclidean{}, 2, samples)
+	if err != nil {
+		t.Fatalf("NewDB: %v", err)
+	}
+	return db
+}
+
+func TestNewDBErrors(t *testing.T) {
+	if _, err := NewDB(nil, 2, nil); err == nil {
+		t.Error("nil metric should error")
+	}
+	if _, err := NewDB(Euclidean{}, 0, nil); err == nil {
+		t.Error("zero APs should error")
+	}
+	if _, err := NewDB(Euclidean{}, 2, [][]Fingerprint{{}}); err == nil {
+		t.Error("empty location samples should error")
+	}
+	if _, err := NewDB(Euclidean{}, 2, [][]Fingerprint{{{-40}}}); err == nil {
+		t.Error("wrong sample width should error")
+	}
+}
+
+func TestDBAveraging(t *testing.T) {
+	samples := [][]Fingerprint{
+		{{-40, -80}, {-44, -84}}, // mean (-42, -82)
+	}
+	db, err := NewDB(Euclidean{}, 2, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := db.At(1)
+	if got[0] != -42 || got[1] != -82 {
+		t.Errorf("radio map mean = %v, want (-42, -82)", got)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	db := mustDB(t)
+	tests := []struct {
+		name string
+		f    Fingerprint
+		want int
+	}{
+		{"clearly 1", Fingerprint{-41, -79}, 1},
+		{"clearly 2", Fingerprint{-61, -59}, 2},
+		{"clearly 3", Fingerprint{-79, -41}, 3},
+		{"exact 2", Fingerprint{-60, -60}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := db.Nearest(tt.f); got != tt.want {
+				t.Errorf("Nearest = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestKNearest(t *testing.T) {
+	db := mustDB(t)
+	cands := db.KNearest(Fingerprint{-45, -75}, 2)
+	if len(cands) != 2 {
+		t.Fatalf("len = %d", len(cands))
+	}
+	if cands[0].Loc != 1 {
+		t.Errorf("top candidate = %d, want 1", cands[0].Loc)
+	}
+	// Probabilities sum to 1 and are ordered with dissimilarity.
+	if math.Abs(cands[0].Prob+cands[1].Prob-1) > 1e-12 {
+		t.Errorf("probs sum to %v", cands[0].Prob+cands[1].Prob)
+	}
+	if cands[0].Prob <= cands[1].Prob {
+		t.Error("nearer candidate should have higher probability")
+	}
+	// Eq. 4 exactly: prob_i = (1/m_i) / sum(1/m_j).
+	wantP0 := (1 / cands[0].Dissim) / (1/cands[0].Dissim + 1/cands[1].Dissim)
+	if math.Abs(cands[0].Prob-wantP0) > 1e-12 {
+		t.Errorf("Eq.4 violated: %v vs %v", cands[0].Prob, wantP0)
+	}
+}
+
+func TestKNearestExactMatch(t *testing.T) {
+	db := mustDB(t)
+	cands := db.KNearest(Fingerprint{-60, -60}, 3)
+	if cands[0].Loc != 2 || cands[0].Prob != 1 {
+		t.Errorf("exact match should take all mass: %+v", cands[0])
+	}
+	for _, c := range cands[1:] {
+		if c.Prob != 0 {
+			t.Errorf("non-exact candidate has prob %v", c.Prob)
+		}
+	}
+}
+
+func TestKNearestClamp(t *testing.T) {
+	db := mustDB(t)
+	if got := db.KNearest(Fingerprint{-50, -50}, 100); len(got) != 3 {
+		t.Errorf("k should clamp to 3, got %d", len(got))
+	}
+	if got := db.KNearest(Fingerprint{-50, -50}, 0); got != nil {
+		t.Errorf("k=0 should return nil, got %v", got)
+	}
+}
+
+func TestKNearestProbsSumToOne(t *testing.T) {
+	db := mustDB(t)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		fp := Fingerprint{-40 - math.Mod(math.Abs(a), 60), -40 - math.Mod(math.Abs(b), 60)}
+		cands := db.KNearest(fp, 3)
+		var sum float64
+		for _, c := range cands {
+			if c.Prob < 0 || c.Prob > 1 {
+				return false
+			}
+			sum += c.Prob
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectAPs(t *testing.T) {
+	db := mustDB(t)
+	p, err := db.ProjectAPs([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumAPs() != 1 || p.NumLocs() != 3 {
+		t.Errorf("projected dims = %d APs, %d locs", p.NumAPs(), p.NumLocs())
+	}
+	if got := p.At(1)[0]; got != -80 {
+		t.Errorf("projected fp = %v, want -80", got)
+	}
+	if _, err := db.ProjectAPs([]int{5}); err == nil {
+		t.Error("out-of-range AP index should error")
+	}
+}
+
+func TestDBJSONRoundTrip(t *testing.T) {
+	db := mustDB(t)
+	path := filepath.Join(t.TempDir(), "db.json")
+	if err := db.SaveJSON(path); err != nil {
+		t.Fatalf("SaveJSON: %v", err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if got.NumLocs() != db.NumLocs() || got.NumAPs() != db.NumAPs() {
+		t.Error("round trip changed dimensions")
+	}
+	if got.Metric().Name() != "euclidean" {
+		t.Errorf("metric = %s", got.Metric().Name())
+	}
+	for loc := 1; loc <= 3; loc++ {
+		a, b := db.At(loc), got.At(loc)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("loc %d AP %d: %v != %v", loc, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestRollingMap(t *testing.T) {
+	db := mustDB(t)
+	if _, err := NewRollingMap(db, 0); err == nil {
+		t.Error("zero capacity should error")
+	}
+	r, err := NewRollingMap(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeded with the surveyed vectors: the first snapshot equals the
+	// surveyed map.
+	snap, err := r.Snapshot(Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for loc := 1; loc <= 3; loc++ {
+		a, b := db.At(loc), snap.At(loc)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seeded snapshot differs at loc %d", loc)
+			}
+		}
+	}
+	// Feeding drifted scans moves the mean toward them.
+	for k := 0; k < 3; k++ {
+		if err := r.Add(1, Fingerprint{-50, -90}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len(1) != 3 {
+		t.Errorf("buffer len = %d, want 3 (capacity)", r.Len(1))
+	}
+	snap, err = r.Snapshot(Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.At(1)[0] != -50 {
+		t.Errorf("rolled-over mean = %v, want -50 (old seed evicted)", snap.At(1)[0])
+	}
+	// Error paths.
+	if err := r.Add(0, Fingerprint{-1, -2}); err == nil {
+		t.Error("bad location should error")
+	}
+	if err := r.Add(1, Fingerprint{-1}); err == nil {
+		t.Error("bad width should error")
+	}
+}
+
+func TestRollingMapDoesNotAliasInput(t *testing.T) {
+	db := mustDB(t)
+	r, err := NewRollingMap(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := Fingerprint{-55, -66}
+	if err := r.Add(2, fp); err != nil {
+		t.Fatal(err)
+	}
+	fp[0] = 0 // caller mutates after Add
+	snap, err := r.Snapshot(Euclidean{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of seed (-60) and stored copy (-55): mutation must not leak.
+	if got := snap.At(2)[0]; got != (-60-55)/2.0 {
+		t.Errorf("aliased input leaked: %v", got)
+	}
+}

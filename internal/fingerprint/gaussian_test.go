@@ -1,0 +1,157 @@
+package fingerprint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustGaussianDB(t *testing.T) *GaussianDB {
+	t.Helper()
+	samples := [][]Fingerprint{
+		{{-40, -80}, {-42, -78}, {-41, -82}},
+		{{-60, -60}, {-58, -62}, {-61, -59}},
+		{{-80, -40}, {-79, -42}, {-82, -38}},
+	}
+	g, err := NewGaussianDB(2, samples)
+	if err != nil {
+		t.Fatalf("NewGaussianDB: %v", err)
+	}
+	return g
+}
+
+func TestNewGaussianDBErrors(t *testing.T) {
+	if _, err := NewGaussianDB(0, nil); err == nil {
+		t.Error("zero APs should error")
+	}
+	if _, err := NewGaussianDB(2, [][]Fingerprint{{}}); err == nil {
+		t.Error("empty location should error")
+	}
+	if _, err := NewGaussianDB(2, [][]Fingerprint{{{-40}}}); err == nil {
+		t.Error("width mismatch should error")
+	}
+}
+
+func TestGaussianStdFloor(t *testing.T) {
+	// All-identical samples must not produce zero std.
+	g, err := NewGaussianDB(1, [][]Fingerprint{{{-50}, {-50}, {-50}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.std[0][0] != MinGaussianStd {
+		t.Errorf("std = %v, want floor %v", g.std[0][0], MinGaussianStd)
+	}
+}
+
+func TestMostLikely(t *testing.T) {
+	g := mustGaussianDB(t)
+	tests := []struct {
+		f    Fingerprint
+		want int
+	}{
+		{Fingerprint{-41, -80}, 1},
+		{Fingerprint{-59, -61}, 2},
+		{Fingerprint{-81, -39}, 3},
+	}
+	for _, tt := range tests {
+		if got := g.MostLikely(tt.f); got != tt.want {
+			t.Errorf("MostLikely(%v) = %d, want %d", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestLogLikelihoodOrdering(t *testing.T) {
+	g := mustGaussianDB(t)
+	f := Fingerprint{-41, -80}
+	if g.LogLikelihood(1, f) <= g.LogLikelihood(3, f) {
+		t.Error("likelihood should favor the matching location")
+	}
+}
+
+func TestLogLikelihoodPanicsOnWidth(t *testing.T) {
+	g := mustGaussianDB(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch should panic")
+		}
+	}()
+	g.LogLikelihood(1, Fingerprint{-40})
+}
+
+func TestGaussianCandidates(t *testing.T) {
+	g := mustGaussianDB(t)
+	cands := g.Candidates(Fingerprint{-41, -80}, 2)
+	if len(cands) != 2 {
+		t.Fatalf("len = %d", len(cands))
+	}
+	if cands[0].Loc != 1 {
+		t.Errorf("top = %d, want 1", cands[0].Loc)
+	}
+	var sum float64
+	for _, c := range cands {
+		if c.Prob < 0 || c.Prob > 1 {
+			t.Errorf("prob %v out of range", c.Prob)
+		}
+		sum += c.Prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probs sum to %v", sum)
+	}
+	if cands[0].Prob <= cands[1].Prob {
+		t.Error("candidates should be ranked")
+	}
+	if g.Candidates(Fingerprint{-41, -80}, 0) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := g.Candidates(Fingerprint{-41, -80}, 100); len(got) != 3 {
+		t.Errorf("k clamps to %d, got %d", 3, len(got))
+	}
+}
+
+func TestGaussianCandidatesSumProperty(t *testing.T) {
+	g := mustGaussianDB(t)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		fp := Fingerprint{-40 - math.Mod(math.Abs(a), 60), -40 - math.Mod(math.Abs(b), 60)}
+		cands := g.Candidates(fp, 3)
+		var sum float64
+		for _, c := range cands {
+			sum += c.Prob
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGaussianProjectAPs(t *testing.T) {
+	g := mustGaussianDB(t)
+	p, err := g.ProjectAPs([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumAPs() != 1 || p.NumLocs() != 3 {
+		t.Errorf("dims = %d x %d", p.NumLocs(), p.NumAPs())
+	}
+	if p.mean[0][0] != g.mean[0][1] {
+		t.Error("projection picked the wrong AP")
+	}
+	if _, err := g.ProjectAPs([]int{9}); err == nil {
+		t.Error("out-of-range AP should error")
+	}
+}
+
+func TestGaussianAgreesWithNNOnCleanData(t *testing.T) {
+	// With well-separated locations and centered queries, the ML and NN
+	// estimates coincide.
+	gdb := mustGaussianDB(t)
+	db := mustDB(t)
+	for _, f := range []Fingerprint{{-41, -79}, {-61, -59}, {-79, -41}} {
+		if gdb.MostLikely(f) != db.Nearest(f) {
+			t.Errorf("ML and NN disagree on %v", f)
+		}
+	}
+}

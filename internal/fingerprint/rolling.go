@@ -1,0 +1,64 @@
+package fingerprint
+
+import (
+	"fmt"
+)
+
+// RollingMap maintains a bounded ring buffer of recent scans per
+// location and rebuilds radio maps from them. It is the self-healing
+// counterpart to radio-map aging: a localizer that trusts a fix can
+// feed the fix's scan back, so the map tracks slow RF drift (AP power
+// changes, furniture moves) without a re-survey. Mislabeled feedback is
+// diluted by the buffer and ages out as correct scans arrive.
+type RollingMap struct {
+	numAPs   int
+	capacity int
+	buf      [][]Fingerprint // ring buffer per location
+	pos      []int
+}
+
+// NewRollingMap creates a rolling map for numLocs locations, seeding
+// every location's buffer with its fingerprint from the given surveyed
+// radio map so snapshots are usable from the start.
+func NewRollingMap(seed *DB, capacity int) (*RollingMap, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("fingerprint: rolling capacity must be >= 1, got %d", capacity)
+	}
+	r := &RollingMap{
+		numAPs:   seed.NumAPs(),
+		capacity: capacity,
+		buf:      make([][]Fingerprint, seed.NumLocs()),
+		pos:      make([]int, seed.NumLocs()),
+	}
+	for loc := 1; loc <= seed.NumLocs(); loc++ {
+		r.buf[loc-1] = append(r.buf[loc-1], seed.At(loc).Clone())
+	}
+	return r, nil
+}
+
+// Add feeds one believed (location, scan) pair. Scans with the wrong
+// width are rejected.
+func (r *RollingMap) Add(loc int, fp Fingerprint) error {
+	if loc < 1 || loc > len(r.buf) {
+		return fmt.Errorf("fingerprint: location %d out of range", loc)
+	}
+	if len(fp) != r.numAPs {
+		return fmt.Errorf("fingerprint: scan has %d APs, map has %d", len(fp), r.numAPs)
+	}
+	i := loc - 1
+	if len(r.buf[i]) < r.capacity {
+		r.buf[i] = append(r.buf[i], fp.Clone())
+		return nil
+	}
+	r.buf[i][r.pos[i]] = fp.Clone()
+	r.pos[i] = (r.pos[i] + 1) % r.capacity
+	return nil
+}
+
+// Len reports how many scans the location's buffer currently holds.
+func (r *RollingMap) Len(loc int) int { return len(r.buf[loc-1]) }
+
+// Snapshot builds a radio map from the current buffers.
+func (r *RollingMap) Snapshot(metric Metric) (*DB, error) {
+	return NewDB(metric, r.numAPs, r.buf)
+}

@@ -1,0 +1,107 @@
+package fingerprint
+
+import (
+	"fmt"
+
+	"moloc/internal/rf"
+	"moloc/internal/stats"
+)
+
+// SurveyResult holds the raw site-survey scans, partitioned the way the
+// paper's trace-driven methodology partitions them (Sec. VI-A): of the
+// 60 samples per location, 40 build the radio map, 10 serve as location
+// estimates during motion-DB training, and 10 are held out for
+// localization tests.
+type SurveyResult struct {
+	// Train[i] are the radio-map scans for location i+1.
+	Train [][]Fingerprint
+	// MotionEst[i] are the scans used when estimating locations during
+	// motion-database construction.
+	MotionEst [][]Fingerprint
+	// Test[i] are the held-out scans used by the localization
+	// experiments.
+	Test [][]Fingerprint
+}
+
+// SurveyConfig controls the simulated site survey.
+type SurveyConfig struct {
+	// SamplesPerLoc is the total number of scans per location (60 in the
+	// paper).
+	SamplesPerLoc int
+	// TrainFrac and MotionFrac split the samples; the remainder is the
+	// test set. The paper uses 40/10/10.
+	TrainFrac  float64
+	MotionFrac float64
+}
+
+// NewSurveyConfig returns the paper's split: 60 samples per location,
+// 40 train / 10 motion / 10 test.
+func NewSurveyConfig() SurveyConfig {
+	return SurveyConfig{SamplesPerLoc: 60, TrainFrac: 40.0 / 60, MotionFrac: 10.0 / 60}
+}
+
+// Survey simulates the site survey: it collects cfg.SamplesPerLoc scans
+// at every reference location of the model's plan and splits them into
+// train / motion-estimation / test sets. Scans are drawn in a random
+// order per location (the paper collects them facing four different
+// directions; temporal noise plays that role here).
+func Survey(model *rf.Model, cfg SurveyConfig, rng *stats.RNG) (*SurveyResult, error) {
+	if cfg.SamplesPerLoc < 3 {
+		return nil, fmt.Errorf("fingerprint: need at least 3 samples per location, got %d", cfg.SamplesPerLoc)
+	}
+	if cfg.TrainFrac <= 0 || cfg.MotionFrac < 0 || cfg.TrainFrac+cfg.MotionFrac >= 1 {
+		return nil, fmt.Errorf("fingerprint: invalid survey split %g/%g", cfg.TrainFrac, cfg.MotionFrac)
+	}
+	plan := model.Plan()
+	n := plan.NumLocs()
+	res := &SurveyResult{
+		Train:     make([][]Fingerprint, n),
+		MotionEst: make([][]Fingerprint, n),
+		Test:      make([][]Fingerprint, n),
+	}
+	nTrain := int(float64(cfg.SamplesPerLoc)*cfg.TrainFrac + 0.5)
+	nMotion := int(float64(cfg.SamplesPerLoc)*cfg.MotionFrac + 0.5)
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain+nMotion >= cfg.SamplesPerLoc {
+		return nil, fmt.Errorf("fingerprint: split leaves no test samples")
+	}
+	for i := 1; i <= n; i++ {
+		pos := plan.LocPos(i)
+		scans := make([]Fingerprint, cfg.SamplesPerLoc)
+		for s := range scans {
+			scans[s] = Fingerprint(model.Sample(pos, rng))
+		}
+		rng.Shuffle(len(scans), func(a, b int) { scans[a], scans[b] = scans[b], scans[a] })
+		res.Train[i-1] = scans[:nTrain]
+		res.MotionEst[i-1] = scans[nTrain : nTrain+nMotion]
+		res.Test[i-1] = scans[nTrain+nMotion:]
+	}
+	return res, nil
+}
+
+// BuildDB builds the radio map from the survey's training scans.
+func (r *SurveyResult) BuildDB(metric Metric, numAPs int) (*DB, error) {
+	return NewDB(metric, numAPs, r.Train)
+}
+
+// ProjectAPs returns a copy of the survey restricted to the given AP
+// indices, for the 4/5-AP experiments.
+func (r *SurveyResult) ProjectAPs(apIdx []int) *SurveyResult {
+	project := func(in [][]Fingerprint) [][]Fingerprint {
+		out := make([][]Fingerprint, len(in))
+		for i, scans := range in {
+			out[i] = make([]Fingerprint, len(scans))
+			for s, fp := range scans {
+				out[i][s] = fp.Project(apIdx)
+			}
+		}
+		return out
+	}
+	return &SurveyResult{
+		Train:     project(r.Train),
+		MotionEst: project(r.MotionEst),
+		Test:      project(r.Test),
+	}
+}

@@ -1,0 +1,106 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/rf"
+	"moloc/internal/stats"
+)
+
+func officeModel(t *testing.T) *rf.Model {
+	t.Helper()
+	m, err := rf.NewModel(floorplan.OfficeHall(), rf.NewParams(), 1)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+func TestSurveySplit(t *testing.T) {
+	m := officeModel(t)
+	res, err := Survey(m, NewSurveyConfig(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Survey: %v", err)
+	}
+	if len(res.Train) != 28 || len(res.MotionEst) != 28 || len(res.Test) != 28 {
+		t.Fatal("wrong number of locations")
+	}
+	for i := range res.Train {
+		if len(res.Train[i]) != 40 {
+			t.Errorf("loc %d train = %d, want 40", i+1, len(res.Train[i]))
+		}
+		if len(res.MotionEst[i]) != 10 {
+			t.Errorf("loc %d motion = %d, want 10", i+1, len(res.MotionEst[i]))
+		}
+		if len(res.Test[i]) != 10 {
+			t.Errorf("loc %d test = %d, want 10", i+1, len(res.Test[i]))
+		}
+	}
+}
+
+func TestSurveyErrors(t *testing.T) {
+	m := officeModel(t)
+	bad := []SurveyConfig{
+		{SamplesPerLoc: 2, TrainFrac: 0.5, MotionFrac: 0.2},
+		{SamplesPerLoc: 60, TrainFrac: 0, MotionFrac: 0.2},
+		{SamplesPerLoc: 60, TrainFrac: 0.8, MotionFrac: 0.3},
+		{SamplesPerLoc: 3, TrainFrac: 0.65, MotionFrac: 0.32},
+	}
+	for i, cfg := range bad {
+		if _, err := Survey(m, cfg, stats.NewRNG(1)); err == nil {
+			t.Errorf("config %d should error", i)
+		}
+	}
+}
+
+func TestSurveyDeterminism(t *testing.T) {
+	m := officeModel(t)
+	r1, _ := Survey(m, NewSurveyConfig(), stats.NewRNG(9))
+	m2 := officeModel(t)
+	r2, _ := Survey(m2, NewSurveyConfig(), stats.NewRNG(9))
+	if r1.Train[0][0][0] != r2.Train[0][0][0] {
+		t.Error("survey must be deterministic under a fixed seed")
+	}
+}
+
+func TestSurveyBuildDB(t *testing.T) {
+	m := officeModel(t)
+	res, err := Survey(m, NewSurveyConfig(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := res.BuildDB(Euclidean{}, m.NumAPs())
+	if err != nil {
+		t.Fatalf("BuildDB: %v", err)
+	}
+	if db.NumLocs() != 28 || db.NumAPs() != 6 {
+		t.Errorf("db dims = %d locs x %d APs", db.NumLocs(), db.NumAPs())
+	}
+	// Radio map should localize its own training locations well: the
+	// mean test fingerprint of a location should usually match it.
+	correct := 0
+	for loc := 1; loc <= 28; loc++ {
+		if db.Nearest(db.At(loc)) == loc {
+			correct++
+		}
+	}
+	if correct != 28 {
+		t.Errorf("radio map self-lookup correct for %d/28", correct)
+	}
+}
+
+func TestSurveyProjectAPs(t *testing.T) {
+	m := officeModel(t)
+	res, err := Survey(m, NewSurveyConfig(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.ProjectAPs([]int{0, 2, 4})
+	if len(p.Train[0][0]) != 3 {
+		t.Errorf("projected width = %d, want 3", len(p.Train[0][0]))
+	}
+	if p.Train[3][2][1] != res.Train[3][2][2] {
+		t.Error("projection should pick AP index 2 into slot 1")
+	}
+}

@@ -1,0 +1,281 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"moloc/internal/geom"
+)
+
+// OfficeHallAdjDist is the adjacency threshold for the office hall: it
+// admits the 5.67 m horizontal and 4 m vertical grid spacings but rejects
+// the 6.94 m diagonals, so aisles run along the grid as in Fig. 5.
+const OfficeHallAdjDist = 6.0
+
+// OfficeHall reconstructs the paper's experimental environment (Fig. 5):
+// a 40.8 m x 16 m office hall with 28 reference locations on a 7x4 grid,
+// 6 sparsely placed APs, columns, partition boards, and shelves. Location
+// IDs run 1..7 on the top (north) row through 22..28 on the bottom row,
+// matching the figure.
+func OfficeHall() *Plan {
+	p := &Plan{
+		Name:   "office-hall",
+		Width:  40.8,
+		Height: 16,
+	}
+	p.Walls = boundary(p.Width, p.Height)
+
+	// 7x4 reference grid. Columns are spaced 5.667 m apart starting at
+	// x = 3.4; rows sit at y = 14, 10, 6, 2 (top row first, as in Fig. 5).
+	rowY := []float64{14, 10, 6, 2}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 7; c++ {
+			id := r*7 + c + 1
+			x := 3.4 + 5.6667*float64(c)
+			p.RefLocs = append(p.RefLocs, RefLoc{ID: id, Pos: geom.Pt(x, rowY[r])})
+		}
+	}
+
+	// Six sparsely placed APs (stars in Fig. 5). Their exact coordinates
+	// are not published; what matters for reproducing the paper is the
+	// ambiguity structure its evaluation exhibits — specific pairs of
+	// highly spaced locations with near-identical fingerprints (its
+	// "fingerprint twins", e.g. locations 2 and 15, 10 and 27). A
+	// near-symmetric placement produces exactly that: the first four APs
+	// are mirror pairs about the hall's vertical center line, so a
+	// location and its mirror image receive similar RSS vectors; ap5
+	// sits on the symmetry axis (adding signal but little
+	// disambiguation) and ap6 breaks the symmetry. The 4/5/6-AP
+	// experiment subsets therefore sweep from strong ambiguity to
+	// moderate, matching the paper's accuracy trend.
+	p.APs = []AP{
+		{ID: "ap1", Pos: geom.Pt(5.0, 13.5)},
+		{ID: "ap2", Pos: geom.Pt(35.8, 13.5)},
+		{ID: "ap3", Pos: geom.Pt(13.0, 2.5)},
+		{ID: "ap4", Pos: geom.Pt(27.8, 2.5)},
+		{ID: "ap5", Pos: geom.Pt(20.4, 8.5)},
+		{ID: "ap6", Pos: geom.Pt(9.5, 7.5)},
+	}
+
+	// Columns, shelves, and a partition board. The partition between
+	// (13, 8)-(16.5, 8) deliberately severs the direct aisle between
+	// locations 10 and 17: they are geographically close but not mutually
+	// walkable, the situation the consistency principle warns about.
+	p.Obstacles = []geom.Rect{
+		geom.RectAt(geom.Pt(12, 12), 0.8, 0.8),   // column
+		geom.RectAt(geom.Pt(24, 4), 0.8, 0.8),    // column
+		geom.RectAt(geom.Pt(8, 8), 1.5, 0.9),     // shelf
+		geom.RectAt(geom.Pt(33, 8), 1.5, 0.9),    // shelf
+		geom.RectAt(geom.Pt(28.5, 12), 1.2, 0.8), // desk cluster
+	}
+	p.Walls = append(p.Walls,
+		geom.Seg(geom.Pt(13, 8), geom.Pt(16.5, 8)), // partition board
+	)
+	return p
+}
+
+// Mall builds a larger two-corridor shopping-mall scenario used by the
+// mall example: two parallel 70 m corridors of reference locations joined
+// by three cross-aisles, with storefront walls between them elsewhere.
+func Mall() *Plan {
+	p := &Plan{
+		Name:   "mall",
+		Width:  76,
+		Height: 24,
+	}
+	p.Walls = boundary(p.Width, p.Height)
+
+	// Two corridors at y = 6 and y = 18, 14 locations each, 5 m apart.
+	// IDs 1..14 on the north corridor, 15..28 on the south corridor.
+	for c := 0; c < 14; c++ {
+		x := 5 + 5*float64(c)
+		p.RefLocs = append(p.RefLocs, RefLoc{ID: c + 1, Pos: geom.Pt(x, 18)})
+	}
+	for c := 0; c < 14; c++ {
+		x := 5 + 5*float64(c)
+		p.RefLocs = append(p.RefLocs, RefLoc{ID: 14 + c + 1, Pos: geom.Pt(x, 6)})
+	}
+	// Cross-aisle locations joining the corridors at x = 15, 40, 65.
+	// IDs 29, 30, 31.
+	for i, x := range []float64{15, 40, 65} {
+		p.RefLocs = append(p.RefLocs, RefLoc{ID: 29 + i, Pos: geom.Pt(x, 12)})
+	}
+
+	// Storefront walls between the corridors, broken at the cross-aisles.
+	for _, span := range [][2]float64{{2, 12.5}, {17.5, 37.5}, {42.5, 62.5}, {67.5, 74}} {
+		p.Walls = append(p.Walls,
+			geom.Seg(geom.Pt(span[0], 12), geom.Pt(span[1], 12)))
+	}
+
+	p.APs = []AP{
+		{ID: "ap1", Pos: geom.Pt(8, 22)},
+		{ID: "ap2", Pos: geom.Pt(30, 20)},
+		{ID: "ap3", Pos: geom.Pt(55, 22)},
+		{ID: "ap4", Pos: geom.Pt(72, 19)},
+		{ID: "ap5", Pos: geom.Pt(12, 2)},
+		{ID: "ap6", Pos: geom.Pt(35, 4)},
+		{ID: "ap7", Pos: geom.Pt(60, 2)},
+		{ID: "ap8", Pos: geom.Pt(40, 12)},
+	}
+	return p
+}
+
+// MallAdjDist is the adjacency threshold for the mall: corridor neighbors
+// are 5 m apart and cross-aisle hops are at most 6.1 m.
+const MallAdjDist = 6.5
+
+// Museum builds a four-room museum with a central corridor, used by the
+// crowdsourcing example. Rooms connect to the corridor through doorways;
+// walls otherwise block both walking and (partially) RF.
+func Museum() *Plan {
+	p := &Plan{
+		Name:   "museum",
+		Width:  36,
+		Height: 20,
+	}
+	p.Walls = boundary(p.Width, p.Height)
+
+	// Corridor along y = 10 (locations 1..7), rooms above and below.
+	for c := 0; c < 7; c++ {
+		x := 3 + 5*float64(c)
+		p.RefLocs = append(p.RefLocs, RefLoc{ID: c + 1, Pos: geom.Pt(x, 10)})
+	}
+	// Each room holds two exhibit locations; the one nearer the doorway
+	// (x in 7.2..10.2 for the west rooms, 25.2..28.2 for the east rooms)
+	// links the room to the corridor through the door gap.
+	roomLocs := []geom.Point{
+		geom.Pt(4, 16), geom.Pt(9, 15), // room A (IDs 8, 9)
+		geom.Pt(26.5, 15), geom.Pt(32, 16), // room B (IDs 10, 11)
+		geom.Pt(4, 4), geom.Pt(9, 5), // room C (IDs 12, 13)
+		geom.Pt(26.5, 5), geom.Pt(32, 4), // room D (IDs 14, 15)
+	}
+	for i, pos := range roomLocs {
+		p.RefLocs = append(p.RefLocs, RefLoc{ID: 8 + i, Pos: pos})
+	}
+
+	// Room walls at y = 13 (north rooms) and y = 7 (south rooms), with
+	// doorway gaps near the room entrances, plus dividers between rooms.
+	for _, span := range [][2]float64{{1, 7.2}, {10.2, 25.2}, {28.2, 35}} {
+		p.Walls = append(p.Walls,
+			geom.Seg(geom.Pt(span[0], 13), geom.Pt(span[1], 13)))
+	}
+	for _, span := range [][2]float64{{1, 7.2}, {10.2, 25.2}, {28.2, 35}} {
+		p.Walls = append(p.Walls,
+			geom.Seg(geom.Pt(span[0], 7), geom.Pt(span[1], 7)))
+	}
+	p.Walls = append(p.Walls,
+		geom.Seg(geom.Pt(18, 13), geom.Pt(18, 20)), // divider A|B
+		geom.Seg(geom.Pt(18, 0), geom.Pt(18, 7)),   // divider C|D
+	)
+
+	p.APs = []AP{
+		{ID: "ap1", Pos: geom.Pt(3, 18)},
+		{ID: "ap2", Pos: geom.Pt(33, 18)},
+		{ID: "ap3", Pos: geom.Pt(3, 2)},
+		{ID: "ap4", Pos: geom.Pt(33, 2)},
+		{ID: "ap5", Pos: geom.Pt(18, 10)},
+	}
+	return p
+}
+
+// MuseumAdjDist is the adjacency threshold for the museum plan.
+const MuseumAdjDist = 6.8
+
+// boundary returns the four outer wall segments of a w x h plan.
+func boundary(w, h float64) []geom.Segment {
+	return []geom.Segment{
+		geom.Seg(geom.Pt(0, 0), geom.Pt(w, 0)),
+		geom.Seg(geom.Pt(w, 0), geom.Pt(w, h)),
+		geom.Seg(geom.Pt(w, h), geom.Pt(0, h)),
+		geom.Seg(geom.Pt(0, h), geom.Pt(0, 0)),
+	}
+}
+
+// MustValidate validates p and panics on error. Builders use it in tests
+// and commands where an invalid built-in plan is a programming bug.
+func MustValidate(p *Plan) *Plan {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("floorplan: invalid built-in plan: %v", err))
+	}
+	return p
+}
+
+// GridOptions parameterizes the synthetic grid builder.
+type GridOptions struct {
+	// Cols and Rows give the reference grid dimensions.
+	Cols, Rows int
+	// SpacingX and SpacingY are the aisle spacings in meters.
+	SpacingX, SpacingY float64
+	// Margin is the gap between the outer locations and the walls.
+	Margin float64
+	// APs is the number of access points, placed on a coarse grid across
+	// the ceiling.
+	APs int
+}
+
+// Validate rejects unusable grid options.
+func (o GridOptions) Validate() error {
+	if o.Cols < 2 || o.Rows < 2 {
+		return fmt.Errorf("floorplan: grid needs at least 2x2 locations, got %dx%d", o.Cols, o.Rows)
+	}
+	if o.SpacingX <= 0 || o.SpacingY <= 0 || o.Margin <= 0 {
+		return fmt.Errorf("floorplan: grid spacings and margin must be positive")
+	}
+	if o.APs < 1 {
+		return fmt.Errorf("floorplan: grid needs at least one AP")
+	}
+	return nil
+}
+
+// Grid builds a synthetic open-hall plan with Cols x Rows reference
+// locations, for scalability studies beyond the paper's 28 locations.
+// Location IDs follow the Fig. 5 convention: row-major from the top
+// (north) row.
+func Grid(o GridOptions) (*Plan, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		Name:   fmt.Sprintf("grid-%dx%d", o.Cols, o.Rows),
+		Width:  2*o.Margin + float64(o.Cols-1)*o.SpacingX,
+		Height: 2*o.Margin + float64(o.Rows-1)*o.SpacingY,
+	}
+	p.Walls = boundary(p.Width, p.Height)
+	for r := 0; r < o.Rows; r++ {
+		y := p.Height - o.Margin - float64(r)*o.SpacingY
+		for c := 0; c < o.Cols; c++ {
+			p.RefLocs = append(p.RefLocs, RefLoc{
+				ID:  r*o.Cols + c + 1,
+				Pos: geom.Pt(o.Margin+float64(c)*o.SpacingX, y),
+			})
+		}
+	}
+	// APs on a near-square ceiling grid, jittered deterministically so
+	// the layout is not perfectly symmetric.
+	apCols := 1
+	for apCols*apCols < o.APs {
+		apCols++
+	}
+	for i := 0; i < o.APs; i++ {
+		cx := i % apCols
+		cy := i / apCols
+		x := p.Width * (0.5 + float64(cx)) / float64(apCols)
+		rows := (o.APs + apCols - 1) / apCols
+		y := p.Height * (0.5 + float64(cy)) / float64(rows)
+		// Deterministic jitter keeps twins interesting without an RNG.
+		x += 0.731 * float64((i*37)%7-3)
+		y += 0.577 * float64((i*53)%5-2)
+		x = math.Max(0.5, math.Min(x, p.Width-0.5))
+		y = math.Max(0.5, math.Min(y, p.Height-0.5))
+		p.APs = append(p.APs, AP{ID: fmt.Sprintf("ap%d", i+1), Pos: geom.Pt(x, y)})
+	}
+	return p, p.Validate()
+}
+
+// GridAdjDist returns an adjacency threshold that admits the grid's
+// horizontal and vertical neighbors but rejects its diagonals.
+func GridAdjDist(o GridOptions) float64 {
+	longer := math.Max(o.SpacingX, o.SpacingY)
+	diagonal := math.Hypot(o.SpacingX, o.SpacingY)
+	return (longer + diagonal) / 2
+}

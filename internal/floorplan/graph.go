@@ -1,0 +1,189 @@
+package floorplan
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed aisle edge in the walk graph.
+type Edge struct {
+	To   int     `json:"to"`
+	Dist float64 `json:"dist"`
+}
+
+// WalkGraph captures which reference locations are mutually reachable by
+// a direct walk (the paper's "adjacent locations") and at what distance.
+// The motion database is defined over exactly these pairs.
+type WalkGraph struct {
+	n   int
+	adj map[int][]Edge
+}
+
+// BuildWalkGraph connects every pair of reference locations whose
+// straight-line distance is at most maxAdjDist and whose connecting
+// segment is walkable (no wall or obstacle in the way). This realizes the
+// paper's consistency principle: geographic closeness alone does not make
+// two locations adjacent if a partition separates them.
+func BuildWalkGraph(p *Plan, maxAdjDist float64) *WalkGraph {
+	g := &WalkGraph{n: p.NumLocs(), adj: make(map[int][]Edge, p.NumLocs())}
+	for i := 1; i <= g.n; i++ {
+		for j := i + 1; j <= g.n; j++ {
+			d := p.LocDist(i, j)
+			if d > maxAdjDist {
+				continue
+			}
+			if !p.Walkable(p.LocPos(i), p.LocPos(j)) {
+				continue
+			}
+			g.adj[i] = append(g.adj[i], Edge{To: j, Dist: d})
+			g.adj[j] = append(g.adj[j], Edge{To: i, Dist: d})
+		}
+	}
+	for _, es := range g.adj {
+		sort.Slice(es, func(a, b int) bool { return es[a].To < es[b].To })
+	}
+	return g
+}
+
+// NumNodes returns the number of reference locations in the graph.
+func (g *WalkGraph) NumNodes() int { return g.n }
+
+// Neighbors returns the aisle edges leaving location id. The returned
+// slice must not be modified.
+func (g *WalkGraph) Neighbors(id int) []Edge { return g.adj[id] }
+
+// Adjacent reports whether i and j are directly connected.
+func (g *WalkGraph) Adjacent(i, j int) bool {
+	for _, e := range g.adj[i] {
+		if e.To == j {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the number of neighbors of id.
+func (g *WalkGraph) Degree(id int) int { return len(g.adj[id]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *WalkGraph) NumEdges() int {
+	total := 0
+	for _, es := range g.adj {
+		total += len(es)
+	}
+	return total / 2
+}
+
+// Connected reports whether every location can reach every other along
+// aisles. Crowdsourced training requires a connected graph; a
+// disconnected plan is a modelling error.
+func (g *WalkGraph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n+1)
+	stack := []int{1}
+	seen[1] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, e := range g.adj[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// item is a priority-queue element for Dijkstra.
+type item struct {
+	node int
+	dist float64
+}
+
+type pq []item
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(item)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the walkable path from src to dst (inclusive of
+// both endpoints) and its length in meters. ok is false when dst is
+// unreachable. This is the paper's "walkable path" distance, as opposed
+// to the straight-line distance a naive map computation would use.
+func (g *WalkGraph) ShortestPath(src, dst int) (path []int, dist float64, ok bool) {
+	if src < 1 || src > g.n || dst < 1 || dst > g.n {
+		return nil, 0, false
+	}
+	if src == dst {
+		return []int{src}, 0, true
+	}
+	const unreached = -1.0
+	distTo := make([]float64, g.n+1)
+	prev := make([]int, g.n+1)
+	for i := range distTo {
+		distTo[i] = unreached
+	}
+	distTo[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(item)
+		if it.dist > distTo[it.node] {
+			continue // stale entry
+		}
+		if it.node == dst {
+			break
+		}
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + e.Dist
+			if distTo[e.To] == unreached || nd < distTo[e.To] {
+				distTo[e.To] = nd
+				prev[e.To] = it.node
+				heap.Push(q, item{node: e.To, dist: nd})
+			}
+		}
+	}
+	if distTo[dst] == unreached {
+		return nil, 0, false
+	}
+	for v := dst; v != src; v = prev[v] {
+		path = append(path, v)
+	}
+	path = append(path, src)
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return path, distTo[dst], true
+}
+
+// WalkDist returns the walkable-path distance between two locations, or
+// an error when no path exists.
+func (g *WalkGraph) WalkDist(i, j int) (float64, error) {
+	_, d, ok := g.ShortestPath(i, j)
+	if !ok {
+		return 0, fmt.Errorf("floorplan: no walkable path between %d and %d", i, j)
+	}
+	return d, nil
+}
+
+// GroundTruthRLM returns the map-derived relative location measurement
+// between two adjacent locations: the compass bearing from i to j and
+// the straight-line distance. The motion-DB sanitation stage compares
+// crowdsourced RLMs against these values (paper Sec. IV-B2), and Fig. 6
+// reports the residual errors of the trained database against them.
+func GroundTruthRLM(p *Plan, i, j int) (dirDeg, offMeters float64) {
+	return p.LocBearing(i, j), p.LocDist(i, j)
+}

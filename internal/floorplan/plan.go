@@ -1,0 +1,181 @@
+// Package floorplan models the indoor environments MoLoc is evaluated in:
+// walls, obstacles, access points, reference locations, and the walk graph
+// of aisles that user motion follows. It replaces the paper's physical
+// office-hall deployment (Fig. 5) with a geometric model that the RF and
+// sensor simulators consume.
+package floorplan
+
+import (
+	"fmt"
+
+	"moloc/internal/geom"
+)
+
+// AP is a WiFi access point placed in the plan.
+type AP struct {
+	ID  string     `json:"id"`
+	Pos geom.Point `json:"pos"`
+	// TxPower is the transmit power in dBm. Zero means "use the RF model
+	// default".
+	TxPower float64 `json:"tx_power,omitempty"`
+}
+
+// RefLoc is a surveyed reference location. IDs are 1-based and contiguous,
+// matching the numbering in the paper's Fig. 5.
+type RefLoc struct {
+	ID  int        `json:"id"`
+	Pos geom.Point `json:"pos"`
+}
+
+// Plan is a 2-D indoor environment.
+type Plan struct {
+	Name   string  `json:"name"`
+	Width  float64 `json:"width"`  // meters, X extent
+	Height float64 `json:"height"` // meters, Y extent
+
+	// Walls are blocking segments: the outer boundary plus interior
+	// partitions. They attenuate RF and block walking.
+	Walls []geom.Segment `json:"walls"`
+
+	// Obstacles are solid furniture-scale blocks (columns, shelves).
+	// They attenuate RF and block walking but less than full walls.
+	Obstacles []geom.Rect `json:"obstacles"`
+
+	APs     []AP     `json:"aps"`
+	RefLocs []RefLoc `json:"ref_locs"`
+}
+
+// Validate checks structural invariants: positive extent, contiguous
+// 1-based reference IDs, and all reference locations and APs inside the
+// plan bounds.
+func (p *Plan) Validate() error {
+	if p.Width <= 0 || p.Height <= 0 {
+		return fmt.Errorf("floorplan: non-positive extent %gx%g", p.Width, p.Height)
+	}
+	for i, rl := range p.RefLocs {
+		if rl.ID != i+1 {
+			return fmt.Errorf("floorplan: reference IDs must be contiguous and 1-based; index %d has ID %d", i, rl.ID)
+		}
+		if !p.inBounds(rl.Pos) {
+			return fmt.Errorf("floorplan: reference %d at %v is out of bounds", rl.ID, rl.Pos)
+		}
+	}
+	for _, ap := range p.APs {
+		if ap.ID == "" {
+			return fmt.Errorf("floorplan: AP with empty ID")
+		}
+		if !p.inBounds(ap.Pos) {
+			return fmt.Errorf("floorplan: AP %s at %v is out of bounds", ap.ID, ap.Pos)
+		}
+	}
+	return nil
+}
+
+func (p *Plan) inBounds(pt geom.Point) bool {
+	return pt.X >= 0 && pt.X <= p.Width && pt.Y >= 0 && pt.Y <= p.Height
+}
+
+// NumLocs returns the number of reference locations.
+func (p *Plan) NumLocs() int { return len(p.RefLocs) }
+
+// LocPos returns the position of the reference location with the given
+// 1-based ID. It panics on an unknown ID, which indicates a programming
+// error (IDs come from the plan itself).
+func (p *Plan) LocPos(id int) geom.Point {
+	if id < 1 || id > len(p.RefLocs) {
+		panic(fmt.Sprintf("floorplan: unknown reference ID %d", id))
+	}
+	return p.RefLocs[id-1].Pos
+}
+
+// LocDist returns the straight-line distance between two reference
+// locations identified by ID.
+func (p *Plan) LocDist(i, j int) float64 {
+	return p.LocPos(i).Dist(p.LocPos(j))
+}
+
+// LocBearing returns the compass bearing from reference i to reference j.
+func (p *Plan) LocBearing(i, j int) float64 {
+	return p.LocPos(i).BearingTo(p.LocPos(j))
+}
+
+// NearestLoc returns the ID of the reference location closest to pt.
+func (p *Plan) NearestLoc(pt geom.Point) int {
+	best, bestD := 0, -1.0
+	for _, rl := range p.RefLocs {
+		d := rl.Pos.Dist(pt)
+		if bestD < 0 || d < bestD {
+			best, bestD = rl.ID, d
+		}
+	}
+	return best
+}
+
+// interiorWalls returns the wall segments excluding the outer boundary.
+// The boundary never lies between two interior points, so RF wall
+// counting skips it for speed and correctness at edge coordinates.
+func (p *Plan) interiorWalls() []geom.Segment {
+	interior := make([]geom.Segment, 0, len(p.Walls))
+	for _, w := range p.Walls {
+		if p.isBoundary(w) {
+			continue
+		}
+		interior = append(interior, w)
+	}
+	return interior
+}
+
+func (p *Plan) isBoundary(s geom.Segment) bool {
+	onEdge := func(pt geom.Point) bool {
+		return pt.X == 0 || pt.X == p.Width || pt.Y == 0 || pt.Y == p.Height
+	}
+	return onEdge(s.A) && onEdge(s.B) &&
+		(s.A.X == s.B.X && (s.A.X == 0 || s.A.X == p.Width) ||
+			s.A.Y == s.B.Y && (s.A.Y == 0 || s.A.Y == p.Height))
+}
+
+// WallsBetween counts the interior walls and obstacles crossed by the
+// straight segment from a to b. The RF multi-wall model uses this count
+// to attenuate the path loss.
+func (p *Plan) WallsBetween(a, b geom.Point) int {
+	seg := geom.Seg(a, b)
+	n := 0
+	for _, w := range p.interiorWalls() {
+		if w.Intersects(seg) {
+			n++
+		}
+	}
+	for _, o := range p.Obstacles {
+		if o.IntersectsSegment(seg) {
+			n++
+		}
+	}
+	return n
+}
+
+// LineOfSight reports whether the straight segment from a to b crosses no
+// interior wall or obstacle.
+func (p *Plan) LineOfSight(a, b geom.Point) bool {
+	return p.WallsBetween(a, b) == 0
+}
+
+// Walkable reports whether a person can walk in a straight line from a to
+// b: the segment must not cross any wall or obstacle. Unlike RF, walking
+// is also blocked by the outer boundary.
+func (p *Plan) Walkable(a, b geom.Point) bool {
+	seg := geom.Seg(a, b)
+	for _, w := range p.Walls {
+		if p.isBoundary(w) {
+			continue // endpoints inside the plan cannot cross the boundary
+		}
+		if w.Intersects(seg) {
+			return false
+		}
+	}
+	for _, o := range p.Obstacles {
+		if o.IntersectsSegment(seg) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,387 @@
+package floorplan
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"moloc/internal/geom"
+)
+
+func TestOfficeHallValid(t *testing.T) {
+	p := OfficeHall()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := p.NumLocs(); got != 28 {
+		t.Errorf("NumLocs = %d, want 28", got)
+	}
+	if got := len(p.APs); got != 6 {
+		t.Errorf("APs = %d, want 6", got)
+	}
+	if p.Width != 40.8 || p.Height != 16 {
+		t.Errorf("extent = %gx%g, want 40.8x16", p.Width, p.Height)
+	}
+}
+
+func TestOfficeHallGridLayout(t *testing.T) {
+	p := OfficeHall()
+	// Location 1 is top-left, 7 top-right, 22 bottom-left, 28 bottom-right
+	// (Fig. 5 numbering).
+	if p.LocPos(1).X >= p.LocPos(7).X {
+		t.Error("ID 1 should be west of ID 7")
+	}
+	if p.LocPos(1).Y <= p.LocPos(22).Y {
+		t.Error("ID 1 should be north of ID 22")
+	}
+	// Vertical neighbors are 4 m apart, horizontal ~5.67 m.
+	if d := p.LocDist(1, 8); math.Abs(d-4) > 1e-9 {
+		t.Errorf("vertical spacing = %v, want 4", d)
+	}
+	if d := p.LocDist(1, 2); math.Abs(d-5.6667) > 1e-3 {
+		t.Errorf("horizontal spacing = %v, want 5.6667", d)
+	}
+}
+
+func TestMallMuseumValid(t *testing.T) {
+	for _, p := range []*Plan{Mall(), Museum()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		plan Plan
+	}{
+		{"zero extent", Plan{Width: 0, Height: 10}},
+		{"bad IDs", Plan{Width: 10, Height: 10,
+			RefLocs: []RefLoc{{ID: 2, Pos: geom.Pt(1, 1)}}}},
+		{"loc out of bounds", Plan{Width: 10, Height: 10,
+			RefLocs: []RefLoc{{ID: 1, Pos: geom.Pt(11, 1)}}}},
+		{"empty AP id", Plan{Width: 10, Height: 10,
+			APs: []AP{{ID: "", Pos: geom.Pt(1, 1)}}}},
+		{"AP out of bounds", Plan{Width: 10, Height: 10,
+			APs: []AP{{ID: "x", Pos: geom.Pt(1, -1)}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.plan.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestLocPosPanics(t *testing.T) {
+	p := OfficeHall()
+	defer func() {
+		if recover() == nil {
+			t.Error("LocPos(0) should panic")
+		}
+	}()
+	p.LocPos(0)
+}
+
+func TestNearestLoc(t *testing.T) {
+	p := OfficeHall()
+	for _, rl := range p.RefLocs {
+		if got := p.NearestLoc(rl.Pos); got != rl.ID {
+			t.Errorf("NearestLoc(exact pos of %d) = %d", rl.ID, got)
+		}
+	}
+	// A point slightly off location 1 still maps to 1.
+	pos := p.LocPos(1).Add(geom.Vec{DX: 0.3, DY: -0.2})
+	if got := p.NearestLoc(pos); got != 1 {
+		t.Errorf("NearestLoc near 1 = %d", got)
+	}
+}
+
+func TestWallsBetween(t *testing.T) {
+	p := OfficeHall()
+	// Open line across the middle of the top aisle: nothing in the way.
+	if n := p.WallsBetween(p.LocPos(1), p.LocPos(2)); n != 0 {
+		t.Errorf("walls between 1 and 2 = %d, want 0", n)
+	}
+	// The partition board sits between locations 10 and 17.
+	if n := p.WallsBetween(p.LocPos(10), p.LocPos(17)); n == 0 {
+		t.Error("partition between 10 and 17 should be counted")
+	}
+	// Boundary walls are not counted for interior points.
+	if n := p.WallsBetween(geom.Pt(0.1, 0.1), geom.Pt(40.7, 0.1)); n != 0 {
+		t.Errorf("boundary should not count as interior wall, got %d", n)
+	}
+}
+
+func TestWalkable(t *testing.T) {
+	p := OfficeHall()
+	if !p.Walkable(p.LocPos(1), p.LocPos(2)) {
+		t.Error("1-2 should be walkable")
+	}
+	if p.Walkable(p.LocPos(10), p.LocPos(17)) {
+		t.Error("10-17 crosses the partition; not walkable")
+	}
+}
+
+func TestLineOfSight(t *testing.T) {
+	p := Museum()
+	// Across a room wall: blocked.
+	if p.LineOfSight(geom.Pt(6, 15), geom.Pt(6, 10)) {
+		t.Error("room wall should block line of sight")
+	}
+	// Along the corridor: clear.
+	if !p.LineOfSight(geom.Pt(3, 10), geom.Pt(33, 10)) {
+		t.Error("corridor should be clear")
+	}
+}
+
+func TestWalkGraphOfficeHall(t *testing.T) {
+	p := OfficeHall()
+	g := BuildWalkGraph(p, OfficeHallAdjDist)
+	if g.NumNodes() != 28 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Fatal("office hall walk graph must be connected")
+	}
+	// Grid adjacency: 1-2 (horizontal) and 1-8 (vertical) but not 1-9
+	// (diagonal) and not 10-17 (partition).
+	if !g.Adjacent(1, 2) || !g.Adjacent(1, 8) {
+		t.Error("expected grid adjacency 1-2 and 1-8")
+	}
+	if g.Adjacent(1, 9) {
+		t.Error("diagonal 1-9 should not be adjacent")
+	}
+	if g.Adjacent(10, 17) {
+		t.Error("partition should sever 10-17")
+	}
+	// Adjacency is symmetric.
+	for i := 1; i <= 28; i++ {
+		for _, e := range g.Neighbors(i) {
+			if !g.Adjacent(e.To, i) {
+				t.Errorf("asymmetric edge %d-%d", i, e.To)
+			}
+		}
+	}
+	// Corner degree: location 1 has exactly 2 neighbors (2 and 8).
+	if d := g.Degree(1); d != 2 {
+		t.Errorf("degree(1) = %d, want 2", d)
+	}
+}
+
+func TestWalkGraphConnectedAll(t *testing.T) {
+	tests := []struct {
+		plan *Plan
+		adj  float64
+	}{
+		{OfficeHall(), OfficeHallAdjDist},
+		{Mall(), MallAdjDist},
+		{Museum(), MuseumAdjDist},
+	}
+	for _, tt := range tests {
+		g := BuildWalkGraph(tt.plan, tt.adj)
+		if !g.Connected() {
+			t.Errorf("%s graph is disconnected", tt.plan.Name)
+		}
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	p := OfficeHall()
+	g := BuildWalkGraph(p, OfficeHallAdjDist)
+
+	path, d, ok := g.ShortestPath(1, 1)
+	if !ok || d != 0 || len(path) != 1 || path[0] != 1 {
+		t.Errorf("trivial path = %v, %v, %v", path, d, ok)
+	}
+
+	path, d, ok = g.ShortestPath(1, 3)
+	if !ok {
+		t.Fatal("no path 1->3")
+	}
+	want := []int{1, 2, 3}
+	if len(path) != 3 || path[0] != 1 || path[1] != 2 || path[2] != 3 {
+		t.Errorf("path 1->3 = %v, want %v", path, want)
+	}
+	if math.Abs(d-2*5.6667) > 1e-3 {
+		t.Errorf("dist 1->3 = %v", d)
+	}
+
+	// Path around the partition: 10 -> 17 cannot be direct; the shortest
+	// detour goes through a horizontal neighbor (length 4 + 5.67 + 4... or
+	// via 9/11 and 16/18). It must exceed the straight-line 4 m.
+	path, d, ok = g.ShortestPath(10, 17)
+	if !ok {
+		t.Fatal("no path 10->17")
+	}
+	if len(path) < 3 {
+		t.Errorf("10->17 should detour, path = %v", path)
+	}
+	if d <= p.LocDist(10, 17) {
+		t.Errorf("walk dist %v should exceed straight-line %v", d, p.LocDist(10, 17))
+	}
+
+	// Out-of-range nodes.
+	if _, _, ok := g.ShortestPath(0, 5); ok {
+		t.Error("node 0 should be rejected")
+	}
+	if _, _, ok := g.ShortestPath(1, 99); ok {
+		t.Error("node 99 should be rejected")
+	}
+}
+
+func TestShortestPathOptimality(t *testing.T) {
+	// Dijkstra distance never exceeds any explicitly summed route, and is
+	// at least the straight-line distance.
+	p := OfficeHall()
+	g := BuildWalkGraph(p, OfficeHallAdjDist)
+	for i := 1; i <= 28; i++ {
+		for j := i + 1; j <= 28; j++ {
+			d, err := g.WalkDist(i, j)
+			if err != nil {
+				t.Fatalf("WalkDist(%d,%d): %v", i, j, err)
+			}
+			if d+1e-9 < p.LocDist(i, j) {
+				t.Errorf("walk dist %d-%d = %v below straight-line %v", i, j, d, p.LocDist(i, j))
+			}
+		}
+	}
+}
+
+func TestGroundTruthRLM(t *testing.T) {
+	p := OfficeHall()
+	// Location 8 is directly south of 1: bearing from 1 to 8 is 180, and
+	// from 8 to 1 is 0 (north).
+	dir, off := GroundTruthRLM(p, 1, 8)
+	if math.Abs(dir-180) > 1e-9 || math.Abs(off-4) > 1e-9 {
+		t.Errorf("RLM(1,8) = (%v, %v), want (180, 4)", dir, off)
+	}
+	dir, _ = GroundTruthRLM(p, 8, 1)
+	if math.Abs(dir-0) > 1e-9 {
+		t.Errorf("RLM(8,1) dir = %v, want 0", dir)
+	}
+	// Location 2 is directly east of 1.
+	dir, off = GroundTruthRLM(p, 1, 2)
+	if math.Abs(dir-90) > 1e-9 || math.Abs(off-5.6667) > 1e-3 {
+		t.Errorf("RLM(1,2) = (%v, %v), want (90, 5.6667)", dir, off)
+	}
+}
+
+func TestNumEdges(t *testing.T) {
+	p := OfficeHall()
+	g := BuildWalkGraph(p, OfficeHallAdjDist)
+	// A full 7x4 grid has 7*3 vertical + 6*4 horizontal = 45 edges; the
+	// partition removes one.
+	if got := g.NumEdges(); got != 44 {
+		t.Errorf("NumEdges = %d, want 44", got)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	p := OfficeHall()
+	s := RenderASCII(p, 1)
+	if len(s) == 0 {
+		t.Fatal("empty rendering")
+	}
+	for _, ch := range []string{"#", "A", "o"} {
+		if !containsStr(s, ch) {
+			t.Errorf("rendering missing %q", ch)
+		}
+	}
+	// Degenerate cell size falls back to 1 m.
+	if got := RenderASCII(p, 0); len(got) == 0 {
+		t.Error("zero cell size should still render")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	p := OfficeHall()
+	if err := SaveJSON(p, path); err != nil {
+		t.Fatalf("SaveJSON: %v", err)
+	}
+	q, err := LoadJSON(path)
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if q.Name != p.Name || q.NumLocs() != p.NumLocs() || len(q.APs) != len(p.APs) {
+		t.Error("round trip lost data")
+	}
+	if q.LocPos(13) != p.LocPos(13) {
+		t.Error("round trip moved a reference location")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestMustValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustValidate should panic on invalid plan")
+		}
+	}()
+	MustValidate(&Plan{Width: -1, Height: 1})
+}
+
+func TestGrid(t *testing.T) {
+	o := GridOptions{Cols: 10, Rows: 6, SpacingX: 5, SpacingY: 4, Margin: 3, APs: 9}
+	p, err := Grid(o)
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if p.NumLocs() != 60 || len(p.APs) != 9 {
+		t.Fatalf("dims: %d locs, %d APs", p.NumLocs(), len(p.APs))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Row-major from the top: ID 1 north-west of the last ID.
+	if p.LocPos(1).Y <= p.LocPos(60).Y {
+		t.Error("ID 1 should be north of the last location")
+	}
+	g := BuildWalkGraph(p, GridAdjDist(o))
+	if !g.Connected() {
+		t.Fatal("grid graph must be connected")
+	}
+	// Interior degree 4, corner degree 2.
+	if d := g.Degree(1); d != 2 {
+		t.Errorf("corner degree = %d, want 2", d)
+	}
+	if d := g.Degree(12); d != 4 {
+		t.Errorf("interior degree = %d, want 4", d)
+	}
+	wantEdges := 10*5 + 6*9 // horizontal + vertical
+	if g.NumEdges() != wantEdges {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	bad := []GridOptions{
+		{Cols: 1, Rows: 5, SpacingX: 5, SpacingY: 4, Margin: 2, APs: 4},
+		{Cols: 5, Rows: 5, SpacingX: 0, SpacingY: 4, Margin: 2, APs: 4},
+		{Cols: 5, Rows: 5, SpacingX: 5, SpacingY: 4, Margin: 0, APs: 4},
+		{Cols: 5, Rows: 5, SpacingX: 5, SpacingY: 4, Margin: 2, APs: 0},
+	}
+	for i, o := range bad {
+		if _, err := Grid(o); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moloc/internal/geom"
+)
+
+// TestGridGraphProperties checks walk-graph invariants over randomly
+// shaped grids: symmetry, connectivity, and the triangle inequality of
+// walkable distances.
+func TestGridGraphProperties(t *testing.T) {
+	f := func(colsRaw, rowsRaw uint8, sxRaw, syRaw float64) bool {
+		cols := 2 + int(colsRaw%6)
+		rows := 2 + int(rowsRaw%4)
+		sx := 3 + math.Abs(math.Mod(sxRaw, 4))
+		sy := 3 + math.Abs(math.Mod(syRaw, 3))
+		o := GridOptions{Cols: cols, Rows: rows, SpacingX: sx, SpacingY: sy, Margin: 2, APs: 4}
+		p, err := Grid(o)
+		if err != nil {
+			return false
+		}
+		g := BuildWalkGraph(p, GridAdjDist(o))
+		if !g.Connected() {
+			return false
+		}
+		// Symmetry of adjacency.
+		for i := 1; i <= p.NumLocs(); i++ {
+			for _, e := range g.Neighbors(i) {
+				if !g.Adjacent(e.To, i) {
+					return false
+				}
+			}
+		}
+		// Triangle inequality on a few node triples.
+		n := p.NumLocs()
+		triples := [][3]int{{1, n / 2, n}, {1, 2, n}, {n / 3, n / 2, n}}
+		for _, tr := range triples {
+			a, b, c := tr[0], tr[1], tr[2]
+			if a < 1 || b < 1 || c < 1 || a == b || b == c {
+				continue
+			}
+			dab, err1 := g.WalkDist(a, b)
+			dbc, err2 := g.WalkDist(b, c)
+			dac, err3 := g.WalkDist(a, c)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return false
+			}
+			if dac > dab+dbc+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWalkDistSymmetric checks d(i,j) == d(j,i) on the office hall.
+func TestWalkDistSymmetric(t *testing.T) {
+	p := OfficeHall()
+	g := BuildWalkGraph(p, OfficeHallAdjDist)
+	for i := 1; i <= 28; i += 3 {
+		for j := 2; j <= 28; j += 5 {
+			if i == j {
+				continue
+			}
+			dij, err1 := g.WalkDist(i, j)
+			dji, err2 := g.WalkDist(j, i)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("WalkDist(%d,%d): %v %v", i, j, err1, err2)
+			}
+			if math.Abs(dij-dji) > 1e-9 {
+				t.Errorf("asymmetric walk distance %d-%d: %v vs %v", i, j, dij, dji)
+			}
+		}
+	}
+}
+
+// TestNearestLocIsNearest cross-checks NearestLoc against brute force
+// over random probe points.
+func TestNearestLocIsNearest(t *testing.T) {
+	p := OfficeHall()
+	f := func(xRaw, yRaw float64) bool {
+		pt := geom.Pt(
+			math.Abs(math.Mod(xRaw, p.Width)),
+			math.Abs(math.Mod(yRaw, p.Height)))
+		got := p.NearestLoc(pt)
+		best := p.LocPos(got).Dist(pt)
+		for id := 1; id <= p.NumLocs(); id++ {
+			if p.LocPos(id).Dist(pt) < best-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWallsBetweenSymmetric verifies the RF wall count does not depend
+// on direction.
+func TestWallsBetweenSymmetric(t *testing.T) {
+	p := Museum()
+	f := func(ax, ay, bx, by float64) bool {
+		a := geom.Pt(math.Abs(math.Mod(ax, p.Width)), math.Abs(math.Mod(ay, p.Height)))
+		b := geom.Pt(math.Abs(math.Mod(bx, p.Width)), math.Abs(math.Mod(by, p.Height)))
+		return p.WallsBetween(a, b) == p.WallsBetween(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

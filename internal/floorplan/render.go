@@ -1,0 +1,84 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"moloc/internal/geom"
+)
+
+// RenderASCII draws the plan as a text grid, one character per cell of
+// the given size in meters: '#' walls, 'o' obstacles, 'A' access points,
+// and the last digit of each reference location ID. It is used by the
+// floorview command and by debugging sessions.
+func RenderASCII(p *Plan, cellMeters float64) string {
+	if cellMeters <= 0 {
+		cellMeters = 1
+	}
+	cols := int(p.Width/cellMeters) + 1
+	rows := int(p.Height/cellMeters) + 1
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(".", cols))
+	}
+	put := func(pt geom.Point, ch byte) {
+		c := int(pt.X / cellMeters)
+		r := rows - 1 - int(pt.Y/cellMeters)
+		if r >= 0 && r < rows && c >= 0 && c < cols {
+			grid[r][c] = ch
+		}
+	}
+	for _, w := range p.Walls {
+		steps := int(w.Len()/cellMeters*2) + 1
+		for i := 0; i <= steps; i++ {
+			put(w.A.Lerp(w.B, float64(i)/float64(steps)), '#')
+		}
+	}
+	for _, o := range p.Obstacles {
+		put(o.Center(), 'o')
+	}
+	for _, rl := range p.RefLocs {
+		put(rl.Pos, byte('0'+rl.ID%10))
+	}
+	for _, ap := range p.APs {
+		put(ap.Pos, 'A')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%.1fm x %.1fm, %d locations, %d APs)\n",
+		p.Name, p.Width, p.Height, len(p.RefLocs), len(p.APs))
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SaveJSON writes the plan to a JSON file.
+func SaveJSON(p *Plan, path string) error {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("floorplan: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("floorplan: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadJSON reads a plan from a JSON file and validates it.
+func LoadJSON(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("floorplan: read %s: %w", path, err)
+	}
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("floorplan: parse %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

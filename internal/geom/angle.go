@@ -1,0 +1,51 @@
+package geom
+
+import "math"
+
+// NormalizeDeg maps an angle in degrees to the range [0, 360).
+func NormalizeDeg(d float64) float64 {
+	d = math.Mod(d, 360)
+	if d < 0 {
+		d += 360
+	}
+	// math.Mod can return -0; the addition above leaves 360 when d was a
+	// tiny negative value that rounded up.
+	if d >= 360 {
+		d -= 360
+	}
+	return d
+}
+
+// AngleDiff returns the signed minimal difference a-b in degrees,
+// normalized to [-180, 180).
+func AngleDiff(a, b float64) float64 {
+	// Normalize the operands first so the subtraction cannot overflow for
+	// extreme inputs.
+	d := math.Mod(NormalizeDeg(a)-NormalizeDeg(b), 360)
+	if d < -180 {
+		d += 360
+	}
+	if d >= 180 {
+		d -= 360
+	}
+	return d
+}
+
+// AbsAngleDiff returns the magnitude of the minimal angular difference
+// between a and b, in [0, 180].
+func AbsAngleDiff(a, b float64) float64 {
+	return math.Abs(AngleDiff(a, b))
+}
+
+// MirrorBearing reverses a compass bearing: d + 180° mod 360°.
+// The paper uses this to reassemble RLMs under the mutual-reachability
+// assumption (Sec. IV-B2).
+func MirrorBearing(d float64) float64 {
+	return NormalizeDeg(d + 180)
+}
+
+// DegToRad converts degrees to radians.
+func DegToRad(d float64) float64 { return d * math.Pi / 180 }
+
+// RadToDeg converts radians to degrees.
+func RadToDeg(r float64) float64 { return r * 180 / math.Pi }

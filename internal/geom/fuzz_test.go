@@ -1,0 +1,65 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzNormalizeDeg hardens the angle normalizer against arbitrary
+// floats: the result is always in [0, 360) for finite input, and the
+// function never panics.
+func FuzzNormalizeDeg(f *testing.F) {
+	for _, seed := range []float64{0, -0.0, 360, -360, 1e308, -1e308, 359.9999999} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, d float64) {
+		got := NormalizeDeg(d)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return // garbage in, anything out — just must not panic
+		}
+		if got < 0 || got >= 360 {
+			t.Fatalf("NormalizeDeg(%v) = %v out of [0,360)", d, got)
+		}
+	})
+}
+
+// FuzzAngleDiff checks the difference stays in [-180, 180) and is
+// antisymmetric for finite inputs.
+func FuzzAngleDiff(f *testing.F) {
+	f.Add(10.0, 350.0)
+	f.Add(-720.0, 720.0)
+	f.Add(179.9999, -179.9999)
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return
+		}
+		d := AngleDiff(a, b)
+		if d < -180 || d >= 180 {
+			t.Fatalf("AngleDiff(%v,%v) = %v out of range", a, b, d)
+		}
+		// Antisymmetry up to the -180 edge case.
+		rev := AngleDiff(b, a)
+		if math.Abs(d) != 180 && math.Abs(d+rev) > 1e-6 {
+			t.Fatalf("AngleDiff not antisymmetric: %v vs %v", d, rev)
+		}
+	})
+}
+
+// FuzzSegmentIntersects checks the intersection predicate is symmetric
+// and never panics on arbitrary coordinates.
+func FuzzSegmentIntersects(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, dx, dy float64) {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy, dx, dy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		s := Seg(Pt(ax, ay), Pt(bx, by))
+		u := Seg(Pt(cx, cy), Pt(dx, dy))
+		if s.Intersects(u) != u.Intersects(s) {
+			t.Fatalf("asymmetric intersection for %v and %v", s, u)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package geom provides the 2-D geometric primitives used throughout the
+// MoLoc reproduction: points, segments, rectangles, bearings in compass
+// convention, and the intersection tests needed for line-of-sight and
+// wall-counting queries.
+//
+// Coordinate convention: X grows to the east, Y grows to the north.
+// Bearings are measured in degrees clockwise from north, matching the
+// digital-compass readings the paper relies on (0° = north, 90° = east).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the floor plan, in meters.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by the vector v.
+func (p Point) Add(v Vec) Point { return Point{X: p.X + v.DX, Y: p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{DX: p.X - q.X, DY: p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// BearingTo returns the compass bearing from p to q in degrees,
+// clockwise from north, normalized to [0, 360).
+func (p Point) BearingTo(q Point) float64 {
+	// atan2 argument order encodes the compass convention: the angle is
+	// measured from the +Y (north) axis toward +X (east).
+	return NormalizeDeg(math.Atan2(q.X-p.X, q.Y-p.Y) * 180 / math.Pi)
+}
+
+// Lerp returns the point a fraction t of the way from p to q.
+// t = 0 yields p, t = 1 yields q; t outside [0, 1] extrapolates.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{X: p.X + (q.X-p.X)*t, Y: p.Y + (q.Y-p.Y)*t}
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Vec is a displacement in meters.
+type Vec struct {
+	DX float64 `json:"dx"`
+	DY float64 `json:"dy"`
+}
+
+// FromBearing builds the unit displacement for a compass bearing in
+// degrees, scaled to the given length in meters.
+func FromBearing(bearingDeg, length float64) Vec {
+	rad := bearingDeg * math.Pi / 180
+	return Vec{DX: length * math.Sin(rad), DY: length * math.Cos(rad)}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec) Len() float64 { return math.Hypot(v.DX, v.DY) }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{DX: v.DX * s, DY: v.DY * s} }
+
+// Bearing returns the compass bearing of v in degrees, in [0, 360).
+// The bearing of a zero vector is 0.
+func (v Vec) Bearing() float64 {
+	if v.DX == 0 && v.DY == 0 {
+		return 0
+	}
+	return NormalizeDeg(math.Atan2(v.DX, v.DY) * 180 / math.Pi)
+}
+
+// Segment is a straight wall or path segment between two points.
+type Segment struct {
+	A Point `json:"a"`
+	B Point `json:"b"`
+}
+
+// Seg is shorthand for constructing a Segment.
+func Seg(a, b Point) Segment { return Segment{A: a, B: b} }
+
+// Len returns the segment length.
+func (s Segment) Len() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the segment midpoint.
+func (s Segment) Midpoint() Point { return s.A.Lerp(s.B, 0.5) }
+
+// cross returns the z-component of (b-a) × (c-a).
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// onSegment reports whether point c, known to be collinear with segment
+// ab, lies within the segment's bounding box.
+func onSegment(a, b, c Point) bool {
+	return math.Min(a.X, b.X) <= c.X && c.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= c.Y && c.Y <= math.Max(a.Y, b.Y)
+}
+
+// Intersects reports whether segments s and t share at least one point,
+// including touching endpoints and collinear overlap.
+func (s Segment) Intersects(t Segment) bool {
+	d1 := cross(t.A, t.B, s.A)
+	d2 := cross(t.A, t.B, s.B)
+	d3 := cross(s.A, s.B, t.A)
+	d4 := cross(s.A, s.B, t.B)
+
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	switch {
+	case d1 == 0 && onSegment(t.A, t.B, s.A):
+		return true
+	case d2 == 0 && onSegment(t.A, t.B, s.B):
+		return true
+	case d3 == 0 && onSegment(s.A, s.B, t.A):
+		return true
+	case d4 == 0 && onSegment(s.A, s.B, t.B):
+		return true
+	}
+	return false
+}
+
+// DistToPoint returns the shortest distance from p to any point on s.
+func (s Segment) DistToPoint(p Point) float64 {
+	ab := s.B.Sub(s.A)
+	l2 := ab.DX*ab.DX + ab.DY*ab.DY
+	if l2 == 0 {
+		return p.Dist(s.A)
+	}
+	ap := p.Sub(s.A)
+	t := (ap.DX*ab.DX + ap.DY*ab.DY) / l2
+	t = math.Max(0, math.Min(1, t))
+	return p.Dist(s.A.Add(ab.Scale(t)))
+}
+
+// Rect is an axis-aligned rectangle, used for columns, shelves, and other
+// floor-plan obstacles.
+type Rect struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// RectAt builds a Rect from its center point and full width/height.
+func RectAt(center Point, w, h float64) Rect {
+	return Rect{
+		MinX: center.X - w/2, MinY: center.Y - h/2,
+		MaxX: center.X + w/2, MaxY: center.Y + h/2,
+	}
+}
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return r.MinX <= p.X && p.X <= r.MaxX && r.MinY <= p.Y && p.Y <= r.MaxY
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// Edges returns the four boundary segments of r.
+func (r Rect) Edges() [4]Segment {
+	a := Point{X: r.MinX, Y: r.MinY}
+	b := Point{X: r.MaxX, Y: r.MinY}
+	c := Point{X: r.MaxX, Y: r.MaxY}
+	d := Point{X: r.MinX, Y: r.MaxY}
+	return [4]Segment{Seg(a, b), Seg(b, c), Seg(c, d), Seg(d, a)}
+}
+
+// IntersectsSegment reports whether segment s crosses or touches r.
+func (r Rect) IntersectsSegment(s Segment) bool {
+	if r.Contains(s.A) || r.Contains(s.B) {
+		return true
+	}
+	for _, e := range r.Edges() {
+		if e.Intersects(s) {
+			return true
+		}
+	}
+	return false
+}

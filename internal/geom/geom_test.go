@@ -1,0 +1,258 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Pt(1, 2), Pt(1, 2), 0},
+		{"unit x", Pt(0, 0), Pt(1, 0), 1},
+		{"unit y", Pt(0, 0), Pt(0, 1), 1},
+		{"3-4-5", Pt(0, 0), Pt(3, 4), 5},
+		{"negative coords", Pt(-1, -1), Pt(2, 3), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); !almostEqual(got, tt.want, eps) {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBearingTo(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"north", Pt(0, 0), Pt(0, 1), 0},
+		{"east", Pt(0, 0), Pt(1, 0), 90},
+		{"south", Pt(0, 0), Pt(0, -1), 180},
+		{"west", Pt(0, 0), Pt(-1, 0), 270},
+		{"northeast", Pt(0, 0), Pt(1, 1), 45},
+		{"southwest", Pt(0, 0), Pt(-1, -1), 225},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.BearingTo(tt.q); !almostEqual(got, tt.want, eps) {
+				t.Errorf("BearingTo(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFromBearingRoundTrip(t *testing.T) {
+	// Walking from p along the bearing to q by the distance between them
+	// must land on q.
+	f := func(px, py, qx, qy float64) bool {
+		p := Pt(math.Mod(px, 100), math.Mod(py, 100))
+		q := Pt(math.Mod(qx, 100), math.Mod(qy, 100))
+		if p.Dist(q) < 1e-6 {
+			return true
+		}
+		got := p.Add(FromBearing(p.BearingTo(q), p.Dist(q)))
+		return got.Dist(q) < 1e-6*(1+p.Dist(q))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVecBearing(t *testing.T) {
+	if got := (Vec{DX: 0, DY: 0}).Bearing(); got != 0 {
+		t.Errorf("zero vector bearing = %v, want 0", got)
+	}
+	if got := (Vec{DX: 1, DY: 1}).Bearing(); !almostEqual(got, 45, eps) {
+		t.Errorf("(1,1) bearing = %v, want 45", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, 20)
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v, want %v", got, p)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v, want %v", got, q)
+	}
+	if got := p.Lerp(q, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v, want (5,10)", got)
+	}
+}
+
+func TestNormalizeDeg(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{0, 0}, {360, 0}, {720, 0}, {-360, 0},
+		{90, 90}, {-90, 270}, {450, 90}, {-450, 270},
+		{359.5, 359.5}, {-0.5, 359.5},
+	}
+	for _, tt := range tests {
+		if got := NormalizeDeg(tt.in); !almostEqual(got, tt.want, eps) {
+			t.Errorf("NormalizeDeg(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeDegRange(t *testing.T) {
+	f := func(d float64) bool {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return true
+		}
+		got := NormalizeDeg(d)
+		return got >= 0 && got < 360
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	tests := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0},
+		{10, 350, 20},
+		{350, 10, -20},
+		{180, 0, -180}, // -180 preferred over +180 by the [-180,180) range
+		{90, 270, -180},
+		{45, 44, 1},
+		{0, 359, 1},
+	}
+	for _, tt := range tests {
+		if got := AngleDiff(tt.a, tt.b); !almostEqual(got, tt.want, eps) {
+			t.Errorf("AngleDiff(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAngleDiffProperties(t *testing.T) {
+	// |AngleDiff| is symmetric and bounded by 180.
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		d := AngleDiff(a, b)
+		if d < -180 || d >= 180+eps {
+			return false
+		}
+		return almostEqual(AbsAngleDiff(a, b), AbsAngleDiff(b, a), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMirrorBearingInvolution(t *testing.T) {
+	// Mirroring twice must restore the original bearing.
+	f := func(d float64) bool {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return true
+		}
+		d = NormalizeDeg(d)
+		return almostEqual(MirrorBearing(MirrorBearing(d)), d, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if got := MirrorBearing(0); got != 180 {
+		t.Errorf("MirrorBearing(0) = %v, want 180", got)
+	}
+	if got := MirrorBearing(270); got != 90 {
+		t.Errorf("MirrorBearing(270) = %v, want 90", got)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{"crossing X", Seg(Pt(0, 0), Pt(2, 2)), Seg(Pt(0, 2), Pt(2, 0)), true},
+		{"parallel apart", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(0, 1), Pt(2, 1)), false},
+		{"touching endpoint", Seg(Pt(0, 0), Pt(1, 1)), Seg(Pt(1, 1), Pt(2, 0)), true},
+		{"collinear overlapping", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(3, 0)), true},
+		{"collinear disjoint", Seg(Pt(0, 0), Pt(1, 0)), Seg(Pt(2, 0), Pt(3, 0)), false},
+		{"T touch", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0), Pt(1, 1)), true},
+		{"near miss", Seg(Pt(0, 0), Pt(2, 0)), Seg(Pt(1, 0.01), Pt(1, 1)), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.Intersects(tt.u); got != tt.want {
+				t.Errorf("Intersects = %v, want %v", got, tt.want)
+			}
+			// Intersection is symmetric.
+			if got := tt.u.Intersects(tt.s); got != tt.want {
+				t.Errorf("Intersects (swapped) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(10, 0))
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"above middle", Pt(5, 3), 3},
+		{"beyond A", Pt(-3, 4), 5},
+		{"beyond B", Pt(13, 4), 5},
+		{"on segment", Pt(5, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.DistToPoint(tt.p); !almostEqual(got, tt.want, eps) {
+				t.Errorf("DistToPoint(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+	degenerate := Seg(Pt(1, 1), Pt(1, 1))
+	if got := degenerate.DistToPoint(Pt(4, 5)); !almostEqual(got, 5, eps) {
+		t.Errorf("degenerate DistToPoint = %v, want 5", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := RectAt(Pt(5, 5), 4, 2) // [3,7] x [4,6]
+	if !r.Contains(Pt(5, 5)) || !r.Contains(Pt(3, 4)) || r.Contains(Pt(2.9, 5)) {
+		t.Errorf("Contains misbehaves for %+v", r)
+	}
+	if got := r.Center(); got != Pt(5, 5) {
+		t.Errorf("Center = %v, want (5,5)", got)
+	}
+	if !r.IntersectsSegment(Seg(Pt(0, 5), Pt(10, 5))) {
+		t.Error("segment through rect should intersect")
+	}
+	if !r.IntersectsSegment(Seg(Pt(4, 4.5), Pt(6, 5.5))) {
+		t.Error("segment inside rect should intersect")
+	}
+	if r.IntersectsSegment(Seg(Pt(0, 0), Pt(10, 0))) {
+		t.Error("segment below rect should not intersect")
+	}
+}
+
+func TestSegmentLenMidpoint(t *testing.T) {
+	s := Seg(Pt(0, 0), Pt(6, 8))
+	if got := s.Len(); !almostEqual(got, 10, eps) {
+		t.Errorf("Len = %v, want 10", got)
+	}
+	if got := s.Midpoint(); got != Pt(3, 4) {
+		t.Errorf("Midpoint = %v, want (3,4)", got)
+	}
+}

@@ -1,0 +1,151 @@
+package localizer
+
+import (
+	"fmt"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+)
+
+// HMMConfig parameterizes the accelerometer-assisted hidden-Markov-model
+// baseline.
+type HMMConfig struct {
+	// StayProb is the self-transition probability when the
+	// accelerometer reports no walking.
+	StayProb float64
+	// MoveStayProb is the residual self-transition probability while
+	// walking (imperfect step detection).
+	MoveStayProb float64
+	// LeakProb is the probability mass spread over non-adjacent states,
+	// keeping the belief from collapsing to zero on estimation errors.
+	LeakProb float64
+}
+
+// NewHMMConfig returns reasonable defaults for the baseline.
+func NewHMMConfig() HMMConfig {
+	return HMMConfig{StayProb: 0.9, MoveStayProb: 0.05, LeakProb: 0.01}
+}
+
+// Validate rejects unusable HMM parameters.
+func (c HMMConfig) Validate() error {
+	for _, p := range []float64{c.StayProb, c.MoveStayProb, c.LeakProb} {
+		if p < 0 || p >= 1 {
+			return fmt.Errorf("localizer: HMM probabilities must be in [0,1), got %g", p)
+		}
+	}
+	return nil
+}
+
+// HMM is the accelerometer-assisted hidden-Markov-model baseline in the
+// spirit of Liu et al. [23] (paper Sec. II): states are the reference
+// locations, transitions follow the walk graph (gated by whether the
+// accelerometer says the user is walking), and emissions come from
+// fingerprint dissimilarities. The paper argues this design is "prone
+// to initial localization error intrinsic to HMM" — the belief recovers
+// slowly from a wrong start — which the convergence experiment
+// (Table I ablation) makes measurable.
+type HMM struct {
+	fdb    *fingerprint.DB
+	graph  *floorplan.WalkGraph
+	cfg    HMMConfig
+	belief []float64 // belief[i] is the probability of location i+1
+}
+
+var _ Localizer = (*HMM)(nil)
+
+// NewHMM builds the baseline over a radio map and the walk graph.
+func NewHMM(fdb *fingerprint.DB, graph *floorplan.WalkGraph, cfg HMMConfig) (*HMM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fdb.NumLocs() != graph.NumNodes() {
+		return nil, fmt.Errorf("localizer: fingerprint DB has %d locations, graph %d",
+			fdb.NumLocs(), graph.NumNodes())
+	}
+	return &HMM{fdb: fdb, graph: graph, cfg: cfg}, nil
+}
+
+// Name implements Localizer.
+func (h *HMM) Name() string { return "hmm" }
+
+// Reset implements Localizer: the belief returns to uniform.
+func (h *HMM) Reset() { h.belief = nil }
+
+// Localize implements Localizer: one forward-algorithm step (predict by
+// the transition model, update by the fingerprint emission) followed by
+// a MAP readout.
+func (h *HMM) Localize(obs Observation) int {
+	n := h.fdb.NumLocs()
+	if n == 0 {
+		return 0
+	}
+	if h.belief == nil {
+		h.belief = make([]float64, n)
+		for i := range h.belief {
+			h.belief[i] = 1 / float64(n)
+		}
+	}
+
+	// Predict: transition depends on whether the accelerometer reported
+	// walking during the interval.
+	moving := obs.Motion != nil
+	next := make([]float64, n)
+	for i := 0; i < n; i++ {
+		loc := i + 1
+		b := h.belief[i]
+		if b == 0 {
+			continue
+		}
+		stay := h.cfg.StayProb
+		if moving {
+			stay = h.cfg.MoveStayProb
+		}
+		neighbors := h.graph.Neighbors(loc)
+		spread := (1 - stay - h.cfg.LeakProb)
+		if len(neighbors) == 0 {
+			next[i] += b * (stay + spread)
+		} else {
+			next[i] += b * stay
+			per := spread / float64(len(neighbors))
+			for _, e := range neighbors {
+				next[e.To-1] += b * per
+			}
+		}
+		leakPer := h.cfg.LeakProb / float64(n)
+		for j := 0; j < n; j++ {
+			next[j] += b * leakPer
+		}
+	}
+
+	// Update: emission probabilities from fingerprint dissimilarities,
+	// the same inverse-dissimilarity weighting as Eq. 4 over all states.
+	cands := h.fdb.KNearest(obs.FP, n)
+	emit := make([]float64, n)
+	for _, c := range cands {
+		emit[c.Loc-1] = c.Prob
+	}
+	var norm float64
+	for i := range next {
+		next[i] *= emit[i]
+		norm += next[i]
+	}
+	if norm <= 0 {
+		// Degenerate update; keep the prediction.
+		norm = 0
+		for i := range next {
+			norm += next[i]
+		}
+		if norm <= 0 {
+			return h.fdb.Nearest(obs.FP)
+		}
+	}
+	bestLoc, bestP := 1, -1.0
+	for i := range next {
+		next[i] /= norm
+		if next[i] > bestP {
+			bestLoc, bestP = i+1, next[i]
+		}
+	}
+	h.belief = next
+	return bestLoc
+}

@@ -1,0 +1,330 @@
+// Package localizer implements the localization engines compared in the
+// paper: the WiFi fingerprinting baseline (nearest neighbor, Eq. 2),
+// MoLoc's motion-assisted candidate evaluation (Eq. 3–7), an
+// accelerometer-assisted HMM baseline in the spirit of Liu et al. [23],
+// and a dead-reckoning ablation that uses motion only.
+package localizer
+
+import (
+	"fmt"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+)
+
+// Observation is the input to one localization round: the RSS
+// fingerprint scanned at the end of the interval and, when the user was
+// walking, the relative location measurement extracted from the IMU
+// stream. Motion is nil for the first observation of a trace and for
+// intervals where the user stood still.
+type Observation struct {
+	FP     fingerprint.Fingerprint
+	Motion *motion.RLM
+}
+
+// Localizer estimates a reference-location ID per observation. Reset
+// clears per-trace state before a new trace begins.
+type Localizer interface {
+	Name() string
+	Localize(obs Observation) int
+	Reset()
+}
+
+// WiFiNN is the paper's baseline: nearest-neighbor fingerprinting with
+// no memory (Eq. 2).
+type WiFiNN struct {
+	db *fingerprint.DB
+}
+
+var _ Localizer = (*WiFiNN)(nil)
+
+// NewWiFiNN builds the baseline over a radio map.
+func NewWiFiNN(db *fingerprint.DB) *WiFiNN { return &WiFiNN{db: db} }
+
+// Name implements Localizer.
+func (w *WiFiNN) Name() string { return "wifi-nn" }
+
+// Localize implements Localizer.
+func (w *WiFiNN) Localize(obs Observation) int { return w.db.Nearest(obs.FP) }
+
+// Reset implements Localizer. The baseline is stateless.
+func (w *WiFiNN) Reset() {}
+
+// Config holds MoLoc's algorithm parameters.
+type Config struct {
+	// K is the candidate-set size (paper Sec. V-A).
+	K int
+	// Alpha is the direction discretization interval in degrees for
+	// Eq. 5 (20 in the paper, matching the motion DB's direction spread).
+	Alpha float64
+	// Beta is the offset discretization interval in meters (1 in the
+	// paper).
+	Beta float64
+	// UnreachableProb is the motion-matching probability assigned to a
+	// candidate pair with no motion-database entry (not adjacent, or
+	// never trained). A small non-zero value keeps the posterior from
+	// collapsing when the database is sparse.
+	UnreachableProb float64
+	// PriorBlend is the weight of the fused posterior in the retained
+	// candidate probabilities; the remaining mass comes from the fresh
+	// fingerprint probabilities (Eq. 4). 1 retains the pure posterior of
+	// Eq. 7. Values below 1 keep the tracker from locking onto a
+	// motion-consistent but wrong hypothesis: the grid's translational
+	// symmetry means a shifted track matches every subsequent motion
+	// measurement, and only fingerprint evidence can break the tie.
+	PriorBlend float64
+}
+
+// NewConfig returns the defaults: k = 8 candidates (the paper leaves k
+// unspecified; the candidate-k ablation favors 8 on the office hall),
+// and the paper's discretization intervals alpha = 20 degrees,
+// beta = 1 m.
+func NewConfig() Config {
+	return Config{K: 8, Alpha: 20, Beta: 1, UnreachableProb: 1e-5, PriorBlend: 1}
+}
+
+// Validate rejects unusable MoLoc parameters.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("localizer: K must be >= 1, got %d", c.K)
+	}
+	if c.Alpha <= 0 || c.Beta <= 0 {
+		return fmt.Errorf("localizer: discretization intervals must be positive")
+	}
+	if c.UnreachableProb < 0 {
+		return fmt.Errorf("localizer: UnreachableProb must be >= 0")
+	}
+	if c.PriorBlend < 0 || c.PriorBlend > 1 {
+		return fmt.Errorf("localizer: PriorBlend must be in [0,1], got %g", c.PriorBlend)
+	}
+	return nil
+}
+
+// MoLoc is the paper's motion-assisted localizer. It maintains the set
+// of location candidates from the previous interval with their
+// posterior probabilities; each new interval combines fingerprint
+// probabilities (Eq. 4) with motion-matching probabilities against the
+// motion database (Eq. 5–6) into the posterior of Eq. 7.
+type MoLoc struct {
+	src   fingerprint.CandidateSource
+	mdb   *motiondb.DB
+	cfg   Config
+	prior []fingerprint.Candidate
+}
+
+var _ Localizer = (*MoLoc)(nil)
+
+// NewMoLoc builds the localizer over a candidate source (the
+// deterministic radio map or the Horus-style Gaussian map — MoLoc is
+// agnostic to the fingerprint method) and a trained motion database.
+func NewMoLoc(src fingerprint.CandidateSource, mdb *motiondb.DB, cfg Config) (*MoLoc, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src.NumLocs() != mdb.NumLocs() {
+		return nil, fmt.Errorf("localizer: candidate source has %d locations, motion DB %d",
+			src.NumLocs(), mdb.NumLocs())
+	}
+	return &MoLoc{src: src, mdb: mdb, cfg: cfg}, nil
+}
+
+// Name implements Localizer.
+func (m *MoLoc) Name() string { return "moloc" }
+
+// Reset implements Localizer: it forgets the candidate set, as at the
+// start of a new trace.
+func (m *MoLoc) Reset() { m.prior = nil }
+
+// Candidates returns the current candidate set with posterior
+// probabilities, most probable first. The returned slice must not be
+// modified.
+func (m *MoLoc) Candidates() []fingerprint.Candidate { return m.prior }
+
+// Localize implements Localizer. The first observation of a trace (or
+// one without motion) is resolved by fingerprints alone; subsequent
+// observations are fused per Eq. 7 and the posterior is retained as the
+// next prior.
+func (m *MoLoc) Localize(obs Observation) int {
+	cands := m.src.Candidates(obs.FP, m.cfg.K)
+	if len(cands) == 0 {
+		return 0
+	}
+	if len(m.prior) == 0 || obs.Motion == nil {
+		m.prior = cands
+		return best(cands)
+	}
+
+	d, o := obs.Motion.Dir, obs.Motion.Off
+	posterior := make([]fingerprint.Candidate, len(cands))
+	var norm float64
+	for i, c := range cands {
+		// Eq. 6: total probability of reaching c.Loc from the prior
+		// candidate set through motion (d, o).
+		var pMotion float64
+		for _, prev := range m.prior {
+			p := m.cfg.UnreachableProb
+			if e, ok := m.mdb.Lookup(prev.Loc, c.Loc); ok {
+				p = e.Prob(d, o, m.cfg.Alpha, m.cfg.Beta)
+				if p < m.cfg.UnreachableProb {
+					p = m.cfg.UnreachableProb
+				}
+			}
+			pMotion += prev.Prob * p
+		}
+		// Eq. 7: fuse with the fingerprint probability.
+		posterior[i] = c
+		posterior[i].Prob = c.Prob * pMotion
+		norm += posterior[i].Prob
+	}
+	if norm <= 0 {
+		// Motion contradicts every candidate; fall back to fingerprints,
+		// as a fresh start.
+		m.prior = cands
+		return best(cands)
+	}
+	for i := range posterior {
+		posterior[i].Prob /= norm
+	}
+	// The estimate is the argmax of the pure Eq. 7 posterior.
+	ret := best(posterior)
+	// The retained prior blends the posterior with the fresh fingerprint
+	// probabilities (see Config.PriorBlend).
+	for i := range posterior {
+		posterior[i].Prob = m.cfg.PriorBlend*posterior[i].Prob +
+			(1-m.cfg.PriorBlend)*cands[i].Prob
+	}
+	sortByProb(posterior) // the evaluation "ranks these candidates"
+	m.prior = posterior
+	return ret
+}
+
+// best returns the location of the highest-probability candidate,
+// breaking ties toward lower dissimilarity.
+func best(cands []fingerprint.Candidate) int {
+	bi := 0
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Prob > cands[bi].Prob ||
+			(cands[i].Prob == cands[bi].Prob && cands[i].Dissim < cands[bi].Dissim) {
+			bi = i
+		}
+	}
+	return cands[bi].Loc
+}
+
+// DeadReckoning is an ablation localizer: after an initial fingerprint
+// fix, it tracks the user with motion matching only, ignoring all
+// subsequent fingerprints. It shows why MoLoc fuses both signals: pure
+// motion drifts as soon as one transition is misjudged.
+type DeadReckoning struct {
+	src   fingerprint.CandidateSource
+	mdb   *motiondb.DB
+	cfg   Config
+	prior []fingerprint.Candidate
+}
+
+var _ Localizer = (*DeadReckoning)(nil)
+
+// NewDeadReckoning builds the motion-only ablation localizer.
+func NewDeadReckoning(src fingerprint.CandidateSource, mdb *motiondb.DB, cfg Config) (*DeadReckoning, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &DeadReckoning{src: src, mdb: mdb, cfg: cfg}, nil
+}
+
+// Name implements Localizer.
+func (dr *DeadReckoning) Name() string { return "dead-reckoning" }
+
+// Reset implements Localizer.
+func (dr *DeadReckoning) Reset() { dr.prior = nil }
+
+// Localize implements Localizer.
+func (dr *DeadReckoning) Localize(obs Observation) int {
+	if len(dr.prior) == 0 || obs.Motion == nil {
+		dr.prior = dr.src.Candidates(obs.FP, dr.cfg.K)
+		if len(dr.prior) == 0 {
+			return 0
+		}
+		return best(dr.prior)
+	}
+	d, o := obs.Motion.Dir, obs.Motion.Off
+	n := dr.src.NumLocs()
+	posterior := make([]fingerprint.Candidate, 0, n)
+	var norm float64
+	for loc := 1; loc <= n; loc++ {
+		var pMotion float64
+		for _, prev := range dr.prior {
+			p := dr.cfg.UnreachableProb
+			if e, ok := dr.mdb.Lookup(prev.Loc, loc); ok {
+				p = e.Prob(d, o, dr.cfg.Alpha, dr.cfg.Beta)
+				if p < dr.cfg.UnreachableProb {
+					p = dr.cfg.UnreachableProb
+				}
+			}
+			pMotion += prev.Prob * p
+		}
+		if pMotion > 0 {
+			posterior = append(posterior, fingerprint.Candidate{Loc: loc, Prob: pMotion})
+			norm += pMotion
+		}
+	}
+	if norm <= 0 || len(posterior) == 0 {
+		return best(dr.prior)
+	}
+	for i := range posterior {
+		posterior[i].Prob /= norm
+	}
+	// Keep the K most probable to bound state like MoLoc does.
+	sortByProb(posterior)
+	if len(posterior) > dr.cfg.K {
+		posterior = posterior[:dr.cfg.K]
+		var s float64
+		for _, c := range posterior {
+			s += c.Prob
+		}
+		for i := range posterior {
+			posterior[i].Prob /= s
+		}
+	}
+	dr.prior = posterior
+	return best(dr.prior)
+}
+
+// sortByProb sorts candidates by descending probability, breaking ties
+// by ascending location ID. Insertion sort suffices: the slice holds at
+// most a few dozen candidates.
+func sortByProb(cs []fingerprint.Candidate) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0; j-- {
+			if cs[j].Prob > cs[j-1].Prob ||
+				(cs[j].Prob == cs[j-1].Prob && cs[j].Loc < cs[j-1].Loc) {
+				cs[j], cs[j-1] = cs[j-1], cs[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// Horus is the probabilistic-fingerprinting baseline in the style of
+// Youssef & Agrawala's Horus (MobiSys 2005), which the paper cites among
+// the RSS-fingerprinting systems MoLoc can sit on top of: stateless
+// maximum-likelihood location estimation over per-location Gaussians.
+type Horus struct {
+	gdb *fingerprint.GaussianDB
+}
+
+var _ Localizer = (*Horus)(nil)
+
+// NewHorus builds the baseline over a Gaussian radio map.
+func NewHorus(gdb *fingerprint.GaussianDB) *Horus { return &Horus{gdb: gdb} }
+
+// Name implements Localizer.
+func (h *Horus) Name() string { return "horus" }
+
+// Localize implements Localizer.
+func (h *Horus) Localize(obs Observation) int { return h.gdb.MostLikely(obs.FP) }
+
+// Reset implements Localizer. The baseline is stateless.
+func (h *Horus) Reset() {}

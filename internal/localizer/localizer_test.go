@@ -1,0 +1,352 @@
+package localizer
+
+import (
+	"testing"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+)
+
+// twinFixture builds the Fig. 1 scenario as data: three locations where
+// 2 and 3 are fingerprint twins (nearly identical radio-map vectors)
+// and 1 is unique. The motion database knows that 2 lies east of 1 and
+// 3 lies west of 1, both 4 m away.
+type twinFixture struct {
+	fdb *fingerprint.DB
+	mdb *motiondb.DB
+}
+
+func newTwinFixture(t *testing.T) twinFixture {
+	t.Helper()
+	samples := [][]fingerprint.Fingerprint{
+		{{-40, -70}},     // loc 1: unique
+		{{-60, -55}},     // loc 2: twin A
+		{{-60.5, -55.5}}, // loc 3: twin B, nearly identical to 2
+	}
+	fdb, err := fingerprint.NewDB(fingerprint.Euclidean{}, 2, samples)
+	if err != nil {
+		t.Fatalf("NewDB: %v", err)
+	}
+	mdb := motiondb.New(3)
+	mdb.Set(1, 2, motiondb.Entry{MeanDir: 90, StdDir: 6, MeanOff: 4, StdOff: 0.25, N: 20})
+	mdb.Set(1, 3, motiondb.Entry{MeanDir: 270, StdDir: 6, MeanOff: 4, StdOff: 0.25, N: 20})
+	mdb.Set(2, 3, motiondb.Entry{MeanDir: 270, StdDir: 6, MeanOff: 8, StdOff: 0.4, N: 20})
+	return twinFixture{fdb: fdb, mdb: mdb}
+}
+
+func newMoLoc(t *testing.T, fx twinFixture, cfg Config) *MoLoc {
+	t.Helper()
+	m, err := NewMoLoc(fx.fdb, fx.mdb, cfg)
+	if err != nil {
+		t.Fatalf("NewMoLoc: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := NewConfig().Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.K = 0 },
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Beta = -1 },
+		func(c *Config) { c.UnreachableProb = -1 },
+	}
+	for i, mutate := range bad {
+		c := NewConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestNewMoLocRejectsMismatch(t *testing.T) {
+	fx := newTwinFixture(t)
+	if _, err := NewMoLoc(fx.fdb, motiondb.New(5), NewConfig()); err == nil {
+		t.Error("location-count mismatch should be rejected")
+	}
+	badCfg := NewConfig()
+	badCfg.K = 0
+	if _, err := NewMoLoc(fx.fdb, fx.mdb, badCfg); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func TestWiFiNN(t *testing.T) {
+	fx := newTwinFixture(t)
+	w := NewWiFiNN(fx.fdb)
+	if w.Name() != "wifi-nn" {
+		t.Errorf("name = %s", w.Name())
+	}
+	if got := w.Localize(Observation{FP: fingerprint.Fingerprint{-41, -69}}); got != 1 {
+		t.Errorf("NN = %d, want 1", got)
+	}
+	w.Reset() // stateless no-op must not panic
+}
+
+// TestTwinsResolvedByMotion reproduces Fig. 1(b): a correct initial fix
+// at location 1, then motion heading east. The new fingerprint is
+// deliberately closer to twin 3 (so plain NN errs), but the motion
+// database makes MoLoc pick 2.
+func TestTwinsResolvedByMotion(t *testing.T) {
+	fx := newTwinFixture(t)
+	m := newMoLoc(t, fx, NewConfig())
+
+	// Interval 1: clear fingerprint at location 1.
+	first := m.Localize(Observation{FP: fingerprint.Fingerprint{-40.5, -69.5}})
+	if first != 1 {
+		t.Fatalf("initial estimate = %d, want 1", first)
+	}
+
+	// Interval 2: ambiguous fingerprint, marginally closer to twin 3.
+	ambiguous := fingerprint.Fingerprint{-60.4, -55.4}
+	nn := NewWiFiNN(fx.fdb).Localize(Observation{FP: ambiguous})
+	if nn != 3 {
+		t.Fatalf("fixture broken: NN = %d, want the wrong twin 3", nn)
+	}
+	got := m.Localize(Observation{
+		FP:     ambiguous,
+		Motion: &motion.RLM{Dir: 92, Off: 3.9}, // walked east ~4 m
+	})
+	if got != 2 {
+		t.Errorf("MoLoc = %d, want 2 (twin resolved by motion)", got)
+	}
+}
+
+// TestTwinsResolvedDespiteWrongStart reproduces Fig. 1(c): the initial
+// fingerprint is itself ambiguous and the wrong twin is returned, but
+// because all candidates are retained, the next motion-matched interval
+// still recovers the correct location.
+func TestTwinsResolvedDespiteWrongStart(t *testing.T) {
+	fx := newTwinFixture(t)
+	m := newMoLoc(t, fx, NewConfig())
+
+	// Interval 1: ambiguous between 2 and 3, slightly favoring 3
+	// (the wrong one; ground truth is 2).
+	first := m.Localize(Observation{FP: fingerprint.Fingerprint{-60.4, -55.4}})
+	if first != 3 {
+		t.Fatalf("setup: initial estimate = %d, want the wrong twin 3", first)
+	}
+	// Both twins must be retained as candidates.
+	cands := m.Candidates()
+	found := map[int]bool{}
+	for _, c := range cands {
+		found[c.Loc] = true
+	}
+	if !found[2] || !found[3] {
+		t.Fatalf("candidates %v should retain both twins", cands)
+	}
+
+	// Interval 2: ground truth is that she was at 2 and now walks west
+	// 8 m to 3 (the 2->3 motion signature: dir 270, off 8). Of the
+	// retained candidates {2, 3}, only starting from 2 explains that
+	// motion, so the ambiguous new fingerprint resolves to 3 — correctly
+	// this time, despite the wrong initial estimate.
+	got := m.Localize(Observation{
+		FP:     fingerprint.Fingerprint{-60.2, -55.3},
+		Motion: &motion.RLM{Dir: 268, Off: 8.1},
+	})
+	if got != 3 {
+		t.Errorf("MoLoc = %d, want 3 (transition disambiguates)", got)
+	}
+	// The surviving belief should now be concentrated on 3.
+	cands = m.Candidates()
+	if cands[0].Loc != 3 || cands[0].Prob < 0.6 {
+		t.Errorf("posterior %v should concentrate on 3", cands)
+	}
+}
+
+func TestMoLocFallsBackWithoutMotion(t *testing.T) {
+	fx := newTwinFixture(t)
+	m := newMoLoc(t, fx, NewConfig())
+	m.Localize(Observation{FP: fingerprint.Fingerprint{-40, -70}})
+	// Second interval without motion: pure fingerprint decision.
+	got := m.Localize(Observation{FP: fingerprint.Fingerprint{-60.4, -55.4}})
+	if got != 3 {
+		t.Errorf("no-motion estimate = %d, want NN result 3", got)
+	}
+}
+
+func TestMoLocReset(t *testing.T) {
+	fx := newTwinFixture(t)
+	m := newMoLoc(t, fx, NewConfig())
+	m.Localize(Observation{FP: fingerprint.Fingerprint{-40, -70}})
+	if len(m.Candidates()) == 0 {
+		t.Fatal("candidates expected after a fix")
+	}
+	m.Reset()
+	if len(m.Candidates()) != 0 {
+		t.Error("Reset should clear candidates")
+	}
+}
+
+func TestMoLocMotionContradictsEverything(t *testing.T) {
+	fx := newTwinFixture(t)
+	cfg := NewConfig()
+	cfg.UnreachableProb = 0 // force the all-zero fallback path
+	m := newMoLoc(t, fx, cfg)
+	m.Localize(Observation{FP: fingerprint.Fingerprint{-40, -70}})
+	// Motion that matches no DB entry at all: direction north, offset 20.
+	got := m.Localize(Observation{
+		FP:     fingerprint.Fingerprint{-60.4, -55.4},
+		Motion: &motion.RLM{Dir: 0, Off: 20},
+	})
+	if got != 3 {
+		t.Errorf("contradicted motion should fall back to NN: got %d", got)
+	}
+}
+
+func TestMoLocPosteriorNormalized(t *testing.T) {
+	fx := newTwinFixture(t)
+	m := newMoLoc(t, fx, NewConfig())
+	m.Localize(Observation{FP: fingerprint.Fingerprint{-40.5, -69.5}})
+	m.Localize(Observation{
+		FP:     fingerprint.Fingerprint{-60.4, -55.4},
+		Motion: &motion.RLM{Dir: 90, Off: 4},
+	})
+	var sum float64
+	for _, c := range m.Candidates() {
+		if c.Prob < 0 || c.Prob > 1 {
+			t.Errorf("probability %v out of range", c.Prob)
+		}
+		sum += c.Prob
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("posterior sums to %v", sum)
+	}
+}
+
+func TestDeadReckoningTracksWithoutFingerprints(t *testing.T) {
+	fx := newTwinFixture(t)
+	dr, err := NewDeadReckoning(fx.fdb, fx.mdb, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Name() != "dead-reckoning" {
+		t.Errorf("name = %s", dr.Name())
+	}
+	// Initial fix at 1 by fingerprint.
+	if got := dr.Localize(Observation{FP: fingerprint.Fingerprint{-40.2, -69.8}}); got != 1 {
+		t.Fatalf("initial = %d, want 1", got)
+	}
+	// Walk east 4 m: must move to 2 even with a junk fingerprint.
+	junk := fingerprint.Fingerprint{-60.4, -55.4}
+	if got := dr.Localize(Observation{FP: junk, Motion: &motion.RLM{Dir: 90, Off: 4}}); got != 2 {
+		t.Errorf("after east walk = %d, want 2", got)
+	}
+	// Walk west 8 m: 2 -> 3.
+	if got := dr.Localize(Observation{FP: junk, Motion: &motion.RLM{Dir: 270, Off: 8}}); got != 3 {
+		t.Errorf("after west walk = %d, want 3", got)
+	}
+	dr.Reset()
+	if got := dr.Localize(Observation{FP: fingerprint.Fingerprint{-40.2, -69.8}}); got != 1 {
+		t.Errorf("after reset = %d, want fingerprint fix 1", got)
+	}
+}
+
+func TestHMMBasics(t *testing.T) {
+	// Build an HMM over the office hall with a synthetic radio map where
+	// each location's fingerprint is unique.
+	plan := floorplan.OfficeHall()
+	graph := floorplan.BuildWalkGraph(plan, floorplan.OfficeHallAdjDist)
+	samples := make([][]fingerprint.Fingerprint, plan.NumLocs())
+	for i := range samples {
+		// Distinct two-dimensional fingerprints on a line.
+		samples[i] = []fingerprint.Fingerprint{{-30 - float64(i)*2, -90 + float64(i)*2}}
+	}
+	fdb, err := fingerprint.NewDB(fingerprint.Euclidean{}, 2, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHMM(fdb, graph, NewHMMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "hmm" {
+		t.Errorf("name = %s", h.Name())
+	}
+	// A clear fingerprint for location 5 should win immediately.
+	got := h.Localize(Observation{FP: samples[4][0].Clone()})
+	if got != 5 {
+		t.Errorf("HMM first fix = %d, want 5", got)
+	}
+	// Walking to a neighbor with its clear fingerprint follows.
+	got = h.Localize(Observation{
+		FP:     samples[5][0].Clone(),
+		Motion: &motion.RLM{Dir: 90, Off: 5.7},
+	})
+	if got != 6 {
+		t.Errorf("HMM tracked = %d, want 6", got)
+	}
+	h.Reset()
+	if h.belief != nil {
+		t.Error("Reset should clear the belief")
+	}
+}
+
+func TestHMMConfigValidate(t *testing.T) {
+	if err := NewHMMConfig().Validate(); err != nil {
+		t.Errorf("defaults: %v", err)
+	}
+	c := NewHMMConfig()
+	c.StayProb = 1
+	if err := c.Validate(); err == nil {
+		t.Error("StayProb=1 should fail")
+	}
+	plan := floorplan.OfficeHall()
+	graph := floorplan.BuildWalkGraph(plan, floorplan.OfficeHallAdjDist)
+	fx := newTwinFixture(t)
+	if _, err := NewHMM(fx.fdb, graph, NewHMMConfig()); err == nil {
+		t.Error("size mismatch should be rejected")
+	}
+}
+
+func TestHMMSlowRecoveryVersusMoLoc(t *testing.T) {
+	// The paper's critique: from a wrong initial belief the HMM recovers
+	// slowly because the transition model throttles belief movement,
+	// while MoLoc's candidate set re-seeds from fingerprints every
+	// interval. Construct a wrong-start sequence and count how long each
+	// takes to lock on.
+	fx := newTwinFixture(t)
+	plan := &floorplan.Plan{Width: 20, Height: 10,
+		RefLocs: []floorplan.RefLoc{
+			{ID: 1, Pos: plan3Pos(0)}, {ID: 2, Pos: plan3Pos(1)}, {ID: 3, Pos: plan3Pos(2)},
+		}}
+	graph := floorplan.BuildWalkGraph(plan, 100)
+	h, err := NewHMM(fx.fdb, graph, NewHMMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMoLoc(t, fx, NewConfig())
+
+	// Ground truth: user sits at 2's twin-ambiguous fingerprint, then
+	// walks 2 -> 3 (dir 270, off 8), then stays near 3's fingerprint.
+	obs := []Observation{
+		{FP: fingerprint.Fingerprint{-60.4, -55.4}},                                        // ambiguous
+		{FP: fingerprint.Fingerprint{-60.3, -55.2}, Motion: &motion.RLM{Dir: 270, Off: 8}}, // 2->3
+	}
+	truth := []int{2, 3}
+	molocRight, hmmRight := 0, 0
+	for i, o := range obs {
+		if m.Localize(o) == truth[i] {
+			molocRight++
+		}
+		if h.Localize(o) == truth[i] {
+			hmmRight++
+		}
+	}
+	if molocRight < hmmRight {
+		t.Errorf("MoLoc (%d right) should not trail HMM (%d right) on twin recovery",
+			molocRight, hmmRight)
+	}
+}
+
+// plan3Pos places three locations 4 m apart on a line.
+func plan3Pos(i int) geom.Point {
+	return geom.Pt(4+float64(i)*4, 5)
+}

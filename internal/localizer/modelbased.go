@@ -1,0 +1,178 @@
+package localizer
+
+import (
+	"fmt"
+	"math"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+)
+
+// ModelBasedConfig parameterizes the RSS-modeling baseline.
+type ModelBasedConfig struct {
+	// Missing is the RSS value marking an undetected AP
+	// (rf.NotDetected).
+	Missing float64
+	// GridStep is the position-search resolution in meters.
+	GridStep float64
+	// MinAPs is the minimum number of audible APs required for a fix;
+	// with fewer, the localizer falls back to the strongest AP's
+	// position.
+	MinAPs int
+}
+
+// NewModelBasedConfig returns defaults.
+func NewModelBasedConfig() ModelBasedConfig {
+	return ModelBasedConfig{Missing: -100, GridStep: 1, MinAPs: 3}
+}
+
+// Validate rejects unusable configuration.
+func (c ModelBasedConfig) Validate() error {
+	if c.GridStep <= 0 {
+		return fmt.Errorf("localizer: grid step must be positive, got %g", c.GridStep)
+	}
+	if c.MinAPs < 1 {
+		return fmt.Errorf("localizer: MinAPs must be >= 1, got %d", c.MinAPs)
+	}
+	return nil
+}
+
+// ModelBased is the third family of the paper's taxonomy (Sec. II,
+// "RSS modeling", e.g. EZ [20] and Lim et al. [21]): instead of a
+// fingerprint database it fits a log-distance propagation model per AP
+// from the survey data, inverts RSS into distance estimates, and
+// trilaterates. The paper's critique — "RSS modeling methods assume
+// that the models reflect the truth" — shows up as sensitivity to
+// shadowing and walls, which no log-distance line can capture.
+type ModelBased struct {
+	plan  *floorplan.Plan
+	cfg   ModelBasedConfig
+	apIdx []int // plan AP index per radio-map column
+	// Per-column fitted model: rss = a + b*log10(d).
+	a, b []float64
+}
+
+var _ Localizer = (*ModelBased)(nil)
+
+// NewModelBased fits per-AP log-distance models by least squares over
+// the surveyed radio map (the representative RSS of every reference
+// location against its true distance to the AP). apIdx names the plan
+// AP behind each radio-map column, so AP-subset deployments work.
+func NewModelBased(plan *floorplan.Plan, db *fingerprint.DB, apIdx []int,
+	cfg ModelBasedConfig) (*ModelBased, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if db.NumLocs() != plan.NumLocs() {
+		return nil, fmt.Errorf("localizer: plan has %d locations, radio map %d",
+			plan.NumLocs(), db.NumLocs())
+	}
+	if db.NumAPs() != len(apIdx) {
+		return nil, fmt.Errorf("localizer: radio map has %d APs, index lists %d",
+			db.NumAPs(), len(apIdx))
+	}
+	for _, a := range apIdx {
+		if a < 0 || a >= len(plan.APs) {
+			return nil, fmt.Errorf("localizer: AP index %d out of range", a)
+		}
+	}
+	m := &ModelBased{
+		plan:  plan,
+		cfg:   cfg,
+		apIdx: apIdx,
+		a:     make([]float64, db.NumAPs()),
+		b:     make([]float64, db.NumAPs()),
+	}
+	for ap := range apIdx {
+		var sx, sy, sxx, sxy float64
+		n := 0
+		for loc := 1; loc <= plan.NumLocs(); loc++ {
+			rss := db.At(loc)[ap]
+			if rss <= cfg.Missing {
+				continue
+			}
+			d := math.Max(plan.APs[apIdx[ap]].Pos.Dist(plan.LocPos(loc)), 0.5)
+			x := math.Log10(d)
+			sx += x
+			sy += rss
+			sxx += x * x
+			sxy += x * rss
+			n++
+		}
+		if n < 3 {
+			return nil, fmt.Errorf("localizer: AP %d audible at only %d locations; cannot fit", ap, n)
+		}
+		den := float64(n)*sxx - sx*sx
+		if den == 0 {
+			return nil, fmt.Errorf("localizer: AP %d has degenerate distance spread", ap)
+		}
+		m.b[ap] = (float64(n)*sxy - sx*sy) / den
+		m.a[ap] = (sy - m.b[ap]*sx) / float64(n)
+		if m.b[ap] >= 0 {
+			// A non-decaying fit means the survey contradicts the model;
+			// fall back to a canonical indoor slope so inversion stays
+			// sane.
+			m.b[ap] = -25
+		}
+	}
+	return m, nil
+}
+
+// Name implements Localizer.
+func (m *ModelBased) Name() string { return "model-based" }
+
+// Reset implements Localizer. The baseline is stateless.
+func (m *ModelBased) Reset() {}
+
+// Model returns AP ap's fitted intercept and slope
+// (rss = a + b*log10(d)).
+func (m *ModelBased) Model(ap int) (a, b float64) { return m.a[ap], m.b[ap] }
+
+// Localize implements Localizer: invert each audible AP's RSS into a
+// distance estimate and grid-search the position minimizing the squared
+// range residuals, then report the nearest reference location.
+func (m *ModelBased) Localize(obs Observation) int {
+	type rangeEst struct {
+		pos  geom.Point
+		dist float64
+	}
+	var ranges []rangeEst
+	strongest, strongestRSS := -1, math.Inf(-1)
+	for ap, rss := range obs.FP {
+		if rss <= m.cfg.Missing {
+			continue
+		}
+		if rss > strongestRSS {
+			strongest, strongestRSS = ap, rss
+		}
+		d := math.Pow(10, (rss-m.a[ap])/m.b[ap])
+		// Clamp inverted ranges to the plan scale; shadowing can produce
+		// absurd extrapolations.
+		d = math.Max(0.5, math.Min(d, m.plan.Width+m.plan.Height))
+		ranges = append(ranges, rangeEst{pos: m.plan.APs[m.apIdx[ap]].Pos, dist: d})
+	}
+	if len(ranges) < m.cfg.MinAPs {
+		if strongest < 0 {
+			return 1
+		}
+		return m.plan.NearestLoc(m.plan.APs[m.apIdx[strongest]].Pos)
+	}
+
+	best := geom.Pt(m.plan.Width/2, m.plan.Height/2)
+	bestCost := math.Inf(1)
+	for x := 0.0; x <= m.plan.Width; x += m.cfg.GridStep {
+		for y := 0.0; y <= m.plan.Height; y += m.cfg.GridStep {
+			p := geom.Pt(x, y)
+			var cost float64
+			for _, re := range ranges {
+				r := p.Dist(re.pos) - re.dist
+				cost += r * r
+			}
+			if cost < bestCost {
+				bestCost, best = cost, p
+			}
+		}
+	}
+	return m.plan.NearestLoc(best)
+}

@@ -1,0 +1,224 @@
+package localizer
+
+import (
+	"fmt"
+	"math"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/stats"
+)
+
+// ParticleConfig parameterizes the particle-filter localizer.
+type ParticleConfig struct {
+	// N is the particle count.
+	N int
+	// PosNoise is the positional process noise per interval in meters.
+	PosNoise float64
+	// DirNoiseDeg and OffNoiseFrac describe the motion-model noise: the
+	// RLM direction jitter in degrees and the relative offset jitter.
+	DirNoiseDeg  float64
+	OffNoiseFrac float64
+	// ResampleFrac triggers systematic resampling when the effective
+	// sample size falls below this fraction of N.
+	ResampleFrac float64
+	// Seed drives the filter's internal randomness.
+	Seed int64
+}
+
+// NewParticleConfig returns defaults: 500 particles, noise matched to
+// the motion database's typical spreads.
+func NewParticleConfig() ParticleConfig {
+	return ParticleConfig{
+		N:            500,
+		PosNoise:     0.5,
+		DirNoiseDeg:  8,
+		OffNoiseFrac: 0.05,
+		ResampleFrac: 0.5,
+		Seed:         1,
+	}
+}
+
+// Validate rejects unusable particle-filter parameters.
+func (c ParticleConfig) Validate() error {
+	if c.N < 10 {
+		return fmt.Errorf("localizer: need at least 10 particles, got %d", c.N)
+	}
+	if c.PosNoise < 0 || c.DirNoiseDeg < 0 || c.OffNoiseFrac < 0 {
+		return fmt.Errorf("localizer: negative particle noise")
+	}
+	if c.ResampleFrac <= 0 || c.ResampleFrac > 1 {
+		return fmt.Errorf("localizer: ResampleFrac must be in (0,1], got %g", c.ResampleFrac)
+	}
+	return nil
+}
+
+// Particle is the continuous-space Monte-Carlo localizer the paper
+// implicitly trades away for energy efficiency ("we make a compromise
+// on the delicacy of the localization algorithm"): particles carry
+// continuous positions, the motion model translates them by the RLM
+// with noise (rejecting moves through walls), and the Gaussian radio
+// map weighs them. It is substantially more expensive per update than
+// MoLoc's k-candidate evaluation; the abl-particle experiment
+// quantifies the accuracy/compute trade-off.
+type Particle struct {
+	plan *floorplan.Plan
+	gdb  *fingerprint.GaussianDB
+	cfg  ParticleConfig
+	rng  *stats.RNG
+
+	pos  []geom.Point
+	w    []float64
+	init bool
+}
+
+var _ Localizer = (*Particle)(nil)
+
+// NewParticle builds the particle filter over a plan and its Gaussian
+// radio map.
+func NewParticle(plan *floorplan.Plan, gdb *fingerprint.GaussianDB,
+	cfg ParticleConfig) (*Particle, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.NumLocs() != gdb.NumLocs() {
+		return nil, fmt.Errorf("localizer: plan has %d locations, radio map %d",
+			plan.NumLocs(), gdb.NumLocs())
+	}
+	p := &Particle{plan: plan, gdb: gdb, cfg: cfg}
+	p.Reset()
+	return p, nil
+}
+
+// Name implements Localizer.
+func (p *Particle) Name() string { return "particle" }
+
+// Reset implements Localizer: particles return to a uniform spread.
+func (p *Particle) Reset() {
+	p.rng = stats.NewRNG(p.cfg.Seed)
+	p.pos = make([]geom.Point, p.cfg.N)
+	p.w = make([]float64, p.cfg.N)
+	for i := range p.pos {
+		p.pos[i] = geom.Pt(
+			p.rng.Uniform(0, p.plan.Width),
+			p.rng.Uniform(0, p.plan.Height))
+		p.w[i] = 1 / float64(p.cfg.N)
+	}
+	p.init = true
+}
+
+// Localize implements Localizer: predict by the motion model, weigh by
+// the fingerprint likelihood, resample when degenerate, and read out
+// the reference location nearest the weighted mean.
+func (p *Particle) Localize(obs Observation) int {
+	if !p.init {
+		p.Reset()
+	}
+	// Predict.
+	for i := range p.pos {
+		next := p.pos[i]
+		if obs.Motion != nil {
+			dir := obs.Motion.Dir + p.rng.Norm(0, p.cfg.DirNoiseDeg)
+			off := obs.Motion.Off * (1 + p.rng.Norm(0, p.cfg.OffNoiseFrac))
+			next = next.Add(geom.FromBearing(dir, off))
+		}
+		next = next.Add(geom.Vec{
+			DX: p.rng.Norm(0, p.cfg.PosNoise),
+			DY: p.rng.Norm(0, p.cfg.PosNoise),
+		})
+		next = p.clamp(next)
+		// Walls block walking: a particle that would cross one stays put
+		// and loses weight (its hypothesis contradicts the motion).
+		if obs.Motion != nil && !p.plan.Walkable(p.pos[i], next) {
+			p.w[i] *= 0.1
+		} else {
+			p.pos[i] = next
+		}
+	}
+
+	// Update: log-likelihoods, shifted for stability.
+	logw := make([]float64, len(p.pos))
+	maxLW := math.Inf(-1)
+	for i, pos := range p.pos {
+		loc := p.plan.NearestLoc(pos)
+		lw := p.gdb.LogLikelihood(loc, obs.FP) + math.Log(math.Max(p.w[i], 1e-300))
+		logw[i] = lw
+		if lw > maxLW {
+			maxLW = lw
+		}
+	}
+	var norm float64
+	for i := range logw {
+		p.w[i] = math.Exp(logw[i] - maxLW)
+		norm += p.w[i]
+	}
+	if norm <= 0 {
+		p.Reset()
+		return p.plan.NearestLoc(p.mean())
+	}
+	for i := range p.w {
+		p.w[i] /= norm
+	}
+
+	// Resample when the effective sample size collapses.
+	if p.ess() < p.cfg.ResampleFrac*float64(p.cfg.N) {
+		p.resample()
+	}
+	return p.plan.NearestLoc(p.mean())
+}
+
+// mean returns the weighted mean position.
+func (p *Particle) mean() geom.Point {
+	var x, y float64
+	for i, pos := range p.pos {
+		x += pos.X * p.w[i]
+		y += pos.Y * p.w[i]
+	}
+	return geom.Pt(x, y)
+}
+
+// ess returns the effective sample size 1/sum(w^2).
+func (p *Particle) ess() float64 {
+	var s float64
+	for _, w := range p.w {
+		s += w * w
+	}
+	if s == 0 {
+		return 0
+	}
+	return 1 / s
+}
+
+// resample draws a fresh particle set with systematic resampling.
+func (p *Particle) resample() {
+	n := len(p.pos)
+	newPos := make([]geom.Point, n)
+	step := 1 / float64(n)
+	u := p.rng.Uniform(0, step)
+	var cum float64
+	j := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)*step
+		for cum+p.w[j] < target && j < n-1 {
+			cum += p.w[j]
+			j++
+		}
+		newPos[i] = p.pos[j]
+	}
+	p.pos = newPos
+	for i := range p.w {
+		p.w[i] = step
+	}
+}
+
+// clamp keeps a particle inside the plan bounds.
+func (p *Particle) clamp(pt geom.Point) geom.Point {
+	pt.X = math.Max(0, math.Min(pt.X, p.plan.Width))
+	pt.Y = math.Max(0, math.Min(pt.Y, p.plan.Height))
+	return pt
+}
+
+// MeanPosition exposes the continuous position estimate, which the
+// reference-location readout quantizes away.
+func (p *Particle) MeanPosition() geom.Point { return p.mean() }

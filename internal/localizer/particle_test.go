@@ -1,0 +1,184 @@
+package localizer
+
+import (
+	"math"
+	"testing"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+)
+
+// particleFixture builds a clean synthetic radio map over the office
+// hall: each location's Gaussian is centered on a distinct ramp so the
+// likelihood field is unambiguous.
+func particleFixture(t *testing.T) (*floorplan.Plan, *fingerprint.GaussianDB) {
+	t.Helper()
+	plan := floorplan.OfficeHall()
+	samples := make([][]fingerprint.Fingerprint, plan.NumLocs())
+	for i := range samples {
+		pos := plan.LocPos(i + 1)
+		// Two synthetic "APs": RSS proportional to coordinates, plus a
+		// couple of jittered samples to give the Gaussians width.
+		base := fingerprint.Fingerprint{-30 - pos.X, -30 - pos.Y}
+		samples[i] = []fingerprint.Fingerprint{
+			base,
+			{base[0] + 1, base[1] - 1},
+			{base[0] - 1, base[1] + 1},
+		}
+	}
+	gdb, err := fingerprint.NewGaussianDB(2, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, gdb
+}
+
+func fpAt(plan *floorplan.Plan, loc int) fingerprint.Fingerprint {
+	pos := plan.LocPos(loc)
+	return fingerprint.Fingerprint{-30 - pos.X, -30 - pos.Y}
+}
+
+func TestParticleConfigValidate(t *testing.T) {
+	if err := NewParticleConfig().Validate(); err != nil {
+		t.Errorf("defaults: %v", err)
+	}
+	bad := []func(*ParticleConfig){
+		func(c *ParticleConfig) { c.N = 5 },
+		func(c *ParticleConfig) { c.PosNoise = -1 },
+		func(c *ParticleConfig) { c.ResampleFrac = 0 },
+		func(c *ParticleConfig) { c.ResampleFrac = 1.5 },
+	}
+	for i, mutate := range bad {
+		c := NewParticleConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	plan, gdb := particleFixture(t)
+	if _, err := NewParticle(plan, gdb, ParticleConfig{}); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+	small, err := fingerprint.NewGaussianDB(2, [][]fingerprint.Fingerprint{{{-1, -2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewParticle(plan, small, NewParticleConfig()); err == nil {
+		t.Error("size mismatch should be rejected")
+	}
+}
+
+func TestParticleConvergesOnStaticUser(t *testing.T) {
+	plan, gdb := particleFixture(t)
+	pf, err := NewParticle(plan, gdb, NewParticleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Name() != "particle" {
+		t.Errorf("name = %s", pf.Name())
+	}
+	// Repeated scans at location 13 should pull the cloud onto it.
+	var got int
+	for i := 0; i < 5; i++ {
+		got = pf.Localize(Observation{FP: fpAt(plan, 13)})
+	}
+	if got != 13 {
+		t.Errorf("converged to %d, want 13", got)
+	}
+	if pf.MeanPosition().Dist(plan.LocPos(13)) > 2.5 {
+		t.Errorf("mean position %v far from location 13 %v",
+			pf.MeanPosition(), plan.LocPos(13))
+	}
+}
+
+func TestParticleTracksMotion(t *testing.T) {
+	plan, gdb := particleFixture(t)
+	pf, err := NewParticle(plan, gdb, NewParticleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settle at location 1, then walk the top aisle east: 1 -> 2 -> 3.
+	for i := 0; i < 4; i++ {
+		pf.Localize(Observation{FP: fpAt(plan, 1)})
+	}
+	gtDir, gtOff := floorplan.GroundTruthRLM(plan, 1, 2)
+	got := pf.Localize(Observation{
+		FP:     fpAt(plan, 2),
+		Motion: &motion.RLM{Dir: gtDir, Off: gtOff},
+	})
+	if got != 2 {
+		t.Errorf("after first leg: %d, want 2", got)
+	}
+	gtDir, gtOff = floorplan.GroundTruthRLM(plan, 2, 3)
+	got = pf.Localize(Observation{
+		FP:     fpAt(plan, 3),
+		Motion: &motion.RLM{Dir: gtDir, Off: gtOff},
+	})
+	if got != 3 {
+		t.Errorf("after second leg: %d, want 3", got)
+	}
+}
+
+func TestParticleReset(t *testing.T) {
+	plan, gdb := particleFixture(t)
+	pf, err := NewParticle(plan, gdb, NewParticleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pf.Localize(Observation{FP: fpAt(plan, 28)})
+	}
+	before := pf.MeanPosition()
+	pf.Reset()
+	after := pf.MeanPosition()
+	// A fresh uniform cloud's mean sits near the plan center.
+	center := geom.Pt(plan.Width/2, plan.Height/2)
+	if after.Dist(center) > 3 {
+		t.Errorf("reset cloud mean %v not near center %v", after, center)
+	}
+	if before.Dist(plan.LocPos(28)) > 3 {
+		t.Errorf("pre-reset mean %v should be near location 28", before)
+	}
+}
+
+func TestParticleDeterministicUnderSeed(t *testing.T) {
+	plan, gdb := particleFixture(t)
+	run := func() []int {
+		pf, err := NewParticle(plan, gdb, NewParticleConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for i := 0; i < 4; i++ {
+			out = append(out, pf.Localize(Observation{FP: fpAt(plan, 10)}))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("particle filter must be deterministic under a fixed seed")
+		}
+	}
+}
+
+func TestParticleWeightsNormalized(t *testing.T) {
+	plan, gdb := particleFixture(t)
+	pf, err := NewParticle(plan, gdb, NewParticleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Localize(Observation{FP: fpAt(plan, 5)})
+	var sum float64
+	for _, w := range pf.w {
+		if w < 0 {
+			t.Fatal("negative weight")
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}

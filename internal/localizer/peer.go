@@ -1,0 +1,158 @@
+package localizer
+
+import (
+	"fmt"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/stats"
+)
+
+// PeerConfig parameterizes the peer-assisted baseline.
+type PeerConfig struct {
+	// K is the per-peer candidate-set size.
+	K int
+	// RangeSigma is the standard deviation in meters of the pairwise
+	// (acoustic) ranging measurements.
+	RangeSigma float64
+	// Rounds is the number of belief-propagation rounds.
+	Rounds int
+}
+
+// NewPeerConfig returns defaults matching the published setting:
+// acoustic ranging is accurate to a few decimeters.
+func NewPeerConfig() PeerConfig {
+	return PeerConfig{K: 8, RangeSigma: 0.4, Rounds: 3}
+}
+
+// Validate rejects unusable peer configuration.
+func (c PeerConfig) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("localizer: peer K must be >= 1, got %d", c.K)
+	}
+	if c.RangeSigma <= 0 {
+		return fmt.Errorf("localizer: RangeSigma must be positive, got %g", c.RangeSigma)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("localizer: need at least one round, got %d", c.Rounds)
+	}
+	return nil
+}
+
+// PeerGroup is one joint localization problem: the fingerprints of a
+// set of co-present peers and their pairwise ranging measurements
+// (Ranges[i][j] in meters; the diagonal is ignored).
+type PeerGroup struct {
+	FPs    []fingerprint.Fingerprint
+	Ranges [][]float64
+}
+
+// PeerAssist is the peer-assisted baseline in the spirit of Liu et
+// al. [12] (MobiCom 2012), the work whose limitation motivates MoLoc:
+// peers within acoustic-ranging reach constrain each other's location
+// candidates, pruning fingerprint twins that would place two peers at
+// a distance contradicting their measured range. The paper's critique —
+// "peer involvement is sometimes neither available nor desirable" — is
+// what MoLoc's self-contained motion assistance removes.
+type PeerAssist struct {
+	plan *floorplan.Plan
+	src  fingerprint.CandidateSource
+	cfg  PeerConfig
+}
+
+// NewPeerAssist builds the baseline over a plan and candidate source.
+func NewPeerAssist(plan *floorplan.Plan, src fingerprint.CandidateSource,
+	cfg PeerConfig) (*PeerAssist, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.NumLocs() != src.NumLocs() {
+		return nil, fmt.Errorf("localizer: plan has %d locations, source %d",
+			plan.NumLocs(), src.NumLocs())
+	}
+	return &PeerAssist{plan: plan, src: src, cfg: cfg}, nil
+}
+
+// LocalizeGroup jointly localizes a peer group with loopy belief
+// propagation over each peer's candidate set: a peer's belief in a
+// candidate is its fingerprint probability times, for every other peer,
+// the probability that some candidate of that peer sits at the measured
+// range. It returns one location estimate per peer.
+func (pa *PeerAssist) LocalizeGroup(g PeerGroup) ([]int, error) {
+	n := len(g.FPs)
+	if n == 0 {
+		return nil, fmt.Errorf("localizer: empty peer group")
+	}
+	if len(g.Ranges) != n {
+		return nil, fmt.Errorf("localizer: ranges matrix is %dx?, want %dx%d", len(g.Ranges), n, n)
+	}
+	for i, row := range g.Ranges {
+		if len(row) != n {
+			return nil, fmt.Errorf("localizer: ranges row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+
+	cands := make([][]fingerprint.Candidate, n)
+	beliefs := make([][]float64, n)
+	for u := range g.FPs {
+		cands[u] = pa.src.Candidates(g.FPs[u], pa.cfg.K)
+		if len(cands[u]) == 0 {
+			return nil, fmt.Errorf("localizer: peer %d produced no candidates", u)
+		}
+		beliefs[u] = make([]float64, len(cands[u]))
+		for i, c := range cands[u] {
+			beliefs[u][i] = c.Prob
+		}
+	}
+
+	for round := 0; round < pa.cfg.Rounds; round++ {
+		next := make([][]float64, n)
+		for u := range cands {
+			next[u] = make([]float64, len(cands[u]))
+			var norm float64
+			for i, cu := range cands[u] {
+				b := cands[u][i].Prob // fingerprint evidence every round
+				for v := range cands {
+					if v == u {
+						continue
+					}
+					// Message from peer v: how well does some candidate of
+					// v explain the measured range to u's candidate i?
+					var msg float64
+					for j, cv := range cands[v] {
+						d := pa.plan.LocDist(cu.Loc, cv.Loc)
+						msg += beliefs[v][j] *
+							stats.GaussPDF(g.Ranges[u][v], d, pa.cfg.RangeSigma)
+					}
+					b *= msg + 1e-12
+				}
+				next[u][i] = b
+				norm += b
+			}
+			if norm > 0 {
+				for i := range next[u] {
+					next[u][i] /= norm
+				}
+			} else {
+				// Constraints contradicted everything; fall back to the
+				// fingerprint probabilities.
+				for i, c := range cands[u] {
+					next[u][i] = c.Prob
+				}
+			}
+		}
+		beliefs = next
+	}
+
+	out := make([]int, n)
+	for u := range cands {
+		best := 0
+		for i := range beliefs[u] {
+			if beliefs[u][i] > beliefs[u][best] {
+				best = i
+			}
+		}
+		out[u] = cands[u][best].Loc
+	}
+	return out, nil
+}

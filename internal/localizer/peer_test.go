@@ -1,0 +1,155 @@
+package localizer
+
+import (
+	"testing"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+)
+
+// peerFixture builds a plan + radio map where locations 2 and 3 are
+// twins (reusing the twin scenario) and positions matter for ranging:
+// 1 at (4,5), 2 at (8,5), 3 at (12,5).
+func peerFixture(t *testing.T) (*floorplan.Plan, *fingerprint.DB) {
+	t.Helper()
+	plan := &floorplan.Plan{Width: 20, Height: 10, Name: "peer-line"}
+	for i := 0; i < 3; i++ {
+		plan.RefLocs = append(plan.RefLocs, floorplan.RefLoc{ID: i + 1, Pos: plan3Pos(i)})
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	samples := [][]fingerprint.Fingerprint{
+		{{-40, -70}},     // 1 unique
+		{{-60, -55}},     // 2 twin A
+		{{-60.5, -55.5}}, // 3 twin B
+	}
+	fdb, err := fingerprint.NewDB(fingerprint.Euclidean{}, 2, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, fdb
+}
+
+func TestPeerConfigValidate(t *testing.T) {
+	if err := NewPeerConfig().Validate(); err != nil {
+		t.Errorf("defaults: %v", err)
+	}
+	bad := []func(*PeerConfig){
+		func(c *PeerConfig) { c.K = 0 },
+		func(c *PeerConfig) { c.RangeSigma = 0 },
+		func(c *PeerConfig) { c.Rounds = 0 },
+	}
+	for i, mutate := range bad {
+		c := NewPeerConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPeerAssistInputValidation(t *testing.T) {
+	plan, fdb := peerFixture(t)
+	pa, err := NewPeerAssist(plan, fdb, NewPeerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pa.LocalizeGroup(PeerGroup{}); err == nil {
+		t.Error("empty group should error")
+	}
+	if _, err := pa.LocalizeGroup(PeerGroup{
+		FPs:    []fingerprint.Fingerprint{{-40, -70}},
+		Ranges: [][]float64{{0, 1}},
+	}); err == nil {
+		t.Error("ragged ranges should error")
+	}
+	small := &floorplan.Plan{Width: 5, Height: 5,
+		RefLocs: []floorplan.RefLoc{{ID: 1, Pos: plan3Pos(0)}}}
+	if _, err := NewPeerAssist(small, fdb, NewPeerConfig()); err == nil {
+		t.Error("size mismatch should be rejected")
+	}
+}
+
+// TestPeerRangingResolvesTwins is the core behavior: a lone fingerprint
+// cannot separate the twins at 8 and 12 m, but a peer at the unique
+// location 1 with a 4 m range to the user pins the user to location 2.
+func TestPeerRangingResolvesTwins(t *testing.T) {
+	plan, fdb := peerFixture(t)
+	cfg := NewPeerConfig()
+	cfg.K = 3
+	pa, err := NewPeerAssist(plan, fdb, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ambiguous := fingerprint.Fingerprint{-60.4, -55.4} // NN picks twin 3
+	if fdb.Nearest(ambiguous) != 3 {
+		t.Fatal("fixture broken: NN should pick the wrong twin")
+	}
+	got, err := pa.LocalizeGroup(PeerGroup{
+		FPs: []fingerprint.Fingerprint{
+			{-40.2, -69.8}, // peer at location 1
+			ambiguous,      // user, truly at location 2 (4 m from peer)
+		},
+		Ranges: [][]float64{
+			{0, 4.1},
+			{4.1, 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Errorf("peer localized at %d, want 1", got[0])
+	}
+	if got[1] != 2 {
+		t.Errorf("user localized at %d, want 2 (range constraint should beat the twin)", got[1])
+	}
+}
+
+func TestPeerSingleUserDegeneratesToNN(t *testing.T) {
+	plan, fdb := peerFixture(t)
+	pa, err := NewPeerAssist(plan, fdb, NewPeerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fingerprint.Fingerprint{-60.4, -55.4}
+	got, err := pa.LocalizeGroup(PeerGroup{
+		FPs:    []fingerprint.Fingerprint{fp},
+		Ranges: [][]float64{{0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != fdb.Nearest(fp) {
+		t.Errorf("lone peer = %d, want NN %d", got[0], fdb.Nearest(fp))
+	}
+}
+
+func TestPeerContradictoryRangesFallBack(t *testing.T) {
+	plan, fdb := peerFixture(t)
+	pa, err := NewPeerAssist(plan, fdb, NewPeerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A physically impossible range (100 m in a 20 m plan): the solver
+	// must still return in-range estimates.
+	got, err := pa.LocalizeGroup(PeerGroup{
+		FPs: []fingerprint.Fingerprint{
+			{-40.2, -69.8},
+			{-60.4, -55.4},
+		},
+		Ranges: [][]float64{
+			{0, 100},
+			{100, 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range got {
+		if loc < 1 || loc > 3 {
+			t.Errorf("estimate %d out of range", loc)
+		}
+	}
+}

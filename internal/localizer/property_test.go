@@ -1,0 +1,145 @@
+package localizer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+)
+
+// randomObs builds a bounded observation from arbitrary floats.
+func randomObs(a, b, d, o float64, withMotion bool) Observation {
+	fp := fingerprint.Fingerprint{
+		-40 - math.Abs(math.Mod(a, 60)),
+		-40 - math.Abs(math.Mod(b, 60)),
+	}
+	obs := Observation{FP: fp}
+	if withMotion {
+		obs.Motion = &motion.RLM{
+			Dir: geom.NormalizeDeg(d),
+			Off: math.Abs(math.Mod(o, 12)),
+		}
+	}
+	return obs
+}
+
+// TestMoLocNeverBreaks drives MoLoc with arbitrary observation
+// sequences: the estimate stays in range and the retained candidate
+// probabilities stay normalized, whatever the inputs.
+func TestMoLocNeverBreaks(t *testing.T) {
+	fx := newTwinFixture(t)
+	f := func(seq [6][4]float64, motionMask uint8) bool {
+		m, err := NewMoLoc(fx.fdb, fx.mdb, NewConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range seq {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return true
+				}
+			}
+			obs := randomObs(row[0], row[1], row[2], row[3], motionMask&(1<<i) != 0)
+			got := m.Localize(obs)
+			if got < 1 || got > 3 {
+				return false
+			}
+			var sum float64
+			for _, c := range m.Candidates() {
+				if c.Prob < -1e-12 || c.Prob > 1+1e-12 {
+					return false
+				}
+				sum += c.Prob
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHMMBeliefNormalized drives the HMM with arbitrary sequences and
+// checks the belief stays a distribution.
+func TestHMMBeliefNormalized(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	graph := floorplan.BuildWalkGraph(plan, floorplan.OfficeHallAdjDist)
+	samples := make([][]fingerprint.Fingerprint, plan.NumLocs())
+	for i := range samples {
+		samples[i] = []fingerprint.Fingerprint{{-30 - float64(i), -90 + float64(i)}}
+	}
+	fdb, err := fingerprint.NewDB(fingerprint.Euclidean{}, 2, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seq [5][4]float64, motionMask uint8) bool {
+		h, err := NewHMM(fdb, graph, NewHMMConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range seq {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return true
+				}
+			}
+			obs := randomObs(row[0], row[1], row[2], row[3], motionMask&(1<<i) != 0)
+			got := h.Localize(obs)
+			if got < 1 || got > plan.NumLocs() {
+				return false
+			}
+			var sum float64
+			for _, p := range h.belief {
+				if p < -1e-12 {
+					return false
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestK1EqualsNN is the algebraic identity the candidate-k ablation
+// relies on: with k = 1 and any motion input, MoLoc's estimate equals
+// plain nearest-neighbor matching.
+func TestK1EqualsNN(t *testing.T) {
+	fx := newTwinFixture(t)
+	cfg := NewConfig()
+	cfg.K = 1
+	f := func(seq [4][4]float64, motionMask uint8) bool {
+		m, err := NewMoLoc(fx.fdb, fx.mdb, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nn := NewWiFiNN(fx.fdb)
+		for i, row := range seq {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return true
+				}
+			}
+			obs := randomObs(row[0], row[1], row[2], row[3], motionMask&(1<<i) != 0)
+			if m.Localize(obs) != nn.Localize(obs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package motion
+
+import (
+	"math"
+
+	"moloc/internal/geom"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+// HeadingFilter fuses compass and gyroscope readings into a heading
+// track, the paper's named future-work direction ("highly accurate
+// direction estimation by using gyroscope and advanced filtering
+// techniques such as the Kalman filter", Sec. IV-B2). It is a
+// one-dimensional Kalman filter over the heading: the gyroscope
+// propagates the state between samples (with growing variance), the
+// compass corrects it (with its own variance). The constant gyro bias
+// is estimated as a second state from the innovation sequence.
+type HeadingFilter struct {
+	// CompassVar is the compass measurement variance, degrees^2.
+	CompassVar float64
+	// GyroVar is the angular-rate process variance, (degrees/second)^2.
+	GyroVar float64
+	// BiasGain is the learning rate for the gyro-bias estimate.
+	BiasGain float64
+
+	initialized bool
+	heading     float64 // fused heading estimate, degrees
+	variance    float64 // heading estimate variance
+	bias        float64 // gyro bias estimate, degrees/second
+	lastT       float64
+}
+
+// NewHeadingFilter returns a filter tuned for the default sensor
+// parameters (compass sigma ~8 degrees, gyro sigma ~1.5 degrees/s).
+func NewHeadingFilter() *HeadingFilter {
+	return &HeadingFilter{
+		CompassVar: 64, // (8 deg)^2
+		GyroVar:    4,  // generous process noise absorbs sway
+		BiasGain:   0.02,
+	}
+}
+
+// Update incorporates one IMU sample and returns the fused heading in
+// degrees [0, 360).
+func (f *HeadingFilter) Update(s sensors.Sample) float64 {
+	if !f.initialized {
+		f.initialized = true
+		f.heading = geom.NormalizeDeg(s.Compass)
+		f.variance = f.CompassVar
+		f.lastT = s.T
+		return f.heading
+	}
+	dt := s.T - f.lastT
+	f.lastT = s.T
+	if dt < 0 {
+		dt = 0
+	}
+
+	// Predict: integrate the bias-corrected angular rate.
+	f.heading = geom.NormalizeDeg(f.heading + (s.Gyro-f.bias)*dt)
+	f.variance += f.GyroVar * dt * dt
+
+	// Correct with the compass measurement.
+	innovation := geom.AngleDiff(s.Compass, f.heading)
+	gain := f.variance / (f.variance + f.CompassVar)
+	f.heading = geom.NormalizeDeg(f.heading + gain*innovation)
+	f.variance *= 1 - gain
+
+	// A persistent innovation trend indicates gyro bias; adapt slowly.
+	f.bias -= f.BiasGain * gain * innovation / math.Max(dt, 1e-3) * dt
+	return f.heading
+}
+
+// FusedHeadings runs the filter over a sample window and returns the
+// fused heading per sample.
+func FusedHeadings(filter *HeadingFilter, samples []sensors.Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = filter.Update(s)
+	}
+	return out
+}
+
+// MeanFusedHeading returns the circular mean of the gyro-fused heading
+// track over a sample window, the drop-in alternative to MeanHeading
+// when Config.UseGyro is set.
+func MeanFusedHeading(samples []sensors.Sample) float64 {
+	filter := NewHeadingFilter()
+	var c stats.Circular
+	for _, s := range samples {
+		c.Add(filter.Update(s))
+	}
+	return c.Mean()
+}

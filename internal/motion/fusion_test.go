@@ -1,0 +1,114 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"moloc/internal/geom"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+func TestHeadingFilterTracksConstantHeading(t *testing.T) {
+	g := mustGen(t)
+	dev := sensors.Device{GyroBias: 0.2}
+	samples, _ := g.Walk(nil, 0, 10, 1.8, 90, dev, 0, stats.NewRNG(1))
+	filter := NewHeadingFilter()
+	fused := FusedHeadings(filter, samples)
+	if len(fused) != len(samples) {
+		t.Fatalf("fused length %d != %d", len(fused), len(samples))
+	}
+	// After settling, the fused heading should hover near the compass
+	// consensus (which includes placement/bias/distortion offsets, here
+	// the magnetic distortion at heading 90).
+	want := MeanHeading(samples)
+	var errSum stats.Online
+	for _, h := range fused[len(fused)/2:] {
+		errSum.Add(geom.AbsAngleDiff(h, want))
+	}
+	if errSum.Mean() > 6 {
+		t.Errorf("fused heading wanders %.1f deg from compass consensus", errSum.Mean())
+	}
+}
+
+func TestHeadingFilterSmootherThanCompass(t *testing.T) {
+	// The fused per-sample heading must have lower variance than the raw
+	// compass: that is the point of the gyro.
+	g := mustGen(t)
+	samples, _ := g.Walk(nil, 0, 20, 1.8, 45, sensors.Device{}, 0, stats.NewRNG(3))
+	filter := NewHeadingFilter()
+	fused := FusedHeadings(filter, samples)
+
+	var rawDev, fusedDev stats.Online
+	rawMean := MeanHeading(samples)
+	for i, s := range samples {
+		if i < len(samples)/4 {
+			continue // let the filter settle
+		}
+		rawDev.Add(geom.AbsAngleDiff(s.Compass, rawMean))
+		fusedDev.Add(geom.AbsAngleDiff(fused[i], rawMean))
+	}
+	if fusedDev.Mean() >= rawDev.Mean() {
+		t.Errorf("fused deviation %.2f should be below raw compass %.2f",
+			fusedDev.Mean(), rawDev.Mean())
+	}
+}
+
+func TestHeadingFilterInitialization(t *testing.T) {
+	f := NewHeadingFilter()
+	h := f.Update(sensors.Sample{T: 0, Compass: 123, Gyro: 0})
+	if h != 123 {
+		t.Errorf("first update should adopt the compass: %v", h)
+	}
+	// Negative time deltas (out-of-order samples) must not explode.
+	h = f.Update(sensors.Sample{T: -1, Compass: 123, Gyro: 500})
+	if math.IsNaN(h) || h < 0 || h >= 360 {
+		t.Errorf("filter broke on out-of-order sample: %v", h)
+	}
+}
+
+func TestHeadingFilterWrap(t *testing.T) {
+	// Heading near north: compass samples alternate 359/1; the filter
+	// must not average them to 180.
+	f := NewHeadingFilter()
+	var h float64
+	for i := 0; i < 50; i++ {
+		c := 359.0
+		if i%2 == 1 {
+			c = 1.0
+		}
+		h = f.Update(sensors.Sample{T: float64(i) * 0.1, Compass: c, Gyro: 0})
+	}
+	if geom.AbsAngleDiff(h, 0) > 5 {
+		t.Errorf("filter lost the wrap: %v", h)
+	}
+}
+
+func TestMeanFusedHeading(t *testing.T) {
+	g := mustGen(t)
+	samples, _ := g.Walk(nil, 0, 5, 1.8, 200, sensors.Device{}, 0, stats.NewRNG(5))
+	fused := MeanFusedHeading(samples)
+	raw := MeanHeading(samples)
+	if geom.AbsAngleDiff(fused, raw) > 8 {
+		t.Errorf("fused mean %.1f far from raw mean %.1f", fused, raw)
+	}
+}
+
+func TestExtractWithGyro(t *testing.T) {
+	cfg := NewConfig()
+	cfg.UseGyro = true
+	g := mustGen(t)
+	samples, _ := g.Walk(nil, 0, 3, 1.8, 90, sensors.Device{}, 0, stats.NewRNG(7))
+	rlm, ok := Extract(cfg, samples, 0, 3, 0.75, nil)
+	if !ok {
+		t.Fatal("gyro-fused extraction failed on a walking stream")
+	}
+	// Direction includes the environment's magnetic distortion at 90
+	// degrees; allow a wide band but require sanity.
+	if geom.AbsAngleDiff(rlm.Dir, 90) > 25 {
+		t.Errorf("fused direction = %v, want ~90", rlm.Dir)
+	}
+	if rlm.Off < 2 || rlm.Off > 6 {
+		t.Errorf("offset = %v, want ~4", rlm.Off)
+	}
+}

@@ -1,0 +1,257 @@
+// Package motion turns raw IMU streams into the relative location
+// measurements (RLMs) MoLoc consumes: it detects walking, counts steps
+// (both the Discrete Step Counting baseline and the paper's Continuous
+// Step Counting), estimates step length from the user's height and
+// weight, and recovers the motion direction from compass readings via a
+// placement-offset estimator in the spirit of Zee.
+package motion
+
+import (
+	"fmt"
+	"math"
+
+	"moloc/internal/geom"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+// Config holds the motion-processing constants.
+type Config struct {
+	// PeakStd is the step-detection threshold above the window mean, in
+	// units of the window's standard deviation.
+	PeakStd float64
+	// MinPeakSep is the minimum spacing between detected steps in
+	// seconds; humans do not step faster than ~3.3 Hz.
+	MinPeakSep float64
+	// WalkStd is the minimum accelerometer-magnitude standard deviation
+	// (m/s^2) for an interval to count as walking.
+	WalkStd float64
+	// MinPeakRise is the absolute minimum height of a step peak above
+	// the window mean, in m/s^2. It suppresses spurious peaks from pure
+	// sensor noise when the user stands still.
+	MinPeakRise float64
+	// StepLenSlope and StepLenBase give the height-based step-length
+	// model of Constandache et al. [25]: stepLen = Slope*height + Base,
+	// adjusted by weight below.
+	StepLenSlope float64
+	StepLenBase  float64
+	// StepLenWeightAdj is the step-length change in meters per kg away
+	// from a 70 kg reference (heavier walkers take slightly shorter
+	// steps).
+	StepLenWeightAdj float64
+	// UseGyro fuses gyroscope readings into the heading estimate with a
+	// Kalman filter (the paper's future-work refinement) instead of
+	// using the raw compass mean.
+	UseGyro bool
+}
+
+// NewConfig returns the defaults used throughout the reproduction.
+func NewConfig() Config {
+	return Config{
+		PeakStd:          0.4,
+		MinPeakSep:       0.3,
+		MinPeakRise:      1.0,
+		WalkStd:          1.0,
+		StepLenSlope:     0.41,
+		StepLenBase:      0.02,
+		StepLenWeightAdj: -0.001,
+	}
+}
+
+// Validate rejects unusable motion configuration.
+func (c Config) Validate() error {
+	if c.MinPeakSep <= 0 {
+		return fmt.Errorf("motion: MinPeakSep must be positive, got %g", c.MinPeakSep)
+	}
+	if c.WalkStd < 0 {
+		return fmt.Errorf("motion: WalkStd must be non-negative, got %g", c.WalkStd)
+	}
+	if c.StepLenSlope <= 0 {
+		return fmt.Errorf("motion: StepLenSlope must be positive, got %g", c.StepLenSlope)
+	}
+	return nil
+}
+
+// StepLength returns the user's estimated step length in meters from
+// height (m) and weight (kg), per the model of [25].
+func StepLength(cfg Config, heightM, weightKg float64) float64 {
+	return cfg.StepLenSlope*heightM + cfg.StepLenBase +
+		cfg.StepLenWeightAdj*(weightKg-70)
+}
+
+// IsWalking reports whether the samples show the oscillation of a
+// walking user (Sec. IV-B1: "we first detect whether a user is walking
+// throughout an interval of time").
+func IsWalking(cfg Config, samples []sensors.Sample) bool {
+	if len(samples) < 4 {
+		return false
+	}
+	var o stats.Online
+	for _, s := range samples {
+		o.Add(s.Accel)
+	}
+	return o.StdDev() >= cfg.WalkStd
+}
+
+// DetectSteps returns the timestamps of detected steps: local maxima of
+// the accelerometer magnitude above an adaptive threshold (window mean
+// plus PeakStd standard deviations), separated by at least MinPeakSep
+// seconds. This is the standard peak-picking detector the repetitive
+// pattern of Fig. 4 supports.
+func DetectSteps(cfg Config, samples []sensors.Sample) []float64 {
+	if len(samples) < 3 {
+		return nil
+	}
+	var o stats.Online
+	for _, s := range samples {
+		o.Add(s.Accel)
+	}
+	rise := cfg.PeakStd * o.StdDev()
+	if rise < cfg.MinPeakRise {
+		rise = cfg.MinPeakRise
+	}
+	threshold := o.Mean() + rise
+
+	var steps []float64
+	lastStep := math.Inf(-1)
+	for i := 1; i < len(samples)-1; i++ {
+		cur := samples[i]
+		if cur.Accel < threshold {
+			continue
+		}
+		if cur.Accel < samples[i-1].Accel || cur.Accel <= samples[i+1].Accel {
+			continue
+		}
+		if cur.T-lastStep < cfg.MinPeakSep {
+			continue
+		}
+		steps = append(steps, cur.T)
+		lastStep = cur.T
+	}
+	return steps
+}
+
+// OffsetDSC is Discrete Step Counting: offset = integral step count
+// times step length. It ignores the "odd time" before the first and
+// after the last detected step, the deficiency the paper identifies.
+func OffsetDSC(stepTimes []float64, stepLen float64) float64 {
+	return float64(len(stepTimes)) * stepLen
+}
+
+// OffsetCSC is the paper's Continuous Step Counting (Sec. IV-B1): the
+// walking period is estimated from the time covering all detected
+// steps; the odd time (interval minus the covering time) divided by the
+// period yields decimal steps, recovering the motion DSC misses before
+// the first and after the last detected step. t0 and t1 bound the
+// localization interval.
+//
+// One refinement over the paper's prose: n detected step peaks span n-1
+// gait periods, so the period is covering/(n-1), not covering/n; with
+// that the estimate (n-1) + odd/period is unbiased for a user walking
+// the whole interval (it telescopes to interval/period).
+func OffsetCSC(stepTimes []float64, t0, t1, stepLen float64) float64 {
+	n := len(stepTimes)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return stepLen
+	}
+	covering := stepTimes[n-1] - stepTimes[0]
+	if covering <= 0 {
+		return float64(n) * stepLen
+	}
+	period := covering / float64(n-1)
+	odd := (t1 - t0) - covering
+	if odd < 0 {
+		odd = 0
+	}
+	decimal := odd / period
+	// The odd time holds at most the partial strides at the two interval
+	// ends; cap it to stay robust against spuriously short coverings.
+	if decimal > 2.5 {
+		decimal = 2.5
+	}
+	return (float64(n-1) + decimal) * stepLen
+}
+
+// MeanHeading returns the circular mean of the compass readings.
+func MeanHeading(samples []sensors.Sample) float64 {
+	var c stats.Circular
+	for _, s := range samples {
+		c.Add(s.Compass)
+	}
+	return c.Mean()
+}
+
+// HeadingEstimator recovers the offset between compass readings and the
+// true motion direction (phone placement plus device bias), in the
+// spirit of Zee's placement-independent orientation estimation. The
+// crowdsourcing pipeline feeds it (compass mean, map bearing) pairs from
+// high-confidence legs; Correct then maps raw compass means to motion
+// directions.
+type HeadingEstimator struct {
+	sum stats.Circular
+}
+
+// Observe incorporates one calibration pair: the circular-mean compass
+// reading over a leg and the map bearing the leg is believed to follow.
+func (h *HeadingEstimator) Observe(compassMean, mapBearing float64) {
+	h.sum.Add(geom.AngleDiff(compassMean, mapBearing))
+}
+
+// Calibrated reports whether at least one observation has been made.
+func (h *HeadingEstimator) Calibrated() bool { return h.sum.N() > 0 }
+
+// Offset returns the current placement-offset estimate in degrees.
+func (h *HeadingEstimator) Offset() float64 { return h.sum.Mean() }
+
+// Correct converts a raw compass mean into a motion-direction estimate
+// by subtracting the learned offset. Uncalibrated estimators return the
+// input unchanged.
+func (h *HeadingEstimator) Correct(compassMean float64) float64 {
+	if !h.Calibrated() {
+		return geom.NormalizeDeg(compassMean)
+	}
+	return geom.NormalizeDeg(compassMean - h.Offset())
+}
+
+// RLM is a relative location measurement over one localization
+// interval: the motion direction in degrees and the offset in meters
+// (paper Sec. IV-B1).
+type RLM struct {
+	Dir float64 `json:"dir"`
+	Off float64 `json:"off"`
+}
+
+// Mirror returns the RLM for the reverse traversal: direction plus 180
+// degrees, same offset (the paper's mutual-reachability reassembly).
+func (r RLM) Mirror() RLM {
+	return RLM{Dir: geom.MirrorBearing(r.Dir), Off: r.Off}
+}
+
+// Extract computes the RLM for one localization interval [t0, t1] from
+// its IMU samples: the direction is the placement-corrected circular
+// mean of the compass, the offset comes from Continuous Step Counting.
+// ok is false when the user was not walking during the interval.
+func Extract(cfg Config, samples []sensors.Sample, t0, t1, stepLen float64,
+	est *HeadingEstimator) (rlm RLM, ok bool) {
+
+	if !IsWalking(cfg, samples) {
+		return RLM{}, false
+	}
+	steps := DetectSteps(cfg, samples)
+	if len(steps) == 0 {
+		return RLM{}, false
+	}
+	var dir float64
+	if cfg.UseGyro {
+		dir = MeanFusedHeading(samples)
+	} else {
+		dir = MeanHeading(samples)
+	}
+	if est != nil {
+		dir = est.Correct(dir)
+	}
+	return RLM{Dir: dir, Off: OffsetCSC(steps, t0, t1, stepLen)}, true
+}

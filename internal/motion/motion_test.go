@@ -1,0 +1,279 @@
+package motion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moloc/internal/geom"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+func mustGen(t *testing.T) *sensors.Generator {
+	t.Helper()
+	g, err := sensors.NewGenerator(sensors.NewParams())
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g
+}
+
+// walkSamples generates a clean walking stream at the given frequency.
+func walkSamples(t *testing.T, duration, stepFreq float64, seed int64) []sensors.Sample {
+	t.Helper()
+	g := mustGen(t)
+	rng := stats.NewRNG(seed)
+	dev := sensors.Device{}
+	s, _ := g.Walk(nil, 0, duration, stepFreq, 90, dev, 0, rng)
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := NewConfig().Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.MinPeakSep = 0 },
+		func(c *Config) { c.WalkStd = -1 },
+		func(c *Config) { c.StepLenSlope = 0 },
+	}
+	for i, mutate := range bad {
+		c := NewConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestStepLength(t *testing.T) {
+	cfg := NewConfig()
+	// A 1.75 m, 70 kg walker: 0.41*1.75 + 0.02 = 0.7375.
+	if got := StepLength(cfg, 1.75, 70); math.Abs(got-0.7375) > 1e-9 {
+		t.Errorf("StepLength = %v, want 0.7375", got)
+	}
+	// Taller walkers take longer steps, heavier slightly shorter.
+	if StepLength(cfg, 1.9, 70) <= StepLength(cfg, 1.6, 70) {
+		t.Error("height should increase step length")
+	}
+	if StepLength(cfg, 1.75, 95) >= StepLength(cfg, 1.75, 55) {
+		t.Error("weight should decrease step length")
+	}
+}
+
+func TestIsWalking(t *testing.T) {
+	cfg := NewConfig()
+	walking := walkSamples(t, 3, 1.8, 1)
+	if !IsWalking(cfg, walking) {
+		t.Error("walking stream not recognized")
+	}
+	g := mustGen(t)
+	standing := g.Stand(nil, 0, 3, 90, sensors.Device{}, stats.NewRNG(1))
+	if IsWalking(cfg, standing) {
+		t.Error("standing stream misclassified as walking")
+	}
+	if IsWalking(cfg, nil) {
+		t.Error("empty stream is not walking")
+	}
+}
+
+func TestDetectStepsCount(t *testing.T) {
+	cfg := NewConfig()
+	// 10 seconds at 1.8 Hz: expect ~18 steps; allow boundary slack.
+	steps := DetectSteps(cfg, walkSamples(t, 10, 1.8, 2))
+	if len(steps) < 16 || len(steps) > 20 {
+		t.Errorf("detected %d steps in 10 s at 1.8 Hz, want ~18", len(steps))
+	}
+	// Fig. 4 scenario: ~5.5 s at 1.8 Hz shows about 10 steps.
+	steps = DetectSteps(cfg, walkSamples(t, 5.5, 1.8, 3))
+	if len(steps) < 8 || len(steps) > 11 {
+		t.Errorf("detected %d steps, want ~10 (Fig. 4)", len(steps))
+	}
+}
+
+func TestDetectStepsMonotoneTimes(t *testing.T) {
+	cfg := NewConfig()
+	steps := DetectSteps(cfg, walkSamples(t, 10, 2.0, 4))
+	for i := 1; i < len(steps); i++ {
+		if steps[i] <= steps[i-1] {
+			t.Fatal("step times must increase")
+		}
+		if steps[i]-steps[i-1] < cfg.MinPeakSep {
+			t.Fatalf("steps %v and %v violate MinPeakSep", steps[i-1], steps[i])
+		}
+	}
+}
+
+func TestDetectStepsEmptyAndStanding(t *testing.T) {
+	cfg := NewConfig()
+	if got := DetectSteps(cfg, nil); got != nil {
+		t.Error("no samples, no steps")
+	}
+	g := mustGen(t)
+	standing := g.Stand(nil, 0, 5, 0, sensors.Device{}, stats.NewRNG(1))
+	if got := DetectSteps(cfg, standing); len(got) > 2 {
+		t.Errorf("standing produced %d spurious steps", len(got))
+	}
+}
+
+func TestOffsetDSCvsCSC(t *testing.T) {
+	cfg := NewConfig()
+	const (
+		stepLen  = 0.75
+		stepFreq = 1.8
+		duration = 3.0
+	)
+	trueDist := stepLen * stepFreq * duration // 4.05 m
+	var dscErr, cscErr stats.Online
+	for seed := int64(0); seed < 40; seed++ {
+		samples := walkSamples(t, duration, stepFreq, seed)
+		steps := DetectSteps(cfg, samples)
+		if len(steps) == 0 {
+			t.Fatalf("seed %d: no steps", seed)
+		}
+		dscErr.Add(math.Abs(OffsetDSC(steps, stepLen) - trueDist))
+		cscErr.Add(math.Abs(OffsetCSC(steps, 0, duration, stepLen) - trueDist))
+	}
+	// CSC recovers the odd time; its mean error must beat DSC's.
+	if cscErr.Mean() >= dscErr.Mean() {
+		t.Errorf("CSC error %.3f not better than DSC %.3f", cscErr.Mean(), dscErr.Mean())
+	}
+	// And it should be small in absolute terms (paper: median 0.13 m).
+	if cscErr.Mean() > 0.4 {
+		t.Errorf("CSC mean error %.3f m too large", cscErr.Mean())
+	}
+}
+
+func TestOffsetCSCEdgeCases(t *testing.T) {
+	if got := OffsetCSC(nil, 0, 3, 0.75); got != 0 {
+		t.Errorf("no steps: %v, want 0", got)
+	}
+	if got := OffsetCSC([]float64{1.5}, 0, 3, 0.75); got != 0.75 {
+		t.Errorf("single step: %v, want one step length", got)
+	}
+	// Degenerate: identical step times fall back to DSC.
+	if got := OffsetCSC([]float64{1, 1}, 0, 3, 0.75); got != 1.5 {
+		t.Errorf("degenerate covering: %v, want 1.5", got)
+	}
+	// Decimal cap: two close steps in a long interval must not explode.
+	got := OffsetCSC([]float64{1.0, 1.3}, 0, 30, 0.75)
+	if got > (1+2.5)*0.75+1e-9 {
+		t.Errorf("decimal cap violated: %v", got)
+	}
+}
+
+func TestOffsetCSCUnbiasedOnIdealGait(t *testing.T) {
+	// Perfectly periodic steps: CSC should telescope to interval/period.
+	stepLen := 0.7
+	var steps []float64
+	for i := 0; i < 6; i++ {
+		steps = append(steps, 0.25+float64(i)*0.5) // period 0.5 s
+	}
+	got := OffsetCSC(steps, 0, 3, stepLen)
+	want := 6.0 * stepLen // 3 s / 0.5 s = 6 strides
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("CSC = %v, want %v", got, want)
+	}
+}
+
+func TestMeanHeading(t *testing.T) {
+	samples := []sensors.Sample{
+		{Compass: 358}, {Compass: 2}, {Compass: 0},
+	}
+	got := MeanHeading(samples)
+	if geom.AbsAngleDiff(got, 0) > 1e-9 {
+		t.Errorf("MeanHeading = %v, want 0", got)
+	}
+}
+
+func TestHeadingEstimator(t *testing.T) {
+	var h HeadingEstimator
+	if h.Calibrated() {
+		t.Error("fresh estimator should be uncalibrated")
+	}
+	if got := h.Correct(123); got != 123 {
+		t.Errorf("uncalibrated Correct = %v, want input", got)
+	}
+	// Phone held at +25 degrees: compass reads bearing+25.
+	h.Observe(115, 90)
+	h.Observe(205, 180)
+	h.Observe(24, 0) // wrap case: 24 - 0 vs 360
+	if !h.Calibrated() {
+		t.Error("estimator should be calibrated")
+	}
+	if math.Abs(h.Offset()-24.67) > 0.5 {
+		t.Errorf("Offset = %v, want ~24.7", h.Offset())
+	}
+	if got := h.Correct(115); geom.AbsAngleDiff(got, 90) > 1 {
+		t.Errorf("Correct(115) = %v, want ~90", got)
+	}
+}
+
+func TestHeadingEstimatorWrapProperty(t *testing.T) {
+	// For any true offset, observing enough exact pairs recovers it.
+	f := func(offset float64) bool {
+		if math.IsNaN(offset) || math.IsInf(offset, 0) {
+			return true
+		}
+		offset = math.Mod(offset, 180)
+		var h HeadingEstimator
+		for _, bearing := range []float64{0, 90, 180, 270, 45} {
+			h.Observe(geom.NormalizeDeg(bearing+offset), bearing)
+		}
+		return geom.AbsAngleDiff(h.Offset(), offset) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtract(t *testing.T) {
+	cfg := NewConfig()
+	g := mustGen(t)
+	rng := stats.NewRNG(11)
+	dev := sensors.Device{PlacementOffset: 20, Bias: 5}
+	const (
+		duration = 3.0
+		stepFreq = 1.8
+		stepLen  = 0.75
+		heading  = 90.0
+	)
+	samples, _ := g.Walk(nil, 0, duration, stepFreq, heading, dev, 0, rng)
+
+	// Calibrated estimator knowing the 25-degree total offset.
+	var h HeadingEstimator
+	h.Observe(geom.NormalizeDeg(heading+25), heading)
+
+	rlm, ok := Extract(cfg, samples, 0, duration, stepLen, &h)
+	if !ok {
+		t.Fatal("Extract failed on a walking stream")
+	}
+	if geom.AbsAngleDiff(rlm.Dir, heading) > 10 {
+		t.Errorf("direction = %v, want ~%v", rlm.Dir, heading)
+	}
+	trueDist := stepLen * stepFreq * duration
+	if math.Abs(rlm.Off-trueDist) > 0.8 {
+		t.Errorf("offset = %v, want ~%v", rlm.Off, trueDist)
+	}
+}
+
+func TestExtractNotWalking(t *testing.T) {
+	cfg := NewConfig()
+	g := mustGen(t)
+	standing := g.Stand(nil, 0, 3, 0, sensors.Device{}, stats.NewRNG(1))
+	if _, ok := Extract(cfg, standing, 0, 3, 0.75, nil); ok {
+		t.Error("Extract should fail on standing stream")
+	}
+}
+
+func TestRLMMirror(t *testing.T) {
+	r := RLM{Dir: 30, Off: 4.5}
+	m := r.Mirror()
+	if m.Dir != 210 || m.Off != 4.5 {
+		t.Errorf("Mirror = %+v", m)
+	}
+	if got := m.Mirror(); got != r {
+		t.Errorf("double mirror = %+v, want original", got)
+	}
+}

@@ -1,0 +1,464 @@
+// Package motiondb implements MoLoc's motion database (paper Sec. IV):
+// an n x n matrix whose entry (i, j) holds Gaussian statistics
+// (mean/stddev of direction and offset) of the relative location
+// measurements between reference locations i and j, trained from
+// crowdsourced observations with two-level data sanitation.
+package motiondb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/stats"
+)
+
+// Entry is one motion-database cell: the fitted Gaussians of direction
+// (degrees) and offset (meters) from location i to j, and the number of
+// samples that survived sanitation.
+type Entry struct {
+	MeanDir float64 `json:"mean_dir"`
+	StdDir  float64 `json:"std_dir"`
+	MeanOff float64 `json:"mean_off"`
+	StdOff  float64 `json:"std_off"`
+	N       int     `json:"n"`
+}
+
+// Mirror returns the entry for the reverse traversal under the paper's
+// mutual-reachability assumption: direction rotated 180 degrees, all
+// other statistics unchanged.
+func (e Entry) Mirror() Entry {
+	e.MeanDir = geom.MirrorBearing(e.MeanDir)
+	return e
+}
+
+// Prob evaluates the motion-matching probability of Eq. 5 for this
+// entry: the product of the discretized direction and offset Gaussians,
+// with discretization intervals alpha (degrees) and beta (meters).
+// Direction is compared circularly, so entries near north behave.
+func (e Entry) Prob(dirDeg, offMeters, alpha, beta float64) float64 {
+	dd := geom.AngleDiff(dirDeg, e.MeanDir)
+	pd := stats.GaussInterval(dd-alpha/2, dd+alpha/2, 0, e.StdDir)
+	po := stats.GaussInterval(offMeters-beta/2, offMeters+beta/2, e.MeanOff, e.StdOff)
+	return pd * po
+}
+
+// DB is the trained motion database over n reference locations.
+type DB struct {
+	n       int
+	entries map[[2]int]Entry // canonical key: i < j
+}
+
+// New creates an empty motion database for n locations.
+func New(n int) *DB {
+	return &DB{n: n, entries: make(map[[2]int]Entry)}
+}
+
+// NumLocs returns the number of reference locations.
+func (db *DB) NumLocs() int { return db.n }
+
+// NumEntries returns the number of trained (canonical) pairs.
+func (db *DB) NumEntries() int { return len(db.entries) }
+
+// Set stores an entry for walking from location i to location j,
+// canonicalized to the smaller-ID-first key (the mirror is derived at
+// lookup). This is the manual-configuration path the paper contrasts
+// with crowdsourcing (Sec. IV-A): engineers or tests can populate the
+// database directly. It panics on a self-loop or out-of-range IDs,
+// which indicate a programming error.
+func (db *DB) Set(i, j int, e Entry) {
+	if i == j || i < 1 || j < 1 || i > db.n || j > db.n {
+		panic(fmt.Sprintf("motiondb: invalid pair (%d,%d) for %d locations", i, j, db.n))
+	}
+	if i > j {
+		i, j = j, i
+		e = e.Mirror()
+	}
+	db.entries[[2]int{i, j}] = e
+}
+
+// Lookup returns the entry for walking from location i to location j.
+// For i > j the canonical entry is mirrored on the fly, realizing the
+// paper's reverse-order statistics (mu_d + 180, same sigmas).
+func (db *DB) Lookup(i, j int) (Entry, bool) {
+	if i == j || i < 1 || j < 1 || i > db.n || j > db.n {
+		return Entry{}, false
+	}
+	mirror := false
+	if i > j {
+		i, j = j, i
+		mirror = true
+	}
+	e, ok := db.entries[[2]int{i, j}]
+	if !ok {
+		return Entry{}, false
+	}
+	if mirror {
+		e = e.Mirror()
+	}
+	return e, true
+}
+
+// Pairs returns the canonical trained pairs in unspecified order.
+func (db *DB) Pairs() [][2]int {
+	out := make([][2]int, 0, len(db.entries))
+	for k := range db.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ValidationErrors compares each trained pair against the map-derived
+// ground truth and returns the per-pair absolute direction errors
+// (degrees) and offset errors (meters). These are the distributions of
+// the paper's Fig. 6.
+func (db *DB) ValidationErrors(plan *floorplan.Plan) (dirErrs, offErrs []float64) {
+	for pair, e := range db.entries {
+		gtDir, gtOff := floorplan.GroundTruthRLM(plan, pair[0], pair[1])
+		dirErrs = append(dirErrs, geom.AbsAngleDiff(e.MeanDir, gtDir))
+		offErrs = append(offErrs, math.Abs(e.MeanOff-gtOff))
+	}
+	return dirErrs, offErrs
+}
+
+// dbJSON is the serialized form of DB.
+type dbJSON struct {
+	N     int `json:"n"`
+	Pairs []struct {
+		I     int   `json:"i"`
+		J     int   `json:"j"`
+		Entry Entry `json:"entry"`
+	} `json:"pairs"`
+}
+
+// SaveJSON writes the database to a file.
+func (db *DB) SaveJSON(path string) error {
+	var j dbJSON
+	j.N = db.n
+	for pair, e := range db.entries {
+		j.Pairs = append(j.Pairs, struct {
+			I     int   `json:"i"`
+			J     int   `json:"j"`
+			Entry Entry `json:"entry"`
+		}{pair[0], pair[1], e})
+	}
+	data, err := json.MarshalIndent(j, "", " ")
+	if err != nil {
+		return fmt.Errorf("motiondb: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("motiondb: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadJSON reads a database written by SaveJSON.
+func LoadJSON(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("motiondb: read %s: %w", path, err)
+	}
+	var j dbJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("motiondb: parse %s: %w", path, err)
+	}
+	db := New(j.N)
+	for _, p := range j.Pairs {
+		if p.I >= p.J || p.I < 1 || p.J > j.N {
+			return nil, fmt.Errorf("motiondb: invalid pair (%d,%d)", p.I, p.J)
+		}
+		db.entries[[2]int{p.I, p.J}] = p.Entry
+	}
+	return db, nil
+}
+
+// Sanitation selects how much of the paper's two-level data cleaning the
+// builder applies; the levels below coarse+fine exist for the ablation
+// experiment.
+type Sanitation int
+
+// Sanitation levels.
+const (
+	// SanitationNone fits Gaussians to the raw crowdsourced RLMs.
+	SanitationNone Sanitation = iota + 1
+	// SanitationCoarse applies only the map-threshold filter.
+	SanitationCoarse
+	// SanitationFull applies the coarse filter and the 2-sigma fine
+	// filter (the paper's configuration).
+	SanitationFull
+)
+
+// BuilderConfig controls motion-database construction.
+type BuilderConfig struct {
+	// CoarseDirThresh is the coarse-filter direction threshold in
+	// degrees (20 in the paper).
+	CoarseDirThresh float64
+	// CoarseOffThresh is the coarse-filter offset threshold in meters
+	// (3 in the paper).
+	CoarseOffThresh float64
+	// FineSigmas is the fine-filter width in standard deviations (2 in
+	// the paper).
+	FineSigmas float64
+	// MinSamples is the minimum number of surviving samples for a pair
+	// to enter the database.
+	MinSamples int
+	// MinStdDir and MinStdOff floor the fitted standard deviations so a
+	// handful of nearly identical samples cannot produce a degenerate
+	// Gaussian that zeroes out Eq. 5 for every query.
+	MinStdDir float64
+	MinStdOff float64
+	// Level selects the sanitation stages to run.
+	Level Sanitation
+	// MapFallback seeds graph edges that end up with too few surviving
+	// crowdsourced samples from the map-derived RLM instead of leaving
+	// them untrained, with the conservative spreads below. This realizes
+	// the hybrid the paper's Sec. IV-A discussion suggests: map
+	// computation is cheap but blind to walls, so it is only a prior
+	// that crowdsourced data replaces. Requires UseGraph.
+	MapFallback bool
+	// FallbackStdDir and FallbackStdOff are the spreads of map-seeded
+	// entries, wider than trained ones to reflect their uncertainty.
+	FallbackStdDir float64
+	FallbackStdOff float64
+}
+
+// NewBuilderConfig returns the paper's configuration: 20 degree / 3 m
+// coarse thresholds and a 2-sigma fine filter.
+func NewBuilderConfig() BuilderConfig {
+	return BuilderConfig{
+		CoarseDirThresh: 20,
+		CoarseOffThresh: 3,
+		FineSigmas:      2,
+		MinSamples:      3,
+		MinStdDir:       3,
+		MinStdOff:       0.15,
+		Level:           SanitationFull,
+		MapFallback:     true,
+		FallbackStdDir:  10,
+		FallbackStdOff:  0.5,
+	}
+}
+
+// Validate rejects unusable builder configuration.
+func (c BuilderConfig) Validate() error {
+	if c.Level < SanitationNone || c.Level > SanitationFull {
+		return fmt.Errorf("motiondb: invalid sanitation level %d", c.Level)
+	}
+	if c.CoarseDirThresh <= 0 || c.CoarseOffThresh <= 0 {
+		return fmt.Errorf("motiondb: coarse thresholds must be positive")
+	}
+	if c.FineSigmas <= 0 {
+		return fmt.Errorf("motiondb: fine filter width must be positive")
+	}
+	if c.MinSamples < 1 {
+		return fmt.Errorf("motiondb: MinSamples must be >= 1")
+	}
+	return nil
+}
+
+// Observation is one crowdsourced RLM between two (estimated) reference
+// locations.
+type Observation struct {
+	From int        `json:"from"`
+	To   int        `json:"to"`
+	RLM  motion.RLM `json:"rlm"`
+}
+
+// Builder accumulates crowdsourced observations and builds the DB.
+type Builder struct {
+	plan  *floorplan.Plan
+	graph *floorplan.WalkGraph
+	cfg   BuilderConfig
+	// raw holds reassembled RLMs keyed by canonical pair.
+	raw map[[2]int][]motion.RLM
+	// dropped counts observations discarded at each stage, for
+	// reporting.
+	droppedSelf    int
+	droppedNonAdj  int
+	droppedCoarse  int
+	droppedFine    int
+	mapSeededPairs int
+}
+
+// NewBuilder creates a builder for the plan.
+func NewBuilder(plan *floorplan.Plan, cfg BuilderConfig) (*Builder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Builder{
+		plan: plan,
+		cfg:  cfg,
+		raw:  make(map[[2]int][]motion.RLM),
+	}, nil
+}
+
+// UseGraph attaches the walk graph, enabling two consistency features
+// (paper Sec. IV-A): observations between non-adjacent locations are
+// discarded (they come from mislocalized endpoints — no walkable direct
+// path connects the pair), and, when MapFallback is set, untrained
+// edges are seeded from the map.
+func (b *Builder) UseGraph(g *floorplan.WalkGraph) { b.graph = g }
+
+// Add ingests one observation, applying the paper's data reassembling:
+// an RLM whose start has the larger ID is replaced by its mirror so the
+// smaller ID is always the start. Observations between a location and
+// itself carry no relative information and are dropped.
+func (b *Builder) Add(obs Observation) {
+	if obs.From == obs.To {
+		b.droppedSelf++
+		return
+	}
+	if b.graph != nil && !b.graph.Adjacent(obs.From, obs.To) {
+		b.droppedNonAdj++
+		return
+	}
+	i, j, rlm := obs.From, obs.To, obs.RLM
+	if i > j {
+		i, j = j, i
+		rlm = rlm.Mirror()
+	}
+	b.raw[[2]int{i, j}] = append(b.raw[[2]int{i, j}], rlm)
+}
+
+// AddAll ingests a batch of observations.
+func (b *Builder) AddAll(obs []Observation) {
+	for _, o := range obs {
+		b.Add(o)
+	}
+}
+
+// Dropped reports how many observations each sanitation stage
+// discarded: self-loops and non-adjacent pairs at ingest, the coarse
+// map filter, and the fine Gaussian filter.
+func (b *Builder) Dropped() (selfLoops, nonAdjacent, coarse, fine int) {
+	return b.droppedSelf, b.droppedNonAdj, b.droppedCoarse, b.droppedFine
+}
+
+// MapSeeded reports how many pairs the most recent Build filled from
+// the map fallback rather than crowdsourced data.
+func (b *Builder) MapSeeded() int { return b.mapSeededPairs }
+
+// RawSamples returns the number of reassembled samples currently held
+// for the canonical pair (i, j), for introspection and tests.
+func (b *Builder) RawSamples(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return len(b.raw[[2]int{i, j}])
+}
+
+// Build runs the configured sanitation stages and fits the Gaussian
+// entries. The builder can keep accumulating observations and be built
+// again; drop counters reflect the most recent Build.
+func (b *Builder) Build() *DB {
+	db := New(b.plan.NumLocs())
+	b.droppedCoarse, b.droppedFine = 0, 0
+	b.mapSeededPairs = 0
+	for pair, samples := range b.raw {
+		kept := samples
+		if b.cfg.Level >= SanitationCoarse {
+			kept = b.coarseFilter(pair, kept)
+		}
+		if b.cfg.Level >= SanitationFull {
+			kept = b.fineFilter(kept)
+		}
+		if len(kept) < b.cfg.MinSamples {
+			continue
+		}
+		db.Set(pair[0], pair[1], b.fit(kept))
+	}
+	if b.cfg.MapFallback && b.graph != nil {
+		b.seedFromMap(db)
+	}
+	return db
+}
+
+// seedFromMap fills every walk-graph edge that crowdsourcing left
+// untrained with a map-derived entry carrying wide spreads. N is zero
+// so consumers can tell seeded entries from trained ones.
+func (b *Builder) seedFromMap(db *DB) {
+	for i := 1; i <= b.plan.NumLocs(); i++ {
+		for _, e := range b.graph.Neighbors(i) {
+			if e.To < i {
+				continue
+			}
+			if _, ok := db.Lookup(i, e.To); ok {
+				continue
+			}
+			dir, off := floorplan.GroundTruthRLM(b.plan, i, e.To)
+			db.Set(i, e.To, Entry{
+				MeanDir: dir,
+				StdDir:  b.cfg.FallbackStdDir,
+				MeanOff: off,
+				StdOff:  b.cfg.FallbackStdOff,
+				N:       0,
+			})
+			b.mapSeededPairs++
+		}
+	}
+}
+
+// coarseFilter drops RLMs deviating from the map-derived direction and
+// offset beyond the configured thresholds (paper: 20 degrees, 3 m).
+func (b *Builder) coarseFilter(pair [2]int, samples []motion.RLM) []motion.RLM {
+	gtDir, gtOff := floorplan.GroundTruthRLM(b.plan, pair[0], pair[1])
+	kept := make([]motion.RLM, 0, len(samples))
+	for _, s := range samples {
+		if geom.AbsAngleDiff(s.Dir, gtDir) > b.cfg.CoarseDirThresh ||
+			math.Abs(s.Off-gtOff) > b.cfg.CoarseOffThresh {
+			b.droppedCoarse++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept
+}
+
+// fineFilter fits Gaussians to the samples and drops those beyond
+// FineSigmas standard deviations from the means (paper: 2 sigma).
+func (b *Builder) fineFilter(samples []motion.RLM) []motion.RLM {
+	if len(samples) < 3 {
+		return samples // too few to estimate a spread
+	}
+	e := b.fit(samples)
+	kept := make([]motion.RLM, 0, len(samples))
+	for _, s := range samples {
+		if geom.AbsAngleDiff(s.Dir, e.MeanDir) > b.cfg.FineSigmas*e.StdDir ||
+			math.Abs(s.Off-e.MeanOff) > b.cfg.FineSigmas*e.StdOff {
+			b.droppedFine++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept
+}
+
+// fit computes the Gaussian entry for a sample set, flooring the
+// standard deviations per the configuration. Directions use circular
+// statistics so pairs near north fit correctly.
+func (b *Builder) fit(samples []motion.RLM) Entry {
+	var dir stats.Circular
+	var off stats.Online
+	for _, s := range samples {
+		dir.Add(s.Dir)
+		off.Add(s.Off)
+	}
+	e := Entry{
+		MeanDir: dir.Mean(),
+		StdDir:  dir.StdDev(),
+		MeanOff: off.Mean(),
+		StdOff:  off.StdDev(),
+		N:       len(samples),
+	}
+	if e.StdDir < b.cfg.MinStdDir || math.IsInf(e.StdDir, 1) {
+		e.StdDir = b.cfg.MinStdDir
+	}
+	if e.StdOff < b.cfg.MinStdOff {
+		e.StdOff = b.cfg.MinStdOff
+	}
+	return e
+}

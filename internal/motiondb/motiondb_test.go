@@ -1,0 +1,422 @@
+package motiondb
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/stats"
+)
+
+func mustBuilder(t *testing.T, cfg BuilderConfig) *Builder {
+	t.Helper()
+	b, err := NewBuilder(floorplan.OfficeHall(), cfg)
+	if err != nil {
+		t.Fatalf("NewBuilder: %v", err)
+	}
+	return b
+}
+
+func TestBuilderConfigValidate(t *testing.T) {
+	if err := NewBuilderConfig().Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+	bad := []func(*BuilderConfig){
+		func(c *BuilderConfig) { c.Level = 0 },
+		func(c *BuilderConfig) { c.CoarseDirThresh = 0 },
+		func(c *BuilderConfig) { c.CoarseOffThresh = -1 },
+		func(c *BuilderConfig) { c.FineSigmas = 0 },
+		func(c *BuilderConfig) { c.MinSamples = 0 },
+	}
+	for i, mutate := range bad {
+		c := NewBuilderConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+		if _, err := NewBuilder(floorplan.OfficeHall(), c); err == nil {
+			t.Errorf("case %d: NewBuilder should reject", i)
+		}
+	}
+}
+
+func TestEntryMirror(t *testing.T) {
+	e := Entry{MeanDir: 30, StdDir: 5, MeanOff: 4, StdOff: 0.2, N: 7}
+	m := e.Mirror()
+	if m.MeanDir != 210 {
+		t.Errorf("mirrored dir = %v, want 210", m.MeanDir)
+	}
+	if m.StdDir != 5 || m.MeanOff != 4 || m.StdOff != 0.2 || m.N != 7 {
+		t.Error("mirror must preserve all other fields")
+	}
+	if got := m.Mirror(); got != e {
+		t.Error("double mirror must restore")
+	}
+}
+
+func TestEntryProb(t *testing.T) {
+	e := Entry{MeanDir: 90, StdDir: 8, MeanOff: 4, StdOff: 0.3}
+	// Matching motion scores higher than mismatched.
+	match := e.Prob(90, 4, 20, 1)
+	wrongDir := e.Prob(270, 4, 20, 1)
+	wrongOff := e.Prob(90, 8, 20, 1)
+	if match <= wrongDir || match <= wrongOff {
+		t.Errorf("match %v should beat wrongDir %v and wrongOff %v", match, wrongDir, wrongOff)
+	}
+	if match <= 0 || match > 1 {
+		t.Errorf("probability out of range: %v", match)
+	}
+}
+
+func TestEntryProbWrapsDirection(t *testing.T) {
+	// Entry pointing north: querying at 358 vs 2 degrees must score the
+	// same by symmetry.
+	e := Entry{MeanDir: 0, StdDir: 8, MeanOff: 4, StdOff: 0.3}
+	a := e.Prob(358, 4, 20, 1)
+	b := e.Prob(2, 4, 20, 1)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("wrap asymmetry: %v vs %v", a, b)
+	}
+}
+
+func TestEntryProbBounds(t *testing.T) {
+	e := Entry{MeanDir: 45, StdDir: 10, MeanOff: 5, StdOff: 0.5}
+	f := func(d, o float64) bool {
+		if math.IsNaN(d) || math.IsNaN(o) || math.IsInf(d, 0) || math.IsInf(o, 0) {
+			return true
+		}
+		p := e.Prob(math.Mod(d, 360), math.Mod(math.Abs(o), 20), 20, 1)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupMirrors(t *testing.T) {
+	db := New(28)
+	db.Set(1, 2, Entry{MeanDir: 90, StdDir: 5, MeanOff: 5.67, StdOff: 0.2, N: 10})
+	fwd, ok := db.Lookup(1, 2)
+	if !ok || fwd.MeanDir != 90 {
+		t.Fatalf("forward lookup = %+v, %v", fwd, ok)
+	}
+	rev, ok := db.Lookup(2, 1)
+	if !ok || rev.MeanDir != 270 {
+		t.Fatalf("reverse lookup = %+v, %v", rev, ok)
+	}
+	if rev.MeanOff != fwd.MeanOff || rev.StdDir != fwd.StdDir {
+		t.Error("mirror must preserve offset stats")
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	db := New(28)
+	if _, ok := db.Lookup(1, 2); ok {
+		t.Error("empty DB should miss")
+	}
+	db.Set(1, 2, Entry{N: 5})
+	cases := [][2]int{{1, 1}, {0, 2}, {1, 29}, {3, 4}}
+	for _, c := range cases {
+		if _, ok := db.Lookup(c[0], c[1]); ok {
+			t.Errorf("Lookup(%d,%d) should miss", c[0], c[1])
+		}
+	}
+}
+
+func TestSetCanonicalizes(t *testing.T) {
+	db := New(10)
+	// Setting with i > j should store the mirrored canonical entry.
+	db.Set(5, 3, Entry{MeanDir: 10, StdDir: 4, MeanOff: 2, StdOff: 0.2, N: 4})
+	e, ok := db.Lookup(3, 5)
+	if !ok {
+		t.Fatal("canonical lookup missed")
+	}
+	if e.MeanDir != 190 {
+		t.Errorf("canonical dir = %v, want 190", e.MeanDir)
+	}
+	got, _ := db.Lookup(5, 3)
+	if got.MeanDir != 10 {
+		t.Errorf("original direction = %v, want 10", got.MeanDir)
+	}
+}
+
+// addSamples feeds n noisy RLM observations for the pair (from, to).
+func addSamples(b *Builder, from, to, n int, dirNoise, offNoise float64, seed int64) {
+	plan := floorplan.OfficeHall()
+	gtDir, gtOff := floorplan.GroundTruthRLM(plan, from, to)
+	rng := stats.NewRNG(seed)
+	for k := 0; k < n; k++ {
+		b.Add(Observation{From: from, To: to, RLM: motion.RLM{
+			Dir: geom.NormalizeDeg(gtDir + rng.Norm(0, dirNoise)),
+			Off: gtOff + rng.Norm(0, offNoise),
+		}})
+	}
+}
+
+func TestBuildFitsGaussians(t *testing.T) {
+	b := mustBuilder(t, NewBuilderConfig())
+	addSamples(b, 1, 2, 30, 5, 0.3, 1)
+	db := b.Build()
+	e, ok := db.Lookup(1, 2)
+	if !ok {
+		t.Fatal("pair 1-2 missing")
+	}
+	if geom.AbsAngleDiff(e.MeanDir, 90) > 3 {
+		t.Errorf("mean dir = %v, want ~90", e.MeanDir)
+	}
+	if math.Abs(e.MeanOff-5.6667) > 0.3 {
+		t.Errorf("mean off = %v, want ~5.67", e.MeanOff)
+	}
+	if e.StdDir <= 0 || e.StdOff <= 0 {
+		t.Error("stds must be positive")
+	}
+	if e.N < 20 {
+		t.Errorf("kept %d samples, expected most of 30", e.N)
+	}
+}
+
+func TestReassembling(t *testing.T) {
+	b := mustBuilder(t, NewBuilderConfig())
+	// Feed the same pair in both directions; all samples should land on
+	// the canonical (1,2) pair.
+	addSamples(b, 1, 2, 10, 3, 0.2, 1)
+	addSamples(b, 2, 1, 10, 3, 0.2, 2)
+	if got := b.RawSamples(1, 2); got != 20 {
+		t.Errorf("raw samples = %d, want 20 after reassembly", got)
+	}
+	db := b.Build()
+	e, ok := db.Lookup(1, 2)
+	if !ok {
+		t.Fatal("pair missing")
+	}
+	if geom.AbsAngleDiff(e.MeanDir, 90) > 3 {
+		t.Errorf("reassembled mean dir = %v, want ~90", e.MeanDir)
+	}
+}
+
+func TestSelfLoopDropped(t *testing.T) {
+	b := mustBuilder(t, NewBuilderConfig())
+	b.Add(Observation{From: 3, To: 3, RLM: motion.RLM{Dir: 10, Off: 1}})
+	selfLoops, _, _, _ := b.Dropped()
+	if selfLoops != 1 {
+		t.Errorf("self loops = %d, want 1", selfLoops)
+	}
+	if db := b.Build(); db.NumEntries() != 0 {
+		t.Error("self loop must not create an entry")
+	}
+}
+
+func TestCoarseFilterDropsOutliers(t *testing.T) {
+	b := mustBuilder(t, NewBuilderConfig())
+	addSamples(b, 1, 2, 20, 3, 0.2, 1)
+	// Poison: wildly wrong direction (a mislocalized estimate).
+	for k := 0; k < 5; k++ {
+		b.Add(Observation{From: 1, To: 2, RLM: motion.RLM{Dir: 200, Off: 5.6}})
+	}
+	db := b.Build()
+	_, _, coarse, _ := b.Dropped()
+	if coarse < 5 {
+		t.Errorf("coarse filter dropped %d, want >= 5", coarse)
+	}
+	e, _ := db.Lookup(1, 2)
+	if geom.AbsAngleDiff(e.MeanDir, 90) > 5 {
+		t.Errorf("poisoned mean dir = %v, want ~90", e.MeanDir)
+	}
+}
+
+func TestFineFilterDropsInBandOutliers(t *testing.T) {
+	cfg := NewBuilderConfig()
+	b := mustBuilder(t, cfg)
+	// Tight cluster at the truth plus a few samples near the coarse edge:
+	// those pass the coarse filter but fail the 2-sigma fine filter.
+	addSamples(b, 1, 2, 30, 2, 0.1, 1)
+	for k := 0; k < 3; k++ {
+		b.Add(Observation{From: 1, To: 2, RLM: motion.RLM{Dir: 90 + 18, Off: 5.6667 + 2.5}})
+	}
+	b.Build()
+	_, _, coarse, fine := b.Dropped()
+	if coarse != 0 {
+		t.Errorf("coarse dropped %d, want 0 (in-band)", coarse)
+	}
+	if fine < 3 {
+		t.Errorf("fine filter dropped %d, want >= 3", fine)
+	}
+}
+
+func TestSanitationLevels(t *testing.T) {
+	// The same poisoned sample set produces increasingly accurate entries
+	// as sanitation levels increase.
+	build := func(level Sanitation) Entry {
+		cfg := NewBuilderConfig()
+		cfg.Level = level
+		b := mustBuilder(t, cfg)
+		addSamples(b, 1, 2, 40, 3, 0.2, 1)
+		// Poison from mislocalization.
+		rng := stats.NewRNG(99)
+		for k := 0; k < 10; k++ {
+			b.Add(Observation{From: 1, To: 2, RLM: motion.RLM{
+				Dir: rng.Uniform(0, 360), Off: rng.Uniform(1, 9)}})
+		}
+		e, ok := b.Build().Lookup(1, 2)
+		if !ok {
+			t.Fatalf("level %d: pair missing", level)
+		}
+		return e
+	}
+	none := build(SanitationNone)
+	coarse := build(SanitationCoarse)
+	full := build(SanitationFull)
+	errOf := func(e Entry) float64 {
+		return geom.AbsAngleDiff(e.MeanDir, 90) + 10*math.Abs(e.MeanOff-5.6667)
+	}
+	if errOf(coarse) > errOf(none) {
+		t.Errorf("coarse (%v) should not be worse than none (%v)", errOf(coarse), errOf(none))
+	}
+	// The fine filter trims in-band samples, which on a single draw can
+	// nudge the mean either way; it must stay far better than no
+	// sanitation and in the same band as coarse.
+	if errOf(full) > errOf(none)/2 {
+		t.Errorf("full (%v) should clearly beat none (%v)", errOf(full), errOf(none))
+	}
+	if math.Abs(errOf(full)-errOf(coarse)) > 2 {
+		t.Errorf("full (%v) should stay near coarse (%v)", errOf(full), errOf(coarse))
+	}
+}
+
+func TestMinSamplesGate(t *testing.T) {
+	cfg := NewBuilderConfig()
+	cfg.MinSamples = 5
+	b := mustBuilder(t, cfg)
+	addSamples(b, 1, 2, 4, 2, 0.1, 1)
+	if db := b.Build(); db.NumEntries() != 0 {
+		t.Error("4 samples under MinSamples=5 should not build an entry")
+	}
+}
+
+func TestStdFloors(t *testing.T) {
+	cfg := NewBuilderConfig()
+	b := mustBuilder(t, cfg)
+	// Identical samples: raw std would be 0; floors must apply.
+	for k := 0; k < 10; k++ {
+		b.Add(Observation{From: 1, To: 2, RLM: motion.RLM{Dir: 90, Off: 5.6667}})
+	}
+	e, ok := b.Build().Lookup(1, 2)
+	if !ok {
+		t.Fatal("pair missing")
+	}
+	if e.StdDir < cfg.MinStdDir || e.StdOff < cfg.MinStdOff {
+		t.Errorf("floors not applied: %+v", e)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	b := mustBuilder(t, NewBuilderConfig())
+	addSamples(b, 1, 2, 20, 4, 0.2, 1)
+	addSamples(b, 1, 8, 20, 4, 0.2, 2)
+	db := b.Build()
+	dirErrs, offErrs := db.ValidationErrors(plan)
+	if len(dirErrs) != db.NumEntries() || len(offErrs) != db.NumEntries() {
+		t.Fatal("one error pair per entry expected")
+	}
+	for _, d := range dirErrs {
+		if d < 0 || d > 20 {
+			t.Errorf("direction error %v out of plausible band", d)
+		}
+	}
+	for _, o := range offErrs {
+		if o < 0 || o > 3 {
+			t.Errorf("offset error %v out of plausible band", o)
+		}
+	}
+}
+
+func TestDBJSONRoundTrip(t *testing.T) {
+	b := mustBuilder(t, NewBuilderConfig())
+	addSamples(b, 1, 2, 20, 3, 0.2, 1)
+	addSamples(b, 4, 11, 20, 3, 0.2, 2)
+	db := b.Build()
+	path := filepath.Join(t.TempDir(), "mdb.json")
+	if err := db.SaveJSON(path); err != nil {
+		t.Fatalf("SaveJSON: %v", err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if got.NumLocs() != db.NumLocs() || got.NumEntries() != db.NumEntries() {
+		t.Error("round trip changed shape")
+	}
+	a, _ := db.Lookup(1, 2)
+	bb, ok := got.Lookup(1, 2)
+	if !ok || a != bb {
+		t.Errorf("entry changed: %+v vs %+v", a, bb)
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestPairs(t *testing.T) {
+	b := mustBuilder(t, NewBuilderConfig())
+	addSamples(b, 1, 2, 10, 2, 0.1, 1)
+	addSamples(b, 2, 3, 10, 2, 0.1, 2)
+	db := b.Build()
+	pairs := db.Pairs()
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for _, p := range pairs {
+		if p[0] >= p[1] {
+			t.Errorf("non-canonical pair %v", p)
+		}
+	}
+}
+
+func TestUseGraphFiltersAndSeeds(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	graph := floorplan.BuildWalkGraph(plan, floorplan.OfficeHallAdjDist)
+	cfg := NewBuilderConfig()
+	b, err := NewBuilder(plan, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.UseGraph(graph)
+	// A non-adjacent observation is dropped at ingest.
+	b.AddAll([]Observation{
+		{From: 1, To: 28, RLM: motion.RLM{Dir: 120, Off: 5}},
+	})
+	_, nonAdj, _, _ := b.Dropped()
+	if nonAdj != 1 {
+		t.Errorf("nonAdj = %d, want 1", nonAdj)
+	}
+	if b.RawSamples(1, 28) != 0 {
+		t.Error("non-adjacent pair must not accumulate")
+	}
+	// With no usable data, the map fallback seeds every aisle.
+	db := b.Build()
+	if b.MapSeeded() != graph.NumEdges() {
+		t.Errorf("seeded %d, want all %d aisles", b.MapSeeded(), graph.NumEdges())
+	}
+	e, ok := db.Lookup(1, 2)
+	if !ok {
+		t.Fatal("seeded entry missing")
+	}
+	if e.N != 0 {
+		t.Error("seeded entries carry N=0 to mark their provenance")
+	}
+	gtDir, gtOff := floorplan.GroundTruthRLM(plan, 1, 2)
+	if geom.AbsAngleDiff(e.MeanDir, gtDir) > 1e-9 || math.Abs(e.MeanOff-gtOff) > 1e-9 {
+		t.Error("seeded entry should carry the map RLM")
+	}
+	if e.StdDir != cfg.FallbackStdDir || e.StdOff != cfg.FallbackStdOff {
+		t.Error("seeded entry should carry the fallback spreads")
+	}
+}

@@ -1,0 +1,109 @@
+package motiondb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+)
+
+// TestReassemblyInvariance: feeding an observation as (i, j, rlm) or as
+// (j, i, mirror(rlm)) must produce the same database. This is the
+// paper's mutual-reachability assumption as an executable property.
+func TestReassemblyInvariance(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	f := func(dirRaw, offRaw float64, n uint8) bool {
+		if math.IsNaN(dirRaw) || math.IsNaN(offRaw) {
+			return true
+		}
+		gtDir, gtOff := floorplan.GroundTruthRLM(plan, 1, 2)
+		samples := 3 + int(n%5)
+		cfg := NewBuilderConfig()
+
+		build := func(flip bool) Entry {
+			b, err := NewBuilder(plan, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < samples; k++ {
+				// Deterministic in-band jitter derived from the inputs.
+				jd := math.Mod(dirRaw+float64(k)*3.7, 10) - 5
+				jo := math.Mod(offRaw+float64(k)*0.31, 0.4) - 0.2
+				rlm := motion.RLM{
+					Dir: geom.NormalizeDeg(gtDir + jd),
+					Off: gtOff + jo,
+				}
+				if flip {
+					b.Add(Observation{From: 2, To: 1, RLM: rlm.Mirror()})
+				} else {
+					b.Add(Observation{From: 1, To: 2, RLM: rlm})
+				}
+			}
+			e, ok := b.Build().Lookup(1, 2)
+			if !ok {
+				t.Fatal("entry missing")
+			}
+			return e
+		}
+		a, bb := build(false), build(true)
+		return geom.AbsAngleDiff(a.MeanDir, bb.MeanDir) < 1e-9 &&
+			math.Abs(a.MeanOff-bb.MeanOff) < 1e-9 &&
+			math.Abs(a.StdDir-bb.StdDir) < 1e-9 &&
+			a.N == bb.N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLookupMirrorProperty: for any stored entry, Lookup(j,i) is the
+// exact mirror of Lookup(i,j).
+func TestLookupMirrorProperty(t *testing.T) {
+	f := func(dirRaw, offRaw, sdRaw, soRaw float64) bool {
+		if math.IsNaN(dirRaw) || math.IsNaN(offRaw) || math.IsNaN(sdRaw) || math.IsNaN(soRaw) {
+			return true
+		}
+		db := New(10)
+		e := Entry{
+			MeanDir: geom.NormalizeDeg(dirRaw),
+			StdDir:  1 + math.Abs(math.Mod(sdRaw, 20)),
+			MeanOff: 1 + math.Abs(math.Mod(offRaw, 8)),
+			StdOff:  0.1 + math.Abs(math.Mod(soRaw, 1)),
+			N:       5,
+		}
+		db.Set(3, 7, e)
+		fwd, ok1 := db.Lookup(3, 7)
+		rev, ok2 := db.Lookup(7, 3)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return geom.AbsAngleDiff(geom.MirrorBearing(fwd.MeanDir), rev.MeanDir) < 1e-9 &&
+			fwd.MeanOff == rev.MeanOff && fwd.StdDir == rev.StdDir && fwd.StdOff == rev.StdOff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProbSymmetryUnderMirror: evaluating the forward entry with the
+// forward motion equals evaluating the mirrored entry with the mirrored
+// motion.
+func TestProbSymmetryUnderMirror(t *testing.T) {
+	f := func(dirRaw, offRaw float64) bool {
+		if math.IsNaN(dirRaw) || math.IsNaN(offRaw) {
+			return true
+		}
+		e := Entry{MeanDir: 37, StdDir: 9, MeanOff: 4.2, StdOff: 0.35}
+		d := geom.NormalizeDeg(dirRaw)
+		o := math.Abs(math.Mod(offRaw, 10))
+		p1 := e.Prob(d, o, 20, 1)
+		p2 := e.Mirror().Prob(geom.MirrorBearing(d), o, 20, 1)
+		return math.Abs(p1-p2) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

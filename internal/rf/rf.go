@@ -1,0 +1,203 @@
+// Package rf simulates indoor WiFi signal propagation for the MoLoc
+// reproduction. It replaces the paper's physical testbed with a
+// multi-wall log-distance path-loss model plus two noise processes:
+//
+//   - a static, spatially-correlated shadowing field per AP, which models
+//     multipath structure and is what creates "fingerprint twins" — two
+//     distant positions whose mean RSS vectors happen to be similar; and
+//   - per-sample temporal noise, which models the signal variation the
+//     paper cites as a source of fingerprint ambiguity.
+//
+// Both processes are seeded deterministically so experiments reproduce
+// exactly across runs.
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/stats"
+)
+
+// NotDetected is the RSS value recorded when an AP is not heard in a
+// scan. Real scan lists simply omit the AP; using a floor value keeps
+// fingerprints fixed-length, the common practice in fingerprint
+// databases.
+const NotDetected = -100.0
+
+// Params are the propagation-model constants. NewParams returns the
+// defaults used throughout the reproduction; experiments that sweep a
+// parameter copy and modify them.
+type Params struct {
+	// RefPower is the received power in dBm at the 1 m reference
+	// distance from an AP with default transmit power.
+	RefPower float64
+	// PathLossExp is the log-distance path-loss exponent; ~3 for
+	// cluttered offices.
+	PathLossExp float64
+	// WallAtten is the attenuation per crossed wall/obstacle in dB.
+	WallAtten float64
+	// MaxWallLoss caps the total wall attenuation in dB, mirroring the
+	// saturation observed in multi-wall models.
+	MaxWallLoss float64
+	// ShadowSigma is the standard deviation in dB of the static
+	// spatially-correlated shadowing field.
+	ShadowSigma float64
+	// ShadowGridRes is the grid resolution in meters of the shadowing
+	// field; smaller values decorrelate the field faster in space.
+	ShadowGridRes float64
+	// TemporalSigma is the per-sample noise standard deviation in dB.
+	TemporalSigma float64
+	// BurstProb is the probability that a sample suffers an extra noise
+	// burst (passing crowds, interference).
+	BurstProb float64
+	// BurstSigma is the standard deviation of the extra burst noise.
+	BurstSigma float64
+	// Sensitivity is the weakest receivable RSS in dBm; weaker signals
+	// are recorded as NotDetected.
+	Sensitivity float64
+}
+
+// NewParams returns the default propagation parameters. They are
+// calibrated so that plain nearest-neighbor fingerprinting on the office
+// hall reproduces the accuracy band the paper reports for WiFi (Sec. VI).
+func NewParams() Params {
+	return Params{
+		RefPower:      -42,
+		PathLossExp:   2.5,
+		WallAtten:     3.5,
+		MaxWallLoss:   15,
+		ShadowSigma:   3.0,
+		ShadowGridRes: 10.0,
+		TemporalSigma: 4.2,
+		BurstProb:     0.08,
+		BurstSigma:    7.0,
+		Sensitivity:   -95,
+	}
+}
+
+// Validate rejects physically meaningless parameter combinations.
+func (p Params) Validate() error {
+	if p.PathLossExp <= 0 {
+		return fmt.Errorf("rf: path-loss exponent must be positive, got %g", p.PathLossExp)
+	}
+	if p.ShadowGridRes <= 0 {
+		return fmt.Errorf("rf: shadow grid resolution must be positive, got %g", p.ShadowGridRes)
+	}
+	if p.ShadowSigma < 0 || p.TemporalSigma < 0 || p.BurstSigma < 0 {
+		return fmt.Errorf("rf: noise sigmas must be non-negative")
+	}
+	if p.BurstProb < 0 || p.BurstProb > 1 {
+		return fmt.Errorf("rf: burst probability must be in [0,1], got %g", p.BurstProb)
+	}
+	return nil
+}
+
+// Model computes RSS values for a plan under Params.
+type Model struct {
+	plan   *floorplan.Plan
+	params Params
+	fields []*shadowField // one per AP, indexed like plan.APs
+}
+
+// NewModel builds a propagation model for the plan. The seed determines
+// the shadowing fields; two models with the same plan, params, and seed
+// are identical.
+func NewModel(plan *floorplan.Plan, params Params, seed int64) (*Model, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{plan: plan, params: params}
+	m.fields = make([]*shadowField, len(plan.APs))
+	for i, ap := range plan.APs {
+		fieldSeed := stats.HashSeed("shadow", ap.ID) ^ seed
+		m.fields[i] = newShadowField(
+			plan.Width, plan.Height, params.ShadowGridRes,
+			params.ShadowSigma, fieldSeed)
+	}
+	return m, nil
+}
+
+// Plan returns the floor plan the model was built for.
+func (m *Model) Plan() *floorplan.Plan { return m.plan }
+
+// Params returns the propagation parameters.
+func (m *Model) Params() Params { return m.params }
+
+// NumAPs returns the number of access points.
+func (m *Model) NumAPs() int { return len(m.plan.APs) }
+
+// MeanRSS returns the noise-free mean RSS in dBm from AP index ap at
+// pos: path loss, wall attenuation, and the static shadowing field, but
+// no temporal noise and no sensitivity cutoff.
+func (m *Model) MeanRSS(ap int, pos geom.Point) float64 {
+	a := m.plan.APs[ap]
+	d := math.Max(a.Pos.Dist(pos), 0.5)
+	refPower := m.params.RefPower
+	if a.TxPower != 0 {
+		refPower = a.TxPower
+	}
+	wallLoss := math.Min(
+		float64(m.plan.WallsBetween(a.Pos, pos))*m.params.WallAtten,
+		m.params.MaxWallLoss)
+	return refPower -
+		10*m.params.PathLossExp*math.Log10(d) -
+		wallLoss +
+		m.fields[ap].at(pos)
+}
+
+// Sample draws one RSS scan at pos: the mean RSS per AP plus temporal
+// noise, with sub-sensitivity signals reported as NotDetected. The
+// result has one entry per AP in plan order.
+func (m *Model) Sample(pos geom.Point, rng *stats.RNG) []float64 {
+	out := make([]float64, m.NumAPs())
+	for ap := range out {
+		rss := m.MeanRSS(ap, pos) + rng.Norm(0, m.params.TemporalSigma)
+		if m.params.BurstProb > 0 && rng.Bool(m.params.BurstProb) {
+			rss += rng.Norm(0, m.params.BurstSigma)
+		}
+		if rss < m.params.Sensitivity {
+			rss = NotDetected
+		}
+		out[ap] = rss
+	}
+	return out
+}
+
+// shadowField is a static spatially-correlated Gaussian field realized
+// on a coarse grid with bilinear interpolation between grid nodes.
+type shadowField struct {
+	cols, rows int
+	res        float64
+	vals       []float64 // rows*cols node values
+}
+
+func newShadowField(w, h, res, sigma float64, seed int64) *shadowField {
+	cols := int(math.Ceil(w/res)) + 2
+	rows := int(math.Ceil(h/res)) + 2
+	f := &shadowField{cols: cols, rows: rows, res: res}
+	f.vals = make([]float64, rows*cols)
+	rng := stats.NewRNG(seed)
+	for i := range f.vals {
+		f.vals[i] = rng.Norm(0, sigma)
+	}
+	return f
+}
+
+// at evaluates the field at a position with bilinear interpolation,
+// clamping coordinates to the grid.
+func (f *shadowField) at(pos geom.Point) float64 {
+	x := pos.X / f.res
+	y := pos.Y / f.res
+	x = math.Max(0, math.Min(x, float64(f.cols-2)))
+	y = math.Max(0, math.Min(y, float64(f.rows-2)))
+	cx, cy := int(x), int(y)
+	fx, fy := x-float64(cx), y-float64(cy)
+	v00 := f.vals[cy*f.cols+cx]
+	v10 := f.vals[cy*f.cols+cx+1]
+	v01 := f.vals[(cy+1)*f.cols+cx]
+	v11 := f.vals[(cy+1)*f.cols+cx+1]
+	return v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+}

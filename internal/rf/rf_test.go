@@ -1,0 +1,273 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/stats"
+)
+
+func newOfficeModel(t *testing.T, params Params, seed int64) *Model {
+	t.Helper()
+	m, err := NewModel(floorplan.OfficeHall(), params, seed)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return m
+}
+
+// quiet returns parameters with every stochastic term disabled, so only
+// deterministic path loss remains.
+func quiet() Params {
+	p := NewParams()
+	p.ShadowSigma = 0
+	p.TemporalSigma = 0
+	p.BurstProb = 0
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := NewParams().Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.PathLossExp = 0 },
+		func(p *Params) { p.ShadowGridRes = 0 },
+		func(p *Params) { p.ShadowSigma = -1 },
+		func(p *Params) { p.TemporalSigma = -1 },
+		func(p *Params) { p.BurstProb = 1.5 },
+	}
+	for i, mutate := range bad {
+		p := NewParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestNewModelRejectsBadParams(t *testing.T) {
+	p := NewParams()
+	p.PathLossExp = -1
+	if _, err := NewModel(floorplan.OfficeHall(), p, 1); err == nil {
+		t.Error("expected error for invalid params")
+	}
+}
+
+func TestMeanRSSDecaysWithDistance(t *testing.T) {
+	m := newOfficeModel(t, quiet(), 1)
+	ap := 0 // ap1 at (4, 15)
+	near := m.MeanRSS(ap, geom.Pt(5, 14))
+	far := m.MeanRSS(ap, geom.Pt(35, 2))
+	if near <= far {
+		t.Errorf("RSS should decay with distance: near %v, far %v", near, far)
+	}
+	// Exact free-space check: doubling distance drops 10*n*log10(2) dB.
+	p1 := m.MeanRSS(ap, geom.Pt(5, 11.5)) // 2 m, clear path
+	p2 := m.MeanRSS(ap, geom.Pt(5, 9.5))  // 4 m, clear path
+	wantDrop := 10 * m.Params().PathLossExp * math.Log10(2)
+	if math.Abs((p1-p2)-wantDrop) > 1e-9 {
+		t.Errorf("doubling distance dropped %v dB, want %v", p1-p2, wantDrop)
+	}
+}
+
+func TestMeanRSSMinDistanceClamp(t *testing.T) {
+	m := newOfficeModel(t, quiet(), 1)
+	at := m.plan.APs[0].Pos
+	// Standing exactly at the AP must not produce +Inf.
+	v := m.MeanRSS(0, at)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Errorf("RSS at AP position = %v", v)
+	}
+	if v > m.params.RefPower+10 {
+		t.Errorf("RSS at AP = %v suspiciously high", v)
+	}
+}
+
+func TestWallAttenuation(t *testing.T) {
+	// The office partition sits between locations 10 and 17; an AP placed
+	// north of the partition should be weaker south of it than the
+	// distance alone explains.
+	plan := floorplan.OfficeHall()
+	params := quiet()
+	m, err := NewModel(plan, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A probe east of ap6 (9.5, 7.5) whose sight line crosses the
+	// (13,8)-(16.5,8) partition, and a clear control at equal distance.
+	north := geom.Pt(17, 8.5)
+	wallCount := plan.WallsBetween(plan.APs[5].Pos, north)
+	if wallCount == 0 {
+		t.Skip("geometry changed; pick a different probe point")
+	}
+	d := plan.APs[5].Pos.Dist(north)
+	clear := plan.APs[5].Pos.Add(geom.FromBearing(0, d)) // due north, clear
+	if plan.WallsBetween(plan.APs[5].Pos, clear) != 0 {
+		t.Fatalf("expected clear path for control point")
+	}
+	got := m.MeanRSS(5, clear) - m.MeanRSS(5, north)
+	want := float64(wallCount) * params.WallAtten
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("wall attenuation = %v, want %v", got, want)
+	}
+}
+
+func TestMaxWallLossCap(t *testing.T) {
+	plan := floorplan.Museum() // many walls between far corners
+	params := quiet()
+	params.WallAtten = 10
+	params.MaxWallLoss = 12
+	m, err := NewModel(plan, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From ap1 (3,18) to the opposite corner room, several walls
+	// intervene; loss must cap at 12 regardless.
+	pos := geom.Pt(32, 4)
+	walls := plan.WallsBetween(plan.APs[0].Pos, pos)
+	if walls < 2 {
+		t.Skipf("expected >=2 walls, got %d", walls)
+	}
+	d := math.Max(plan.APs[0].Pos.Dist(pos), 0.5)
+	freeSpace := params.RefPower - 10*params.PathLossExp*math.Log10(d)
+	if got := m.MeanRSS(0, pos); math.Abs(got-(freeSpace-12)) > 1e-9 {
+		t.Errorf("capped wall loss: got %v, want %v", got, freeSpace-12)
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	m1 := newOfficeModel(t, NewParams(), 42)
+	m2 := newOfficeModel(t, NewParams(), 42)
+	r1, r2 := stats.NewRNG(7), stats.NewRNG(7)
+	pos := geom.Pt(10, 10)
+	for i := 0; i < 20; i++ {
+		s1 := m1.Sample(pos, r1)
+		s2 := m2.Sample(pos, r2)
+		for j := range s1 {
+			if s1[j] != s2[j] {
+				t.Fatalf("sample %d AP %d: %v != %v", i, j, s1[j], s2[j])
+			}
+		}
+	}
+}
+
+func TestSeedChangesShadowField(t *testing.T) {
+	m1 := newOfficeModel(t, NewParams(), 1)
+	m2 := newOfficeModel(t, NewParams(), 2)
+	pos := geom.Pt(20, 8)
+	if m1.MeanRSS(0, pos) == m2.MeanRSS(0, pos) {
+		t.Error("different seeds should change the shadow field")
+	}
+}
+
+func TestSampleLength(t *testing.T) {
+	m := newOfficeModel(t, NewParams(), 1)
+	s := m.Sample(geom.Pt(20, 8), stats.NewRNG(1))
+	if len(s) != 6 {
+		t.Errorf("sample length = %d, want 6", len(s))
+	}
+}
+
+func TestSensitivityCutoff(t *testing.T) {
+	params := quiet()
+	params.Sensitivity = -60 // absurdly insensitive radio
+	m, err := NewModel(floorplan.OfficeHall(), params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Sample(geom.Pt(40, 1), stats.NewRNG(1)) // far corner
+	sawMissing := false
+	for _, v := range s {
+		if v == NotDetected {
+			sawMissing = true
+		}
+		if v != NotDetected && v < params.Sensitivity {
+			t.Errorf("sub-sensitivity RSS leaked through: %v", v)
+		}
+	}
+	if !sawMissing {
+		t.Error("expected at least one AP below the -60 dBm cutoff")
+	}
+}
+
+func TestTemporalNoiseStatistics(t *testing.T) {
+	params := NewParams()
+	params.BurstProb = 0 // isolate the Gaussian term
+	m, err := NewModel(floorplan.OfficeHall(), params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := geom.Pt(20, 8)
+	mean := m.MeanRSS(0, pos)
+	rng := stats.NewRNG(5)
+	var o stats.Online
+	for i := 0; i < 5000; i++ {
+		s := m.Sample(pos, rng)
+		if s[0] != NotDetected {
+			o.Add(s[0] - mean)
+		}
+	}
+	if math.Abs(o.Mean()) > 0.2 {
+		t.Errorf("noise mean = %v, want ~0", o.Mean())
+	}
+	if math.Abs(o.StdDev()-params.TemporalSigma) > 0.2 {
+		t.Errorf("noise std = %v, want ~%v", o.StdDev(), params.TemporalSigma)
+	}
+}
+
+func TestShadowFieldSmoothness(t *testing.T) {
+	// Nearby points must have nearly identical shadowing; far points
+	// should (almost surely) differ.
+	f := newShadowField(40, 16, 4, 6, 123)
+	a := f.at(geom.Pt(10, 8))
+	b := f.at(geom.Pt(10.1, 8))
+	if math.Abs(a-b) > 0.5 {
+		t.Errorf("field jumps too fast: %v vs %v", a, b)
+	}
+	c := f.at(geom.Pt(30, 2))
+	if a == c {
+		t.Error("distant field values identical; field looks constant")
+	}
+}
+
+func TestShadowFieldInterpolationBounds(t *testing.T) {
+	f := newShadowField(40, 16, 4, 6, 9)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range f.vals {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	// Bilinear interpolation never exceeds node extremes, and clamping
+	// keeps out-of-range queries finite.
+	probe := func(x, y float64) bool {
+		v := f.at(geom.Pt(math.Mod(math.Abs(x), 60)-10, math.Mod(math.Abs(y), 30)-7))
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(probe, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerAPTxPowerOverride(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	plan.APs[0].TxPower = -20 // hotter AP
+	m, err := NewModel(plan, quiet(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2 := floorplan.OfficeHall()
+	m2, err := NewModel(plan2, quiet(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := geom.Pt(10, 10)
+	boost := m.MeanRSS(0, pos) - m2.MeanRSS(0, pos)
+	want := -20 - quiet().RefPower
+	if math.Abs(boost-want) > 1e-9 {
+		t.Errorf("TxPower override boost = %v, want %v", boost, want)
+	}
+}

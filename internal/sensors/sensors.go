@@ -1,0 +1,216 @@
+// Package sensors simulates the phone sensors MoLoc reads: the
+// accelerometer, whose magnitude shows the repetitive walking pattern of
+// the paper's Fig. 4, and the digital compass, whose readings combine
+// the true motion direction with a per-trace placement offset (how the
+// phone is held), a per-device bias, and per-sample noise.
+//
+// The simulator produces the same 10 Hz sample streams the paper's
+// prototype records, so the step detection, continuous step counting,
+// and heading estimation in package motion run unchanged against them.
+package sensors
+
+import (
+	"fmt"
+	"math"
+
+	"moloc/internal/geom"
+	"moloc/internal/stats"
+)
+
+// Gravity is the accelerometer magnitude at rest, m/s^2.
+const Gravity = 9.81
+
+// Params are the sensor-model constants.
+type Params struct {
+	// SampleRate is the IMU sampling frequency in Hz (10 in the paper).
+	SampleRate float64
+	// AccelAmp is the dominant oscillation amplitude of the walking
+	// acceleration magnitude, m/s^2. Fig. 4 shows swings of roughly
+	// +/- 4 m/s^2 around gravity.
+	AccelAmp float64
+	// AccelHarmonic is the relative amplitude of the second harmonic,
+	// which makes the waveform asymmetric like real gait.
+	AccelHarmonic float64
+	// AccelNoise is the white-noise standard deviation on the
+	// accelerometer magnitude, m/s^2.
+	AccelNoise float64
+	// CompassNoise is the per-sample heading noise standard deviation in
+	// degrees.
+	CompassNoise float64
+	// DeviceBiasSigma is the standard deviation of the per-device
+	// constant compass bias in degrees. The paper observes 10-20 degree
+	// bias errors when directions are reversed; a constant per-device
+	// bias produces exactly that signature after RLM mirroring.
+	DeviceBiasSigma float64
+	// SwayAmp is the amplitude in degrees of the rhythmic heading sway
+	// synchronized with steps.
+	SwayAmp float64
+	// MagDistortAmp and MagDistortAmp2 are the amplitudes in degrees of
+	// the heading-dependent magnetic distortion (hard/soft-iron effects
+	// of the building and the device): a first and second harmonic of
+	// the true heading, shared by every device in the environment. This
+	// is the systematic error that survives crowdsourced averaging and
+	// gives the motion database the residual direction errors of
+	// Fig. 6(a); the paper observes 10-20 degree biases when directions
+	// are reversed, the signature of exactly such heading-dependent
+	// deviation.
+	MagDistortAmp  float64
+	MagDistortAmp2 float64
+	// MagDistortPhase and MagDistortPhase2 are the harmonic phases in
+	// degrees.
+	MagDistortPhase  float64
+	MagDistortPhase2 float64
+	// GyroNoise is the per-sample angular-rate noise standard deviation
+	// in degrees/second. The gyroscope is the paper's named future-work
+	// sensor ("highly accurate direction estimation by using gyroscope
+	// and advanced filtering techniques such as the Kalman filter").
+	GyroNoise float64
+	// GyroBiasSigma is the standard deviation of the per-device constant
+	// gyroscope bias in degrees/second; MEMS gyros drift.
+	GyroBiasSigma float64
+}
+
+// NewParams returns defaults matching the paper's prototype: 10 Hz
+// sampling and noise levels that keep motion-DB errors within the
+// bounds of Fig. 6 after sanitation.
+func NewParams() Params {
+	return Params{
+		SampleRate:       10,
+		AccelAmp:         3.5,
+		AccelHarmonic:    0.35,
+		AccelNoise:       0.35,
+		CompassNoise:     8,
+		DeviceBiasSigma:  4,
+		SwayAmp:          4,
+		MagDistortAmp:    12,
+		MagDistortAmp2:   7,
+		MagDistortPhase:  55,
+		MagDistortPhase2: 160,
+		GyroNoise:        1.5,
+		GyroBiasSigma:    0.3,
+	}
+}
+
+// Validate rejects unusable sensor parameters.
+func (p Params) Validate() error {
+	if p.SampleRate <= 0 {
+		return fmt.Errorf("sensors: sample rate must be positive, got %g", p.SampleRate)
+	}
+	if p.AccelAmp < 0 || p.AccelNoise < 0 || p.CompassNoise < 0 ||
+		p.DeviceBiasSigma < 0 || p.GyroNoise < 0 || p.GyroBiasSigma < 0 {
+		return fmt.Errorf("sensors: negative noise/amplitude parameter")
+	}
+	return nil
+}
+
+// Sample is one IMU reading: a timestamp in seconds, the accelerometer
+// magnitude in m/s^2, and the compass reading in degrees [0, 360).
+type Sample struct {
+	T       float64 `json:"t"`
+	Accel   float64 `json:"accel"`
+	Compass float64 `json:"compass"`
+	// Gyro is the angular rate around the vertical axis in
+	// degrees/second (positive clockwise, matching compass bearings).
+	Gyro float64 `json:"gyro"`
+}
+
+// Device models one phone carried on one walk: its constant compass
+// bias and the placement offset between phone orientation and motion
+// direction (the paper's handheld-vs-calling distinction).
+type Device struct {
+	// Bias is the constant compass bias in degrees.
+	Bias float64 `json:"bias"`
+	// PlacementOffset is the constant angle in degrees between the
+	// phone's orientation (what the compass reports) and the user's
+	// motion direction. Zee-style heading estimation recovers it.
+	PlacementOffset float64 `json:"placement_offset"`
+	// GyroBias is the constant angular-rate bias in degrees/second.
+	GyroBias float64 `json:"gyro_bias"`
+}
+
+// MagDistortion returns the systematic compass deviation in degrees for
+// a true heading, per the configured harmonics.
+func (p Params) MagDistortion(headingDeg float64) float64 {
+	h := geom.DegToRad(headingDeg)
+	return p.MagDistortAmp*math.Sin(h+geom.DegToRad(p.MagDistortPhase)) +
+		p.MagDistortAmp2*math.Sin(2*h+geom.DegToRad(p.MagDistortPhase2))
+}
+
+// NewDevice draws a device for one trace: bias from the configured
+// sigma, placement offset uniform over a realistic handheld range.
+func NewDevice(p Params, rng *stats.RNG) Device {
+	return Device{
+		Bias:            rng.Norm(0, p.DeviceBiasSigma),
+		PlacementOffset: rng.Uniform(-30, 30),
+		GyroBias:        rng.Norm(0, p.GyroBiasSigma),
+	}
+}
+
+// Generator synthesizes IMU sample streams.
+type Generator struct {
+	params Params
+}
+
+// NewGenerator builds a generator, validating the parameters.
+func NewGenerator(p Params) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{params: p}, nil
+}
+
+// Params returns the generator's parameters.
+func (g *Generator) Params() Params { return g.params }
+
+// Walk generates the IMU stream for walking at a constant true heading
+// (degrees) with the given step frequency (Hz), from time t0 for the
+// given duration in seconds. stepPhase is the gait phase in radians at
+// t0 and is returned advanced past the generated interval, so
+// consecutive legs form one continuous gait. Samples are appended to
+// dst and returned.
+func (g *Generator) Walk(dst []Sample, t0, duration, stepFreq, headingDeg float64,
+	dev Device, stepPhase float64, rng *stats.RNG) ([]Sample, float64) {
+
+	dt := 1 / g.params.SampleRate
+	n := int(duration * g.params.SampleRate)
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		phase := stepPhase + 2*math.Pi*stepFreq*float64(i)*dt
+		accel := Gravity +
+			g.params.AccelAmp*math.Sin(phase) +
+			g.params.AccelAmp*g.params.AccelHarmonic*math.Sin(2*phase+0.7) +
+			rng.Norm(0, g.params.AccelNoise)
+		sway := g.params.SwayAmp * math.Sin(phase/2)
+		compass := geom.NormalizeDeg(
+			headingDeg + g.params.MagDistortion(headingDeg) +
+				dev.PlacementOffset + dev.Bias + sway +
+				rng.Norm(0, g.params.CompassNoise))
+		// The true angular rate while walking a straight leg is the sway
+		// derivative: d/dt [SwayAmp*sin(phase/2)] with phase advancing at
+		// 2*pi*stepFreq rad/s.
+		swayRate := g.params.SwayAmp * math.Cos(phase/2) * math.Pi * stepFreq
+		gyro := swayRate + dev.GyroBias + rng.Norm(0, g.params.GyroNoise)
+		dst = append(dst, Sample{T: t, Accel: accel, Compass: compass, Gyro: gyro})
+	}
+	return dst, stepPhase + 2*math.Pi*stepFreq*float64(n)*dt
+}
+
+// Stand generates the IMU stream for standing still: gravity plus
+// noise on the accelerometer, and a stationary (noisy) compass heading.
+func (g *Generator) Stand(dst []Sample, t0, duration, headingDeg float64,
+	dev Device, rng *stats.RNG) []Sample {
+
+	dt := 1 / g.params.SampleRate
+	n := int(duration * g.params.SampleRate)
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		accel := Gravity + rng.Norm(0, g.params.AccelNoise)
+		compass := geom.NormalizeDeg(
+			headingDeg + g.params.MagDistortion(headingDeg) +
+				dev.PlacementOffset + dev.Bias +
+				rng.Norm(0, g.params.CompassNoise))
+		gyro := dev.GyroBias + rng.Norm(0, g.params.GyroNoise)
+		dst = append(dst, Sample{T: t, Accel: accel, Compass: compass, Gyro: gyro})
+	}
+	return dst
+}

@@ -1,0 +1,169 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+
+	"moloc/internal/stats"
+)
+
+func mustGen(t *testing.T) *Generator {
+	t.Helper()
+	g, err := NewGenerator(NewParams())
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := NewParams().Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+	p := NewParams()
+	p.SampleRate = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero sample rate should fail")
+	}
+	p = NewParams()
+	p.CompassNoise = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative noise should fail")
+	}
+	if _, err := NewGenerator(p); err == nil {
+		t.Error("NewGenerator should reject invalid params")
+	}
+}
+
+func TestWalkSampleCountAndTiming(t *testing.T) {
+	g := mustGen(t)
+	s, _ := g.Walk(nil, 2, 3, 1.8, 90, Device{}, 0, stats.NewRNG(1))
+	if len(s) != 30 {
+		t.Fatalf("3 s at 10 Hz should give 30 samples, got %d", len(s))
+	}
+	if s[0].T != 2 {
+		t.Errorf("first timestamp = %v, want 2", s[0].T)
+	}
+	if math.Abs(s[len(s)-1].T-(2+2.9)) > 1e-9 {
+		t.Errorf("last timestamp = %v, want 4.9", s[len(s)-1].T)
+	}
+	for i := 1; i < len(s); i++ {
+		if math.Abs((s[i].T-s[i-1].T)-0.1) > 1e-9 {
+			t.Fatal("timestamps must step by 0.1 s")
+		}
+	}
+}
+
+func TestWalkAccelOscillation(t *testing.T) {
+	g := mustGen(t)
+	s, _ := g.Walk(nil, 0, 5, 1.8, 0, Device{}, 0, stats.NewRNG(2))
+	var o stats.Online
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, smp := range s {
+		o.Add(smp.Accel)
+		lo = math.Min(lo, smp.Accel)
+		hi = math.Max(hi, smp.Accel)
+	}
+	// Fig. 4: magnitude oscillates several m/s^2 around gravity.
+	if math.Abs(o.Mean()-Gravity) > 1 {
+		t.Errorf("mean accel = %v, want ~%v", o.Mean(), Gravity)
+	}
+	if hi-lo < 4 {
+		t.Errorf("oscillation range = %v, want > 4 m/s^2", hi-lo)
+	}
+	if o.StdDev() < 1 {
+		t.Errorf("walking accel std = %v, want > 1", o.StdDev())
+	}
+}
+
+func TestStandIsQuiet(t *testing.T) {
+	g := mustGen(t)
+	s := g.Stand(nil, 0, 5, 0, Device{}, stats.NewRNG(3))
+	var o stats.Online
+	for _, smp := range s {
+		o.Add(smp.Accel)
+	}
+	if o.StdDev() > 0.8 {
+		t.Errorf("standing accel std = %v, too noisy", o.StdDev())
+	}
+}
+
+func TestCompassOffsets(t *testing.T) {
+	p := NewParams()
+	p.CompassNoise = 0
+	p.SwayAmp = 0
+	p.MagDistortAmp = 0
+	p.MagDistortAmp2 = 0
+	g, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := Device{Bias: 5, PlacementOffset: 20}
+	s, _ := g.Walk(nil, 0, 2, 1.8, 90, dev, 0, stats.NewRNG(1))
+	for _, smp := range s {
+		if math.Abs(smp.Compass-115) > 1e-9 {
+			t.Fatalf("compass = %v, want exactly 115", smp.Compass)
+		}
+	}
+}
+
+func TestCompassWraps(t *testing.T) {
+	g := mustGen(t)
+	s, _ := g.Walk(nil, 0, 3, 1.8, 355, Device{PlacementOffset: 20}, 0, stats.NewRNG(4))
+	for _, smp := range s {
+		if smp.Compass < 0 || smp.Compass >= 360 {
+			t.Fatalf("compass %v out of [0,360)", smp.Compass)
+		}
+	}
+}
+
+func TestWalkPhaseContinuity(t *testing.T) {
+	// Two consecutive legs must form one continuous gait: the returned
+	// phase feeds the next call.
+	p := NewParams()
+	p.AccelNoise = 0
+	p.CompassNoise = 0
+	g, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	s1, phase := g.Walk(nil, 0, 1.5, 2.0, 0, Device{}, 0, rng)
+	s2, _ := g.Walk(nil, 1.5, 1.5, 2.0, 0, Device{}, phase, rng)
+	// One long walk for reference.
+	ref, _ := g.Walk(nil, 0, 3, 2.0, 0, Device{}, 0, stats.NewRNG(1))
+	joined := append(s1, s2...)
+	if len(joined) != len(ref) {
+		t.Fatalf("length mismatch %d vs %d", len(joined), len(ref))
+	}
+	for i := range joined {
+		if math.Abs(joined[i].Accel-ref[i].Accel) > 1e-9 {
+			t.Fatalf("sample %d: %v != %v (phase discontinuity)", i, joined[i].Accel, ref[i].Accel)
+		}
+	}
+}
+
+func TestNewDeviceRanges(t *testing.T) {
+	rng := stats.NewRNG(5)
+	p := NewParams()
+	for i := 0; i < 100; i++ {
+		d := NewDevice(p, rng)
+		if d.PlacementOffset < -30 || d.PlacementOffset >= 30 {
+			t.Fatalf("placement offset %v out of range", d.PlacementOffset)
+		}
+		if math.Abs(d.Bias) > 5*p.DeviceBiasSigma {
+			t.Fatalf("bias %v implausible", d.Bias)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := mustGen(t)
+	a, _ := g.Walk(nil, 0, 3, 1.8, 45, Device{Bias: 1}, 0, stats.NewRNG(7))
+	b, _ := g.Walk(nil, 0, 3, 1.8, 45, Device{Bias: 1}, 0, stats.NewRNG(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the stream")
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// fuzzServer builds one shared server for the handler fuzzer; building
+// a deployment per fuzz case would drown the fuzzer in setup.
+var (
+	fuzzSrvOnce sync.Once
+	fuzzSrv     *httptest.Server
+)
+
+func fuzzHandler(t *testing.T) *httptest.Server {
+	fuzzSrvOnce.Do(func() {
+		srv, _, err := newTestServer()
+		if err != nil {
+			return
+		}
+		fuzzSrv = httptest.NewServer(srv.Handler())
+	})
+	if fuzzSrv == nil {
+		t.Skip("server unavailable")
+	}
+	return fuzzSrv
+}
+
+// FuzzHandleSession throws arbitrary methods, paths, and bodies at the
+// session router: whatever arrives, the server must answer with an HTTP
+// status (never panic or hang).
+func FuzzHandleSession(f *testing.F) {
+	f.Add("POST", "/v1/sessions", `{"height_m":1.7,"weight_kg":70}`)
+	f.Add("POST", "/v1/sessions/s1/imu", `{"samples":[{"t":1,"accel":9.8}]}`)
+	f.Add("POST", "/v1/sessions/s1/scan", `{"t":1,"rss":[1,2,3]}`)
+	f.Add("GET", "/v1/sessions/zzz", "")
+	f.Add("DELETE", "/v1/sessions/s1", "")
+	f.Add("PUT", "/v1/sessions/s1/tick", `{`)
+	f.Add("POST", "/v1/sessions//imu", `null`)
+	f.Fuzz(func(t *testing.T, method, path, body string) {
+		if len(path) > 200 || len(body) > 4096 {
+			return
+		}
+		ts := fuzzHandler(t)
+		req, err := http.NewRequest(method, ts.URL+"/"+path, bytes.NewReader([]byte(body)))
+		if err != nil {
+			return // unrepresentable method/path; not the server's fault
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("transport error: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode < 200 || resp.StatusCode > 599 {
+			t.Fatalf("implausible status %d", resp.StatusCode)
+		}
+	})
+}

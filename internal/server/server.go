@@ -1,0 +1,283 @@
+// Package server exposes MoLoc tracking sessions over HTTP+JSON: a
+// deployment-shaped wrapper in which phones create a session, stream
+// IMU samples and WiFi scans, and poll for location fixes. It is the
+// "localization engine" box of the paper's architecture (Fig. 2) as a
+// network service.
+//
+// API (all request/response bodies are JSON):
+//
+//	POST   /v1/sessions                  {"height_m":1.7,"weight_kg":65}    -> {"session_id":...}
+//	POST   /v1/sessions/{id}/imu         {"samples":[{"t":0,"accel":9.8,...}]}
+//	POST   /v1/sessions/{id}/scan        {"t":0.5,"rss":[-60,...]}
+//	POST   /v1/sessions/{id}/tick        {"t":3.1}                          -> fix or 204
+//	GET    /v1/sessions/{id}             -> last fix
+//	DELETE /v1/sessions/{id}
+//	GET    /v1/healthz
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/sensors"
+	"moloc/internal/tracker"
+)
+
+// Server hosts tracking sessions over one deployment's databases.
+type Server struct {
+	plan   *floorplan.Plan
+	src    fingerprint.CandidateSource
+	mdb    *motiondb.DB
+	numAPs int
+	mcfg   motion.Config
+
+	mu       sync.Mutex
+	nextID   int
+	sessions map[string]*session
+}
+
+type session struct {
+	mu sync.Mutex
+	tk *tracker.Tracker
+}
+
+// New builds a server over a candidate source (numAPs wide), a motion
+// database, and the floor plan.
+func New(plan *floorplan.Plan, src fingerprint.CandidateSource, numAPs int,
+	mdb *motiondb.DB, mcfg motion.Config) (*Server, error) {
+	if err := mcfg.Validate(); err != nil {
+		return nil, err
+	}
+	if numAPs < 1 {
+		return nil, fmt.Errorf("server: numAPs must be >= 1, got %d", numAPs)
+	}
+	if plan.NumLocs() != src.NumLocs() || plan.NumLocs() != mdb.NumLocs() {
+		return nil, fmt.Errorf("server: plan (%d), source (%d), and motion DB (%d) disagree on locations",
+			plan.NumLocs(), src.NumLocs(), mdb.NumLocs())
+	}
+	return &Server{
+		plan:     plan,
+		src:      src,
+		mdb:      mdb,
+		numAPs:   numAPs,
+		mcfg:     mcfg,
+		sessions: make(map[string]*session),
+	}, nil
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/sessions", s.handleSessions)
+	mux.HandleFunc("/v1/sessions/", s.handleSession)
+	return mux
+}
+
+// NumSessions reports the number of live sessions.
+func (s *Server) NumSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":    "ok",
+		"plan":      s.plan.Name,
+		"locations": s.plan.NumLocs(),
+		"aps":       s.numAPs,
+		"sessions":  s.NumSessions(),
+	})
+}
+
+// createReq is the session-creation body.
+type createReq struct {
+	HeightM     float64 `json:"height_m"`
+	WeightKg    float64 `json:"weight_kg"`
+	IntervalSec float64 `json:"interval_sec,omitempty"`
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req createReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.HeightM < 1 || req.HeightM > 2.3 || req.WeightKg < 25 || req.WeightKg > 250 {
+		httpError(w, http.StatusBadRequest, "implausible user profile")
+		return
+	}
+	stepLen := motion.StepLength(s.mcfg, req.HeightM, req.WeightKg)
+	cfg := tracker.NewConfig(stepLen)
+	cfg.Motion = s.mcfg
+	if req.IntervalSec > 0 {
+		cfg.IntervalSec = req.IntervalSec
+	}
+	tk, err := tracker.New(s.plan, s.src, s.mdb, cfg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := "s" + strconv.Itoa(s.nextID)
+	s.sessions[id] = &session{tk: tk}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusCreated, map[string]string{"session_id": id})
+}
+
+// imuReq carries a batch of IMU samples.
+type imuReq struct {
+	Samples []sensors.Sample `json:"samples"`
+}
+
+// scanReq carries one WiFi scan.
+type scanReq struct {
+	T   float64   `json:"t"`
+	RSS []float64 `json:"rss"`
+}
+
+// tickReq advances session time.
+type tickReq struct {
+	T float64 `json:"t"`
+}
+
+// fixResp is the JSON form of a fix.
+type fixResp struct {
+	T          float64                 `json:"t"`
+	Loc        int                     `json:"loc"`
+	X          float64                 `json:"x"`
+	Y          float64                 `json:"y"`
+	Moved      bool                    `json:"moved"`
+	Candidates []fingerprint.Candidate `json:"candidates"`
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	parts := strings.Split(rest, "/")
+	id := parts[0]
+
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session "+id)
+		return
+	}
+
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		s.getFix(w, sess)
+	case len(parts) == 1 && r.Method == http.MethodDelete:
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	case len(parts) == 2 && r.Method == http.MethodPost:
+		switch parts[1] {
+		case "imu":
+			s.postIMU(w, r, sess)
+		case "scan":
+			s.postScan(w, r, sess)
+		case "tick":
+			s.postTick(w, r, sess)
+		default:
+			httpError(w, http.StatusNotFound, "unknown endpoint "+parts[1])
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "unsupported method")
+	}
+}
+
+func (s *Server) getFix(w http.ResponseWriter, sess *session) {
+	sess.mu.Lock()
+	fix := sess.tk.LastFix()
+	sess.mu.Unlock()
+	if fix == nil {
+		httpError(w, http.StatusNotFound, "no fix yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.toResp(*fix))
+}
+
+func (s *Server) postIMU(w http.ResponseWriter, r *http.Request, sess *session) {
+	var req imuReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	sess.mu.Lock()
+	for _, smp := range req.Samples {
+		sess.tk.AddIMU(smp)
+	}
+	sess.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *Server) postScan(w http.ResponseWriter, r *http.Request, sess *session) {
+	var req scanReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.RSS) != s.numAPs {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("scan has %d APs, deployment has %d", len(req.RSS), s.numAPs))
+		return
+	}
+	sess.mu.Lock()
+	sess.tk.AddScan(req.T, fingerprint.Fingerprint(req.RSS))
+	sess.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *Server) postTick(w http.ResponseWriter, r *http.Request, sess *session) {
+	var req tickReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	sess.mu.Lock()
+	fix, ok := sess.tk.Tick(req.T)
+	sess.mu.Unlock()
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.toResp(fix))
+}
+
+func (s *Server) toResp(fix tracker.Fix) fixResp {
+	pos := s.plan.LocPos(fix.Loc)
+	return fixResp{
+		T: fix.T, Loc: fix.Loc, X: pos.X, Y: pos.Y,
+		Moved: fix.Moved, Candidates: fix.Candidates,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding errors after the header is written can only be logged;
+	// for these small payloads they do not occur in practice.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

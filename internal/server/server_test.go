@@ -1,0 +1,352 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"moloc/internal/core"
+	"moloc/internal/fingerprint"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+)
+
+// newTestServer builds a server over a small office-hall deployment.
+func newTestServer() (*Server, *core.System, error) {
+	cfg := core.NewConfig()
+	cfg.NumTrainTraces = 50
+	cfg.NumTestTraces = 2
+	cfg.Trace.NumLegs = 10
+	sys, err := core.Build(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	fdb, err := sys.Survey.BuildDB(fingerprint.Euclidean{}, sys.Model.NumAPs())
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := New(sys.Plan, fdb, sys.Model.NumAPs(), sys.MDB, sys.Config.Motion)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, sys, nil
+}
+
+// testServer is the testing.T-flavored wrapper around newTestServer.
+func testServer(t *testing.T) (*Server, *core.System) {
+	t.Helper()
+	srv, sys, err := newTestServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, sys
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func createSession(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, body := postJSON(t, ts, "/v1/sessions", createReq{HeightM: 1.71, WeightKg: 68})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d body %s", resp.StatusCode, body)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["session_id"] == "" {
+		t.Fatal("empty session id")
+	}
+	return out["session_id"]
+}
+
+func TestNewValidation(t *testing.T) {
+	_, sys := testServer(t)
+	fdb, _ := sys.Survey.BuildDB(fingerprint.Euclidean{}, 6)
+	if _, err := New(sys.Plan, fdb, 0, sys.MDB, sys.Config.Motion); err == nil {
+		t.Error("numAPs 0 should be rejected")
+	}
+	if _, err := New(sys.Plan, fdb, 6, motiondb.New(3), sys.Config.Motion); err == nil {
+		t.Error("size mismatch should be rejected")
+	}
+	if _, err := New(sys.Plan, fdb, 6, sys.MDB, motion.Config{}); err == nil {
+		t.Error("invalid motion config should be rejected")
+	}
+}
+
+func TestHealth(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health: %d", resp.StatusCode)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["plan"] != "office-hall" || out["locations"].(float64) != 28 {
+		t.Errorf("health payload: %v", out)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	id := createSession(t, ts)
+	if srv.NumSessions() != 1 {
+		t.Errorf("sessions = %d", srv.NumSessions())
+	}
+
+	// No fix yet.
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("fix before data: %d", resp.StatusCode)
+	}
+
+	// Delete.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+id, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("delete: %d", resp.StatusCode)
+	}
+	if srv.NumSessions() != 0 {
+		t.Errorf("sessions after delete = %d", srv.NumSessions())
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Bad profile.
+	resp, _ := postJSON(t, ts, "/v1/sessions", createReq{HeightM: 0.2, WeightKg: 68})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad profile: %d", resp.StatusCode)
+	}
+	// Wrong method on /v1/sessions.
+	getResp, err := http.Get(ts.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET sessions: %d", getResp.StatusCode)
+	}
+	// Unknown session.
+	resp, _ = postJSON(t, ts, "/v1/sessions/nope/imu", imuReq{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: %d", resp.StatusCode)
+	}
+	// Scan with wrong AP count.
+	id := createSession(t, ts)
+	resp, body := postJSON(t, ts, "/v1/sessions/"+id+"/scan", scanReq{T: 1, RSS: []float64{-50}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("short scan: %d %s", resp.StatusCode, body)
+	}
+	// Malformed JSON.
+	raw, err := http.Post(ts.URL+"/v1/sessions/"+id+"/imu", "application/json",
+		bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: %d", raw.StatusCode)
+	}
+	// Unknown endpoint under a session.
+	resp, _ = postJSON(t, ts, "/v1/sessions/"+id+"/frobnicate", tickReq{})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown endpoint: %d", resp.StatusCode)
+	}
+}
+
+// TestEndToEndHTTPTracking drives a real walk through the HTTP API and
+// checks that fixes arrive and are sane.
+func TestEndToEndHTTPTracking(t *testing.T) {
+	srv, sys := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	id := createSession(t, ts)
+
+	// Generate a short walk and stream it.
+	tcfg := trace.NewConfig()
+	tcfg.NumLegs = 8
+	tcfg.PauseProb = 0
+	sg, err := sensors.NewGenerator(sys.Config.Sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := trace.NewGenerator(sys.Plan, sys.Graph, sg, sys.Config.Motion, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := tg.Generate(trace.DefaultUsers()[1], stats.NewRNG(42))
+	scanRNG := stats.NewRNG(43)
+
+	fixes := 0
+	nextScan := 0.0
+	for _, leg := range walk.Legs {
+		// Stream the leg's IMU batch.
+		resp, _ := postJSON(t, ts, "/v1/sessions/"+id+"/imu", imuReq{Samples: leg.Samples})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("imu: %d", resp.StatusCode)
+		}
+		for _, s := range leg.Samples {
+			if s.T >= nextScan {
+				// The user is physically near leg.To at leg end; use the
+				// leg's destination position for the scan.
+				pos := sys.Plan.LocPos(leg.From).Lerp(sys.Plan.LocPos(leg.To),
+					(s.T-leg.T0)/(leg.T1-leg.T0))
+				rss := sys.Model.Sample(pos, scanRNG)
+				resp, _ := postJSON(t, ts, "/v1/sessions/"+id+"/scan", scanReq{T: s.T, RSS: rss})
+				if resp.StatusCode != http.StatusAccepted {
+					t.Fatalf("scan: %d", resp.StatusCode)
+				}
+				nextScan = s.T + 0.5
+			}
+		}
+		resp, body := postJSON(t, ts, "/v1/sessions/"+id+"/tick", tickReq{T: leg.T1})
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var fix fixResp
+			if err := json.Unmarshal(body, &fix); err != nil {
+				t.Fatalf("fix JSON: %v", err)
+			}
+			if fix.Loc < 1 || fix.Loc > 28 {
+				t.Fatalf("fix out of range: %+v", fix)
+			}
+			if fix.X < 0 || fix.X > sys.Plan.Width || fix.Y < 0 || fix.Y > sys.Plan.Height {
+				t.Fatalf("fix position out of bounds: %+v", fix)
+			}
+			fixes++
+		case http.StatusNoContent:
+			// interval not finished; fine
+		default:
+			t.Fatalf("tick: %d %s", resp.StatusCode, body)
+		}
+	}
+	if fixes < 3 {
+		t.Errorf("only %d fixes over %d legs", fixes, len(walk.Legs))
+	}
+	// The last fix is retrievable.
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("last fix: %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentSessions exercises the server's locking with parallel
+// clients.
+func TestConcurrentSessions(t *testing.T) {
+	srv, sys := testServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			data, _ := json.Marshal(createReq{HeightM: 1.7, WeightKg: 70})
+			resp, err := http.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(data))
+			if err != nil {
+				errs <- err
+				return
+			}
+			var out map[string]string
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				resp.Body.Close()
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			id := out["session_id"]
+			rng := stats.NewRNG(int64(c))
+			for i := 0; i < 20; i++ {
+				smp := sensors.Sample{T: float64(i) * 0.1, Accel: 9.8 + rng.Norm(0, 1)}
+				body, _ := json.Marshal(imuReq{Samples: []sensors.Sample{smp}})
+				resp, err := http.Post(ts.URL+"/v1/sessions/"+id+"/imu",
+					"application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+			}
+			rss := sys.Model.Sample(sys.Plan.LocPos(1+rng.Intn(28)), rng)
+			body, _ := json.Marshal(scanReq{T: 1, RSS: rss})
+			resp, err = http.Post(ts.URL+"/v1/sessions/"+id+"/scan",
+				"application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			body, _ = json.Marshal(tickReq{T: 10})
+			resp, err = http.Post(ts.URL+"/v1/sessions/"+id+"/tick",
+				"application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("client %d: tick status %d", c, resp.StatusCode)
+			}
+			resp.Body.Close()
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if srv.NumSessions() != clients {
+		t.Errorf("sessions = %d, want %d", srv.NumSessions(), clients)
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import "math"
+
+// Circular accumulates directional observations in degrees and yields
+// their circular mean and standard deviation. Compass bearings wrap at
+// 360°, so arithmetic means are wrong near north; the motion database
+// (paper Sec. IV-C) therefore fits direction Gaussians with circular
+// statistics. The zero value is ready to use.
+type Circular struct {
+	n    int
+	sumS float64
+	sumC float64
+}
+
+// Add incorporates one bearing in degrees.
+func (c *Circular) Add(deg float64) {
+	rad := deg * math.Pi / 180
+	c.sumS += math.Sin(rad)
+	c.sumC += math.Cos(rad)
+	c.n++
+}
+
+// N returns the number of observations.
+func (c *Circular) N() int { return c.n }
+
+// Mean returns the circular mean bearing in [0, 360), or 0 with no
+// observations.
+func (c *Circular) Mean() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	deg := math.Atan2(c.sumS, c.sumC) * 180 / math.Pi
+	if deg < 0 {
+		deg += 360
+	}
+	return deg
+}
+
+// R returns the mean resultant length in [0, 1]; 1 means perfectly
+// concentrated bearings, 0 means uniformly dispersed.
+func (c *Circular) R() float64 {
+	if c.n == 0 {
+		return 0
+	}
+	return math.Hypot(c.sumS, c.sumC) / float64(c.n)
+}
+
+// StdDev returns the circular standard deviation in degrees,
+// sqrt(-2 ln R). For tightly concentrated samples (the motion-DB case,
+// sigma <= ~20°) this matches the linear standard deviation closely.
+func (c *Circular) StdDev() float64 {
+	r := c.R()
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	if r >= 1 {
+		return 0
+	}
+	return math.Sqrt(-2*math.Log(r)) * 180 / math.Pi
+}
+
+// CircularMean returns the circular mean of bearings in degrees.
+func CircularMean(degs []float64) float64 {
+	var c Circular
+	for _, d := range degs {
+		c.Add(d)
+	}
+	return c.Mean()
+}

@@ -1,0 +1,214 @@
+// Package stats provides the statistical primitives the MoLoc reproduction
+// builds on: online mean/variance accumulators, Gaussian distribution
+// helpers (including the discretized interval probabilities of Eq. 5),
+// circular statistics for compass bearings, and empirical CDFs used to
+// report the paper's figures.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Online accumulates mean and variance incrementally using Welford's
+// algorithm. The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (o *Online) Add(x float64) {
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of observations added.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the population variance, or 0 with fewer than two
+// observations.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// SampleVariance returns the unbiased sample variance (n-1 denominator).
+func (o *Online) SampleVariance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the population standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	return o.StdDev()
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GaussPDF evaluates the normal density with the given mean and standard
+// deviation at x.
+func GaussPDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x == mu {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	z := (x - mu) / sigma
+	return math.Exp(-z*z/2) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// GaussCDF evaluates the normal cumulative distribution with the given
+// mean and standard deviation at x.
+func GaussCDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		if x < mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((x-mu)/(sigma*math.Sqrt2)))
+}
+
+// GaussInterval returns P(lo <= X <= hi) for X ~ N(mu, sigma^2).
+// This is the discretized Gaussian integral of the paper's Eq. 5: the
+// motion-matching probabilities D_{i,j}(d) and O_{i,j}(o) are
+// GaussInterval(d-alpha/2, d+alpha/2, mu, sigma).
+func GaussInterval(lo, hi, mu, sigma float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return GaussCDF(hi, mu, sigma) - GaussCDF(lo, mu, sigma)
+}
+
+// CDF is an empirical cumulative distribution over a sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs. The input slice is copied.
+func NewCDF(xs []float64) *CDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns the fraction of samples <= x. An empty CDF returns 0.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Percentile returns the value below which fraction p of the samples
+// fall, using linear interpolation between order statistics. p is clamped
+// to [0, 1]. An empty CDF returns 0.
+func (c *CDF) Percentile(p float64) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return c.sorted[n-1]
+	}
+	return c.sorted[i]*(1-frac) + c.sorted[i+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (c *CDF) Median() float64 { return c.Percentile(0.5) }
+
+// Max returns the largest sample, or 0 if empty.
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 { return Mean(c.sorted) }
+
+// Points returns (x, F(x)) pairs suitable for plotting the CDF with the
+// given number of evenly spaced quantile points (at least 2).
+func (c *CDF) Points(n int) [][2]float64 {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		p := float64(i) / float64(n-1)
+		pts = append(pts, [2]float64{c.Percentile(p), p})
+	}
+	return pts
+}

@@ -1,0 +1,344 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestOnline(t *testing.T) {
+	var o Online
+	if o.N() != 0 || o.Mean() != 0 || o.Variance() != 0 {
+		t.Fatal("zero-value Online should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Errorf("N = %d, want 8", o.N())
+	}
+	if !almostEqual(o.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", o.Mean())
+	}
+	if !almostEqual(o.Variance(), 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", o.Variance())
+	}
+	if !almostEqual(o.StdDev(), 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", o.StdDev())
+	}
+	if !almostEqual(o.SampleVariance(), 32.0/7, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 32/7", o.SampleVariance())
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				clean = append(clean, x)
+			}
+		}
+		var o Online
+		for _, x := range clean {
+			o.Add(x)
+		}
+		return almostEqual(o.Mean(), Mean(clean), 1e-6) &&
+			almostEqual(o.StdDev(), StdDev(clean), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if Max(nil) != 0 || Min(nil) != 0 || Mean(nil) != 0 {
+		t.Error("empty-slice aggregates should be 0")
+	}
+}
+
+func TestGaussPDF(t *testing.T) {
+	// Standard normal at 0 is 1/sqrt(2*pi).
+	if got := GaussPDF(0, 0, 1); !almostEqual(got, 0.3989422804, 1e-9) {
+		t.Errorf("GaussPDF(0,0,1) = %v", got)
+	}
+	// Symmetry.
+	if GaussPDF(1.3, 0, 1) != GaussPDF(-1.3, 0, 1) {
+		t.Error("pdf should be symmetric")
+	}
+	// Degenerate sigma.
+	if GaussPDF(1, 0, 0) != 0 || !math.IsInf(GaussPDF(0, 0, 0), 1) {
+		t.Error("degenerate sigma handling wrong")
+	}
+}
+
+func TestGaussCDF(t *testing.T) {
+	if got := GaussCDF(0, 0, 1); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDF(0) = %v, want 0.5", got)
+	}
+	if got := GaussCDF(1.96, 0, 1); !almostEqual(got, 0.975, 1e-3) {
+		t.Errorf("CDF(1.96) = %v, want ~0.975", got)
+	}
+	if GaussCDF(-1, 5, 0) != 0 || GaussCDF(7, 5, 0) != 1 {
+		t.Error("degenerate sigma CDF should be a step function")
+	}
+}
+
+func TestGaussInterval(t *testing.T) {
+	// ~68.27% within one sigma.
+	if got := GaussInterval(-1, 1, 0, 1); !almostEqual(got, 0.6827, 1e-3) {
+		t.Errorf("1-sigma interval = %v", got)
+	}
+	// Swapped bounds are tolerated.
+	if GaussInterval(1, -1, 0, 1) != GaussInterval(-1, 1, 0, 1) {
+		t.Error("swapped bounds should match")
+	}
+}
+
+func TestGaussIntervalProperties(t *testing.T) {
+	f := func(lo, hi, mu, sigma float64) bool {
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsNaN(mu) || math.IsNaN(sigma) {
+			return true
+		}
+		lo, hi = math.Mod(lo, 100), math.Mod(hi, 100)
+		mu = math.Mod(mu, 100)
+		sigma = math.Abs(math.Mod(sigma, 10)) + 0.01
+		p := GaussInterval(lo, hi, mu, sigma)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	if c.N() != 5 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.At(3); !almostEqual(got, 0.6, 1e-12) {
+		t.Errorf("At(3) = %v, want 0.6", got)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Errorf("At(10) = %v, want 1", got)
+	}
+	if got := c.Median(); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	if got := c.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := c.Percentile(1); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	if got := c.Percentile(0.25); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("P25 = %v, want 2", got)
+	}
+	if got := c.Max(); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	if got := c.Mean(); !almostEqual(got, 3, 1e-12) {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if c.At(1) != 0 || c.Percentile(0.5) != 0 || c.Max() != 0 {
+		t.Error("empty CDF should report zeros")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c := NewCDF(clean)
+		// F is non-decreasing over percentile queries.
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			v := c.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{0, 10})
+	pts := c.Points(3)
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0][1] != 0 || pts[2][1] != 1 {
+		t.Error("endpoints should cover probabilities 0 and 1")
+	}
+	if got := c.Points(1); len(got) != 2 {
+		t.Errorf("Points(1) should clamp to 2 points, got %d", len(got))
+	}
+}
+
+func TestCircularMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"simple", []float64{80, 100}, 90},
+		{"wrap north", []float64{350, 10}, 0},
+		{"wrap north uneven", []float64{355, 5, 0}, 0},
+		{"all same", []float64{123, 123}, 123},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := CircularMean(tt.in)
+			// Compare as minimal angular distance.
+			d := math.Abs(math.Mod(got-tt.want+540, 360) - 180)
+			if d > 1e-9 {
+				t.Errorf("CircularMean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCircularStdDev(t *testing.T) {
+	var c Circular
+	for _, d := range []float64{358, 0, 2, 358, 0, 2} {
+		c.Add(d)
+	}
+	// Small concentrated spread near north: circular std ~ linear std of
+	// {-2,0,2} = 1.63 degrees.
+	if got := c.StdDev(); !almostEqual(got, 1.633, 0.05) {
+		t.Errorf("StdDev = %v, want ~1.63", got)
+	}
+	var empty Circular
+	if !math.IsInf(empty.StdDev(), 1) {
+		t.Error("empty circular std should be +Inf")
+	}
+	var one Circular
+	one.Add(42)
+	if got := one.StdDev(); got > 1e-6 {
+		t.Errorf("single-sample std = %v, want ~0", got)
+	}
+	if one.Mean() != 42 {
+		t.Errorf("single-sample mean = %v, want 42", one.Mean())
+	}
+}
+
+func TestCircularR(t *testing.T) {
+	var c Circular
+	if c.R() != 0 {
+		t.Error("empty R should be 0")
+	}
+	// Two opposite bearings cancel.
+	c.Add(0)
+	c.Add(180)
+	if got := c.R(); got > 1e-12 {
+		t.Errorf("opposite bearings R = %v, want 0", got)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c, d := NewRNG(7), NewRNG(8)
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestRNGNorm(t *testing.T) {
+	g := NewRNG(42)
+	var o Online
+	for i := 0; i < 20000; i++ {
+		o.Add(g.Norm(5, 2))
+	}
+	if !almostEqual(o.Mean(), 5, 0.1) {
+		t.Errorf("Norm mean = %v, want ~5", o.Mean())
+	}
+	if !almostEqual(o.StdDev(), 2, 0.1) {
+		t.Errorf("Norm std = %v, want ~2", o.StdDev())
+	}
+}
+
+func TestRNGUniformBounds(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		x := g.Uniform(3, 7)
+		if x < 3 || x >= 7 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}
+
+func TestHashSeedStability(t *testing.T) {
+	if HashSeed("a", "b") != HashSeed("a", "b") {
+		t.Error("HashSeed must be deterministic")
+	}
+	if HashSeed("a", "b") == HashSeed("ab") {
+		t.Error("component boundaries should matter")
+	}
+	if HashSeed("x") == HashSeed("y") {
+		t.Error("different labels should differ")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	g1 := NewRNG(9)
+	g2 := NewRNG(9)
+	f1 := g1.Fork("sensors")
+	f2 := g2.Fork("sensors")
+	for i := 0; i < 10; i++ {
+		if f1.Float64() != f2.Float64() {
+			t.Fatal("forks of identical parents with same label must match")
+		}
+	}
+	g3 := NewRNG(9)
+	fa := g3.Fork("a")
+	g4 := NewRNG(9)
+	fb := g4.Fork("b")
+	same := true
+	for i := 0; i < 10; i++ {
+		if fa.Float64() != fb.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different fork labels should give different streams")
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SaveJSON writes traces to a JSON file, the format cmd/tracegen emits.
+func SaveJSON(traces []*Trace, path string) error {
+	data, err := json.MarshalIndent(traces, "", " ")
+	if err != nil {
+		return fmt.Errorf("trace: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadJSON reads traces written by SaveJSON and validates their
+// structure: every leg must continue from the previous one, cover a
+// positive time interval, and carry samples within it.
+func LoadJSON(path string) ([]*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read %s: %w", path, err)
+	}
+	var traces []*Trace
+	if err := json.Unmarshal(data, &traces); err != nil {
+		return nil, fmt.Errorf("trace: parse %s: %w", path, err)
+	}
+	for i, tr := range traces {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: #%d: %w", i, err)
+		}
+	}
+	return traces, nil
+}
+
+// Validate checks the trace's structural invariants.
+func (tr *Trace) Validate() error {
+	if tr.Start < 1 {
+		return fmt.Errorf("invalid start location %d", tr.Start)
+	}
+	if tr.TrueStepLen <= 0 || tr.TrueStepLen > 2 {
+		return fmt.Errorf("implausible step length %g", tr.TrueStepLen)
+	}
+	prev := tr.Start
+	prevT := 0.0
+	for i, leg := range tr.Legs {
+		if leg.From != prev {
+			return fmt.Errorf("leg %d starts at %d, previous ended at %d", i, leg.From, prev)
+		}
+		if leg.To < 1 {
+			return fmt.Errorf("leg %d has invalid destination %d", i, leg.To)
+		}
+		if leg.T1 <= leg.T0 || leg.T0 < prevT-1e-9 {
+			return fmt.Errorf("leg %d has invalid interval [%g, %g]", i, leg.T0, leg.T1)
+		}
+		for _, s := range leg.Samples {
+			if s.T < leg.T0-1e-9 || s.T > leg.T1+1e-9 {
+				return fmt.Errorf("leg %d sample at %g outside [%g, %g]", i, s.T, leg.T0, leg.T1)
+			}
+		}
+		prev, prevT = leg.To, leg.T1
+	}
+	return nil
+}

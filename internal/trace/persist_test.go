@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"moloc/internal/stats"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := mustGenerator(t, NewConfig())
+	traces := g.GenerateBatch(DefaultUsers(), 3, stats.NewRNG(1))
+	path := filepath.Join(t.TempDir(), "traces.json")
+	if err := SaveJSON(traces, path); err != nil {
+		t.Fatalf("SaveJSON: %v", err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatalf("LoadJSON: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("loaded %d traces", len(got))
+	}
+	for i := range got {
+		if got[i].Start != traces[i].Start || len(got[i].Legs) != len(traces[i].Legs) {
+			t.Errorf("trace %d structure changed", i)
+		}
+		if got[i].User != traces[i].User || got[i].Device != traces[i].Device {
+			t.Errorf("trace %d metadata changed", i)
+		}
+		a := traces[i].Legs[2].Samples[5]
+		b := got[i].Legs[2].Samples[5]
+		if a != b {
+			t.Errorf("trace %d samples changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJSON(bad); err == nil {
+		t.Error("malformed JSON should error")
+	}
+	// Structurally invalid trace: discontinuous legs.
+	invalid := filepath.Join(dir, "invalid.json")
+	payload := `[{"user":{"name":"x","height_m":1.7,"weight_kg":70,"speed_mps":1.3},
+		"device":{},"true_step_len":0.7,"start":1,
+		"legs":[{"from":5,"to":6,"t0":0,"t1":3,"samples":[]}]}]`
+	if err := os.WriteFile(invalid, []byte(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJSON(invalid); err == nil {
+		t.Error("discontinuous trace should fail validation")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := mustGenerator(t, NewConfig())
+	tr := g.Generate(DefaultUsers()[0], stats.NewRNG(2))
+	if err := tr.Validate(); err != nil {
+		t.Errorf("generated trace should validate: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"bad start", func(tr *Trace) { tr.Start = 0 }},
+		{"bad step length", func(tr *Trace) { tr.TrueStepLen = 0 }},
+		{"discontinuity", func(tr *Trace) { tr.Legs[1].From = 99 }},
+		{"empty interval", func(tr *Trace) { tr.Legs[0].T1 = tr.Legs[0].T0 }},
+		{"bad destination", func(tr *Trace) { tr.Legs[0].To = -1; tr.Legs[1].From = -1 }},
+		{"sample outside interval", func(tr *Trace) { tr.Legs[0].Samples[0].T = 1e9 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cp := g.Generate(DefaultUsers()[0], stats.NewRNG(2))
+			tt.mutate(cp)
+			if err := cp.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}

@@ -1,0 +1,234 @@
+// Package trace generates the walking traces MoLoc is trained and
+// evaluated on: random walks along the floor plan's aisles by users with
+// diverse heights, weights, and walking speeds, rendered into continuous
+// IMU sample streams. A trace is a sequence of legs between adjacent
+// reference locations; each leg is one localization interval, matching
+// the paper's trace-driven methodology where users mark every reference
+// location they pass (Sec. VI-A).
+package trace
+
+import (
+	"fmt"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/motion"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+// UserProfile describes one walker.
+type UserProfile struct {
+	Name     string  `json:"name"`
+	HeightM  float64 `json:"height_m"`
+	WeightKg float64 `json:"weight_kg"`
+	// SpeedMps is the preferred walking speed in meters per second.
+	SpeedMps float64 `json:"speed_mps"`
+	// GaitBias is the user's systematic relative deviation from the
+	// height/weight step-length model (individual gait). The motion
+	// pipeline never sees it; it produces the residual offset errors the
+	// motion database shows in Fig. 6(b).
+	GaitBias float64 `json:"gait_bias"`
+}
+
+// DefaultUsers returns four walkers with diverse height and walking
+// speed, standing in for the paper's four volunteers.
+func DefaultUsers() []UserProfile {
+	return []UserProfile{
+		{Name: "u1", HeightM: 1.62, WeightKg: 55, SpeedMps: 1.15, GaitBias: 0.045},
+		{Name: "u2", HeightM: 1.71, WeightKg: 68, SpeedMps: 1.30, GaitBias: -0.03},
+		{Name: "u3", HeightM: 1.80, WeightKg: 78, SpeedMps: 1.45, GaitBias: 0.02},
+		{Name: "u4", HeightM: 1.88, WeightKg: 90, SpeedMps: 1.35, GaitBias: -0.055},
+	}
+}
+
+// Leg is one localization interval: the user walks from reference
+// location From to the adjacent location To during [T0, T1], producing
+// the IMU samples recorded on the way.
+type Leg struct {
+	From    int              `json:"from"`
+	To      int              `json:"to"`
+	T0      float64          `json:"t0"`
+	T1      float64          `json:"t1"`
+	Samples []sensors.Sample `json:"samples"`
+}
+
+// Trace is one crowdsourced walk.
+type Trace struct {
+	User   UserProfile    `json:"user"`
+	Device sensors.Device `json:"device"`
+	// TrueStepLen is the user's actual step length on this walk; the
+	// motion pipeline never sees it and estimates its own from
+	// height/weight.
+	TrueStepLen float64 `json:"true_step_len"`
+	Start       int     `json:"start"`
+	Legs        []Leg   `json:"legs"`
+}
+
+// Visits returns the ground-truth reference sequence including the
+// start: Start, Legs[0].To, Legs[1].To, ...
+func (tr *Trace) Visits() []int {
+	out := make([]int, 0, len(tr.Legs)+1)
+	out = append(out, tr.Start)
+	for _, l := range tr.Legs {
+		out = append(out, l.To)
+	}
+	return out
+}
+
+// Config controls trace generation.
+type Config struct {
+	// NumLegs is the number of legs per trace.
+	NumLegs int
+	// SpeedJitter is the relative per-leg speed variation (0.05 = 5%).
+	SpeedJitter float64
+	// StepLenJitter is the relative per-trace deviation of the true step
+	// length from the height/weight model, covering individual gait.
+	StepLenJitter float64
+	// BacktrackProb is the probability of returning along the edge just
+	// walked when alternatives exist; low values make walks cover more
+	// of the plan.
+	BacktrackProb float64
+	// PauseProb is the probability of standing still briefly at the
+	// start of a leg, and PauseMaxSec bounds the pause length.
+	PauseProb   float64
+	PauseMaxSec float64
+}
+
+// NewConfig returns defaults: 16-leg traces (about a minute of walking
+// each; the paper's volunteers walked over half an hour and its 184
+// traces cover each location more than 30 times), gentle speed and gait
+// variation, and occasional pauses.
+func NewConfig() Config {
+	return Config{
+		NumLegs:       16,
+		SpeedJitter:   0.05,
+		StepLenJitter: 0.02,
+		BacktrackProb: 0.15,
+		PauseProb:     0.1,
+		PauseMaxSec:   2,
+	}
+}
+
+// Validate rejects unusable generation configuration.
+func (c Config) Validate() error {
+	if c.NumLegs < 1 {
+		return fmt.Errorf("trace: NumLegs must be >= 1, got %d", c.NumLegs)
+	}
+	if c.SpeedJitter < 0 || c.SpeedJitter >= 1 {
+		return fmt.Errorf("trace: SpeedJitter must be in [0,1), got %g", c.SpeedJitter)
+	}
+	if c.BacktrackProb < 0 || c.BacktrackProb > 1 {
+		return fmt.Errorf("trace: BacktrackProb must be in [0,1], got %g", c.BacktrackProb)
+	}
+	if c.PauseProb < 0 || c.PauseProb > 1 {
+		return fmt.Errorf("trace: PauseProb must be in [0,1], got %g", c.PauseProb)
+	}
+	return nil
+}
+
+// Generator produces traces over one plan.
+type Generator struct {
+	plan  *floorplan.Plan
+	graph *floorplan.WalkGraph
+	gen   *sensors.Generator
+	mcfg  motion.Config
+	cfg   Config
+}
+
+// NewGenerator builds a trace generator.
+func NewGenerator(plan *floorplan.Plan, graph *floorplan.WalkGraph,
+	gen *sensors.Generator, mcfg motion.Config, cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if graph.NumNodes() != plan.NumLocs() {
+		return nil, fmt.Errorf("trace: graph has %d nodes, plan has %d locations",
+			graph.NumNodes(), plan.NumLocs())
+	}
+	return &Generator{plan: plan, graph: graph, gen: gen, mcfg: mcfg, cfg: cfg}, nil
+}
+
+// Generate produces one trace for the given user. The walk starts at a
+// random reference location and takes cfg.NumLegs random steps along the
+// walk graph, preferring not to backtrack. All randomness comes from
+// rng, so traces are reproducible.
+func (g *Generator) Generate(user UserProfile, rng *stats.RNG) *Trace {
+	dev := sensors.NewDevice(g.gen.Params(), rng)
+	stepLen := motion.StepLength(g.mcfg, user.HeightM, user.WeightKg) *
+		(1 + user.GaitBias) * (1 + rng.Norm(0, g.cfg.StepLenJitter))
+	tr := &Trace{
+		User:        user,
+		Device:      dev,
+		TrueStepLen: stepLen,
+		Start:       1 + rng.Intn(g.plan.NumLocs()),
+	}
+
+	cur := tr.Start
+	prev := 0
+	now := 0.0
+	phase := 0.0
+	for legIdx := 0; legIdx < g.cfg.NumLegs; legIdx++ {
+		next := g.pickNext(cur, prev, rng)
+		if next == 0 {
+			break // isolated node; cannot continue the walk
+		}
+		heading := g.plan.LocBearing(cur, next)
+		dist := g.plan.LocDist(cur, next)
+		speed := user.SpeedMps * (1 + rng.Uniform(-g.cfg.SpeedJitter, g.cfg.SpeedJitter))
+		stepFreq := speed / stepLen
+		duration := dist / speed
+
+		t0 := now
+		var samples []sensors.Sample
+		if g.cfg.PauseProb > 0 && rng.Bool(g.cfg.PauseProb) {
+			pause := rng.Uniform(0.3, g.cfg.PauseMaxSec)
+			samples = g.gen.Stand(samples, now, pause, heading, dev, rng)
+			now += pause
+		}
+		samples, phase = g.gen.Walk(samples, now, duration, stepFreq, heading, dev, phase, rng)
+		now += duration
+
+		tr.Legs = append(tr.Legs, Leg{
+			From: cur, To: next, T0: t0, T1: now, Samples: samples,
+		})
+		prev, cur = cur, next
+	}
+	return tr
+}
+
+// GenerateBatch produces n traces cycling through the given users.
+func (g *Generator) GenerateBatch(users []UserProfile, n int, rng *stats.RNG) []*Trace {
+	out := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Generate(users[i%len(users)], rng))
+	}
+	return out
+}
+
+// pickNext chooses the next reference location from cur's neighbors,
+// avoiding the node just visited with probability 1-BacktrackProb when
+// alternatives exist. It returns 0 when cur has no neighbors.
+func (g *Generator) pickNext(cur, prev int, rng *stats.RNG) int {
+	neighbors := g.graph.Neighbors(cur)
+	if len(neighbors) == 0 {
+		return 0
+	}
+	candidates := make([]int, 0, len(neighbors))
+	for _, e := range neighbors {
+		if e.To != prev {
+			candidates = append(candidates, e.To)
+		}
+	}
+	if len(candidates) == 0 || (prev != 0 && rng.Bool(g.cfg.BacktrackProb)) {
+		return prev
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// GroundTruthLegRLM returns the map-true RLM of a leg: the bearing and
+// straight-line distance between its true endpoints. Tests and the
+// Fig. 6 validation compare extracted RLMs against it.
+func (g *Generator) GroundTruthLegRLM(l Leg) motion.RLM {
+	dir, off := floorplan.GroundTruthRLM(g.plan, l.From, l.To)
+	return motion.RLM{Dir: dir, Off: off}
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+func mustGenerator(t *testing.T, cfg Config) *Generator {
+	t.Helper()
+	plan := floorplan.OfficeHall()
+	graph := floorplan.BuildWalkGraph(plan, floorplan.OfficeHallAdjDist)
+	sg, err := sensors.NewGenerator(sensors.NewParams())
+	if err != nil {
+		t.Fatalf("sensors.NewGenerator: %v", err)
+	}
+	g, err := NewGenerator(plan, graph, sg, motion.NewConfig(), cfg)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	return g
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := NewConfig().Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.NumLegs = 0 },
+		func(c *Config) { c.SpeedJitter = 1 },
+		func(c *Config) { c.BacktrackProb = -0.1 },
+		func(c *Config) { c.PauseProb = 2 },
+	}
+	for i, mutate := range bad {
+		c := NewConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestDefaultUsersDiverse(t *testing.T) {
+	users := DefaultUsers()
+	if len(users) != 4 {
+		t.Fatalf("want 4 users, got %d", len(users))
+	}
+	seen := map[string]bool{}
+	for _, u := range users {
+		if seen[u.Name] {
+			t.Errorf("duplicate user %s", u.Name)
+		}
+		seen[u.Name] = true
+		if u.HeightM < 1.4 || u.HeightM > 2.1 || u.SpeedMps <= 0 {
+			t.Errorf("implausible profile %+v", u)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	g := mustGenerator(t, NewConfig())
+	tr := g.Generate(DefaultUsers()[0], stats.NewRNG(1))
+	if want := NewConfig().NumLegs; len(tr.Legs) != want {
+		t.Fatalf("legs = %d, want %d", len(tr.Legs), want)
+	}
+	if tr.Start < 1 || tr.Start > 28 {
+		t.Errorf("start = %d out of range", tr.Start)
+	}
+	graph := floorplan.BuildWalkGraph(floorplan.OfficeHall(), floorplan.OfficeHallAdjDist)
+	prevTo := tr.Start
+	prevT1 := 0.0
+	for i, l := range tr.Legs {
+		if l.From != prevTo {
+			t.Errorf("leg %d: From=%d, want %d (continuity)", i, l.From, prevTo)
+		}
+		if !graph.Adjacent(l.From, l.To) {
+			t.Errorf("leg %d: %d-%d not adjacent", i, l.From, l.To)
+		}
+		if l.T0 != prevT1 {
+			t.Errorf("leg %d: T0=%v, want %v (contiguous time)", i, l.T0, prevT1)
+		}
+		if l.T1 <= l.T0 {
+			t.Errorf("leg %d: empty interval", i)
+		}
+		if len(l.Samples) == 0 {
+			t.Errorf("leg %d: no samples", i)
+		}
+		for _, s := range l.Samples {
+			if s.T < l.T0-1e-9 || s.T > l.T1+1e-9 {
+				t.Fatalf("leg %d: sample at %v outside [%v,%v]", i, s.T, l.T0, l.T1)
+			}
+		}
+		prevTo, prevT1 = l.To, l.T1
+	}
+}
+
+func TestVisits(t *testing.T) {
+	g := mustGenerator(t, NewConfig())
+	tr := g.Generate(DefaultUsers()[1], stats.NewRNG(3))
+	v := tr.Visits()
+	if len(v) != len(tr.Legs)+1 {
+		t.Fatalf("visits = %d, want %d", len(v), len(tr.Legs)+1)
+	}
+	if v[0] != tr.Start {
+		t.Error("first visit must be the start")
+	}
+	for i, l := range tr.Legs {
+		if v[i+1] != l.To {
+			t.Errorf("visit %d = %d, want %d", i+1, v[i+1], l.To)
+		}
+	}
+}
+
+func TestLegDurationMatchesSpeed(t *testing.T) {
+	cfg := NewConfig()
+	cfg.PauseProb = 0
+	cfg.SpeedJitter = 0
+	g := mustGenerator(t, cfg)
+	user := DefaultUsers()[2] // 1.45 m/s
+	tr := g.Generate(user, stats.NewRNG(5))
+	plan := floorplan.OfficeHall()
+	for i, l := range tr.Legs {
+		wantDur := plan.LocDist(l.From, l.To) / user.SpeedMps
+		if math.Abs((l.T1-l.T0)-wantDur) > 1e-9 {
+			t.Errorf("leg %d duration = %v, want %v", i, l.T1-l.T0, wantDur)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := mustGenerator(t, NewConfig())
+	a := g.Generate(DefaultUsers()[0], stats.NewRNG(7))
+	b := g.Generate(DefaultUsers()[0], stats.NewRNG(7))
+	if a.Start != b.Start || len(a.Legs) != len(b.Legs) {
+		t.Fatal("structure differs under same seed")
+	}
+	for i := range a.Legs {
+		if a.Legs[i].From != b.Legs[i].From || a.Legs[i].To != b.Legs[i].To {
+			t.Fatal("route differs under same seed")
+		}
+		if a.Legs[i].Samples[3] != b.Legs[i].Samples[3] {
+			t.Fatal("samples differ under same seed")
+		}
+	}
+}
+
+func TestGenerateBatchCyclesUsers(t *testing.T) {
+	g := mustGenerator(t, NewConfig())
+	users := DefaultUsers()
+	traces := g.GenerateBatch(users, 10, stats.NewRNG(1))
+	if len(traces) != 10 {
+		t.Fatalf("batch size = %d", len(traces))
+	}
+	for i, tr := range traces {
+		if tr.User.Name != users[i%4].Name {
+			t.Errorf("trace %d user = %s, want %s", i, tr.User.Name, users[i%4].Name)
+		}
+	}
+}
+
+func TestExtractedRLMMatchesGroundTruth(t *testing.T) {
+	// End-to-end through the motion pipeline: RLMs extracted from
+	// generated legs should be close to the map truth when the heading
+	// estimator knows the device offset.
+	cfg := NewConfig()
+	cfg.PauseProb = 0
+	g := mustGenerator(t, cfg)
+	mcfg := motion.NewConfig()
+	user := DefaultUsers()[1]
+
+	var dirErr, offErr stats.Online
+	for seed := int64(0); seed < 15; seed++ {
+		tr := g.Generate(user, stats.NewRNG(seed))
+		var h motion.HeadingEstimator
+		h.Observe(tr.Device.PlacementOffset+tr.Device.Bias, 0) // oracle calibration
+		stepLen := motion.StepLength(mcfg, user.HeightM, user.WeightKg)
+		for _, l := range tr.Legs {
+			rlm, ok := motion.Extract(mcfg, l.Samples, l.T0, l.T1, stepLen, &h)
+			if !ok {
+				t.Fatalf("seed %d: leg not recognized as walking", seed)
+			}
+			gt := g.GroundTruthLegRLM(l)
+			dirErr.Add(geom.AbsAngleDiff(rlm.Dir, gt.Dir))
+			offErr.Add(math.Abs(rlm.Off - gt.Off))
+		}
+	}
+	// Per-leg errors are noisier than the averaged motion-DB entries of
+	// Fig. 6, but must stay in a usable band.
+	// Systematic magnetic distortion (up to ~19 deg peak) dominates this
+	// error; the oracle offset calibration removes only its average.
+	if dirErr.Mean() > 11 {
+		t.Errorf("mean direction error %.2f deg too large", dirErr.Mean())
+	}
+	if offErr.Mean() > 0.6 {
+		t.Errorf("mean offset error %.2f m too large", offErr.Mean())
+	}
+}
+
+func TestPausesStillWalkable(t *testing.T) {
+	cfg := NewConfig()
+	cfg.PauseProb = 1 // every leg starts with a pause
+	g := mustGenerator(t, cfg)
+	mcfg := motion.NewConfig()
+	user := DefaultUsers()[0]
+	tr := g.Generate(user, stats.NewRNG(2))
+	stepLen := motion.StepLength(mcfg, user.HeightM, user.WeightKg)
+	walking := 0
+	for _, l := range tr.Legs {
+		if _, ok := motion.Extract(mcfg, l.Samples, l.T0, l.T1, stepLen, nil); ok {
+			walking++
+		}
+	}
+	if walking < len(tr.Legs)-1 {
+		t.Errorf("only %d/%d paused legs recognized as walking", walking, len(tr.Legs))
+	}
+}
+
+func TestNewGeneratorRejectsMismatchedGraph(t *testing.T) {
+	plan := floorplan.OfficeHall()
+	other := floorplan.Mall()
+	graph := floorplan.BuildWalkGraph(other, floorplan.MallAdjDist)
+	sg, err := sensors.NewGenerator(sensors.NewParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGenerator(plan, graph, sg, motion.NewConfig(), NewConfig()); err == nil {
+		t.Error("mismatched graph should be rejected")
+	}
+	if _, err := NewGenerator(plan, floorplan.BuildWalkGraph(plan, 6), sg,
+		motion.NewConfig(), Config{}); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}

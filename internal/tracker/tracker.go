@@ -1,0 +1,186 @@
+// Package tracker implements MoLoc's serving stage (paper Sec. V) as an
+// online API: it consumes raw, timestamped IMU samples and WiFi scans
+// as a phone would produce them (10 Hz sensors, ~2 Hz scans), segments
+// time into fixed localization intervals (3 s in the paper), extracts
+// the relative location measurement of each interval, and emits one
+// location fix per interval from the MoLoc localizer.
+//
+// The tracker self-calibrates the compass placement offset online, in
+// the spirit of Zee: whenever two consecutive fixes land on distinct
+// reference locations, the interval's compass mean is compared with the
+// map bearing between them.
+package tracker
+
+import (
+	"fmt"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/localizer"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/sensors"
+)
+
+// Config parameterizes a tracking session.
+type Config struct {
+	// IntervalSec is the localization interval (3 s in the paper).
+	IntervalSec float64
+	// StepLen is the user's step length in meters, from the
+	// height/weight model of motion.StepLength.
+	StepLen float64
+	// Motion holds the motion-processing constants.
+	Motion motion.Config
+	// MoLoc holds the localizer parameters.
+	MoLoc localizer.Config
+}
+
+// NewConfig returns the paper's serving parameters for a user with the
+// given step length.
+func NewConfig(stepLen float64) Config {
+	return Config{
+		IntervalSec: 3,
+		StepLen:     stepLen,
+		Motion:      motion.NewConfig(),
+		MoLoc:       localizer.NewConfig(),
+	}
+}
+
+// Validate rejects unusable tracker configuration.
+func (c Config) Validate() error {
+	if c.IntervalSec <= 0 {
+		return fmt.Errorf("tracker: interval must be positive, got %g", c.IntervalSec)
+	}
+	if c.StepLen <= 0 || c.StepLen > 2 {
+		return fmt.Errorf("tracker: implausible step length %g", c.StepLen)
+	}
+	if err := c.Motion.Validate(); err != nil {
+		return err
+	}
+	return c.MoLoc.Validate()
+}
+
+// Fix is one localization result.
+type Fix struct {
+	// T is the end of the localization interval, in seconds.
+	T float64
+	// Loc is the estimated reference location ID.
+	Loc int
+	// Moved reports whether motion matching contributed (the user was
+	// walking and a previous candidate set existed).
+	Moved bool
+	// Candidates is the retained candidate set, most probable first.
+	Candidates []fingerprint.Candidate
+}
+
+// Tracker is one user's tracking session.
+type Tracker struct {
+	cfg  Config
+	plan *floorplan.Plan
+	ml   *localizer.MoLoc
+	est  motion.HeadingEstimator
+
+	intervalStart float64
+	started       bool
+	samples       []sensors.Sample
+	lastScan      fingerprint.Fingerprint
+	haveScan      bool
+	lastFix       *Fix
+}
+
+// New creates a tracking session over a candidate source, motion
+// database, and floor plan (used for online heading calibration).
+func New(plan *floorplan.Plan, src fingerprint.CandidateSource,
+	mdb *motiondb.DB, cfg Config) (*Tracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.NumLocs() != mdb.NumLocs() {
+		return nil, fmt.Errorf("tracker: plan has %d locations, motion DB %d",
+			plan.NumLocs(), mdb.NumLocs())
+	}
+	ml, err := localizer.NewMoLoc(src, mdb, cfg.MoLoc)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{cfg: cfg, plan: plan, ml: ml}, nil
+}
+
+// AddIMU feeds one IMU sample. Samples must arrive in time order;
+// out-of-order samples are dropped.
+func (t *Tracker) AddIMU(s sensors.Sample) {
+	if !t.started {
+		t.started = true
+		t.intervalStart = s.T
+	}
+	if n := len(t.samples); n > 0 && s.T < t.samples[n-1].T {
+		return
+	}
+	t.samples = append(t.samples, s)
+}
+
+// AddScan feeds one WiFi scan. The most recent scan of an interval is
+// the fingerprint the paper's phone queries with.
+func (t *Tracker) AddScan(ts float64, fp fingerprint.Fingerprint) {
+	if !t.started {
+		t.started = true
+		t.intervalStart = ts
+	}
+	t.lastScan = fp
+	t.haveScan = true
+}
+
+// Tick closes the current localization interval when now has passed its
+// end and returns the fix. ok is false when the interval is still open
+// or no scan arrived during it.
+func (t *Tracker) Tick(now float64) (Fix, bool) {
+	if !t.started || now < t.intervalStart+t.cfg.IntervalSec {
+		return Fix{}, false
+	}
+	end := t.intervalStart + t.cfg.IntervalSec
+	samples := t.samples
+	t.samples = nil
+	start := t.intervalStart
+	t.intervalStart = end
+
+	if !t.haveScan {
+		return Fix{}, false
+	}
+	obs := localizer.Observation{FP: t.lastScan}
+	var compassMean float64
+	if rlm, ok := motion.Extract(t.cfg.Motion, samples, start, end,
+		t.cfg.StepLen, &t.est); ok {
+		obs.Motion = &rlm
+		compassMean = motion.MeanHeading(samples)
+	}
+
+	loc := t.ml.Localize(obs)
+	fix := Fix{
+		T:          end,
+		Loc:        loc,
+		Moved:      obs.Motion != nil && t.lastFix != nil,
+		Candidates: t.ml.Candidates(),
+	}
+
+	// Online placement calibration: a walking interval that moved the
+	// estimate between distinct locations yields one (compass mean, map
+	// bearing) pair.
+	if obs.Motion != nil && t.lastFix != nil && t.lastFix.Loc != loc {
+		t.est.Observe(compassMean, t.plan.LocBearing(t.lastFix.Loc, loc))
+	}
+	t.lastFix = &fix
+	return fix, true
+}
+
+// LastFix returns the most recent fix, or nil before the first one.
+func (t *Tracker) LastFix() *Fix { return t.lastFix }
+
+// Reset clears the session state (candidates, calibration, buffers).
+func (t *Tracker) Reset() {
+	t.ml.Reset()
+	t.est = motion.HeadingEstimator{}
+	t.samples = nil
+	t.haveScan = false
+	t.started = false
+	t.lastFix = nil
+}

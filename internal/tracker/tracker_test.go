@@ -1,0 +1,248 @@
+package tracker
+
+import (
+	"testing"
+
+	"moloc/internal/core"
+	"moloc/internal/fingerprint"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+)
+
+// sysFixture builds a small office-hall system shared by tracker tests.
+func sysFixture(t *testing.T) *core.System {
+	t.Helper()
+	cfg := core.NewConfig()
+	cfg.NumTrainTraces = 60
+	cfg.NumTestTraces = 2
+	cfg.Trace.NumLegs = 10
+	sys, err := core.Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return sys
+}
+
+func fullFDB(t *testing.T, sys *core.System) *fingerprint.DB {
+	t.Helper()
+	fdb, err := sys.Survey.BuildDB(fingerprint.Euclidean{}, sys.Model.NumAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fdb
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := NewConfig(0.73).Validate(); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.IntervalSec = 0 },
+		func(c *Config) { c.StepLen = 0 },
+		func(c *Config) { c.StepLen = 3 },
+		func(c *Config) { c.Motion.MinPeakSep = 0 },
+		func(c *Config) { c.MoLoc.K = 0 },
+	}
+	for i, mutate := range bad {
+		c := NewConfig(0.73)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestNewRejectsMismatch(t *testing.T) {
+	sys := sysFixture(t)
+	fdb := fullFDB(t, sys)
+	if _, err := New(sys.Plan, fdb, motiondb.New(5), NewConfig(0.73)); err == nil {
+		t.Error("location-count mismatch should be rejected")
+	}
+	if _, err := New(sys.Plan, fdb, sys.MDB, Config{}); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+}
+
+func TestNoFixBeforeInterval(t *testing.T) {
+	sys := sysFixture(t)
+	tr, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Tick(100); ok {
+		t.Error("no data yet; no fix")
+	}
+	tr.AddIMU(sensors.Sample{T: 0, Accel: 9.8})
+	if _, ok := tr.Tick(1); ok {
+		t.Error("interval still open; no fix")
+	}
+	if tr.LastFix() != nil {
+		t.Error("LastFix should be nil before the first fix")
+	}
+}
+
+func TestNoScanNoFix(t *testing.T) {
+	sys := sysFixture(t)
+	tr, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		tr.AddIMU(sensors.Sample{T: float64(i) * 0.1, Accel: 9.8})
+	}
+	if _, ok := tr.Tick(4); ok {
+		t.Error("no scan arrived; no fix should be emitted")
+	}
+}
+
+func TestOutOfOrderIMUDropped(t *testing.T) {
+	sys := sysFixture(t)
+	tr, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AddIMU(sensors.Sample{T: 1, Accel: 9.8})
+	tr.AddIMU(sensors.Sample{T: 0.5, Accel: 99}) // out of order
+	if len(tr.samples) != 1 {
+		t.Errorf("out-of-order sample kept: %d buffered", len(tr.samples))
+	}
+}
+
+// TestStreamingTracking is the integration test: replay a fresh walk as
+// raw sensor streams plus periodic scans, and require the tracker's
+// fixes to stay close to the walker's true position.
+func TestStreamingTracking(t *testing.T) {
+	sys := sysFixture(t)
+	fdb := fullFDB(t, sys)
+
+	// A fresh walk with no pauses so the true position is the linear
+	// interpolation within each leg.
+	tcfg := trace.NewConfig()
+	tcfg.NumLegs = 14
+	tcfg.PauseProb = 0
+	sg, err := sensors.NewGenerator(sys.Config.Sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := trace.NewGenerator(sys.Plan, sys.Graph, sg, sys.Config.Motion, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := trace.DefaultUsers()[1]
+	walk := tg.Generate(user, stats.NewRNG(77))
+
+	truePos := func(ts float64) geom.Point {
+		for _, leg := range walk.Legs {
+			if ts <= leg.T1 {
+				frac := (ts - leg.T0) / (leg.T1 - leg.T0)
+				return sys.Plan.LocPos(leg.From).Lerp(sys.Plan.LocPos(leg.To), frac)
+			}
+		}
+		last := walk.Legs[len(walk.Legs)-1]
+		return sys.Plan.LocPos(last.To)
+	}
+
+	stepLen := motion.StepLength(sys.Config.Motion, user.HeightM, user.WeightKg)
+	tk, err := New(sys.Plan, fdb, sys.MDB, NewConfig(stepLen))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scanRNG := stats.NewRNG(78)
+	nextScan := 0.0
+	var trackErr, nnErr stats.Online
+	fixes := 0
+	lastFixT := -1.0
+	for _, leg := range walk.Legs {
+		for _, s := range leg.Samples {
+			tk.AddIMU(s)
+			if s.T >= nextScan { // ~2 Hz scanning as in the paper
+				fp := fingerprint.Fingerprint(sys.Model.Sample(truePos(s.T), scanRNG))
+				tk.AddScan(s.T, fp)
+				nnErr.Add(sys.Plan.LocPos(fdb.Nearest(fp)).Dist(truePos(s.T)))
+				nextScan = s.T + 0.5
+			}
+			if fix, ok := tk.Tick(s.T); ok {
+				fixes++
+				trackErr.Add(sys.Plan.LocPos(fix.Loc).Dist(truePos(fix.T)))
+				if lastFixT >= 0 && fix.T-lastFixT < tk.cfg.IntervalSec-1e-9 {
+					t.Errorf("fixes %.2f s apart, interval is %.2f s", fix.T-lastFixT, tk.cfg.IntervalSec)
+				}
+				lastFixT = fix.T
+			}
+		}
+	}
+	walkDur := walk.Legs[len(walk.Legs)-1].T1
+	if fixes < int(walkDur/3)-2 {
+		t.Fatalf("only %d fixes over a %.0f s walk", fixes, walkDur)
+	}
+	// The tracker quantizes to reference locations (grid spacing
+	// 4-5.7 m) and the walker is usually mid-aisle at fix time, so a
+	// couple of meters of mean error is inherent; the meaningful bar is
+	// beating the raw per-scan NN stream below.
+	if trackErr.Mean() > 4.5 {
+		t.Errorf("tracking mean error %.2f m too large", trackErr.Mean())
+	}
+	if trackErr.Mean() >= nnErr.Mean() {
+		t.Errorf("tracker (%.2f m) should beat per-scan NN (%.2f m)",
+			trackErr.Mean(), nnErr.Mean())
+	}
+}
+
+func TestReset(t *testing.T) {
+	sys := sysFixture(t)
+	tk, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive one fix.
+	g, err := sensors.NewGenerator(sys.Config.Sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := g.Walk(nil, 0, 4, 1.8, 90, sensors.Device{}, 0, stats.NewRNG(1))
+	for _, s := range samples {
+		tk.AddIMU(s)
+	}
+	tk.AddScan(1, fingerprint.Fingerprint(sys.Model.Sample(sys.Plan.LocPos(5), stats.NewRNG(2))))
+	if _, ok := tk.Tick(10); !ok {
+		t.Fatal("expected a fix")
+	}
+	if tk.LastFix() == nil {
+		t.Fatal("LastFix missing")
+	}
+	tk.Reset()
+	if tk.LastFix() != nil || tk.started || tk.haveScan {
+		t.Error("Reset should clear the session")
+	}
+}
+
+// TestTrackerWithHorusSource verifies the tracker runs over the
+// probabilistic candidate source as well.
+func TestTrackerWithHorusSource(t *testing.T) {
+	sys := sysFixture(t)
+	gdb, err := fingerprint.NewGaussianDB(sys.Model.NumAPs(), sys.Survey.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, err := New(sys.Plan, gdb, sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.AddIMU(sensors.Sample{T: 0, Accel: 9.8})
+	tk.AddScan(0.2, fingerprint.Fingerprint(sys.Model.Sample(sys.Plan.LocPos(9), stats.NewRNG(3))))
+	fix, ok := tk.Tick(3.5)
+	if !ok {
+		t.Fatal("expected a fix")
+	}
+	if fix.Loc < 1 || fix.Loc > 28 {
+		t.Errorf("fix out of range: %d", fix.Loc)
+	}
+	if len(fix.Candidates) == 0 {
+		t.Error("candidates missing")
+	}
+}

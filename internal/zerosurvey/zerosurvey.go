@@ -1,0 +1,341 @@
+// Package zerosurvey builds a fingerprint database without a manual
+// site survey, the line of work (WILL, LiFS, Zee) the paper cites and
+// defers: "In our current implementation we adopt traditional methods,
+// and leave the newly proposed methods for future investigation."
+//
+// The approach is Zee-flavored label inference over the walk graph:
+//
+//  1. Unlabeled walks arrive as sequences of (raw compass direction,
+//     CSC offset, fingerprint) per leg. The compass carries an unknown
+//     constant offset per walk (phone placement + device bias).
+//  2. For each walk, a Viterbi decoder finds the location sequence on
+//     the walk graph that best explains the motion, jointly searching a
+//     discretized grid of placement offsets. Map geometry (aisle
+//     bearings and lengths) is the transition model.
+//  3. The fingerprints observed at the inferred locations form a radio
+//     map. Expectation-maximization then re-decodes every walk with the
+//     learned map as the emission model and rebuilds, sharpening the
+//     labels over a few iterations.
+//
+// One simplification is inherited from the evaluation protocol: walks
+// are segmented at reference locations (a deployed system would segment
+// at detected turns, which coincide with aisle intersections in grid
+// buildings).
+package zerosurvey
+
+import (
+	"fmt"
+	"math"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+)
+
+// Leg is one motion segment of an unlabeled walk.
+type Leg struct {
+	// DirRaw is the uncalibrated compass mean over the segment, in
+	// degrees (true motion direction plus an unknown per-walk offset).
+	DirRaw float64
+	// Off is the Continuous-Step-Counting offset in meters.
+	Off float64
+	// FP is the fingerprint scanned at the segment's end.
+	FP fingerprint.Fingerprint
+	// TrueTo is the ground-truth destination, retained only for
+	// evaluating labeling accuracy; inference never reads it.
+	TrueTo int
+}
+
+// Walk is one unlabeled crowdsourced walk.
+type Walk struct {
+	// StartFP is the fingerprint scanned before the first segment.
+	StartFP fingerprint.Fingerprint
+	// TrueStart is ground truth for evaluation only.
+	TrueStart int
+	Legs      []Leg
+}
+
+// Config parameterizes the inference.
+type Config struct {
+	// OffsetBins is the number of placement-offset hypotheses searched
+	// per walk (the offset grid covers [0, 360) degrees).
+	OffsetBins int
+	// DirSigmaDeg and OffSigmaM are the motion-model spreads used to
+	// score a measured segment against an aisle.
+	DirSigmaDeg float64
+	OffSigmaM   float64
+	// Iterations is the number of EM rounds: 1 means motion-only
+	// decoding, each further round re-decodes with the learned radio map
+	// as the emission model.
+	Iterations int
+	// EmissionWeight scales the fingerprint emission log-likelihood
+	// against the motion score in EM rounds.
+	EmissionWeight float64
+}
+
+// NewConfig returns defaults that work on grid-like plans.
+func NewConfig() Config {
+	return Config{
+		OffsetBins:     24,
+		DirSigmaDeg:    12,
+		OffSigmaM:      0.6,
+		Iterations:     3,
+		EmissionWeight: 0.5,
+	}
+}
+
+// Validate rejects unusable configuration.
+func (c Config) Validate() error {
+	if c.OffsetBins < 4 {
+		return fmt.Errorf("zerosurvey: need at least 4 offset bins, got %d", c.OffsetBins)
+	}
+	if c.DirSigmaDeg <= 0 || c.OffSigmaM <= 0 {
+		return fmt.Errorf("zerosurvey: motion-model sigmas must be positive")
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("zerosurvey: need at least one iteration")
+	}
+	if c.EmissionWeight < 0 {
+		return fmt.Errorf("zerosurvey: emission weight must be non-negative")
+	}
+	return nil
+}
+
+// PrepareWalks converts ground-truth traces into unlabeled walks: raw
+// compass means (no placement calibration — that is the point), CSC
+// offsets, and fingerprints drawn from the per-location pool at each
+// visit. Ground-truth locations are carried along solely for scoring.
+func PrepareWalks(traces []*trace.Trace, pool [][]fingerprint.Fingerprint,
+	mcfg motion.Config, rng *stats.RNG) ([]Walk, error) {
+	walks := make([]Walk, 0, len(traces))
+	for _, tr := range traces {
+		if tr.Start < 1 || tr.Start > len(pool) {
+			return nil, fmt.Errorf("zerosurvey: trace start %d outside pool", tr.Start)
+		}
+		pick := func(loc int) fingerprint.Fingerprint {
+			scans := pool[loc-1]
+			return scans[rng.Intn(len(scans))]
+		}
+		w := Walk{
+			StartFP:   pick(tr.Start),
+			TrueStart: tr.Start,
+		}
+		stepLen := motion.StepLength(mcfg, tr.User.HeightM, tr.User.WeightKg)
+		for _, leg := range tr.Legs {
+			rlm, ok := motion.Extract(mcfg, leg.Samples, leg.T0, leg.T1, stepLen, nil)
+			if !ok {
+				continue // standing segments carry no relative information
+			}
+			w.Legs = append(w.Legs, Leg{
+				DirRaw: rlm.Dir,
+				Off:    rlm.Off,
+				FP:     pick(leg.To),
+				TrueTo: leg.To,
+			})
+		}
+		if len(w.Legs) > 0 {
+			walks = append(walks, w)
+		}
+	}
+	return walks, nil
+}
+
+// Result is the inference outcome.
+type Result struct {
+	// Paths[i] is the inferred location sequence of walk i (start plus
+	// one entry per leg).
+	Paths [][]int
+	// Assignments[loc-1] holds the fingerprints attributed to each
+	// location.
+	Assignments [][]fingerprint.Fingerprint
+	// LabelAccuracy is the fraction of fingerprints attributed to their
+	// true location (start and leg arrivals), per EM iteration.
+	LabelAccuracy []float64
+}
+
+// Infer runs the label inference over unlabeled walks.
+func Infer(plan *floorplan.Plan, graph *floorplan.WalkGraph, walks []Walk,
+	cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(walks) == 0 {
+		return nil, fmt.Errorf("zerosurvey: no walks")
+	}
+	n := plan.NumLocs()
+	res := &Result{}
+
+	var gdb *fingerprint.GaussianDB // nil in the first (motion-only) round
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		res.Paths = res.Paths[:0]
+		res.Assignments = make([][]fingerprint.Fingerprint, n)
+		correct, total := 0, 0
+		for _, w := range walks {
+			path := decodeWalk(plan, graph, w, cfg, gdb)
+			res.Paths = append(res.Paths, path)
+			res.Assignments[path[0]-1] = append(res.Assignments[path[0]-1], w.StartFP)
+			if path[0] == w.TrueStart {
+				correct++
+			}
+			total++
+			for i, leg := range w.Legs {
+				loc := path[i+1]
+				res.Assignments[loc-1] = append(res.Assignments[loc-1], leg.FP)
+				if loc == leg.TrueTo {
+					correct++
+				}
+				total++
+			}
+		}
+		res.LabelAccuracy = append(res.LabelAccuracy, float64(correct)/float64(total))
+
+		if iter+1 < cfg.Iterations {
+			// Fit the emission model for the next round from locations
+			// that received samples.
+			var err error
+			gdb, err = fitEmission(w0(walks), res.Assignments)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// w0 returns the fingerprint width of the walk set.
+func w0(walks []Walk) int { return len(walks[0].StartFP) }
+
+// fitEmission builds a Gaussian emission model over the assignments,
+// substituting the global mean for unvisited locations so decoding
+// treats them as uninformative rather than impossible.
+func fitEmission(numAPs int, assignments [][]fingerprint.Fingerprint) (*fingerprint.GaussianDB, error) {
+	// Global pool for the fallback.
+	var global []fingerprint.Fingerprint
+	for _, scans := range assignments {
+		global = append(global, scans...)
+	}
+	if len(global) == 0 {
+		return nil, fmt.Errorf("zerosurvey: no fingerprints assigned")
+	}
+	filled := make([][]fingerprint.Fingerprint, len(assignments))
+	for i, scans := range assignments {
+		if len(scans) > 0 {
+			filled[i] = scans
+			continue
+		}
+		filled[i] = global
+	}
+	return fingerprint.NewGaussianDB(numAPs, filled)
+}
+
+// decodeWalk finds the best location sequence for one walk: a Viterbi
+// pass per placement-offset hypothesis, keeping the best-scoring
+// hypothesis.
+func decodeWalk(plan *floorplan.Plan, graph *floorplan.WalkGraph, w Walk,
+	cfg Config, gdb *fingerprint.GaussianDB) []int {
+	bestScore := math.Inf(-1)
+	var bestPath []int
+	for bin := 0; bin < cfg.OffsetBins; bin++ {
+		theta := 360 * float64(bin) / float64(cfg.OffsetBins)
+		path, score := viterbi(plan, graph, w, cfg, gdb, theta)
+		if score > bestScore {
+			bestScore, bestPath = score, path
+		}
+	}
+	return bestPath
+}
+
+// viterbi decodes one walk under a fixed placement-offset hypothesis.
+func viterbi(plan *floorplan.Plan, graph *floorplan.WalkGraph, w Walk,
+	cfg Config, gdb *fingerprint.GaussianDB, theta float64) ([]int, float64) {
+	n := plan.NumLocs()
+	emit := func(loc int, fp fingerprint.Fingerprint) float64 {
+		if gdb == nil {
+			return 0
+		}
+		return cfg.EmissionWeight * gdb.LogLikelihood(loc, fp)
+	}
+
+	score := make([]float64, n+1)
+	for loc := 1; loc <= n; loc++ {
+		score[loc] = emit(loc, w.StartFP)
+	}
+	back := make([][]int, len(w.Legs))
+
+	for t, leg := range w.Legs {
+		dir := geom.NormalizeDeg(leg.DirRaw - theta)
+		next := make([]float64, n+1)
+		back[t] = make([]int, n+1)
+		for loc := 1; loc <= n; loc++ {
+			next[loc] = math.Inf(-1)
+		}
+		for u := 1; u <= n; u++ {
+			if math.IsInf(score[u], -1) {
+				continue
+			}
+			for _, e := range graph.Neighbors(u) {
+				bearing := plan.LocBearing(u, e.To)
+				dd := geom.AngleDiff(dir, bearing)
+				move := -0.5*(dd/cfg.DirSigmaDeg)*(dd/cfg.DirSigmaDeg) -
+					0.5*((leg.Off-e.Dist)/cfg.OffSigmaM)*((leg.Off-e.Dist)/cfg.OffSigmaM)
+				s := score[u] + move + emit(e.To, leg.FP)
+				if s > next[e.To] {
+					next[e.To] = s
+					back[t][e.To] = u
+				}
+			}
+		}
+		score = next
+	}
+
+	// Read out the best terminal state and trace back.
+	bestLoc, bestScore := 1, math.Inf(-1)
+	for loc := 1; loc <= n; loc++ {
+		if score[loc] > bestScore {
+			bestLoc, bestScore = loc, score[loc]
+		}
+	}
+	path := make([]int, len(w.Legs)+1)
+	path[len(w.Legs)] = bestLoc
+	for t := len(w.Legs) - 1; t >= 0; t-- {
+		path[t] = back[t][path[t+1]]
+	}
+	return path, bestScore
+}
+
+// BuildRadioMap turns the final assignments into a deterministic radio
+// map usable by the localizers. Locations that never received a
+// fingerprint are filled from their nearest assigned neighbor, and the
+// number of such holes is reported.
+func BuildRadioMap(plan *floorplan.Plan, res *Result,
+	metric fingerprint.Metric, numAPs int) (*fingerprint.DB, int, error) {
+	holes := 0
+	filled := make([][]fingerprint.Fingerprint, len(res.Assignments))
+	for i, scans := range res.Assignments {
+		if len(scans) > 0 {
+			filled[i] = scans
+			continue
+		}
+		holes++
+		// Borrow from the geometrically nearest location with samples.
+		var nearest int
+		bestD := math.Inf(1)
+		for j, other := range res.Assignments {
+			if len(other) == 0 {
+				continue
+			}
+			if d := plan.LocDist(i+1, j+1); d < bestD {
+				bestD, nearest = d, j
+			}
+		}
+		if math.IsInf(bestD, 1) {
+			return nil, holes, fmt.Errorf("zerosurvey: no location received any fingerprint")
+		}
+		filled[i] = res.Assignments[nearest]
+	}
+	db, err := fingerprint.NewDB(metric, numAPs, filled)
+	return db, holes, err
+}

@@ -1,0 +1,161 @@
+package zerosurvey
+
+import (
+	"testing"
+
+	"moloc/internal/core"
+	"moloc/internal/fingerprint"
+	"moloc/internal/stats"
+)
+
+// fixture builds a small system plus prepared unlabeled walks.
+func fixture(t *testing.T, numWalks int) (*core.System, []Walk) {
+	t.Helper()
+	cfg := core.NewConfig()
+	cfg.NumTrainTraces = numWalks
+	cfg.NumTestTraces = 2
+	sys, err := core.Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	walks, err := PrepareWalks(sys.TrainTraces, sys.Survey.MotionEst,
+		sys.Config.Motion, stats.NewRNG(5))
+	if err != nil {
+		t.Fatalf("PrepareWalks: %v", err)
+	}
+	return sys, walks
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := NewConfig().Validate(); err != nil {
+		t.Errorf("defaults: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.OffsetBins = 2 },
+		func(c *Config) { c.DirSigmaDeg = 0 },
+		func(c *Config) { c.OffSigmaM = -1 },
+		func(c *Config) { c.Iterations = 0 },
+		func(c *Config) { c.EmissionWeight = -1 },
+	}
+	for i, mutate := range bad {
+		c := NewConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPrepareWalks(t *testing.T) {
+	sys, walks := fixture(t, 10)
+	if len(walks) != 10 {
+		t.Fatalf("walks = %d", len(walks))
+	}
+	for _, w := range walks {
+		if len(w.StartFP) != sys.Model.NumAPs() {
+			t.Fatal("start fingerprint width wrong")
+		}
+		if w.TrueStart < 1 || w.TrueStart > 28 {
+			t.Fatal("bad true start")
+		}
+		for _, leg := range w.Legs {
+			if leg.Off <= 0 || leg.Off > 10 {
+				t.Fatalf("implausible offset %v", leg.Off)
+			}
+			if leg.DirRaw < 0 || leg.DirRaw >= 360 {
+				t.Fatalf("direction %v out of range", leg.DirRaw)
+			}
+		}
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	sys, walks := fixture(t, 4)
+	if _, err := Infer(sys.Plan, sys.Graph, nil, NewConfig()); err == nil {
+		t.Error("no walks should error")
+	}
+	bad := NewConfig()
+	bad.Iterations = 0
+	if _, err := Infer(sys.Plan, sys.Graph, walks, bad); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestInferLabelsImproveWithEM(t *testing.T) {
+	sys, walks := fixture(t, 60)
+	res, err := Infer(sys.Plan, sys.Graph, walks, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LabelAccuracy) != NewConfig().Iterations {
+		t.Fatalf("accuracy per iteration missing: %v", res.LabelAccuracy)
+	}
+	first, last := res.LabelAccuracy[0], res.LabelAccuracy[len(res.LabelAccuracy)-1]
+	// Motion-only decoding must beat chance (1/28) decisively, and EM
+	// must not make it worse.
+	if first < 0.15 {
+		t.Errorf("motion-only label accuracy %.2f barely beats chance", first)
+	}
+	if last < first-0.05 {
+		t.Errorf("EM degraded labels: %.2f -> %.2f", first, last)
+	}
+	// Paths have the right shape.
+	for i, p := range res.Paths {
+		if len(p) != len(walks[i].Legs)+1 {
+			t.Fatalf("path %d length %d, want %d", i, len(p), len(walks[i].Legs)+1)
+		}
+		for j := 1; j < len(p); j++ {
+			if !sys.Graph.Adjacent(p[j-1], p[j]) {
+				t.Fatalf("path %d step %d not an aisle: %d-%d", i, j, p[j-1], p[j])
+			}
+		}
+	}
+}
+
+func TestBuildRadioMap(t *testing.T) {
+	sys, walks := fixture(t, 60)
+	res, err := Infer(sys.Plan, sys.Graph, walks, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, holes, err := BuildRadioMap(sys.Plan, res, fingerprint.Euclidean{}, sys.Model.NumAPs())
+	if err != nil {
+		t.Fatalf("BuildRadioMap: %v", err)
+	}
+	if db.NumLocs() != 28 {
+		t.Errorf("radio map covers %d locations", db.NumLocs())
+	}
+	if holes > 10 {
+		t.Errorf("%d unvisited locations; walks too short?", holes)
+	}
+}
+
+func TestZeroEffortMapLocalizes(t *testing.T) {
+	// The end-to-end claim: a radio map built with no site survey still
+	// supports localization clearly above chance.
+	sys, walks := fixture(t, 80)
+	res, err := Infer(sys.Plan, sys.Graph, walks, NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := BuildRadioMap(sys.Plan, res, fingerprint.Euclidean{}, sys.Model.NumAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	rng := stats.NewRNG(9)
+	for loc := 1; loc <= 28; loc++ {
+		for _, fp := range sys.Survey.Test[loc-1] {
+			if db.Nearest(fp) == loc {
+				correct++
+			}
+			total++
+		}
+		_ = rng
+	}
+	frac := float64(correct) / float64(total)
+	if frac < 0.2 {
+		t.Errorf("zero-effort map localizes %.2f of held-out scans; chance is %.2f",
+			frac, 1.0/28)
+	}
+}

@@ -1,0 +1,115 @@
+// Package moloc is a library-scale reproduction of "MoLoc: On
+// Distinguishing Fingerprint Twins" (Sun et al., IEEE ICDCS 2013), a
+// motion-assisted indoor localization scheme that resolves fingerprint
+// ambiguity — distinct locations with near-identical WiFi RSS
+// fingerprints — by fusing phone-sensor motion measurements with
+// fingerprint matching.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - floor-plan modelling and walk graphs (internal/floorplan)
+//   - indoor RF propagation simulation (internal/rf)
+//   - fingerprint databases and k-NN candidates (internal/fingerprint)
+//   - IMU simulation and motion processing (internal/sensors,
+//     internal/motion)
+//   - the crowdsourced motion database (internal/motiondb,
+//     internal/crowd)
+//   - the MoLoc localizer and baselines (internal/localizer)
+//   - trace-driven evaluation (internal/trace, internal/eval)
+//
+// The five-line quickstart: build a System from a Config, Deploy an AP
+// subset, construct localizers, and Evaluate them on the held-out test
+// traces.
+//
+//	sys, err := moloc.Build(moloc.NewConfig())
+//	dep, err := sys.Deploy(sys.AllAPs())
+//	ml, err := dep.NewMoLoc()
+//	results := dep.Evaluate(ml)
+//	fmt.Println(moloc.Summarize(results).Accuracy)
+package moloc
+
+import (
+	"moloc/internal/core"
+	"moloc/internal/eval"
+	"moloc/internal/floorplan"
+	"moloc/internal/localizer"
+	"moloc/internal/trace"
+)
+
+// Config assembles every tunable of the pipeline; see core.Config.
+type Config = core.Config
+
+// System owns the environment, survey, motion database, and traces.
+type System = core.System
+
+// Deployment specializes a System to an AP subset.
+type Deployment = core.Deployment
+
+// Plan is a 2-D indoor environment.
+type Plan = floorplan.Plan
+
+// Localizer estimates a reference location per observation.
+type Localizer = localizer.Localizer
+
+// Summary aggregates localization results: accuracy, mean/max error,
+// and the error CDF.
+type Summary = eval.Summary
+
+// TraceResult is the localization record of one test trace.
+type TraceResult = eval.TraceResult
+
+// Convergence holds the Table I statistics: erroneous localizations
+// before the first accurate fix and the quality of estimates after it.
+type Convergence = eval.Convergence
+
+// UserProfile describes one simulated walker.
+type UserProfile = trace.UserProfile
+
+// NewConfig returns the paper's experiment configuration on the office
+// hall of Fig. 5.
+func NewConfig() Config { return core.NewConfig() }
+
+// Build runs the shared pipeline stages: environment, RF model, site
+// survey, crowdsourced motion-database training, and trace generation.
+func Build(cfg Config) (*System, error) { return core.Build(cfg) }
+
+// Summarize computes accuracy and error statistics for a result set.
+func Summarize(results []TraceResult) Summary { return eval.Summarize(results) }
+
+// ConvergenceStats computes the Table I convergence statistics.
+func ConvergenceStats(results []TraceResult) Convergence {
+	return eval.ConvergenceStats(results)
+}
+
+// LargeErrorLocs identifies locations where a baseline's errors exceed
+// threshold meters in at least minFrac of its attempts — the paper's
+// fingerprint-twin victims (Sec. VI-B3).
+func LargeErrorLocs(results []TraceResult, threshold, minFrac float64) []int {
+	return eval.LargeErrorLocs(results, threshold, minFrac)
+}
+
+// FilterByTrueLoc summarizes only the attempts whose ground truth is in
+// locs (the Fig. 8 view).
+func FilterByTrueLoc(results []TraceResult, locs []int) Summary {
+	return eval.FilterByTrueLoc(results, locs)
+}
+
+// OfficeHall returns the paper's experimental environment (Fig. 5).
+func OfficeHall() *Plan { return floorplan.OfficeHall() }
+
+// Mall returns a larger two-corridor shopping-mall plan.
+func Mall() *Plan { return floorplan.Mall() }
+
+// Museum returns a four-room museum plan with doorways.
+func Museum() *Plan { return floorplan.Museum() }
+
+// Adjacency thresholds for the built-in plans, for Config.AdjDist.
+const (
+	OfficeHallAdjDist = floorplan.OfficeHallAdjDist
+	MallAdjDist       = floorplan.MallAdjDist
+	MuseumAdjDist     = floorplan.MuseumAdjDist
+)
+
+// DefaultUsers returns four walkers with diverse height and speed,
+// standing in for the paper's volunteers.
+func DefaultUsers() []UserProfile { return trace.DefaultUsers() }

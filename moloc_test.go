@@ -1,0 +1,82 @@
+package moloc_test
+
+import (
+	"testing"
+
+	"moloc"
+)
+
+// smallConfig keeps facade tests fast while exercising the whole
+// pipeline.
+func smallConfig() moloc.Config {
+	cfg := moloc.NewConfig()
+	cfg.NumTrainTraces = 30
+	cfg.NumTestTraces = 8
+	cfg.Trace.NumLegs = 8
+	return cfg
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys, err := moloc.Build(smallConfig())
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	ml, err := dep.NewMoLoc()
+	if err != nil {
+		t.Fatalf("NewMoLoc: %v", err)
+	}
+	results := dep.Evaluate(ml)
+	s := moloc.Summarize(results)
+	if s.N == 0 {
+		t.Fatal("no localization attempts recorded")
+	}
+	if s.Accuracy <= 0.3 {
+		t.Errorf("MoLoc accuracy %.2f implausibly low", s.Accuracy)
+	}
+	c := moloc.ConvergenceStats(results)
+	if c.Traces < 0 || c.MeanEL < 0 {
+		t.Errorf("bad convergence stats: %+v", c)
+	}
+}
+
+func TestFacadePlans(t *testing.T) {
+	for _, tt := range []struct {
+		plan *moloc.Plan
+		want string
+	}{
+		{moloc.OfficeHall(), "office-hall"},
+		{moloc.Mall(), "mall"},
+		{moloc.Museum(), "museum"},
+	} {
+		if tt.plan.Name != tt.want {
+			t.Errorf("plan name = %s, want %s", tt.plan.Name, tt.want)
+		}
+		if err := tt.plan.Validate(); err != nil {
+			t.Errorf("%s: %v", tt.want, err)
+		}
+	}
+	if len(moloc.DefaultUsers()) != 4 {
+		t.Error("expected 4 default users")
+	}
+}
+
+func TestFacadeLargeErrorView(t *testing.T) {
+	sys, err := moloc.Build(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs()[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wifi := dep.Evaluate(dep.NewWiFi())
+	locs := moloc.LargeErrorLocs(wifi, 6, 0.25)
+	s := moloc.FilterByTrueLoc(wifi, locs)
+	if len(locs) > 0 && s.N == 0 {
+		t.Error("filter over identified locations should match attempts")
+	}
+}
