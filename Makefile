@@ -3,15 +3,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments examples clean
+.PHONY: all build vet lint test race cover bench experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# moloclint enforces the repo's numeric + concurrency invariants
+# (DESIGN.md §8): degnorm, randsrc, lockguard, errdrop.
+lint:
+	$(GO) run ./cmd/moloclint ./...
 
 test:
 	$(GO) test ./...

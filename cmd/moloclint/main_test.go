@@ -1,0 +1,127 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"moloc/internal/lint"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("")
+	if err != nil || len(all) != len(lint.Analyzers()) {
+		t.Fatalf("default selection: %v, %d analyzers", err, len(all))
+	}
+	two, err := selectAnalyzers("degnorm, errdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "degnorm" || two[1].Name != "errdrop" {
+		t.Fatalf("got %v", two)
+	}
+	if _, err := selectAnalyzers("nope"); err == nil {
+		t.Error("unknown analyzer should be rejected")
+	}
+}
+
+func TestMatchPattern(t *testing.T) {
+	cwd := filepath.FromSlash("/repo")
+	cases := []struct {
+		dir, pat string
+		want     bool
+	}{
+		{"/repo/internal/geom", "./...", true},
+		{"/repo", "./...", true},
+		{"/repo/internal/geom", "...", true},
+		{"/repo/internal/geom", "internal/geom", true},
+		{"/repo/internal/geom", "internal", false},
+		{"/repo/internal/geom", "internal/...", true},
+		{"/repo/internal/geometry", "internal/geom/...", false},
+		{"/repo/cmd/molocd", "internal/...", false},
+	}
+	for _, c := range cases {
+		if got := matchPattern(filepath.FromSlash(c.dir), cwd, c.pat); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.dir, c.pat, got, c.want)
+		}
+	}
+}
+
+// TestDriverFindsViolations runs the load-and-analyze path the driver
+// uses over a scratch module containing one violation per analyzer.
+func TestDriverFindsViolations(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("angles/angles.go", `package angles
+
+import "math"
+
+func Wrap(d float64) float64 { return math.Mod(d, 360) }
+`)
+	write("seed/seed.go", `package seed
+
+import "time"
+
+func Seed() int64 { return time.Now().UnixNano() }
+`)
+	write("guard/guard.go", `package guard
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) Peek() int { return s.n }
+`)
+	write("drop/drop.go", `package drop
+
+import "os"
+
+func Drop() { os.Remove("x") }
+`)
+
+	root, modPath, err := lint.ModulePath(filepath.Join(dir, "angles"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != dir || modPath != "scratch" {
+		t.Fatalf("ModulePath = %q, %q", root, modPath)
+	}
+	pkgs, err := lint.Load(root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunAll(pkgs, lint.Analyzers())
+	got := map[string]bool{}
+	for _, d := range diags {
+		got[d.Analyzer] = true
+	}
+	for _, a := range lint.Analyzers() {
+		if !got[a.Name] {
+			t.Errorf("analyzer %s reported nothing over the scratch module; diags: %v", a.Name, diags)
+		}
+	}
+
+	// Restricting to one package keeps only its findings.
+	sub, err := filterPackages(pkgs, dir, []string{"angles"})
+	if err != nil || len(sub) != 1 || !strings.HasSuffix(sub[0].Path, "angles") {
+		t.Fatalf("filterPackages: %v, %v", sub, err)
+	}
+	// A typo'd pattern must not read as a clean run.
+	if _, err := filterPackages(pkgs, dir, []string{"anglez"}); err == nil {
+		t.Error("unmatched pattern should be an error")
+	}
+}

@@ -39,6 +39,15 @@ type Metric interface {
 	Name() string
 }
 
+// mustSameLen panics when two fingerprints disagree on length, which
+// indicates mixing fingerprints from different AP sets — a programming
+// error.
+func mustSameLen(a, b Fingerprint) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fingerprint: length mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
 // Euclidean is the paper's dissimilarity (Eq. 1):
 // phi^2(F, F') = sum_i (f_i - f'_i)^2.
 type Euclidean struct{}
@@ -49,9 +58,7 @@ var _ Metric = Euclidean{}
 // length mismatch, which indicates mixing fingerprints from different AP
 // sets — a programming error.
 func (Euclidean) Distance(a, b Fingerprint) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("fingerprint: length mismatch %d vs %d", len(a), len(b)))
-	}
+	mustSameLen(a, b)
 	var s float64
 	for i := range a {
 		d := a[i] - b[i]
@@ -70,9 +77,7 @@ var _ Metric = Manhattan{}
 
 // Distance returns the L1 distance between a and b.
 func (Manhattan) Distance(a, b Fingerprint) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("fingerprint: length mismatch %d vs %d", len(a), len(b)))
-	}
+	mustSameLen(a, b)
 	var s float64
 	for i := range a {
 		s += math.Abs(a[i] - b[i])
@@ -98,9 +103,7 @@ var _ Metric = MatchedOnly{}
 // If no AP is shared, it returns a large constant so the pair ranks
 // last.
 func (m MatchedOnly) Distance(a, b Fingerprint) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("fingerprint: length mismatch %d vs %d", len(a), len(b)))
-	}
+	mustSameLen(a, b)
 	var s float64
 	n := 0
 	for i := range a {

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// DegNorm flags raw compass-angle arithmetic outside internal/geom.
+//
+// MoLoc measures bearings in degrees clockwise from north, normalized
+// to [0, 360). The paper's RLM reassembling step d' = (d + 180°) mod
+// 360° (Sec. IV-B2) is wrong when written with math.Mod, which returns
+// values in (-360, 360) for negative inputs, and signed heading
+// differences computed by plain subtraction break near the 0°/360°
+// seam. All wrap/diff arithmetic must go through geom.NormalizeDeg,
+// geom.AngleDiff, and geom.MirrorBearing.
+//
+// Flagged patterns (outside internal/geom, internal/stats, and test
+// files — geom owns the helpers, stats owns circular statistics):
+//
+//   - math.Mod(x, 360): use geom.NormalizeDeg
+//   - float expressions adding or subtracting the literals 180 or 360:
+//     use geom.NormalizeDeg / geom.AngleDiff / geom.MirrorBearing
+//   - subtracting two bearing-valued expressions (identifier names
+//     matching bearing/heading/compass/azimuth): use geom.AngleDiff
+var DegNorm = &Analyzer{
+	Name: "degnorm",
+	Doc:  "flags raw ±180/±360 angle arithmetic outside internal/geom; use the geom helpers",
+	Run:  runDegNorm,
+}
+
+// bearingNameRe matches identifiers that carry compass bearings.
+var bearingNameRe = regexp.MustCompile(`(?i)(bearing|heading|compass|azimuth)`)
+
+func runDegNorm(pass *Pass) {
+	if pkgHasSegments(pass.Path, "internal/geom") || pkgHasSegments(pass.Path, "internal/stats") {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkMathMod(pass, n)
+			case *ast.BinaryExpr:
+				checkAngleBinary(pass, n)
+			case *ast.AssignStmt:
+				checkAngleAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMathMod flags math.Mod(x, 360) and math.Mod(x, 180).
+func checkMathMod(pass *Pass, call *ast.CallExpr) {
+	fn := funcObj(pass.Info, call)
+	if fn == nil || fn.FullName() != "math.Mod" || len(call.Args) != 2 {
+		return
+	}
+	if isAngleConst(pass.Info, call.Args[1]) {
+		pass.Reportf(call.Pos(),
+			"math.Mod on a heading does not normalize negative angles; use geom.NormalizeDeg (or geom.AngleDiff for differences)")
+	}
+}
+
+// checkAngleBinary flags x+180, x-180, x+360, x-360 on floats, and
+// bearing - bearing.
+func checkAngleBinary(pass *Pass, b *ast.BinaryExpr) {
+	if b.Op != token.ADD && b.Op != token.SUB {
+		return
+	}
+	if !isFloatExpr(pass.Info, b) {
+		return
+	}
+	if isAngleConst(pass.Info, b.X) || isAngleConst(pass.Info, b.Y) {
+		pass.Reportf(b.Pos(),
+			"raw ±180/±360 angle arithmetic; use geom.NormalizeDeg, geom.AngleDiff, or geom.MirrorBearing")
+		return
+	}
+	if b.Op == token.SUB && isBearingExpr(b.X) && isBearingExpr(b.Y) {
+		pass.Reportf(b.Pos(),
+			"direct bearing subtraction breaks at the 0°/360° seam; use geom.AngleDiff")
+	}
+}
+
+// checkAngleAssign flags x += 180 and x -= 360 style wrap-arounds.
+func checkAngleAssign(pass *Pass, a *ast.AssignStmt) {
+	if a.Tok != token.ADD_ASSIGN && a.Tok != token.SUB_ASSIGN {
+		return
+	}
+	if len(a.Lhs) != 1 || len(a.Rhs) != 1 {
+		return
+	}
+	if isFloatExpr(pass.Info, a.Lhs[0]) && isAngleConst(pass.Info, a.Rhs[0]) {
+		pass.Reportf(a.Pos(),
+			"raw ±180/±360 angle arithmetic; use geom.NormalizeDeg, geom.AngleDiff, or geom.MirrorBearing")
+	}
+}
+
+// isAngleConst reports whether e is a constant expression equal to 180
+// or 360 (the half-turn and full-turn literals in degrees).
+func isAngleConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+	if !ok {
+		return false
+	}
+	return v == 180 || v == 360
+}
+
+// isFloatExpr reports whether e has a floating-point type; bearings in
+// this codebase are always float64.
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isBearingExpr reports whether e names a bearing: an identifier,
+// field selector, or call whose final name mentions
+// bearing/heading/compass/azimuth.
+func isBearingExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return bearingNameRe.MatchString(e.Name)
+	case *ast.SelectorExpr:
+		return bearingNameRe.MatchString(e.Sel.Name)
+	case *ast.CallExpr:
+		return isBearingExpr(e.Fun)
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags discarded error return values in non-test code.
+//
+// An ignored json.Encoder.Encode in an HTTP handler silently serves a
+// truncated body; an ignored file write silently loses a trace. Both
+// forms of discard are flagged:
+//
+//   - a call used as a bare statement whose results include an error
+//   - an assignment binding an error result to the blank identifier
+//     (`_ = enc.Encode(v)` or `v, _ := f()`)
+//
+// Deliberate discards must carry a `//lint:ignore errdrop <reason>`
+// comment, which doubles as documentation for the reader.
+//
+// Exempt by contract (they are documented never to return a non-nil
+// error, or failure is inconsequential by convention):
+//
+//   - the fmt print family (fmt.Print/Printf/Println/Fprint*)
+//   - methods on bytes.Buffer and strings.Builder
+//   - deferred calls (`defer f.Close()` on read paths)
+//   - test files
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error return values in non-test code",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				return false // deferred cleanup is exempt
+			case *ast.ExprStmt:
+				checkBareCall(pass, n)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBareCall flags `f()` statements whose results include an error.
+func checkBareCall(pass *Pass, stmt *ast.ExprStmt) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if !callReturnsError(pass.Info, call) || exemptCallee(pass.Info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"result of %s includes an error that is silently discarded; handle it or add //lint:ignore errdrop <reason>",
+		calleeName(pass.Info, call))
+}
+
+// checkBlankAssign flags error results bound to the blank identifier.
+func checkBlankAssign(pass *Pass, a *ast.AssignStmt) {
+	// Form 1: x, _ := f() — one call, tuple result.
+	if len(a.Rhs) == 1 {
+		call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+		if ok && !exemptCallee(pass.Info, call) {
+			if tuple, ok := pass.Info.Types[call].Type.(*types.Tuple); ok && len(a.Lhs) == tuple.Len() {
+				for i := 0; i < tuple.Len(); i++ {
+					if isBlank(a.Lhs[i]) && isErrorType(tuple.At(i).Type()) {
+						pass.Reportf(a.Lhs[i].Pos(),
+							"error from %s assigned to _; handle it or add //lint:ignore errdrop <reason>",
+							calleeName(pass.Info, call))
+					}
+				}
+				return
+			}
+		}
+	}
+	// Form 2: _ = f() or a, _ = f(), g() — 1:1 assignment.
+	if len(a.Lhs) != len(a.Rhs) {
+		return
+	}
+	for i, lhs := range a.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		rhs := ast.Unparen(a.Rhs[i])
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || exemptCallee(pass.Info, call) {
+			continue
+		}
+		if tv, ok := pass.Info.Types[call]; ok && tv.Type != nil && isErrorType(tv.Type) {
+			pass.Reportf(lhs.Pos(),
+				"error from %s assigned to _; handle it or add //lint:ignore errdrop <reason>",
+				calleeName(pass.Info, call))
+		}
+	}
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// callReturnsError reports whether any result of the call is an error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// exemptCallee reports whether the callee is documented never to fail:
+// the fmt print family and the in-memory bytes.Buffer/strings.Builder
+// writers.
+func exemptCallee(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcObj(info, call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	if strings.HasPrefix(full, "fmt.Print") || strings.HasPrefix(full, "fmt.Fprint") {
+		return true
+	}
+	return strings.HasPrefix(full, "(*bytes.Buffer).") ||
+		strings.HasPrefix(full, "(*strings.Builder).")
+}
+
+// calleeName renders the callee for diagnostics.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := funcObj(info, call); fn != nil {
+		return fn.FullName()
+	}
+	return "call"
+}

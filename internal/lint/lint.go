@@ -1,0 +1,250 @@
+// Package lint implements moloclint, a small static-analysis suite that
+// enforces the MoLoc repository's numeric and concurrency invariants —
+// conventions the Go compiler cannot check but that the reproduction's
+// correctness depends on:
+//
+//   - degnorm: compass-bearing arithmetic must go through the
+//     internal/geom helpers (NormalizeDeg, AngleDiff, MirrorBearing).
+//     The paper's RLM reassembling step d' = (d + 180°) mod 360° is
+//     wrong when written with raw math.Mod, which returns negative
+//     values for negative inputs.
+//   - randsrc: all pseudo-randomness must flow through internal/stats
+//     so that EXPERIMENTS.md stays reproducible run-to-run. Importing
+//     math/rand directly or seeding from the wall clock breaks that.
+//   - lockguard: structs that follow the `mu sync.Mutex` + guarded
+//     fields layout (fields declared after the mutex are protected by
+//     it, as in internal/server) must not have methods that touch
+//     guarded fields without taking the lock.
+//   - errdrop: error return values must not be silently discarded in
+//     non-test code.
+//
+// The suite is built directly on the standard library's go/parser and
+// go/types (no golang.org/x/tools dependency): Load type-checks every
+// package in the module, and each Analyzer inspects the typed ASTs and
+// reports Diagnostics. Findings can be suppressed with a
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// comment on the flagged line or on the line immediately above it.
+// The cmd/moloclint driver runs the suite over the repository and
+// exits non-zero on any unsuppressed finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //lint:ignore comments.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// Analyzers returns the full moloclint suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DegNorm, RandSrc, LockGuard, ErrDrop}
+}
+
+// AnalyzerByName returns the analyzer with the given name, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer and
+// collects its diagnostics. Suppressed findings (//lint:ignore) are
+// dropped at report time.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package import path (module-relative for fixture
+	// packages). Exemptions such as internal/geom match on it.
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags    []Diagnostic
+	suppress map[string][]suppression // file -> line-indexed ignores
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	line     int
+	analyzer string // name or "all"
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)`)
+
+// buildSuppressions indexes every //lint:ignore comment in the pass's
+// files by file and line so Reportf can honor them.
+func (p *Pass) buildSuppressions() {
+	p.suppress = make(map[string][]suppression)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				p.suppress[pos.Filename] = append(p.suppress[pos.Filename],
+					suppression{line: pos.Line, analyzer: m[1]})
+			}
+		}
+	}
+}
+
+// suppressed reports whether a finding by the pass's analyzer at pos is
+// covered by a //lint:ignore comment on the same line or the line
+// directly above.
+func (p *Pass) suppressed(pos token.Position) bool {
+	for _, s := range p.suppress[pos.Filename] {
+		if s.line != pos.Line && s.line != pos.Line-1 {
+			continue
+		}
+		if s.analyzer == "all" || s.analyzer == p.Analyzer.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a finding at pos unless a //lint:ignore comment
+// suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// isTestFile reports whether the file containing pos is a _test.go
+// file. Test code is exempt from every analyzer: tests deliberately
+// construct raw angles, fixed-seed randomness, and single-threaded
+// state to probe edge cases.
+func (p *Pass) isTestFile(f *ast.File) bool {
+	name := p.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// pkgHasSegments reports whether the slash-separated package path
+// contains the given consecutive segments (e.g. "internal/geom"
+// matches both "internal/geom" and "moloc/internal/geom").
+func pkgHasSegments(path, want string) bool {
+	segs := strings.Split(path, "/")
+	wsegs := strings.Split(want, "/")
+	for i := 0; i+len(wsegs) <= len(segs); i++ {
+		ok := true
+		for j, w := range wsegs {
+			if segs[i+j] != w {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzer over one loaded package and returns its
+// unsuppressed diagnostics sorted by position.
+func Run(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Path:     pkg.Path,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	pass.buildSuppressions()
+	a.Run(pass)
+	sortDiagnostics(pass.diags)
+	return pass.diags
+}
+
+// RunAll executes every analyzer in the suite over every package and
+// returns the combined, position-sorted findings.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			all = append(all, Run(a, pkg)...)
+		}
+	}
+	sortDiagnostics(all)
+	return all
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// funcObj resolves a call expression's callee to its *types.Func, or
+// nil when the callee is not a declared function or method (e.g. a
+// conversion or a function-typed variable).
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// wantRe extracts `// want `regex`` annotations from fixture comments.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// expectation is one parsed want annotation.
+type expectation struct {
+	raw     string
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runFixtureTest loads testdata/<analyzer> (including _test.go files,
+// to prove the per-file test exemption), runs the analyzer over every
+// fixture package, and compares the diagnostics line-by-line against
+// the `// want` annotations: every diagnostic must match an annotation
+// on its line, and every annotation must be hit exactly once.
+func runFixtureTest(t *testing.T, a *Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", a.Name)
+	pkgs, err := LoadTree(root, "", true)
+	if err != nil {
+		t.Fatalf("load fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+
+	wants := make(map[string]map[int][]*expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						if wants[pos.Filename] == nil {
+							wants[pos.Filename] = make(map[int][]*expectation)
+						}
+						wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line],
+							&expectation{raw: m[1], re: re})
+					}
+				}
+			}
+		}
+	}
+
+	for _, pkg := range pkgs {
+		for _, d := range Run(a, pkg) {
+			exps := wants[d.Pos.Filename][d.Pos.Line]
+			found := false
+			for _, e := range exps {
+				if !e.matched && e.re.MatchString(d.Message) {
+					e.matched = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+		}
+	}
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no diagnostic matching `%s`", file, line, e.raw)
+				}
+			}
+		}
+	}
+}
+
+func TestDegNorm(t *testing.T)   { runFixtureTest(t, DegNorm) }
+func TestRandSrc(t *testing.T)   { runFixtureTest(t, RandSrc) }
+func TestLockGuard(t *testing.T) { runFixtureTest(t, LockGuard) }
+func TestErrDrop(t *testing.T)   { runFixtureTest(t, ErrDrop) }
+
+// TestRepoIsClean runs the full suite over the real module and demands
+// zero findings — the repository must stay lint-clean. It mirrors the
+// `go run ./cmd/moloclint ./...` CI step.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, modPath, err := ModulePath(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunAll(pkgs, Analyzers()) {
+		t.Errorf("finding: %s", d)
+	}
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc, or run function", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if AnalyzerByName(a.Name) != a {
+			t.Errorf("AnalyzerByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if AnalyzerByName("nope") != nil {
+		t.Error("AnalyzerByName should return nil for unknown names")
+	}
+}
+
+func TestPkgHasSegments(t *testing.T) {
+	cases := []struct {
+		path, want string
+		ok         bool
+	}{
+		{"internal/geom", "internal/geom", true},
+		{"moloc/internal/geom", "internal/geom", true},
+		{"moloc/internal/geometry", "internal/geom", false},
+		{"geom", "internal/geom", false},
+		{"moloc/internal/stats", "internal/stats", true},
+		{"a/internal/geom/sub", "internal/geom", true},
+	}
+	for _, c := range cases {
+		if got := pkgHasSegments(c.path, c.want); got != c.ok {
+			t.Errorf("pkgHasSegments(%q, %q) = %v, want %v", c.path, c.want, got, c.ok)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("moloc/internal/geom" for module
+	// packages; directory-relative for fixture trees).
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks every package under root, in dependency
+// order, using only the standard library: stdlib imports are resolved
+// by the source importer against GOROOT, intra-module imports against
+// the packages loaded so far.
+//
+// modPath is the module path that prefixes import paths of packages
+// under root (read it from go.mod with ModulePath). An empty modPath
+// makes import paths directory-relative, which is what the analyzer
+// fixture trees under testdata use. Directories named testdata, and
+// hidden directories, are skipped; so are _test.go files — every
+// analyzer exempts test code, and skipping them keeps external test
+// packages (package foo_test) out of the type-checker.
+func Load(root, modPath string) ([]*Package, error) {
+	return LoadTree(root, modPath, false)
+}
+
+// LoadTree is Load with control over _test.go files. Including them
+// type-checks in-package test files alongside the rest of the package;
+// the analyzer fixtures use this to prove the per-file test exemption.
+// External test packages (package foo_test) are not supported.
+func LoadTree(root, modPath string, includeTests bool) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	parsed := make(map[string]*parsedPkg) // import path -> parsed files
+	var paths []string
+	for _, dir := range dirs {
+		p, err := parseDir(fset, dir, includeTests)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue // only test files, or no Go files
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		p.path = importPath(modPath, rel)
+		parsed[p.path] = p
+		paths = append(paths, p.path)
+	}
+	sort.Strings(paths)
+
+	order, err := topoSort(parsed, paths)
+	if err != nil {
+		return nil, err
+	}
+
+	checked := make(map[string]*types.Package)
+	imp := &moduleImporter{
+		std: importer.ForCompiler(fset, "source", nil),
+		mod: checked,
+	}
+	var pkgs []*Package
+	for _, path := range order {
+		p := parsed[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", path, err)
+		}
+		checked[path] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:  path,
+			Dir:   p.dir,
+			Fset:  fset,
+			Files: p.files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// ModulePath reads the module path from the go.mod in dir, walking up
+// parent directories until one is found.
+func ModulePath(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+type parsedPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // intra-tree import candidates
+}
+
+// packageDirs returns every directory under root that may hold a
+// package, in lexical order.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the Go files of one directory. It returns nil when
+// the directory holds no analyzable Go files.
+func parseDir(fset *token.FileSet, dir string, includeTests bool) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &parsedPkg{dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.files = append(p.files, f)
+		for _, spec := range f.Imports {
+			if path, err := strconv.Unquote(spec.Path.Value); err == nil {
+				p.imports = append(p.imports, path)
+			}
+		}
+	}
+	if len(p.files) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// importPath joins the module path and a root-relative directory.
+func importPath(modPath, rel string) string {
+	rel = filepath.ToSlash(rel)
+	switch {
+	case rel == ".":
+		return modPath
+	case modPath == "":
+		return rel
+	default:
+		return modPath + "/" + rel
+	}
+}
+
+// topoSort orders package paths so every intra-tree dependency comes
+// before its importers, rejecting import cycles.
+func topoSort(parsed map[string]*parsedPkg, paths []string) ([]string, error) {
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(paths))
+	var order []string
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		state[path] = visiting
+		for _, imp := range parsed[path].imports {
+			if _, ok := parsed[imp]; ok {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves intra-module imports from the packages
+// type-checked so far and everything else from GOROOT source.
+type moduleImporter struct {
+	std types.Importer
+	mod map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := m.mod[path]; ok {
+		return pkg, nil
+	}
+	return m.std.Import(path)
+}

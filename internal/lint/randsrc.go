@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// RandSrc flags randomness that bypasses internal/stats.
+//
+// Every stochastic component of the reproduction draws from an
+// explicitly seeded stats.RNG so that the tables and figures in
+// EXPERIMENTS.md are bit-identical run-to-run, and so that forked
+// streams (stats.RNG.Fork) keep components independent. Importing
+// math/rand directly reintroduces ambient, shared-state randomness;
+// seeding anything from the wall clock (time.Now().UnixNano()) makes
+// runs unreproducible.
+//
+// Flagged patterns (outside internal/stats and test files):
+//
+//   - importing math/rand or math/rand/v2: use stats.NewRNG / Fork
+//   - time.Now().UnixNano(): a wall-clock seed; pass an explicit seed
+//     (crypto/rand and timing measurements via time.Since are fine)
+var RandSrc = &Analyzer{
+	Name: "randsrc",
+	Doc:  "flags math/rand and wall-clock seeding outside internal/stats; use stats.RNG",
+	Run:  runRandSrc,
+}
+
+func runRandSrc(pass *Pass) {
+	if pkgHasSegments(pass.Path, "internal/stats") {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(spec.Pos(),
+					"import of %s outside internal/stats breaks experiment reproducibility; draw from a seeded stats.RNG", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "UnixNano" {
+				return true
+			}
+			inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := funcObj(pass.Info, inner); fn != nil && fn.FullName() == "time.Now" {
+				pass.Reportf(call.Pos(),
+					"time.Now().UnixNano() is a wall-clock seed that breaks run-to-run determinism; use an explicit seed via stats.NewRNG")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Fixture: true positives and allowed patterns for the degnorm
+// analyzer in a non-exempt package.
+package app
+
+import "math"
+
+func wrap(d float64) float64 {
+	return math.Mod(d, 360) // want `use geom.NormalizeDeg`
+}
+
+func mirror(d float64) float64 {
+	return d + 180 // want `raw ±180/±360 angle arithmetic`
+}
+
+func unwrap(d float64) float64 {
+	if d < 0 {
+		d += 360 // want `raw ±180/±360 angle arithmetic`
+	}
+	return d
+}
+
+func halfDown(d float64) float64 {
+	return d - 180 // want `raw ±180/±360 angle arithmetic`
+}
+
+func diff(heading, mapBearing float64) float64 {
+	return heading - mapBearing // want `direct bearing subtraction`
+}
+
+func diffSelector(s struct{ Compass float64 }, refHeading float64) float64 {
+	return s.Compass - refHeading // want `direct bearing subtraction`
+}
+
+// Allowed: multiplication and division by 360 are unit conversions,
+// not wrap arithmetic.
+func binCenter(bin, nbins int) float64 {
+	return 360 * float64(bin) / float64(nbins)
+}
+
+// Allowed: integer arithmetic is not angle math in this codebase.
+func offset(i int) int {
+	return i + 180
+}
+
+// Allowed: subtracting a non-bearing float.
+func residual(x, y float64) float64 {
+	return x - y
+}
+
+func suppressed(d float64) float64 {
+	//lint:ignore degnorm fixture demonstrates suppression
+	return d + 360
+}

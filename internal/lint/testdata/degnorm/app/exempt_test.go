@@ -1,0 +1,10 @@
+// Fixture: _test.go files are exempt from degnorm — tests construct
+// raw angles on purpose. No finding may be reported here.
+package app
+
+import "math"
+
+func testOnlyWrap(d float64) float64 {
+	d = math.Mod(d, 360)
+	return d + 180
+}

@@ -1,0 +1,17 @@
+// Fixture: internal/geom owns the angle helpers and is exempt from
+// degnorm. No finding may be reported here.
+package geom
+
+import "math"
+
+func NormalizeDeg(d float64) float64 {
+	d = math.Mod(d, 360)
+	if d < 0 {
+		d += 360
+	}
+	return d
+}
+
+func MirrorBearing(d float64) float64 {
+	return NormalizeDeg(d + 180)
+}

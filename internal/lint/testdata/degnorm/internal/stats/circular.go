@@ -1,0 +1,10 @@
+// Fixture: internal/stats owns circular statistics and is exempt from
+// degnorm. No finding may be reported here.
+package stats
+
+func wrapMean(deg float64) float64 {
+	if deg < 0 {
+		deg += 360
+	}
+	return deg
+}

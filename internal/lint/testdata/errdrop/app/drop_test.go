@@ -1,0 +1,14 @@
+// Fixture: _test.go files are exempt from errdrop. No finding may be
+// reported here.
+package app
+
+import (
+	"encoding/json"
+	"os"
+)
+
+func testOnlyDrop(v interface{}) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.Encode(v)
+	_ = enc.Encode(v)
+}

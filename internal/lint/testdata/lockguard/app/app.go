@@ -1,0 +1,69 @@
+// Fixture: true positives and allowed patterns for the lockguard
+// analyzer. Fields declared after `mu sync.Mutex` are guarded by it.
+package app
+
+import "sync"
+
+type Counter struct {
+	name string // above the mutex: immutable config, unguarded
+
+	mu sync.Mutex
+	n  int
+	m  map[string]int
+}
+
+// Allowed: locks before touching guarded state.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.m["total"]++
+}
+
+func (c *Counter) Get() int {
+	return c.n // want `guarded by c.mu`
+}
+
+func (c *Counter) Reset() {
+	c.m = nil // want `guarded by c.mu`
+	c.n = 0   // want `guarded by c.mu`
+}
+
+// Allowed: fields above the mutex are not guarded.
+func (c *Counter) Name() string {
+	return c.name
+}
+
+// Allowed: the Locked suffix documents that the caller holds mu.
+func (c *Counter) sizeLocked() int {
+	return c.n
+}
+
+// Allowed: suppression with a reason.
+func (c *Counter) racyEstimate() int {
+	//lint:ignore lockguard fixture demonstrates suppression
+	return c.n
+}
+
+type Gauge struct {
+	mu sync.RWMutex
+	v  float64
+}
+
+// Allowed: read-locks count.
+func (g *Gauge) Load() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+func (g *Gauge) Peek() float64 {
+	return g.v // want `guarded by g.mu`
+}
+
+// Allowed: a struct without the mu convention is not checked.
+type Plain struct {
+	v int
+}
+
+func (p *Plain) Get() int { return p.v }

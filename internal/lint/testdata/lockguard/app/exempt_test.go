@@ -1,0 +1,7 @@
+// Fixture: _test.go files are exempt from lockguard — tests own their
+// instances single-threaded. No finding may be reported here.
+package app
+
+func (c *Counter) testOnlyPeek() int {
+	return c.n
+}

@@ -1,0 +1,27 @@
+// Fixture: true positives and allowed patterns for the randsrc
+// analyzer in a non-exempt package.
+package app
+
+import (
+	"math/rand" // want `import of math/rand outside internal/stats`
+	"time"
+)
+
+func seed() int64 {
+	return time.Now().UnixNano() // want `wall-clock seed`
+}
+
+func draw() float64 {
+	return rand.Float64()
+}
+
+// Allowed: timing measurements do not touch randomness.
+func elapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func suppressedSeed() int64 {
+	//lint:ignore randsrc fixture demonstrates suppression
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,13 @@
+// Fixture: _test.go files are exempt from randsrc — tests may use
+// fixed-seed ambient randomness. No finding may be reported here.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+func testOnlySeed() int64 {
+	_ = rand.Int()
+	return time.Now().UnixNano()
+}

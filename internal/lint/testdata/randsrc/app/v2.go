@@ -1,0 +1,10 @@
+// Fixture: the v2 rand package is flagged the same way.
+package app
+
+import (
+	randv2 "math/rand/v2" // want `import of math/rand/v2 outside internal/stats`
+)
+
+func drawV2() float64 {
+	return randv2.Float64()
+}

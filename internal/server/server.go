@@ -275,6 +275,7 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.WriteHeader(code)
 	// Encoding errors after the header is written can only be logged;
 	// for these small payloads they do not occur in practice.
+	//lint:ignore errdrop the status header is already written, so the error cannot change the response
 	_ = json.NewEncoder(w).Encode(v)
 }
 

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+// TestSessionStress hammers one Server from many goroutines with
+// interleaved create / imu / scan / tick / get / delete operations on a
+// *shared* pool of sessions, so the race build (`make race`) exercises
+// the server map lock and the per-session locks against each other —
+// in particular tick-vs-delete and tick-vs-tick on the same session,
+// which the per-client concurrency test never produces.
+//
+// Requests go straight through ServeHTTP (no TCP) to maximize
+// interleavings per second.
+func TestSessionStress(t *testing.T) {
+	srv, _ := testServer(t)
+	handler := srv.Handler()
+
+	const (
+		workers = 12
+		iters   = 120
+	)
+
+	// pool is the shared session-id pool; workers add, use, and delete
+	// ids concurrently.
+	var (
+		poolMu sync.Mutex
+		pool   []string
+	)
+	pickSession := func(rng *stats.RNG) string {
+		poolMu.Lock()
+		defer poolMu.Unlock()
+		if len(pool) == 0 {
+			return ""
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	removeSession := func(rng *stats.RNG) string {
+		poolMu.Lock()
+		defer poolMu.Unlock()
+		if len(pool) == 0 {
+			return ""
+		}
+		i := rng.Intn(len(pool))
+		id := pool[i]
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		return id
+	}
+
+	do := func(method, path string, body interface{}) *httptest.ResponseRecorder {
+		var rd *bytes.Reader
+		if body != nil {
+			data, err := json.Marshal(body)
+			if err != nil {
+				t.Error(err)
+				return nil
+			}
+			rd = bytes.NewReader(data)
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req := httptest.NewRequest(method, path, rd)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Seed the pool so deletes race with traffic from the start.
+	for i := 0; i < workers; i++ {
+		rec := do(http.MethodPost, "/v1/sessions", createReq{HeightM: 1.7, WeightKg: 70})
+		if rec == nil || rec.Code != http.StatusCreated {
+			t.Fatalf("seed create failed: %v", rec)
+		}
+		var out map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		pool = append(pool, out["session_id"])
+	}
+
+	rss := make([]float64, srv.numAPs)
+	for i := range rss {
+		rss[i] = -60
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(int64(1000 + g))
+			for i := 0; i < iters; i++ {
+				// Sessions may vanish underneath us; 404 is expected,
+				// anything 5xx (or a tracker panic) is a bug.
+				check := func(rec *httptest.ResponseRecorder, op string) bool {
+					if rec == nil {
+						return false
+					}
+					if rec.Code >= 500 {
+						errs <- fmt.Errorf("worker %d op %s: status %d body %s",
+							g, op, rec.Code, rec.Body.String())
+						return false
+					}
+					return true
+				}
+				tSec := float64(i) * 0.3
+				switch op := rng.Intn(10); {
+				case op == 0: // create and share a new session
+					rec := do(http.MethodPost, "/v1/sessions", createReq{HeightM: 1.6, WeightKg: 60})
+					if !check(rec, "create") {
+						return
+					}
+					if rec.Code == http.StatusCreated {
+						var out map[string]string
+						if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+							errs <- err
+							return
+						}
+						poolMu.Lock()
+						pool = append(pool, out["session_id"])
+						poolMu.Unlock()
+					}
+				case op == 1: // delete a shared session mid-traffic
+					if id := removeSession(rng); id != "" {
+						if !check(do(http.MethodDelete, "/v1/sessions/"+id, nil), "delete") {
+							return
+						}
+					}
+				case op <= 4: // stream IMU samples
+					if id := pickSession(rng); id != "" {
+						smp := sensors.Sample{T: tSec, Accel: 9.8 + rng.Norm(0, 1), Compass: rng.Uniform(0, 360)}
+						if !check(do(http.MethodPost, "/v1/sessions/"+id+"/imu",
+							imuReq{Samples: []sensors.Sample{smp}}), "imu") {
+							return
+						}
+					}
+				case op <= 6: // post a scan
+					if id := pickSession(rng); id != "" {
+						if !check(do(http.MethodPost, "/v1/sessions/"+id+"/scan",
+							scanReq{T: tSec, RSS: rss}), "scan") {
+							return
+						}
+					}
+				case op <= 8: // advance time; fixes may or may not emerge
+					if id := pickSession(rng); id != "" {
+						if !check(do(http.MethodPost, "/v1/sessions/"+id+"/tick",
+							tickReq{T: tSec}), "tick") {
+							return
+						}
+					}
+				default: // read the last fix and the health page
+					if id := pickSession(rng); id != "" {
+						if !check(do(http.MethodGet, "/v1/sessions/"+id, nil), "get") {
+							return
+						}
+					}
+					if !check(do(http.MethodGet, "/v1/healthz", nil), "health") {
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The surviving pool and the server must agree once traffic stops.
+	poolMu.Lock()
+	want := len(pool)
+	poolMu.Unlock()
+	if got := srv.NumSessions(); got != want {
+		t.Errorf("server reports %d sessions, pool holds %d", got, want)
+	}
+}
