@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench experiments examples clean
+.PHONY: all build vet lint test race cover bench experiments examples smoke clean
 
 all: build vet lint test
 
@@ -23,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# End-to-end smoke: boot a real molocd, drive one session through the
+# API, assert /v1/metricsz counters moved, and verify SIGTERM drains.
+smoke:
+	$(GO) build -o bin/molocd ./cmd/molocd
+	$(GO) run ./cmd/molocsmoke -molocd bin/molocd
 
 cover:
 	$(GO) test -cover ./...

@@ -1,22 +1,30 @@
 // Command molocd serves MoLoc localization over HTTP: it builds a
 // deployment (plan, radio map, crowdsourced motion database) and exposes
-// the tracking-session API of internal/server.
+// the tracking-session API of internal/server, with the session-TTL
+// sweeper running and graceful drain on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	molocd [-addr :8080] [-plan office|mall|museum] [-seed N] [-aps N] [-horus]
+//	       [-train N] [-session-ttl 15m] [-max-sessions N] [-drain 10s]
 //
 // Try it:
 //
 //	curl -s -X POST localhost:8080/v1/sessions -d '{"height_m":1.71,"weight_kg":68}'
 //	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/v1/metricsz
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"moloc/internal/core"
 	"moloc/internal/fingerprint"
@@ -33,65 +41,108 @@ func main() {
 
 func run() error {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		planName = flag.String("plan", "office", "floor plan: office, mall, or museum")
-		seed     = flag.Int64("seed", 3, "world seed")
-		aps      = flag.Int("aps", 0, "number of APs to use (0 = all)")
-		horus    = flag.Bool("horus", false, "use the probabilistic (Horus-style) radio map")
-		bundle   = flag.String("bundle", "", "serve a pre-built deployment bundle (see molocsim -export) instead of building")
+		addr        = flag.String("addr", ":8080", "listen address")
+		planName    = flag.String("plan", "office", "floor plan: office, mall, or museum")
+		seed        = flag.Int64("seed", 3, "world seed")
+		aps         = flag.Int("aps", 0, "number of APs to use (0 = all)")
+		horus       = flag.Bool("horus", false, "use the probabilistic (Horus-style) radio map")
+		bundle      = flag.String("bundle", "", "serve a pre-built deployment bundle (see molocsim -export) instead of building")
+		train       = flag.Int("train", 0, "crowdsourced training traces to build with (0 = default)")
+		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle session eviction deadline")
+		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "live session cap (429 beyond)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
+	opts := server.Options{SessionTTL: *sessionTTL, MaxSessions: *maxSessions}
+
+	var srv *server.Server
 	if *bundle != "" {
 		b, err := core.LoadBundle(*bundle)
 		if err != nil {
 			return err
 		}
-		srv, err := server.New(b.Plan, b.FDB, b.FDB.NumAPs(), b.MDB, b.Motion)
+		srv, err = server.NewWithOptions(b.Plan, b.FDB, b.FDB.NumAPs(), b.MDB, b.Motion, opts)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "molocd serving bundle %s on %s (%d locations, %d APs)\n",
 			*bundle, *addr, b.Plan.NumLocs(), b.FDB.NumAPs())
-		return http.ListenAndServe(*addr, srv.Handler())
+	} else {
+		cfg := core.NewConfig()
+		cfg.Seed = *seed
+		if *train > 0 {
+			cfg.NumTrainTraces = *train
+		}
+		switch *planName {
+		case "office":
+		case "mall":
+			cfg.Plan = floorplan.Mall()
+			cfg.AdjDist = floorplan.MallAdjDist
+		case "museum":
+			cfg.Plan = floorplan.Museum()
+			cfg.AdjDist = floorplan.MuseumAdjDist
+		default:
+			return fmt.Errorf("unknown plan %q", *planName)
+		}
+
+		fmt.Fprintf(os.Stderr, "building deployment (plan=%s seed=%d)...\n", *planName, *seed)
+		sys, err := core.Build(cfg)
+		if err != nil {
+			return err
+		}
+		apIdx := sys.AllAPs()
+		if *aps > 0 && *aps < len(apIdx) {
+			apIdx = apIdx[:*aps]
+		}
+		dep, err := sys.Deploy(apIdx)
+		if err != nil {
+			return err
+		}
+		var src fingerprint.CandidateSource = dep.FDB
+		if *horus {
+			src = dep.GDB
+		}
+		srv, err = server.NewWithOptions(sys.Plan, src, len(apIdx), sys.MDB, cfg.Motion, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "molocd listening on %s (%d locations, %d APs, horus=%v)\n",
+			*addr, sys.Plan.NumLocs(), len(apIdx), *horus)
 	}
 
-	cfg := core.NewConfig()
-	cfg.Seed = *seed
-	switch *planName {
-	case "office":
-	case "mall":
-		cfg.Plan = floorplan.Mall()
-		cfg.AdjDist = floorplan.MallAdjDist
-	case "museum":
-		cfg.Plan = floorplan.Museum()
-		cfg.AdjDist = floorplan.MuseumAdjDist
-	default:
-		return fmt.Errorf("unknown plan %q", *planName)
-	}
+	return serve(srv, *addr, *drain)
+}
 
-	fmt.Fprintf(os.Stderr, "building deployment (plan=%s seed=%d)...\n", *planName, *seed)
-	sys, err := core.Build(cfg)
-	if err != nil {
+// serve runs the HTTP server with the session sweeper attached and
+// drains gracefully on SIGINT/SIGTERM: stop accepting new connections,
+// let in-flight requests finish (bounded by the drain timeout), then
+// stop the sweeper.
+func serve(srv *server.Server, addr string, drain time.Duration) error {
+	srv.Start()
+	defer srv.Close()
+
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected listener exit
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "molocd: signal received, draining...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	apIdx := sys.AllAPs()
-	if *aps > 0 && *aps < len(apIdx) {
-		apIdx = apIdx[:*aps]
-	}
-	dep, err := sys.Deploy(apIdx)
-	if err != nil {
-		return err
-	}
-	var src fingerprint.CandidateSource = dep.FDB
-	if *horus {
-		src = dep.GDB
-	}
-	srv, err := server.New(sys.Plan, src, len(apIdx), sys.MDB, cfg.Motion)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "molocd listening on %s (%d locations, %d APs, horus=%v)\n",
-		*addr, sys.Plan.NumLocs(), len(apIdx), *horus)
-	return http.ListenAndServe(*addr, srv.Handler())
+	fmt.Fprintln(os.Stderr, "molocd: drained, exiting")
+	return nil
 }

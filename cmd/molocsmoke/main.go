@@ -1,0 +1,251 @@
+// Command molocsmoke is the end-to-end smoke test behind `make smoke`:
+// it boots a real molocd process on a loopback port, walks one session
+// through the full API (create, imu, scan, tick, get), scrapes
+// /v1/metricsz to assert the serving counters moved, and finally sends
+// SIGTERM to verify the graceful drain path exits cleanly.
+//
+// Usage:
+//
+//	molocsmoke [-molocd bin/molocd] [-train 8] [-timeout 120s]
+//
+// Exit status 0 means every assertion held.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "molocsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("molocsmoke: ok")
+}
+
+func run() error {
+	var (
+		molocd  = flag.String("molocd", "bin/molocd", "path to the molocd binary under test")
+		train   = flag.Int("train", 8, "training traces for the deployment build (small = fast boot)")
+		timeout = flag.Duration("timeout", 120*time.Second, "overall deadline")
+	)
+	flag.Parse()
+	deadline := time.Now().Add(*timeout)
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	cmd := exec.Command(*molocd,
+		"-addr", addr,
+		"-train", fmt.Sprint(*train),
+		"-drain", "5s",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", *molocd, err)
+	}
+	// The happy path ends with a SIGTERM + Wait; this backstop only runs
+	// when an assertion fails mid-flight.
+	defer func() {
+		if cmd.ProcessState == nil {
+			//lint:ignore errdrop best-effort cleanup of an already-failed run
+			_ = cmd.Process.Kill()
+			//lint:ignore errdrop best-effort cleanup of an already-failed run
+			_ = cmd.Wait()
+		}
+	}()
+
+	// 1. Wait for the deployment build to finish and the server to answer.
+	aps, err := waitHealthy(base, deadline)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("molocsmoke: healthy at %s (%d APs)\n", base, aps)
+
+	// 2. Create a session; the response must carry the lifecycle contract.
+	var created struct {
+		SessionID string  `json:"session_id"`
+		TTLSec    float64 `json:"ttl_sec"`
+	}
+	if err := call(http.MethodPost, base+"/v1/sessions",
+		map[string]float64{"height_m": 1.71, "weight_kg": 68}, http.StatusCreated, &created); err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+	if created.SessionID == "" || created.TTLSec <= 0 {
+		return fmt.Errorf("create response missing lifecycle fields: %+v", created)
+	}
+	sess := base + "/v1/sessions/" + created.SessionID
+
+	// 3. Stream one interval of walking IMU data plus a scan, then tick.
+	type sample struct {
+		T       float64 `json:"t"`
+		Accel   float64 `json:"accel"`
+		Compass float64 `json:"compass"`
+	}
+	var samples []sample
+	for i := 0; i < 30; i++ {
+		t := float64(i) * 0.1
+		samples = append(samples, sample{
+			T:       t,
+			Accel:   9.8 + 1.5*math.Sin(2*math.Pi*2*t), // ~2 Hz step cadence
+			Compass: 90,
+		})
+	}
+	if err := call(http.MethodPost, sess+"/imu",
+		map[string]interface{}{"samples": samples}, http.StatusAccepted, nil); err != nil {
+		return fmt.Errorf("post imu: %w", err)
+	}
+	rss := make([]float64, aps)
+	for i := range rss {
+		rss[i] = -60
+	}
+	if err := call(http.MethodPost, sess+"/scan",
+		map[string]interface{}{"t": 1.0, "rss": rss}, http.StatusAccepted, nil); err != nil {
+		return fmt.Errorf("post scan: %w", err)
+	}
+	var fix struct {
+		Loc int `json:"loc"`
+	}
+	if err := call(http.MethodPost, sess+"/tick",
+		map[string]float64{"t": 3.5}, http.StatusOK, &fix); err != nil {
+		return fmt.Errorf("tick with a fresh scan must produce a fix: %w", err)
+	}
+	fmt.Printf("molocsmoke: fix at location %d\n", fix.Loc)
+	if err := call(http.MethodGet, sess, nil, http.StatusOK, nil); err != nil {
+		return fmt.Errorf("get session: %w", err)
+	}
+
+	// 4. The metrics endpoint must have seen all of the above.
+	var metrics struct {
+		Sessions   int              `json:"sessions"`
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := call(http.MethodGet, base+"/v1/metricsz", nil, http.StatusOK, &metrics); err != nil {
+		return fmt.Errorf("scrape metricsz: %w", err)
+	}
+	checks := []struct {
+		name string
+		got  int64
+	}{
+		{"counter sessions_created", metrics.Counters["sessions_created"]},
+		{"counter requests{route=create,status=201}", metrics.Counters["requests{route=create,status=201}"]},
+		{"counter requests{route=tick,status=200}", metrics.Counters["requests{route=tick,status=200}"]},
+		{"histogram tick_seconds", metrics.Histograms["tick_seconds"].Count},
+		{"histogram candidate_set_size", metrics.Histograms["candidate_set_size"].Count},
+		{"histogram latency_seconds{route=tick}", metrics.Histograms["latency_seconds{route=tick}"].Count},
+	}
+	for _, c := range checks {
+		if c.got <= 0 {
+			return fmt.Errorf("metricsz: %s is zero after traffic: %+v", c.name, metrics.Counters)
+		}
+	}
+	if metrics.Sessions != 1 {
+		return fmt.Errorf("metricsz reports %d sessions, want 1", metrics.Sessions)
+	}
+	fmt.Println("molocsmoke: metrics populated")
+
+	// 5. Graceful drain: SIGTERM must yield a clean exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("signal molocd: %w", err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			return fmt.Errorf("molocd did not exit cleanly on SIGTERM: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		return errors.New("molocd did not exit within 10s of SIGTERM")
+	}
+	fmt.Println("molocsmoke: drained cleanly on SIGTERM")
+	return nil
+}
+
+// freeAddr reserves a loopback port by binding, reading the address,
+// and releasing it for molocd to claim.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		return "", err
+	}
+	return addr, nil
+}
+
+// waitHealthy polls /v1/healthz until the server answers, returning the
+// deployment's AP count from the health payload.
+func waitHealthy(base string, deadline time.Time) (int, error) {
+	var health struct {
+		APs int `json:"aps"`
+	}
+	for time.Now().Before(deadline) {
+		err := call(http.MethodGet, base+"/v1/healthz", nil, http.StatusOK, &health)
+		if err == nil {
+			return health.APs, nil
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	return 0, errors.New("server did not become healthy before the deadline")
+}
+
+// call issues one JSON request and decodes the response into out (when
+// non-nil), enforcing the expected status code.
+func call(method, url string, body interface{}, wantStatus int, out interface{}) error {
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//lint:ignore errdrop closing a fully-read response body
+		_ = resp.Body.Close()
+	}()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("%s %s: status %d (want %d): %s",
+			method, url, resp.StatusCode, wantStatus, buf.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			return fmt.Errorf("%s %s: decode: %w", method, url, err)
+		}
+	}
+	return nil
+}

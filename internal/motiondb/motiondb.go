@@ -36,6 +36,30 @@ func (e Entry) Mirror() Entry {
 	return e
 }
 
+// Validate rejects statistically unusable entries. A zero or negative
+// standard deviation makes the discretized Gaussians of Eq. 5 evaluate
+// to zero (or NaN) for every query, silently disabling motion matching
+// — a corrupt or hand-edited database must fail loudly at load time
+// instead.
+func (e Entry) Validate() error {
+	if math.IsNaN(e.StdDir) || math.IsInf(e.StdDir, 0) || e.StdDir <= 0 {
+		return fmt.Errorf("motiondb: std_dir must be positive and finite, got %g", e.StdDir)
+	}
+	if math.IsNaN(e.StdOff) || math.IsInf(e.StdOff, 0) || e.StdOff <= 0 {
+		return fmt.Errorf("motiondb: std_off must be positive and finite, got %g", e.StdOff)
+	}
+	if math.IsNaN(e.MeanDir) || e.MeanDir < 0 || e.MeanDir >= 360 {
+		return fmt.Errorf("motiondb: mean_dir must be a bearing in [0,360), got %g", e.MeanDir)
+	}
+	if math.IsNaN(e.MeanOff) || math.IsInf(e.MeanOff, 0) || e.MeanOff < 0 {
+		return fmt.Errorf("motiondb: mean_off is a distance and must be >= 0, got %g", e.MeanOff)
+	}
+	if e.N < 0 {
+		return fmt.Errorf("motiondb: sample count must be >= 0, got %d", e.N)
+	}
+	return nil
+}
+
 // Prob evaluates the motion-matching probability of Eq. 5 for this
 // entry: the product of the discretized direction and offset Gaussians,
 // with discretization intervals alpha (degrees) and beta (meters).
@@ -156,7 +180,10 @@ func (db *DB) SaveJSON(path string) error {
 	return nil
 }
 
-// LoadJSON reads a database written by SaveJSON.
+// LoadJSON reads a database written by SaveJSON. Every entry is
+// validated (see Entry.Validate) and duplicate pairs are rejected
+// rather than silently overwriting each other, so a corrupt or
+// hand-edited file cannot zero out Eq. 5 at serving time.
 func LoadJSON(path string) (*DB, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -166,10 +193,20 @@ func LoadJSON(path string) (*DB, error) {
 	if err := json.Unmarshal(data, &j); err != nil {
 		return nil, fmt.Errorf("motiondb: parse %s: %w", path, err)
 	}
+	if j.N < 1 {
+		return nil, fmt.Errorf("motiondb: %s: location count %d must be >= 1", path, j.N)
+	}
 	db := New(j.N)
 	for _, p := range j.Pairs {
 		if p.I >= p.J || p.I < 1 || p.J > j.N {
-			return nil, fmt.Errorf("motiondb: invalid pair (%d,%d)", p.I, p.J)
+			return nil, fmt.Errorf("motiondb: %s: invalid pair (%d,%d) for %d locations",
+				path, p.I, p.J, j.N)
+		}
+		if _, dup := db.entries[[2]int{p.I, p.J}]; dup {
+			return nil, fmt.Errorf("motiondb: %s: duplicate pair (%d,%d)", path, p.I, p.J)
+		}
+		if err := p.Entry.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: pair (%d,%d): %w", path, p.I, p.J, err)
 		}
 		db.entries[[2]int{p.I, p.J}] = p.Entry
 	}

@@ -2,7 +2,9 @@ package motiondb
 
 import (
 	"math"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -361,6 +363,90 @@ func TestDBJSONRoundTrip(t *testing.T) {
 func TestLoadJSONErrors(t *testing.T) {
 	if _, err := LoadJSON(filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// TestLoadJSONRejectsCorruptEntries writes hand-corrupted databases
+// and requires LoadJSON to reject each with a descriptive error: a
+// degenerate entry that slipped through would zero out Eq. 5 for every
+// query at serving time.
+func TestLoadJSONRejectsCorruptEntries(t *testing.T) {
+	const good = `{"i":1,"j":2,"entry":{"mean_dir":90,"std_dir":5,"mean_off":4,"std_off":0.3,"n":7}}`
+	cases := []struct {
+		name, pairs, wantErr string
+	}{
+		{"zero std_dir",
+			`{"i":1,"j":2,"entry":{"mean_dir":90,"std_dir":0,"mean_off":4,"std_off":0.3,"n":7}}`,
+			"std_dir"},
+		{"negative std_off",
+			`{"i":1,"j":2,"entry":{"mean_dir":90,"std_dir":5,"mean_off":4,"std_off":-0.3,"n":7}}`,
+			"std_off"},
+		{"negative n",
+			`{"i":1,"j":2,"entry":{"mean_dir":90,"std_dir":5,"mean_off":4,"std_off":0.3,"n":-1}}`,
+			"sample count"},
+		{"mean_dir too large",
+			`{"i":1,"j":2,"entry":{"mean_dir":400,"std_dir":5,"mean_off":4,"std_off":0.3,"n":7}}`,
+			"mean_dir"},
+		{"mean_dir negative",
+			`{"i":1,"j":2,"entry":{"mean_dir":-10,"std_dir":5,"mean_off":4,"std_off":0.3,"n":7}}`,
+			"mean_dir"},
+		{"negative mean_off",
+			`{"i":1,"j":2,"entry":{"mean_dir":90,"std_dir":5,"mean_off":-4,"std_off":0.3,"n":7}}`,
+			"mean_off"},
+		{"duplicate pair", good + "," + good, "duplicate"},
+		{"non-canonical pair",
+			`{"i":2,"j":1,"entry":{"mean_dir":90,"std_dir":5,"mean_off":4,"std_off":0.3,"n":7}}`,
+			"invalid pair"},
+		{"out-of-range pair",
+			`{"i":1,"j":99,"entry":{"mean_dir":90,"std_dir":5,"mean_off":4,"std_off":0.3,"n":7}}`,
+			"invalid pair"},
+	}
+	dir := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "_")+".json")
+			doc := `{"n":5,"pairs":[` + tc.pairs + `]}`
+			if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadJSON(path)
+			if err == nil {
+				t.Fatalf("corrupt DB (%s) loaded without error", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	// The well-formed control case loads.
+	path := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(path, []byte(`{"n":5,"pairs":[`+good+`]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadJSON(path)
+	if err != nil {
+		t.Fatalf("valid DB rejected: %v", err)
+	}
+	if e, ok := db.Lookup(2, 1); !ok || e.MeanDir != 270 {
+		t.Errorf("mirror lookup after load = (%+v, %v)", e, ok)
+	}
+}
+
+// TestLoadJSONRejectsBadShape covers whole-file corruption.
+func TestLoadJSONRejectsBadShape(t *testing.T) {
+	dir := t.TempDir()
+	for name, doc := range map[string]string{
+		"not json":   `{nope`,
+		"zero locs":  `{"n":0,"pairs":[]}`,
+		"negative n": `{"n":-3,"pairs":[]}`,
+	} {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "_")+".json")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadJSON(path); err == nil {
+			t.Errorf("%s should be rejected", name)
+		}
 	}
 }
 

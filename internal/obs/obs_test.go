@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters never run backwards
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// 0.5 and 1 land in <=1; 5 in <=10; 50 in <=100; 500 overflows; NaN dropped.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-556.5) > 1e-9 {
+		t.Errorf("Sum = %g, want 556.5", s.Sum)
+	}
+}
+
+func TestNewHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {3, 1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v should panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryReturnsStableHandles(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter handle not stable")
+	}
+	if r.Histogram("h", LatencyBuckets) != r.Histogram("h", SizeBuckets) {
+		t.Error("Histogram handle not stable across differing bounds")
+	}
+}
+
+func TestRegistrySnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests").Add(7)
+	r.Histogram("latency", []float64{0.1, 1}).Observe(0.05)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["requests"] != 7 {
+		t.Errorf("round-trip counter = %d", back.Counters["requests"])
+	}
+	if h := back.Histograms["latency"]; h.Count != 1 || h.Counts[0] != 1 {
+		t.Errorf("round-trip histogram = %+v", h)
+	}
+}
+
+// TestConcurrentObservations exercises the lock-free paths under the
+// race detector.
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("n")
+			h := r.Histogram("v", SizeBuckets)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i % 40))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	s := r.Histogram("v", SizeBuckets).Snapshot()
+	if s.Count != workers*iters {
+		t.Errorf("histogram count = %d, want %d", s.Count, workers*iters)
+	}
+	var sum int64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Errorf("bucket sum %d != count %d", sum, s.Count)
+	}
+}

@@ -1,0 +1,211 @@
+// Session lifecycle: idle-TTL tracking, the background expiry sweeper,
+// and the serving limits in Options. The ROADMAP's "millions of users"
+// target makes unbounded session maps the first thing to fall over —
+// phones abandon sessions far more often than they DELETE them — so
+// every session records its last data-plane activity and a sweeper
+// evicts the idle ones.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"moloc/internal/tracker"
+)
+
+// Defaults for the zero fields of Options.
+const (
+	// DefaultSessionTTL is how long a session may go without data-plane
+	// activity (imu/scan/tick) before the sweeper evicts it.
+	DefaultSessionTTL = 15 * time.Minute
+	// DefaultSweepInterval is how often the background sweeper scans for
+	// idle sessions.
+	DefaultSweepInterval = 30 * time.Second
+	// DefaultMaxSessions caps live sessions; creation beyond it answers
+	// 429 so an overload sheds load instead of growing without bound.
+	DefaultMaxSessions = 10000
+	// DefaultMaxBodyBytes caps any request body (http.MaxBytesReader).
+	DefaultMaxBodyBytes = 1 << 20
+	// DefaultMaxIMUBatch caps samples per IMU upload; at the paper's
+	// 10 Hz sensor rate it covers several minutes per request.
+	DefaultMaxIMUBatch = 4096
+)
+
+// Options are the serving limits of a Server. The zero value of each
+// field selects the package default, so Options{} is production-ready.
+type Options struct {
+	// SessionTTL is the idle eviction deadline: a session with no IMU,
+	// scan, or tick for this long is evicted by the sweeper. Reads (GET)
+	// do not extend a session's life.
+	SessionTTL time.Duration
+	// SweepInterval is the background sweeper's period.
+	SweepInterval time.Duration
+	// MaxSessions bounds concurrently live sessions; POST /v1/sessions
+	// answers 429 beyond it.
+	MaxSessions int
+	// MaxBodyBytes bounds every JSON request body; larger bodies answer
+	// 413.
+	MaxBodyBytes int64
+	// MaxIMUBatch bounds samples per IMU upload; larger batches answer
+	// 413.
+	MaxIMUBatch int
+	// Now is the clock, overridable by tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (o Options) withDefaults() Options {
+	if o.SessionTTL <= 0 {
+		o.SessionTTL = DefaultSessionTTL
+	}
+	if o.SweepInterval <= 0 {
+		o.SweepInterval = DefaultSweepInterval
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = DefaultMaxSessions
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if o.MaxIMUBatch <= 0 {
+		o.MaxIMUBatch = DefaultMaxIMUBatch
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// session is one live tracking session. The fields after mu are
+// guarded by it; id and created are immutable.
+type session struct {
+	id      string
+	created time.Time
+
+	mu         sync.Mutex
+	tk         *tracker.Tracker
+	lastActive time.Time
+	evicted    bool
+}
+
+func newSession(id string, tk *tracker.Tracker, now time.Time) *session {
+	return &session{id: id, created: now, tk: tk, lastActive: now}
+}
+
+// withTracker runs fn on the session's tracker under its lock,
+// recording the data-plane activity. It reports false — and does not
+// run fn — when the session has already been evicted, so a handler
+// holding a stale pointer cannot operate on (or revive) a dead
+// session.
+func (ss *session) withTracker(now time.Time, fn func(tk *tracker.Tracker)) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.evicted {
+		return false
+	}
+	ss.lastActive = now
+	fn(ss.tk)
+	return true
+}
+
+// sessionView is a consistent read of the mutable session state.
+type sessionView struct {
+	lastActive time.Time
+	fix        *tracker.Fix
+	stats      tracker.Stats
+}
+
+// view snapshots the session without counting as activity; ok is false
+// for an evicted session.
+func (ss *session) view(ttl time.Duration) (sessionView, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.evicted {
+		return sessionView{}, false
+	}
+	return sessionView{
+		lastActive: ss.lastActive,
+		fix:        ss.tk.LastFix(),
+		stats:      ss.tk.Stats(),
+	}, true
+}
+
+// expireIfIdle marks the session evicted when it has been idle for at
+// least ttl, reporting whether this call performed the eviction.
+func (ss *session) expireIfIdle(ttl time.Duration, now time.Time) bool {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.evicted || now.Sub(ss.lastActive) < ttl {
+		return false
+	}
+	ss.evicted = true
+	return true
+}
+
+// close marks an explicitly deleted session evicted so requests racing
+// with the delete observe 404 instead of touching a zombie tracker.
+func (ss *session) close() {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.evicted = true
+}
+
+// Start launches the background expiry sweeper. It is idempotent;
+// Close stops the sweeper. Servers embedded in tests may skip Start
+// and drive sweepOnce directly.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			ticker := time.NewTicker(s.opts.SweepInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-s.done:
+					return
+				case <-ticker.C:
+					s.sweepOnce()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the background sweeper and waits for it to exit. It does
+// not tear down live sessions; the process is expected to exit after.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// sweepOnce evicts every session idle beyond the TTL and returns how
+// many it removed. Eviction is two-phase: mark the session evicted
+// under its own lock (so in-flight handlers holding the pointer turn
+// into 404s), then drop it from the map.
+func (s *Server) sweepOnce() int {
+	now := s.opts.Now()
+	s.mu.Lock()
+	candidates := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		candidates = append(candidates, ss)
+	}
+	s.mu.Unlock()
+
+	evicted := 0
+	for _, ss := range candidates {
+		if !ss.expireIfIdle(s.opts.SessionTTL, now) {
+			continue
+		}
+		s.mu.Lock()
+		if s.sessions[ss.id] == ss {
+			delete(s.sessions, ss.id)
+		}
+		s.mu.Unlock()
+		evicted++
+	}
+	if evicted > 0 {
+		s.met.sessionsExpired.Add(int64(evicted))
+	}
+	return evicted
+}

@@ -2,31 +2,36 @@
 // deployment-shaped wrapper in which phones create a session, stream
 // IMU samples and WiFi scans, and poll for location fixes. It is the
 // "localization engine" box of the paper's architecture (Fig. 2) as a
-// network service.
+// network service, hardened for long-running deployments: sessions
+// carry an idle TTL and are evicted by a background sweeper
+// (lifecycle.go), request bodies are size-capped, and every route is
+// instrumented with counters and latency histograms served from
+// /v1/metricsz (middleware.go, internal/obs).
 //
 // API (all request/response bodies are JSON):
 //
-//	POST   /v1/sessions                  {"height_m":1.7,"weight_kg":65}    -> {"session_id":...}
+//	POST   /v1/sessions                  {"height_m":1.7,"weight_kg":65}    -> {"session_id":...,"ttl_sec":...,"expires":...}
 //	POST   /v1/sessions/{id}/imu         {"samples":[{"t":0,"accel":9.8,...}]}
 //	POST   /v1/sessions/{id}/scan        {"t":0.5,"rss":[-60,...]}
 //	POST   /v1/sessions/{id}/tick        {"t":3.1}                          -> fix or 204
-//	GET    /v1/sessions/{id}             -> last fix
+//	GET    /v1/sessions/{id}             -> lifecycle info + last fix
 //	DELETE /v1/sessions/{id}
 //	GET    /v1/healthz
+//	GET    /v1/metricsz
 package server
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
+	"time"
 
 	"moloc/internal/fingerprint"
 	"moloc/internal/floorplan"
 	"moloc/internal/motion"
 	"moloc/internal/motiondb"
+	"moloc/internal/obs"
 	"moloc/internal/sensors"
 	"moloc/internal/tracker"
 )
@@ -38,21 +43,30 @@ type Server struct {
 	mdb    *motiondb.DB
 	numAPs int
 	mcfg   motion.Config
+	opts   Options
+	met    *serverMetrics
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
 
 	mu       sync.Mutex
 	nextID   int
 	sessions map[string]*session
 }
 
-type session struct {
-	mu sync.Mutex
-	tk *tracker.Tracker
-}
-
 // New builds a server over a candidate source (numAPs wide), a motion
-// database, and the floor plan.
+// database, and the floor plan, with default Options.
 func New(plan *floorplan.Plan, src fingerprint.CandidateSource, numAPs int,
 	mdb *motiondb.DB, mcfg motion.Config) (*Server, error) {
+	return NewWithOptions(plan, src, numAPs, mdb, mcfg, Options{})
+}
+
+// NewWithOptions is New with explicit serving limits; zero fields of
+// opts take the package defaults.
+func NewWithOptions(plan *floorplan.Plan, src fingerprint.CandidateSource, numAPs int,
+	mdb *motiondb.DB, mcfg motion.Config, opts Options) (*Server, error) {
 	if err := mcfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -69,16 +83,26 @@ func New(plan *floorplan.Plan, src fingerprint.CandidateSource, numAPs int,
 		mdb:      mdb,
 		numAPs:   numAPs,
 		mcfg:     mcfg,
+		opts:     opts.withDefaults(),
+		met:      newServerMetrics(),
+		done:     make(chan struct{}),
 		sessions: make(map[string]*session),
 	}, nil
 }
 
-// Handler returns the HTTP handler for the API.
+// Handler returns the HTTP handler for the API. Routing is explicit
+// per method and path pattern, so unknown paths 404 and wrong methods
+// 405 without any hand-rolled dispatch.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/sessions", s.handleSessions)
-	mux.HandleFunc("/v1/sessions/", s.handleSession)
+	mux.HandleFunc("GET /v1/healthz", s.instrument("health", s.handleHealth))
+	mux.HandleFunc("GET /v1/metricsz", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("POST /v1/sessions", s.instrument("create", s.handleCreate))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("get", s.handleGet))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("POST /v1/sessions/{id}/imu", s.instrument("imu", s.handleIMU))
+	mux.HandleFunc("POST /v1/sessions/{id}/scan", s.instrument("scan", s.handleScan))
+	mux.HandleFunc("POST /v1/sessions/{id}/tick", s.instrument("tick", s.handleTick))
 	return mux
 }
 
@@ -88,6 +112,10 @@ func (s *Server) NumSessions() int {
 	defer s.mu.Unlock()
 	return len(s.sessions)
 }
+
+// Metrics exposes the server's metric registry, for embedding hosts
+// that scrape programmatically instead of via /v1/metricsz.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -99,6 +127,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metricsResp{
+		Sessions: s.NumSessions(),
+		Snapshot: s.met.reg.Snapshot(),
+	})
+}
+
 // createReq is the session-creation body.
 type createReq struct {
 	HeightM     float64 `json:"height_m"`
@@ -106,14 +141,16 @@ type createReq struct {
 	IntervalSec float64 `json:"interval_sec,omitempty"`
 }
 
-func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
+// createResp announces a new session and its lifecycle contract.
+type createResp struct {
+	SessionID string    `json:"session_id"`
+	TTLSec    float64   `json:"ttl_sec"`
+	Expires   time.Time `json:"expires"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.HeightM < 1 || req.HeightM > 2.3 || req.WeightKg < 25 || req.WeightKg > 250 {
@@ -125,6 +162,7 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	cfg.Motion = s.mcfg
 	if req.IntervalSec > 0 {
 		cfg.IntervalSec = req.IntervalSec
+		cfg.StaleScanSec = req.IntervalSec // keep the one-interval window
 	}
 	tk, err := tracker.New(s.plan, s.src, s.mdb, cfg)
 	if err != nil {
@@ -132,13 +170,26 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	now := s.opts.Now()
 	s.mu.Lock()
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		s.met.sessionsRejected.Inc()
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("session limit (%d) reached; retry after idle sessions expire", s.opts.MaxSessions))
+		return
+	}
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
-	s.sessions[id] = &session{tk: tk}
+	s.sessions[id] = newSession(id, tk, now)
 	s.mu.Unlock()
 
-	writeJSON(w, http.StatusCreated, map[string]string{"session_id": id})
+	s.met.sessionsCreated.Inc()
+	writeJSON(w, http.StatusCreated, createResp{
+		SessionID: id,
+		TTLSec:    s.opts.SessionTTL.Seconds(),
+		Expires:   now.Add(s.opts.SessionTTL),
+	})
 }
 
 // imuReq carries a batch of IMU samples.
@@ -167,72 +218,113 @@ type fixResp struct {
 	Candidates []fingerprint.Candidate `json:"candidates"`
 }
 
-func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
-	parts := strings.Split(rest, "/")
-	id := parts[0]
+// sessionResp is the GET view of a session: lifecycle state plus the
+// last fix (null before the first one).
+type sessionResp struct {
+	SessionID  string        `json:"session_id"`
+	Created    time.Time     `json:"created"`
+	LastActive time.Time     `json:"last_active"`
+	Expires    time.Time     `json:"expires"`
+	Fix        *fixResp      `json:"fix"`
+	Stats      tracker.Stats `json:"stats"`
+}
 
+// metricsResp is the /v1/metricsz payload.
+type metricsResp struct {
+	Sessions int `json:"sessions"`
+	obs.Snapshot
+}
+
+// lookup resolves a session id from the request path, answering 404
+// itself when the session does not exist (or has been evicted).
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
 	s.mu.Lock()
-	sess, ok := s.sessions[id]
+	ss, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session "+id)
+		return nil, false
+	}
+	return ss, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	info, ok := ss.view(s.opts.SessionTTL)
+	if !ok {
+		httpError(w, http.StatusNotFound, "session expired")
+		return
+	}
+	var fix *fixResp
+	if info.fix != nil {
+		f := s.toResp(*info.fix)
+		fix = &f
+	}
+	writeJSON(w, http.StatusOK, sessionResp{
+		SessionID:  ss.id,
+		Created:    ss.created,
+		LastActive: info.lastActive,
+		Expires:    info.lastActive.Add(s.opts.SessionTTL),
+		Fix:        fix,
+		Stats:      info.stats,
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ss, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
 	s.mu.Unlock()
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown session "+id)
 		return
 	}
-
-	switch {
-	case len(parts) == 1 && r.Method == http.MethodGet:
-		s.getFix(w, sess)
-	case len(parts) == 1 && r.Method == http.MethodDelete:
-		s.mu.Lock()
-		delete(s.sessions, id)
-		s.mu.Unlock()
-		w.WriteHeader(http.StatusNoContent)
-	case len(parts) == 2 && r.Method == http.MethodPost:
-		switch parts[1] {
-		case "imu":
-			s.postIMU(w, r, sess)
-		case "scan":
-			s.postScan(w, r, sess)
-		case "tick":
-			s.postTick(w, r, sess)
-		default:
-			httpError(w, http.StatusNotFound, "unknown endpoint "+parts[1])
-		}
-	default:
-		httpError(w, http.StatusMethodNotAllowed, "unsupported method")
-	}
+	ss.close()
+	s.met.sessionsDeleted.Inc()
+	w.WriteHeader(http.StatusNoContent)
 }
 
-func (s *Server) getFix(w http.ResponseWriter, sess *session) {
-	sess.mu.Lock()
-	fix := sess.tk.LastFix()
-	sess.mu.Unlock()
-	if fix == nil {
-		httpError(w, http.StatusNotFound, "no fix yet")
+func (s *Server) handleIMU(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.lookup(w, r)
+	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.toResp(*fix))
-}
-
-func (s *Server) postIMU(w http.ResponseWriter, r *http.Request, sess *session) {
 	var req imuReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	sess.mu.Lock()
-	for _, smp := range req.Samples {
-		sess.tk.AddIMU(smp)
+	if len(req.Samples) > s.opts.MaxIMUBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("imu batch of %d samples exceeds the %d-sample cap; split the upload",
+				len(req.Samples), s.opts.MaxIMUBatch))
+		return
 	}
-	sess.mu.Unlock()
+	alive := ss.withTracker(s.opts.Now(), func(tk *tracker.Tracker) {
+		for _, smp := range req.Samples {
+			tk.AddIMU(smp)
+		}
+	})
+	if !alive {
+		httpError(w, http.StatusNotFound, "session expired")
+		return
+	}
 	w.WriteHeader(http.StatusAccepted)
 }
 
-func (s *Server) postScan(w http.ResponseWriter, r *http.Request, sess *session) {
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
 	var req scanReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.RSS) != s.numAPs {
@@ -240,25 +332,43 @@ func (s *Server) postScan(w http.ResponseWriter, r *http.Request, sess *session)
 			fmt.Sprintf("scan has %d APs, deployment has %d", len(req.RSS), s.numAPs))
 		return
 	}
-	sess.mu.Lock()
-	sess.tk.AddScan(req.T, fingerprint.Fingerprint(req.RSS))
-	sess.mu.Unlock()
+	alive := ss.withTracker(s.opts.Now(), func(tk *tracker.Tracker) {
+		tk.AddScan(req.T, fingerprint.Fingerprint(req.RSS))
+	})
+	if !alive {
+		httpError(w, http.StatusNotFound, "session expired")
+		return
+	}
 	w.WriteHeader(http.StatusAccepted)
 }
 
-func (s *Server) postTick(w http.ResponseWriter, r *http.Request, sess *session) {
-	var req tickReq
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.lookup(w, r)
+	if !ok {
 		return
 	}
-	sess.mu.Lock()
-	fix, ok := sess.tk.Tick(req.T)
-	sess.mu.Unlock()
-	if !ok {
+	var req tickReq
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	var (
+		fix    tracker.Fix
+		gotFix bool
+	)
+	start := time.Now()
+	alive := ss.withTracker(s.opts.Now(), func(tk *tracker.Tracker) {
+		fix, gotFix = tk.Tick(req.T)
+	})
+	if !alive {
+		httpError(w, http.StatusNotFound, "session expired")
+		return
+	}
+	s.met.tickSeconds.Observe(time.Since(start).Seconds())
+	if !gotFix {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	s.met.candidateSetSize.Observe(float64(len(fix.Candidates)))
 	writeJSON(w, http.StatusOK, s.toResp(fix))
 }
 
@@ -268,17 +378,4 @@ func (s *Server) toResp(fix tracker.Fix) fixResp {
 		T: fix.T, Loc: fix.Loc, X: pos.X, Y: pos.Y,
 		Moved: fix.Moved, Candidates: fix.Candidates,
 	}
-}
-
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	// Encoding errors after the header is written can only be logged;
-	// for these small payloads they do not occur in practice.
-	//lint:ignore errdrop the status header is already written, so the error cannot change the response
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

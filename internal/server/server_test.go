@@ -73,14 +73,17 @@ func createSession(t *testing.T, ts *httptest.Server) string {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("create: status %d body %s", resp.StatusCode, body)
 	}
-	var out map[string]string
+	var out createResp
 	if err := json.Unmarshal(body, &out); err != nil {
 		t.Fatal(err)
 	}
-	if out["session_id"] == "" {
+	if out.SessionID == "" {
 		t.Fatal("empty session id")
 	}
-	return out["session_id"]
+	if out.TTLSec <= 0 || out.Expires.IsZero() {
+		t.Errorf("create response missing lifecycle fields: %+v", out)
+	}
+	return out.SessionID
 }
 
 func TestNewValidation(t *testing.T) {
@@ -128,14 +131,24 @@ func TestSessionLifecycle(t *testing.T) {
 		t.Errorf("sessions = %d", srv.NumSessions())
 	}
 
-	// No fix yet.
+	// No fix yet: the session view reports lifecycle state, null fix.
 	resp, err := http.Get(ts.URL + "/v1/sessions/" + id)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("session view before data: %d", resp.StatusCode)
+	}
+	var view sessionResp
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("fix before data: %d", resp.StatusCode)
+	if view.Fix != nil {
+		t.Errorf("fix before data: %+v", view.Fix)
+	}
+	if view.SessionID != id || view.Expires.Before(view.LastActive) {
+		t.Errorf("lifecycle fields: %+v", view)
 	}
 
 	// Delete.
@@ -299,14 +312,14 @@ func TestConcurrentSessions(t *testing.T) {
 				errs <- err
 				return
 			}
-			var out map[string]string
+			var out createResp
 			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 				resp.Body.Close()
 				errs <- err
 				return
 			}
 			resp.Body.Close()
-			id := out["session_id"]
+			id := out.SessionID
 			rng := stats.NewRNG(int64(c))
 			for i := 0; i < 20; i++ {
 				smp := sensors.Sample{T: float64(i) * 0.1, Accel: 9.8 + rng.Norm(0, 1)}

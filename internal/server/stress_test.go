@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"moloc/internal/sensors"
 	"moloc/internal/stats"
@@ -82,11 +83,11 @@ func TestSessionStress(t *testing.T) {
 		if rec == nil || rec.Code != http.StatusCreated {
 			t.Fatalf("seed create failed: %v", rec)
 		}
-		var out map[string]string
+		var out createResp
 		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 			t.Fatal(err)
 		}
-		pool = append(pool, out["session_id"])
+		pool = append(pool, out.SessionID)
 	}
 
 	rss := make([]float64, srv.numAPs)
@@ -123,13 +124,13 @@ func TestSessionStress(t *testing.T) {
 						return
 					}
 					if rec.Code == http.StatusCreated {
-						var out map[string]string
+						var out createResp
 						if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 							errs <- err
 							return
 						}
 						poolMu.Lock()
-						pool = append(pool, out["session_id"])
+						pool = append(pool, out.SessionID)
 						poolMu.Unlock()
 					}
 				case op == 1: // delete a shared session mid-traffic
@@ -185,5 +186,115 @@ func TestSessionStress(t *testing.T) {
 	poolMu.Unlock()
 	if got := srv.NumSessions(); got != want {
 		t.Errorf("server reports %d sessions, pool holds %d", got, want)
+	}
+}
+
+// TestServerSweeperStress races the TTL sweeper against concurrent
+// create/tick/delete traffic on shared sessions: with an aggressive
+// sub-millisecond TTL, every handler can observe a session evicted
+// between lookup and use. Run under `make race`, this exercises the
+// two-phase eviction (mark under the session lock, then unmap) —
+// expired sessions must turn into clean 404s, never 5xx or races.
+func TestServerSweeperStress(t *testing.T) {
+	srv, _ := testServer(t)
+	srv.opts = Options{
+		SessionTTL:    500 * time.Microsecond,
+		SweepInterval: 200 * time.Microsecond,
+	}.withDefaults()
+	srv.Start()
+	defer srv.Close()
+	handler := srv.Handler()
+
+	const (
+		workers = 8
+		iters   = 150
+	)
+	var (
+		poolMu sync.Mutex
+		pool   []string
+	)
+	do := func(method, path string, body interface{}) *httptest.ResponseRecorder {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		req := httptest.NewRequest(method, path, bytes.NewReader(data))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(int64(9000 + g))
+			for i := 0; i < iters; i++ {
+				var rec *httptest.ResponseRecorder
+				switch rng.Intn(4) {
+				case 0:
+					rec = do(http.MethodPost, "/v1/sessions", createReq{HeightM: 1.7, WeightKg: 70})
+					if rec != nil && rec.Code == http.StatusCreated {
+						var out createResp
+						if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+							errs <- err
+							return
+						}
+						poolMu.Lock()
+						pool = append(pool, out.SessionID)
+						poolMu.Unlock()
+					}
+				case 1:
+					poolMu.Lock()
+					var id string
+					if len(pool) > 0 {
+						id = pool[rng.Intn(len(pool))]
+					}
+					poolMu.Unlock()
+					if id != "" {
+						rec = do(http.MethodDelete, "/v1/sessions/"+id, nil)
+					}
+				default:
+					poolMu.Lock()
+					var id string
+					if len(pool) > 0 {
+						id = pool[rng.Intn(len(pool))]
+					}
+					poolMu.Unlock()
+					if id != "" {
+						rec = do(http.MethodPost, "/v1/sessions/"+id+"/tick",
+							tickReq{T: float64(i) * 0.5})
+					}
+				}
+				// Sessions evaporate underneath every operation: 404 (and
+				// 429 at the cap) are expected; 5xx or a panic is the bug.
+				if rec != nil && rec.Code >= 500 {
+					errs <- fmt.Errorf("worker %d iter %d: status %d body %s",
+						g, i, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Everything idles out eventually; metrics saw the evictions.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.NumSessions() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := srv.NumSessions(); n != 0 {
+		t.Errorf("%d sessions survived the sweeper", n)
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap.Counters["sessions_expired"] == 0 {
+		t.Error("sweeper stress produced no expirations")
 	}
 }

@@ -13,6 +13,8 @@ package tracker
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"moloc/internal/fingerprint"
 	"moloc/internal/floorplan"
@@ -26,6 +28,16 @@ import (
 type Config struct {
 	// IntervalSec is the localization interval (3 s in the paper).
 	IntervalSec float64
+	// StaleScanSec is the scan staleness window: when an interval closes
+	// with no scan of its own, the most recent scan may still serve as
+	// its fingerprint if it arrived no more than StaleScanSec before the
+	// interval started. The paper's phone scans at ~2 Hz, so a scan
+	// never legitimately predates its interval by more than one interval
+	// — NewConfig therefore defaults the window to one IntervalSec,
+	// which tolerates a scan straddling the boundary without feeding
+	// Eq. 4 long-outdated RSS. Zero is valid and means strict: only
+	// scans inside the interval count.
+	StaleScanSec float64
 	// StepLen is the user's step length in meters, from the
 	// height/weight model of motion.StepLength.
 	StepLen float64
@@ -39,10 +51,11 @@ type Config struct {
 // given step length.
 func NewConfig(stepLen float64) Config {
 	return Config{
-		IntervalSec: 3,
-		StepLen:     stepLen,
-		Motion:      motion.NewConfig(),
-		MoLoc:       localizer.NewConfig(),
+		IntervalSec:  3,
+		StaleScanSec: 3,
+		StepLen:      stepLen,
+		Motion:       motion.NewConfig(),
+		MoLoc:        localizer.NewConfig(),
 	}
 }
 
@@ -50,6 +63,9 @@ func NewConfig(stepLen float64) Config {
 func (c Config) Validate() error {
 	if c.IntervalSec <= 0 {
 		return fmt.Errorf("tracker: interval must be positive, got %g", c.IntervalSec)
+	}
+	if c.StaleScanSec < 0 || math.IsNaN(c.StaleScanSec) {
+		return fmt.Errorf("tracker: scan staleness window must be >= 0, got %g", c.StaleScanSec)
 	}
 	if c.StepLen <= 0 || c.StepLen > 2 {
 		return fmt.Errorf("tracker: implausible step length %g", c.StepLen)
@@ -73,6 +89,29 @@ type Fix struct {
 	Candidates []fingerprint.Candidate
 }
 
+// Stats counts a session's activity, for observability: the serving
+// layer surfaces these through its metrics endpoint.
+type Stats struct {
+	// SamplesIn and SamplesDropped count IMU samples accepted and
+	// rejected (out of order).
+	SamplesIn      int64 `json:"samples_in"`
+	SamplesDropped int64 `json:"samples_dropped"`
+	// Scans counts WiFi scans received.
+	Scans int64 `json:"scans"`
+	// Fixes counts emitted fixes.
+	Fixes int64 `json:"fixes"`
+	// IntervalsClosed counts intervals individually closed by Tick,
+	// whether or not they produced a fix; IntervalsSkipped counts the
+	// empty intervals fast-forwarded in bulk when a tick arrives late.
+	IntervalsClosed  int64 `json:"intervals_closed"`
+	IntervalsSkipped int64 `json:"intervals_skipped"`
+	// NoScanIntervals counts closed intervals with no usable scan (no
+	// fix emitted); StaleServes counts fixes whose fingerprint predated
+	// the interval but fell inside the staleness window.
+	NoScanIntervals int64 `json:"no_scan_intervals"`
+	StaleServes     int64 `json:"stale_serves"`
+}
+
 // Tracker is one user's tracking session.
 type Tracker struct {
 	cfg  Config
@@ -83,10 +122,23 @@ type Tracker struct {
 	intervalStart float64
 	started       bool
 	samples       []sensors.Sample
-	lastScan      fingerprint.Fingerprint
-	haveScan      bool
+	scans         []scanRec
 	lastFix       *Fix
+	stats         Stats
 }
+
+// scanRec is one buffered WiFi scan. Scans are buffered (not just the
+// newest kept) so that each interval closed by a late tick is served
+// by its own scan, and so a scan arriving just past a boundary cannot
+// shadow the still-valid one before it.
+type scanRec struct {
+	t  float64
+	fp fingerprint.Fingerprint
+}
+
+// maxBufferedScans bounds the scan buffer when no tick ever drains it;
+// at the paper's 2 Hz scan rate it covers several minutes of catch-up.
+const maxBufferedScans = 1024
 
 // New creates a tracking session over a candidate source, motion
 // database, and floor plan (used for online heading calibration).
@@ -107,46 +159,154 @@ func New(plan *floorplan.Plan, src fingerprint.CandidateSource,
 }
 
 // AddIMU feeds one IMU sample. Samples must arrive in time order;
-// out-of-order samples are dropped.
+// out-of-order samples are dropped, keeping the buffer sorted so Tick
+// can partition it by interval boundary.
 func (t *Tracker) AddIMU(s sensors.Sample) {
+	if math.IsNaN(s.T) || math.IsInf(s.T, 0) {
+		t.stats.SamplesDropped++
+		return
+	}
 	if !t.started {
 		t.started = true
 		t.intervalStart = s.T
 	}
 	if n := len(t.samples); n > 0 && s.T < t.samples[n-1].T {
+		t.stats.SamplesDropped++
 		return
 	}
 	t.samples = append(t.samples, s)
+	t.stats.SamplesIn++
 }
 
-// AddScan feeds one WiFi scan. The most recent scan of an interval is
-// the fingerprint the paper's phone queries with.
+// AddScan feeds one WiFi scan. Scans must arrive in time order;
+// out-of-order scans are dropped. The most recent scan of an interval
+// is the fingerprint the paper's phone queries with.
 func (t *Tracker) AddScan(ts float64, fp fingerprint.Fingerprint) {
+	if math.IsNaN(ts) || math.IsInf(ts, 0) {
+		return
+	}
 	if !t.started {
 		t.started = true
 		t.intervalStart = ts
 	}
-	t.lastScan = fp
-	t.haveScan = true
+	if n := len(t.scans); n > 0 && ts < t.scans[n-1].t {
+		return
+	}
+	t.scans = append(t.scans, scanRec{t: ts, fp: fp})
+	if len(t.scans) > maxBufferedScans {
+		t.scans = append(t.scans[:0], t.scans[len(t.scans)-maxBufferedScans:]...)
+	}
+	t.stats.Scans++
 }
 
-// Tick closes the current localization interval when now has passed its
-// end and returns the fix. ok is false when the interval is still open
-// or no scan arrived during it.
+// Tick closes every localization interval that now has passed and
+// returns the most recent fix those intervals produced. ok is false
+// when the current interval is still open or no closed interval had a
+// usable scan.
+//
+// Scan policy: an interval [start, end) is served by the most recent
+// scan with timestamp in [start-StaleScanSec, end). A scan that
+// arrived shortly before the interval (within the staleness window,
+// one interval by default) still serves — the paper's 2 Hz scan rate
+// straddles boundaries routinely — but an older scan does not, so an
+// interval genuinely without RSS yields no fix rather than feeding
+// Eq. 4 outdated data.
+//
+// Late ticks: when now lags several intervals behind (a phone that
+// slept, a batched client), buffered samples are partitioned by
+// interval boundary and each interval is closed in order, so the
+// posterior of Eq. 7 sees per-interval motion rather than one
+// super-interval; stretches with neither samples nor scans are
+// fast-forwarded in O(1) so intervalStart always catches up to now.
 func (t *Tracker) Tick(now float64) (Fix, bool) {
-	if !t.started || now < t.intervalStart+t.cfg.IntervalSec {
+	if !t.started || math.IsNaN(now) || math.IsInf(now, 0) {
 		return Fix{}, false
 	}
-	end := t.intervalStart + t.cfg.IntervalSec
-	samples := t.samples
-	t.samples = nil
-	start := t.intervalStart
-	t.intervalStart = end
+	var (
+		last    Fix
+		emitted bool
+	)
+	for now >= t.intervalStart+t.cfg.IntervalSec {
+		start := t.intervalStart
+		end := start + t.cfg.IntervalSec
+		cut := sort.Search(len(t.samples), func(i int) bool {
+			return t.samples[i].T >= end
+		})
+		if _, ok := t.scanFor(start, end); cut == 0 && !ok {
+			t.fastForward(now, end)
+			continue
+		}
+		samples := t.samples[:cut:cut]
+		t.samples = t.samples[cut:]
+		t.intervalStart = end
+		t.stats.IntervalsClosed++
+		if fix, ok := t.closeInterval(start, end, samples); ok {
+			last, emitted = fix, true
+		}
+		t.pruneScans()
+	}
+	return last, emitted
+}
 
-	if !t.haveScan {
+// scanFor returns the scan serving the interval [start, end): the most
+// recent buffered scan before end, provided it is not older than the
+// staleness window before start.
+func (t *Tracker) scanFor(start, end float64) (scanRec, bool) {
+	i := sort.Search(len(t.scans), func(i int) bool {
+		return t.scans[i].t >= end
+	}) - 1
+	if i < 0 || t.scans[i].t < start-t.cfg.StaleScanSec {
+		return scanRec{}, false
+	}
+	return t.scans[i], true
+}
+
+// pruneScans drops buffered scans too old to serve any future interval
+// (every upcoming interval starts at or after intervalStart).
+func (t *Tracker) pruneScans() {
+	cut := sort.Search(len(t.scans), func(i int) bool {
+		return t.scans[i].t >= t.intervalStart-t.cfg.StaleScanSec
+	})
+	if cut > 0 {
+		t.scans = append(t.scans[:0], t.scans[cut:]...)
+	}
+}
+
+// fastForward skips the empty intervals between end-IntervalSec and
+// the next event (first buffered sample, first future scan, or now) in
+// one arithmetic step, so a tick arriving hours late cannot loop per
+// empty interval.
+func (t *Tracker) fastForward(now, end float64) {
+	next := now
+	if len(t.samples) > 0 && t.samples[0].T < next {
+		next = t.samples[0].T
+	}
+	if i := sort.Search(len(t.scans), func(i int) bool {
+		return t.scans[i].t >= end
+	}); i < len(t.scans) && t.scans[i].t < next {
+		next = t.scans[i].t
+	}
+	n := math.Floor((next - t.intervalStart) / t.cfg.IntervalSec)
+	if n < 1 {
+		n = 1
+	}
+	t.stats.IntervalsSkipped += int64(math.Min(n, math.MaxInt32))
+	t.intervalStart += n * t.cfg.IntervalSec
+}
+
+// closeInterval runs the serving pipeline for one closed interval:
+// motion extraction over its samples, localization against its scan,
+// and online heading calibration.
+func (t *Tracker) closeInterval(start, end float64, samples []sensors.Sample) (Fix, bool) {
+	scan, ok := t.scanFor(start, end)
+	if !ok {
+		t.stats.NoScanIntervals++
 		return Fix{}, false
 	}
-	obs := localizer.Observation{FP: t.lastScan}
+	if scan.t < start {
+		t.stats.StaleServes++
+	}
+	obs := localizer.Observation{FP: scan.fp}
 	var compassMean float64
 	if rlm, ok := motion.Extract(t.cfg.Motion, samples, start, end,
 		t.cfg.StepLen, &t.est); ok {
@@ -169,18 +329,24 @@ func (t *Tracker) Tick(now float64) (Fix, bool) {
 		t.est.Observe(compassMean, t.plan.LocBearing(t.lastFix.Loc, loc))
 	}
 	t.lastFix = &fix
+	t.stats.Fixes++
 	return fix, true
 }
 
 // LastFix returns the most recent fix, or nil before the first one.
 func (t *Tracker) LastFix() *Fix { return t.lastFix }
 
-// Reset clears the session state (candidates, calibration, buffers).
+// Stats returns the session's activity counters.
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// Reset clears the session state (candidates, calibration, buffers,
+// activity counters).
 func (t *Tracker) Reset() {
 	t.ml.Reset()
 	t.est = motion.HeadingEstimator{}
 	t.samples = nil
-	t.haveScan = false
+	t.scans = nil
 	t.started = false
 	t.lastFix = nil
+	t.stats = Stats{}
 }

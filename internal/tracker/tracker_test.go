@@ -216,8 +216,167 @@ func TestReset(t *testing.T) {
 		t.Fatal("LastFix missing")
 	}
 	tk.Reset()
-	if tk.LastFix() != nil || tk.started || tk.haveScan {
+	if tk.LastFix() != nil || tk.started || len(tk.scans) != 0 {
 		t.Error("Reset should clear the session")
+	}
+	if tk.Stats() != (Stats{}) {
+		t.Error("Reset should clear the activity counters")
+	}
+}
+
+// TestStaleScanNotServed is the regression test for the stale-scan
+// bug: after one fix, intervals in which no scan arrived must not keep
+// emitting fixes from the old fingerprint. A scan may serve at most
+// one extra interval (the staleness window, one interval by default,
+// covering a 2 Hz scan straddling a boundary), after which ticks
+// report ok=false until fresh RSS arrives.
+func TestStaleScanNotServed(t *testing.T) {
+	sys := sysFixture(t)
+	tk, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fingerprint.Fingerprint(sys.Model.Sample(sys.Plan.LocPos(5), stats.NewRNG(2)))
+
+	feedIMU := func(t0, t1 float64) {
+		for ts := t0; ts < t1; ts += 0.1 {
+			tk.AddIMU(sensors.Sample{T: ts, Accel: 9.8})
+		}
+	}
+	feedIMU(0, 3)
+	tk.AddScan(1, fp)
+	if _, ok := tk.Tick(3); !ok {
+		t.Fatal("interval with a scan should produce a fix")
+	}
+	// Second interval: no scan of its own, but the T=1 scan is within
+	// one interval of its start — the staleness window still serves it.
+	feedIMU(3, 6)
+	if _, ok := tk.Tick(6); !ok {
+		t.Fatal("scan within the staleness window should still serve")
+	}
+	if tk.Stats().StaleServes != 1 {
+		t.Errorf("StaleServes = %d, want 1", tk.Stats().StaleServes)
+	}
+	// Third interval onward: the scan is beyond the window; no fix.
+	for i := 2; i < 5; i++ {
+		feedIMU(float64(3*i), float64(3*i+3))
+		if _, ok := tk.Tick(float64(3*i + 3)); ok {
+			t.Fatalf("interval %d served a %gs-old scan", i, float64(3*i+3)-1)
+		}
+	}
+	if got := tk.Stats().NoScanIntervals; got != 3 {
+		t.Errorf("NoScanIntervals = %d, want 3", got)
+	}
+	// Fresh RSS revives the stream.
+	tk.AddScan(16, fp)
+	feedIMU(15, 18)
+	if _, ok := tk.Tick(18); !ok {
+		t.Error("fresh scan should produce a fix again")
+	}
+}
+
+// TestStrictStaleWindow verifies StaleScanSec=0 restricts serving to
+// scans inside the interval.
+func TestStrictStaleWindow(t *testing.T) {
+	sys := sysFixture(t)
+	cfg := NewConfig(0.73)
+	cfg.StaleScanSec = 0
+	tk, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fingerprint.Fingerprint(sys.Model.Sample(sys.Plan.LocPos(5), stats.NewRNG(2)))
+	tk.AddIMU(sensors.Sample{T: 0, Accel: 9.8})
+	tk.AddScan(1, fp)
+	if _, ok := tk.Tick(3); !ok {
+		t.Fatal("scan inside the interval should serve")
+	}
+	if _, ok := tk.Tick(6); ok {
+		t.Error("strict window must not serve the previous interval's scan")
+	}
+}
+
+// TestLateTickCatchesUp is the regression test for the interval-lag
+// bug: a tick arriving several intervals late must partition buffered
+// data by interval boundary (not attribute everything to the first
+// stale interval) and leave the interval clock caught up with now.
+func TestLateTickCatchesUp(t *testing.T) {
+	sys := sysFixture(t)
+	tk, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanRNG := stats.NewRNG(9)
+	// 10 s of samples and ~2 Hz scans, then one single late tick.
+	for ts := 0.0; ts < 10; ts += 0.1 {
+		tk.AddIMU(sensors.Sample{T: ts, Accel: 9.8, Compass: 90})
+	}
+	for ts := 0.4; ts < 10; ts += 0.5 {
+		tk.AddScan(ts, fingerprint.Fingerprint(sys.Model.Sample(sys.Plan.LocPos(5), scanRNG)))
+	}
+	fix, ok := tk.Tick(10)
+	if !ok {
+		t.Fatal("late tick over scanned intervals should emit a fix")
+	}
+	// Three intervals closed ([0,3) [3,6) [6,9)), each with its own
+	// scan; the returned fix is the latest.
+	if fix.T != 9 {
+		t.Errorf("fix.T = %g, want 9 (latest closed interval)", fix.T)
+	}
+	if got := tk.Stats().IntervalsClosed; got != 3 {
+		t.Errorf("IntervalsClosed = %d, want 3", got)
+	}
+	if got := tk.Stats().Fixes; got != 3 {
+		t.Errorf("Fixes = %d, want 3 (one per closed interval)", got)
+	}
+	// The clock caught up: the open interval is [9, 12), so a tick at
+	// 11.9 closes nothing and one at 12 closes exactly [9, 12).
+	if _, ok := tk.Tick(11.9); ok {
+		t.Error("interval [9,12) should still be open at t=11.9")
+	}
+	tk.AddScan(11.5, fingerprint.Fingerprint(sys.Model.Sample(sys.Plan.LocPos(5), scanRNG)))
+	fix, ok = tk.Tick(12)
+	if !ok || fix.T != 12 {
+		t.Errorf("tick at 12 = (%+v, %v), want a fix at T=12", fix, ok)
+	}
+}
+
+// TestLateTickFastForwardsIdleGap verifies that a tick arriving after
+// a long idle gap (no samples, no scans) catches the clock up in one
+// call without walking every empty interval.
+func TestLateTickFastForwardsIdleGap(t *testing.T) {
+	sys := sysFixture(t)
+	cfg := NewConfig(0.73)
+	cfg.StaleScanSec = 0 // strict, so the gap has no window serve
+	tk, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fingerprint.Fingerprint(sys.Model.Sample(sys.Plan.LocPos(5), stats.NewRNG(2)))
+	tk.AddIMU(sensors.Sample{T: 0, Accel: 9.8})
+	tk.AddScan(1, fp)
+	if _, ok := tk.Tick(3); !ok {
+		t.Fatal("expected a first fix")
+	}
+	// A phone that slept for ~a year of session time.
+	const gap = 3e7
+	if _, ok := tk.Tick(gap); ok {
+		t.Error("idle gap must not produce a fix")
+	}
+	if tk.intervalStart > gap || gap-tk.intervalStart >= tk.cfg.IntervalSec {
+		t.Errorf("intervalStart = %g did not catch up to %g", tk.intervalStart, gap)
+	}
+	if skipped := tk.Stats().IntervalsSkipped; skipped == 0 {
+		t.Error("fast-forwarded intervals should be counted")
+	}
+	// Activity after the gap localizes in the new epoch.
+	tk.AddScan(gap+1, fp)
+	fix, ok := tk.Tick(gap + 4)
+	if !ok {
+		t.Fatal("expected a fix after the gap")
+	}
+	if fix.T <= gap {
+		t.Errorf("fix.T = %g predates the gap end", fix.T)
 	}
 }
 
