@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench experiments examples smoke clean
+.PHONY: all build vet lint test race cover bench bench-json experiments examples smoke clean
 
 all: build vet lint test
 
@@ -40,6 +40,17 @@ experiments:
 # One benchmark per table/figure plus micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf artifact: run the hot-path benchmarks and emit
+# BENCH_PR3.json via cmd/benchjson, one data point in the repo's perf
+# trajectory. BENCHTIME trades precision for CI time.
+BENCHTIME ?= 1s
+BENCH_JSON ?= BENCH_PR3.json
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkFingerprintKNN|BenchmarkMotionMatchProb|BenchmarkMoLocLocalize|BenchmarkScalability' \
+		-benchmem -benchtime $(BENCHTIME) -count 1 . > bench.out
+	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < bench.out
+	rm -f bench.out
 
 # Compile-check and run every example once.
 examples:

@@ -205,31 +205,89 @@ func benchDeployment(b *testing.B) (*exp.Context, *core.Deployment) {
 	return ctx, dep
 }
 
+// BenchmarkFingerprintKNN compares the k-NN candidate query's two
+// implementations: the sort-based reference (KNearestRef) and the
+// bounded selection scan into a reused buffer (KNearestAppend), which
+// is what the serving path runs.
 func BenchmarkFingerprintKNN(b *testing.B) {
 	_, dep := benchDeployment(b)
 	fp := dep.TestData[0].StartFP
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		dep.FDB.KNearest(fp, 8)
-	}
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dep.FDB.KNearestRef(fp, 8)
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		var buf []fingerprint.Candidate
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = dep.FDB.KNearestAppend(buf, fp, 8)
+		}
+	})
 }
 
+// BenchmarkMotionMatchProb compares one Eq. 5 evaluation: the exact
+// Entry.Prob (four erf calls) against the compiled edge's table
+// interpolation.
 func BenchmarkMotionMatchProb(b *testing.B) {
 	ctx, _ := benchDeployment(b)
 	e, ok := ctx.Sys.MDB.Lookup(1, 2)
 	if !ok {
 		b.Fatal("entry 1-2 missing")
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Prob(92, 5.5, 20, 1)
-	}
+	b.Run("reference", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.Prob(92, 5.5, 20, 1)
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		cmp, err := ctx.Sys.MDB.Compile(20, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := cmp.Row(1)
+		k := lo
+		for ; k < hi; k++ {
+			if cmp.Col(k) == 2 {
+				break
+			}
+		}
+		if k == hi {
+			b.Fatal("edge 1->2 missing")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cmp.EdgeProb(k, 92, 5.5)
+		}
+	})
 }
 
 func BenchmarkMoLocLocalize(b *testing.B) {
 	ctx, dep := benchDeployment(b)
 	ml, err := localizer.NewMoLoc(dep.FDB, ctx.Sys.MDB, ctx.Sys.Config.MoLoc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	td := dep.TestData[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.Reset()
+		ml.Localize(localizer.Observation{FP: td.StartFP})
+		for _, ld := range td.Legs {
+			ml.Localize(localizer.Observation{FP: ld.FP, Motion: ld.RLM})
+		}
+	}
+}
+
+// BenchmarkMoLocLocalizeReference is the uncompiled localizer on the
+// same trace, the "before" side of BenchmarkMoLocLocalize.
+func BenchmarkMoLocLocalizeReference(b *testing.B) {
+	ctx, dep := benchDeployment(b)
+	ml, err := localizer.NewMoLocReference(dep.FDB, ctx.Sys.MDB, ctx.Sys.Config.MoLoc)
 	if err != nil {
 		b.Fatal(err)
 	}

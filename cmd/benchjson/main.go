@@ -1,0 +1,60 @@
+// benchjson turns `go test -bench` text output into a machine-readable
+// JSON artifact, seeding the repo's performance trajectory
+// (BENCH_PR3.json and successors). It reads the benchmark output on
+// stdin and writes one JSON document:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson -out BENCH_PR3.json
+//
+// The document records the platform header lines (goos/goarch/pkg/cpu)
+// and one record per benchmark result line: the name (with the
+// "Benchmark" prefix and -GOMAXPROCS suffix stripped), iteration
+// count, ns/op, and — when -benchmem is on — B/op and allocs/op.
+// Custom b.ReportMetric units land in the record's "extra" map, so
+// accuracy metrics published by the paper-table benchmarks survive
+// into the artifact too.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	suite, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(suite.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(suite); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: moloc
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFingerprintKNN/reference         	  432338	      2394 ns/op	     992 B/op	       5 allocs/op
+BenchmarkFingerprintKNN/compiled          	 3331237	       351.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAccuracy                         	      12	  98765432 ns/op	         2.100 m/op
+BenchmarkNoMem-8                          	 1000000	      1234 ns/op
+PASS
+ok  	moloc	13.744s
+`
+
+func TestParse(t *testing.T) {
+	s, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Goos != "linux" || s.Goarch != "amd64" || s.Pkg != "moloc" ||
+		!strings.Contains(s.CPU, "Xeon") {
+		t.Errorf("headers: %+v", s)
+	}
+	if len(s.Benchmarks) != 4 {
+		t.Fatalf("got %d records, want 4: %+v", len(s.Benchmarks), s.Benchmarks)
+	}
+
+	ref := s.Benchmarks[0]
+	if ref.Name != "FingerprintKNN/reference" || ref.Iterations != 432338 ||
+		ref.NsPerOp != 2394 || ref.BPerOp == nil || *ref.BPerOp != 992 ||
+		ref.AllocsPerOp == nil || *ref.AllocsPerOp != 5 {
+		t.Errorf("reference record: %+v", ref)
+	}
+	cmp := s.Benchmarks[1]
+	if cmp.NsPerOp != 351.2 || *cmp.AllocsPerOp != 0 {
+		t.Errorf("compiled record: %+v", cmp)
+	}
+	acc := s.Benchmarks[2]
+	if acc.Extra["m/op"] != 2.1 || acc.BPerOp != nil {
+		t.Errorf("ReportMetric record: %+v", acc)
+	}
+	nm := s.Benchmarks[3]
+	if nm.Name != "NoMem" || nm.Procs != 8 || nm.BPerOp != nil {
+		t.Errorf("procs-suffixed record: %+v", nm)
+	}
+}
+
+func TestParseSkipsNonResults(t *testing.T) {
+	in := "BenchmarkJustAName\nBenchmarkOdd 12 34\nsome test log line\n"
+	s, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 0 {
+		t.Fatalf("non-result lines produced records: %+v", s.Benchmarks)
+	}
+}
+
+func TestParseRejectsMalformedValue(t *testing.T) {
+	in := "BenchmarkBad-8   100   xx ns/op\n"
+	if _, err := parse(strings.NewReader(in)); err == nil {
+		t.Fatal("malformed value should error")
+	}
+}

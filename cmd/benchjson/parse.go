@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Suite is the JSON document: platform headers plus one record per
+// benchmark result line.
+type Suite struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// Record is one benchmark result. NsPerOp is always present; BPerOp
+// and AllocsPerOp only under -benchmem (nil otherwise, omitted from
+// the JSON). Extra holds custom b.ReportMetric units verbatim.
+type Record struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BPerOp      *float64           `json:"b_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// parse consumes `go test -bench` output and collects headers and
+// result lines; unrelated lines (PASS, ok, test logs) are skipped.
+func parse(r io.Reader) (*Suite, error) {
+	s := &Suite{Benchmarks: []Record{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			s.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			s.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			s.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			s.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			rec, ok, err := parseResult(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				s.Benchmarks = append(s.Benchmarks, rec)
+			}
+		}
+	}
+	return s, sc.Err()
+}
+
+// parseResult parses one result line of the form
+//
+//	BenchmarkName-8   1234   56.7 ns/op   8 B/op   1 allocs/op   0.9 m/op
+//
+// ok is false for lines that start with "Benchmark" but are not
+// results (e.g. the bare name echoed under -v).
+func parseResult(line string) (Record, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Record{}, false, nil
+	}
+	var rec Record
+	rec.Name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(rec.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(rec.Name[i+1:]); err == nil {
+			rec.Name, rec.Procs = rec.Name[:i], procs
+		}
+	}
+	iter, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false, nil
+	}
+	rec.Iterations = iter
+
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false, fmt.Errorf("benchmark line %q: bad value %q", line, fields[i])
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			rec.NsPerOp, sawNs = val, true
+		case "B/op":
+			v := val
+			rec.BPerOp = &v
+		case "allocs/op":
+			v := val
+			rec.AllocsPerOp = &v
+		default:
+			if rec.Extra == nil {
+				rec.Extra = make(map[string]float64)
+			}
+			rec.Extra[unit] = val
+		}
+	}
+	if !sawNs {
+		return Record{}, false, nil
+	}
+	return rec, true, nil
+}

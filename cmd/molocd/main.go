@@ -6,7 +6,7 @@
 // Usage:
 //
 //	molocd [-addr :8080] [-plan office|mall|museum] [-seed N] [-aps N] [-horus]
-//	       [-train N] [-session-ttl 15m] [-max-sessions N] [-drain 10s]
+//	       [-train N] [-session-ttl 15m] [-max-sessions N] [-workers N] [-drain 10s]
 //
 // Try it:
 //
@@ -50,11 +50,12 @@ func run() error {
 		train       = flag.Int("train", 0, "crowdsourced training traces to build with (0 = default)")
 		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle session eviction deadline")
 		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "live session cap (429 beyond)")
+		workers     = flag.Int("workers", 0, "data-plane worker pool size (0 = GOMAXPROCS)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
-	opts := server.Options{SessionTTL: *sessionTTL, MaxSessions: *maxSessions}
+	opts := server.Options{SessionTTL: *sessionTTL, MaxSessions: *maxSessions, Workers: *workers}
 
 	var srv *server.Server
 	if *bundle != "" {

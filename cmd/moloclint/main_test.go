@@ -92,6 +92,17 @@ import "os"
 
 func Drop() { os.Remove("x") }
 `)
+	write("hot/hot.go", `package hot
+
+//moloc:hotpath
+func Gather(m map[int]int, keys []int) []int {
+	var out []int
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+`)
 
 	root, modPath, err := lint.ModulePath(filepath.Join(dir, "angles"))
 	if err != nil {

@@ -1,0 +1,116 @@
+// Fast-path equivalence: the compiled localization engine (PR 3) must
+// produce the same fixes as the uncompiled reference transcription of
+// Eq. 3–7 on recorded traces, and must not allocate at steady state.
+package moloc_test
+
+import (
+	"testing"
+
+	"moloc/internal/core"
+	"moloc/internal/fingerprint"
+	"moloc/internal/localizer"
+)
+
+func buildSmallDeployment(t *testing.T) (*core.System, *core.Deployment) {
+	t.Helper()
+	cfg := core.NewConfig()
+	cfg.NumTrainTraces = 30
+	cfg.NumTestTraces = 8
+	sys, err := core.Build(cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return sys, dep
+}
+
+// replayTraces runs every test trace through both localizers and
+// compares the fix sequences observation for observation.
+func replayTraces(t *testing.T, dep *core.Deployment, fast, ref localizer.Localizer) {
+	t.Helper()
+	for ti, td := range dep.TestData {
+		fast.Reset()
+		ref.Reset()
+		obs := localizer.Observation{FP: td.StartFP}
+		if f, r := fast.Localize(obs), ref.Localize(obs); f != r {
+			t.Fatalf("trace %d start: fast fix %d, reference fix %d", ti, f, r)
+		}
+		for li, ld := range td.Legs {
+			obs := localizer.Observation{FP: ld.FP, Motion: ld.RLM}
+			if f, r := fast.Localize(obs), ref.Localize(obs); f != r {
+				t.Fatalf("trace %d leg %d: fast fix %d, reference fix %d", ti, li, f, r)
+			}
+		}
+	}
+}
+
+// TestMoLocCompiledMatchesReference replays the recorded test traces
+// through the compiled engine and the reference, over both fingerprint
+// sources, expecting identical fixes throughout.
+func TestMoLocCompiledMatchesReference(t *testing.T) {
+	sys, dep := buildSmallDeployment(t)
+	for _, src := range []struct {
+		name string
+		s    fingerprint.CandidateSource
+	}{{"deterministic", dep.FDB}, {"gaussian", dep.GDB}} {
+		fast, err := localizer.NewMoLoc(src.s, sys.MDB, sys.Config.MoLoc)
+		if err != nil {
+			t.Fatalf("%s: NewMoLoc: %v", src.name, err)
+		}
+		ref, err := localizer.NewMoLocReference(src.s, sys.MDB, sys.Config.MoLoc)
+		if err != nil {
+			t.Fatalf("%s: NewMoLocReference: %v", src.name, err)
+		}
+		replayTraces(t, dep, fast, ref)
+	}
+}
+
+// TestDeadReckoningCompiledMatchesReference is the same fix-for-fix
+// replay for the motion-only ablation, whose fast path additionally
+// reconstructs the full-grid posterior cut from the touched set.
+func TestDeadReckoningCompiledMatchesReference(t *testing.T) {
+	sys, dep := buildSmallDeployment(t)
+	fast, err := localizer.NewDeadReckoning(dep.FDB, sys.MDB, sys.Config.MoLoc)
+	if err != nil {
+		t.Fatalf("NewDeadReckoning: %v", err)
+	}
+	ref, err := localizer.NewDeadReckoningReference(dep.FDB, sys.MDB, sys.Config.MoLoc)
+	if err != nil {
+		t.Fatalf("NewDeadReckoningReference: %v", err)
+	}
+	replayTraces(t, dep, fast, ref)
+}
+
+// TestLocalizeZeroAllocs pins the steady-state Localize of both
+// compiled localizers at zero heap allocations.
+func TestLocalizeZeroAllocs(t *testing.T) {
+	sys, dep := buildSmallDeployment(t)
+	td := dep.TestData[0]
+	if len(td.Legs) == 0 {
+		t.Fatal("test trace has no legs")
+	}
+	obs := localizer.Observation{FP: td.Legs[0].FP, Motion: td.Legs[0].RLM}
+
+	ml, err := localizer.NewMoLoc(dep.FDB, sys.MDB, sys.Config.MoLoc)
+	if err != nil {
+		t.Fatalf("NewMoLoc: %v", err)
+	}
+	ml.Localize(localizer.Observation{FP: td.StartFP})
+	ml.Localize(obs) // warm the scratch buffers
+	if avg := testing.AllocsPerRun(100, func() { ml.Localize(obs) }); avg != 0 {
+		t.Errorf("MoLoc.Localize allocates %.1f per run, want 0", avg)
+	}
+
+	dr, err := localizer.NewDeadReckoning(dep.FDB, sys.MDB, sys.Config.MoLoc)
+	if err != nil {
+		t.Fatalf("NewDeadReckoning: %v", err)
+	}
+	dr.Localize(localizer.Observation{FP: td.StartFP})
+	dr.Localize(obs)
+	if avg := testing.AllocsPerRun(100, func() { dr.Localize(obs) }); avg != 0 {
+		t.Errorf("DeadReckoning.Localize allocates %.1f per run, want 0", avg)
+	}
+}

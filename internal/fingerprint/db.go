@@ -3,6 +3,7 @@ package fingerprint
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 )
@@ -19,11 +20,30 @@ type Candidate struct {
 // DB is the fingerprint database (radio map): one representative
 // fingerprint per reference location, built by averaging site-survey
 // samples. Location IDs are 1-based and contiguous.
+//
+// The radio map is stored as one contiguous row-major []float64 so the
+// k-NN distance scan of Eq. 3 streams through memory instead of
+// chasing per-location slice headers; fps holds per-location views
+// into it for the At/Metric APIs.
 type DB struct {
 	metric Metric
 	numAPs int
-	// fps[i] is the radio-map fingerprint of location i+1.
+	// flat is the row-major radio map: location i+1 occupies
+	// flat[i*numAPs : (i+1)*numAPs].
+	flat []float64
+	// fps[i] is the radio-map fingerprint of location i+1, a view into
+	// flat.
 	fps []Fingerprint
+}
+
+// initFlat installs the contiguous radio map and carves the
+// per-location views.
+func (db *DB) initFlat(flat []float64, n int) {
+	db.flat = flat
+	db.fps = make([]Fingerprint, n)
+	for i := 0; i < n; i++ {
+		db.fps[i] = Fingerprint(flat[i*db.numAPs : (i+1)*db.numAPs : (i+1)*db.numAPs])
+	}
 }
 
 // NewDB builds a radio map from per-location survey samples:
@@ -38,12 +58,13 @@ func NewDB(metric Metric, numAPs int, samples [][]Fingerprint) (*DB, error) {
 	if numAPs <= 0 {
 		return nil, fmt.Errorf("fingerprint: numAPs must be positive, got %d", numAPs)
 	}
-	db := &DB{metric: metric, numAPs: numAPs, fps: make([]Fingerprint, len(samples))}
+	db := &DB{metric: metric, numAPs: numAPs}
+	flat := make([]float64, len(samples)*numAPs)
 	for i, scans := range samples {
 		if len(scans) == 0 {
 			return nil, fmt.Errorf("fingerprint: location %d has no survey samples", i+1)
 		}
-		mean := make(Fingerprint, numAPs)
+		mean := flat[i*numAPs : (i+1)*numAPs]
 		for _, s := range scans {
 			if len(s) != numAPs {
 				return nil, fmt.Errorf("fingerprint: location %d sample has %d APs, want %d", i+1, len(s), numAPs)
@@ -55,8 +76,8 @@ func NewDB(metric Metric, numAPs int, samples [][]Fingerprint) (*DB, error) {
 		for a := range mean {
 			mean[a] /= float64(len(scans))
 		}
-		db.fps[i] = mean
 	}
+	db.initFlat(flat, len(samples))
 	return db, nil
 }
 
@@ -92,7 +113,87 @@ func (db *DB) Nearest(f Fingerprint) int {
 // radio-map match), that candidate takes probability 1 and the rest 0,
 // the limit of the 1/m weighting. Candidates are sorted by descending
 // probability. k is clamped to the number of locations.
+//
+// The returned slice is freshly allocated and right-sized, so holding
+// a candidate set never pins the full radio map's worth of scratch.
+// Steady-state callers should prefer KNearestAppend with a reused
+// buffer.
 func (db *DB) KNearest(f Fingerprint, k int) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	return db.KNearestAppend(nil, f, k)
+}
+
+// KNearestAppend is KNearest into a caller-provided buffer: the top-k
+// candidates are selected into dst (reusing its capacity; dst may be
+// nil) with a bounded selection scan instead of a full sort, so a
+// steady-state query allocates nothing. It returns the filled slice,
+// which is sorted and weighted exactly as KNearest's.
+//
+//moloc:hotpath
+func (db *DB) KNearestAppend(dst []Candidate, f Fingerprint, k int) []Candidate {
+	n := len(db.fps)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return dst[:0]
+	}
+	if cap(dst) < k {
+		dst = make([]Candidate, 0, k)
+	} else {
+		dst = dst[:0]
+	}
+	mustSameLen(f, db.fps[0])
+
+	// Selection scan: dst[:m] holds the current best, sorted by
+	// (dissimilarity, location). Scanning locations in ascending order
+	// makes the strict shift condition reproduce the reference sort's
+	// deterministic tie-break for free.
+	_, euclid := db.metric.(Euclidean)
+	w := db.numAPs
+	m := 0
+	worst := math.Inf(1)
+	for i := 0; i < n; i++ {
+		var d float64
+		if euclid {
+			// Inlined Eq. 1 over the contiguous row: the common metric
+			// skips the interface call in the innermost loop.
+			row := db.flat[i*w : i*w+w]
+			var s float64
+			for a, v := range f {
+				dv := v - row[a]
+				s += dv * dv
+			}
+			d = math.Sqrt(s)
+		} else {
+			d = db.metric.Distance(f, db.fps[i])
+		}
+		if m == k && d >= worst {
+			continue
+		}
+		if m < k {
+			m++
+			dst = dst[:m]
+		}
+		j := m - 1
+		for j > 0 && dst[j-1].Dissim > d {
+			dst[j] = dst[j-1]
+			j--
+		}
+		dst[j] = Candidate{Loc: i + 1, Dissim: d}
+		worst = dst[m-1].Dissim
+	}
+	assignProbs(dst)
+	return dst
+}
+
+// KNearestRef is the pre-compilation reference implementation of
+// KNearest — score every location, sort, slice — retained as the
+// executable specification: equivalence tests and benchmarks compare
+// the selection-scan fast path against it.
+func (db *DB) KNearestRef(f Fingerprint, k int) []Candidate {
 	if k <= 0 {
 		return nil
 	}
@@ -109,9 +210,17 @@ func (db *DB) KNearest(f Fingerprint, k int) []Candidate {
 		}
 		return all[a].Loc < all[b].Loc // deterministic tie-break
 	})
-	top := all[:k]
+	top := append([]Candidate(nil), all[:k]...) // right-sized: don't pin the n-candidate scratch
+	assignProbs(top)
+	return top
+}
 
-	// Eq. 4 with the exact-match limit.
+// assignProbs fills the Eq. 4 probabilities of a sorted candidate set,
+// with the exact-match limit: any zero dissimilarity takes the whole
+// mass (split evenly among multiple exact matches).
+//
+//moloc:hotpath
+func assignProbs(top []Candidate) {
 	exact := false
 	for _, c := range top {
 		if c.Dissim == 0 {
@@ -123,7 +232,8 @@ func (db *DB) KNearest(f Fingerprint, k int) []Candidate {
 		for i := range top {
 			if top[i].Dissim == 0 {
 				top[i].Prob = 1
-				// Multiple exact matches split the mass evenly.
+			} else {
+				top[i].Prob = 0
 			}
 		}
 		var total float64
@@ -133,7 +243,7 @@ func (db *DB) KNearest(f Fingerprint, k int) []Candidate {
 		for i := range top {
 			top[i].Prob /= total
 		}
-		return top
+		return
 	}
 	var invSum float64
 	for _, c := range top {
@@ -142,7 +252,6 @@ func (db *DB) KNearest(f Fingerprint, k int) []Candidate {
 	for i := range top {
 		top[i].Prob = (1 / top[i].Dissim) / invSum
 	}
-	return top
 }
 
 // ProjectAPs returns a new DB restricted to the given AP indices,
@@ -155,10 +264,15 @@ func (db *DB) ProjectAPs(apIdx []int) (*DB, error) {
 			return nil, fmt.Errorf("fingerprint: AP index %d out of range [0,%d)", a, db.numAPs)
 		}
 	}
-	out := &DB{metric: db.metric, numAPs: len(apIdx), fps: make([]Fingerprint, len(db.fps))}
+	out := &DB{metric: db.metric, numAPs: len(apIdx)}
+	flat := make([]float64, len(db.fps)*len(apIdx))
 	for i, fp := range db.fps {
-		out.fps[i] = fp.Project(apIdx)
+		row := flat[i*len(apIdx):]
+		for j, a := range apIdx {
+			row[j] = fp[a]
+		}
 	}
+	out.initFlat(flat, len(db.fps))
 	return out, nil
 }
 
@@ -205,10 +319,17 @@ func LoadJSON(path string) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("fingerprint: unknown metric %q", j.Metric)
 	}
+	if j.NumAPs < 0 {
+		return nil, fmt.Errorf("fingerprint: negative AP count %d", j.NumAPs)
+	}
+	flat := make([]float64, len(j.Fps)*j.NumAPs)
 	for i, fp := range j.Fps {
 		if len(fp) != j.NumAPs {
 			return nil, fmt.Errorf("fingerprint: location %d has %d APs, header says %d", i+1, len(fp), j.NumAPs)
 		}
+		copy(flat[i*j.NumAPs:], fp)
 	}
-	return &DB{metric: metric, numAPs: j.NumAPs, fps: j.Fps}, nil
+	db := &DB{metric: metric, numAPs: j.NumAPs}
+	db.initFlat(flat, len(j.Fps))
+	return db, nil
 }

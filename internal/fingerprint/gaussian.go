@@ -21,15 +21,35 @@ type CandidateSource interface {
 	Candidates(f Fingerprint, k int) []Candidate
 }
 
+// CandidateAppender is the allocation-free extension of
+// CandidateSource: CandidatesAppend selects into a caller-provided
+// buffer, reusing its capacity, so steady-state queries on the serving
+// hot path allocate nothing. Both built-in sources implement it; the
+// localizer detects it at construction and falls back to Candidates
+// for third-party sources.
+type CandidateAppender interface {
+	CandidateSource
+	// CandidatesAppend fills dst (which may be nil) with the k most
+	// plausible locations for f, exactly as Candidates would, and
+	// returns the filled slice.
+	CandidatesAppend(dst []Candidate, f Fingerprint, k int) []Candidate
+}
+
 var (
-	_ CandidateSource = (*DB)(nil)
-	_ CandidateSource = (*GaussianDB)(nil)
+	_ CandidateAppender = (*DB)(nil)
+	_ CandidateAppender = (*GaussianDB)(nil)
 )
 
 // Candidates implements CandidateSource for the deterministic radio
 // map via Eq. 3–4.
 func (db *DB) Candidates(f Fingerprint, k int) []Candidate {
 	return db.KNearest(f, k)
+}
+
+// CandidatesAppend implements CandidateAppender for the deterministic
+// radio map.
+func (db *DB) CandidatesAppend(dst []Candidate, f Fingerprint, k int) []Candidate {
+	return db.KNearestAppend(dst, f, k)
 }
 
 // GaussianDB is a Horus-style probabilistic radio map: per location and
@@ -118,8 +138,62 @@ func (g *GaussianDB) MostLikely(f Fingerprint) int {
 // Candidates implements CandidateSource: the k most likely locations
 // with their normalized posterior probabilities (uniform prior). The
 // Dissim field carries the negative log-likelihood so lower remains
-// better, as with the deterministic source.
+// better, as with the deterministic source. The returned slice is
+// freshly allocated and right-sized.
 func (g *GaussianDB) Candidates(f Fingerprint, k int) []Candidate {
+	if k <= 0 {
+		return nil
+	}
+	return g.CandidatesAppend(nil, f, k)
+}
+
+// CandidatesAppend implements CandidateAppender: Candidates into a
+// reused buffer via a bounded selection scan, allocation-free at
+// steady state.
+//
+//moloc:hotpath
+func (g *GaussianDB) CandidatesAppend(dst []Candidate, f Fingerprint, k int) []Candidate {
+	n := g.NumLocs()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return dst[:0]
+	}
+	if cap(dst) < k {
+		dst = make([]Candidate, 0, k)
+	} else {
+		dst = dst[:0]
+	}
+	// Selection scan ordered by (negative log-likelihood, location),
+	// identical to CandidatesRef's sort; see DB.KNearestAppend.
+	m := 0
+	worst := math.Inf(1)
+	for i := 0; i < n; i++ {
+		d := -g.LogLikelihood(i+1, f)
+		if m == k && d >= worst {
+			continue
+		}
+		if m < k {
+			m++
+			dst = dst[:m]
+		}
+		j := m - 1
+		for j > 0 && dst[j-1].Dissim > d {
+			dst[j] = dst[j-1]
+			j--
+		}
+		dst[j] = Candidate{Loc: i + 1, Dissim: d}
+		worst = dst[m-1].Dissim
+	}
+	softmaxProbs(dst)
+	return dst
+}
+
+// CandidatesRef is the pre-compilation reference implementation of
+// Candidates — score every location, sort, slice — retained as the
+// executable specification for equivalence tests and benchmarks.
+func (g *GaussianDB) CandidatesRef(f Fingerprint, k int) []Candidate {
 	if k <= 0 {
 		return nil
 	}
@@ -136,9 +210,20 @@ func (g *GaussianDB) Candidates(f Fingerprint, k int) []Candidate {
 		}
 		return all[a].Loc < all[b].Loc
 	})
-	top := all[:k]
-	// Softmax over log-likelihoods, anchored at the best for numerical
-	// stability.
+	top := append([]Candidate(nil), all[:k]...)
+	softmaxProbs(top)
+	return top
+}
+
+// softmaxProbs fills the probabilities of a sorted candidate set whose
+// Dissim fields carry negative log-likelihoods: a softmax anchored at
+// the best for numerical stability.
+//
+//moloc:hotpath
+func softmaxProbs(top []Candidate) {
+	if len(top) == 0 {
+		return
+	}
 	best := -top[0].Dissim
 	var norm float64
 	for i := range top {
@@ -149,7 +234,6 @@ func (g *GaussianDB) Candidates(f Fingerprint, k int) []Candidate {
 	for i := range top {
 		top[i].Prob /= norm
 	}
-	return top
 }
 
 // ProjectAPs returns a new GaussianDB restricted to the given AP

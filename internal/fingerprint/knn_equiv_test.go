@@ -1,0 +1,163 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"moloc/internal/stats"
+)
+
+// randomDB builds a radio map of n locations with w APs from seeded
+// noise, optionally duplicating some rows to force dissimilarity ties.
+func randomDB(t *testing.T, n, w int, ties bool) *DB {
+	t.Helper()
+	rng := stats.NewRNG(42)
+	samples := make([][]Fingerprint, n)
+	for i := range samples {
+		fp := make(Fingerprint, w)
+		for a := range fp {
+			fp[a] = rng.Uniform(-90, -30)
+		}
+		samples[i] = []Fingerprint{fp}
+	}
+	if ties && n >= 4 {
+		copy(samples[n-1][0], samples[1][0]) // exact twin: guaranteed ties
+		copy(samples[n-2][0], samples[2][0])
+	}
+	db, err := NewDB(Euclidean{}, w, samples)
+	if err != nil {
+		t.Fatalf("NewDB: %v", err)
+	}
+	return db
+}
+
+func randomScan(rng *stats.RNG, w int) Fingerprint {
+	fp := make(Fingerprint, w)
+	for a := range fp {
+		fp[a] = rng.Uniform(-90, -30)
+	}
+	return fp
+}
+
+func candidatesEqual(a, b []Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKNearestAppendMatchesRef checks value-exact equivalence between
+// the selection-scan fast path and the sort-based reference, across
+// sizes, k values, tie-heavy maps, and exact radio-map matches.
+func TestKNearestAppendMatchesRef(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for _, n := range []int{1, 2, 5, 28, 160} {
+		for _, ties := range []bool{false, true} {
+			db := randomDB(t, n, 6, ties)
+			var buf []Candidate
+			for _, k := range []int{1, 2, 3, 8, n, n + 5} {
+				for trial := 0; trial < 20; trial++ {
+					var fp Fingerprint
+					if trial%5 == 0 {
+						fp = db.At(rng.Intn(n) + 1) // exact match path
+					} else {
+						fp = randomScan(rng, 6)
+					}
+					want := db.KNearestRef(fp, k)
+					got := db.KNearest(fp, k)
+					if !candidatesEqual(got, want) {
+						t.Fatalf("n=%d ties=%v k=%d: KNearest = %v, reference %v",
+							n, ties, k, got, want)
+					}
+					buf = db.KNearestAppend(buf, fp, k)
+					if !candidatesEqual(buf, want) {
+						t.Fatalf("n=%d ties=%v k=%d: KNearestAppend = %v, reference %v",
+							n, ties, k, buf, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGaussianCandidatesAppendMatchesRef is the same equivalence for
+// the probabilistic source.
+func TestGaussianCandidatesAppendMatchesRef(t *testing.T) {
+	rng := stats.NewRNG(11)
+	samples := make([][]Fingerprint, 28)
+	for i := range samples {
+		scans := make([]Fingerprint, 3)
+		for s := range scans {
+			scans[s] = randomScan(rng, 6)
+		}
+		samples[i] = scans
+	}
+	g, err := NewGaussianDB(6, samples)
+	if err != nil {
+		t.Fatalf("NewGaussianDB: %v", err)
+	}
+	var buf []Candidate
+	for _, k := range []int{1, 4, 8, 28, 40} {
+		for trial := 0; trial < 20; trial++ {
+			fp := randomScan(rng, 6)
+			want := g.CandidatesRef(fp, k)
+			got := g.Candidates(fp, k)
+			if !candidatesEqual(got, want) {
+				t.Fatalf("k=%d: Candidates = %v, reference %v", k, got, want)
+			}
+			buf = g.CandidatesAppend(buf, fp, k)
+			if !candidatesEqual(buf, want) {
+				t.Fatalf("k=%d: CandidatesAppend = %v, reference %v", k, buf, want)
+			}
+		}
+	}
+}
+
+// TestKNearestRightSized guards the satellite fix: the slice KNearest
+// returns must not pin an n-candidate scratch array.
+func TestKNearestRightSized(t *testing.T) {
+	db := randomDB(t, 160, 6, false)
+	fp := randomScan(stats.NewRNG(3), 6)
+	for _, k := range []int{1, 8, 32} {
+		got := db.KNearest(fp, k)
+		if cap(got) > 2*k {
+			t.Errorf("KNearest(k=%d) capacity %d pins scratch", k, cap(got))
+		}
+	}
+	if got := db.KNearestRef(fp, 8); cap(got) > 16 {
+		t.Errorf("KNearestRef capacity %d pins the full scratch array", cap(got))
+	}
+}
+
+// TestKNearestAppendZeroAllocs pins the steady-state query at zero
+// heap allocations for both sources.
+func TestKNearestAppendZeroAllocs(t *testing.T) {
+	db := randomDB(t, 160, 6, false)
+	fp := randomScan(stats.NewRNG(5), 6)
+	buf := db.KNearestAppend(nil, fp, 8)
+	if avg := testing.AllocsPerRun(100, func() {
+		buf = db.KNearestAppend(buf, fp, 8)
+	}); avg != 0 {
+		t.Errorf("KNearestAppend allocates %.1f per run, want 0", avg)
+	}
+
+	rng := stats.NewRNG(6)
+	samples := make([][]Fingerprint, 28)
+	for i := range samples {
+		samples[i] = []Fingerprint{randomScan(rng, 6), randomScan(rng, 6)}
+	}
+	g, err := NewGaussianDB(6, samples)
+	if err != nil {
+		t.Fatalf("NewGaussianDB: %v", err)
+	}
+	gbuf := g.CandidatesAppend(nil, fp, 8)
+	if avg := testing.AllocsPerRun(100, func() {
+		gbuf = g.CandidatesAppend(gbuf, fp, 8)
+	}); avg != 0 {
+		t.Errorf("CandidatesAppend allocates %.1f per run, want 0", avg)
+	}
+}

@@ -54,7 +54,7 @@ type Analyzer struct {
 
 // Analyzers returns the full moloclint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DegNorm, RandSrc, LockGuard, ErrDrop}
+	return []*Analyzer{DegNorm, RandSrc, LockGuard, ErrDrop, Hotpath}
 }
 
 // AnalyzerByName returns the analyzer with the given name, or nil.

@@ -106,19 +106,59 @@ func (c Config) Validate() error {
 // posterior probabilities; each new interval combines fingerprint
 // probabilities (Eq. 4) with motion-matching probabilities against the
 // motion database (Eq. 5–6) into the posterior of Eq. 7.
+//
+// NewMoLoc builds the serving configuration: the motion database is
+// compiled (motiondb.Compiled) and every per-interval buffer is reused,
+// so a steady-state Localize allocates nothing and the Eq. 6 inner
+// loop walks a CSR adjacency with table-interpolated probabilities
+// instead of hashing into a map and evaluating erf four times per
+// pair. NewMoLocReference builds the uncompiled executable
+// specification the fast path is tested against.
 type MoLoc struct {
-	src   fingerprint.CandidateSource
-	mdb   *motiondb.DB
-	cfg   Config
+	src fingerprint.CandidateSource
+	app fingerprint.CandidateAppender // non-nil when src supports appending
+	mdb *motiondb.DB
+	cmp *motiondb.Compiled // nil in reference mode
+	cfg Config
+
 	prior []fingerprint.Candidate
+
+	// Scratch reused across intervals by the compiled path.
+	candBuf []fingerprint.Candidate
+	postBuf []fingerprint.Candidate
+	pm      []float64
+	locIdx  []int32 // candidate index by location, -1 when absent
 }
 
 var _ Localizer = (*MoLoc)(nil)
 
 // NewMoLoc builds the localizer over a candidate source (the
 // deterministic radio map or the Horus-style Gaussian map — MoLoc is
-// agnostic to the fingerprint method) and a trained motion database.
+// agnostic to the fingerprint method) and a trained motion database,
+// compiled for the serving fast path.
 func NewMoLoc(src fingerprint.CandidateSource, mdb *motiondb.DB, cfg Config) (*MoLoc, error) {
+	m, err := NewMoLocReference(src, mdb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cmp, err := mdb.Compile(cfg.Alpha, cfg.Beta)
+	if err != nil {
+		return nil, err
+	}
+	m.cmp = cmp
+	m.app, _ = src.(fingerprint.CandidateAppender)
+	m.locIdx = make([]int32, src.NumLocs()+1)
+	for i := range m.locIdx {
+		m.locIdx[i] = -1
+	}
+	return m, nil
+}
+
+// NewMoLocReference builds the uncompiled reference localizer: the
+// direct transcription of Eq. 3–7 over DB.Lookup and Entry.Prob. It is
+// the executable specification the compiled fast path is equivalence-
+// tested against, and the "before" side of the benchmarks.
+func NewMoLocReference(src fingerprint.CandidateSource, mdb *motiondb.DB, cfg Config) (*MoLoc, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,19 +173,129 @@ func NewMoLoc(src fingerprint.CandidateSource, mdb *motiondb.DB, cfg Config) (*M
 func (m *MoLoc) Name() string { return "moloc" }
 
 // Reset implements Localizer: it forgets the candidate set, as at the
-// start of a new trace.
-func (m *MoLoc) Reset() { m.prior = nil }
+// start of a new trace. Scratch buffers are retained.
+func (m *MoLoc) Reset() { m.prior = m.prior[:0] }
 
 // Candidates returns the current candidate set with posterior
 // probabilities, most probable first. The returned slice must not be
-// modified.
+// modified and is only valid until the next Localize or Reset call —
+// the serving path reuses its backing buffer. Callers that retain
+// candidate sets (e.g. the tracker's fixes) must copy.
 func (m *MoLoc) Candidates() []fingerprint.Candidate { return m.prior }
+
+// candidates queries the source, through the allocation-free append
+// API when the source supports it.
+func (m *MoLoc) candidates(fp fingerprint.Fingerprint) []fingerprint.Candidate {
+	if m.app != nil {
+		m.candBuf = m.app.CandidatesAppend(m.candBuf[:0], fp, m.cfg.K)
+		return m.candBuf
+	}
+	return m.src.Candidates(fp, m.cfg.K)
+}
 
 // Localize implements Localizer. The first observation of a trace (or
 // one without motion) is resolved by fingerprints alone; subsequent
 // observations are fused per Eq. 7 and the posterior is retained as the
 // next prior.
 func (m *MoLoc) Localize(obs Observation) int {
+	if m.cmp != nil {
+		return m.localizeCompiled(obs)
+	}
+	return m.localizeReference(obs)
+}
+
+// localizeCompiled is the allocation-free serving path. It computes
+// the same Eq. 6 sums as the reference by decomposition: every
+// (prev, cand) pair contributes at least prior * UnreachableProb, and
+// only pairs with a motion-database edge add the table-evaluated
+// excess — so instead of probing the database K×K times, it walks the
+// compiled adjacency rows of the K prior candidates and scatters into
+// the candidates present in this interval's set.
+//
+//moloc:hotpath
+func (m *MoLoc) localizeCompiled(obs Observation) int {
+	cands := m.candidates(obs.FP)
+	if len(cands) == 0 {
+		return 0
+	}
+	if len(m.prior) == 0 || obs.Motion == nil {
+		m.prior = append(m.prior[:0], cands...)
+		return best(cands)
+	}
+
+	d, o := obs.Motion.Dir, obs.Motion.Off
+	u := m.cfg.UnreachableProb
+	n := len(m.locIdx) - 1
+
+	// Mark this interval's candidate set for O(1) membership tests.
+	for i, c := range cands {
+		if c.Loc >= 1 && c.Loc <= n {
+			m.locIdx[c.Loc] = int32(i)
+		}
+	}
+	if cap(m.pm) < len(cands) {
+		m.pm = make([]float64, len(cands))
+	}
+	pm := m.pm[:len(cands)]
+	for i := range pm {
+		pm[i] = 0
+	}
+
+	// Eq. 6 over the compiled adjacency: scatter each prior candidate's
+	// motion mass into the reachable members of the new candidate set.
+	var sumPrior float64
+	for _, prev := range m.prior {
+		sumPrior += prev.Prob
+		lo, hi := m.cmp.Row(prev.Loc)
+		for e := lo; e < hi; e++ {
+			ci := m.locIdx[m.cmp.Col(e)]
+			if ci < 0 {
+				continue
+			}
+			p := m.cmp.EdgeProb(e, d, o)
+			if p < u {
+				p = u
+			}
+			pm[ci] += prev.Prob * (p - u)
+		}
+	}
+	for _, c := range cands {
+		if c.Loc >= 1 && c.Loc <= n {
+			m.locIdx[c.Loc] = -1
+		}
+	}
+
+	// Eq. 7: fuse with the fingerprint probabilities.
+	base := sumPrior * u
+	post := append(m.postBuf[:0], cands...)
+	m.postBuf = post
+	var norm float64
+	for i := range post {
+		post[i].Prob = cands[i].Prob * (pm[i] + base)
+		norm += post[i].Prob
+	}
+	if norm <= 0 {
+		// Motion contradicts every candidate; fall back to fingerprints,
+		// as a fresh start.
+		m.prior = append(m.prior[:0], cands...)
+		return best(cands)
+	}
+	for i := range post {
+		post[i].Prob /= norm
+	}
+	ret := best(post)
+	for i := range post {
+		post[i].Prob = m.cfg.PriorBlend*post[i].Prob +
+			(1-m.cfg.PriorBlend)*cands[i].Prob
+	}
+	sortByProb(post)
+	m.prior, m.postBuf = post, m.prior
+	return ret
+}
+
+// localizeReference is the direct transcription of Eq. 3–7: a K×K
+// double loop of map lookups and exact Gaussian-interval evaluations.
+func (m *MoLoc) localizeReference(obs Observation) int {
 	cands := m.src.Candidates(obs.FP, m.cfg.K)
 	if len(cands) == 0 {
 		return 0
@@ -216,17 +366,50 @@ func best(cands []fingerprint.Candidate) int {
 // fix, it tracks the user with motion matching only, ignoring all
 // subsequent fingerprints. It shows why MoLoc fuses both signals: pure
 // motion drifts as soon as one transition is misjudged.
+//
+// Like MoLoc, NewDeadReckoning compiles the motion database and reuses
+// every per-interval buffer; NewDeadReckoningReference keeps the
+// O(n·K) transcription as the executable specification.
 type DeadReckoning struct {
-	src   fingerprint.CandidateSource
-	mdb   *motiondb.DB
-	cfg   Config
+	src fingerprint.CandidateSource
+	app fingerprint.CandidateAppender // non-nil when src supports appending
+	mdb *motiondb.DB
+	cmp *motiondb.Compiled // nil in reference mode
+	cfg Config
+
 	prior []fingerprint.Candidate
+
+	// Scratch reused across intervals by the compiled path.
+	candBuf  []fingerprint.Candidate
+	postBuf  []fingerprint.Candidate
+	touchBuf []fingerprint.Candidate
+	pmAll    []float64 // accumulated motion mass by location
+	seen     []bool    // touched marks by location
 }
 
 var _ Localizer = (*DeadReckoning)(nil)
 
-// NewDeadReckoning builds the motion-only ablation localizer.
+// NewDeadReckoning builds the motion-only ablation localizer, compiled
+// for the serving fast path.
 func NewDeadReckoning(src fingerprint.CandidateSource, mdb *motiondb.DB, cfg Config) (*DeadReckoning, error) {
+	dr, err := NewDeadReckoningReference(src, mdb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cmp, err := mdb.Compile(cfg.Alpha, cfg.Beta)
+	if err != nil {
+		return nil, err
+	}
+	dr.cmp = cmp
+	dr.app, _ = src.(fingerprint.CandidateAppender)
+	dr.pmAll = make([]float64, src.NumLocs()+1)
+	dr.seen = make([]bool, src.NumLocs()+1)
+	return dr, nil
+}
+
+// NewDeadReckoningReference builds the uncompiled reference ablation
+// localizer, the executable specification for the compiled fast path.
+func NewDeadReckoningReference(src fingerprint.CandidateSource, mdb *motiondb.DB, cfg Config) (*DeadReckoning, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -236,11 +419,157 @@ func NewDeadReckoning(src fingerprint.CandidateSource, mdb *motiondb.DB, cfg Con
 // Name implements Localizer.
 func (dr *DeadReckoning) Name() string { return "dead-reckoning" }
 
-// Reset implements Localizer.
-func (dr *DeadReckoning) Reset() { dr.prior = nil }
+// Reset implements Localizer. Scratch buffers are retained.
+func (dr *DeadReckoning) Reset() { dr.prior = dr.prior[:0] }
+
+// candidates queries the source, through the allocation-free append
+// API when the source supports it.
+func (dr *DeadReckoning) candidates(fp fingerprint.Fingerprint) []fingerprint.Candidate {
+	if dr.app != nil {
+		dr.candBuf = dr.app.CandidatesAppend(dr.candBuf[:0], fp, dr.cfg.K)
+		return dr.candBuf
+	}
+	return dr.src.Candidates(fp, dr.cfg.K)
+}
 
 // Localize implements Localizer.
 func (dr *DeadReckoning) Localize(obs Observation) int {
+	if dr.cmp != nil {
+		return dr.localizeCompiled(obs)
+	}
+	return dr.localizeReference(obs)
+}
+
+// localizeCompiled is the allocation-free serving path. The reference
+// evaluates Eq. 6 at every one of the n locations; almost all of them
+// have no motion-database edge from any prior candidate and share the
+// same floor mass sumPrior * UnreachableProb. The fast path therefore
+// walks only the compiled adjacency rows of the K prior candidates
+// ("touched" locations) and accounts for the untouched remainder in
+// closed form, including the top-K cut: a merge of the sorted touched
+// candidates with the (id-ascending, equal-mass) untouched stream.
+//
+//moloc:hotpath
+func (dr *DeadReckoning) localizeCompiled(obs Observation) int {
+	if len(dr.prior) == 0 || obs.Motion == nil {
+		cands := dr.candidates(obs.FP)
+		dr.prior = append(dr.prior[:0], cands...)
+		if len(dr.prior) == 0 {
+			return 0
+		}
+		return best(dr.prior)
+	}
+	d, o := obs.Motion.Dir, obs.Motion.Off
+	n := dr.src.NumLocs()
+	u := dr.cfg.UnreachableProb
+
+	// Scatter motion mass along the prior candidates' adjacency rows.
+	touched := dr.touchBuf[:0]
+	var sumPrior float64
+	for _, prev := range dr.prior {
+		sumPrior += prev.Prob
+		lo, hi := dr.cmp.Row(prev.Loc)
+		for e := lo; e < hi; e++ {
+			v := dr.cmp.Col(e)
+			if v > n {
+				continue // database knows more locations than the source
+			}
+			p := dr.cmp.EdgeProb(e, d, o)
+			if p < u {
+				p = u
+			}
+			if !dr.seen[v] {
+				dr.seen[v] = true
+				dr.pmAll[v] = 0
+				touched = append(touched, fingerprint.Candidate{Loc: v})
+			}
+			dr.pmAll[v] += prev.Prob * (p - u)
+		}
+	}
+	dr.touchBuf = touched
+
+	// Every untouched location carries exactly the floor mass. Filter
+	// the touched set to positive-mass locations in place; a dropped
+	// location (possible only when base == 0, so the merge below never
+	// consults seen) has its mark cleared here, because the in-place
+	// filter and sort scramble the shared backing array.
+	base := sumPrior * u
+	var norm float64
+	kept := 0
+	out := touched[:0]
+	for _, c := range touched {
+		c.Prob = dr.pmAll[c.Loc] + base
+		if c.Prob > 0 {
+			norm += c.Prob
+			out = append(out, c)
+		} else {
+			dr.seen[c.Loc] = false
+		}
+	}
+	untouched := n - len(touched)
+	kept = len(out)
+	if base > 0 {
+		norm += float64(untouched) * base
+		kept += untouched
+	}
+	if norm <= 0 || kept == 0 {
+		for _, c := range out {
+			dr.seen[c.Loc] = false
+		}
+		return best(dr.prior)
+	}
+
+	// Top-K cut, reproducing the reference's sort of the full posterior:
+	// merge the sorted touched candidates with the untouched stream,
+	// which is already ordered (equal probability, ascending ID).
+	sortByProb(out)
+	post := dr.postBuf[:0]
+	ti, uloc := 0, 1
+	for len(post) < dr.cfg.K && len(post) < kept {
+		nextU := 0
+		if base > 0 {
+			for uloc <= n && dr.seen[uloc] {
+				uloc++
+			}
+			if uloc <= n {
+				nextU = uloc
+			}
+		}
+		takeTouched := ti < len(out) &&
+			(nextU == 0 || out[ti].Prob > base ||
+				(out[ti].Prob == base && out[ti].Loc < nextU))
+		if takeTouched {
+			post = append(post, out[ti])
+			ti++
+		} else {
+			post = append(post, fingerprint.Candidate{Loc: nextU, Prob: base})
+			uloc++
+		}
+	}
+	for _, c := range out {
+		dr.seen[c.Loc] = false
+	}
+
+	for i := range post {
+		post[i].Prob /= norm
+	}
+	if kept > dr.cfg.K {
+		// The reference renormalizes only when the cut dropped mass.
+		var s float64
+		for _, c := range post {
+			s += c.Prob
+		}
+		for i := range post {
+			post[i].Prob /= s
+		}
+	}
+	dr.prior, dr.postBuf = post, dr.prior
+	return best(dr.prior)
+}
+
+// localizeReference is the direct transcription: Eq. 6 evaluated at
+// every location via map lookups and exact Gaussian intervals.
+func (dr *DeadReckoning) localizeReference(obs Observation) int {
 	if len(dr.prior) == 0 || obs.Motion == nil {
 		dr.prior = dr.src.Candidates(obs.FP, dr.cfg.K)
 		if len(dr.prior) == 0 {

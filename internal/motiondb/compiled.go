@@ -1,0 +1,330 @@
+// Compiled motion index: the serving-side fast path over a trained DB.
+//
+// The reference representation (DB.Lookup + Entry.Prob) pays, per
+// candidate pair and per fix, one map hash plus two GaussInterval
+// evaluations — four erf calls — in the inner loop of Eq. 6. At
+// production scale (ROADMAP: millions of users, one fix per interval
+// per session) that arithmetic dominates serving cost. Compile trades
+// a one-time preprocessing pass for a hot path that is two table
+// interpolations and a multiply:
+//
+//   - CSR adjacency: the trained pairs become a compressed sparse row
+//     graph over locations, with the mirrored direction materialized as
+//     its own directed edge at compile time, so lookups never hash and
+//     never copy-and-rotate an Entry.
+//   - Discretized probability tables: per canonical pair, the direction
+//     term of Eq. 5 is tabulated over the circle (node spacing a
+//     fraction of min(alpha, sigma_d)) and the offset term out to
+//     mu_o + 4 sigma_o (spacing a fraction of min(beta, sigma_o)).
+//     Queries interpolate linearly between nodes; offsets beyond the
+//     table fall back to the exact erf evaluation, where the
+//     probability mass is negligible anyway. Both directions of a pair
+//     share one table set: the direction term depends only on the
+//     angular difference to the (per-edge) mean.
+//
+// The interpolation error is bounded by h^2/8 * max|f''| per term,
+// which the node-spacing rule keeps below ~3e-4 in absolute
+// probability; TestCompiledProbMatchesReference pins the tolerance.
+package motiondb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"moloc/internal/geom"
+	"moloc/internal/stats"
+)
+
+// tableRes is the number of table nodes per discretization interval
+// (or per standard deviation, whichever is narrower). 16 keeps the
+// linear-interpolation error of each Eq. 5 term below ~3e-4 absolute:
+// err <= h^2/8 * max|f''| with h <= sigma/16 and |f''| <= 0.484/sigma^2.
+const tableRes = 16
+
+// Table-size clamps: lower bound so degenerate spreads still tabulate
+// smoothly, upper bound so one adversarial entry (huge range, tiny
+// sigma) cannot allocate unbounded memory.
+const (
+	minTableNodes = 16
+	maxTableNodes = 8192
+)
+
+// probTable holds the discretized Eq. 5 terms of one canonical pair.
+// Both traversal directions share it: the direction term is a function
+// of the angular difference to the edge's own mean, the offset term is
+// direction-independent.
+type probTable struct {
+	entry Entry // canonical (i < j) entry, for Lookup reconstruction
+
+	// dir[k] is the direction term at dd = -180 + k*dirH, k = 0..dirN.
+	dir     []float64
+	invDirH float64
+
+	// off[k] is the offset term at o = k*offH, k = 0..offN; offMax is
+	// the table's upper edge (mu_o + 4 sigma_o + beta/2), beyond which
+	// EdgeProb falls back to the exact evaluation.
+	off     []float64
+	invOffH float64
+	offMax  float64
+}
+
+// Compiled is an immutable, allocation-free view of a DB specialized
+// to the discretization intervals (alpha, beta) of Eq. 5. Build one
+// with DB.Compile; it is safe for concurrent use.
+type Compiled struct {
+	n     int
+	alpha float64
+	beta  float64
+
+	// CSR adjacency over 1-based locations: the edges leaving location
+	// u are rowStart[u-1] .. rowStart[u] (exclusive). cols holds the
+	// destination, meanDir the traversal-direction mean (already
+	// mirrored for the reverse edge), and table the probTable index.
+	rowStart []int32
+	cols     []int32
+	meanDir  []float64
+	table    []int32
+
+	tables []probTable
+}
+
+// Compile builds (and memoizes) the compiled view of the database for
+// the given Eq. 5 discretization intervals. Repeated calls with the
+// same intervals return the same view, so every localizer over one
+// database shares one set of tables. Entries are validated: a database
+// assembled through Set with degenerate spreads fails here rather than
+// producing garbage tables.
+//
+// Compile must not race with Set; the intended lifecycle is
+// build/load, then serve.
+func (db *DB) Compile(alpha, beta float64) (*Compiled, error) {
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) || alpha <= 0 ||
+		math.IsNaN(beta) || math.IsInf(beta, 0) || beta <= 0 {
+		return nil, fmt.Errorf("motiondb: discretization intervals must be positive and finite, got alpha=%g beta=%g", alpha, beta)
+	}
+	key := [2]float64{alpha, beta}
+	db.mu.Lock()
+	c := db.compiled[key]
+	db.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := db.compile(alpha, beta)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if db.compiled == nil {
+		db.compiled = make(map[[2]float64]*Compiled)
+	}
+	// Two racing compiles build identical views; keep the first so
+	// callers converge on one instance.
+	if prev := db.compiled[key]; prev != nil {
+		c = prev
+	} else {
+		db.compiled[key] = c
+	}
+	db.mu.Unlock()
+	return c, nil
+}
+
+// invalidateCompiled drops memoized views after a mutation (Set).
+func (db *DB) invalidateCompiled() {
+	db.mu.Lock()
+	db.compiled = nil
+	db.mu.Unlock()
+}
+
+func (db *DB) compile(alpha, beta float64) (*Compiled, error) {
+	pairs := db.Pairs()
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+
+	c := &Compiled{
+		n:        db.n,
+		alpha:    alpha,
+		beta:     beta,
+		rowStart: make([]int32, db.n+1),
+		cols:     make([]int32, 2*len(pairs)),
+		meanDir:  make([]float64, 2*len(pairs)),
+		table:    make([]int32, 2*len(pairs)),
+		tables:   make([]probTable, len(pairs)),
+	}
+
+	for ti, pair := range pairs {
+		e := db.entries[pair]
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("motiondb: compile pair (%d,%d): %w", pair[0], pair[1], err)
+		}
+		c.tables[ti] = buildProbTable(e, alpha, beta)
+	}
+
+	// CSR fill in two passes over the sorted pairs: first the reverse
+	// edges (targets below the row), then the forward edges, so each
+	// row's columns come out strictly ascending without a per-row sort.
+	deg := make([]int32, db.n)
+	for _, p := range pairs {
+		deg[p[0]-1]++
+		deg[p[1]-1]++
+	}
+	for u := 0; u < db.n; u++ {
+		c.rowStart[u+1] = c.rowStart[u] + deg[u]
+	}
+	cursor := make([]int32, db.n)
+	copy(cursor, c.rowStart[:db.n])
+	for ti, p := range pairs { // reverse edges: j -> i, i < j
+		u, v := p[1], p[0]
+		k := cursor[u-1]
+		cursor[u-1]++
+		c.cols[k] = int32(v)
+		c.meanDir[k] = geom.MirrorBearing(c.tables[ti].entry.MeanDir)
+		c.table[k] = int32(ti)
+	}
+	for ti, p := range pairs { // forward edges: i -> j
+		u, v := p[0], p[1]
+		k := cursor[u-1]
+		cursor[u-1]++
+		c.cols[k] = int32(v)
+		c.meanDir[k] = c.tables[ti].entry.MeanDir
+		c.table[k] = int32(ti)
+	}
+	return c, nil
+}
+
+// buildProbTable discretizes the two Eq. 5 terms of one entry.
+func buildProbTable(e Entry, alpha, beta float64) probTable {
+	t := probTable{entry: e}
+
+	span := math.Min(alpha, e.StdDir)
+	dirN := clampNodes(360 * tableRes / span)
+	dirH := 360 / float64(dirN)
+	t.invDirH = 1 / dirH
+	t.dir = make([]float64, dirN+1)
+	for k := 0; k <= dirN; k++ {
+		//lint:ignore degnorm table node placement over [-180,180], not bearing arithmetic
+		dd := -180 + float64(k)*dirH
+		t.dir[k] = stats.GaussInterval(dd-alpha/2, dd+alpha/2, 0, e.StdDir)
+	}
+
+	t.offMax = e.MeanOff + 4*e.StdOff + beta/2
+	span = math.Min(beta, e.StdOff)
+	offN := clampNodes(t.offMax * tableRes / span)
+	offH := t.offMax / float64(offN)
+	t.invOffH = 1 / offH
+	t.off = make([]float64, offN+1)
+	for k := 0; k <= offN; k++ {
+		o := float64(k) * offH
+		t.off[k] = stats.GaussInterval(o-beta/2, o+beta/2, e.MeanOff, e.StdOff)
+	}
+	return t
+}
+
+func clampNodes(n float64) int {
+	if !(n > minTableNodes) { // also catches NaN
+		return minTableNodes
+	}
+	if n > maxTableNodes {
+		return maxTableNodes
+	}
+	return int(math.Ceil(n))
+}
+
+// NumLocs returns the number of reference locations.
+func (c *Compiled) NumLocs() int { return c.n }
+
+// Alpha returns the direction discretization interval the view was
+// compiled for.
+func (c *Compiled) Alpha() float64 { return c.alpha }
+
+// Beta returns the offset discretization interval the view was
+// compiled for.
+func (c *Compiled) Beta() float64 { return c.beta }
+
+// NumEdges returns the number of directed edges (twice the trained
+// pairs: mirrors are materialized).
+func (c *Compiled) NumEdges() int { return len(c.cols) }
+
+// Row returns the half-open edge-index range [lo, hi) of the directed
+// edges leaving location u. Out-of-range locations have no edges.
+//
+//moloc:hotpath
+func (c *Compiled) Row(u int) (lo, hi int32) {
+	if u < 1 || u > c.n {
+		return 0, 0
+	}
+	return c.rowStart[u-1], c.rowStart[u]
+}
+
+// Col returns the destination location of edge k.
+//
+//moloc:hotpath
+func (c *Compiled) Col(k int32) int { return int(c.cols[k]) }
+
+// EdgeProb evaluates the motion-matching probability of Eq. 5 along
+// edge k for the measured direction (degrees) and offset (meters): the
+// product of the tabulated direction and offset terms, linearly
+// interpolated between table nodes. Offsets beyond the table's range —
+// past mu_o + 4 sigma_o, where under 1e-4 of the Gaussian mass lives —
+// and non-finite measurements take the exact evaluation instead.
+//
+//moloc:hotpath
+func (c *Compiled) EdgeProb(k int32, dirDeg, offMeters float64) float64 {
+	t := &c.tables[c.table[k]]
+	dd := geom.AngleDiff(dirDeg, c.meanDir[k])
+	if math.IsNaN(dd) {
+		return c.edgeProbExact(k, dirDeg, offMeters)
+	}
+	//lint:ignore degnorm table index offset: dd is already a normalized AngleDiff in [-180,180)
+	x := (dd + 180) * t.invDirH
+	i := int(x)
+	fx := x - float64(i)
+	pd := t.dir[i] + fx*(t.dir[i+1]-t.dir[i])
+
+	y := offMeters * t.invOffH
+	if !(y >= 0 && y < float64(len(t.off)-1)) { // beyond table or NaN
+		return pd * c.offProbExact(k, offMeters)
+	}
+	j := int(y)
+	fy := y - float64(j)
+	po := t.off[j] + fy*(t.off[j+1]-t.off[j])
+	return pd * po
+}
+
+// edgeProbExact is the slow-path evaluation of EdgeProb, identical to
+// Entry.Prob on the edge's (mirrored) entry.
+func (c *Compiled) edgeProbExact(k int32, dirDeg, offMeters float64) float64 {
+	e := c.tables[c.table[k]].entry
+	e.MeanDir = c.meanDir[k]
+	return e.Prob(dirDeg, offMeters, c.alpha, c.beta)
+}
+
+// offProbExact evaluates the offset term exactly, for offsets beyond
+// the table.
+func (c *Compiled) offProbExact(k int32, offMeters float64) float64 {
+	e := &c.tables[c.table[k]].entry
+	return stats.GaussInterval(offMeters-c.beta/2, offMeters+c.beta/2, e.MeanOff, e.StdOff)
+}
+
+// Lookup returns the entry for walking from location i to location j,
+// like DB.Lookup, but from the compiled adjacency: a binary search of
+// the CSR row, with the mirror already materialized (no copy-and-
+// rotate).
+func (c *Compiled) Lookup(i, j int) (Entry, bool) {
+	if i == j || i < 1 || j < 1 || i > c.n || j > c.n {
+		return Entry{}, false
+	}
+	lo, hi := c.rowStart[i-1], c.rowStart[i]
+	row := c.cols[lo:hi]
+	k := sort.Search(len(row), func(x int) bool { return row[x] >= int32(j) })
+	if k == len(row) || row[k] != int32(j) {
+		return Entry{}, false
+	}
+	e := c.tables[c.table[lo+int32(k)]].entry
+	e.MeanDir = c.meanDir[lo+int32(k)]
+	return e, true
+}

@@ -1,0 +1,176 @@
+package motiondb
+
+import (
+	"math"
+	"testing"
+)
+
+// compiledFixtureDB builds a small trained database with varied spreads,
+// including a tight-sigma entry and a long-offset entry, so the table
+// construction sees more than one regime.
+func compiledFixtureDB() *DB {
+	db := New(6)
+	db.Set(1, 2, Entry{MeanDir: 90, StdDir: 6, MeanOff: 4, StdOff: 0.25, N: 20})
+	db.Set(1, 3, Entry{MeanDir: 270, StdDir: 6, MeanOff: 4, StdOff: 0.25, N: 20})
+	db.Set(2, 3, Entry{MeanDir: 270, StdDir: 12, MeanOff: 8, StdOff: 0.4, N: 20})
+	db.Set(3, 4, Entry{MeanDir: 0, StdDir: 3, MeanOff: 2.5, StdOff: 0.15, N: 9})
+	db.Set(4, 6, Entry{MeanDir: 181, StdDir: 25, MeanOff: 23, StdOff: 2.5, N: 40})
+	db.Set(5, 6, Entry{MeanDir: 45.5, StdDir: 8, MeanOff: 5.5, StdOff: 0.3, N: 12})
+	return db
+}
+
+func mustCompile(t *testing.T, db *DB, alpha, beta float64) *Compiled {
+	t.Helper()
+	c, err := db.Compile(alpha, beta)
+	if err != nil {
+		t.Fatalf("Compile(%g, %g): %v", alpha, beta, err)
+	}
+	return c
+}
+
+// TestCompiledProbMatchesReference pins the table-interpolation error:
+// EdgeProb must track Entry.Prob within the documented tolerance over a
+// dense grid of directions and offsets, in both traversal directions,
+// including offsets beyond the table (exact fallback).
+func TestCompiledProbMatchesReference(t *testing.T) {
+	db := compiledFixtureDB()
+	const alpha, beta = 20, 1
+	c := mustCompile(t, db, alpha, beta)
+	const tol = 1e-3
+
+	for _, pair := range db.Pairs() {
+		dirs := []struct{ i, j int }{{pair[0], pair[1]}, {pair[1], pair[0]}}
+		for _, d := range dirs {
+			e, ok := db.Lookup(d.i, d.j)
+			if !ok {
+				t.Fatalf("Lookup(%d,%d) missing", d.i, d.j)
+			}
+			lo, hi := c.Row(d.i)
+			k := lo
+			for ; k < hi; k++ {
+				if c.Col(k) == d.j {
+					break
+				}
+			}
+			if k == hi {
+				t.Fatalf("edge %d->%d missing from compiled adjacency", d.i, d.j)
+			}
+			for dir := -360.0; dir <= 720; dir += 7.3 {
+				for off := 0.0; off <= 40; off += 0.37 {
+					want := e.Prob(dir, off, alpha, beta)
+					got := c.EdgeProb(k, dir, off)
+					if math.Abs(got-want) > tol {
+						t.Fatalf("EdgeProb(%d->%d, dir=%g, off=%g) = %g, reference %g (diff %g)",
+							d.i, d.j, dir, off, got, want, math.Abs(got-want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledLookupMatchesDB checks the CSR binary-search lookup
+// against the map-based one for every pair and for misses.
+func TestCompiledLookupMatchesDB(t *testing.T) {
+	db := compiledFixtureDB()
+	c := mustCompile(t, db, 20, 1)
+	for i := 0; i <= 7; i++ {
+		for j := 0; j <= 7; j++ {
+			we, wok := db.Lookup(i, j)
+			ge, gok := c.Lookup(i, j)
+			if wok != gok {
+				t.Fatalf("Lookup(%d,%d): compiled ok=%v, db ok=%v", i, j, gok, wok)
+			}
+			if wok && ge != we {
+				t.Fatalf("Lookup(%d,%d): compiled %+v, db %+v", i, j, ge, we)
+			}
+		}
+	}
+}
+
+// TestCompiledCSRShape checks the adjacency invariants: every trained
+// pair contributes exactly two directed edges, and each row's columns
+// are strictly ascending (the binary search relies on it).
+func TestCompiledCSRShape(t *testing.T) {
+	db := compiledFixtureDB()
+	c := mustCompile(t, db, 20, 1)
+	if got, want := c.NumEdges(), 2*len(db.Pairs()); got != want {
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	for u := 1; u <= c.NumLocs(); u++ {
+		lo, hi := c.Row(u)
+		for k := lo + 1; k < hi; k++ {
+			if c.Col(k-1) >= c.Col(k) {
+				t.Fatalf("row %d columns not strictly ascending: %d then %d",
+					u, c.Col(k-1), c.Col(k))
+			}
+		}
+	}
+	if lo, hi := c.Row(0); lo != hi {
+		t.Error("out-of-range location must have an empty row")
+	}
+	if lo, hi := c.Row(c.NumLocs() + 1); lo != hi {
+		t.Error("out-of-range location must have an empty row")
+	}
+}
+
+// TestCompileMemoizes checks that repeated compilations with the same
+// intervals share one view and that a mutation invalidates it.
+func TestCompileMemoizes(t *testing.T) {
+	db := compiledFixtureDB()
+	a := mustCompile(t, db, 20, 1)
+	if b := mustCompile(t, db, 20, 1); b != a {
+		t.Error("same intervals must return the memoized view")
+	}
+	if b := mustCompile(t, db, 10, 1); b == a {
+		t.Error("different intervals must compile a fresh view")
+	}
+	db.Set(5, 6, Entry{MeanDir: 50, StdDir: 8, MeanOff: 5.5, StdOff: 0.3, N: 13})
+	c := mustCompile(t, db, 20, 1)
+	if c == a {
+		t.Error("Set must invalidate memoized views")
+	}
+	if e, ok := c.Lookup(5, 6); !ok || e.MeanDir != 50 {
+		t.Errorf("recompiled view must see the new entry, got %+v, %v", e, ok)
+	}
+}
+
+// TestCompileRejectsBadInput checks parameter and entry validation.
+func TestCompileRejectsBadInput(t *testing.T) {
+	db := compiledFixtureDB()
+	for _, bad := range [][2]float64{
+		{0, 1}, {-5, 1}, {20, 0}, {20, -2},
+		{math.NaN(), 1}, {20, math.NaN()}, {math.Inf(1), 1},
+	} {
+		if _, err := db.Compile(bad[0], bad[1]); err == nil {
+			t.Errorf("Compile(%g, %g) should fail", bad[0], bad[1])
+		}
+	}
+	corrupt := New(3)
+	corrupt.Set(1, 2, Entry{MeanDir: 90, StdDir: -1, MeanOff: 4, StdOff: 0.25, N: 5})
+	if _, err := corrupt.Compile(20, 1); err == nil {
+		t.Error("compiling a corrupt entry should fail")
+	}
+}
+
+// TestEdgeProbNonFinite checks the NaN/Inf fallbacks agree with the
+// reference (which itself tolerates them).
+func TestEdgeProbNonFinite(t *testing.T) {
+	db := compiledFixtureDB()
+	c := mustCompile(t, db, 20, 1)
+	e, _ := db.Lookup(1, 2)
+	lo, _ := c.Row(1)
+	k := lo
+	for c.Col(k) != 2 {
+		k++
+	}
+	for _, q := range [][2]float64{
+		{math.NaN(), 4}, {90, math.NaN()}, {math.Inf(1), 4}, {90, math.Inf(1)}, {90, -3},
+	} {
+		want := e.Prob(q[0], q[1], 20, 1)
+		got := c.EdgeProb(k, q[0], q[1])
+		if math.Abs(got-want) > 1e-3 && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("EdgeProb(dir=%g, off=%g) = %g, reference %g", q[0], q[1], got, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
 
 	"moloc/internal/floorplan"
 	"moloc/internal/geom"
@@ -75,6 +76,12 @@ func (e Entry) Prob(dirDeg, offMeters, alpha, beta float64) float64 {
 type DB struct {
 	n       int
 	entries map[[2]int]Entry // canonical key: i < j
+
+	mu sync.Mutex
+	// compiled memoizes Compile's views per (alpha, beta) so every
+	// localizer over this database shares one table set; Set
+	// invalidates it.
+	compiled map[[2]float64]*Compiled
 }
 
 // New creates an empty motion database for n locations.
@@ -103,6 +110,7 @@ func (db *DB) Set(i, j int, e Entry) {
 		e = e.Mirror()
 	}
 	db.entries[[2]int{i, j}] = e
+	db.invalidateCompiled()
 }
 
 // Lookup returns the entry for walking from location i to location j.

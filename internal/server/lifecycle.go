@@ -7,6 +7,7 @@
 package server
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -49,6 +50,12 @@ type Options struct {
 	// MaxIMUBatch bounds samples per IMU upload; larger batches answer
 	// 413.
 	MaxIMUBatch int
+	// Workers sizes the data-plane worker pool: imu, scan, and tick
+	// requests run on a fixed set of workers sharded by session ID (one
+	// session always lands on the same worker), so tracker CPU is
+	// bounded regardless of client concurrency. Zero selects
+	// GOMAXPROCS.
+	Workers int
 	// Now is the clock, overridable by tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -69,6 +76,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxIMUBatch <= 0 {
 		o.MaxIMUBatch = DefaultMaxIMUBatch
+	}
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -172,11 +182,14 @@ func (s *Server) Start() {
 	})
 }
 
-// Close stops the background sweeper and waits for it to exit. It does
-// not tear down live sessions; the process is expected to exit after.
+// Close stops the background sweeper and the data-plane worker pool
+// (in-flight requests finish; later ones answer 503) and waits for
+// both to exit. It does not tear down live sessions; the process is
+// expected to exit after.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.done) })
 	s.wg.Wait()
+	s.pool.close()
 }
 
 // sweepOnce evicts every session idle beyond the TTL and returns how

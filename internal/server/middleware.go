@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/metrics"
+	"sync"
 	"time"
 
 	"moloc/internal/obs"
@@ -26,6 +28,8 @@ type serverMetrics struct {
 	sessionsExpired  *obs.Counter
 	sessionsRejected *obs.Counter
 	tickSeconds      *obs.Histogram
+	fixSeconds       *obs.Histogram
+	tickAllocBytes   *obs.Histogram
 	candidateSetSize *obs.Histogram
 }
 
@@ -38,8 +42,34 @@ func newServerMetrics() *serverMetrics {
 		sessionsExpired:  reg.Counter("sessions_expired"),
 		sessionsRejected: reg.Counter("sessions_rejected"),
 		tickSeconds:      reg.Histogram("tick_seconds", obs.LatencyBuckets),
+		fixSeconds:       reg.Histogram("fix_seconds", obs.LatencyBuckets),
+		tickAllocBytes:   reg.Histogram("tick_alloc_bytes", obs.BytesBuckets),
 		candidateSetSize: reg.Histogram("candidate_set_size", obs.SizeBuckets),
 	}
+}
+
+// allocSamples recycles the runtime/metrics sample buffers used to
+// measure per-tick heap allocation, so the measurement itself stays
+// allocation-free.
+var allocSamples = sync.Pool{
+	New: func() interface{} {
+		s := make([]metrics.Sample, 1)
+		s[0].Name = "/gc/heap/allocs:bytes"
+		return &s
+	},
+}
+
+// heapAllocBytes reads the process's cumulative heap-allocation
+// counter. Deltas around a code region approximate its allocation
+// volume; concurrent goroutines add noise, which is acceptable for a
+// histogram whose job is to catch the fast path regressing from the
+// zero bucket.
+func heapAllocBytes() uint64 {
+	sp := allocSamples.Get().(*[]metrics.Sample)
+	metrics.Read(*sp)
+	v := (*sp)[0].Value.Uint64()
+	allocSamples.Put(sp)
+	return v
 }
 
 // request records one served request.

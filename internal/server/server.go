@@ -45,6 +45,7 @@ type Server struct {
 	mcfg   motion.Config
 	opts   Options
 	met    *serverMetrics
+	pool   *workerPool
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -77,17 +78,38 @@ func NewWithOptions(plan *floorplan.Plan, src fingerprint.CandidateSource, numAP
 		return nil, fmt.Errorf("server: plan (%d), source (%d), and motion DB (%d) disagree on locations",
 			plan.NumLocs(), src.NumLocs(), mdb.NumLocs())
 	}
+	o := opts.withDefaults()
 	return &Server{
 		plan:     plan,
 		src:      src,
 		mdb:      mdb,
 		numAPs:   numAPs,
 		mcfg:     mcfg,
-		opts:     opts.withDefaults(),
+		opts:     o,
 		met:      newServerMetrics(),
+		pool:     newWorkerPool(o.Workers),
 		done:     make(chan struct{}),
 		sessions: make(map[string]*session),
 	}, nil
+}
+
+// runSharded executes fn on the session's tracker from the worker pool
+// (see pool.go): same-session requests serialize on one worker, and
+// distinct sessions spread across the pool. It writes the HTTP error
+// itself and reports false when the session is gone or the server is
+// shutting down.
+func (s *Server) runSharded(w http.ResponseWriter, ss *session, fn func(tk *tracker.Tracker)) bool {
+	now := s.opts.Now()
+	alive := false
+	if !s.pool.run(ss.id, func() { alive = ss.withTracker(now, fn) }) {
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return false
+	}
+	if !alive {
+		httpError(w, http.StatusNotFound, "session expired")
+		return false
+	}
+	return true
 }
 
 // Handler returns the HTTP handler for the API. Routing is explicit
@@ -306,13 +328,11 @@ func (s *Server) handleIMU(w http.ResponseWriter, r *http.Request) {
 				len(req.Samples), s.opts.MaxIMUBatch))
 		return
 	}
-	alive := ss.withTracker(s.opts.Now(), func(tk *tracker.Tracker) {
+	if !s.runSharded(w, ss, func(tk *tracker.Tracker) {
 		for _, smp := range req.Samples {
 			tk.AddIMU(smp)
 		}
-	})
-	if !alive {
-		httpError(w, http.StatusNotFound, "session expired")
+	}) {
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
@@ -332,11 +352,9 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("scan has %d APs, deployment has %d", len(req.RSS), s.numAPs))
 		return
 	}
-	alive := ss.withTracker(s.opts.Now(), func(tk *tracker.Tracker) {
+	if !s.runSharded(w, ss, func(tk *tracker.Tracker) {
 		tk.AddScan(req.T, fingerprint.Fingerprint(req.RSS))
-	})
-	if !alive {
-		httpError(w, http.StatusNotFound, "session expired")
+	}) {
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
@@ -356,18 +374,22 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 		gotFix bool
 	)
 	start := time.Now()
-	alive := ss.withTracker(s.opts.Now(), func(tk *tracker.Tracker) {
+	if !s.runSharded(w, ss, func(tk *tracker.Tracker) {
+		a0 := heapAllocBytes()
+		t0 := time.Now()
 		fix, gotFix = tk.Tick(req.T)
-	})
-	if !alive {
-		httpError(w, http.StatusNotFound, "session expired")
+		s.met.tickSeconds.Observe(time.Since(t0).Seconds())
+		s.met.tickAllocBytes.Observe(float64(heapAllocBytes() - a0))
+	}) {
 		return
 	}
-	s.met.tickSeconds.Observe(time.Since(start).Seconds())
 	if !gotFix {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	// Fix latency is end to end from the handler's point of view: queue
+	// wait on the session's worker plus tracker compute.
+	s.met.fixSeconds.Observe(time.Since(start).Seconds())
 	s.met.candidateSetSize.Observe(float64(len(fix.Candidates)))
 	writeJSON(w, http.StatusOK, s.toResp(fix))
 }

@@ -237,12 +237,16 @@ func (t *Tracker) Tick(now float64) (Fix, bool) {
 			continue
 		}
 		samples := t.samples[:cut:cut]
-		t.samples = t.samples[cut:]
 		t.intervalStart = end
 		t.stats.IntervalsClosed++
 		if fix, ok := t.closeInterval(start, end, samples); ok {
 			last, emitted = fix, true
 		}
+		// Compact the consumed interval out of the buffer front so a
+		// long-lived session reuses one backing array instead of letting
+		// re-slicing walk it forward realloc by realloc.
+		n := copy(t.samples, t.samples[cut:])
+		t.samples = t.samples[:n]
 		t.pruneScans()
 	}
 	return last, emitted
@@ -316,10 +320,13 @@ func (t *Tracker) closeInterval(start, end float64, samples []sensors.Sample) (F
 
 	loc := t.ml.Localize(obs)
 	fix := Fix{
-		T:          end,
-		Loc:        loc,
-		Moved:      obs.Motion != nil && t.lastFix != nil,
-		Candidates: t.ml.Candidates(),
+		T:     end,
+		Loc:   loc,
+		Moved: obs.Motion != nil && t.lastFix != nil,
+		// Fixes outlive the interval (LastFix, API responses), so the
+		// candidate set is copied: the localizer reuses its backing
+		// buffer on the next Localize.
+		Candidates: append([]fingerprint.Candidate(nil), t.ml.Candidates()...),
 	}
 
 	// Online placement calibration: a walking interval that moved the
