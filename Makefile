@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json experiments examples smoke clean
+.PHONY: all build vet lint test race cover bench bench-json bench-diff experiments examples smoke clean
 
 all: build vet lint test
 
@@ -42,15 +42,22 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable perf artifact: run the hot-path benchmarks and emit
-# BENCH_PR3.json via cmd/benchjson, one data point in the repo's perf
+# BENCH_PR4.json via cmd/benchjson, one data point in the repo's perf
 # trajectory. BENCHTIME trades precision for CI time.
 BENCHTIME ?= 1s
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkFingerprintKNN|BenchmarkMotionMatchProb|BenchmarkMoLocLocalize|BenchmarkScalability' \
+	$(GO) test -run '^$$' -bench 'BenchmarkFingerprintKNN|BenchmarkMotionMatchProb|BenchmarkMoLocLocalize|BenchmarkScalability|BenchmarkMotionTrain|BenchmarkRecompileEdges|BenchmarkIngestUnderLoad' \
 		-benchmem -benchtime $(BENCHTIME) -count 1 . > bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < bench.out
 	rm -f bench.out
+
+# Perf gate: regenerate the artifact and compare ns/op against the
+# previous PR's pinned numbers; benchmarks shared by both suites must
+# not regress beyond 25%.
+OLD ?= BENCH_PR3.json
+bench-diff: bench-json
+	$(GO) run ./cmd/benchjson -diff -max-regress 25 $(OLD) $(BENCH_JSON)
 
 # Compile-check and run every example once.
 examples:

@@ -1,0 +1,280 @@
+// Online-training benchmarks (PR 4): crowd ingestion serial vs
+// parallel, incremental edge recompilation vs the full compile it
+// replaces, and server-level ingest throughput under concurrent
+// retrains. These pin the perf trajectory of the live-refresh path in
+// BENCH_PR4.json alongside the serving-path numbers.
+package moloc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"moloc/internal/core"
+	"moloc/internal/crowd"
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/rf"
+	"moloc/internal/sensors"
+	"moloc/internal/server"
+	"moloc/internal/stats"
+	"moloc/internal/trace"
+)
+
+type crowdBench struct {
+	pipe   *crowd.Pipeline
+	graph  *floorplan.WalkGraph
+	traces []*trace.Trace
+}
+
+var (
+	crowdBenchOnce sync.Once
+	crowdBenchVal  *crowdBench
+	crowdBenchErr  error
+)
+
+// crowdBenchFixture builds the crowd-ingestion input once: the paper's
+// floor plan, a surveyed fingerprint database, and a batch of raw
+// crowd traces ready for the trace-processing pipeline.
+func crowdBenchFixture(b *testing.B) *crowdBench {
+	b.Helper()
+	crowdBenchOnce.Do(func() {
+		crowdBenchErr = func() error {
+			plan := floorplan.OfficeHall()
+			graph := floorplan.BuildWalkGraph(plan, floorplan.OfficeHallAdjDist)
+			model, err := rf.NewModel(plan, rf.NewParams(), 1)
+			if err != nil {
+				return err
+			}
+			survey, err := fingerprint.Survey(model, fingerprint.NewSurveyConfig(), stats.NewRNG(1))
+			if err != nil {
+				return err
+			}
+			fdb, err := survey.BuildDB(fingerprint.Euclidean{}, model.NumAPs())
+			if err != nil {
+				return err
+			}
+			pipe, err := crowd.NewPipeline(plan, fdb, survey.MotionEst, motion.NewConfig())
+			if err != nil {
+				return err
+			}
+			sg, err := sensors.NewGenerator(sensors.NewParams())
+			if err != nil {
+				return err
+			}
+			tcfg := trace.NewConfig()
+			tcfg.NumLegs = 10
+			tg, err := trace.NewGenerator(plan, graph, sg, motion.NewConfig(), tcfg)
+			if err != nil {
+				return err
+			}
+			crowdBenchVal = &crowdBench{
+				pipe:   pipe,
+				graph:  graph,
+				traces: tg.GenerateBatch(trace.DefaultUsers(), 64, stats.NewRNG(3)),
+			}
+			return nil
+		}()
+	})
+	if crowdBenchErr != nil {
+		b.Fatalf("building crowd fixture: %v", crowdBenchErr)
+	}
+	return crowdBenchVal
+}
+
+// BenchmarkMotionTrain measures crowd ingestion end to end — trace
+// processing, sanitation, and streaming moment accumulation — serial
+// against the sharded parallel build. The worker-invariance test
+// (internal/crowd) pins that both produce bit-identical databases; the
+// benchmark pins what the parallelism buys.
+func BenchmarkMotionTrain(b *testing.B) {
+	fx := crowdBenchFixture(b)
+	cfg := motiondb.NewBuilderConfig()
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := crowd.BuildMotionDB(fx.pipe, fx.graph, fx.traces, cfg, stats.NewRNG(17)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := crowd.BuildMotionDBParallel(fx.pipe, fx.graph, fx.traces, cfg, stats.NewRNG(17), 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchGridDB is the 512-location (32x16 grid, 976 trained pairs)
+// database the incremental recompile is sized against, mirroring the
+// equivalence test's fixture in internal/motiondb.
+func benchGridDB() *motiondb.DB {
+	const cols, rows = 32, 16
+	db := motiondb.New(cols * rows)
+	id := func(r, c int) int { return r*cols + c + 1 }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := id(r, c)
+			e := func(j int) motiondb.Entry {
+				return motiondb.Entry{
+					MeanDir: float64((i*37 + j*11) % 360),
+					StdDir:  5 + float64(i%7),
+					MeanOff: 2 + float64(j%9),
+					StdOff:  0.2 + 0.05*float64(i%5),
+					N:       10 + i%13,
+				}
+			}
+			if c+1 < cols {
+				db.Set(i, id(r, c+1), e(id(r, c+1)))
+			}
+			if r+1 < rows {
+				db.Set(i, id(r+1, c), e(id(r+1, c)))
+			}
+		}
+	}
+	return db
+}
+
+// BenchmarkRecompileEdges is the tentpole's cost comparison at 512
+// locations: a full Compile of the whole database (what every retrain
+// used to pay) against RecompileEdges over a ~5% dirty set (what the
+// online retrainer pays now). The "full" variant re-Sets one entry per
+// iteration so the (alpha, beta) compile memo cannot serve a cached
+// view.
+func BenchmarkRecompileEdges(b *testing.B) {
+	const alpha, beta = 20, 1
+	db := benchGridDB()
+	base, err := db.Compile(alpha, beta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := db.Pairs()
+	var dirty [][2]int
+	for k := 0; k < len(pairs); k += 20 { // ~5% of 976 pairs
+		dirty = append(dirty, pairs[k])
+	}
+	touch, _ := db.Lookup(dirty[0][0], dirty[0][1])
+
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db.Set(dirty[0][0], dirty[0][1], touch) // invalidate the memo
+			if _, err := db.Compile(alpha, beta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dirty", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(dirty)), "dirty-edges")
+		for i := 0; i < b.N; i++ {
+			if _, err := base.RecompileEdges(db, dirty); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIngestUnderLoad drives the server's online-training surface
+// at the handler level: each iteration posts one observation batch,
+// one IMU batch, one scan, and one tick for a live session, with a
+// retrain (snapshot republication) folded in every eighth iteration —
+// the steady-state mix of a deployment learning while it serves.
+func BenchmarkIngestUnderLoad(b *testing.B) {
+	cfg := core.NewConfig()
+	cfg.NumTrainTraces = 50
+	cfg.NumTestTraces = 2
+	sys, err := core.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fdb, err := sys.Survey.BuildDB(fingerprint.Euclidean{}, sys.Model.NumAPs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := server.New(sys.Plan, fdb, sys.Model.NumAPs(), sys.MDB, sys.Config.Motion)
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	do := func(method, path string, body interface{}) *httptest.ResponseRecorder {
+		data, err := json.Marshal(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest(method, path, bytes.NewReader(data))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec
+	}
+
+	rec := do(http.MethodPost, "/v1/sessions", map[string]float64{"height_m": 1.7, "weight_kg": 70})
+	if rec.Code != http.StatusCreated {
+		b.Fatalf("create session: status %d body %s", rec.Code, rec.Body.String())
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		b.Fatal(err)
+	}
+	base := "/v1/sessions/" + created.SessionID
+
+	pairs := sys.MDB.Pairs()
+	batches := make([][]motiondb.Observation, len(pairs))
+	for k, p := range pairs {
+		gtDir, gtOff := floorplan.GroundTruthRLM(sys.Plan, p[0], p[1])
+		obs := make([]motiondb.Observation, 8)
+		for n := range obs {
+			obs[n] = motiondb.Observation{
+				From: p[0], To: p[1],
+				RLM: motion.RLM{
+					Dir: geom.NormalizeDeg(gtDir + float64(n%5) - 2),
+					Off: gtOff + 0.1*float64(n%3),
+				},
+			}
+		}
+		batches[k] = obs
+	}
+	rss := make([]float64, sys.Model.NumAPs())
+	for i := range rss {
+		rss[i] = -60
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := do(http.MethodPost, "/v1/observations",
+			map[string]interface{}{"observations": batches[i%len(batches)]}); rec.Code != http.StatusAccepted && rec.Code != http.StatusTooManyRequests {
+			b.Fatalf("ingest: status %d body %s", rec.Code, rec.Body.String())
+		}
+		t := float64(i+1) * 0.3
+		if rec := do(http.MethodPost, base+"/imu",
+			map[string]interface{}{"samples": []sensors.Sample{{T: t, Accel: 9.8, Compass: 90}}}); rec.Code >= 400 {
+			b.Fatalf("imu: status %d body %s", rec.Code, rec.Body.String())
+		}
+		if rec := do(http.MethodPost, base+"/scan",
+			map[string]interface{}{"t": t, "rss": rss}); rec.Code >= 400 {
+			b.Fatalf("scan: status %d body %s", rec.Code, rec.Body.String())
+		}
+		if rec := do(http.MethodPost, base+"/tick",
+			map[string]float64{"t": t}); rec.Code >= 400 {
+			b.Fatalf("tick: status %d body %s", rec.Code, rec.Body.String())
+		}
+		if i%8 == 7 {
+			if _, err := srv.RetrainNow(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

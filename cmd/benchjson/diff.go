@@ -1,0 +1,92 @@
+// Diff mode: compare two benchjson artifacts and fail on regressions.
+// CI runs it against the previous PR's pinned artifact so a ns/op
+// regression on a shared benchmark breaks the build instead of slipping
+// into the trajectory unnoticed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// diffRow is one compared benchmark.
+type diffRow struct {
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	DeltaPct   float64 // (new-old)/old * 100; negative is faster
+	Regression bool    // DeltaPct exceeds the threshold
+}
+
+// loadSuite reads one benchjson artifact from disk.
+func loadSuite(path string) (*Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Suite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// diffSuites compares ns/op for every benchmark present in both suites.
+// maxRegress is the allowed slowdown in percent; a shared benchmark
+// slower by more than that is marked a regression. Benchmarks present
+// in only one suite are ignored — new benchmarks must be free to
+// appear, and retired ones to go.
+func diffSuites(oldS, newS *Suite, maxRegress float64) []diffRow {
+	oldByName := make(map[string]Record, len(oldS.Benchmarks))
+	for _, r := range oldS.Benchmarks {
+		oldByName[r.Name] = r
+	}
+	var rows []diffRow
+	for _, nr := range newS.Benchmarks {
+		or, ok := oldByName[nr.Name]
+		if !ok || or.NsPerOp <= 0 {
+			continue
+		}
+		delta := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		rows = append(rows, diffRow{
+			Name:       nr.Name,
+			OldNs:      or.NsPerOp,
+			NewNs:      nr.NsPerOp,
+			DeltaPct:   delta,
+			Regression: delta > maxRegress,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// runDiff loads both artifacts, prints the comparison table, and
+// reports whether any shared benchmark regressed beyond the threshold.
+func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64) (regressed bool, err error) {
+	oldS, err := loadSuite(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newS, err := loadSuite(newPath)
+	if err != nil {
+		return false, err
+	}
+	rows := diffSuites(oldS, newS, maxRegress)
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "benchjson: no shared benchmarks between %s and %s\n", oldPath, newPath)
+		return false, nil
+	}
+	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range rows {
+		mark := ""
+		if r.Regression {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+8.1f%%%s\n", r.Name, r.OldNs, r.NewNs, r.DeltaPct, mark)
+	}
+	return regressed, nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSuite(t *testing.T, dir, name, json string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(json), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffSuites(t *testing.T) {
+	oldS := &Suite{Benchmarks: []Record{
+		{Name: "Shared/fast", NsPerOp: 100},
+		{Name: "Shared/slow", NsPerOp: 1000},
+		{Name: "Retired", NsPerOp: 50},
+	}}
+	newS := &Suite{Benchmarks: []Record{
+		{Name: "Shared/fast", NsPerOp: 90},   // 10% faster
+		{Name: "Shared/slow", NsPerOp: 1400}, // 40% slower
+		{Name: "BrandNew", NsPerOp: 7},       // not in old: ignored
+	}}
+	rows := diffSuites(oldS, newS, 25)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (only shared benchmarks): %+v", len(rows), rows)
+	}
+	fast, slow := rows[0], rows[1]
+	if fast.Name != "Shared/fast" || fast.Regression || fast.DeltaPct > -9 {
+		t.Errorf("fast row: %+v", fast)
+	}
+	if slow.Name != "Shared/slow" || !slow.Regression || slow.DeltaPct < 39 {
+		t.Errorf("slow row: %+v", slow)
+	}
+}
+
+func TestDiffWithinThresholdPasses(t *testing.T) {
+	oldS := &Suite{Benchmarks: []Record{{Name: "B", NsPerOp: 100}}}
+	newS := &Suite{Benchmarks: []Record{{Name: "B", NsPerOp: 120}}}
+	rows := diffSuites(oldS, newS, 25)
+	if len(rows) != 1 || rows[0].Regression {
+		t.Fatalf("20%% slowdown under a 25%% threshold must pass: %+v", rows)
+	}
+}
+
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSuite(t, dir, "old.json",
+		`{"benchmarks":[{"name":"A","iterations":1,"ns_per_op":100},{"name":"B","iterations":1,"ns_per_op":100}]}`)
+	newPath := writeSuite(t, dir, "new.json",
+		`{"benchmarks":[{"name":"A","iterations":1,"ns_per_op":100},{"name":"B","iterations":1,"ns_per_op":200}]}`)
+
+	var sb strings.Builder
+	regressed, err := runDiff(&sb, oldPath, newPath, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("a 100% slowdown on B must regress")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "+100.0%") {
+		t.Errorf("table output missing regression marker:\n%s", out)
+	}
+
+	sb.Reset()
+	regressed, err = runDiff(&sb, oldPath, oldPath, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("identical artifacts must not regress:\n%s", sb.String())
+	}
+}
+
+func TestRunDiffBadFile(t *testing.T) {
+	dir := t.TempDir()
+	good := writeSuite(t, dir, "good.json", `{"benchmarks":[]}`)
+	bad := writeSuite(t, dir, "bad.json", `{not json`)
+	var sb strings.Builder
+	if _, err := runDiff(&sb, bad, good, 25); err == nil {
+		t.Error("malformed old artifact must error")
+	}
+	if _, err := runDiff(&sb, good, filepath.Join(dir, "missing.json"), 25); err == nil {
+		t.Error("missing new artifact must error")
+	}
+}

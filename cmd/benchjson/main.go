@@ -12,6 +12,14 @@
 // Custom b.ReportMetric units land in the record's "extra" map, so
 // accuracy metrics published by the paper-table benchmarks survive
 // into the artifact too.
+//
+// Diff mode compares two artifacts and exits non-zero when a benchmark
+// present in both regressed beyond the threshold:
+//
+//	go run ./cmd/benchjson -diff -max-regress 25 BENCH_PR3.json BENCH_PR4.json
+//
+// Benchmarks present in only one file are ignored, so new benchmarks
+// can appear (and retired ones disappear) without tripping the gate.
 package main
 
 import (
@@ -24,7 +32,26 @@ import (
 
 func main() {
 	out := flag.String("out", "", "output path (default stdout)")
+	diff := flag.Bool("diff", false, "diff mode: compare two artifacts given as OLD NEW arguments")
+	maxRegress := flag.Float64("max-regress", 25, "diff mode: max allowed ns/op slowdown in percent")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		regressed, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% detected\n", *maxRegress)
+			os.Exit(1)
+		}
+		return
+	}
 
 	suite, err := parse(os.Stdin)
 	if err != nil {

@@ -7,10 +7,18 @@
 //
 //	molocd [-addr :8080] [-plan office|mall|museum] [-seed N] [-aps N] [-horus]
 //	       [-train N] [-session-ttl 15m] [-max-sessions N] [-workers N] [-drain 10s]
+//	       [-retrain 30s] [-pprof addr]
+//
+// The motion database retrains online: POST /v1/observations feeds the
+// background retrainer, which republishes the compiled motion index
+// every -retrain period. -pprof serves net/http/pprof on a separate
+// debug listener (never the public one), so ingest/recompile CPU
+// profiles can be captured in production.
 //
 // Try it:
 //
 //	curl -s -X POST localhost:8080/v1/sessions -d '{"height_m":1.71,"weight_kg":68}'
+//	curl -s -X POST localhost:8080/v1/observations -d '{"observations":[{"from":1,"to":2,"rlm":{"dir":90,"off":5}}]}'
 //	curl -s localhost:8080/v1/healthz
 //	curl -s localhost:8080/v1/metricsz
 package main
@@ -21,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,10 +61,17 @@ func run() error {
 		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "live session cap (429 beyond)")
 		workers     = flag.Int("workers", 0, "data-plane worker pool size (0 = GOMAXPROCS)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		retrain     = flag.Duration("retrain", server.DefaultRetrainInterval, "online-retrain period for queued observations")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate debug address (empty = off)")
 	)
 	flag.Parse()
 
-	opts := server.Options{SessionTTL: *sessionTTL, MaxSessions: *maxSessions, Workers: *workers}
+	opts := server.Options{
+		SessionTTL:      *sessionTTL,
+		MaxSessions:     *maxSessions,
+		Workers:         *workers,
+		RetrainInterval: *retrain,
+	}
 
 	var srv *server.Server
 	if *bundle != "" {
@@ -104,6 +120,10 @@ func run() error {
 		if *horus {
 			src = dep.GDB
 		}
+		// The walk graph gates online ingest: observations between
+		// non-adjacent locations are dropped at the door. Bundles carry
+		// no graph, so bundle serving trains unfiltered.
+		opts.TrainGraph = sys.Graph
 		srv, err = server.NewWithOptions(sys.Plan, src, len(apIdx), sys.MDB, cfg.Motion, opts)
 		if err != nil {
 			return err
@@ -112,7 +132,28 @@ func run() error {
 			*addr, sys.Plan.NumLocs(), len(apIdx), *horus)
 	}
 
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 	return serve(srv, *addr, *drain)
+}
+
+// servePprof serves the net/http/pprof handlers on their own mux and
+// listener. The debug surface never shares the public listener: the
+// handlers are registered explicitly on a fresh mux (not the implicit
+// http.DefaultServeMux registration), so profiling cannot leak onto the
+// API address by accident.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	fmt.Fprintf(os.Stderr, "molocd: pprof debug listener on %s\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "molocd: pprof listener:", err)
+	}
 }
 
 // serve runs the HTTP server with the session sweeper attached and

@@ -3,7 +3,9 @@
 // unsuppressed finding. It enforces the numeric and concurrency
 // invariants the compiler cannot: bearing arithmetic through
 // internal/geom, randomness through internal/stats, mutex-guarded
-// struct fields, and no silently dropped errors.
+// struct fields, no silently dropped errors, allocation-free
+// //moloc:hotpath functions, and atomic-only access to //moloc:snapshot
+// RCU fields.
 //
 // Usage:
 //

@@ -92,6 +92,17 @@ import "os"
 
 func Drop() { os.Remove("x") }
 `)
+	write("snap/snap.go", `package snap
+
+import "sync/atomic"
+
+type S struct {
+	//moloc:snapshot
+	cell atomic.Pointer[int]
+}
+
+func (s *S) Steal() atomic.Pointer[int] { return s.cell }
+`)
 	write("hot/hot.go", `package hot
 
 //moloc:hotpath

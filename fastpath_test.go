@@ -9,6 +9,7 @@ import (
 	"moloc/internal/core"
 	"moloc/internal/fingerprint"
 	"moloc/internal/localizer"
+	"moloc/internal/motiondb"
 )
 
 func buildSmallDeployment(t *testing.T) (*core.System, *core.Deployment) {
@@ -112,5 +113,52 @@ func TestLocalizeZeroAllocs(t *testing.T) {
 	dr.Localize(obs)
 	if avg := testing.AllocsPerRun(100, func() { dr.Localize(obs) }); avg != 0 {
 		t.Errorf("DeadReckoning.Localize allocates %.1f per run, want 0", avg)
+	}
+}
+
+// TestLocalizeZeroAllocsAcrossSnapshotSwaps pins the serving contract
+// of the online-training path: adopting a freshly recompiled motion
+// index (UseCompiled, as the tracker does once per tick when the server
+// republishes its RCU snapshot) between fixes keeps Localize at zero
+// heap allocations.
+func TestLocalizeZeroAllocsAcrossSnapshotSwaps(t *testing.T) {
+	sys, dep := buildSmallDeployment(t)
+	td := dep.TestData[0]
+	obs := localizer.Observation{FP: td.Legs[0].FP, Motion: td.Legs[0].RLM}
+
+	ml, err := localizer.NewMoLoc(dep.FDB, sys.MDB, sys.Config.MoLoc)
+	if err != nil {
+		t.Fatalf("NewMoLoc: %v", err)
+	}
+	ml.Localize(localizer.Observation{FP: td.StartFP})
+	ml.Localize(obs)
+
+	// Two published views: the offline compile and an incremental
+	// recompile of one mutated edge over a cloned database.
+	c0, err := sys.MDB.Compile(sys.Config.MoLoc.Alpha, sys.Config.MoLoc.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2 := sys.MDB.Clone()
+	pair := db2.Pairs()[0]
+	e, _ := db2.Lookup(pair[0], pair[1])
+	e.N += 25
+	db2.Set(pair[0], pair[1], e)
+	c1, err := c0.RecompileEdges(db2, [][2]int{pair})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	views := [2]*motiondb.Compiled{c0, c1}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		i++
+		if err := ml.UseCompiled(views[i%2]); err != nil {
+			t.Fatalf("UseCompiled: %v", err)
+		}
+		ml.Localize(obs)
+	})
+	if avg != 0 {
+		t.Errorf("Localize with per-run snapshot swaps allocates %.1f per run, want 0", avg)
 	}
 }

@@ -11,6 +11,9 @@ package crowd
 
 import (
 	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
 
 	"moloc/internal/fingerprint"
 	"moloc/internal/floorplan"
@@ -212,6 +215,11 @@ func ProjectTraceData(td *TraceData, apIdx []int) *TraceData {
 // non-nil graph enables the builder's adjacency consistency filter and
 // map fallback. It returns the database together with the builder for
 // drop-count introspection.
+//
+// Processing is sequential on one shared RNG stream; the offline
+// experiment pipeline keeps this exact consumption order so published
+// numbers stay reproducible. BuildMotionDBParallel is the sharded
+// variant for ingestion-bound training.
 func BuildMotionDB(p *Pipeline, graph *floorplan.WalkGraph, traces []*trace.Trace,
 	cfg motiondb.BuilderConfig, rng *stats.RNG) (*motiondb.DB, *motiondb.Builder, error) {
 	builder, err := motiondb.NewBuilder(p.plan, cfg)
@@ -225,4 +233,66 @@ func BuildMotionDB(p *Pipeline, graph *floorplan.WalkGraph, traces []*trace.Trac
 		builder.AddAll(Observations(p.Process(tr, rng)))
 	}
 	return builder.Build(), builder, nil
+}
+
+// BuildMotionDBParallel is BuildMotionDB sharded across a worker pool:
+// the traces are partitioned into contiguous blocks, each worker
+// replays its block into a private streaming builder, and the shard
+// builders are merged in block order before the final Build. The
+// pipeline itself is read-only during Process, so workers share it.
+//
+// Each trace draws from its own RNG forked off rng by trace index.
+// Forks depend only on the parent seed and the label — not on how much
+// any other stream consumed — and the in-order merge replays samples
+// exactly as a single sequential pass over the forked streams would, so
+// the result (entries and drop counters alike) is bit-identical for
+// every worker count. The per-trace streams differ from the single
+// sequential stream BuildMotionDB consumes, which is why the offline
+// path keeps the serial function: the two are statistically equivalent,
+// not identical. workers < 1 selects GOMAXPROCS.
+func BuildMotionDBParallel(p *Pipeline, graph *floorplan.WalkGraph, traces []*trace.Trace,
+	cfg motiondb.BuilderConfig, rng *stats.RNG, workers int) (*motiondb.DB, *motiondb.Builder, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+	if workers < 1 {
+		workers = 1 // no traces: one shard builds the empty database
+	}
+	shards := make([]*motiondb.Builder, workers)
+	for w := range shards {
+		b, err := motiondb.NewBuilder(p.plan, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if graph != nil {
+			b.UseGraph(graph)
+		}
+		shards[w] = b
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(traces) / workers
+		hi := (w + 1) * len(traces) / workers
+		wg.Add(1)
+		go func(b *motiondb.Builder, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				trng := rng.Fork("trace-" + strconv.Itoa(i))
+				b.AddAll(Observations(p.Process(traces[i], trng)))
+			}
+		}(shards[w], lo, hi)
+	}
+	wg.Wait()
+
+	root := shards[0]
+	for _, sh := range shards[1:] {
+		if err := root.Merge(sh); err != nil {
+			return nil, nil, err
+		}
+	}
+	return root.Build(), root, nil
 }

@@ -1,0 +1,111 @@
+package crowd
+
+import (
+	"testing"
+
+	"moloc/internal/motiondb"
+	"moloc/internal/stats"
+)
+
+// TestBuildMotionDBParallelWorkerInvariance is the parallel-ingestion
+// correctness contract: because every trace gets a consumption-
+// independent forked RNG and shard builders merge in block order, the
+// trained database — entries and drop counters alike — must be
+// bit-identical for every worker count.
+func TestBuildMotionDBParallelWorkerInvariance(t *testing.T) {
+	fx := newFixture(t, 24)
+	cfg := motiondb.NewBuilderConfig()
+
+	type result struct {
+		db      *motiondb.DB
+		builder *motiondb.Builder
+	}
+	var results []result
+	for _, workers := range []int{1, 3, 8} {
+		db, b, err := BuildMotionDBParallel(fx.pipe, fx.graph, fx.traces, cfg, stats.NewRNG(17), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		results = append(results, result{db, b})
+	}
+
+	ref := results[0]
+	for k, r := range results[1:] {
+		workers := []int{3, 8}[k]
+		if got, want := r.db.NumEntries(), ref.db.NumEntries(); got != want {
+			t.Fatalf("workers=%d: %d entries, workers=1 has %d", workers, got, want)
+		}
+		for _, p := range ref.db.Pairs() {
+			we, _ := ref.db.Lookup(p[0], p[1])
+			ge, ok := r.db.Lookup(p[0], p[1])
+			if !ok || ge != we {
+				t.Errorf("workers=%d: pair %v = %+v ok=%v, workers=1 fitted %+v", workers, p, ge, ok, we)
+			}
+		}
+		s1, n1, c1, f1 := ref.builder.Dropped()
+		s2, n2, c2, f2 := r.builder.Dropped()
+		if s1 != s2 || n1 != n2 || c1 != c2 || f1 != f2 {
+			t.Errorf("workers=%d: drop counters (%d,%d,%d,%d), workers=1 (%d,%d,%d,%d)",
+				workers, s2, n2, c2, f2, s1, n1, c1, f1)
+		}
+		if ref.builder.MapSeeded() != r.builder.MapSeeded() {
+			t.Errorf("workers=%d: map-seeded %d, workers=1 %d",
+				workers, r.builder.MapSeeded(), ref.builder.MapSeeded())
+		}
+	}
+}
+
+// TestBuildMotionDBParallelMirrorConsistency checks the reassembled
+// database keeps the paper's mirror invariant for every trained pair —
+// including north-south edges whose bearings straddle the 0/360 seam:
+// the reverse lookup is exactly the mirrored entry.
+func TestBuildMotionDBParallelMirrorConsistency(t *testing.T) {
+	fx := newFixture(t, 16)
+	db, _, err := BuildMotionDBParallel(fx.pipe, fx.graph, fx.traces,
+		motiondb.NewBuilderConfig(), stats.NewRNG(29), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := db.Pairs()
+	if len(pairs) == 0 {
+		t.Fatal("no trained pairs")
+	}
+	seamPairs := 0
+	for _, p := range pairs {
+		fwd, _ := db.Lookup(p[0], p[1])
+		rev, ok := db.Lookup(p[1], p[0])
+		if !ok || rev != fwd.Mirror() {
+			t.Errorf("pair %v: reverse %+v ok=%v, want exact mirror of %+v", p, rev, ok, fwd)
+		}
+		if fwd.MeanDir < 45 || fwd.MeanDir > 315 {
+			seamPairs++
+		}
+	}
+	if seamPairs == 0 {
+		t.Log("note: no near-seam bearings in this fixture; mirror check still covered all pairs")
+	}
+}
+
+// TestBuildMotionDBParallelEdgeCases covers the degenerate inputs: no
+// traces (one shard builds the empty-but-seeded database) and more
+// workers than traces (clamped).
+func TestBuildMotionDBParallelEdgeCases(t *testing.T) {
+	fx := newFixture(t, 2)
+	db, _, err := BuildMotionDBParallel(fx.pipe, fx.graph, nil,
+		motiondb.NewBuilderConfig(), stats.NewRNG(5), 4)
+	if err != nil {
+		t.Fatalf("no traces: %v", err)
+	}
+	if db.NumLocs() != 28 {
+		t.Errorf("no traces: NumLocs = %d", db.NumLocs())
+	}
+
+	db2, _, err := BuildMotionDBParallel(fx.pipe, fx.graph, fx.traces,
+		motiondb.NewBuilderConfig(), stats.NewRNG(5), 64)
+	if err != nil {
+		t.Fatalf("workers > traces: %v", err)
+	}
+	if db2.NumEntries() == 0 {
+		t.Error("workers > traces: empty database")
+	}
+}

@@ -17,6 +17,14 @@
 //     guarded fields without taking the lock.
 //   - errdrop: error return values must not be silently discarded in
 //     non-test code.
+//   - hotpath: functions annotated //moloc:hotpath (the per-fix serving
+//     path) may not index maps or append onto non-preallocated buffers,
+//     which would break the pinned zero-allocation contract.
+//   - snapshotguard: fields annotated //moloc:snapshot (the RCU-style
+//     published motion-index views) may only be accessed through their
+//     atomic.Pointer Load/Store methods; direct dereferences and value
+//     copies bypass the memory-ordering guarantees of the snapshot
+//     swap.
 //
 // The suite is built directly on the standard library's go/parser and
 // go/types (no golang.org/x/tools dependency): Load type-checks every
@@ -54,7 +62,7 @@ type Analyzer struct {
 
 // Analyzers returns the full moloclint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DegNorm, RandSrc, LockGuard, ErrDrop, Hotpath}
+	return []*Analyzer{DegNorm, RandSrc, LockGuard, ErrDrop, Hotpath, SnapshotGuard}
 }
 
 // AnalyzerByName returns the analyzer with the given name, or nil.

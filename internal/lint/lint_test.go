@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-// wantRe extracts `// want `regex`` annotations from fixture comments.
+// wantRe extracts `// want `regex“ annotations from fixture comments.
 var wantRe = regexp.MustCompile("// want `([^`]*)`")
 
 // expectation is one parsed want annotation.
@@ -85,6 +85,8 @@ func TestDegNorm(t *testing.T)   { runFixtureTest(t, DegNorm) }
 func TestRandSrc(t *testing.T)   { runFixtureTest(t, RandSrc) }
 func TestLockGuard(t *testing.T) { runFixtureTest(t, LockGuard) }
 func TestErrDrop(t *testing.T)   { runFixtureTest(t, ErrDrop) }
+
+func TestSnapshotGuard(t *testing.T) { runFixtureTest(t, SnapshotGuard) }
 
 // TestRepoIsClean runs the full suite over the real module and demands
 // zero findings — the repository must stay lint-clean. It mirrors the

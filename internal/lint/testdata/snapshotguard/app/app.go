@@ -1,0 +1,76 @@
+// Package app exercises the snapshotguard analyzer: fields annotated
+// //moloc:snapshot may only be touched through their atomic
+// Load/Store/Swap/CompareAndSwap methods, taken by address for wiring,
+// or — for pointer-typed consumer fields — nil-checked and rewired as a
+// whole.
+package app
+
+import "sync/atomic"
+
+type view struct{ gen int }
+
+// server is the publisher: it owns the atomic cell by value.
+type server struct {
+	//moloc:snapshot
+	snap atomic.Pointer[view]
+
+	//moloc:snapshot
+	plain *view // want `annotated //moloc:snapshot but is not an atomic.Pointer`
+}
+
+// client is a consumer: it follows the publisher's cell by pointer.
+type client struct {
+	//moloc:snapshot
+	snap *atomic.Pointer[view]
+	cur  *view
+}
+
+// Allowed shapes.
+
+func (s *server) publish(v *view) { s.snap.Store(v) }
+
+func (s *server) current() *view { return s.snap.Load() }
+
+func (s *server) replace(v *view) *view { return s.snap.Swap(v) }
+
+func (s *server) install(v *view) bool { return s.snap.CompareAndSwap(nil, v) }
+
+func (s *server) wire(c *client) { c.snap = &s.snap }
+
+func (c *client) acquire() {
+	if c.snap == nil {
+		return
+	}
+	c.cur = c.snap.Load()
+}
+
+// Flagged shapes.
+
+func (s *server) copyValue() {
+	snap := s.snap // want `snapshot field snap must be accessed through its atomic Load/Store methods`
+	_ = snap
+}
+
+func (s *server) reset() {
+	s.snap = atomic.Pointer[view]{} // want `snapshot field snap must be accessed through its atomic Load/Store methods`
+}
+
+func (s *server) methodValue() func() *view {
+	return s.snap.Load // want `snapshot field snap must be accessed through its atomic Load/Store methods`
+}
+
+func (c *client) deref() *view {
+	inner := *c.snap // want `snapshot field snap must be accessed through its atomic Load/Store methods`
+	return inner.Load()
+}
+
+func leak(p *atomic.Pointer[view]) { _ = p }
+
+func (c *client) pass() {
+	leak(c.snap) // want `snapshot field snap must be accessed through its atomic Load/Store methods`
+}
+
+func (c *client) suppressed() *atomic.Pointer[view] {
+	//lint:ignore snapshotguard handing the cell to a trusted helper
+	return c.snap
+}

@@ -1,0 +1,12 @@
+package app
+
+import "sync/atomic"
+
+// Test code is exempt: direct snapshot-field access here must not be
+// flagged (tests deliberately poke single-threaded state).
+
+func directAccessInTests(s *server, c *client) {
+	cell := c.snap
+	_ = cell
+	s.snap = atomic.Pointer[view]{}
+}

@@ -172,6 +172,34 @@ func NewMoLocReference(src fingerprint.CandidateSource, mdb *motiondb.DB, cfg Co
 // Name implements Localizer.
 func (m *MoLoc) Name() string { return "moloc" }
 
+// UseCompiled swaps the compiled motion index the serving fast path
+// walks; the tracker's snapshot acquisition calls it when the server
+// publishes a retrained view. Candidate state carries over — posterior
+// probabilities remain valid, only the motion model changes — and no
+// buffer is reallocated, so the swap itself is allocation-free. The
+// view must cover the source's locations and be compiled for this
+// localizer's discretization intervals. Reference-mode localizers
+// (NewMoLocReference) reject the swap: they are the executable spec of
+// the uncompiled path.
+func (m *MoLoc) UseCompiled(cmp *motiondb.Compiled) error {
+	if m.cmp == nil {
+		return fmt.Errorf("localizer: reference-mode MoLoc cannot adopt a compiled view")
+	}
+	if cmp == nil {
+		return fmt.Errorf("localizer: nil compiled view")
+	}
+	if cmp.NumLocs() != m.src.NumLocs() {
+		return fmt.Errorf("localizer: compiled view covers %d locations, source has %d",
+			cmp.NumLocs(), m.src.NumLocs())
+	}
+	if cmp.Alpha() != m.cfg.Alpha || cmp.Beta() != m.cfg.Beta {
+		return fmt.Errorf("localizer: view compiled for alpha=%g beta=%g, localizer uses alpha=%g beta=%g",
+			cmp.Alpha(), cmp.Beta(), m.cfg.Alpha, m.cfg.Beta)
+	}
+	m.cmp = cmp
+	return nil
+}
+
 // Reset implements Localizer: it forgets the candidate set, as at the
 // start of a new trace. Scratch buffers are retained.
 func (m *MoLoc) Reset() { m.prior = m.prior[:0] }

@@ -22,7 +22,7 @@
 //     share one table set: the direction term depends only on the
 //     angular difference to the (per-edge) mean.
 //
-// The interpolation error is bounded by h^2/8 * max|f''| per term,
+// The interpolation error is bounded by h^2/8 * max|f”| per term,
 // which the node-spacing rule keeps below ~3e-4 in absolute
 // probability; TestCompiledProbMatchesReference pins the tolerance.
 package motiondb
@@ -39,7 +39,7 @@ import (
 // tableRes is the number of table nodes per discretization interval
 // (or per standard deviation, whichever is narrower). 16 keeps the
 // linear-interpolation error of each Eq. 5 term below ~3e-4 absolute:
-// err <= h^2/8 * max|f''| with h <= sigma/16 and |f''| <= 0.484/sigma^2.
+// err <= h^2/8 * max|f”| with h <= sigma/16 and |f”| <= 0.484/sigma^2.
 const tableRes = 16
 
 // Table-size clamps: lower bound so degenerate spreads still tabulate
@@ -318,13 +318,92 @@ func (c *Compiled) Lookup(i, j int) (Entry, bool) {
 	if i == j || i < 1 || j < 1 || i > c.n || j > c.n {
 		return Entry{}, false
 	}
-	lo, hi := c.rowStart[i-1], c.rowStart[i]
-	row := c.cols[lo:hi]
-	k := sort.Search(len(row), func(x int) bool { return row[x] >= int32(j) })
-	if k == len(row) || row[k] != int32(j) {
+	k, ok := c.edgeIndex(i, j)
+	if !ok {
 		return Entry{}, false
 	}
-	e := c.tables[c.table[lo+int32(k)]].entry
-	e.MeanDir = c.meanDir[lo+int32(k)]
+	e := c.tables[c.table[k]].entry
+	e.MeanDir = c.meanDir[k]
 	return e, true
+}
+
+// edgeIndex returns the CSR index of the directed edge u -> v via a
+// binary search of u's row. Both endpoints must already be validated
+// in-range.
+func (c *Compiled) edgeIndex(u, v int) (int32, bool) {
+	lo, hi := c.rowStart[u-1], c.rowStart[u]
+	row := c.cols[lo:hi]
+	k := sort.Search(len(row), func(x int) bool { return row[x] >= int32(v) })
+	if k == len(row) || row[k] != int32(v) {
+		return 0, false
+	}
+	return lo + int32(k), true
+}
+
+// RecompileEdges returns a new compiled view in which only the dirty
+// pairs' discretized Eq. 5 tables (and per-edge mean directions) are
+// rebuilt from db's current entries; every clean pair's tables and the
+// CSR adjacency arrays are shared with c. It is the incremental
+// counterpart of a full Compile for the online-training path, where a
+// retrain batch touches a handful of edges of a large database: cost is
+// proportional to the dirty set, not the database.
+//
+// The database must still have the pair set the view was compiled from
+// — RecompileEdges rebuilds probability tables, not adjacency. A pair
+// count mismatch or a dirty pair without a compiled edge (a newly
+// trained pair) returns an error and the caller falls back to a full
+// Compile, the executable spec this method is equivalence-tested
+// against. Pairs mutated in db but not listed dirty are served stale;
+// the caller owns dirty tracking (see Builder.TakeTouched).
+//
+// The returned view is freshly allocated and as immutable as any
+// Compiled: publish it with an atomic pointer swap and concurrent
+// readers never observe a half-updated table.
+func (c *Compiled) RecompileEdges(db *DB, dirty [][2]int) (*Compiled, error) {
+	if db.n != c.n {
+		return nil, fmt.Errorf("motiondb: recompile: database has %d locations, view has %d", db.n, c.n)
+	}
+	if len(db.entries) != len(c.tables) {
+		return nil, fmt.Errorf("motiondb: recompile: pair set changed (%d entries vs %d compiled); full Compile required",
+			len(db.entries), len(c.tables))
+	}
+	if len(dirty) == 0 {
+		return c, nil
+	}
+	nc := &Compiled{
+		n:        c.n,
+		alpha:    c.alpha,
+		beta:     c.beta,
+		rowStart: c.rowStart,
+		cols:     c.cols,
+		table:    c.table,
+		meanDir:  append([]float64(nil), c.meanDir...),
+		tables:   append([]probTable(nil), c.tables...),
+	}
+	for _, pair := range dirty {
+		i, j := pair[0], pair[1]
+		if i > j {
+			i, j = j, i
+		}
+		if i == j || i < 1 || j > c.n {
+			return nil, fmt.Errorf("motiondb: recompile: invalid dirty pair (%d,%d)", pair[0], pair[1])
+		}
+		e, ok := db.entries[[2]int{i, j}]
+		if !ok {
+			return nil, fmt.Errorf("motiondb: recompile: dirty pair (%d,%d) not in the database; full Compile required", i, j)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("motiondb: recompile pair (%d,%d): %w", i, j, err)
+		}
+		kf, okF := c.edgeIndex(i, j)
+		kr, okR := c.edgeIndex(j, i)
+		if !okF || !okR {
+			return nil, fmt.Errorf("motiondb: recompile: dirty pair (%d,%d) has no compiled edge; full Compile required", i, j)
+		}
+		ti := c.table[kf]
+		nc.tables[ti] = buildProbTable(e, c.alpha, c.beta)
+		nc.meanDir[kf] = e.MeanDir
+		nc.meanDir[kr] = geom.MirrorBearing(e.MeanDir)
+	}
+	return nc, nil
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"sync"
 
 	"moloc/internal/floorplan"
@@ -133,6 +134,18 @@ func (db *DB) Lookup(i, j int) (Entry, bool) {
 		e = e.Mirror()
 	}
 	return e, true
+}
+
+// Clone returns a deep copy of the database's trained entries. The
+// compiled memo is not shared or copied — the clone compiles its own
+// views. The server's online retrainer trains against a clone so
+// mutations never race with localizers built over the original.
+func (db *DB) Clone() *DB {
+	c := New(db.n)
+	for k, v := range db.entries {
+		c.entries[k] = v
+	}
+	return c
 }
 
 // Pairs returns the canonical trained pairs in unspecified order.
@@ -314,12 +327,24 @@ type Observation struct {
 }
 
 // Builder accumulates crowdsourced observations and builds the DB.
+//
+// Ingestion is streaming: the coarse map filter runs at Add time, and
+// every surviving sample updates per-pair online moment accumulators
+// (circular direction moments, Welford offset moments) alongside the
+// retained sample list — so Build fits Gaussians and thresholds the
+// fine filter from the streamed moments instead of re-scanning raw
+// data. Builders fed disjoint trace shards can be combined with Merge,
+// and TakeTouched reports which pairs changed for incremental
+// recompilation.
 type Builder struct {
 	plan  *floorplan.Plan
 	graph *floorplan.WalkGraph
 	cfg   BuilderConfig
-	// raw holds reassembled RLMs keyed by canonical pair.
-	raw map[[2]int][]motion.RLM
+	// acc holds the per-canonical-pair streaming state.
+	acc map[[2]int]*pairAcc
+	// touched records the pairs that received samples since the last
+	// TakeTouched.
+	touched map[[2]int]struct{}
 	// dropped counts observations discarded at each stage, for
 	// reporting.
 	droppedSelf    int
@@ -329,15 +354,28 @@ type Builder struct {
 	mapSeededPairs int
 }
 
+// pairAcc is the streaming state of one canonical pair: the map-derived
+// ground truth the coarse filter compares against (computed once per
+// pair, not per sample), the coarse-surviving samples in arrival order
+// (the fine filter still needs individual values), and their running
+// moments.
+type pairAcc struct {
+	gtDir, gtOff float64
+	samples      []motion.RLM
+	dir          stats.Circular
+	off          stats.Online
+}
+
 // NewBuilder creates a builder for the plan.
 func NewBuilder(plan *floorplan.Plan, cfg BuilderConfig) (*Builder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return &Builder{
-		plan: plan,
-		cfg:  cfg,
-		raw:  make(map[[2]int][]motion.RLM),
+		plan:    plan,
+		cfg:     cfg,
+		acc:     make(map[[2]int]*pairAcc),
+		touched: make(map[[2]int]struct{}),
 	}, nil
 }
 
@@ -351,7 +389,10 @@ func (b *Builder) UseGraph(g *floorplan.WalkGraph) { b.graph = g }
 // Add ingests one observation, applying the paper's data reassembling:
 // an RLM whose start has the larger ID is replaced by its mirror so the
 // smaller ID is always the start. Observations between a location and
-// itself carry no relative information and are dropped.
+// itself carry no relative information and are dropped, as are (at
+// coarse sanitation and above) samples beyond the map thresholds — the
+// coarse filter is streaming, so a rejected sample costs one angle
+// comparison and is never stored.
 func (b *Builder) Add(obs Observation) {
 	if obs.From == obs.To {
 		b.droppedSelf++
@@ -366,7 +407,83 @@ func (b *Builder) Add(obs Observation) {
 		i, j = j, i
 		rlm = rlm.Mirror()
 	}
-	b.raw[[2]int{i, j}] = append(b.raw[[2]int{i, j}], rlm)
+	pair := [2]int{i, j}
+	a := b.accFor(pair)
+	if b.cfg.Level >= SanitationCoarse &&
+		(geom.AbsAngleDiff(rlm.Dir, a.gtDir) > b.cfg.CoarseDirThresh ||
+			math.Abs(rlm.Off-a.gtOff) > b.cfg.CoarseOffThresh) {
+		b.droppedCoarse++
+		return
+	}
+	a.samples = append(a.samples, rlm)
+	a.dir.Add(rlm.Dir)
+	a.off.Add(rlm.Off)
+	b.touched[pair] = struct{}{}
+}
+
+// accFor returns (creating if needed) the accumulator of a canonical
+// pair.
+func (b *Builder) accFor(pair [2]int) *pairAcc {
+	a := b.acc[pair]
+	if a == nil {
+		a = &pairAcc{}
+		a.gtDir, a.gtOff = floorplan.GroundTruthRLM(b.plan, pair[0], pair[1])
+		b.acc[pair] = a
+	}
+	return a
+}
+
+// Merge folds another builder's accumulated state into b: each pair's
+// samples are replayed into b's accumulators in their arrival order and
+// the drop counters are summed. Builders fed disjoint trace shards and
+// merged in shard order end up bit-identical to one builder fed the
+// concatenated shards, because every per-pair accumulator sees the same
+// additions in the same order. Both builders must cover the same plan;
+// other is left untouched.
+func (b *Builder) Merge(other *Builder) error {
+	if b.plan.NumLocs() != other.plan.NumLocs() {
+		return fmt.Errorf("motiondb: merge across plans (%d vs %d locations)",
+			b.plan.NumLocs(), other.plan.NumLocs())
+	}
+	for pair, oa := range other.acc {
+		if len(oa.samples) == 0 {
+			continue
+		}
+		a := b.accFor(pair)
+		for _, s := range oa.samples {
+			a.samples = append(a.samples, s)
+			a.dir.Add(s.Dir)
+			a.off.Add(s.Off)
+		}
+		b.touched[pair] = struct{}{}
+	}
+	b.droppedSelf += other.droppedSelf
+	b.droppedNonAdj += other.droppedNonAdj
+	b.droppedCoarse += other.droppedCoarse
+	b.droppedFine += other.droppedFine
+	return nil
+}
+
+// TakeTouched returns the canonical pairs that received at least one
+// surviving sample since the previous call (or since construction),
+// sorted for determinism, and resets the set. The server's online
+// retrainer uses it to bound recompilation to dirty edges.
+func (b *Builder) TakeTouched() [][2]int {
+	if len(b.touched) == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, len(b.touched))
+	for p := range b.touched {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, c int) bool {
+		if out[a][0] != out[c][0] {
+			return out[a][0] < out[c][0]
+		}
+		return out[a][1] < out[c][1]
+	})
+	b.touched = make(map[[2]int]struct{})
+	return out
 }
 
 // AddAll ingests a batch of observations.
@@ -377,8 +494,10 @@ func (b *Builder) AddAll(obs []Observation) {
 }
 
 // Dropped reports how many observations each sanitation stage
-// discarded: self-loops and non-adjacent pairs at ingest, the coarse
-// map filter, and the fine Gaussian filter.
+// discarded. Self-loops, non-adjacent pairs, and the coarse map filter
+// all run at ingest, so their counters accumulate over the builder's
+// lifetime; the fine Gaussian filter runs inside Build and its counter
+// reflects the most recent Build.
 func (b *Builder) Dropped() (selfLoops, nonAdjacent, coarse, fine int) {
 	return b.droppedSelf, b.droppedNonAdj, b.droppedCoarse, b.droppedFine
 }
@@ -388,33 +507,53 @@ func (b *Builder) Dropped() (selfLoops, nonAdjacent, coarse, fine int) {
 func (b *Builder) MapSeeded() int { return b.mapSeededPairs }
 
 // RawSamples returns the number of reassembled samples currently held
-// for the canonical pair (i, j), for introspection and tests.
+// for the canonical pair (i, j) — those that survived the ingest-time
+// stages (self-loop, adjacency, and coarse filters) — for introspection
+// and tests.
 func (b *Builder) RawSamples(i, j int) int {
 	if i > j {
 		i, j = j, i
 	}
-	return len(b.raw[[2]int{i, j}])
+	if a := b.acc[[2]int{i, j}]; a != nil {
+		return len(a.samples)
+	}
+	return 0
 }
 
-// Build runs the configured sanitation stages and fits the Gaussian
-// entries. The builder can keep accumulating observations and be built
-// again; drop counters reflect the most recent Build.
+// Build runs the remaining sanitation stage and fits the Gaussian
+// entries from the streamed moments. At full sanitation each pair takes
+// one pass over its retained samples: the fine-filter thresholds come
+// from the ingest-time accumulators (no fitting scan), and survivors
+// stream into fresh accumulators as they are classified. Below full
+// sanitation no per-sample work happens at all — the entry is read
+// straight off the moments. The builder can keep accumulating
+// observations and be built again; the fine drop counter reflects the
+// most recent Build.
 func (b *Builder) Build() *DB {
 	db := New(b.plan.NumLocs())
-	b.droppedCoarse, b.droppedFine = 0, 0
+	b.droppedFine = 0
 	b.mapSeededPairs = 0
-	for pair, samples := range b.raw {
-		kept := samples
-		if b.cfg.Level >= SanitationCoarse {
-			kept = b.coarseFilter(pair, kept)
+	for pair, a := range b.acc {
+		dir, off := a.dir, a.off
+		if b.cfg.Level >= SanitationFull && len(a.samples) >= 3 {
+			bound := b.entryFrom(a.dir, a.off)
+			var fdir stats.Circular
+			var foff stats.Online
+			for _, s := range a.samples {
+				if geom.AbsAngleDiff(s.Dir, bound.MeanDir) > b.cfg.FineSigmas*bound.StdDir ||
+					math.Abs(s.Off-bound.MeanOff) > b.cfg.FineSigmas*bound.StdOff {
+					b.droppedFine++
+					continue
+				}
+				fdir.Add(s.Dir)
+				foff.Add(s.Off)
+			}
+			dir, off = fdir, foff
 		}
-		if b.cfg.Level >= SanitationFull {
-			kept = b.fineFilter(kept)
-		}
-		if len(kept) < b.cfg.MinSamples {
+		if dir.N() < b.cfg.MinSamples {
 			continue
 		}
-		db.Set(pair[0], pair[1], b.fit(kept))
+		db.Set(pair[0], pair[1], b.entryFrom(dir, off))
 	}
 	if b.cfg.MapFallback && b.graph != nil {
 		b.seedFromMap(db)
@@ -447,57 +586,16 @@ func (b *Builder) seedFromMap(db *DB) {
 	}
 }
 
-// coarseFilter drops RLMs deviating from the map-derived direction and
-// offset beyond the configured thresholds (paper: 20 degrees, 3 m).
-func (b *Builder) coarseFilter(pair [2]int, samples []motion.RLM) []motion.RLM {
-	gtDir, gtOff := floorplan.GroundTruthRLM(b.plan, pair[0], pair[1])
-	kept := make([]motion.RLM, 0, len(samples))
-	for _, s := range samples {
-		if geom.AbsAngleDiff(s.Dir, gtDir) > b.cfg.CoarseDirThresh ||
-			math.Abs(s.Off-gtOff) > b.cfg.CoarseOffThresh {
-			b.droppedCoarse++
-			continue
-		}
-		kept = append(kept, s)
-	}
-	return kept
-}
-
-// fineFilter fits Gaussians to the samples and drops those beyond
-// FineSigmas standard deviations from the means (paper: 2 sigma).
-func (b *Builder) fineFilter(samples []motion.RLM) []motion.RLM {
-	if len(samples) < 3 {
-		return samples // too few to estimate a spread
-	}
-	e := b.fit(samples)
-	kept := make([]motion.RLM, 0, len(samples))
-	for _, s := range samples {
-		if geom.AbsAngleDiff(s.Dir, e.MeanDir) > b.cfg.FineSigmas*e.StdDir ||
-			math.Abs(s.Off-e.MeanOff) > b.cfg.FineSigmas*e.StdOff {
-			b.droppedFine++
-			continue
-		}
-		kept = append(kept, s)
-	}
-	return kept
-}
-
-// fit computes the Gaussian entry for a sample set, flooring the
-// standard deviations per the configuration. Directions use circular
-// statistics so pairs near north fit correctly.
-func (b *Builder) fit(samples []motion.RLM) Entry {
-	var dir stats.Circular
-	var off stats.Online
-	for _, s := range samples {
-		dir.Add(s.Dir)
-		off.Add(s.Off)
-	}
+// entryFrom computes the Gaussian entry from accumulated moments,
+// flooring the standard deviations per the configuration. Directions
+// use circular statistics so pairs near north fit correctly.
+func (b *Builder) entryFrom(dir stats.Circular, off stats.Online) Entry {
 	e := Entry{
 		MeanDir: dir.Mean(),
 		StdDir:  dir.StdDev(),
 		MeanOff: off.Mean(),
 		StdOff:  off.StdDev(),
-		N:       len(samples),
+		N:       dir.N(),
 	}
 	if e.StdDir < b.cfg.MinStdDir || math.IsInf(e.StdDir, 1) {
 		e.StdDir = b.cfg.MinStdDir

@@ -1,0 +1,192 @@
+package motiondb
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"moloc/internal/geom"
+)
+
+// bigGridDB builds a 512-location database over a 32x16 grid adjacency
+// (right and down neighbors, 976 trained pairs) with deterministic
+// varied entries — the production-scale shape the incremental recompile
+// is sized against.
+func bigGridDB() *DB {
+	const cols, rows = 32, 16
+	db := New(cols * rows)
+	id := func(r, c int) int { return r*cols + c + 1 }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := id(r, c)
+			if c+1 < cols {
+				db.Set(i, id(r, c+1), gridEntry(i, id(r, c+1)))
+			}
+			if r+1 < rows {
+				db.Set(i, id(r+1, c), gridEntry(i, id(r+1, c)))
+			}
+		}
+	}
+	return db
+}
+
+func gridEntry(i, j int) Entry {
+	return Entry{
+		MeanDir: float64((i*37 + j*11) % 360),
+		StdDir:  5 + float64(i%7),
+		MeanOff: 2 + float64(j%9),
+		StdOff:  0.2 + 0.05*float64(i%5),
+		N:       10 + i%13,
+	}
+}
+
+func sortedPairs(db *DB) [][2]int {
+	pairs := db.Pairs()
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	return pairs
+}
+
+// TestRecompileEdgesMatchesFullCompile is the acceptance equivalence
+// check: mutate ~5% of a 512-location database's pairs, recompile only
+// those edges, and demand the result is bit-identical — tables, mean
+// directions, adjacency — to a fresh full Compile of the mutated
+// database (the executable spec).
+func TestRecompileEdgesMatchesFullCompile(t *testing.T) {
+	const alpha, beta = 20, 1
+	db := bigGridDB()
+	base := mustCompile(t, db, alpha, beta)
+
+	pairs := sortedPairs(db)
+	var dirty [][2]int
+	for k := 0; k < len(pairs); k += 20 { // ~5% of 976 pairs
+		p := pairs[k]
+		e, ok := db.Lookup(p[0], p[1])
+		if !ok {
+			t.Fatalf("pair %v missing", p)
+		}
+		e.MeanDir = geom.NormalizeDeg(e.MeanDir + 17)
+		e.MeanOff += 0.5
+		e.N += 5
+		db.Set(p[0], p[1], e)
+		if k%40 == 0 {
+			// Reversed dirty listing must canonicalize, not error.
+			dirty = append(dirty, [2]int{p[1], p[0]})
+		} else {
+			dirty = append(dirty, p)
+		}
+	}
+
+	inc, err := base.RecompileEdges(db, dirty)
+	if err != nil {
+		t.Fatalf("RecompileEdges: %v", err)
+	}
+	full := mustCompile(t, db, alpha, beta) // Set invalidated the memo: a fresh build
+
+	if !reflect.DeepEqual(inc.tables, full.tables) {
+		t.Error("incremental tables differ from full compile")
+	}
+	if !reflect.DeepEqual(inc.meanDir, full.meanDir) {
+		t.Error("incremental meanDir differs from full compile")
+	}
+	if !reflect.DeepEqual(inc.rowStart, full.rowStart) ||
+		!reflect.DeepEqual(inc.cols, full.cols) ||
+		!reflect.DeepEqual(inc.table, full.table) {
+		t.Error("adjacency arrays differ from full compile")
+	}
+
+	// The clean bulk must be shared with the base view, not copied —
+	// that is what makes the recompile proportional to the dirty set.
+	if &inc.rowStart[0] != &base.rowStart[0] || &inc.cols[0] != &base.cols[0] ||
+		&inc.table[0] != &base.table[0] {
+		t.Error("adjacency arrays must be shared with the base view")
+	}
+	if &inc.tables[0].dir[0] != &base.tables[0].dir[0] && pairNotDirty(dirty, pairs[0]) {
+		t.Error("clean pair tables must be shared with the base view")
+	}
+
+	// The base view must be untouched (still serving the old entries).
+	oldE := gridEntry(pairs[0][0], pairs[0][1])
+	if got, ok := base.Lookup(pairs[0][0], pairs[0][1]); !ok || got.N != oldE.N {
+		t.Error("base view mutated by RecompileEdges")
+	}
+}
+
+func pairNotDirty(dirty [][2]int, p [2]int) bool {
+	for _, d := range dirty {
+		if d == p || (d[0] == p[1] && d[1] == p[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecompileEdgesErrors(t *testing.T) {
+	db := compiledFixtureDB()
+	c := mustCompile(t, db, 20, 1)
+
+	// Empty dirty set: the same view comes back, no copies.
+	if got, err := c.RecompileEdges(db, nil); err != nil || got != c {
+		t.Errorf("empty dirty: got %p err %v, want the receiver back", got, err)
+	}
+
+	// A dirty pair the database never trained.
+	if _, err := c.RecompileEdges(db, [][2]int{{1, 6}}); err == nil {
+		t.Error("untrained dirty pair must error")
+	}
+	// Degenerate and out-of-range pairs.
+	for _, p := range [][2]int{{2, 2}, {0, 1}, {1, 7}} {
+		if _, err := c.RecompileEdges(db, [][2]int{p}); err == nil {
+			t.Errorf("invalid dirty pair %v must error", p)
+		}
+	}
+
+	// Location-count mismatch.
+	if _, err := c.RecompileEdges(New(9), nil); err == nil {
+		t.Error("location-count mismatch must error")
+	}
+
+	// A grown pair set requires a full Compile even for old dirty pairs.
+	grown := db.Clone()
+	grown.Set(1, 6, Entry{MeanDir: 10, StdDir: 5, MeanOff: 3, StdOff: 0.3, N: 8})
+	if _, err := c.RecompileEdges(grown, [][2]int{{1, 2}}); err == nil {
+		t.Error("pair-set growth must error")
+	}
+}
+
+// TestRecompileEdgesServes checks the recompiled view answers queries
+// for the new entry: the probability peak follows the mutated mean.
+func TestRecompileEdgesServes(t *testing.T) {
+	db := compiledFixtureDB()
+	c := mustCompile(t, db, 20, 1)
+
+	e, _ := db.Lookup(1, 2)
+	e.MeanDir = 200 // was 90
+	db.Set(1, 2, e)
+	nc, err := c.RecompileEdges(db, [][2]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := nc.Lookup(1, 2); !ok || got != e {
+		t.Fatalf("recompiled Lookup(1,2) = %+v ok=%v, want %+v", got, ok, e)
+	}
+	if got, ok := nc.Lookup(2, 1); !ok || got != e.Mirror() {
+		t.Fatalf("recompiled Lookup(2,1) = %+v ok=%v, want mirror %+v", got, ok, e.Mirror())
+	}
+	// The old view keeps serving the old statistics.
+	if got, _ := c.Lookup(1, 2); got.MeanDir != 90 {
+		t.Errorf("base view mutated: MeanDir %g", got.MeanDir)
+	}
+
+	k, ok := nc.edgeIndex(1, 2)
+	if !ok {
+		t.Fatal("edge 1->2 missing")
+	}
+	if atNew, atOld := nc.EdgeProb(k, 200, e.MeanOff), nc.EdgeProb(k, 90, e.MeanOff); atNew <= atOld {
+		t.Errorf("recompiled edge must peak at the new mean: P(200)=%g P(90)=%g", atNew, atOld)
+	}
+}

@@ -1,0 +1,80 @@
+package motiondb
+
+import (
+	"math"
+	"testing"
+
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+)
+
+// TestBuilderMirrorReassemblyAtWraparound probes the RLM reassembling
+// step d' = d + 180 mod 360 at the compass discontinuities: a batch of
+// observations walked in one direction and the same batch walked (and
+// therefore mirrored at ingest) in the other must fit the same
+// Gaussians, for means at 0, just under 180, 180, and just under 360 —
+// where naive modular arithmetic (or linear averaging across the
+// 0/360 seam) breaks first.
+func TestBuilderMirrorReassemblyAtWraparound(t *testing.T) {
+	jitters := []float64{-1.5, -0.5, 0, 0.25, 1.25}
+	offs := []float64{3.8, 4.0, 4.2, 3.9, 4.1}
+
+	for _, d := range []float64{0, 179.999, 180, 359.999} {
+		cfg := NewBuilderConfig()
+		// Raw fitting: arbitrary test bearings must not be compared to
+		// the plan's map-derived ground truth.
+		cfg.Level = SanitationNone
+		cfg.MapFallback = false
+
+		fwd := mustBuilder(t, cfg)
+		rev := mustBuilder(t, cfg)
+		for k, jit := range jitters {
+			dir := geom.NormalizeDeg(d + jit)
+			fwd.Add(Observation{From: 1, To: 2, RLM: motion.RLM{Dir: dir, Off: offs[k]}})
+			rev.Add(Observation{From: 2, To: 1, RLM: motion.RLM{Dir: geom.MirrorBearing(dir), Off: offs[k]}})
+		}
+
+		ef, okF := fwd.Build().Lookup(1, 2)
+		er, okR := rev.Build().Lookup(1, 2)
+		if !okF || !okR {
+			t.Fatalf("d=%g: pair (1,2) untrained (fwd ok=%v, rev ok=%v)", d, okF, okR)
+		}
+		// The mirror round-trip costs at most an ulp of bearing
+		// arithmetic; offsets are untouched by mirroring, so their
+		// moments replay bit-identically.
+		if geom.AbsAngleDiff(ef.MeanDir, er.MeanDir) > 1e-9 ||
+			math.Abs(ef.StdDir-er.StdDir) > 1e-9 {
+			t.Errorf("d=%g: direction fit differs across observation direction:\n fwd %+v\n rev %+v", d, ef, er)
+		}
+		if ef.MeanOff != er.MeanOff || ef.StdOff != er.StdOff || ef.N != er.N {
+			t.Errorf("d=%g: offset fit differs across observation direction:\n fwd %+v\n rev %+v", d, ef, er)
+		}
+
+		// The fitted mean must sit at the circular mean of the inputs
+		// (mean jitter is -0.1), not at a seam-crossing linear average.
+		want := geom.NormalizeDeg(d - 0.1)
+		if geom.AbsAngleDiff(ef.MeanDir, want) > 0.02 {
+			t.Errorf("d=%g: fitted MeanDir %g, want ~%g", d, ef.MeanDir, want)
+		}
+
+		// Reverse lookup is the exact mirror, through DB and Compiled.
+		dbF := fwd.Build()
+		if got, ok := dbF.Lookup(2, 1); !ok || got != mustLookup(t, dbF, 1, 2).Mirror() {
+			t.Errorf("d=%g: Lookup(2,1) = %+v ok=%v, want exact mirror of Lookup(1,2)", d, got, ok)
+		}
+		cmp := mustCompile(t, dbF, 20, 1)
+		fe, _ := cmp.Lookup(1, 2)
+		if got, ok := cmp.Lookup(2, 1); !ok || got != fe.Mirror() {
+			t.Errorf("d=%g: compiled Lookup(2,1) = %+v ok=%v, want exact mirror", d, got, ok)
+		}
+	}
+}
+
+func mustLookup(t *testing.T, db *DB, i, j int) Entry {
+	t.Helper()
+	e, ok := db.Lookup(i, j)
+	if !ok {
+		t.Fatalf("Lookup(%d,%d) missing", i, j)
+	}
+	return e
+}

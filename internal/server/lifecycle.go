@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"moloc/internal/floorplan"
 	"moloc/internal/tracker"
 )
 
@@ -30,6 +31,15 @@ const (
 	// DefaultMaxIMUBatch caps samples per IMU upload; at the paper's
 	// 10 Hz sensor rate it covers several minutes per request.
 	DefaultMaxIMUBatch = 4096
+	// DefaultRetrainInterval is the background retrainer's period: how
+	// often queued observations are folded into the motion database and
+	// a fresh compiled view is published (retrain.go).
+	DefaultRetrainInterval = 30 * time.Second
+	// DefaultMaxObsBatch caps observations per ingest request.
+	DefaultMaxObsBatch = 4096
+	// DefaultObsQueueCap bounds observations buffered between retrains;
+	// ingest answers 429 beyond it.
+	DefaultObsQueueCap = 1 << 16
 )
 
 // Options are the serving limits of a Server. The zero value of each
@@ -56,6 +66,20 @@ type Options struct {
 	// bounded regardless of client concurrency. Zero selects
 	// GOMAXPROCS.
 	Workers int
+	// RetrainInterval is the background retrainer's period (retrain.go):
+	// queued POST /v1/observations batches are folded into the motion
+	// database and the dirty edges recompiled this often.
+	RetrainInterval time.Duration
+	// MaxObsBatch bounds observations per ingest request; larger batches
+	// answer 413.
+	MaxObsBatch int
+	// ObsQueueCap bounds observations buffered awaiting retraining; a
+	// full queue answers 429 until a retrain drains it.
+	ObsQueueCap int
+	// TrainGraph, when non-nil, attaches the walk graph to the online
+	// builder so observations between non-adjacent locations are
+	// discarded at ingest (the paper's adjacency consistency filter).
+	TrainGraph *floorplan.WalkGraph
 	// Now is the clock, overridable by tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -79,6 +103,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers < 1 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RetrainInterval <= 0 {
+		o.RetrainInterval = DefaultRetrainInterval
+	}
+	if o.MaxObsBatch <= 0 {
+		o.MaxObsBatch = DefaultMaxObsBatch
+	}
+	if o.ObsQueueCap <= 0 {
+		o.ObsQueueCap = DefaultObsQueueCap
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -160,26 +193,31 @@ func (ss *session) close() {
 	ss.evicted = true
 }
 
-// Start launches the background expiry sweeper. It is idempotent;
-// Close stops the sweeper. Servers embedded in tests may skip Start
-// and drive sweepOnce directly.
+// Start launches the background loops: the expiry sweeper and the
+// online retrainer (retrain.go). It is idempotent; Close stops both.
+// Servers embedded in tests may skip Start and drive sweepOnce or
+// RetrainNow directly.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			ticker := time.NewTicker(s.opts.SweepInterval)
-			defer ticker.Stop()
-			for {
-				select {
-				case <-s.done:
-					return
-				case <-ticker.C:
-					s.sweepOnce()
-				}
-			}
-		}()
+		s.wg.Add(2)
+		go s.sweepLoop()
+		go s.retrainLoop()
 	})
+}
+
+// sweepLoop evicts idle sessions every SweepInterval until Close.
+func (s *Server) sweepLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.sweepOnce()
+		}
+	}
 }
 
 // Close stops the background sweeper and the data-plane worker pool

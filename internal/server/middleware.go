@@ -31,6 +31,15 @@ type serverMetrics struct {
 	fixSeconds       *obs.Histogram
 	tickAllocBytes   *obs.Histogram
 	candidateSetSize *obs.Histogram
+
+	// Online-training metrics (retrain.go).
+	observationsIn      *obs.Counter
+	observationsDropped *obs.Counter
+	retrains            *obs.Counter
+	retrainDirtyEdges   *obs.Counter
+	retrainFullCompiles *obs.Counter
+	retrainErrors       *obs.Counter
+	retrainSeconds      *obs.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -45,6 +54,14 @@ func newServerMetrics() *serverMetrics {
 		fixSeconds:       reg.Histogram("fix_seconds", obs.LatencyBuckets),
 		tickAllocBytes:   reg.Histogram("tick_alloc_bytes", obs.BytesBuckets),
 		candidateSetSize: reg.Histogram("candidate_set_size", obs.SizeBuckets),
+
+		observationsIn:      reg.Counter("observations_in"),
+		observationsDropped: reg.Counter("observations_dropped"),
+		retrains:            reg.Counter("retrains"),
+		retrainDirtyEdges:   reg.Counter("retrain_dirty_edges"),
+		retrainFullCompiles: reg.Counter("retrain_full_compiles"),
+		retrainErrors:       reg.Counter("retrain_errors"),
+		retrainSeconds:      reg.Histogram("retrain_seconds", obs.LatencyBuckets),
 	}
 }
 

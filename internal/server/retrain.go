@@ -1,0 +1,230 @@
+// Online motion-database training: the observation ingest endpoint,
+// the retrainer state, and the background loop that publishes refreshed
+// compiled views. Phones (or a fleet-side pipeline) POST crowdsourced
+// RLM observations; every RetrainInterval the retrainer folds the
+// queued batch into a streaming motiondb.Builder, rebuilds the entries
+// of the touched pairs, recompiles only the dirty edges' probability
+// tables (motiondb.RecompileEdges), and publishes the new immutable
+// view through the server's RCU snapshot — training cost never lands on
+// the serving path, and trackers pick up the swap with one atomic load
+// per tick.
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/localizer"
+	"moloc/internal/motiondb"
+)
+
+// retrainer owns the online-training state. It trains against a private
+// clone of the serving database — localizers compiled over the original
+// never race with training mutations — and only ever hands the serving
+// side immutable compiled views through the server's snapshot.
+//
+// One mutex guards everything below it: ingest appends to the pending
+// queue, RetrainNow drains it and rebuilds. Holding mu across the whole
+// retrain keeps the invariants trivial; ingest blocks for at most the
+// few milliseconds a batch rebuild takes, invisible next to the
+// network.
+type retrainer struct {
+	alpha, beta float64
+	queueCap    int
+
+	mu      sync.Mutex
+	pending []motiondb.Observation
+	dropped int64 // observations bounced off a full queue
+	builder *motiondb.Builder
+	db      *motiondb.DB
+	dirty   [][2]int // scratch, reused across retrains
+}
+
+// newRetrainer builds the online-training state over a clone of the
+// serving database, with the builder compiled for the sessions'
+// localizer parameters.
+func newRetrainer(plan *floorplan.Plan, mdb *motiondb.DB, lcfg localizer.Config, o Options) (*retrainer, error) {
+	bcfg := motiondb.NewBuilderConfig()
+	// The map fallback would replace offline-trained entries of touched
+	// but still undertrained pairs with wide map-derived priors; online
+	// training must only ever override an edge once enough real samples
+	// survive sanitation.
+	bcfg.MapFallback = false
+	b, err := motiondb.NewBuilder(plan, bcfg)
+	if err != nil {
+		return nil, err
+	}
+	if o.TrainGraph != nil {
+		b.UseGraph(o.TrainGraph)
+	}
+	return &retrainer{
+		alpha:    lcfg.Alpha,
+		beta:     lcfg.Beta,
+		queueCap: o.ObsQueueCap,
+		builder:  b,
+		db:       mdb.Clone(),
+	}, nil
+}
+
+// enqueue appends a validated batch, reporting false when it would
+// overflow the queue (the client retries after the next retrain drains
+// it).
+func (rt *retrainer) enqueue(obs []motiondb.Observation) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.pending)+len(obs) > rt.queueCap {
+		rt.dropped += int64(len(obs))
+		return false
+	}
+	rt.pending = append(rt.pending, obs...)
+	return true
+}
+
+// pendingLen reports the queued observation count.
+func (rt *retrainer) pendingLen() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.pending)
+}
+
+// RetrainNow drains the observation queue, rebuilds the entries of
+// every touched pair, recompiles the dirty edges, and — when an edge
+// actually changed — publishes the new compiled view through the RCU
+// snapshot. The background loop calls it every RetrainInterval; tests
+// and embedders may call it directly. It returns the number of dirty
+// edges republished.
+//
+// An edge goes dirty when its rebuilt entry differs from the one the
+// retrainer last installed: a touched pair still short of MinSamples
+// stays clean (and untrained pairs stay map-seeded or absent), and a
+// batch that rebuilds to identical statistics publishes nothing. Once a
+// never-compiled pair crosses the sample threshold the incremental
+// recompile cannot extend the adjacency, so RetrainNow falls back to
+// the full Compile — the executable spec RecompileEdges is tested
+// against.
+func (s *Server) RetrainNow() (int, error) {
+	rt := s.retrain
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.pending) == 0 {
+		return 0, nil
+	}
+	t0 := time.Now()
+	rt.builder.AddAll(rt.pending)
+	rt.pending = rt.pending[:0]
+
+	built := rt.builder.Build()
+	dirty := rt.dirty[:0]
+	for _, pair := range rt.builder.TakeTouched() {
+		ne, ok := built.Lookup(pair[0], pair[1])
+		if !ok {
+			continue // not enough surviving samples to (re)train this edge yet
+		}
+		if cur, ok := rt.db.Lookup(pair[0], pair[1]); ok && cur == ne {
+			continue // rebuilt to identical statistics; nothing to publish
+		}
+		rt.db.Set(pair[0], pair[1], ne)
+		dirty = append(dirty, pair)
+	}
+	rt.dirty = dirty
+	if len(dirty) == 0 {
+		return 0, nil
+	}
+
+	cmp, err := s.snap.Load().RecompileEdges(rt.db, dirty)
+	if err != nil {
+		s.met.retrainFullCompiles.Inc()
+		cmp, err = rt.db.Compile(rt.alpha, rt.beta)
+		if err != nil {
+			return 0, fmt.Errorf("server: retrain compile: %w", err)
+		}
+	}
+	s.snap.Store(cmp)
+	s.met.retrains.Inc()
+	s.met.retrainDirtyEdges.Add(int64(len(dirty)))
+	s.met.retrainSeconds.Observe(time.Since(t0).Seconds())
+	return len(dirty), nil
+}
+
+// retrainLoop runs RetrainNow every RetrainInterval until Close.
+func (s *Server) retrainLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.RetrainInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			if _, err := s.RetrainNow(); err != nil {
+				s.met.retrainErrors.Inc()
+			}
+		}
+	}
+}
+
+// obsReq is the ingest body: a batch of crowdsourced observations.
+type obsReq struct {
+	Observations []motiondb.Observation `json:"observations"`
+}
+
+// obsResp acknowledges an accepted batch.
+type obsResp struct {
+	Queued  int `json:"queued"`
+	Pending int `json:"pending"`
+}
+
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	var req obsReq
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Observations) == 0 {
+		httpError(w, http.StatusBadRequest, "no observations")
+		return
+	}
+	if len(req.Observations) > s.opts.MaxObsBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d observations exceeds the %d cap; split the upload",
+				len(req.Observations), s.opts.MaxObsBatch))
+		return
+	}
+	n := s.plan.NumLocs()
+	for i, o := range req.Observations {
+		if err := validateObservation(o, n); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("observation %d: %v", i, err))
+			return
+		}
+	}
+	if !s.retrain.enqueue(req.Observations) {
+		s.met.observationsDropped.Add(int64(len(req.Observations)))
+		httpError(w, http.StatusTooManyRequests,
+			"observation queue full; retry after the next retrain")
+		return
+	}
+	s.met.observationsIn.Add(int64(len(req.Observations)))
+	writeJSON(w, http.StatusAccepted, obsResp{
+		Queued:  len(req.Observations),
+		Pending: s.retrain.pendingLen(),
+	})
+}
+
+// validateObservation rejects out-of-range endpoints and non-physical
+// RLMs before they can reach the builder. Self-loops pass — the builder
+// counts and drops them like any crowdsourced artifact.
+func validateObservation(o motiondb.Observation, numLocs int) error {
+	if o.From < 1 || o.From > numLocs || o.To < 1 || o.To > numLocs {
+		return fmt.Errorf("endpoints (%d,%d) out of range [1,%d]", o.From, o.To, numLocs)
+	}
+	if math.IsNaN(o.RLM.Dir) || o.RLM.Dir < 0 || o.RLM.Dir >= 360 {
+		return fmt.Errorf("dir must be a bearing in [0,360), got %g", o.RLM.Dir)
+	}
+	if math.IsNaN(o.RLM.Off) || math.IsInf(o.RLM.Off, 0) || o.RLM.Off < 0 {
+		return fmt.Errorf("off must be a distance >= 0, got %g", o.RLM.Off)
+	}
+	return nil
+}

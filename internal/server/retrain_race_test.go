@@ -1,0 +1,154 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"moloc/internal/sensors"
+)
+
+// TestIngestRetrainRace drives concurrent observation ingestion,
+// retrains (snapshot swaps), ticking sessions, and raw snapshot loads
+// against one Server. Under `make race` this is the memory-model check
+// of the online-training design: trackers acquire the RCU snapshot
+// mid-tick while RetrainNow republishes it, and nothing may tear — no
+// 5xx, no data race, every loaded view internally consistent.
+func TestIngestRetrainRace(t *testing.T) {
+	srv, sys := testServer(t)
+	handler := srv.Handler()
+
+	do := func(method, path string, body interface{}) (*httptest.ResponseRecorder, error) {
+		var rd *bytes.Reader
+		if body != nil {
+			data, err := json.Marshal(body)
+			if err != nil {
+				return nil, err
+			}
+			rd = bytes.NewReader(data)
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req := httptest.NewRequest(method, path, rd)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec, nil
+	}
+
+	// One live session; its tracker adopts published snapshots per tick.
+	rec, err := do(http.MethodPost, "/v1/sessions", createReq{HeightM: 1.7, WeightKg: 70})
+	if err != nil || rec.Code != http.StatusCreated {
+		t.Fatalf("create: %v code %d", err, rec.Code)
+	}
+	var created createResp
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	id := created.SessionID
+
+	pairs := sys.MDB.Pairs()
+	if len(pairs) < 2 {
+		t.Fatal("need at least two trained pairs")
+	}
+	rss := make([]float64, srv.numAPs)
+	for i := range rss {
+		rss[i] = -60
+	}
+
+	const iters = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*iters)
+
+	// Ingester: valid batches; 202 and 429 are both fine, 4xx/5xx not.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			p := pairs[i%len(pairs)]
+			rec, err := do(http.MethodPost, "/v1/observations",
+				obsReq{Observations: obsNear(sys.Plan, p[0], p[1], 5)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if rec.Code != http.StatusAccepted && rec.Code != http.StatusTooManyRequests {
+				errs <- fmt.Errorf("ingest %d: status %d body %s", i, rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}()
+
+	// Retrainer: republishes the snapshot as fast as batches land.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := srv.RetrainNow(); err != nil {
+				errs <- fmt.Errorf("retrain %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	// Session driver: imu + scan + tick, acquiring snapshots mid-swap.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			tSec := float64(i) * 0.3
+			ops := []struct {
+				path string
+				body interface{}
+			}{
+				{"/imu", imuReq{Samples: []sensors.Sample{{T: tSec, Accel: 9.8, Compass: 90}}}},
+				{"/scan", scanReq{T: tSec, RSS: rss}},
+				{"/tick", tickReq{T: tSec}},
+			}
+			for _, op := range ops {
+				rec, err := do(http.MethodPost, "/v1/sessions/"+id+op.path, op.body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rec.Code >= 400 {
+					errs <- fmt.Errorf("session %s %s: status %d body %s", id, op.path, rec.Code, rec.Body.String())
+					return
+				}
+			}
+		}
+	}()
+
+	// Raw reader: every loaded view must be whole and queryable.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := pairs[0]
+		for i := 0; i < 4*iters; i++ {
+			c := srv.CompiledSnapshot()
+			if c == nil {
+				errs <- fmt.Errorf("nil snapshot at read %d", i)
+				return
+			}
+			if _, ok := c.Lookup(p[0], p[1]); !ok {
+				errs <- fmt.Errorf("read %d: trained pair %v missing from snapshot", i, p)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The session survived every swap.
+	rec, err = do(http.MethodGet, "/v1/sessions/"+id, nil)
+	if err != nil || rec.Code != http.StatusOK {
+		t.Fatalf("final session read: %v code %d", err, rec.Code)
+	}
+}

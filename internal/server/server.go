@@ -16,8 +16,15 @@
 //	POST   /v1/sessions/{id}/tick        {"t":3.1}                          -> fix or 204
 //	GET    /v1/sessions/{id}             -> lifecycle info + last fix
 //	DELETE /v1/sessions/{id}
+//	POST   /v1/observations              {"observations":[{"from":1,"to":2,"rlm":{"dir":90,"off":5}}]} -> 202
 //	GET    /v1/healthz
 //	GET    /v1/metricsz
+//
+// The motion database refreshes online: crowdsourced observations
+// posted to /v1/observations feed a background retrainer that rebuilds
+// the touched edges and publishes a new compiled view through an
+// RCU-style atomic snapshot every session's tracker acquires once per
+// tick (retrain.go).
 package server
 
 import (
@@ -25,10 +32,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"moloc/internal/fingerprint"
 	"moloc/internal/floorplan"
+	"moloc/internal/localizer"
 	"moloc/internal/motion"
 	"moloc/internal/motiondb"
 	"moloc/internal/obs"
@@ -38,14 +47,24 @@ import (
 
 // Server hosts tracking sessions over one deployment's databases.
 type Server struct {
-	plan   *floorplan.Plan
-	src    fingerprint.CandidateSource
-	mdb    *motiondb.DB
-	numAPs int
-	mcfg   motion.Config
-	opts   Options
-	met    *serverMetrics
-	pool   *workerPool
+	plan    *floorplan.Plan
+	src     fingerprint.CandidateSource
+	mdb     *motiondb.DB
+	numAPs  int
+	mcfg    motion.Config
+	opts    Options
+	met     *serverMetrics
+	pool    *workerPool
+	retrain *retrainer
+
+	// snap is the RCU-published compiled motion index: the retrainer is
+	// the only writer, every session's tracker loads it once per tick.
+	// All access goes through atomic Load/Store (enforced by the
+	// snapshotguard analyzer), so serving stays lock-free while the
+	// database refreshes underneath.
+	//
+	//moloc:snapshot
+	snap atomic.Pointer[motiondb.Compiled]
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -79,7 +98,19 @@ func NewWithOptions(plan *floorplan.Plan, src fingerprint.CandidateSource, numAP
 			plan.NumLocs(), src.NumLocs(), mdb.NumLocs())
 	}
 	o := opts.withDefaults()
-	return &Server{
+	// Sessions always run the default localizer parameters (see
+	// handleCreate), so one compiled view serves every tracker; it seeds
+	// the RCU snapshot the retrainer republishes.
+	lcfg := localizer.NewConfig()
+	cmp, err := mdb.Compile(lcfg.Alpha, lcfg.Beta)
+	if err != nil {
+		return nil, fmt.Errorf("server: compile motion database: %w", err)
+	}
+	rt, err := newRetrainer(plan, mdb, lcfg, o)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
 		plan:     plan,
 		src:      src,
 		mdb:      mdb,
@@ -88,10 +119,17 @@ func NewWithOptions(plan *floorplan.Plan, src fingerprint.CandidateSource, numAP
 		opts:     o,
 		met:      newServerMetrics(),
 		pool:     newWorkerPool(o.Workers),
+		retrain:  rt,
 		done:     make(chan struct{}),
 		sessions: make(map[string]*session),
-	}, nil
+	}
+	s.snap.Store(cmp)
+	return s, nil
 }
+
+// CompiledSnapshot returns the currently published compiled motion
+// index, for embedders and tests observing retrain publications.
+func (s *Server) CompiledSnapshot() *motiondb.Compiled { return s.snap.Load() }
 
 // runSharded executes fn on the session's tracker from the worker pool
 // (see pool.go): same-session requests serialize on one worker, and
@@ -125,6 +163,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/imu", s.instrument("imu", s.handleIMU))
 	mux.HandleFunc("POST /v1/sessions/{id}/scan", s.instrument("scan", s.handleScan))
 	mux.HandleFunc("POST /v1/sessions/{id}/tick", s.instrument("tick", s.handleTick))
+	mux.HandleFunc("POST /v1/observations", s.instrument("observations", s.handleObservations))
 	return mux
 }
 
@@ -191,6 +230,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	tk.UseSnapshot(&s.snap)
 
 	now := s.opts.Now()
 	s.mu.Lock()

@@ -1,0 +1,85 @@
+package tracker
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"moloc/internal/motiondb"
+	"moloc/internal/sensors"
+)
+
+// TestSnapshotAcquisition pins the RCU handoff: a tracker wired to a
+// snapshot cell adopts the published view silently, counts exactly one
+// swap per republication (observed at the next Tick), and ignores an
+// incompatible publish instead of breaking the session.
+func TestSnapshotAcquisition(t *testing.T) {
+	sys := sysFixture(t)
+	cfg := NewConfig(0.73)
+	tr, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c0, err := sys.MDB.Compile(cfg.MoLoc.Alpha, cfg.MoLoc.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap atomic.Pointer[motiondb.Compiled]
+	snap.Store(c0)
+	tr.UseSnapshot(&snap)
+	if got := tr.Stats().SnapshotSwaps; got != 0 {
+		t.Fatalf("initial adoption must not count as a swap, got %d", got)
+	}
+	if tr.curCmp != c0 {
+		t.Fatal("initial view not adopted")
+	}
+
+	// Publish a retrained view; the tracker picks it up at its next tick.
+	db2 := sys.MDB.Clone()
+	pair := db2.Pairs()[0]
+	e, _ := db2.Lookup(pair[0], pair[1])
+	e.N += 50
+	db2.Set(pair[0], pair[1], e)
+	c1, err := c0.RecompileEdges(db2, [][2]int{pair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Store(c1)
+
+	tr.AddIMU(sensors.Sample{T: 0, Accel: 9.8})
+	tr.Tick(0.5)
+	if got := tr.Stats().SnapshotSwaps; got != 1 {
+		t.Fatalf("SnapshotSwaps = %d after one republication, want 1", got)
+	}
+	if tr.curCmp != c1 {
+		t.Fatal("republication not adopted")
+	}
+
+	// The same view again must not recount.
+	tr.Tick(1.0)
+	if got := tr.Stats().SnapshotSwaps; got != 1 {
+		t.Fatalf("SnapshotSwaps = %d after no-op tick, want 1", got)
+	}
+
+	// An incompatible publish (wrong location count) degrades to
+	// staleness: ignored, session keeps the current view.
+	bad, err := motiondb.New(5).Compile(cfg.MoLoc.Alpha, cfg.MoLoc.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Store(bad)
+	tr.Tick(1.5)
+	if got := tr.Stats().SnapshotSwaps; got != 1 {
+		t.Fatalf("incompatible view must not swap, SnapshotSwaps = %d", got)
+	}
+	if tr.curCmp != c1 {
+		t.Fatal("incompatible view displaced the serving index")
+	}
+
+	// Unwiring clears the adopted view and ticks keep working.
+	tr.UseSnapshot(nil)
+	if tr.curCmp != nil {
+		t.Fatal("UseSnapshot(nil) must clear the adopted view")
+	}
+	tr.Tick(2.0)
+}

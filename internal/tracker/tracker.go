@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"moloc/internal/fingerprint"
 	"moloc/internal/floorplan"
@@ -110,6 +111,9 @@ type Stats struct {
 	// the interval but fell inside the staleness window.
 	NoScanIntervals int64 `json:"no_scan_intervals"`
 	StaleServes     int64 `json:"stale_serves"`
+	// SnapshotSwaps counts retrained motion-index views this session
+	// adopted from the serving layer's RCU snapshot (see UseSnapshot).
+	SnapshotSwaps int64 `json:"snapshot_swaps"`
 }
 
 // Tracker is one user's tracking session.
@@ -118,6 +122,16 @@ type Tracker struct {
 	plan *floorplan.Plan
 	ml   *localizer.MoLoc
 	est  motion.HeadingEstimator
+
+	// snap, when non-nil, is the serving layer's RCU-published motion
+	// index. Tick acquires the current view once at entry — one atomic
+	// load — and swaps the localizer's compiled index when it changed,
+	// so a long-lived session picks up online retraining without any
+	// lock on the serving path. curCmp is the view currently adopted.
+	//
+	//moloc:snapshot
+	snap   *atomic.Pointer[motiondb.Compiled]
+	curCmp *motiondb.Compiled
 
 	intervalStart float64
 	started       bool
@@ -156,6 +170,40 @@ func New(plan *floorplan.Plan, src fingerprint.CandidateSource,
 		return nil, err
 	}
 	return &Tracker{cfg: cfg, plan: plan, ml: ml}, nil
+}
+
+// UseSnapshot attaches a shared snapshot pointer published by the
+// serving layer. The current view (if any) is adopted immediately;
+// later publications are picked up at the next Tick. A published view
+// that fails localizer validation — compiled for different parameters
+// or locations — is ignored and the session keeps serving from its
+// current index, so a bad publish degrades to staleness, not an outage.
+func (t *Tracker) UseSnapshot(snap *atomic.Pointer[motiondb.Compiled]) {
+	t.snap = snap
+	if t.snap == nil {
+		t.curCmp = nil
+		return
+	}
+	if c := t.snap.Load(); c != nil && t.ml.UseCompiled(c) == nil {
+		t.curCmp = c
+	}
+}
+
+// acquireSnapshot adopts a newly published motion index; called once
+// per Tick so every interval closed by that tick sees one consistent
+// view.
+func (t *Tracker) acquireSnapshot() {
+	if t.snap == nil {
+		return
+	}
+	c := t.snap.Load()
+	if c == nil || c == t.curCmp {
+		return
+	}
+	if t.ml.UseCompiled(c) == nil {
+		t.curCmp = c
+		t.stats.SnapshotSwaps++
+	}
 }
 
 // AddIMU feeds one IMU sample. Samples must arrive in time order;
@@ -222,6 +270,7 @@ func (t *Tracker) Tick(now float64) (Fix, bool) {
 	if !t.started || math.IsNaN(now) || math.IsInf(now, 0) {
 		return Fix{}, false
 	}
+	t.acquireSnapshot()
 	var (
 		last    Fix
 		emitted bool
