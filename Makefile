@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json bench-diff experiments examples smoke clean
+.PHONY: all build vet lint test race cover bench bench-json bench-diff experiments examples smoke chaos clean
 
 all: build vet lint test
 
@@ -30,6 +30,16 @@ smoke:
 	$(GO) build -o bin/molocd ./cmd/molocd
 	$(GO) run ./cmd/molocsmoke -molocd bin/molocd
 
+# Chaos: the fault-injection and crash-recovery suites (torn WAL tails,
+# checkpoint corruption, injected EIO, kill -9 recovery, the degradation
+# ladder) under the race detector, repeated, then the end-to-end smoke —
+# which itself SIGKILLs and restarts molocd on one data directory.
+chaos:
+	$(GO) test -race -count=3 ./internal/fault/ ./internal/wal/ ./internal/checkpoint/
+	$(GO) test -race -count=3 -run 'TestCrashRecovery|TestTornTail|TestCleanShutdown|TestCorruptCheckpoint|TestWAL|TestClosePrompt|TestInstrument|TestRunSharded|TestFingerprintOnly' \
+		./internal/server/ ./internal/tracker/
+	$(MAKE) smoke
+
 cover:
 	$(GO) test -cover ./...
 
@@ -42,10 +52,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable perf artifact: run the hot-path benchmarks and emit
-# BENCH_PR4.json via cmd/benchjson, one data point in the repo's perf
+# BENCH_PR5.json via cmd/benchjson, one data point in the repo's perf
 # trajectory. BENCHTIME trades precision for CI time.
 BENCHTIME ?= 1s
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFingerprintKNN|BenchmarkMotionMatchProb|BenchmarkMoLocLocalize|BenchmarkScalability|BenchmarkMotionTrain|BenchmarkRecompileEdges|BenchmarkIngestUnderLoad' \
 		-benchmem -benchtime $(BENCHTIME) -count 1 . > bench.out
@@ -55,7 +65,7 @@ bench-json:
 # Perf gate: regenerate the artifact and compare ns/op against the
 # previous PR's pinned numbers; benchmarks shared by both suites must
 # not regress beyond 25%.
-OLD ?= BENCH_PR3.json
+OLD ?= BENCH_PR4.json
 bench-diff: bench-json
 	$(GO) run ./cmd/benchjson -diff -max-regress 25 $(OLD) $(BENCH_JSON)
 

@@ -14,7 +14,6 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,10 +22,16 @@ import (
 
 	"moloc/internal/core"
 	"moloc/internal/geom"
+	"moloc/internal/httpretry"
 	"moloc/internal/sensors"
 	"moloc/internal/stats"
 	"moloc/internal/trace"
 )
+
+// retry backs every request off on 429/5xx/connection refused, so the
+// client rides out server restarts and load shedding instead of dying
+// on the first transient.
+var retry = httpretry.New(stats.NewRNG(stats.HashSeed("molocctl")))
 
 func main() {
 	if err := run(); err != nil {
@@ -133,7 +138,7 @@ func postStatus(url string, body interface{}, out interface{}) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	resp, err := retry.Do(http.MethodPost, url, "application/json", data)
 	if err != nil {
 		return 0, err
 	}

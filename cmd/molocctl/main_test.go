@@ -3,6 +3,7 @@ package main
 import (
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 )
 
@@ -31,6 +32,30 @@ func TestPostRequires2xx(t *testing.T) {
 	defer ts.Close()
 	if err := post(ts.URL, nil, nil); err == nil {
 		t.Error("non-2xx should error")
+	}
+}
+
+func TestPostStatusRetriesTransient(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"session_id":"s1"}`))
+	}))
+	defer ts.Close()
+	var out struct {
+		SessionID string `json:"session_id"`
+	}
+	status, err := postStatus(ts.URL, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || out.SessionID != "s1" || atomic.LoadInt32(&calls) != 2 {
+		t.Errorf("status=%d out=%+v calls=%d", status, out, calls)
 	}
 }
 

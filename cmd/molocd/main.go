@@ -7,13 +7,24 @@
 //
 //	molocd [-addr :8080] [-plan office|mall|museum] [-seed N] [-aps N] [-horus]
 //	       [-train N] [-session-ttl 15m] [-max-sessions N] [-workers N] [-drain 10s]
-//	       [-retrain 30s] [-pprof addr]
+//	       [-retrain 30s] [-data-dir DIR] [-fsync always|interval|none]
+//	       [-fsync-every 100ms] [-pprof addr]
 //
 // The motion database retrains online: POST /v1/observations feeds the
 // background retrainer, which republishes the compiled motion index
 // every -retrain period. -pprof serves net/http/pprof on a separate
 // debug listener (never the public one), so ingest/recompile CPU
 // profiles can be captured in production.
+//
+// With -data-dir set, ingestion and training are crash-safe: every
+// acknowledged observation batch is in a write-ahead log before its 202,
+// each retrain checkpoints the motion database atomically, and a
+// restart recovers checkpoint + WAL tail with nothing acknowledged
+// lost. -fsync picks the WAL durability policy (always = fsync per
+// batch; interval = group commit every -fsync-every; none = leave it to
+// the OS). /v1/healthz reports the degradation ladder: "ok",
+// "degraded-fingerprint-only" (durability impaired, fixes keep flowing
+// on the fingerprint-only path), or "recovering".
 //
 // Try it:
 //
@@ -39,6 +50,7 @@ import (
 	"moloc/internal/fingerprint"
 	"moloc/internal/floorplan"
 	"moloc/internal/server"
+	"moloc/internal/wal"
 )
 
 func main() {
@@ -62,15 +74,25 @@ func run() error {
 		workers     = flag.Int("workers", 0, "data-plane worker pool size (0 = GOMAXPROCS)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		retrain     = flag.Duration("retrain", server.DefaultRetrainInterval, "online-retrain period for queued observations")
+		dataDir     = flag.String("data-dir", "", "durability directory: observation WAL + motion-DB checkpoints (empty = in-memory only)")
+		fsync       = flag.String("fsync", "always", "WAL durability policy: always, interval, or none")
+		fsyncEvery  = flag.Duration("fsync-every", wal.DefaultSyncEvery, "group-commit window under -fsync interval")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate debug address (empty = off)")
 	)
 	flag.Parse()
 
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
 	opts := server.Options{
 		SessionTTL:      *sessionTTL,
 		MaxSessions:     *maxSessions,
 		Workers:         *workers,
 		RetrainInterval: *retrain,
+		DataDir:         *dataDir,
+		FsyncPolicy:     policy,
+		FsyncInterval:   *fsyncEvery,
 	}
 
 	var srv *server.Server
@@ -132,6 +154,10 @@ func run() error {
 			*addr, sys.Plan.NumLocs(), len(apIdx), *horus)
 	}
 
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "molocd: durability on (data-dir=%s fsync=%s); serving state %q\n",
+			*dataDir, *fsync, srv.ServingState())
+	}
 	if *pprofAddr != "" {
 		go servePprof(*pprofAddr)
 	}

@@ -1,8 +1,16 @@
 // Command molocsmoke is the end-to-end smoke test behind `make smoke`:
-// it boots a real molocd process on a loopback port, walks one session
-// through the full API (create, imu, scan, tick, get), scrapes
-// /v1/metricsz to assert the serving counters moved, and finally sends
-// SIGTERM to verify the graceful drain path exits cleanly.
+// it boots a real molocd process on a loopback port with durability on,
+// walks one session through the full API (create, imu, scan, tick,
+// get), scrapes /v1/metricsz to assert the serving counters moved, then
+// kills the process with SIGKILL and restarts it on the same data
+// directory to verify crash recovery end to end — acknowledged
+// observations replay from the WAL, the ladder reports "ok", and fixes
+// come out motion-matched. The restarted process finally gets SIGTERM
+// to verify the graceful drain path.
+//
+// Every request goes through internal/httpretry, so the smoke tolerates
+// — and deliberately exercises — the connection-refused window while
+// molocd restarts.
 //
 // Usage:
 //
@@ -24,7 +32,13 @@ import (
 	"os/exec"
 	"syscall"
 	"time"
+
+	"moloc/internal/httpretry"
+	"moloc/internal/stats"
 )
+
+// retry is the backoff policy behind every request the smoke makes.
+var retry = httpretry.New(stats.NewRNG(stats.HashSeed("molocsmoke")))
 
 func main() {
 	if err := run(); err != nil {
@@ -48,15 +62,18 @@ func run() error {
 		return err
 	}
 	base := "http://" + addr
+	dataDir, err := os.MkdirTemp("", "molocsmoke-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		//lint:ignore errdrop best-effort cleanup of the scratch data dir
+		_ = os.RemoveAll(dataDir)
+	}()
 
-	cmd := exec.Command(*molocd,
-		"-addr", addr,
-		"-train", fmt.Sprint(*train),
-		"-drain", "5s",
-	)
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		return fmt.Errorf("start %s: %w", *molocd, err)
+	cmd, err := startMolocd(*molocd, addr, *train, dataDir)
+	if err != nil {
+		return err
 	}
 	// The happy path ends with a SIGTERM + Wait; this backstop only runs
 	// when an assertion fails mid-flight.
@@ -88,57 +105,24 @@ func run() error {
 	if created.SessionID == "" || created.TTLSec <= 0 {
 		return fmt.Errorf("create response missing lifecycle fields: %+v", created)
 	}
-	sess := base + "/v1/sessions/" + created.SessionID
 
-	// 3. Stream one interval of walking IMU data plus a scan, then tick.
-	type sample struct {
-		T       float64 `json:"t"`
-		Accel   float64 `json:"accel"`
-		Compass float64 `json:"compass"`
+	// 3. Stream one interval of walking data; the tick must produce a fix.
+	fix, err := driveFix(base, created.SessionID, aps)
+	if err != nil {
+		return err
 	}
-	var samples []sample
-	for i := 0; i < 30; i++ {
-		t := float64(i) * 0.1
-		samples = append(samples, sample{
-			T:       t,
-			Accel:   9.8 + 1.5*math.Sin(2*math.Pi*2*t), // ~2 Hz step cadence
-			Compass: 90,
-		})
+	fmt.Printf("molocsmoke: fix at location %d (mode %s)\n", fix.Loc, fix.Mode)
+	if fix.Mode != "moloc" {
+		return fmt.Errorf("healthy fix mode = %q, want moloc", fix.Mode)
 	}
-	if err := call(http.MethodPost, sess+"/imu",
-		map[string]interface{}{"samples": samples}, http.StatusAccepted, nil); err != nil {
-		return fmt.Errorf("post imu: %w", err)
-	}
-	rss := make([]float64, aps)
-	for i := range rss {
-		rss[i] = -60
-	}
-	if err := call(http.MethodPost, sess+"/scan",
-		map[string]interface{}{"t": 1.0, "rss": rss}, http.StatusAccepted, nil); err != nil {
-		return fmt.Errorf("post scan: %w", err)
-	}
-	var fix struct {
-		Loc int `json:"loc"`
-	}
-	if err := call(http.MethodPost, sess+"/tick",
-		map[string]float64{"t": 3.5}, http.StatusOK, &fix); err != nil {
-		return fmt.Errorf("tick with a fresh scan must produce a fix: %w", err)
-	}
-	fmt.Printf("molocsmoke: fix at location %d\n", fix.Loc)
-	if err := call(http.MethodGet, sess, nil, http.StatusOK, nil); err != nil {
+	if err := call(http.MethodGet, base+"/v1/sessions/"+created.SessionID, nil, http.StatusOK, nil); err != nil {
 		return fmt.Errorf("get session: %w", err)
 	}
 
 	// 4. The metrics endpoint must have seen all of the above.
-	var metrics struct {
-		Sessions   int              `json:"sessions"`
-		Counters   map[string]int64 `json:"counters"`
-		Histograms map[string]struct {
-			Count int64 `json:"count"`
-		} `json:"histograms"`
-	}
-	if err := call(http.MethodGet, base+"/v1/metricsz", nil, http.StatusOK, &metrics); err != nil {
-		return fmt.Errorf("scrape metricsz: %w", err)
+	metrics, err := scrape(base)
+	if err != nil {
+		return err
 	}
 	checks := []struct {
 		name string
@@ -161,7 +145,69 @@ func run() error {
 	}
 	fmt.Println("molocsmoke: metrics populated")
 
-	// 5. Graceful drain: SIGTERM must yield a clean exit.
+	// 5. Durability: acknowledge an observation batch into the WAL, then
+	// kill -9 and restart on the same data directory. The batch must
+	// replay, the ladder must report ok, and fixes must still be
+	// motion-matched.
+	obs := []map[string]interface{}{
+		{"from": 1, "to": 2, "rlm": map[string]float64{"dir": 90, "off": 5}},
+		{"from": 2, "to": 1, "rlm": map[string]float64{"dir": 270, "off": 5}},
+	}
+	if err := call(http.MethodPost, base+"/v1/observations",
+		map[string]interface{}{"observations": obs}, http.StatusAccepted, nil); err != nil {
+		return fmt.Errorf("post observations: %w", err)
+	}
+	if metrics, err = scrape(base); err != nil {
+		return err
+	}
+	if metrics.Counters["wal_appends"] < 1 {
+		return fmt.Errorf("wal_appends = %d after an acknowledged batch", metrics.Counters["wal_appends"])
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("kill molocd: %w", err)
+	}
+	//lint:ignore errdrop a SIGKILLed process never exits cleanly; the failure is the point
+	_ = cmd.Wait()
+	fmt.Println("molocsmoke: killed molocd uncleanly (SIGKILL)")
+
+	cmd, err = startMolocd(*molocd, addr, *train, dataDir)
+	if err != nil {
+		return err
+	}
+	if _, err := waitHealthy(base, deadline); err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := call(http.MethodGet, base+"/v1/healthz", nil, http.StatusOK, &health); err != nil {
+		return err
+	}
+	if health.Status != "ok" {
+		return fmt.Errorf("healthz after crash recovery = %q, want ok", health.Status)
+	}
+	if metrics, err = scrape(base); err != nil {
+		return err
+	}
+	if metrics.Counters["wal_replayed_observations"] != int64(len(obs)) {
+		return fmt.Errorf("wal_replayed_observations = %d after restart, want %d",
+			metrics.Counters["wal_replayed_observations"], len(obs))
+	}
+	if err := call(http.MethodPost, base+"/v1/sessions",
+		map[string]float64{"height_m": 1.71, "weight_kg": 68}, http.StatusCreated, &created); err != nil {
+		return fmt.Errorf("create session after restart: %w", err)
+	}
+	fix, err = driveFix(base, created.SessionID, aps)
+	if err != nil {
+		return fmt.Errorf("after restart: %w", err)
+	}
+	if fix.Mode != "moloc" {
+		return fmt.Errorf("fix mode after recovery = %q, want moloc", fix.Mode)
+	}
+	fmt.Printf("molocsmoke: recovered after crash (replayed %d observations, fix mode %s)\n",
+		len(obs), fix.Mode)
+
+	// 6. Graceful drain: SIGTERM must yield a clean exit.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("signal molocd: %w", err)
 	}
@@ -179,6 +225,83 @@ func run() error {
 	return nil
 }
 
+// startMolocd launches one molocd process with durability on dataDir.
+func startMolocd(bin, addr string, train int, dataDir string) (*exec.Cmd, error) {
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-train", fmt.Sprint(train),
+		"-drain", "5s",
+		"-data-dir", dataDir,
+		"-fsync", "always",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", bin, err)
+	}
+	return cmd, nil
+}
+
+// smokeFix is the slice of the fix payload the smoke asserts on.
+type smokeFix struct {
+	Loc  int    `json:"loc"`
+	Mode string `json:"mode"`
+}
+
+// driveFix streams one interval of synthetic walking (2 Hz cadence IMU
+// plus one flat scan) into the session and ticks for a fix.
+func driveFix(base, sessionID string, aps int) (smokeFix, error) {
+	sess := base + "/v1/sessions/" + sessionID
+	type sample struct {
+		T       float64 `json:"t"`
+		Accel   float64 `json:"accel"`
+		Compass float64 `json:"compass"`
+	}
+	var samples []sample
+	for i := 0; i < 30; i++ {
+		t := float64(i) * 0.1
+		samples = append(samples, sample{
+			T:       t,
+			Accel:   9.8 + 1.5*math.Sin(2*math.Pi*2*t), // ~2 Hz step cadence
+			Compass: 90,
+		})
+	}
+	var fix smokeFix
+	if err := call(http.MethodPost, sess+"/imu",
+		map[string]interface{}{"samples": samples}, http.StatusAccepted, nil); err != nil {
+		return fix, fmt.Errorf("post imu: %w", err)
+	}
+	rss := make([]float64, aps)
+	for i := range rss {
+		rss[i] = -60
+	}
+	if err := call(http.MethodPost, sess+"/scan",
+		map[string]interface{}{"t": 1.0, "rss": rss}, http.StatusAccepted, nil); err != nil {
+		return fix, fmt.Errorf("post scan: %w", err)
+	}
+	if err := call(http.MethodPost, sess+"/tick",
+		map[string]float64{"t": 3.5}, http.StatusOK, &fix); err != nil {
+		return fix, fmt.Errorf("tick with a fresh scan must produce a fix: %w", err)
+	}
+	return fix, nil
+}
+
+// smokeMetrics is the slice of /v1/metricsz the smoke asserts on.
+type smokeMetrics struct {
+	Sessions   int              `json:"sessions"`
+	Counters   map[string]int64 `json:"counters"`
+	Histograms map[string]struct {
+		Count int64 `json:"count"`
+	} `json:"histograms"`
+}
+
+func scrape(base string) (smokeMetrics, error) {
+	var m smokeMetrics
+	if err := call(http.MethodGet, base+"/v1/metricsz", nil, http.StatusOK, &m); err != nil {
+		return m, fmt.Errorf("scrape metricsz: %w", err)
+	}
+	return m, nil
+}
+
 // freeAddr reserves a loopback port by binding, reading the address,
 // and releasing it for molocd to claim.
 func freeAddr() (string, error) {
@@ -194,7 +317,10 @@ func freeAddr() (string, error) {
 }
 
 // waitHealthy polls /v1/healthz until the server answers, returning the
-// deployment's AP count from the health payload.
+// deployment's AP count from the health payload. The retry policy
+// inside call already rides out the connection-refused window while
+// molocd builds its deployment; the outer loop guards the overall
+// deadline.
 func waitHealthy(base string, deadline time.Time) (int, error) {
 	var health struct {
 		APs int `json:"aps"`
@@ -209,24 +335,17 @@ func waitHealthy(base string, deadline time.Time) (int, error) {
 	return 0, errors.New("server did not become healthy before the deadline")
 }
 
-// call issues one JSON request and decodes the response into out (when
-// non-nil), enforcing the expected status code.
+// call issues one JSON request through the retry policy and decodes the
+// response into out (when non-nil), enforcing the expected status code.
 func call(method, url string, body interface{}, wantStatus int, out interface{}) error {
-	var rd *bytes.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(data)
-	} else {
-		rd = bytes.NewReader(nil)
 	}
-	req, err := http.NewRequest(method, url, rd)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := retry.Do(method, url, "application/json", data)
 	if err != nil {
 		return err
 	}

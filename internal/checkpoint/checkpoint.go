@@ -1,0 +1,250 @@
+// Package checkpoint persists versioned, checksummed snapshots of the
+// motion-database training state and publishes them atomically.
+//
+// A checkpoint is one file: a fixed header (magic + the last WAL
+// sequence number it covers + payload length + CRC32C) followed by an
+// opaque payload the server defines. Publication is the classic
+// temp-file dance — write, fsync, close, rename into place, fsync the
+// directory — so a reader either sees the complete new checkpoint or
+// the previous one, never a hybrid. Recovery picks the newest file that
+// validates end to end; corrupt or torn candidates are skipped, not
+// fatal, because the WAL tail can always re-derive what a bad
+// checkpoint lost.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"moloc/internal/fault"
+)
+
+// magic identifies (and versions) the file format; bump the trailing
+// digits on incompatible changes so old binaries skip new files
+// gracefully instead of misparsing them.
+const magic = "MLCKPT01"
+
+// headerSize is magic(8) + lastSeq(8) + payloadLen(4) + payloadCRC(4).
+const headerSize = 24
+
+// maxPayload bounds the length field so a corrupt header cannot demand
+// an absurd allocation. 1 GiB is orders of magnitude above any real
+// motion DB (the paper's site has tens of locations).
+const maxPayload = 1 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoCheckpoint is returned by Latest when the directory holds no
+// valid checkpoint — a fresh deployment, or every candidate corrupt.
+var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint found")
+
+const (
+	filePrefix = "ckpt-"
+	fileSuffix = ".mlck"
+	tmpSuffix  = ".tmp"
+)
+
+// FileName returns the checkpoint filename for a given WAL coverage.
+func FileName(lastSeq uint64) string {
+	return fmt.Sprintf("%s%016x%s", filePrefix, lastSeq, fileSuffix)
+}
+
+func parseFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+		return 0, false
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, filePrefix), fileSuffix),
+		"%016x", &seq); err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Save durably writes a checkpoint covering WAL records up to and
+// including lastSeq. On return without error the checkpoint survives a
+// crash; on error the previous checkpoint (if any) is untouched.
+func Save(fs fault.FS, dir string, lastSeq uint64, payload []byte) error {
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: mkdir %s: %w", dir, err)
+	}
+	final := filepath.Join(dir, FileName(lastSeq))
+	tmp := final + tmpSuffix
+
+	var hdr [headerSize]byte
+	copy(hdr[0:8], magic)
+	binary.LittleEndian.PutUint64(hdr[8:16], lastSeq)
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[20:24], crc32.Checksum(payload, castagnoli))
+
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create %s: %w", tmp, err)
+	}
+	werr := writeFull(f, hdr[:])
+	if werr == nil {
+		werr = writeFull(f, payload)
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	cerr := f.Close()
+	if werr != nil {
+		//lint:ignore errdrop best-effort cleanup of a temp file that never became visible
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("checkpoint: write %s: %w", tmp, werr)
+	}
+	if cerr != nil {
+		//lint:ignore errdrop best-effort cleanup of a temp file that never became visible
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("checkpoint: close %s: %w", tmp, cerr)
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		//lint:ignore errdrop best-effort cleanup of a temp file that never became visible
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("checkpoint: publish %s: %w", final, err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: syncdir %s: %w", dir, err)
+	}
+	return nil
+}
+
+func writeFull(f fault.File, b []byte) error {
+	for len(b) > 0 {
+		n, err := f.Write(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+	}
+	return nil
+}
+
+// Stats describes what Latest scanned.
+type Stats struct {
+	// Scanned is how many checkpoint-named files were considered.
+	Scanned int
+	// CorruptSkipped is how many failed validation and were passed over.
+	CorruptSkipped int
+}
+
+// Latest returns the payload and WAL coverage of the newest checkpoint
+// that validates. Corrupt, torn, or mis-versioned candidates are
+// skipped (counted in Stats) — newest-valid wins. ErrNoCheckpoint means
+// the caller should start from an empty database and replay the whole
+// WAL.
+func Latest(fs fault.FS, dir string) (payload []byte, lastSeq uint64, st Stats, err error) {
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, 0, st, ErrNoCheckpoint
+		}
+		return nil, 0, st, fmt.Errorf("checkpoint: readdir %s: %w", dir, err)
+	}
+	type cand struct {
+		name string
+		seq  uint64
+	}
+	var cands []cand
+	for _, e := range ents {
+		if seq, ok := parseFileName(e.Name()); ok {
+			cands = append(cands, cand{e.Name(), seq})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq > cands[j].seq })
+	st.Scanned = len(cands)
+	for _, c := range cands {
+		payload, err := load(fs, filepath.Join(dir, c.name), c.seq)
+		if err != nil {
+			st.CorruptSkipped++
+			continue
+		}
+		return payload, c.seq, st, nil
+	}
+	return nil, 0, st, ErrNoCheckpoint
+}
+
+// load reads and validates one checkpoint file end to end.
+func load(fs fault.FS, path string, wantSeq uint64) ([]byte, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	cerr := f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("checkpoint: %s: short header (%d bytes)", path, len(data))
+	}
+	if string(data[0:8]) != magic {
+		return nil, fmt.Errorf("checkpoint: %s: bad magic %q", path, data[0:8])
+	}
+	seq := binary.LittleEndian.Uint64(data[8:16])
+	if seq != wantSeq {
+		return nil, fmt.Errorf("checkpoint: %s: header seq %d disagrees with filename", path, seq)
+	}
+	plen := int(binary.LittleEndian.Uint32(data[16:20]))
+	if plen > maxPayload {
+		return nil, fmt.Errorf("checkpoint: %s: payload length %d exceeds cap", path, plen)
+	}
+	if len(data) != headerSize+plen {
+		return nil, fmt.Errorf("checkpoint: %s: %d bytes, want %d", path, len(data), headerSize+plen)
+	}
+	payload := data[headerSize:]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[20:24]) {
+		return nil, fmt.Errorf("checkpoint: %s: payload checksum mismatch", path)
+	}
+	return payload, nil
+}
+
+// Prune keeps the newest keep valid-looking checkpoints, removing older
+// ones and any stranded temp files from interrupted saves. Best effort:
+// a file that cannot be removed is skipped, and the first error is
+// returned after the sweep completes.
+func Prune(fs fault.FS, dir string, keep int) error {
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: readdir %s: %w", dir, err)
+	}
+	var first error
+	var seqs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			// An interrupted Save; never published, safe to discard.
+			if err := fs.Remove(filepath.Join(dir, name)); err != nil && first == nil {
+				first = err
+			}
+			continue
+		}
+		if seq, ok := parseFileName(name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) <= keep {
+		return first
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs[keep:] {
+		if err := fs.Remove(filepath.Join(dir, FileName(seq))); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := fs.SyncDir(dir); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

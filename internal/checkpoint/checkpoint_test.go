@@ -1,0 +1,239 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"moloc/internal/fault"
+)
+
+func TestSaveLatestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := fault.Disk{}
+	if err := Save(fs, dir, 42, []byte("motion db state")); err != nil {
+		t.Fatal(err)
+	}
+	payload, seq, st, err := Latest(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 || string(payload) != "motion db state" {
+		t.Fatalf("seq=%d payload=%q", seq, payload)
+	}
+	if st.Scanned != 1 || st.CorruptSkipped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestNewestValidWins(t *testing.T) {
+	dir := t.TempDir()
+	fs := fault.Disk{}
+	for seq, body := range map[uint64]string{1: "old", 7: "mid", 30: "new"} {
+		if err := Save(fs, dir, seq, []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload, seq, _, err := Latest(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 30 || string(payload) != "new" {
+		t.Fatalf("seq=%d payload=%q, want newest", seq, payload)
+	}
+}
+
+func TestCorruptNewestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	fs := fault.Disk{}
+	if err := Save(fs, dir, 10, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(fs, dir, 20, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the newest checkpoint.
+	path := filepath.Join(dir, FileName(20))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload, seq, st, err := Latest(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 10 || string(payload) != "good" {
+		t.Fatalf("seq=%d payload=%q, want fallback to 10", seq, payload)
+	}
+	if st.CorruptSkipped != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestLoadRejections table-tests every header defect Latest must skip.
+func TestLoadRejections(t *testing.T) {
+	mk := func(mutate func([]byte) []byte) []byte {
+		dir := t.TempDir()
+		if err := Save(fault.Disk{}, dir, 5, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, FileName(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mutate(data)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty file", []byte{}},
+		{"short header", mk(func(b []byte) []byte { return b[:headerSize-1] })},
+		{"bad magic", mk(func(b []byte) []byte { b[0] = 'X'; return b })},
+		{"wrong version", mk(func(b []byte) []byte { b[7] = '9'; return b })},
+		{"seq/name mismatch", mk(func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:16], 6)
+			return b
+		})},
+		{"truncated payload", mk(func(b []byte) []byte { return b[:len(b)-2] })},
+		{"trailing garbage", mk(func(b []byte) []byte { return append(b, 0xEE) })},
+		{"payload bit flip", mk(func(b []byte) []byte { b[headerSize] ^= 1; return b })},
+		{"absurd length", mk(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:20], 1<<31-1)
+			return b
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, FileName(5)), tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, st, err := Latest(fault.Disk{}, dir)
+			if !errors.Is(err, ErrNoCheckpoint) {
+				t.Fatalf("want ErrNoCheckpoint, got %v", err)
+			}
+			if st.CorruptSkipped != 1 {
+				t.Fatalf("stats: %+v", st)
+			}
+		})
+	}
+}
+
+func TestNoCheckpoint(t *testing.T) {
+	if _, _, _, err := Latest(fault.Disk{}, t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: want ErrNoCheckpoint, got %v", err)
+	}
+	if _, _, _, err := Latest(fault.Disk{}, filepath.Join(t.TempDir(), "never-created")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: want ErrNoCheckpoint, got %v", err)
+	}
+}
+
+// TestCrashBetweenWriteAndRename: the classic torn publication. The
+// temp file exists but was never renamed; recovery must ignore it and
+// serve the previous checkpoint.
+func TestCrashBetweenWriteAndRename(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(fault.Disk{}, dir, 3, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(fault.Disk{}, fault.Rule{Op: fault.OpRename, PathContains: filePrefix, Crash: true})
+	if err := Save(in, dir, 9, []byte("never lands")); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	// Reborn process, fresh filesystem.
+	payload, seq, _, err := Latest(fault.Disk{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 || string(payload) != "stable" {
+		t.Fatalf("seq=%d payload=%q, want the pre-crash checkpoint", seq, payload)
+	}
+	// Prune clears the stranded temp file.
+	if err := Prune(fault.Disk{}, dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == tmpSuffix {
+			t.Fatalf("stranded temp file survived prune: %s", e.Name())
+		}
+	}
+}
+
+func TestSaveFailureLeavesPreviousIntact(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(fault.Disk{}, dir, 3, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(fault.Disk{},
+		fault.Rule{Op: fault.OpSync, PathContains: tmpSuffix, Err: syscall.EIO})
+	if err := Save(in, dir, 9, []byte("doomed")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	payload, seq, st, err := Latest(fault.Disk{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 || string(payload) != "stable" || st.CorruptSkipped != 0 {
+		t.Fatalf("seq=%d payload=%q stats=%+v", seq, payload, st)
+	}
+}
+
+func TestPruneKeepsNewest(t *testing.T) {
+	dir := t.TempDir()
+	fs := fault.Disk{}
+	for _, seq := range []uint64{1, 2, 3, 4, 5} {
+		if err := Save(fs, dir, seq, []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Prune(fs, dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	want := []string{FileName(4), FileName(5)}
+	if len(names) != 2 || names[0] != want[0] || names[1] != want[1] {
+		t.Fatalf("after prune: %v, want %v", names, want)
+	}
+	payload, seq, _, err := Latest(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 5 || !bytes.Equal(payload, []byte{5}) {
+		t.Fatalf("latest after prune: seq=%d", seq)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	dir := t.TempDir()
+	fs := fault.Disk{}
+	if err := Save(fs, dir, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	payload, seq, _, err := Latest(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 || len(payload) != 0 {
+		t.Fatalf("seq=%d payload=%q", seq, payload)
+	}
+}

@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := Disk{}
+	name := filepath.Join(dir, "a.txt")
+	f, err := fs.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(name, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "b.txt" {
+		t.Fatalf("dir entries: %v", ents)
+	}
+	if err := fs.Truncate(filepath.Join(dir, "b.txt"), 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "b.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "he" {
+		t.Fatalf("after truncate: %q", data)
+	}
+}
+
+// TestInjectorSchedule exercises the After/Count firing window: the
+// first After matches pass, the next Count fail, and the rule then
+// disarms.
+func TestInjectorSchedule(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk{}, Rule{Op: OpSync, After: 1, Count: 2, Err: syscall.EIO})
+	f, err := in.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 should pass: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("sync %d: want EIO, got %v", i+2, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after rule exhausted should pass: %v", err)
+	}
+	if got := in.Fired(0); got != 2 {
+		t.Fatalf("fired = %d, want 2", got)
+	}
+}
+
+// TestInjectorShortWrite verifies a torn write leaves exactly the
+// scripted prefix on disk.
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk{}, Rule{Op: OpWrite, KeepBytes: 3, Crash: true})
+	name := filepath.Join(dir, "torn")
+	f, err := in.OpenFile(name, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("short write wrote %d bytes, want 3", n)
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "abc" {
+		t.Fatalf("on disk: %q", data)
+	}
+}
+
+// TestInjectorCrashHalts verifies that after a Crash rule fires every
+// later operation — on the FS and on files opened before the crash —
+// fails with ErrCrashed.
+func TestInjectorCrashHalts(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk{}, Rule{Op: OpRename, Crash: true})
+	f, err := in.OpenFile(filepath.Join(dir, "pre"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(filepath.Join(dir, "pre"), filepath.Join(dir, "post")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename: want ErrCrashed, got %v", err)
+	}
+	if !in.Halted() {
+		t.Fatal("injector should be halted")
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: want ErrCrashed, got %v", err)
+	}
+	if _, err := in.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("readdir after crash: want ErrCrashed, got %v", err)
+	}
+	// The rename never happened: the original file is still there.
+	if _, err := os.Stat(filepath.Join(dir, "pre")); err != nil {
+		t.Fatalf("pre-crash file gone: %v", err)
+	}
+}
+
+// TestInjectorPathFilter verifies rules only fire on matching paths.
+func TestInjectorPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk{}, Rule{Op: OpOpen, PathContains: "wal-", Err: syscall.EIO})
+	if _, err := in.OpenFile(filepath.Join(dir, "ckpt-1"), os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		t.Fatalf("non-matching open: %v", err)
+	}
+	if _, err := in.OpenFile(filepath.Join(dir, "wal-1"), os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matching open: want EIO, got %v", err)
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	c := NewManualClock(t0)
+	if !c.Now().Equal(t0) {
+		t.Fatal("clock should start at t0")
+	}
+	c.Advance(3 * time.Second)
+	if got := c.Now().Sub(t0); got != 3*time.Second {
+		t.Fatalf("advanced %v, want 3s", got)
+	}
+}

@@ -1,0 +1,256 @@
+// The Injector: an FS middleware that fails operations on a
+// deterministic script. Each Rule names an operation, an optional path
+// substring, and a firing window (skip the first After matches, then
+// fire Count times); the effect is an injected error, a short write, or
+// a simulated crash that halts the filesystem for good — the moral
+// equivalent of kill -9 between two syscalls.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Op names one filesystem operation for rule matching.
+type Op string
+
+// Operations an Injector can fault.
+const (
+	OpOpen     Op = "open"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpTruncate Op = "truncate"
+	OpReadDir  Op = "readdir"
+	OpMkdirAll Op = "mkdirall"
+	OpSyncDir  Op = "syncdir"
+)
+
+// ErrCrashed is returned by every operation after a Crash rule fires:
+// the process is pretending to be dead, so nothing else may reach the
+// disk. Recovery tests then reopen the files with a fresh FS, exactly
+// as a restarted process would.
+var ErrCrashed = errors.New("fault: simulated crash")
+
+// ErrInjected is the default error of a rule that specifies none.
+var ErrInjected = errors.New("fault: injected error")
+
+// Rule is one scripted fault.
+type Rule struct {
+	// Op selects the operation to fault.
+	Op Op
+	// PathContains restricts the rule to paths containing this
+	// substring; empty matches every path.
+	PathContains string
+	// After skips the first After matching operations before firing.
+	After int
+	// Count is how many times the rule fires; 0 means once. A large
+	// Count makes the fault persistent (e.g. a full disk).
+	Count int
+	// Err is the injected error; nil selects ErrInjected (or ErrCrashed
+	// when Crash is set).
+	Err error
+	// KeepBytes applies to OpWrite: the first KeepBytes of the buffer
+	// reach the file before the error, simulating a torn write.
+	KeepBytes int
+	// Crash halts the injector after the rule fires: every later
+	// operation returns ErrCrashed.
+	Crash bool
+}
+
+func (r Rule) err() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Crash {
+		return ErrCrashed
+	}
+	return ErrInjected
+}
+
+// ruleState tracks a rule's firing window.
+type ruleState struct {
+	Rule
+	seen  int
+	fired int
+}
+
+// Injector wraps an FS with a fault script. It is safe for concurrent
+// use; rule bookkeeping is serialized under one mutex.
+type Injector struct {
+	fs FS
+
+	mu     sync.Mutex
+	rules  []*ruleState
+	halted bool
+}
+
+var _ FS = (*Injector)(nil)
+
+// NewInjector wraps fs with the scripted rules, evaluated in order;
+// the first matching armed rule fires.
+func NewInjector(fs FS, rules ...Rule) *Injector {
+	in := &Injector{fs: fs}
+	for _, r := range rules {
+		in.rules = append(in.rules, &ruleState{Rule: r})
+	}
+	return in
+}
+
+// Halted reports whether a Crash rule has fired.
+func (in *Injector) Halted() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.halted
+}
+
+// Fired returns how many times rule i has fired.
+func (in *Injector) Fired(i int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rules[i].fired
+}
+
+// check consults the script for one operation. It returns the rule that
+// fired (nil for a clean pass) and whether the injector is halted.
+func (in *Injector) check(op Op, path string) (*ruleState, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.halted {
+		return nil, ErrCrashed
+	}
+	for _, r := range in.rules {
+		if r.Op != op || !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		count := r.Count
+		if count == 0 {
+			count = 1
+		}
+		if r.fired >= count {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		r.fired++
+		if r.Crash {
+			in.halted = true
+		}
+		return r, r.err()
+	}
+	return nil, nil
+}
+
+// OpenFile implements FS.
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if _, err := in.check(OpOpen, name); err != nil {
+		return nil, fmt.Errorf("open %s: %w", name, err)
+	}
+	f, err := in.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f, name: name}, nil
+}
+
+// Rename implements FS.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if _, err := in.check(OpRename, newpath); err != nil {
+		return fmt.Errorf("rename %s: %w", newpath, err)
+	}
+	return in.fs.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (in *Injector) Remove(name string) error {
+	if _, err := in.check(OpRemove, name); err != nil {
+		return fmt.Errorf("remove %s: %w", name, err)
+	}
+	return in.fs.Remove(name)
+}
+
+// ReadDir implements FS.
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if _, err := in.check(OpReadDir, name); err != nil {
+		return nil, fmt.Errorf("readdir %s: %w", name, err)
+	}
+	return in.fs.ReadDir(name)
+}
+
+// MkdirAll implements FS.
+func (in *Injector) MkdirAll(name string, perm os.FileMode) error {
+	if _, err := in.check(OpMkdirAll, name); err != nil {
+		return fmt.Errorf("mkdirall %s: %w", name, err)
+	}
+	return in.fs.MkdirAll(name, perm)
+}
+
+// Truncate implements FS.
+func (in *Injector) Truncate(name string, size int64) error {
+	if _, err := in.check(OpTruncate, name); err != nil {
+		return fmt.Errorf("truncate %s: %w", name, err)
+	}
+	return in.fs.Truncate(name, size)
+}
+
+// SyncDir implements FS.
+func (in *Injector) SyncDir(name string) error {
+	if _, err := in.check(OpSyncDir, name); err != nil {
+		return fmt.Errorf("syncdir %s: %w", name, err)
+	}
+	return in.fs.SyncDir(name)
+}
+
+// injFile routes a file's operations back through the script.
+type injFile struct {
+	in   *Injector
+	f    File
+	name string
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if _, err := f.in.check(OpRead, f.name); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	r, err := f.in.check(OpWrite, f.name)
+	if err != nil {
+		n := 0
+		if r != nil && r.KeepBytes > 0 && r.KeepBytes < len(p) {
+			// Torn write: the prefix lands on disk, the rest never does.
+			//lint:ignore errdrop the injected error is what the caller must see; the short count is the effect under test
+			n, _ = f.f.Write(p[:r.KeepBytes])
+		}
+		return n, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) Sync() error {
+	if _, err := f.in.check(OpSync, f.name); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Close() error {
+	if _, err := f.in.check(OpClose, f.name); err != nil {
+		// Close the real handle regardless; a crashed process does not
+		// leak descriptors into the reborn one.
+		//lint:ignore errdrop the injected error is the one under test
+		_ = f.f.Close()
+		return err
+	}
+	return f.f.Close()
+}

@@ -1,0 +1,170 @@
+// Package httpretry is the client-side half of the robustness story:
+// jittered exponential backoff with a retry budget for the repo's HTTP
+// clients (molocctl, molocsmoke). The server sheds load with 429 and
+// degrades with 503; a client that hammers straight through those turns
+// a brown-out into an outage, and one that gives up on the first
+// connection refused cannot ride out a restart. Retries are capped both
+// by attempt count and by total sleep budget, honor Retry-After, and
+// jitter every delay so a fleet of clients does not reconverge in
+// lockstep.
+package httpretry
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"time"
+
+	"moloc/internal/stats"
+)
+
+// Defaults for the zero fields of Policy.
+const (
+	DefaultMaxAttempts = 8
+	DefaultBase        = 100 * time.Millisecond
+	DefaultCap         = 3 * time.Second
+	DefaultBudget      = 30 * time.Second
+)
+
+// Policy says when and how long to wait between attempts. The zero
+// value of each field selects the package default; RNG is required
+// (jitter is the point).
+type Policy struct {
+	// MaxAttempts bounds total tries, the first included.
+	MaxAttempts int
+	// Base is the first retry's nominal delay; it doubles per attempt.
+	Base time.Duration
+	// Cap bounds a single delay, including one asked for by Retry-After.
+	Cap time.Duration
+	// Budget bounds the cumulative sleep across all retries of one Do: a
+	// retry that would overspend it is not taken. It is the answer to
+	// "how long may this call block, worst case".
+	Budget time.Duration
+	// RNG drives the jitter; an explicit seed keeps test runs
+	// reproducible.
+	RNG *stats.RNG
+	// Sleep is the wait seam; nil selects time.Sleep. Tests capture
+	// delays here instead of actually waiting.
+	Sleep func(time.Duration)
+	// Client issues the requests; nil selects http.DefaultClient.
+	Client *http.Client
+}
+
+// New returns a Policy with the package defaults and the given RNG.
+func New(rng *stats.RNG) Policy { return Policy{RNG: rng} }
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Cap <= 0 {
+		p.Cap = DefaultCap
+	}
+	if p.Budget <= 0 {
+		p.Budget = DefaultBudget
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Client == nil {
+		p.Client = http.DefaultClient
+	}
+	return p
+}
+
+// RetryableStatus reports whether a status code is worth retrying:
+// overload shedding (429) and the transient 5xx family a restarting or
+// degraded server emits. 500 is excluded — it marks a bug, and a bug
+// does not heal between attempts.
+func RetryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Do issues the request, retrying retryable failures under the policy.
+// The body is replayed from the byte slice on every attempt. It returns
+// the last response received — possibly still a retryable status, when
+// attempts or budget ran out — or the last transport error when no
+// response ever arrived. The caller owns the returned response body.
+func (p Policy) Do(method, url, contentType string, body []byte) (*http.Response, error) {
+	p = p.withDefaults()
+	var spent time.Duration
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err // malformed request; no retry can fix it
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := p.Client.Do(req)
+		if err == nil && !RetryableStatus(resp.StatusCode) {
+			return resp, nil
+		}
+
+		delay := p.backoff(attempt)
+		if err == nil {
+			if ra, ok := retryAfter(resp.Header, p.Cap); ok {
+				delay = ra
+			}
+		}
+		if attempt+1 >= p.MaxAttempts || spent+delay > p.Budget {
+			// Out of attempts or budget: hand back whatever we have.
+			return resp, err
+		}
+		if resp != nil {
+			// The retried response is dead weight; drop it before the next
+			// attempt replaces it.
+			//lint:ignore errdrop discarding a response we are about to retry
+			_ = resp.Body.Close()
+		}
+		spent += delay
+		p.Sleep(delay)
+	}
+}
+
+// backoff computes the jittered exponential delay for one attempt:
+// half the nominal delay guaranteed, the other half uniform — enough
+// spread to de-synchronize clients without ever retrying absurdly
+// early.
+func (p Policy) backoff(attempt int) time.Duration {
+	d := p.Base << uint(attempt)
+	if d > p.Cap || d <= 0 { // <= 0 catches shift overflow
+		d = p.Cap
+	}
+	return d/2 + time.Duration(p.RNG.Float64()*float64(d/2))
+}
+
+// retryAfter parses a Retry-After header (delta-seconds or HTTP-date),
+// capped at cap so a confused server cannot park the client.
+func retryAfter(h http.Header, cap time.Duration) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		d := time.Duration(secs) * time.Second
+		if d > cap {
+			d = cap
+		}
+		return d, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		d := time.Until(at)
+		if d < 0 {
+			d = 0
+		}
+		if d > cap {
+			d = cap
+		}
+		return d, true
+	}
+	return 0, false
+}

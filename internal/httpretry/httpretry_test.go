@@ -1,0 +1,240 @@
+package httpretry
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"moloc/internal/stats"
+)
+
+// scripted serves a fixed sequence of statuses, then 200 forever.
+func scripted(statuses ...int) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n < len(statuses) {
+			w.WriteHeader(statuses[n])
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		w.WriteHeader(http.StatusOK)
+		//lint:ignore errdrop test server echo
+		_, _ = w.Write(body)
+	}))
+	return ts, &calls
+}
+
+// testPolicy sleeps nowhere and records every delay.
+func testPolicy(delays *[]time.Duration) Policy {
+	p := New(stats.NewRNG(1))
+	p.Sleep = func(d time.Duration) { *delays = append(*delays, d) }
+	return p
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	ts, calls := scripted(http.StatusServiceUnavailable, http.StatusTooManyRequests)
+	defer ts.Close()
+	var delays []time.Duration
+	resp, err := testPolicy(&delays).Do(http.MethodPost, ts.URL, "application/json", []byte(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if calls.Load() != 3 || len(delays) != 2 {
+		t.Fatalf("calls = %d, delays = %v", calls.Load(), delays)
+	}
+	// The body must have been replayed on the final attempt.
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != `{"x":1}` {
+		t.Fatalf("replayed body = %q", body)
+	}
+}
+
+func TestBackoffGrowsWithJitter(t *testing.T) {
+	ts, _ := scripted(503, 503, 503, 503)
+	defer ts.Close()
+	var delays []time.Duration
+	p := testPolicy(&delays)
+	resp, err := p.Do(http.MethodGet, ts.URL, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(delays) != 4 {
+		t.Fatalf("delays = %v", delays)
+	}
+	for i, d := range delays {
+		nominal := DefaultBase << uint(i)
+		if d < nominal/2 || d > nominal {
+			t.Errorf("delay %d = %v, want in [%v, %v]", i, d, nominal/2, nominal)
+		}
+	}
+}
+
+func TestNonRetryableStatusReturnsImmediately(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusNotFound, http.StatusInternalServerError} {
+		ts, calls := scripted(status, status)
+		var delays []time.Duration
+		resp, err := testPolicy(&delays).Do(http.MethodGet, ts.URL, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != status || calls.Load() != 1 || len(delays) != 0 {
+			t.Errorf("status %d: got %d after %d calls, %d sleeps",
+				status, resp.StatusCode, calls.Load(), len(delays))
+		}
+		ts.Close()
+	}
+}
+
+func TestRetryAfterHonoredAndCapped(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			w.Header().Set("Retry-After", "9999")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer ts.Close()
+	var delays []time.Duration
+	p := testPolicy(&delays)
+	p.Budget = time.Hour // the capped 9999s must come from Cap, not Budget
+	resp, err := p.Do(http.MethodGet, ts.URL, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(delays) != 2 {
+		t.Fatalf("delays = %v", delays)
+	}
+	if delays[0] != 2*time.Second {
+		t.Errorf("Retry-After 2 gave delay %v", delays[0])
+	}
+	if delays[1] != DefaultCap {
+		t.Errorf("absurd Retry-After gave delay %v, want cap %v", delays[1], DefaultCap)
+	}
+}
+
+func TestAttemptCapReturnsLastResponse(t *testing.T) {
+	ts, calls := scripted(503, 503, 503, 503, 503, 503, 503, 503, 503, 503)
+	defer ts.Close()
+	var delays []time.Duration
+	p := testPolicy(&delays)
+	p.MaxAttempts = 3
+	resp, err := p.Do(http.MethodGet, ts.URL, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want the last 503", resp.StatusCode)
+	}
+	if calls.Load() != 3 || len(delays) != 2 {
+		t.Fatalf("calls = %d, delays = %v", calls.Load(), delays)
+	}
+}
+
+func TestBudgetStopsRetrying(t *testing.T) {
+	ts, calls := scripted(503, 503, 503, 503, 503)
+	defer ts.Close()
+	var delays []time.Duration
+	p := testPolicy(&delays)
+	p.Base = 200 * time.Millisecond
+	p.Budget = 300 * time.Millisecond // room for roughly one backoff, never four
+	resp, err := p.Do(http.MethodGet, ts.URL, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if calls.Load() >= 5 {
+		t.Fatalf("budget did not stop retries: %d calls, slept %v", calls.Load(), delays)
+	}
+}
+
+// TestConnectionRefusedRetriesAcrossRestart is the restart scenario: the
+// first attempt finds nobody listening, the "server" comes up during the
+// backoff, and the retry succeeds — the client rides out the restart.
+func TestConnectionRefusedRetriesAcrossRestart(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var started atomic.Bool
+	var srv *httptest.Server
+	p := New(stats.NewRNG(2))
+	p.Sleep = func(time.Duration) {
+		if started.CompareAndSwap(false, true) {
+			l2, err := net.Listen("tcp", addr)
+			if err != nil {
+				t.Errorf("rebind %s: %v", addr, err)
+				return
+			}
+			srv = &httptest.Server{
+				Listener: l2,
+				Config: &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					w.WriteHeader(http.StatusOK)
+				})},
+			}
+			srv.Start()
+		}
+	}
+	defer func() {
+		if srv != nil {
+			srv.Close()
+		}
+	}()
+
+	resp, err := p.Do(http.MethodGet, "http://"+addr+"/", "", nil)
+	if err != nil {
+		t.Fatalf("did not recover across restart: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestExhaustedConnectionErrorsSurface(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var delays []time.Duration
+	p := testPolicy(&delays)
+	p.MaxAttempts = 3
+	resp, err := p.Do(http.MethodGet, "http://"+addr+"/", "", nil)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("expected a transport error with nothing listening")
+	}
+	if len(delays) != 2 {
+		t.Fatalf("delays = %v, want 2 retries", delays)
+	}
+}

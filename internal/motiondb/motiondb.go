@@ -6,7 +6,6 @@
 package motiondb
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"os"
@@ -180,20 +179,11 @@ type dbJSON struct {
 	} `json:"pairs"`
 }
 
-// SaveJSON writes the database to a file.
+// SaveJSON writes the database to a file (see Encode for the format).
 func (db *DB) SaveJSON(path string) error {
-	var j dbJSON
-	j.N = db.n
-	for pair, e := range db.entries {
-		j.Pairs = append(j.Pairs, struct {
-			I     int   `json:"i"`
-			J     int   `json:"j"`
-			Entry Entry `json:"entry"`
-		}{pair[0], pair[1], e})
-	}
-	data, err := json.MarshalIndent(j, "", " ")
+	data, err := db.Encode()
 	if err != nil {
-		return fmt.Errorf("motiondb: marshal: %w", err)
+		return err
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("motiondb: write %s: %w", path, err)
@@ -210,26 +200,9 @@ func LoadJSON(path string) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("motiondb: read %s: %w", path, err)
 	}
-	var j dbJSON
-	if err := json.Unmarshal(data, &j); err != nil {
-		return nil, fmt.Errorf("motiondb: parse %s: %w", path, err)
-	}
-	if j.N < 1 {
-		return nil, fmt.Errorf("motiondb: %s: location count %d must be >= 1", path, j.N)
-	}
-	db := New(j.N)
-	for _, p := range j.Pairs {
-		if p.I >= p.J || p.I < 1 || p.J > j.N {
-			return nil, fmt.Errorf("motiondb: %s: invalid pair (%d,%d) for %d locations",
-				path, p.I, p.J, j.N)
-		}
-		if _, dup := db.entries[[2]int{p.I, p.J}]; dup {
-			return nil, fmt.Errorf("motiondb: %s: duplicate pair (%d,%d)", path, p.I, p.J)
-		}
-		if err := p.Entry.Validate(); err != nil {
-			return nil, fmt.Errorf("%s: pair (%d,%d): %w", path, p.I, p.J, err)
-		}
-		db.entries[[2]int{p.I, p.J}] = p.Entry
+	db, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return db, nil
 }

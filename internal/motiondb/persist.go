@@ -1,0 +1,163 @@
+// Serialization of the motion database and the builder's streaming
+// state. Two consumers: SaveJSON/LoadJSON persist a trained DB as a
+// human-editable artifact, and the server's checkpoint machinery stores
+// Encode + EncodeState as an opaque payload so a crashed process can
+// resume training bit-identically — entries are fit on cumulative
+// per-pair samples, so checkpointing the DB alone would silently lose
+// every pair still below MinSamples.
+package motiondb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"moloc/internal/motion"
+)
+
+// Encode serializes the database deterministically: pairs are sorted,
+// so identical databases produce identical bytes (the crash-recovery
+// tests compare encodings to prove bit-identical state).
+func (db *DB) Encode() ([]byte, error) {
+	var j dbJSON
+	j.N = db.n
+	pairs := db.Pairs()
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	for _, pair := range pairs {
+		j.Pairs = append(j.Pairs, struct {
+			I     int   `json:"i"`
+			J     int   `json:"j"`
+			Entry Entry `json:"entry"`
+		}{pair[0], pair[1], db.entries[pair]})
+	}
+	data, err := json.MarshalIndent(j, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("motiondb: marshal: %w", err)
+	}
+	return data, nil
+}
+
+// Decode parses a database serialized by Encode (or hand-written in the
+// same format). Every entry is validated and duplicate or out-of-range
+// pairs are rejected, so corrupt input cannot zero out Eq. 5 at serving
+// time.
+func Decode(data []byte) (*DB, error) {
+	var j dbJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("motiondb: parse: %w", err)
+	}
+	if j.N < 1 {
+		return nil, fmt.Errorf("motiondb: location count %d must be >= 1", j.N)
+	}
+	db := New(j.N)
+	for _, p := range j.Pairs {
+		if p.I >= p.J || p.I < 1 || p.J > j.N {
+			return nil, fmt.Errorf("motiondb: invalid pair (%d,%d) for %d locations", p.I, p.J, j.N)
+		}
+		if _, dup := db.entries[[2]int{p.I, p.J}]; dup {
+			return nil, fmt.Errorf("motiondb: duplicate pair (%d,%d)", p.I, p.J)
+		}
+		if err := p.Entry.Validate(); err != nil {
+			return nil, fmt.Errorf("pair (%d,%d): %w", p.I, p.J, err)
+		}
+		db.entries[[2]int{p.I, p.J}] = p.Entry
+	}
+	return db, nil
+}
+
+// builderStateJSON is the serialized streaming state of a Builder: the
+// coarse-surviving samples of every pair in arrival order (the moments
+// are re-derived by replay, guaranteeing the same floating-point
+// accumulation), plus the lifetime drop counters.
+type builderStateJSON struct {
+	Pairs []struct {
+		I       int          `json:"i"`
+		J       int          `json:"j"`
+		Samples []motion.RLM `json:"samples"`
+	} `json:"pairs"`
+	DroppedSelf   int `json:"dropped_self"`
+	DroppedNonAdj int `json:"dropped_non_adj"`
+	DroppedCoarse int `json:"dropped_coarse"`
+}
+
+// EncodeState serializes the builder's accumulated training state
+// deterministically (pairs sorted, samples in arrival order).
+func (b *Builder) EncodeState() ([]byte, error) {
+	var j builderStateJSON
+	pairs := make([][2]int, 0, len(b.acc))
+	for p := range b.acc {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, c int) bool {
+		if pairs[a][0] != pairs[c][0] {
+			return pairs[a][0] < pairs[c][0]
+		}
+		return pairs[a][1] < pairs[c][1]
+	})
+	for _, pair := range pairs {
+		a := b.acc[pair]
+		if len(a.samples) == 0 {
+			continue
+		}
+		j.Pairs = append(j.Pairs, struct {
+			I       int          `json:"i"`
+			J       int          `json:"j"`
+			Samples []motion.RLM `json:"samples"`
+		}{pair[0], pair[1], a.samples})
+	}
+	j.DroppedSelf = b.droppedSelf
+	j.DroppedNonAdj = b.droppedNonAdj
+	j.DroppedCoarse = b.droppedCoarse
+	data, err := json.Marshal(j)
+	if err != nil {
+		return nil, fmt.Errorf("motiondb: marshal builder state: %w", err)
+	}
+	return data, nil
+}
+
+// RestoreState replays a serialized builder state into b, rebuilding
+// each pair's moment accumulators by adding the retained samples in
+// their original arrival order — so a builder restored from a
+// checkpoint is bit-identical to the one that wrote it. Restored pairs
+// are NOT marked touched: the checkpointed database already reflects
+// them, and flagging them would force a full recompile at boot. The
+// builder must be fresh (no accumulated samples).
+func (b *Builder) RestoreState(data []byte) error {
+	for _, a := range b.acc {
+		if len(a.samples) > 0 {
+			return fmt.Errorf("motiondb: RestoreState on a builder with accumulated samples")
+		}
+	}
+	var j builderStateJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("motiondb: parse builder state: %w", err)
+	}
+	n := b.plan.NumLocs()
+	for _, p := range j.Pairs {
+		if p.I >= p.J || p.I < 1 || p.J > n {
+			return fmt.Errorf("motiondb: builder state: invalid pair (%d,%d) for %d locations", p.I, p.J, n)
+		}
+		a := b.accFor([2]int{p.I, p.J})
+		if len(a.samples) > 0 {
+			return fmt.Errorf("motiondb: builder state: duplicate pair (%d,%d)", p.I, p.J)
+		}
+		for _, s := range p.Samples {
+			if math.IsNaN(s.Dir) || math.IsInf(s.Dir, 0) || math.IsNaN(s.Off) || math.IsInf(s.Off, 0) {
+				return fmt.Errorf("motiondb: builder state: non-finite sample in pair (%d,%d)", p.I, p.J)
+			}
+			a.samples = append(a.samples, s)
+			a.dir.Add(s.Dir)
+			a.off.Add(s.Off)
+		}
+	}
+	b.droppedSelf = j.DroppedSelf
+	b.droppedNonAdj = j.DroppedNonAdj
+	b.droppedCoarse = j.DroppedCoarse
+	return nil
+}

@@ -1,0 +1,185 @@
+package motiondb
+
+import (
+	"bytes"
+	"testing"
+
+	"moloc/internal/floorplan"
+	"moloc/internal/motion"
+)
+
+func TestEncodeDeterministic(t *testing.T) {
+	e1 := Entry{MeanDir: 90, StdDir: 4, MeanOff: 5, StdOff: 0.3, N: 7}
+	e2 := Entry{MeanDir: 180, StdDir: 6, MeanOff: 3, StdOff: 0.2, N: 4}
+	a := New(10)
+	a.Set(1, 2, e1)
+	a.Set(3, 4, e2)
+	b := New(10)
+	b.Set(3, 4, e2)
+	b.Set(1, 2, e1)
+	ea, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("insertion order leaked into the encoding")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	db := New(6)
+	db.Set(1, 2, Entry{MeanDir: 90, StdDir: 4, MeanOff: 5, StdOff: 0.3, N: 7})
+	db.Set(2, 5, Entry{MeanDir: 271.25, StdDir: 3, MeanOff: 2.5, StdOff: 0.15, N: 12})
+	data, err := db.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumLocs() != 6 || got.NumEntries() != 2 {
+		t.Fatalf("decoded %d locs, %d entries", got.NumLocs(), got.NumEntries())
+	}
+	// A decode→encode round trip is byte-stable.
+	data2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("encode after decode differs")
+	}
+	e, ok := got.Lookup(2, 5)
+	if !ok || e.MeanDir != 271.25 || e.N != 12 {
+		t.Fatalf("entry lost in round trip: %+v ok=%v", e, ok)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", `{{{`},
+		{"zero locations", `{"n":0,"pairs":null}`},
+		{"pair out of range", `{"n":3,"pairs":[{"i":1,"j":4,"entry":{"mean_dir":1,"std_dir":1,"mean_off":1,"std_off":1,"n":1}}]}`},
+		{"non-canonical pair", `{"n":3,"pairs":[{"i":2,"j":1,"entry":{"mean_dir":1,"std_dir":1,"mean_off":1,"std_off":1,"n":1}}]}`},
+		{"duplicate pair", `{"n":3,"pairs":[
+			{"i":1,"j":2,"entry":{"mean_dir":1,"std_dir":1,"mean_off":1,"std_off":1,"n":1}},
+			{"i":1,"j":2,"entry":{"mean_dir":2,"std_dir":1,"mean_off":1,"std_off":1,"n":1}}]}`},
+		{"degenerate entry", `{"n":3,"pairs":[{"i":1,"j":2,"entry":{"mean_dir":1,"std_dir":0,"mean_off":1,"std_off":1,"n":1}}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode([]byte(tc.data)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+// TestBuilderStateRoundTrip proves the checkpoint invariant: a builder
+// restored from EncodeState is bit-identical to the one that wrote it —
+// same raw samples, same drop counters, and byte-identical Build
+// output.
+func TestBuilderStateRoundTrip(t *testing.T) {
+	cfg := NewBuilderConfig()
+	cfg.MapFallback = false
+	orig := mustBuilder(t, cfg)
+	addSamples(orig, 1, 2, 10, 3, 0.2, 1)
+	addSamples(orig, 2, 3, 7, 4, 0.3, 2)
+	orig.Add(Observation{From: 3, To: 3, RLM: motion.RLM{Dir: 1, Off: 1}}) // self-loop drop
+	orig.TakeTouched()
+
+	state, err := orig.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := mustBuilder(t, cfg)
+	if err := restored.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.RawSamples(1, 2); got != orig.RawSamples(1, 2) {
+		t.Fatalf("pair 1-2 samples: %d vs %d", got, orig.RawSamples(1, 2))
+	}
+	s1, _, _, _ := restored.Dropped()
+	if s1 != 1 {
+		t.Fatalf("drop counters not restored: self=%d", s1)
+	}
+	// Restored pairs are not dirty: the checkpointed DB already has them.
+	if touched := restored.TakeTouched(); touched != nil {
+		t.Fatalf("restore marked pairs touched: %v", touched)
+	}
+
+	wantDB, err := orig.Build().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDB, err := restored.Build().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantDB, gotDB) {
+		t.Fatal("restored builder builds a different database")
+	}
+
+	// Continuation stays bit-identical: feed both the same tail.
+	addSamples(orig, 1, 2, 5, 3, 0.2, 9)
+	addSamples(restored, 1, 2, 5, 3, 0.2, 9)
+	wantDB, err = orig.Build().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDB, err = restored.Build().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantDB, gotDB) {
+		t.Fatal("post-restore continuation diverged")
+	}
+}
+
+func TestRestoreStateRejects(t *testing.T) {
+	cfg := NewBuilderConfig()
+	fresh := func() *Builder { return mustBuilder(t, cfg) }
+	n := floorplan.OfficeHall().NumLocs()
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"garbage", `{{{`},
+		{"pair out of range", `{"pairs":[{"i":1,"j":` + itoa(n+1) + `,"samples":[{"dir":1,"off":1}]}]}`},
+		{"non-canonical pair", `{"pairs":[{"i":2,"j":1,"samples":[{"dir":1,"off":1}]}]}`},
+		{"duplicate pair", `{"pairs":[{"i":1,"j":2,"samples":[{"dir":1,"off":1}]},{"i":1,"j":2,"samples":[{"dir":2,"off":2}]}]}`},
+		{"non-finite sample", `{"pairs":[{"i":1,"j":2,"samples":[{"dir":1e999,"off":1}]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := fresh().RestoreState([]byte(tc.data)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+	// Restoring into a dirty builder is refused.
+	dirty := fresh()
+	addSamples(dirty, 1, 2, 3, 3, 0.2, 1)
+	if err := dirty.RestoreState([]byte(`{"pairs":null}`)); err == nil {
+		t.Fatal("restore into dirty builder should fail")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

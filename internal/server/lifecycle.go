@@ -11,8 +11,10 @@ import (
 	"sync"
 	"time"
 
+	"moloc/internal/fault"
 	"moloc/internal/floorplan"
 	"moloc/internal/tracker"
+	"moloc/internal/wal"
 )
 
 // Defaults for the zero fields of Options.
@@ -40,6 +42,10 @@ const (
 	// DefaultObsQueueCap bounds observations buffered between retrains;
 	// ingest answers 429 beyond it.
 	DefaultObsQueueCap = 1 << 16
+	// DefaultCheckpointRetain is how many motion-DB checkpoints survive
+	// pruning: the newest plus one fallback in case the newest is found
+	// corrupt at the next boot.
+	DefaultCheckpointRetain = 2
 )
 
 // Options are the serving limits of a Server. The zero value of each
@@ -80,6 +86,24 @@ type Options struct {
 	// builder so observations between non-adjacent locations are
 	// discarded at ingest (the paper's adjacency consistency filter).
 	TrainGraph *floorplan.WalkGraph
+	// DataDir, when set, turns on crash-safe durability (durability.go):
+	// observation batches are written to a WAL under DataDir/wal before
+	// they are acknowledged, and every retrain publishes a checkpoint
+	// under DataDir/checkpoints. Empty means in-memory only (the
+	// pre-durability behavior).
+	DataDir string
+	// FS is the filesystem seam for durability; nil selects the real
+	// disk. Tests inject a fault.Injector here.
+	FS fault.FS
+	// FsyncPolicy selects when WAL appends are made durable; the zero
+	// value is wal.SyncAlways.
+	FsyncPolicy wal.SyncPolicy
+	// FsyncInterval is the group-commit window under wal.SyncInterval.
+	FsyncInterval time.Duration
+	// WALSegmentBytes overrides the WAL segment size (tests shrink it).
+	WALSegmentBytes int64
+	// CheckpointRetain is how many checkpoints pruning keeps.
+	CheckpointRetain int
 	// Now is the clock, overridable by tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -112,6 +136,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ObsQueueCap <= 0 {
 		o.ObsQueueCap = DefaultObsQueueCap
+	}
+	if o.CheckpointRetain <= 0 {
+		o.CheckpointRetain = DefaultCheckpointRetain
+	}
+	if o.FS == nil {
+		o.FS = fault.Disk{}
 	}
 	if o.Now == nil {
 		o.Now = time.Now
@@ -205,28 +235,44 @@ func (s *Server) Start() {
 	})
 }
 
-// sweepLoop evicts idle sessions every SweepInterval until Close.
-func (s *Server) sweepLoop() {
-	defer s.wg.Done()
-	ticker := time.NewTicker(s.opts.SweepInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-s.done:
-			return
-		case <-ticker.C:
-			s.sweepOnce()
-		}
+// waitDone sleeps for d or until Close, reporting true when the server
+// is shutting down. Every background wait goes through it so a Close
+// during an arbitrarily long interval — or an error-backoff wait —
+// returns within the drain budget instead of after the timer.
+func (s *Server) waitDone(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.done:
+		return true
+	case <-t.C:
+		return false
 	}
 }
 
-// Close stops the background sweeper and the data-plane worker pool
+// sweepLoop evicts idle sessions every SweepInterval until Close.
+func (s *Server) sweepLoop() {
+	defer s.wg.Done()
+	for !s.waitDone(s.opts.SweepInterval) {
+		s.sweepOnce()
+	}
+}
+
+// Close stops the background loops and the data-plane worker pool
 // (in-flight requests finish; later ones answer 503) and waits for
-// both to exit. It does not tear down live sessions; the process is
-// expected to exit after.
+// both to exit. With durability on, queued observations are folded and
+// checkpointed one last time and the WAL is synced closed, so a clean
+// shutdown leaves nothing for the next boot to replay. It does not
+// tear down live sessions; the process is expected to exit after.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.done) })
 	s.wg.Wait()
+	if _, err := s.RetrainNow(); err != nil {
+		// The final flush failing is the same class as a failed retrain:
+		// acknowledged data is still in the WAL for the next boot.
+		s.met.retrainErrors.Inc()
+	}
+	s.closeStore()
 	s.pool.close()
 }
 

@@ -40,6 +40,20 @@ type serverMetrics struct {
 	retrainFullCompiles *obs.Counter
 	retrainErrors       *obs.Counter
 	retrainSeconds      *obs.Histogram
+
+	// Robustness metrics: the panic-recovery middleware and the
+	// durability layer (durability.go).
+	panicsRecovered    *obs.Counter
+	walAppends         *obs.Counter
+	walAppendErrors    *obs.Counter
+	walReplayed        *obs.Counter
+	walReplaySkipped   *obs.Counter
+	walTornTruncations *obs.Counter
+	checkpointWrites   *obs.Counter
+	checkpointErrors   *obs.Counter
+	checkpointCorrupt  *obs.Counter
+	fixesMoLoc         *obs.Counter
+	fixesFingerprint   *obs.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -62,6 +76,18 @@ func newServerMetrics() *serverMetrics {
 		retrainFullCompiles: reg.Counter("retrain_full_compiles"),
 		retrainErrors:       reg.Counter("retrain_errors"),
 		retrainSeconds:      reg.Histogram("retrain_seconds", obs.LatencyBuckets),
+
+		panicsRecovered:    reg.Counter("panics_recovered"),
+		walAppends:         reg.Counter("wal_appends"),
+		walAppendErrors:    reg.Counter("wal_append_errors"),
+		walReplayed:        reg.Counter("wal_replayed_observations"),
+		walReplaySkipped:   reg.Counter("wal_replay_skipped"),
+		walTornTruncations: reg.Counter("wal_torn_truncations"),
+		checkpointWrites:   reg.Counter("checkpoint_writes"),
+		checkpointErrors:   reg.Counter("checkpoint_errors"),
+		checkpointCorrupt:  reg.Counter("checkpoint_corrupt_skipped"),
+		fixesMoLoc:         reg.Counter("fixes{mode=moloc}"),
+		fixesFingerprint:   reg.Counter("fixes{mode=fingerprint}"),
 	}
 }
 
@@ -95,25 +121,45 @@ func (m *serverMetrics) request(route string, status int, d time.Duration) {
 	m.reg.Histogram("latency_seconds{route="+route+"}", obs.LatencyBuckets).Observe(d.Seconds())
 }
 
-// statusWriter captures the response status for instrumentation.
+// statusWriter captures the response status for instrumentation, and
+// whether anything was written — the panic-recovery middleware may only
+// substitute a 500 while the response is still untouched.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status      int
+	wroteHeader bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wroteHeader = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency
-// recording under the given route label.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wroteHeader = true // implicit 200 on first write
+	return w.ResponseWriter.Write(p)
+}
+
+// instrument wraps a handler with request counting, latency recording,
+// and panic recovery: a panicking handler answers 500 (when the
+// response is still unwritten) and bumps panics_recovered instead of
+// tearing down the whole process — one malformed request must not take
+// every session's serving path with it.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panicsRecovered.Inc()
+				if !sw.wroteHeader {
+					httpError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			s.met.request(route, sw.status, time.Since(start))
+		}()
 		h(sw, r)
-		s.met.request(route, sw.status, time.Since(start))
 	}
 }
 

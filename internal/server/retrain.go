@@ -11,6 +11,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
@@ -42,6 +43,12 @@ type retrainer struct {
 	builder *motiondb.Builder
 	db      *motiondb.DB
 	dirty   [][2]int // scratch, reused across retrains
+	// lastSeq is the WAL sequence number of the newest appended batch;
+	// ckptSeq is the coverage of the last published checkpoint. They
+	// are equal exactly when every acknowledged observation is folded
+	// into a durable checkpoint (durability.go).
+	lastSeq uint64
+	ckptSeq uint64
 }
 
 // newRetrainer builds the online-training state over a clone of the
@@ -91,6 +98,82 @@ func (rt *retrainer) pendingLen() int {
 	return len(rt.pending)
 }
 
+// enqueueDurable is enqueue with the WAL in the write path: the batch
+// is appended — and made durable per the fsync policy — before it
+// enters the pending queue, under one lock so WAL order and queue order
+// agree. payload is the batch pre-marshaled outside the lock. A nil
+// store degrades to plain enqueue (durability off); a store whose WAL
+// never opened refuses the batch with errWALUnavailable.
+func (rt *retrainer) enqueueDurable(store *durableStore, payload []byte, obs []motiondb.Observation) (bool, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.pending)+len(obs) > rt.queueCap {
+		rt.dropped += int64(len(obs))
+		return false, nil
+	}
+	if store != nil {
+		if store.log == nil {
+			return false, errWALUnavailable
+		}
+		seq, err := store.log.Append(payload)
+		if err != nil {
+			return false, err
+		}
+		rt.lastSeq = seq
+	}
+	rt.pending = append(rt.pending, obs...)
+	return true, nil
+}
+
+// enqueueReplay feeds one replayed WAL batch into the pending queue at
+// boot, dropping the individual observations that fail validation (only
+// possible through corruption that beat the record CRC). It reports
+// false when the queue is full.
+func (rt *retrainer) enqueueReplay(obs []motiondb.Observation, numLocs int, seq uint64) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if seq > rt.lastSeq {
+		rt.lastSeq = seq
+	}
+	if len(rt.pending)+len(obs) > rt.queueCap {
+		rt.dropped += int64(len(obs))
+		return false
+	}
+	for _, o := range obs {
+		if validateObservation(o, numLocs) != nil {
+			continue
+		}
+		rt.pending = append(rt.pending, o)
+	}
+	return true
+}
+
+// initSeqs records the recovered checkpoint coverage at boot. lastSeq
+// only ratchets forward: WAL replay may already have advanced it past
+// the checkpoint.
+func (rt *retrainer) initSeqs(ckptSeq uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.ckptSeq = ckptSeq
+	if rt.lastSeq < ckptSeq {
+		rt.lastSeq = ckptSeq
+	}
+}
+
+// restore replaces the training state with a recovered checkpoint's: db
+// becomes the training database and the builder accumulators are
+// rebuilt from the serialized state. Only called at boot, before any
+// ingest can race.
+func (rt *retrainer) restore(db *motiondb.DB, builderState []byte) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := rt.builder.RestoreState(builderState); err != nil {
+		return err
+	}
+	rt.db = db
+	return nil
+}
+
 // RetrainNow drains the observation queue, rebuilds the entries of
 // every touched pair, recompiles the dirty edges, and — when an edge
 // actually changed — publishes the new compiled view through the RCU
@@ -106,12 +189,22 @@ func (rt *retrainer) pendingLen() int {
 // recompile cannot extend the adjacency, so RetrainNow falls back to
 // the full Compile — the executable spec RecompileEdges is tested
 // against.
+// With durability on (durability.go), a successful retrain also
+// publishes a checkpoint covering every acknowledged batch — even one
+// with zero dirty edges, because the builder's accumulators changed —
+// and climbs the degradation ladder back to ok; a checkpoint failure
+// degrades instead, so the ladder always reflects whether acknowledged
+// data is durably folded.
 func (s *Server) RetrainNow() (int, error) {
 	rt := s.retrain
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if len(rt.pending) == 0 {
+	durable := s.store != nil
+	if len(rt.pending) == 0 && (!durable || rt.lastSeq == rt.ckptSeq) {
 		return 0, nil
+	}
+	if durable && s.state.Load() == stateDegraded {
+		s.setState(stateRecovering)
 	}
 	t0 := time.Now()
 	rt.builder.AddAll(rt.pending)
@@ -131,38 +224,55 @@ func (s *Server) RetrainNow() (int, error) {
 		dirty = append(dirty, pair)
 	}
 	rt.dirty = dirty
-	if len(dirty) == 0 {
-		return 0, nil
+
+	if len(dirty) > 0 {
+		cmp, err := s.snap.Load().RecompileEdges(rt.db, dirty)
+		if err != nil {
+			s.met.retrainFullCompiles.Inc()
+			cmp, err = rt.db.Compile(rt.alpha, rt.beta)
+			if err != nil {
+				// The old snapshot keeps serving; stale statistics, not an
+				// outage. The pending batch is already folded, so the next
+				// retrain retries only the compile.
+				return 0, fmt.Errorf("server: retrain compile: %w", err)
+			}
+		}
+		s.snap.Store(cmp)
+		s.met.retrains.Inc()
+		s.met.retrainDirtyEdges.Add(int64(len(dirty)))
+		s.met.retrainSeconds.Observe(time.Since(t0).Seconds())
 	}
 
-	cmp, err := s.snap.Load().RecompileEdges(rt.db, dirty)
-	if err != nil {
-		s.met.retrainFullCompiles.Inc()
-		cmp, err = rt.db.Compile(rt.alpha, rt.beta)
-		if err != nil {
-			return 0, fmt.Errorf("server: retrain compile: %w", err)
+	if durable && rt.lastSeq > rt.ckptSeq {
+		if err := s.checkpointStateLocked(rt); err != nil {
+			s.met.checkpointErrors.Inc()
+			s.setState(stateDegraded)
+			return len(dirty), fmt.Errorf("server: checkpoint: %w", err)
 		}
+		rt.ckptSeq = rt.lastSeq
 	}
-	s.snap.Store(cmp)
-	s.met.retrains.Inc()
-	s.met.retrainDirtyEdges.Add(int64(len(dirty)))
-	s.met.retrainSeconds.Observe(time.Since(t0).Seconds())
+	if durable {
+		s.setState(stateOK)
+	}
 	return len(dirty), nil
 }
 
-// retrainLoop runs RetrainNow every RetrainInterval until Close.
+// retrainLoop runs RetrainNow every RetrainInterval until Close. After
+// an error the wait backs off (doubling, capped at 8 intervals) so a
+// failing disk is not hammered every period; the backoff wait is still
+// Close-aware, so shutdown stays prompt (see waitDone).
 func (s *Server) retrainLoop() {
 	defer s.wg.Done()
-	ticker := time.NewTicker(s.opts.RetrainInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-s.done:
-			return
-		case <-ticker.C:
-			if _, err := s.RetrainNow(); err != nil {
-				s.met.retrainErrors.Inc()
+	delay := s.opts.RetrainInterval
+	maxDelay := 8 * s.opts.RetrainInterval
+	for !s.waitDone(delay) {
+		if _, err := s.RetrainNow(); err != nil {
+			s.met.retrainErrors.Inc()
+			if delay *= 2; delay > maxDelay {
+				delay = maxDelay
 			}
+		} else {
+			delay = s.opts.RetrainInterval
 		}
 	}
 }
@@ -200,11 +310,36 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !s.retrain.enqueue(req.Observations) {
+	// With durability on, the batch must be in the WAL before the 202:
+	// an acknowledged batch survives kill -9. Marshal outside the lock;
+	// append inside it (enqueueDurable) so log order matches queue order.
+	var payload []byte
+	if s.store != nil {
+		var err error
+		if payload, err = json.Marshal(req.Observations); err != nil {
+			httpError(w, http.StatusInternalServerError, "encode batch: "+err.Error())
+			return
+		}
+	}
+	ok, err := s.retrain.enqueueDurable(s.store, payload, req.Observations)
+	if err != nil {
+		// The disk refused the write. Nothing was acknowledged, so
+		// nothing can be lost — but durability is gone, so degrade and
+		// shed ingestion until a checkpoint lands again.
+		s.met.walAppendErrors.Inc()
+		s.setState(stateDegraded)
+		httpError(w, http.StatusServiceUnavailable,
+			"observation log unavailable; batch not accepted")
+		return
+	}
+	if !ok {
 		s.met.observationsDropped.Add(int64(len(req.Observations)))
 		httpError(w, http.StatusTooManyRequests,
 			"observation queue full; retry after the next retrain")
 		return
+	}
+	if s.store != nil {
+		s.met.walAppends.Inc()
 	}
 	s.met.observationsIn.Add(int64(len(req.Observations)))
 	writeJSON(w, http.StatusAccepted, obsResp{

@@ -57,6 +57,14 @@ type Server struct {
 	pool    *workerPool
 	retrain *retrainer
 
+	// store holds the durability handles (durability.go); nil when
+	// Options.DataDir is empty and the server runs in-memory only.
+	store *durableStore
+	// state is the degradation-ladder position (stateOK, stateDegraded,
+	// stateRecovering), read lock-free by every tick and written on
+	// durability transitions.
+	state atomic.Int32
+
 	// snap is the RCU-published compiled motion index: the retrainer is
 	// the only writer, every session's tracker loads it once per tick.
 	// All access goes through atomic Load/Store (enforced by the
@@ -124,6 +132,9 @@ func NewWithOptions(plan *floorplan.Plan, src fingerprint.CandidateSource, numAP
 		sessions: make(map[string]*session),
 	}
 	s.snap.Store(cmp)
+	if o.DataDir != "" {
+		s.openDurability()
+	}
 	return s, nil
 }
 
@@ -136,11 +147,33 @@ func (s *Server) CompiledSnapshot() *motiondb.Compiled { return s.snap.Load() }
 // distinct sessions spread across the pool. It writes the HTTP error
 // itself and reports false when the session is gone or the server is
 // shutting down.
+//
+// Panics inside fn are caught on the worker — an unrecovered panic
+// there would kill the whole process, not just the request — and turned
+// into a 500 for this caller while the worker keeps serving other
+// sessions. The session's own lock is released by withTracker's defer
+// before the recover runs, so the session stays usable too.
 func (s *Server) runSharded(w http.ResponseWriter, ss *session, fn func(tk *tracker.Tracker)) bool {
 	now := s.opts.Now()
 	alive := false
-	if !s.pool.run(ss.id, func() { alive = ss.withTracker(now, fn) }) {
+	panicked := true
+	if !s.pool.run(ss.id, func() {
+		defer func() {
+			if !panicked {
+				return
+			}
+			if rec := recover(); rec != nil {
+				s.met.panicsRecovered.Inc()
+			}
+		}()
+		alive = ss.withTracker(now, fn)
+		panicked = false
+	}) {
 		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return false
+	}
+	if panicked {
+		httpError(w, http.StatusInternalServerError, "internal error")
 		return false
 	}
 	if !alive {
@@ -180,7 +213,7 @@ func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":    "ok",
+		"status":    s.ServingState(),
 		"plan":      s.plan.Name,
 		"locations": s.plan.NumLocs(),
 		"aps":       s.numAPs,
@@ -191,6 +224,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, metricsResp{
 		Sessions: s.NumSessions(),
+		State:    s.ServingState(),
 		Snapshot: s.met.reg.Snapshot(),
 	})
 }
@@ -277,6 +311,7 @@ type fixResp struct {
 	X          float64                 `json:"x"`
 	Y          float64                 `json:"y"`
 	Moved      bool                    `json:"moved"`
+	Mode       string                  `json:"mode"`
 	Candidates []fingerprint.Candidate `json:"candidates"`
 }
 
@@ -293,7 +328,8 @@ type sessionResp struct {
 
 // metricsResp is the /v1/metricsz payload.
 type metricsResp struct {
-	Sessions int `json:"sessions"`
+	Sessions int    `json:"sessions"`
+	State    string `json:"state"`
 	obs.Snapshot
 }
 
@@ -413,8 +449,13 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 		fix    tracker.Fix
 		gotFix bool
 	)
+	// The ladder position is sampled once per tick, outside the worker
+	// closure: a degraded server serves this tick on the pure fingerprint
+	// path regardless of when the state flips mid-request.
+	fpOnly := s.fingerprintOnly()
 	start := time.Now()
 	if !s.runSharded(w, ss, func(tk *tracker.Tracker) {
+		tk.SetFingerprintOnly(fpOnly)
 		a0 := heapAllocBytes()
 		t0 := time.Now()
 		fix, gotFix = tk.Tick(req.T)
@@ -431,6 +472,11 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	// wait on the session's worker plus tracker compute.
 	s.met.fixSeconds.Observe(time.Since(start).Seconds())
 	s.met.candidateSetSize.Observe(float64(len(fix.Candidates)))
+	if fix.Mode == tracker.ModeFingerprint {
+		s.met.fixesFingerprint.Inc()
+	} else {
+		s.met.fixesMoLoc.Inc()
+	}
 	writeJSON(w, http.StatusOK, s.toResp(fix))
 }
 
@@ -438,6 +484,6 @@ func (s *Server) toResp(fix tracker.Fix) fixResp {
 	pos := s.plan.LocPos(fix.Loc)
 	return fixResp{
 		T: fix.T, Loc: fix.Loc, X: pos.X, Y: pos.Y,
-		Moved: fix.Moved, Candidates: fix.Candidates,
+		Moved: fix.Moved, Mode: fix.Mode.String(), Candidates: fix.Candidates,
 	}
 }

@@ -1,0 +1,85 @@
+package tracker
+
+import (
+	"testing"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/motiondb"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+// driveFix feeds one interval of walking samples plus a scan at loc and
+// ticks past the boundary, returning the emitted fix.
+func driveFix(t *testing.T, tk *Tracker, t0 float64, loc int, seed int64) Fix {
+	t.Helper()
+	g, err := sensors.NewGenerator(sysFixture(t).Config.Sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := g.Walk(nil, t0, t0+4, 1.8, 90, sensors.Device{}, 0, stats.NewRNG(seed))
+	for _, s := range samples {
+		tk.AddIMU(s)
+	}
+	sys := sysFixture(t)
+	tk.AddScan(t0+1, fingerprint.Fingerprint(sys.Model.Sample(sys.Plan.LocPos(loc), stats.NewRNG(seed+100))))
+	fix, ok := tk.Tick(t0 + 10)
+	if !ok {
+		t.Fatal("expected a fix")
+	}
+	return fix
+}
+
+// TestFingerprintOnlyMode: a degraded session must keep emitting fixes,
+// tag them ModeFingerprint, never run motion matching, and return to
+// the full pipeline when the degradation lifts.
+func TestFingerprintOnlyMode(t *testing.T) {
+	sys := sysFixture(t)
+	tk, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fix := driveFix(t, tk, 0, 5, 1)
+	if fix.Mode != ModeMoLoc || fix.Mode.String() != "moloc" {
+		t.Fatalf("healthy fix mode = %v", fix.Mode)
+	}
+
+	tk.SetFingerprintOnly(true)
+	fix = driveFix(t, tk, 100, 5, 2)
+	if fix.Mode != ModeFingerprint || fix.Mode.String() != "fingerprint" {
+		t.Fatalf("degraded fix mode = %v", fix.Mode)
+	}
+	if fix.Moved {
+		t.Fatal("degraded fix claims motion matching contributed")
+	}
+	degradedFixes := tk.Stats().FingerprintOnlyFixes
+	if degradedFixes < 1 {
+		t.Fatalf("fingerprint-only fixes = %d, want >= 1", degradedFixes)
+	}
+
+	tk.SetFingerprintOnly(false)
+	fix = driveFix(t, tk, 200, 5, 3)
+	if fix.Mode != ModeMoLoc {
+		t.Fatalf("recovered fix mode = %v", fix.Mode)
+	}
+	if got := tk.Stats().FingerprintOnlyFixes; got != degradedFixes {
+		t.Fatalf("fingerprint-only fixes grew after recovery: %d -> %d", degradedFixes, got)
+	}
+}
+
+// TestFingerprintOnlyWorksWithEmptyDB: degraded mode is exactly what
+// serves when no motion database exists at all — fixes must still come
+// out against an untrained DB.
+func TestFingerprintOnlyWorksWithEmptyDB(t *testing.T) {
+	sys := sysFixture(t)
+	tk, err := New(sys.Plan, fullFDB(t, sys), motiondb.New(sys.Plan.NumLocs()), NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.SetFingerprintOnly(true)
+	fix := driveFix(t, tk, 0, 7, 4)
+	if fix.Mode != ModeFingerprint || fix.Loc < 1 {
+		t.Fatalf("fix = %+v", fix)
+	}
+}

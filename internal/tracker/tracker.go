@@ -77,6 +77,31 @@ func (c Config) Validate() error {
 	return c.MoLoc.Validate()
 }
 
+// Mode says which pipeline produced a fix. The serving layer's
+// degradation ladder switches sessions to ModeFingerprint when the
+// motion database is unavailable (corrupt checkpoint, failing WAL
+// disk): localization keeps flowing on the paper's pure fingerprint
+// path (Eq. 2–4) instead of going dark.
+type Mode uint8
+
+// Fix modes.
+const (
+	// ModeMoLoc is the full pipeline: fingerprinting plus motion
+	// matching against the motion database.
+	ModeMoLoc Mode = iota
+	// ModeFingerprint is the degraded pipeline: fingerprint evidence
+	// only, no motion extraction or matching.
+	ModeFingerprint
+)
+
+// String returns the mode tag used in API responses.
+func (m Mode) String() string {
+	if m == ModeFingerprint {
+		return "fingerprint"
+	}
+	return "moloc"
+}
+
 // Fix is one localization result.
 type Fix struct {
 	// T is the end of the localization interval, in seconds.
@@ -86,6 +111,8 @@ type Fix struct {
 	// Moved reports whether motion matching contributed (the user was
 	// walking and a previous candidate set existed).
 	Moved bool
+	// Mode says which pipeline produced the fix.
+	Mode Mode
 	// Candidates is the retained candidate set, most probable first.
 	Candidates []fingerprint.Candidate
 }
@@ -114,6 +141,9 @@ type Stats struct {
 	// SnapshotSwaps counts retrained motion-index views this session
 	// adopted from the serving layer's RCU snapshot (see UseSnapshot).
 	SnapshotSwaps int64 `json:"snapshot_swaps"`
+	// FingerprintOnlyFixes counts fixes emitted in ModeFingerprint
+	// while the serving layer was degraded.
+	FingerprintOnlyFixes int64 `json:"fingerprint_only_fixes"`
 }
 
 // Tracker is one user's tracking session.
@@ -132,6 +162,10 @@ type Tracker struct {
 	//moloc:snapshot
 	snap   *atomic.Pointer[motiondb.Compiled]
 	curCmp *motiondb.Compiled
+
+	// fpOnly, when set, skips motion extraction so every fix runs the
+	// pure fingerprint path (see Mode).
+	fpOnly bool
 
 	intervalStart float64
 	started       bool
@@ -188,6 +222,12 @@ func (t *Tracker) UseSnapshot(snap *atomic.Pointer[motiondb.Compiled]) {
 		t.curCmp = c
 	}
 }
+
+// SetFingerprintOnly switches the session between the full pipeline
+// and pure fingerprint localization. The serving layer flips it per
+// tick from its degradation state; it is not safe to call concurrently
+// with Tick (the server serializes all access to a session).
+func (t *Tracker) SetFingerprintOnly(on bool) { t.fpOnly = on }
 
 // acquireSnapshot adopts a newly published motion index; called once
 // per Tick so every interval closed by that tick sees one consistent
@@ -361,17 +401,28 @@ func (t *Tracker) closeInterval(start, end float64, samples []sensors.Sample) (F
 	}
 	obs := localizer.Observation{FP: scan.fp}
 	var compassMean float64
-	if rlm, ok := motion.Extract(t.cfg.Motion, samples, start, end,
-		t.cfg.StepLen, &t.est); ok {
-		obs.Motion = &rlm
-		compassMean = motion.MeanHeading(samples)
+	// Degraded mode skips motion extraction entirely: with obs.Motion
+	// nil the localizer takes the pure fingerprint path of Eq. 2–4, so
+	// a session keeps producing fixes with no motion database at all.
+	if !t.fpOnly {
+		if rlm, ok := motion.Extract(t.cfg.Motion, samples, start, end,
+			t.cfg.StepLen, &t.est); ok {
+			obs.Motion = &rlm
+			compassMean = motion.MeanHeading(samples)
+		}
 	}
 
+	mode := ModeMoLoc
+	if t.fpOnly {
+		mode = ModeFingerprint
+		t.stats.FingerprintOnlyFixes++
+	}
 	loc := t.ml.Localize(obs)
 	fix := Fix{
 		T:     end,
 		Loc:   loc,
 		Moved: obs.Motion != nil && t.lastFix != nil,
+		Mode:  mode,
 		// Fixes outlive the interval (LastFix, API responses), so the
 		// candidate set is copied: the localizer reuses its backing
 		// buffer on the next Localize.
