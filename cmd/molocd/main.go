@@ -159,6 +159,7 @@ func run() error {
 			*dataDir, *fsync, srv.ServingState())
 	}
 	if *pprofAddr != "" {
+		//lint:ignore waitleak the debug listener lives for the process; nothing joins it
 		go servePprof(*pprofAddr)
 	}
 	return serve(srv, *addr, *drain)

@@ -9,12 +9,22 @@
 //
 // Usage:
 //
-//	moloclint [-only degnorm,randsrc] [-list] [packages]
+//	moloclint [-only degnorm,randsrc] [-list] [-json|-sarif] [-cache file] [packages]
 //
 // Package arguments are directory paths relative to the module root;
 // "./..." (or no argument) analyzes the whole module. Suppress a
 // finding with a `//lint:ignore <analyzer> <reason>` comment on the
 // flagged line or the line above it.
+//
+// -json and -sarif switch the stdout format from file:line:col text to
+// a JSON array or a SARIF 2.1.0 log (what GitHub code scanning
+// ingests); the exit status is 1 on findings in every format. -cache
+// names a findings-cache file: when no package changed since the last
+// run — per-package content hashes chained through the import graph —
+// the findings are replayed without parsing or type-checking, which
+// makes a clean repo-wide lint cheap enough for every build. Because
+// the cache covers whole-module analysis, -cache rejects package
+// patterns other than ./...
 package main
 
 import (
@@ -30,11 +40,18 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log instead of text")
+	cachePath := flag.String("cache", "", "findings cache `file`; an unchanged module replays cached findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: moloclint [-only names] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: moloclint [-only names] [-list] [-json|-sarif] [-cache file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "moloclint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range lint.Analyzers() {
@@ -59,29 +76,69 @@ func main() {
 		fmt.Fprintln(os.Stderr, "moloclint:", err)
 		os.Exit(2)
 	}
-	pkgs, err := lint.Load(root, modPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "moloclint:", err)
-		os.Exit(2)
-	}
-	pkgs, err = filterPackages(pkgs, cwd, flag.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "moloclint:", err)
-		os.Exit(2)
+	var diags []lint.Diagnostic
+	if *cachePath != "" {
+		if !wholeModulePatterns(flag.Args()) {
+			fmt.Fprintln(os.Stderr, "moloclint: -cache analyzes the whole module; package patterns other than ./... are not supported")
+			os.Exit(2)
+		}
+		var hit bool
+		diags, hit, err = lint.RunCached(root, modPath, *cachePath, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "moloclint:", err)
+			os.Exit(2)
+		}
+		if hit {
+			fmt.Fprintln(os.Stderr, "moloclint: findings replayed from cache")
+		}
+	} else {
+		pkgs, err := lint.Load(root, modPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "moloclint:", err)
+			os.Exit(2)
+		}
+		pkgs, err = filterPackages(pkgs, cwd, flag.Args())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "moloclint:", err)
+			os.Exit(2)
+		}
+		diags = lint.RunAll(pkgs, analyzers)
 	}
 
-	diags := lint.RunAll(pkgs, analyzers)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	switch {
+	case *jsonOut:
+		err = writeJSON(os.Stdout, root, diags)
+	case *sarifOut:
+		err = writeSARIF(os.Stdout, root, analyzers, diags)
+	default:
+		for _, d := range diags {
+			pos := d.Pos
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+			fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moloclint:", err)
+		os.Exit(2)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "moloclint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// wholeModulePatterns reports whether the package arguments select the
+// whole module — empty, "./...", or "..." — the only shapes the
+// findings cache supports.
+func wholeModulePatterns(patterns []string) bool {
+	for _, pat := range patterns {
+		if pat != "./..." && pat != "..." {
+			return false
+		}
+	}
+	return true
 }
 
 // selectAnalyzers resolves the -only flag to a set of analyzers.

@@ -114,6 +114,50 @@ func Gather(m map[int]int, keys []int) []int {
 	return out
 }
 `)
+	write("mix/mix.go", `package mix
+
+import "sync/atomic"
+
+type C struct {
+	n int64
+}
+
+func (c *C) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *C) Peek() int64 { return c.n }
+`)
+	write("buf/buf.go", `package buf
+
+type S struct {
+	//moloc:reuse
+	scratch []int
+}
+
+func (s *S) Leak() []int { return s.scratch }
+`)
+	write("internal/wal/wal.go", `package wal
+
+import "os"
+
+func Rotate(dir string) error {
+	return os.Rename(dir+"/wal.tmp", dir+"/wal.log")
+}
+`)
+	write("spawn/spawn.go", `package spawn
+
+func work() {}
+
+func Start() {
+	go work()
+}
+`)
+	write("stale/stale.go", `package stale
+
+func F() int {
+	//lint:ignore errdrop nothing on this line drops an error
+	return 1
+}
+`)
 
 	root, modPath, err := lint.ModulePath(filepath.Join(dir, "angles"))
 	if err != nil {

@@ -67,7 +67,6 @@ func run() error {
 		return err
 	}
 	defer func() {
-		//lint:ignore errdrop best-effort cleanup of the scratch data dir
 		_ = os.RemoveAll(dataDir)
 	}()
 
@@ -79,9 +78,7 @@ func run() error {
 	// when an assertion fails mid-flight.
 	defer func() {
 		if cmd.ProcessState == nil {
-			//lint:ignore errdrop best-effort cleanup of an already-failed run
 			_ = cmd.Process.Kill()
-			//lint:ignore errdrop best-effort cleanup of an already-failed run
 			_ = cmd.Wait()
 		}
 	}()
@@ -350,7 +347,6 @@ func call(method, url string, body interface{}, wantStatus int, out interface{})
 		return err
 	}
 	defer func() {
-		//lint:ignore errdrop closing a fully-read response body
 		_ = resp.Body.Close()
 	}()
 	var buf bytes.Buffer

@@ -1,0 +1,212 @@
+package lint
+
+// BufAlias guards the zero-alloc scratch convention. The localizer's
+// hot path reuses per-instance buffers (prior/posterior candidate
+// slices, the k-NN scratch) across calls; any view into one of them —
+// the slice itself, a reslice, an append that extended it in place — is
+// silently overwritten by the next Localize. The classic corruption bug
+// is returning or storing such a view: the caller sees values mutate
+// under it one tick later.
+//
+// The convention is declared with the //moloc:reuse directive:
+//
+//   - on a struct field: the field is reused scratch. It must be
+//     slice-typed (anything else is reported at the declaration).
+//   - on a function or method: its result is a view into reused
+//     scratch. Callers must treat the result as borrowed — consume it
+//     before the next call, never retain it.
+//
+// Within each function the analyzer runs a forward taint pass: reuse
+// fields, calls to reuse-annotated functions (resolved through the
+// module-wide index, so cross-package calls count), and locals assigned
+// from them are tainted; reslicing and appending onto a tainted slice
+// stay tainted (append may extend in place). Tainted values may flow
+// freely through locals and calls — what is reported is *retention*:
+//
+//   - returning a tainted value from a function not itself annotated
+//     //moloc:reuse
+//   - assigning a tainted value to a struct field (other than a
+//     //moloc:reuse field — publishing scratch into scratch, as the
+//     localizer's prior/posterior swap does, is the point) or to a
+//     package-level variable
+//   - storing a tainted value into a composite literal
+//
+// Copying out (append(dst, tainted...), copy(dst, tainted)) launders
+// the taint: the spread/copy duplicates the elements, so the result
+// owns its memory.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BufAlias reports views of //moloc:reuse scratch retained past the call.
+var BufAlias = &Analyzer{
+	Name: "bufalias",
+	Doc:  "values reachable from a //moloc:reuse buffer must not be retained past the call",
+	Run:  runBufAlias,
+}
+
+func runBufAlias(pass *Pass) {
+	checkReuseDecls(pass)
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncAliases(pass, fd)
+		}
+	}
+}
+
+// checkReuseDecls reports //moloc:reuse annotations on non-slice fields
+// declared in this package: the directive's whole contract is "the
+// backing array is rewritten", which only means something for slices.
+func checkReuseDecls(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !fieldDirective(field, "//moloc:reuse") {
+					continue
+				}
+				for _, name := range field.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+						pass.Reportf(name.Pos(),
+							"field %s is annotated //moloc:reuse but is not a slice", name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncAliases runs the forward taint pass over one function body.
+func checkFuncAliases(pass *Pass, fd *ast.FuncDecl) {
+	selfReuse := hasDirective(fd.Doc, "//moloc:reuse")
+	tainted := make(map[types.Object]bool) // locals holding reuse views
+
+	// reuseExpr reports whether e evaluates to a view into reused
+	// scratch given the taint state accumulated so far.
+	var reuseExpr func(e ast.Expr) bool
+	reuseExpr = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tainted[pass.Info.Uses[e]]
+		case *ast.SelectorExpr:
+			return pass.Index.ReuseField(pass.Info.Uses[e.Sel])
+		case *ast.SliceExpr:
+			return reuseExpr(e.X)
+		case *ast.CallExpr:
+			// append(tainted, ...) may extend the reused backing array in
+			// place; append(fresh, tainted...) copies the elements out and
+			// is clean. The builtin resolves to *types.Builtin, so it is
+			// invisible to funcObj.
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(e.Args) > 0 {
+					return reuseExpr(e.Args[0])
+				}
+			}
+			if fn := funcObj(pass.Info, e); fn != nil {
+				if facts := pass.Index.FuncFacts(fn); facts != nil && facts.ReuseAnnotated {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Evaluate every RHS against the pre-statement taint state
+			// (a, b = b, a must see the old b), then apply.
+			taint := make([]bool, len(n.Rhs))
+			for i, rhs := range n.Rhs {
+				taint[i] = reuseExpr(rhs)
+			}
+			for i, lhs := range n.Lhs {
+				// x, y := f() has one RHS feeding every LHS.
+				t := taint[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					t = taint[i]
+				}
+				recordStore(pass, tainted, lhs, t)
+			}
+		case *ast.ReturnStmt:
+			if selfReuse {
+				return true
+			}
+			for _, res := range n.Results {
+				if reuseExpr(res) {
+					pass.Reportf(res.Pos(),
+						"returns a view into //moloc:reuse scratch from a function not annotated //moloc:reuse")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if reuseExpr(v) {
+					pass.Reportf(v.Pos(),
+						"stores a view into //moloc:reuse scratch in a composite literal")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// recordStore applies one assignment: tainting a local, or reporting a
+// retention when the destination outlives the call.
+func recordStore(pass *Pass, tainted map[types.Object]bool, lhs ast.Expr, taint bool) {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := pass.Info.Defs[lhs]
+		if obj == nil {
+			obj = pass.Info.Uses[lhs]
+		}
+		if obj == nil {
+			return
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() &&
+			v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			if taint {
+				pass.Reportf(lhs.Pos(),
+					"stores a view into //moloc:reuse scratch in package-level variable %s", lhs.Name)
+			}
+			return
+		}
+		tainted[obj] = taint
+	case *ast.SelectorExpr:
+		obj := pass.Info.Uses[lhs.Sel]
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			return
+		}
+		if taint && !pass.Index.ReuseField(obj) {
+			pass.Reportf(lhs.Pos(),
+				"stores a view into //moloc:reuse scratch in field %s; annotate the field //moloc:reuse or copy the data out", lhs.Sel.Name)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the driver's incremental findings cache.
+//
+// Soundness rests on one invariant, stated on Diagnostic.Pkg and
+// Pass.Index: a package's findings are a pure function of its own
+// sources plus its transitive dependency closure. Analyzers only
+// consult cross-function facts along Index.visible (the import DAG)
+// and only report positions inside the analyzed package, so a Merkle
+// key — the package's file contents hashed together with its
+// dependencies' keys — identifies the full input of its analysis. If
+// every package's key matches the cache, the stored findings are
+// replayed without parsing or type-checking anything; any mismatch
+// falls back to a full load-and-analyze and rewrites the cache.
+//
+// The key also folds in the analyzer list (the staleignore sweep's
+// output depends on which analyzers ran) and a cache-format version
+// bumped whenever an analyzer's behaviour changes.
+
+// cacheVersion invalidates every cache written by earlier builds of
+// the suite. Bump it when an analyzer's behaviour changes in a way
+// source hashes cannot see.
+const cacheVersion = 1
+
+// cachedDiag is one finding with its position stored relative to the
+// module root (forward slashes), so a cache survives a checkout moving.
+type cachedDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// cacheEntry is one package's key and findings.
+type cacheEntry struct {
+	Path  string       `json:"path"`
+	Key   string       `json:"key"`
+	Diags []cachedDiag `json:"diags,omitempty"`
+}
+
+// cacheData is the on-disk cache file, entries sorted by package path
+// so the file itself is deterministic.
+type cacheData struct {
+	Version int          `json:"version"`
+	Entries []cacheEntry `json:"entries"`
+}
+
+// RunCached executes the analyzers over the whole module rooted at
+// root, consulting the findings cache at cachePath. On a full hit —
+// every package's Merkle key matches the cached entry and no package
+// appeared or disappeared — the stored findings are replayed without
+// type-checking and hit is true. Otherwise the module is loaded and
+// analyzed as RunAll would, and the cache is rewritten.
+func RunCached(root, modPath, cachePath string, analyzers []*Analyzer) (diags []Diagnostic, hit bool, err error) {
+	root, err = filepath.Abs(root)
+	if err != nil {
+		return nil, false, err
+	}
+	keys, err := cacheKeys(root, modPath, analyzers)
+	if err != nil {
+		return nil, false, err
+	}
+
+	if cached, ok := loadCache(cachePath, keys); ok {
+		diags, err := replayDiags(root, cached)
+		if err == nil {
+			return diags, true, nil
+		}
+		// A malformed entry is a miss, not a failure.
+	}
+
+	pkgs, err := Load(root, modPath)
+	if err != nil {
+		return nil, false, err
+	}
+	diags = RunAll(pkgs, analyzers)
+	if err := writeCache(cachePath, root, keys, diags); err != nil {
+		return nil, false, fmt.Errorf("write cache: %w", err)
+	}
+	return diags, false, nil
+}
+
+// cacheKeys computes every package's Merkle key without type-checking:
+// it walks the same directories and files Load would, hashes file
+// contents, and parses imports only (parser.ImportsOnly) to chain each
+// package's key to its intra-module dependencies' keys.
+func cacheKeys(root, modPath string, analyzers []*Analyzer) (map[string]string, error) {
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	parsed := make(map[string]*parsedPkg)
+	fileLines := make(map[string][]string) // import path -> "name hash" lines
+	var paths []string
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		p := &parsedPkg{dir: dir}
+		var lines []string
+		for _, e := range entries {
+			name := e.Name()
+			// Mirror parseDir's selection exactly: the key must cover
+			// precisely the files Load analyzes.
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			if strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, err
+			}
+			sum := sha256.Sum256(data)
+			lines = append(lines, fmt.Sprintf("%s %s", name, hex.EncodeToString(sum[:])))
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), data, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, spec := range f.Imports {
+				if ip, err := strconv.Unquote(spec.Path.Value); err == nil {
+					p.imports = append(p.imports, ip)
+				}
+			}
+		}
+		if len(lines) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		p.path = importPath(modPath, rel)
+		parsed[p.path] = p
+		fileLines[p.path] = lines
+		paths = append(paths, p.path)
+	}
+	sort.Strings(paths)
+	order, err := topoSort(parsed, paths)
+	if err != nil {
+		return nil, err
+	}
+
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	suite := strings.Join(names, ",")
+
+	keys := make(map[string]string, len(order))
+	for _, path := range order {
+		h := sha256.New()
+		fmt.Fprintf(h, "moloclint cache v%d\n", cacheVersion)
+		fmt.Fprintf(h, "analyzers %s\n", suite)
+		fmt.Fprintf(h, "package %s\n", path)
+		for _, line := range fileLines[path] {
+			fmt.Fprintf(h, "file %s\n", line)
+		}
+		deps := make([]string, 0, len(parsed[path].imports))
+		seen := make(map[string]bool)
+		for _, imp := range parsed[path].imports {
+			if _, intra := parsed[imp]; intra && !seen[imp] {
+				seen[imp] = true
+				deps = append(deps, imp)
+			}
+		}
+		sort.Strings(deps)
+		for _, dep := range deps {
+			// Topological order guarantees keys[dep] is already
+			// computed; its own dep hashes make the chain transitive.
+			fmt.Fprintf(h, "dep %s %s\n", dep, keys[dep])
+		}
+		keys[path] = hex.EncodeToString(h.Sum(nil))
+	}
+	return keys, nil
+}
+
+// loadCache reads the cache file and reports whether it covers exactly
+// the given key set — same packages, same keys.
+func loadCache(cachePath string, keys map[string]string) (*cacheData, bool) {
+	data, err := os.ReadFile(cachePath)
+	if err != nil {
+		return nil, false
+	}
+	var c cacheData
+	if err := json.Unmarshal(data, &c); err != nil || c.Version != cacheVersion {
+		return nil, false
+	}
+	if len(c.Entries) != len(keys) {
+		return nil, false
+	}
+	for _, e := range c.Entries {
+		if keys[e.Path] != e.Key {
+			return nil, false
+		}
+	}
+	return &c, true
+}
+
+// replayDiags reconstructs sorted Diagnostics from a cache, resolving
+// stored module-relative paths against the current root.
+func replayDiags(root string, c *cacheData) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, e := range c.Entries {
+		for _, d := range e.Diags {
+			if d.File == "" || d.Analyzer == "" {
+				return nil, fmt.Errorf("cache entry %s: malformed diagnostic", e.Path)
+			}
+			diags = append(diags, Diagnostic{
+				Pos: token.Position{
+					Filename: filepath.Join(root, filepath.FromSlash(d.File)),
+					Line:     d.Line,
+					Column:   d.Column,
+				},
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Pkg:      e.Path,
+			})
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// writeCache persists per-package entries. The write is not atomic; a
+// torn cache file fails to unmarshal in loadCache and reads as a miss,
+// which the next run repairs.
+func writeCache(cachePath, root string, keys map[string]string, diags []Diagnostic) error {
+	byPkg := make(map[string][]cachedDiag)
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		byPkg[d.Pkg] = append(byPkg[d.Pkg], cachedDiag{
+			File:     filepath.ToSlash(rel),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	c := cacheData{Version: cacheVersion}
+	paths := make([]string, 0, len(keys))
+	for path := range keys {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		c.Entries = append(c.Entries, cacheEntry{
+			Path:  path,
+			Key:   keys[path],
+			Diags: byPkg[path],
+		})
+	}
+	data, err := json.MarshalIndent(&c, "", "\t")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(cachePath), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(cachePath, data, 0o644)
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// scratchModule writes a two-package module whose only finding is an
+// errdrop in app: app discards lib.Helper's error. The lib→app import
+// edge is what the dependency-invalidation test leans on.
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module scratch\n\ngo 1.22\n")
+	writeFile(t, dir, "lib/lib.go", `package lib
+
+import "errors"
+
+func Helper() error { return errors.New("x") }
+`)
+	writeFile(t, dir, "app/app.go", `package app
+
+import "scratch/lib"
+
+func use() {
+	lib.Helper()
+}
+`)
+	return dir
+}
+
+func writeFile(t *testing.T, dir, rel, content string) {
+	t.Helper()
+	path := filepath.Join(dir, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCachedColdWarm pins the cache contract: the first run misses
+// and analyzes, the second hits and replays findings identical to the
+// cold run — positions, messages, package attribution, order.
+func TestRunCachedColdWarm(t *testing.T) {
+	dir := scratchModule(t)
+	cachePath := filepath.Join(dir, ".cache", "lint.json")
+
+	cold, hit, err := RunCached(dir, "scratch", cachePath, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first run must be a cache miss")
+	}
+	if len(cold) != 1 || cold[0].Analyzer != "errdrop" {
+		t.Fatalf("cold run diagnostics: %v", cold)
+	}
+
+	warm, hit, err := RunCached(dir, "scratch", cachePath, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("unchanged module must be a cache hit")
+	}
+	if !reflect.DeepEqual(dropOffsets(cold), warm) {
+		t.Errorf("replayed findings differ from cold run:\ncold: %v\nwarm: %v", cold, warm)
+	}
+}
+
+// dropOffsets zeroes the byte offsets of freshly-analyzed diagnostics:
+// the cache stores file:line:column only (the rendered position), so a
+// replay cannot and need not reconstruct offsets.
+func dropOffsets(ds []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, len(ds))
+	for i, d := range ds {
+		d.Pos.Offset = 0
+		out[i] = d
+	}
+	return out
+}
+
+// TestRunCachedInvalidation proves edits are seen: touching the package
+// itself, and — via the Merkle dep chain — touching only a dependency
+// whose change alters the importer's findings.
+func TestRunCachedInvalidation(t *testing.T) {
+	dir := scratchModule(t)
+	cachePath := filepath.Join(dir, ".cache", "lint.json")
+	if _, _, err := RunCached(dir, "scratch", cachePath, Analyzers()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit app: a second discarded error appears.
+	writeFile(t, dir, "app/app.go", `package app
+
+import "scratch/lib"
+
+func use() {
+	lib.Helper()
+}
+
+func use2() {
+	lib.Helper()
+}
+`)
+	diags, hit, err := RunCached(dir, "scratch", cachePath, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("edited package must miss the cache")
+	}
+	if len(diags) != 2 {
+		t.Fatalf("after edit: %v", diags)
+	}
+
+	// Edit only lib: Helper no longer returns an error, so app's
+	// finding vanishes even though app.go's bytes are unchanged. A
+	// per-package hash without the dep chain would wrongly replay the
+	// stale findings here.
+	writeFile(t, dir, "lib/lib.go", `package lib
+
+func Helper() {}
+`)
+	diags, hit, err = RunCached(dir, "scratch", cachePath, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("edited dependency must invalidate the importer's entry")
+	}
+	if len(diags) != 0 {
+		t.Fatalf("after dep edit: %v", diags)
+	}
+	if _, hit, _ := RunCached(dir, "scratch", cachePath, Analyzers()); !hit {
+		t.Error("rewritten cache must hit on the next run")
+	}
+}
+
+// TestRunCachedRobustness: a corrupt cache file and a changed analyzer
+// set both read as misses, never as errors or stale replays.
+func TestRunCachedRobustness(t *testing.T) {
+	dir := scratchModule(t)
+	cachePath := filepath.Join(dir, ".cache", "lint.json")
+	if _, _, err := RunCached(dir, "scratch", cachePath, Analyzers()); err != nil {
+		t.Fatal(err)
+	}
+
+	writeFile(t, dir, ".cache/lint.json", "{torn write")
+	diags, hit, err := RunCached(dir, "scratch", cachePath, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("corrupt cache must be a miss")
+	}
+	if len(diags) != 1 {
+		t.Fatalf("corrupt-cache run: %v", diags)
+	}
+
+	// A different analyzer list changes every key: findings cached for
+	// the full suite must not be replayed for a subset run.
+	subset := []*Analyzer{DegNorm, RandSrc}
+	diags, hit, err = RunCached(dir, "scratch", cachePath, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("changed analyzer set must miss the cache")
+	}
+	if len(diags) != 0 {
+		t.Fatalf("subset run: %v", diags)
+	}
+}

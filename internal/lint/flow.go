@@ -1,0 +1,63 @@
+package lint
+
+// Lexical-order dataflow helpers shared by the dominance-style checks
+// (durableack's Sync-before-Rename and append-before-ack, waitleak's
+// Add-before-go).
+//
+// True CFG dominance is out of reach for a stdlib-only suite, so the
+// checks use a deliberate approximation: a guard "precedes" a target
+// when its call appears lexically before the target inside the same
+// function body, not nested in a function literal. The approximation is
+// one-sided in the safe direction for this repository's shapes — a
+// guard inside `if err == nil { f.Sync() }` followed by the Rename
+// still counts (checkpoint.Save's real ordering), while a guard that
+// only appears after the target, or only inside a deferred closure,
+// does not. What it cannot see is a guard on a branch the target does
+// not take; the fixture tests document that boundary.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// precedingCalls returns every call expression that lexically precedes
+// pos within body, excluding calls nested inside function literals
+// (those run at some other time, so they guard nothing).
+func precedingCalls(body *ast.BlockStmt, pos token.Pos) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.End() <= pos {
+			calls = append(calls, call)
+		}
+		return true
+	})
+	return calls
+}
+
+// enclosingFuncDecl returns the function declaration a parent stack is
+// currently inside, or nil at file scope.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// inFuncLit reports whether the top of the stack sits inside a function
+// literal (closer than any FuncDecl).
+func inFuncLit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit:
+			return true
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}

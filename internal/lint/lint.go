@@ -62,7 +62,10 @@ type Analyzer struct {
 
 // Analyzers returns the full moloclint suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DegNorm, RandSrc, LockGuard, ErrDrop, Hotpath, SnapshotGuard}
+	return []*Analyzer{
+		DegNorm, RandSrc, LockGuard, ErrDrop, Hotpath, SnapshotGuard,
+		AtomicMix, BufAlias, DurableAck, WaitLeak, StaleIgnore,
+	}
 }
 
 // AnalyzerByName returns the analyzer with the given name, or nil.
@@ -80,6 +83,12 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Pkg is the import path of the package whose analysis produced the
+	// finding. Because analyzers only consult facts from the analyzed
+	// package and its transitive dependencies, a package's findings are
+	// a pure function of its own sources plus its dependency closure —
+	// the invariant the driver's incremental cache keys on.
+	Pkg string
 }
 
 func (d Diagnostic) String() string {
@@ -98,57 +107,87 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Index is the module-wide cross-function fact base (engine.go).
+	// Analyzers may query any function's summary but must only report
+	// positions inside this pass's package, and must restrict
+	// cross-package fact lookups to Index.visible paths — both are what
+	// keep the per-package findings cache sound.
+	Index *Index
 
-	diags    []Diagnostic
-	suppress map[string][]suppression // file -> line-indexed ignores
+	diags []Diagnostic
+	sup   *suppressions
 }
 
 // suppression is one parsed //lint:ignore comment.
 type suppression struct {
-	line     int
-	analyzer string // name or "all"
+	pos      token.Position // of the comment itself
+	analyzer string         // name or "all"
+	inTest   bool
+	used     bool // matched at least one finding this run
+}
+
+// suppressions is the per-package //lint:ignore store. It is shared by
+// every analyzer run over the package so the stale sweep can see which
+// comments earned their keep across the whole suite.
+type suppressions struct {
+	byFile map[string][]*suppression
 }
 
 var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)`)
 
-// buildSuppressions indexes every //lint:ignore comment in the pass's
-// files by file and line so Reportf can honor them.
-func (p *Pass) buildSuppressions() {
-	p.suppress = make(map[string][]suppression)
-	for _, f := range p.Files {
+// buildSuppressions indexes every //lint:ignore comment in the
+// package's files by file and line.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	sup := &suppressions{byFile: make(map[string][]*suppression)}
+	for _, f := range files {
+		inTest := strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := ignoreRe.FindStringSubmatch(c.Text)
 				if m == nil {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
-				p.suppress[pos.Filename] = append(p.suppress[pos.Filename],
-					suppression{line: pos.Line, analyzer: m[1]})
+				pos := fset.Position(c.Pos())
+				sup.byFile[pos.Filename] = append(sup.byFile[pos.Filename],
+					&suppression{pos: pos, analyzer: m[1], inTest: inTest})
 			}
 		}
 	}
+	return sup
+}
+
+// match reports whether a finding by analyzer at pos is covered by a
+// //lint:ignore comment on the same line or the line directly above,
+// marking any covering comment as used.
+func (sup *suppressions) match(analyzer string, pos token.Position) bool {
+	hit := false
+	for _, s := range sup.byFile[pos.Filename] {
+		if s.pos.Line != pos.Line && s.pos.Line != pos.Line-1 {
+			continue
+		}
+		if s.analyzer == "all" || s.analyzer == analyzer {
+			s.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // suppressed reports whether a finding by the pass's analyzer at pos is
-// covered by a //lint:ignore comment on the same line or the line
-// directly above.
+// covered by a //lint:ignore comment.
 func (p *Pass) suppressed(pos token.Position) bool {
-	for _, s := range p.suppress[pos.Filename] {
-		if s.line != pos.Line && s.line != pos.Line-1 {
-			continue
-		}
-		if s.analyzer == "all" || s.analyzer == p.Analyzer.Name {
-			return true
-		}
-	}
-	return false
+	return p.sup.match(p.Analyzer.Name, pos)
 }
 
 // Reportf records a finding at pos unless a //lint:ignore comment
 // suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
-	position := p.Fset.Position(pos)
+	p.reportAt(p.Fset.Position(pos), format, args...)
+}
+
+// reportAt is Reportf for an already-resolved position (the engine's
+// field summaries store positions, not token.Pos).
+func (p *Pass) reportAt(position token.Position, format string, args ...interface{}) {
 	if p.suppressed(position) {
 		return
 	}
@@ -156,6 +195,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		Pkg:      p.Path,
 	})
 }
 
@@ -190,8 +230,20 @@ func pkgHasSegments(path, want string) bool {
 }
 
 // Run executes the analyzer over one loaded package and returns its
-// unsuppressed diagnostics sorted by position.
+// unsuppressed diagnostics sorted by position. The cross-function index
+// covers only this package, so module-wide facts (a WAL append behind a
+// helper in another package) are invisible — drivers use RunAll.
 func Run(a *Analyzer, pkg *Package) []Diagnostic {
+	ix := BuildIndex([]*Package{pkg})
+	sup := buildSuppressions(pkg.Fset, pkg.Files)
+	diags := runOne(a, pkg, ix, sup)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// runOne executes one analyzer over one package against a shared index
+// and suppression store.
+func runOne(a *Analyzer, pkg *Package, ix *Index, sup *suppressions) []Diagnostic {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
@@ -199,20 +251,38 @@ func Run(a *Analyzer, pkg *Package) []Diagnostic {
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Index:    ix,
+		sup:      sup,
 	}
-	pass.buildSuppressions()
 	a.Run(pass)
-	sortDiagnostics(pass.diags)
 	return pass.diags
 }
 
-// RunAll executes every analyzer in the suite over every package and
-// returns the combined, position-sorted findings.
+// RunAll executes every given analyzer over every package — building
+// the cross-function index once over the whole set — and returns the
+// combined, position-sorted findings. When the suite includes
+// staleignore, a final sweep reports //lint:ignore comments that
+// suppressed nothing.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ix := BuildIndex(pkgs)
 	var all []Diagnostic
+	stores := make(map[*Package]*suppressions, len(pkgs))
 	for _, pkg := range pkgs {
+		sup := buildSuppressions(pkg.Fset, pkg.Files)
+		stores[pkg] = sup
 		for _, a := range analyzers {
-			all = append(all, Run(a, pkg)...)
+			if a == StaleIgnore {
+				continue // runs as the sweep below, after every analyzer
+			}
+			all = append(all, runOne(a, pkg, ix, sup)...)
+		}
+	}
+	for _, a := range analyzers {
+		if a == StaleIgnore {
+			for _, pkg := range pkgs {
+				all = append(all, staleSweep(pkg, stores[pkg], analyzers)...)
+			}
+			break
 		}
 	}
 	sortDiagnostics(all)

@@ -23,7 +23,16 @@ type expectation struct {
 // on its line, and every annotation must be hit exactly once.
 func runFixtureTest(t *testing.T, a *Analyzer) {
 	t.Helper()
-	root := filepath.Join("testdata", a.Name)
+	runFixtureSuite(t, a.Name, []*Analyzer{a})
+}
+
+// runFixtureSuite is runFixtureTest over a whole analyzer suite: the
+// fixture tree is analyzed with RunAll, so the cross-function index
+// spans every fixture package (the cross-package cases need it) and
+// the staleignore sweep runs when the suite includes it.
+func runFixtureSuite(t *testing.T, name string, analyzers []*Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", name)
 	pkgs, err := LoadTree(root, "", true)
 	if err != nil {
 		t.Fatalf("load fixtures: %v", err)
@@ -54,20 +63,18 @@ func runFixtureTest(t *testing.T, a *Analyzer) {
 		}
 	}
 
-	for _, pkg := range pkgs {
-		for _, d := range Run(a, pkg) {
-			exps := wants[d.Pos.Filename][d.Pos.Line]
-			found := false
-			for _, e := range exps {
-				if !e.matched && e.re.MatchString(d.Message) {
-					e.matched = true
-					found = true
-					break
-				}
+	for _, d := range RunAll(pkgs, analyzers) {
+		exps := wants[d.Pos.Filename][d.Pos.Line]
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
 			}
-			if !found {
-				t.Errorf("unexpected diagnostic: %s", d)
-			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
 		}
 	}
 	for file, lines := range wants {
@@ -87,6 +94,17 @@ func TestLockGuard(t *testing.T) { runFixtureTest(t, LockGuard) }
 func TestErrDrop(t *testing.T)   { runFixtureTest(t, ErrDrop) }
 
 func TestSnapshotGuard(t *testing.T) { runFixtureTest(t, SnapshotGuard) }
+
+func TestAtomicMix(t *testing.T)  { runFixtureTest(t, AtomicMix) }
+func TestBufAlias(t *testing.T)   { runFixtureTest(t, BufAlias) }
+func TestDurableAck(t *testing.T) { runFixtureTest(t, DurableAck) }
+func TestWaitLeak(t *testing.T)   { runFixtureTest(t, WaitLeak) }
+
+// TestStaleIgnore runs the full suite over its fixture: staleness is
+// "no analyzer matched", so the sweep only means something with the
+// other analyzers live to consume the suppressions that still earn
+// their keep.
+func TestStaleIgnore(t *testing.T) { runFixtureSuite(t, StaleIgnore.Name, Analyzers()) }
 
 // TestRepoIsClean runs the full suite over the real module and demands
 // zero findings — the repository must stay lint-clean. It mirrors the
@@ -124,6 +142,59 @@ func TestAnalyzerRegistry(t *testing.T) {
 	}
 	if AnalyzerByName("nope") != nil {
 		t.Error("AnalyzerByName should return nil for unknown names")
+	}
+}
+
+// TestIndexTransitiveFacts pins the engine's fixed-point propagation
+// over the static call graph, using the fixture trees as input: the
+// durableack handler reaches the WAL only through its enqueue wrapper,
+// and the waitleak loop carries its Done and channel-blocking facts up
+// to every caller.
+func TestIndexTransitiveFacts(t *testing.T) {
+	factsOf := func(ix *Index, name string) *FuncFacts {
+		t.Helper()
+		for fn, facts := range ix.funcs {
+			if fn.Name() == name {
+				return facts
+			}
+		}
+		t.Fatalf("no indexed function named %s", name)
+		return nil
+	}
+
+	pkgs, err := LoadTree(filepath.Join("testdata", "durableack"), "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildIndex(pkgs)
+	if !factsOf(ix, "Append").AppendsWAL {
+		t.Error("(*wal.Log).Append itself must carry AppendsWAL")
+	}
+	if !factsOf(ix, "enqueue").AppendsWAL {
+		t.Error("enqueue calls Append directly; AppendsWAL must propagate")
+	}
+	if !factsOf(ix, "handleGood").AppendsWAL {
+		t.Error("handleGood reaches Append through enqueue; AppendsWAL must be transitive")
+	}
+	if factsOf(ix, "saveGood").AppendsWAL {
+		t.Error("saveGood never reaches a WAL append")
+	}
+
+	pkgs, err = LoadTree(filepath.Join("testdata", "waitleak"), "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix = BuildIndex(pkgs)
+	loop := factsOf(ix, "loop")
+	if !loop.RetiresWG || !loop.Blocking {
+		t.Errorf("loop defers wg.Done and ranges a channel; got RetiresWG=%v Blocking=%v",
+			loop.RetiresWG, loop.Blocking)
+	}
+	if !factsOf(ix, "await").Blocking {
+		t.Error("await receives from a channel; Blocking must be set")
+	}
+	if factsOf(ix, "work").Blocking || factsOf(ix, "work").RetiresWG {
+		t.Error("work has no concurrency facts")
 	}
 }
 

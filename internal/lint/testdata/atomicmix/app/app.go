@@ -1,0 +1,59 @@
+// Package app exercises the atomicmix analyzer: a field or
+// package-level variable whose address is ever handed to sync/atomic
+// must be accessed through sync/atomic everywhere.
+package app
+
+import (
+	"sync/atomic"
+
+	"lib"
+)
+
+type counters struct {
+	hits  int64
+	total int64
+	plain int64 // never touched atomically; free to use plainly
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+// Consistent discipline: reads through sync/atomic are fine.
+func (c *counters) loadHits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Mixed read: total is atomic elsewhere but read plainly here.
+func (c *counters) snapshot() (int64, int64) {
+	return atomic.LoadInt64(&c.hits), c.total // want `total is touched via sync/atomic \(app.go:\d+\) but read plainly here`
+}
+
+// Mixed write.
+func (c *counters) reset() {
+	c.total = 0 // want `total is touched via sync/atomic \(app.go:\d+\) but written plainly here`
+}
+
+// Plain-only fields never report.
+func (c *counters) bumpPlain() {
+	c.plain++
+}
+
+// Package-level variables are tracked like fields.
+var ops int64
+
+func bumpOps() {
+	atomic.AddInt64(&ops, 1)
+}
+
+func readOps() int64 {
+	return ops // want `ops is touched via sync/atomic \(app.go:\d+\) but read plainly here`
+}
+
+// Cross-package mix: lib.Gauge.N is accessed plainly inside lib, which
+// cannot see this package. The finding lands here, on the atomic side —
+// the first package that can see both halves.
+func bumpShared(g *lib.Gauge) {
+	atomic.AddInt64(&g.N, 1) // want `N is accessed plainly \(lib.go:\d+\) but via sync/atomic here`
+}

@@ -1,0 +1,7 @@
+// Test files are exempt: plain access to atomically-touched state in a
+// test is single-goroutine probing, not a race.
+package app
+
+func snapshotForTest(c *counters) int64 {
+	return c.hits
+}

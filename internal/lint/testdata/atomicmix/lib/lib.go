@@ -1,0 +1,13 @@
+// Fixture dependency package: Gauge.N is only ever accessed plainly
+// here. The mix happens in the importing package (app), which is where
+// the finding must be reported — a dependency cannot be blamed for an
+// importer it cannot see.
+package lib
+
+type Gauge struct {
+	N int64
+}
+
+func (g *Gauge) Bump() {
+	g.N++
+}

@@ -1,0 +1,111 @@
+// Package app exercises the bufalias analyzer: views into
+// //moloc:reuse scratch must not be retained past the call.
+package app
+
+import "lib"
+
+type candidate struct {
+	loc  int
+	prob float64
+}
+
+type localizer struct {
+	//moloc:reuse
+	buf []candidate
+	//moloc:reuse
+	post []candidate
+
+	retained []candidate
+
+	//moloc:reuse
+	gen int // want `field gen is annotated //moloc:reuse but is not a slice`
+}
+
+// An annotated accessor may hand out the scratch: that is the contract.
+//
+//moloc:reuse
+func (l *localizer) view() []candidate {
+	return l.buf
+}
+
+// Returning scratch from an unannotated function leaks it.
+func (l *localizer) leak() []candidate {
+	return l.buf // want `returns a view into //moloc:reuse scratch`
+}
+
+// A reslice is the same backing array.
+func (l *localizer) leakSub() []candidate {
+	return l.buf[:1] // want `returns a view into //moloc:reuse scratch`
+}
+
+// Taint flows through locals and reslices of locals.
+func (l *localizer) leakFlow() []candidate {
+	v := l.buf
+	w := v[:0]
+	return w // want `returns a view into //moloc:reuse scratch`
+}
+
+// append onto scratch may extend it in place: still the same buffer.
+func (l *localizer) leakAppend() []candidate {
+	out := append(l.buf, candidate{})
+	return out // want `returns a view into //moloc:reuse scratch`
+}
+
+// append onto a fresh slice copies the elements out: clean.
+func (l *localizer) copyOut() []candidate {
+	return append([]candidate(nil), l.buf...)
+}
+
+// The prior/posterior swap publishes scratch into scratch: the point of
+// the annotation, allowed.
+func (l *localizer) swap() {
+	l.buf, l.post = l.post, l.buf
+}
+
+// Storing scratch in an unannotated field retains it past the call.
+func (l *localizer) retain() {
+	l.retained = l.buf[:0] // want `stores a view into //moloc:reuse scratch in field retained`
+}
+
+// Storing a copy is clean.
+func (l *localizer) retainCopy() {
+	l.retained = append(l.retained[:0], l.buf...)
+}
+
+var published []candidate
+
+// Package-level variables outlive everything.
+func (l *localizer) publish() {
+	published = l.buf // want `stores a view into //moloc:reuse scratch in package-level variable published`
+}
+
+// Composite literals escape through whatever holds them.
+func (l *localizer) wrap() [][]candidate {
+	return [][]candidate{l.buf} // want `stores a view into //moloc:reuse scratch in a composite literal`
+}
+
+// Reading scratch in place — indexing, ranging, passing to a consumer —
+// is the intended use and stays silent.
+func (l *localizer) best() int {
+	if len(l.buf) == 0 {
+		return 0
+	}
+	top := l.buf[0]
+	for _, c := range l.buf[1:] {
+		if c.prob > top.prob {
+			top = c
+		}
+	}
+	return top.loc
+}
+
+// Cross-package: lib.Source.Candidates is //moloc:reuse-annotated, and
+// the engine's index carries that fact across the import edge.
+func drain(s *lib.Source) []lib.Item {
+	c := s.Candidates()
+	return c // want `returns a view into //moloc:reuse scratch`
+}
+
+func drainCopy(s *lib.Source) []lib.Item {
+	return append([]lib.Item(nil), s.Candidates()...)
+}

@@ -1,0 +1,29 @@
+// Fixture dependency: a candidate source with reused scratch, exposed
+// through a //moloc:reuse-annotated accessor. Importers must treat its
+// result as borrowed.
+package lib
+
+type Item struct {
+	Loc  int
+	Prob float64
+}
+
+type Source struct {
+	//moloc:reuse
+	buf []Item
+}
+
+// Candidates returns the current set as a view into reused scratch.
+//
+//moloc:reuse
+func (s *Source) Candidates() []Item {
+	return s.buf
+}
+
+// Fill rewrites the scratch in place.
+func (s *Source) Fill(n int) {
+	s.buf = s.buf[:0]
+	for i := 0; i < n; i++ {
+		s.buf = append(s.buf, Item{Loc: i})
+	}
+}

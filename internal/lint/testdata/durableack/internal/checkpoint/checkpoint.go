@@ -1,0 +1,71 @@
+// Package checkpoint exercises the durableack analyzer's second rule:
+// in packages under internal/wal and internal/checkpoint, Rename — the
+// atomic publish of a data file — must be preceded by a Sync in the
+// same function. Rename-before-fsync can publish a file whose contents
+// are still in the page cache.
+package checkpoint
+
+import "os"
+
+// The crash-safe ordering: write, fsync, then publish.
+func saveGood(f *os.File, tmp, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// A Sync behind an error guard still counts: the lexical approximation
+// accepts any earlier Sync in the body (this is the real
+// checkpoint.Save shape).
+func saveGuarded(f *os.File, tmp, final string) error {
+	var werr error
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if werr != nil {
+		return werr
+	}
+	return os.Rename(tmp, final)
+}
+
+// No Sync at all.
+func saveUnsynced(tmp, final string) error {
+	return os.Rename(tmp, final) // want `Rename publishes a data file with no preceding Sync`
+}
+
+// Sync after the rename is too late: the publish already happened.
+func saveSyncLate(f *os.File, tmp, final string) error {
+	if err := os.Rename(tmp, final); err != nil { // want `Rename publishes a data file with no preceding Sync`
+		return err
+	}
+	return f.Sync()
+}
+
+// A Sync inside a deferred closure guards nothing at rename time.
+func saveDeferredSync(f *os.File, tmp, final string) error {
+	defer func() {
+		_ = f.Sync()
+	}()
+	return os.Rename(tmp, final) // want `Rename publishes a data file with no preceding Sync`
+}
+
+// The rule also sees Rename through a filesystem seam (the fault.FS
+// shape): callee name, not package, is what identifies the publish.
+type fsys interface {
+	Rename(oldpath, newpath string) error
+}
+
+func saveViaSeam(fs fsys, f *os.File, tmp, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, final)
+}
+
+func saveViaSeamUnsynced(fs fsys, tmp, final string) error {
+	return fs.Rename(tmp, final) // want `Rename publishes a data file with no preceding Sync`
+}

@@ -1,0 +1,13 @@
+// Fixture write-ahead log: the engine recognizes (*Log).Append in any
+// package under internal/wal as the durability anchor, so the fixture
+// models the real one's shape.
+package wal
+
+type Log struct {
+	seq uint64
+}
+
+func (l *Log) Append(p []byte) (uint64, error) {
+	l.seq++
+	return l.seq, nil
+}

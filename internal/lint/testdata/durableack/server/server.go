@@ -1,0 +1,82 @@
+// Package server exercises the durableack analyzer's first rule: a
+// function annotated //moloc:durable may only write a 2xx status after
+// a call that can reach a WAL append. The guard is the engine's
+// transitive AppendsWAL fact, so a wrapper between the handler and
+// (*wal.Log).Append still counts.
+package server
+
+import "internal/wal"
+
+type writer interface {
+	WriteHeader(status int)
+}
+
+type resp struct {
+	Queued int
+}
+
+func writeJSON(w writer, status int, v interface{}) {
+	w.WriteHeader(status)
+}
+
+type store struct {
+	log *wal.Log
+}
+
+// enqueue reaches the WAL through one level of indirection.
+func (s *store) enqueue(p []byte) error {
+	_, err := s.log.Append(p)
+	return err
+}
+
+// The protocol: durable first, then the 202.
+//
+//moloc:durable
+func (s *store) handleGood(w writer, p []byte) {
+	if err := s.enqueue(p); err != nil {
+		w.WriteHeader(503)
+		return
+	}
+	writeJSON(w, 202, resp{Queued: 1})
+}
+
+// Direct WriteHeader after the append is equally fine.
+//
+//moloc:durable
+func (s *store) handleDirect(w writer, p []byte) {
+	if err := s.enqueue(p); err != nil {
+		return
+	}
+	w.WriteHeader(202)
+}
+
+// Ack before the append: the client can be told "accepted" and the
+// batch still die with the process.
+//
+//moloc:durable
+func (s *store) handleAckFirst(w writer, p []byte) {
+	writeJSON(w, 202, resp{Queued: 1}) // want `writes a 2xx status in a //moloc:durable handler with no preceding WAL append`
+	if err := s.enqueue(p); err != nil {
+		return
+	}
+}
+
+// No append anywhere.
+//
+//moloc:durable
+func (s *store) handleNoAppend(w writer, p []byte) {
+	w.WriteHeader(200) // want `writes a 2xx status in a //moloc:durable handler with no preceding WAL append`
+}
+
+// Error statuses carry no durability promise.
+//
+//moloc:durable
+func (s *store) handleReject(w writer) {
+	w.WriteHeader(429)
+}
+
+// Unannotated handlers are out of scope: not every endpoint is an
+// ingest path.
+func (s *store) handleStatus(w writer) {
+	writeJSON(w, 200, resp{})
+}

@@ -1,0 +1,49 @@
+// Package app exercises the staleignore sweep: a //lint:ignore comment
+// that matched no finding across the whole suite is itself reported.
+// This fixture runs under the full analyzer suite — staleness only
+// means something with the other analyzers live.
+package app
+
+import "errors"
+
+func mightFail() error { return errors.New("boom") }
+
+// A suppression that earns its keep: errdrop fires on the bare call and
+// the comment consumes it.
+func deliberateDrop() {
+	//lint:ignore errdrop the fixture drops this error on purpose
+	mightFail()
+}
+
+// Nothing on the next line triggers errdrop: the error is handled. The
+// comment is a leftover from a refactor and must be reported.
+func handledNow() error {
+	//lint:ignore errdrop stale leftover from a refactor // want `//lint:ignore errdrop suppresses nothing; remove the stale comment`
+	return mightFail()
+}
+
+// A stale suppression may be kept deliberately mid-migration by
+// silencing the stale report itself; that staleignore comment is then
+// used and neither line is reported.
+func keptThroughMigration() error {
+	//lint:ignore staleignore suppression kept while the migration is in flight
+	//lint:ignore errdrop kept deliberately during the migration
+	return mightFail()
+}
+
+// A staleignore suppression with no stale report under it suppresses
+// nothing and is reported unconditionally — a suppression of a
+// suppression of nothing has no defensible reading.
+func danglingStaleIgnore() {
+	//lint:ignore staleignore nothing stale here // want `//lint:ignore staleignore suppresses nothing; remove the stale comment`
+	var n int
+	_ = n
+}
+
+// A suppression naming an analyzer that is not part of the run proves
+// nothing either way and is left alone.
+func unknownAnalyzer() {
+	//lint:ignore notananalyzer tools other than moloclint read this
+	var n int
+	_ = n
+}

@@ -1,0 +1,8 @@
+// Suppressions in test files are never reported as stale: every
+// analyzer exempts test code, so they cannot match by construction.
+package app
+
+func dropInTest() {
+	//lint:ignore errdrop tests are exempt from every analyzer
+	mightFail()
+}

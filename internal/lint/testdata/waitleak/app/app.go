@@ -1,0 +1,109 @@
+// Package app exercises the waitleak analyzer: every go statement in
+// non-test code must be joinable (WaitGroup Add before, Done inside),
+// stoppable (the body blocks on a channel someone can fire), or a
+// single completion-send.
+package app
+
+import "sync"
+
+func work() {}
+
+type worker struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	q    chan int
+}
+
+// Joinable: Add precedes the spawn, the body defers Done.
+func (w *worker) spawnJoined() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		work()
+	}()
+}
+
+// Joinable across functions: loop carries the Done, the engine's
+// RetiresWG fact carries it back to the spawn site.
+func (w *worker) start() {
+	w.wg.Add(1)
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	defer w.wg.Done()
+	for range w.q {
+		work()
+	}
+}
+
+// The sync.Once-guarded Start shape: the Add and the spawns live in a
+// closure, and the preceding-Add check scopes to that closure's body.
+func (w *worker) startOnce(once *sync.Once) {
+	once.Do(func() {
+		w.wg.Add(1)
+		go w.loop()
+	})
+}
+
+// Stoppable: the body selects on a stop channel.
+func (w *worker) spawnStoppable() {
+	go func() {
+		for {
+			select {
+			case <-w.done:
+				return
+			case v := <-w.q:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Stoppable through a callee: wait blocks on the stop channel and the
+// Blocking fact propagates to the spawned literal.
+func (w *worker) await() {
+	<-w.done
+}
+
+func (w *worker) spawnWaiter() {
+	go func() {
+		w.await()
+		work()
+	}()
+}
+
+// Completion-send: adapting a blocking call to select.
+func run() error { return nil }
+
+func spawnCompletion(errc chan error) {
+	go func() { errc <- run() }()
+}
+
+// Flagged: Done inside but no Add before the spawn — Wait can return
+// before the goroutine is counted.
+func (w *worker) spawnNoAdd() {
+	go func() { // want `goroutine has no WaitGroup Add/Done pair, stop-channel, or completion send`
+		defer w.wg.Done()
+		work()
+	}()
+}
+
+// Flagged: Add before, but nothing ever calls Done — Wait hangs.
+func (w *worker) spawnNoDone() {
+	w.wg.Add(1)
+	go func() { // want `goroutine has no WaitGroup Add/Done pair, stop-channel, or completion send`
+		work()
+	}()
+}
+
+// Flagged: bare fire-and-forget on a named function.
+func spawnForgotten() {
+	go work() // want `goroutine has no WaitGroup Add/Done pair, stop-channel, or completion send`
+}
+
+// A deliberate fire-and-forget documents itself.
+func spawnDocumented() {
+	//lint:ignore waitleak demo goroutine lives for the process
+	go work()
+}

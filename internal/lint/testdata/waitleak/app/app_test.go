@@ -1,0 +1,7 @@
+// Test files are exempt: tests spawn short-lived goroutines the test
+// binary's exit reaps.
+package app
+
+func spawnInTest() {
+	go work()
+}

@@ -1,0 +1,158 @@
+package lint
+
+// WaitLeak demands every goroutine in non-test code have a provable
+// way to be joined or stopped. The server's drain-on-Close contract —
+// Close waits for the sweeper, the retrainer, and the worker pool
+// before flushing the WAL — only holds if no code path spawns a
+// goroutine outside that discipline; a leaked one keeps ticking against
+// freed sessions or a closed store.
+//
+// A `go` statement is accepted when any of these holds:
+//
+//  1. Joinable: a WaitGroup.Add call lexically precedes the statement
+//     in the same enclosing function, and the spawned body calls
+//     WaitGroup.Done — directly, or (for `go s.loop()`) transitively
+//     through the engine's RetiresWG fact, which sees the
+//     `defer s.wg.Done()` inside the loop body in another function.
+//  2. Stoppable: the spawned body blocks on a channel — a receive, a
+//     select, or ranging over a work queue — directly or transitively
+//     (Blocking fact). Someone holds the other end and can fire it.
+//  3. Completion-send: the body is a single channel send
+//     (`go func() { errc <- srv.Serve() }()`), the idiom for adapting
+//     a blocking call to select; it terminates with the call.
+//
+// Everything else — including `go` on a function value the engine
+// cannot resolve statically — is reported; a deliberate fire-and-forget
+// goroutine documents itself with //lint:ignore waitleak <why>.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WaitLeak reports goroutines with no join or stop discipline.
+var WaitLeak = &Analyzer{
+	Name: "waitleak",
+	Doc:  "every go statement must be tied to a WaitGroup Add/Done pair or a stop-channel",
+	Run:  runWaitLeak,
+}
+
+func runWaitLeak(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.isTestFile(f) {
+			continue
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goStmtAllowed(pass, g, stack) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no WaitGroup Add/Done pair, stop-channel, or completion send")
+			}
+			return true
+		})
+	}
+}
+
+// goStmtAllowed checks the three accepted shapes for one go statement.
+func goStmtAllowed(pass *Pass, g *ast.GoStmt, stack []ast.Node) bool {
+	blocking, done := spawnedFacts(pass, g.Call)
+	if blocking {
+		return true
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok && isCompletionSend(lit) {
+		return true
+	}
+	return done && addPrecedes(pass, g, stack)
+}
+
+// spawnedFacts resolves what the goroutine will run — a function
+// literal analyzed inline, or a declared function looked up in the
+// index — and returns whether it blocks on a channel or retires a
+// WaitGroup, transitively.
+func spawnedFacts(pass *Pass, call *ast.CallExpr) (blocking, done bool) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := funcObj(pass.Info, n); fn != nil {
+					if isWaitGroupMethod(fn, "Done") {
+						done = true
+					}
+					if facts := pass.Index.FuncFacts(fn); facts != nil {
+						blocking = blocking || facts.Blocking
+						done = done || facts.RetiresWG
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					blocking = true
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						blocking = true
+					}
+				}
+			}
+			return true
+		})
+		return blocking, done
+	}
+	if fn := funcObj(pass.Info, call); fn != nil {
+		if facts := pass.Index.FuncFacts(fn); facts != nil {
+			return facts.Blocking, facts.RetiresWG
+		}
+	}
+	return false, false
+}
+
+// isCompletionSend reports whether the literal's body is exactly one
+// channel send — the adapt-blocking-call idiom.
+func isCompletionSend(lit *ast.FuncLit) bool {
+	if len(lit.Body.List) != 1 {
+		return false
+	}
+	_, ok := lit.Body.List[0].(*ast.SendStmt)
+	return ok
+}
+
+// addPrecedes reports whether a WaitGroup.Add call lexically precedes
+// the go statement inside its innermost enclosing function body (a
+// FuncLit's body when the spawn happens inside one, as in
+// sync.Once-guarded Start methods).
+func addPrecedes(pass *Pass, g *ast.GoStmt, stack []ast.Node) bool {
+	body := enclosingFuncBody(stack)
+	if body == nil {
+		return false
+	}
+	for _, prev := range precedingCalls(body, g.Pos()) {
+		if fn := funcObj(pass.Info, prev); fn != nil && isWaitGroupMethod(fn, "Add") {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncBody returns the body of the innermost function —
+// declaration or literal — the top of the stack sits in.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			return fn.Body
+		case *ast.FuncDecl:
+			return fn.Body
+		}
+	}
+	return nil
+}

@@ -121,13 +121,18 @@ type MoLoc struct {
 	cmp *motiondb.Compiled // nil in reference mode
 	cfg Config
 
+	//moloc:reuse
 	prior []fingerprint.Candidate
 
 	// Scratch reused across intervals by the compiled path.
+	//moloc:reuse
 	candBuf []fingerprint.Candidate
+	//moloc:reuse
 	postBuf []fingerprint.Candidate
-	pm      []float64
-	locIdx  []int32 // candidate index by location, -1 when absent
+	//moloc:reuse
+	pm []float64
+	//moloc:reuse
+	locIdx []int32 // candidate index by location, -1 when absent
 }
 
 var _ Localizer = (*MoLoc)(nil)
@@ -209,10 +214,14 @@ func (m *MoLoc) Reset() { m.prior = m.prior[:0] }
 // modified and is only valid until the next Localize or Reset call —
 // the serving path reuses its backing buffer. Callers that retain
 // candidate sets (e.g. the tracker's fixes) must copy.
+//
+//moloc:reuse
 func (m *MoLoc) Candidates() []fingerprint.Candidate { return m.prior }
 
 // candidates queries the source, through the allocation-free append
 // API when the source supports it.
+//
+//moloc:reuse
 func (m *MoLoc) candidates(fp fingerprint.Fingerprint) []fingerprint.Candidate {
 	if m.app != nil {
 		m.candBuf = m.app.CandidatesAppend(m.candBuf[:0], fp, m.cfg.K)
@@ -405,14 +414,20 @@ type DeadReckoning struct {
 	cmp *motiondb.Compiled // nil in reference mode
 	cfg Config
 
+	//moloc:reuse
 	prior []fingerprint.Candidate
 
 	// Scratch reused across intervals by the compiled path.
-	candBuf  []fingerprint.Candidate
-	postBuf  []fingerprint.Candidate
+	//moloc:reuse
+	candBuf []fingerprint.Candidate
+	//moloc:reuse
+	postBuf []fingerprint.Candidate
+	//moloc:reuse
 	touchBuf []fingerprint.Candidate
-	pmAll    []float64 // accumulated motion mass by location
-	seen     []bool    // touched marks by location
+	//moloc:reuse
+	pmAll []float64 // accumulated motion mass by location
+	//moloc:reuse
+	seen []bool // touched marks by location
 }
 
 var _ Localizer = (*DeadReckoning)(nil)
@@ -452,6 +467,8 @@ func (dr *DeadReckoning) Reset() { dr.prior = dr.prior[:0] }
 
 // candidates queries the source, through the allocation-free append
 // API when the source supports it.
+//
+//moloc:reuse
 func (dr *DeadReckoning) candidates(fp fingerprint.Fingerprint) []fingerprint.Candidate {
 	if dr.app != nil {
 		dr.candBuf = dr.app.CandidatesAppend(dr.candBuf[:0], fp, dr.cfg.K)

@@ -206,7 +206,6 @@ func buildProbTable(e Entry, alpha, beta float64) probTable {
 	t.invDirH = 1 / dirH
 	t.dir = make([]float64, dirN+1)
 	for k := 0; k <= dirN; k++ {
-		//lint:ignore degnorm table node placement over [-180,180], not bearing arithmetic
 		dd := -180 + float64(k)*dirH
 		t.dir[k] = stats.GaussInterval(dd-alpha/2, dd+alpha/2, 0, e.StdDir)
 	}

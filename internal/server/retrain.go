@@ -288,6 +288,11 @@ type obsResp struct {
 	Pending int `json:"pending"`
 }
 
+// handleObservations ingests a crowdsourced batch. The //moloc:durable
+// contract (checked by moloclint's durableack): with durability on, the
+// 202 may only be written after the batch reached the WAL.
+//
+//moloc:durable
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	var req obsReq
 	if !s.decodeJSON(w, r, &req) {

@@ -405,3 +405,56 @@ func TestTrackerWithHorusSource(t *testing.T) {
 		t.Error("candidates missing")
 	}
 }
+
+// TestFixCandidatesDoNotAliasScratch is the regression test for the
+// retained-subslice bug class moloclint's bufalias analyzer guards
+// against: the localizer's Candidates() returns a view into its
+// //moloc:reuse scratch, which the next Localize overwrites in place.
+// A Fix outlives the interval, so closeInterval must copy the set. The
+// test takes a fix, then drives further intervals with scans from a
+// different location (rewriting the scratch), and demands the first
+// fix's candidates stay byte-for-byte what they were.
+func TestFixCandidatesDoNotAliasScratch(t *testing.T) {
+	sys := sysFixture(t)
+	tk, err := New(sys.Plan, fullFDB(t, sys), sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedIMU := func(t0, t1 float64) {
+		for ts := t0; ts < t1; ts += 0.1 {
+			tk.AddIMU(sensors.Sample{T: ts, Accel: 9.8})
+		}
+	}
+
+	feedIMU(0, 3)
+	tk.AddScan(1, fingerprint.Fingerprint(sys.Model.Sample(sys.Plan.LocPos(5), stats.NewRNG(2))))
+	fix, ok := tk.Tick(3)
+	if !ok {
+		t.Fatal("expected a first fix")
+	}
+	if len(fix.Candidates) == 0 {
+		t.Fatal("first fix has no candidates")
+	}
+	snap := append([]fingerprint.Candidate(nil), fix.Candidates...)
+
+	// Rewrite the localizer's reused buffers with fixes from the far
+	// corner of the plan.
+	for i := 0; i < 3; i++ {
+		t0 := 3 + float64(i)*3
+		feedIMU(t0, t0+3)
+		tk.AddScan(t0+1, fingerprint.Fingerprint(sys.Model.Sample(sys.Plan.LocPos(20), stats.NewRNG(int64(40+i)))))
+		if _, ok := tk.Tick(t0 + 3); !ok {
+			t.Fatalf("expected a fix for interval %d", i+2)
+		}
+	}
+
+	if len(fix.Candidates) != len(snap) {
+		t.Fatalf("first fix's candidate set changed length: %d -> %d", len(snap), len(fix.Candidates))
+	}
+	for i := range snap {
+		if fix.Candidates[i] != snap[i] {
+			t.Errorf("candidate %d mutated after later intervals: had %+v, now %+v",
+				i, snap[i], fix.Candidates[i])
+		}
+	}
+}
