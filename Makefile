@@ -57,10 +57,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable perf artifact: run the hot-path benchmarks and emit
-# BENCH_PR5.json via cmd/benchjson, one data point in the repo's perf
+# BENCH_PR7.json via cmd/benchjson, one data point in the repo's perf
 # trajectory. BENCHTIME trades precision for CI time.
 BENCHTIME ?= 1s
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR7.json
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkFingerprintKNN|BenchmarkMotionMatchProb|BenchmarkMoLocLocalize|BenchmarkScalability|BenchmarkMotionTrain|BenchmarkRecompileEdges|BenchmarkIngestUnderLoad' \
 		-benchmem -benchtime $(BENCHTIME) -count 1 . > bench.out
@@ -69,8 +69,9 @@ bench-json:
 
 # Perf gate: regenerate the artifact and compare ns/op against the
 # previous PR's pinned numbers; benchmarks shared by both suites must
-# not regress beyond 25%.
-OLD ?= BENCH_PR4.json
+# not regress beyond 25%, and every baseline benchmark must still be
+# present (benchjson -diff fails on removals).
+OLD ?= BENCH_PR5.json
 bench-diff: bench-json
 	$(GO) run ./cmd/benchjson -diff -max-regress 25 $(OLD) $(BENCH_JSON)
 

@@ -96,6 +96,7 @@ func crowdBenchFixture(b *testing.B) *crowdBench {
 func BenchmarkMotionTrain(b *testing.B) {
 	fx := crowdBenchFixture(b)
 	cfg := motiondb.NewBuilderConfig()
+	var serialNs, parallelNs float64
 	b.Run("serial", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -103,6 +104,7 @@ func BenchmarkMotionTrain(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		serialNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	})
 	b.Run("parallel", func(b *testing.B) {
 		b.ReportAllocs()
@@ -111,7 +113,16 @@ func BenchmarkMotionTrain(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		parallelNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	})
+	// The point of sharding is that it never costs time: with per-worker
+	// scratch + fast per-trace reseeding the parallel build must be no
+	// slower than the serial one even at GOMAXPROCS=1 (10% timer noise
+	// allowance). A regression here means per-trace churn crept back in.
+	if serialNs > 0 && parallelNs > serialNs*1.10 {
+		b.Errorf("MotionTrain/parallel (8 workers) %.0f ns/op is slower than serial %.0f ns/op",
+			parallelNs, serialNs)
+	}
 }
 
 // benchGridDB is the 512-location (32x16 grid, 976 trained pairs)

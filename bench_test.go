@@ -451,34 +451,42 @@ func BenchmarkAblationZeroSurvey(b *testing.B) {
 	}
 }
 
+// scalabilityDeployment builds a grid-plan system sized for the
+// scalability sweep.
+func scalabilityDeployment(b *testing.B, cols, rows, trainTraces, testTraces int) (*core.System, *core.Deployment) {
+	b.Helper()
+	o := floorplan.GridOptions{
+		Cols: cols, Rows: rows,
+		SpacingX: 5, SpacingY: 4, Margin: 3, APs: 12,
+	}
+	plan, err := floorplan.Grid(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.NewConfig()
+	cfg.Plan = plan
+	cfg.AdjDist = floorplan.GridAdjDist(o)
+	cfg.NumTrainTraces = trainTraces
+	cfg.NumTestTraces = testTraces
+	sys, err := core.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dep, err := sys.Deploy(sys.AllAPs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, dep
+}
+
 // BenchmarkScalability sweeps the environment size: end-to-end MoLoc
-// localization cost per fix as the reference grid grows well beyond the
-// paper's 28 locations.
+// localization cost per trace replay as the reference grid grows well
+// beyond the paper's 28 locations.
 func BenchmarkScalability(b *testing.B) {
 	for _, size := range []struct{ cols, rows int }{{7, 4}, {16, 10}, {32, 16}} {
 		n := size.cols * size.rows
 		b.Run(fmt.Sprintf("locs_%d", n), func(b *testing.B) {
-			o := floorplan.GridOptions{
-				Cols: size.cols, Rows: size.rows,
-				SpacingX: 5, SpacingY: 4, Margin: 3, APs: 12,
-			}
-			plan, err := floorplan.Grid(o)
-			if err != nil {
-				b.Fatal(err)
-			}
-			cfg := core.NewConfig()
-			cfg.Plan = plan
-			cfg.AdjDist = floorplan.GridAdjDist(o)
-			cfg.NumTrainTraces = 80
-			cfg.NumTestTraces = 8
-			sys, err := core.Build(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			dep, err := sys.Deploy(sys.AllAPs())
-			if err != nil {
-				b.Fatal(err)
-			}
+			_, dep := scalabilityDeployment(b, size.cols, size.rows, 80, 8)
 			ml, err := dep.NewMoLoc()
 			if err != nil {
 				b.Fatal(err)
@@ -492,6 +500,49 @@ func BenchmarkScalability(b *testing.B) {
 				for _, ld := range td.Legs {
 					ml.Localize(localizer.Observation{FP: ld.FP, Motion: ld.RLM})
 				}
+			}
+		})
+	}
+
+	// The 1000+-location tier runs the reachability-gated steady state
+	// (one warmed session, per-fix cost): the quantized masked scan plus
+	// the motion posterior, the serving configuration the sub-10 µs/fix
+	// target is pinned against. The map fallback seeds every adjacent
+	// pair, so a thin training set still yields full gating adjacency.
+	for _, size := range []struct{ cols, rows, train int }{{32, 32, 32}, {64, 64, 16}} {
+		n := size.cols * size.rows
+		b.Run(fmt.Sprintf("locs_%d", n), func(b *testing.B) {
+			sys, dep := scalabilityDeployment(b, size.cols, size.rows, size.train, 2)
+			cfg := sys.Config.MoLoc
+			cfg.Gate = true
+			ml, err := localizer.NewMoLoc(dep.FDB, sys.MDB, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			td := dep.TestData[0]
+			// Warm the session: the first observation takes the full scan
+			// and sizes every reused buffer; after it the gated path serves.
+			ml.Localize(localizer.Observation{FP: td.StartFP})
+			var legs []int
+			for i, ld := range td.Legs {
+				ml.Localize(localizer.Observation{FP: ld.FP, Motion: ld.RLM})
+				if ld.RLM != nil {
+					legs = append(legs, i)
+				}
+			}
+			if len(legs) == 0 {
+				b.Fatal("test trace has no walking legs")
+			}
+			gatedBefore := ml.GatedScans()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ld := &td.Legs[legs[i%len(legs)]]
+				ml.Localize(localizer.Observation{FP: ld.FP, Motion: ld.RLM})
+			}
+			b.StopTimer()
+			if gated := ml.GatedScans() - gatedBefore; gated != b.N {
+				b.Fatalf("gated scans = %d of %d fixes: steady state fell off the gated path", gated, b.N)
 			}
 		})
 	}

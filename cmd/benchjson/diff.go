@@ -34,20 +34,29 @@ func loadSuite(path string) (*Suite, error) {
 	return &s, nil
 }
 
-// diffSuites compares ns/op for every benchmark present in both suites.
-// maxRegress is the allowed slowdown in percent; a shared benchmark
-// slower by more than that is marked a regression. Benchmarks present
-// in only one suite are ignored — new benchmarks must be free to
-// appear, and retired ones to go.
-func diffSuites(oldS, newS *Suite, maxRegress float64) []diffRow {
+// diffSuites compares ns/op for every benchmark present in both
+// suites. maxRegress is the allowed slowdown in percent; a shared
+// benchmark slower by more than that is marked a regression. Coverage
+// changes are returned alongside the rows, sorted: added holds names
+// present only in the new suite (fine — new benchmarks must be free to
+// appear), removed holds names present only in the old one. Silently
+// dropping a benchmark is how a pinned target stops being enforced, so
+// the caller treats removals as failures; retiring one for real means
+// regenerating the baseline artifact.
+func diffSuites(oldS, newS *Suite, maxRegress float64) (rows []diffRow, added, removed []string) {
 	oldByName := make(map[string]Record, len(oldS.Benchmarks))
 	for _, r := range oldS.Benchmarks {
 		oldByName[r.Name] = r
 	}
-	var rows []diffRow
+	newNames := make(map[string]bool, len(newS.Benchmarks))
 	for _, nr := range newS.Benchmarks {
+		newNames[nr.Name] = true
 		or, ok := oldByName[nr.Name]
-		if !ok || or.NsPerOp <= 0 {
+		if !ok {
+			added = append(added, nr.Name)
+			continue
+		}
+		if or.NsPerOp <= 0 {
 			continue
 		}
 		delta := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
@@ -59,34 +68,49 @@ func diffSuites(oldS, newS *Suite, maxRegress float64) []diffRow {
 			Regression: delta > maxRegress,
 		})
 	}
+	for name := range oldByName {
+		if !newNames[name] {
+			removed = append(removed, name)
+		}
+	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
-	return rows
+	sort.Strings(added)
+	sort.Strings(removed)
+	return rows, added, removed
 }
 
-// runDiff loads both artifacts, prints the comparison table, and
-// reports whether any shared benchmark regressed beyond the threshold.
-func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64) (regressed bool, err error) {
+// runDiff loads both artifacts, prints the comparison table and the
+// coverage changes, and reports whether any shared benchmark regressed
+// beyond the threshold and how many baseline benchmarks the new run
+// dropped.
+func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64) (regressed bool, removedCount int, err error) {
 	oldS, err := loadSuite(oldPath)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	newS, err := loadSuite(newPath)
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
-	rows := diffSuites(oldS, newS, maxRegress)
+	rows, added, removed := diffSuites(oldS, newS, maxRegress)
 	if len(rows) == 0 {
 		fmt.Fprintf(w, "benchjson: no shared benchmarks between %s and %s\n", oldPath, newPath)
-		return false, nil
-	}
-	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
-	for _, r := range rows {
-		mark := ""
-		if r.Regression {
-			mark = "  REGRESSION"
-			regressed = true
+	} else {
+		fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+		for _, r := range rows {
+			mark := ""
+			if r.Regression {
+				mark = "  REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(w, "%-40s %14.1f %14.1f %+8.1f%%%s\n", r.Name, r.OldNs, r.NewNs, r.DeltaPct, mark)
 		}
-		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+8.1f%%%s\n", r.Name, r.OldNs, r.NewNs, r.DeltaPct, mark)
 	}
-	return regressed, nil
+	for _, name := range added {
+		fmt.Fprintf(w, "added:   %s (not in baseline)\n", name)
+	}
+	for _, name := range removed {
+		fmt.Fprintf(w, "removed: %s (in baseline, missing from new run)  REMOVED\n", name)
+	}
+	return regressed, len(removed), nil
 }

@@ -25,9 +25,9 @@ func TestDiffSuites(t *testing.T) {
 	newS := &Suite{Benchmarks: []Record{
 		{Name: "Shared/fast", NsPerOp: 90},   // 10% faster
 		{Name: "Shared/slow", NsPerOp: 1400}, // 40% slower
-		{Name: "BrandNew", NsPerOp: 7},       // not in old: ignored
+		{Name: "BrandNew", NsPerOp: 7},       // not in old: reported added
 	}}
-	rows := diffSuites(oldS, newS, 25)
+	rows, added, removed := diffSuites(oldS, newS, 25)
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows, want 2 (only shared benchmarks): %+v", len(rows), rows)
 	}
@@ -38,14 +38,23 @@ func TestDiffSuites(t *testing.T) {
 	if slow.Name != "Shared/slow" || !slow.Regression || slow.DeltaPct < 39 {
 		t.Errorf("slow row: %+v", slow)
 	}
+	if len(added) != 1 || added[0] != "BrandNew" {
+		t.Errorf("added = %v, want [BrandNew]", added)
+	}
+	if len(removed) != 1 || removed[0] != "Retired" {
+		t.Errorf("removed = %v, want [Retired]", removed)
+	}
 }
 
 func TestDiffWithinThresholdPasses(t *testing.T) {
 	oldS := &Suite{Benchmarks: []Record{{Name: "B", NsPerOp: 100}}}
 	newS := &Suite{Benchmarks: []Record{{Name: "B", NsPerOp: 120}}}
-	rows := diffSuites(oldS, newS, 25)
+	rows, added, removed := diffSuites(oldS, newS, 25)
 	if len(rows) != 1 || rows[0].Regression {
 		t.Fatalf("20%% slowdown under a 25%% threshold must pass: %+v", rows)
+	}
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("identical coverage reported added=%v removed=%v", added, removed)
 	}
 }
 
@@ -57,12 +66,15 @@ func TestRunDiff(t *testing.T) {
 		`{"benchmarks":[{"name":"A","iterations":1,"ns_per_op":100},{"name":"B","iterations":1,"ns_per_op":200}]}`)
 
 	var sb strings.Builder
-	regressed, err := runDiff(&sb, oldPath, newPath, 25)
+	regressed, removed, err := runDiff(&sb, oldPath, newPath, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !regressed {
 		t.Error("a 100% slowdown on B must regress")
+	}
+	if removed != 0 {
+		t.Errorf("no benchmarks were removed, got %d", removed)
 	}
 	out := sb.String()
 	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "+100.0%") {
@@ -70,12 +82,42 @@ func TestRunDiff(t *testing.T) {
 	}
 
 	sb.Reset()
-	regressed, err = runDiff(&sb, oldPath, oldPath, 25)
+	regressed, removed, err = runDiff(&sb, oldPath, oldPath, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed || removed != 0 {
+		t.Errorf("identical artifacts must not regress:\n%s", sb.String())
+	}
+}
+
+// TestRunDiffCoverageChanges: a benchmark missing from the new run must
+// be reported and counted (CI exits nonzero on it); a brand-new one is
+// reported but allowed.
+func TestRunDiffCoverageChanges(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSuite(t, dir, "old.json",
+		`{"benchmarks":[{"name":"A","iterations":1,"ns_per_op":100},{"name":"Gone","iterations":1,"ns_per_op":100}]}`)
+	newPath := writeSuite(t, dir, "new.json",
+		`{"benchmarks":[{"name":"A","iterations":1,"ns_per_op":100},{"name":"Fresh","iterations":1,"ns_per_op":5}]}`)
+
+	var sb strings.Builder
+	regressed, removed, err := runDiff(&sb, oldPath, newPath, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if regressed {
-		t.Errorf("identical artifacts must not regress:\n%s", sb.String())
+		t.Error("no shared benchmark regressed")
+	}
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1", removed)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "added:   Fresh") {
+		t.Errorf("output missing added line:\n%s", out)
+	}
+	if !strings.Contains(out, "removed: Gone") || !strings.Contains(out, "REMOVED") {
+		t.Errorf("output missing removed line:\n%s", out)
 	}
 }
 
@@ -84,10 +126,10 @@ func TestRunDiffBadFile(t *testing.T) {
 	good := writeSuite(t, dir, "good.json", `{"benchmarks":[]}`)
 	bad := writeSuite(t, dir, "bad.json", `{not json`)
 	var sb strings.Builder
-	if _, err := runDiff(&sb, bad, good, 25); err == nil {
+	if _, _, err := runDiff(&sb, bad, good, 25); err == nil {
 		t.Error("malformed old artifact must error")
 	}
-	if _, err := runDiff(&sb, good, filepath.Join(dir, "missing.json"), 25); err == nil {
+	if _, _, err := runDiff(&sb, good, filepath.Join(dir, "missing.json"), 25); err == nil {
 		t.Error("missing new artifact must error")
 	}
 }

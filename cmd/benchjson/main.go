@@ -18,8 +18,11 @@
 //
 //	go run ./cmd/benchjson -diff -max-regress 25 BENCH_PR3.json BENCH_PR4.json
 //
-// Benchmarks present in only one file are ignored, so new benchmarks
-// can appear (and retired ones disappear) without tripping the gate.
+// New benchmarks (present only in NEW) are reported and allowed;
+// benchmarks present in OLD but missing from NEW are reported and fail
+// the diff — a dropped benchmark is how a pinned perf target silently
+// stops being enforced. Retiring one for real means regenerating the
+// baseline artifact.
 package main
 
 import (
@@ -41,13 +44,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two arguments: OLD.json NEW.json")
 			os.Exit(2)
 		}
-		regressed, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress)
+		regressed, removed, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		fail := false
 		if regressed {
 			fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond %.0f%% detected\n", *maxRegress)
+			fail = true
+		}
+		if removed > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d baseline benchmark(s) missing from the new run\n", removed)
+			fail = true
+		}
+		if fail {
 			os.Exit(1)
 		}
 		return

@@ -6,9 +6,9 @@
 // Usage:
 //
 //	molocd [-addr :8080] [-plan office|mall|museum] [-seed N] [-aps N] [-horus]
-//	       [-train N] [-session-ttl 15m] [-max-sessions N] [-workers N] [-drain 10s]
-//	       [-retrain 30s] [-data-dir DIR] [-fsync always|interval|none]
-//	       [-fsync-every 100ms] [-pprof addr]
+//	       [-train N] [-session-ttl 15m] [-max-sessions N] [-workers N] [-gate]
+//	       [-drain 10s] [-retrain 30s] [-data-dir DIR]
+//	       [-fsync always|interval|none] [-fsync-every 100ms] [-pprof addr]
 //
 // The motion database retrains online: POST /v1/observations feeds the
 // background retrainer, which republishes the compiled motion index
@@ -72,6 +72,7 @@ func run() error {
 		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle session eviction deadline")
 		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "live session cap (429 beyond)")
 		workers     = flag.Int("workers", 0, "data-plane worker pool size (0 = GOMAXPROCS)")
+		gate        = flag.Bool("gate", false, "reachability-gate steady-state candidate scans (per-fix cost bounded by motion-DB adjacency, not map size)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		retrain     = flag.Duration("retrain", server.DefaultRetrainInterval, "online-retrain period for queued observations")
 		dataDir     = flag.String("data-dir", "", "durability directory: observation WAL + motion-DB checkpoints (empty = in-memory only)")
@@ -89,6 +90,7 @@ func run() error {
 		SessionTTL:      *sessionTTL,
 		MaxSessions:     *maxSessions,
 		Workers:         *workers,
+		Gate:            *gate,
 		RetrainInterval: *retrain,
 		DataDir:         *dataDir,
 		FsyncPolicy:     policy,

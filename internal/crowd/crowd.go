@@ -93,18 +93,63 @@ func (p *Pipeline) pickFP(loc int, rng *stats.RNG) fingerprint.Fingerprint {
 	return scans[rng.Intn(len(scans))]
 }
 
+// calibPair is one (compass mean, believed map bearing) sample of the
+// pass-one placement-offset calibration.
+type calibPair struct{ compass, bearing float64 }
+
+// procScratch holds every buffer one trace replay needs. The parallel
+// training path keeps one per worker so replaying N traces costs O(max
+// trace size) allocations instead of O(N); Process hands processInto a
+// fresh one, which is the allocate-per-call behavior.
+type procScratch struct {
+	visits []int
+	fps    []fingerprint.Fingerprint
+	ests   []int
+	pairs  []calibPair
+	// rlms backs the RLM pointers of td.Legs until the next processInto
+	// call on this scratch.
+	//moloc:reuse
+	rlms []motion.RLM
+	td   TraceData
+	// obs is the worker-loop observation staging buffer.
+	//moloc:reuse
+	obs []motiondb.Observation
+}
+
 // Process replays one trace: it scans a fingerprint at every visited
 // reference location, estimates the visit locations, calibrates the
 // compass placement offset from the estimated leg bearings (pass one),
 // and extracts each leg's RLM with the calibrated headings (pass two).
 func (p *Pipeline) Process(tr *trace.Trace, rng *stats.RNG) *TraceData {
-	visits := tr.Visits()
-	fps := make([]fingerprint.Fingerprint, len(visits))
-	ests := make([]int, len(visits))
-	for i, loc := range visits {
-		fps[i] = p.pickFP(loc, rng)
-		ests[i] = p.fdb.Nearest(fps[i])
+	// A fresh scratch per call: nothing else ever writes these buffers,
+	// so the copied-out TraceData owns them and the reuse contract of
+	// processInto does not escape here.
+	var sc procScratch
+	td := *p.processInto(tr, rng, &sc)
+	return &td
+}
+
+// processInto is Process writing into caller-owned scratch: the
+// returned *TraceData points into sc and is valid only until the next
+// processInto call on the same scratch. RNG consumption is identical
+// to Process (only pickFP draws), so the two produce bit-identical
+// trace data for the same stream.
+//
+//moloc:reuse
+func (p *Pipeline) processInto(tr *trace.Trace, rng *stats.RNG, sc *procScratch) *TraceData {
+	sc.visits = append(sc.visits[:0], tr.Start)
+	for _, leg := range tr.Legs {
+		sc.visits = append(sc.visits, leg.To)
 	}
+	visits := sc.visits
+	sc.fps = sc.fps[:0]
+	sc.ests = sc.ests[:0]
+	for _, loc := range visits {
+		fp := p.pickFP(loc, rng)
+		sc.fps = append(sc.fps, fp)
+		sc.ests = append(sc.ests, p.fdb.Nearest(fp))
+	}
+	fps, ests := sc.fps, sc.ests
 
 	// Pass one: placement-offset calibration in the spirit of Zee. Legs
 	// whose estimated endpoints differ contribute (compass mean, believed
@@ -113,8 +158,7 @@ func (p *Pipeline) Process(tr *trace.Trace, rng *stats.RNG) *TraceData {
 	// second round keeps only the pairs near it. The offset is constant
 	// per trace (the phone does not change hands mid-walk), so trimming
 	// converges quickly.
-	type calibPair struct{ compass, bearing float64 }
-	var pairs []calibPair
+	pairs := sc.pairs[:0]
 	for i, leg := range tr.Legs {
 		if ests[i] == ests[i+1] {
 			continue
@@ -124,6 +168,7 @@ func (p *Pipeline) Process(tr *trace.Trace, rng *stats.RNG) *TraceData {
 			bearing: p.plan.LocBearing(ests[i], ests[i+1]),
 		})
 	}
+	sc.pairs = pairs
 	// Mode-finding: correct pairs cluster tightly around the true offset
 	// while mislocalized pairs scatter at grid-angle multiples, so the
 	// densest window wins. Each pair votes for every window center
@@ -152,13 +197,19 @@ func (p *Pipeline) Process(tr *trace.Trace, rng *stats.RNG) *TraceData {
 		}
 	}
 
-	// Pass two: RLM extraction with corrected headings.
-	stepLen := motion.StepLength(p.mcfg, tr.User.HeightM, tr.User.WeightKg)
-	td := &TraceData{
-		StartTrue: visits[0],
-		StartEst:  ests[0],
-		StartFP:   fps[0],
+	// Pass two: RLM extraction with corrected headings. The RLMs land in
+	// sc.rlms, sized up front so the pointers stored in LegData stay
+	// valid while the slice fills.
+	if cap(sc.rlms) < len(tr.Legs) {
+		sc.rlms = make([]motion.RLM, 0, len(tr.Legs))
 	}
+	sc.rlms = sc.rlms[:0]
+	stepLen := motion.StepLength(p.mcfg, tr.User.HeightM, tr.User.WeightKg)
+	td := &sc.td
+	td.StartTrue = visits[0]
+	td.StartEst = ests[0]
+	td.StartFP = fps[0]
+	td.Legs = td.Legs[:0]
 	for i, leg := range tr.Legs {
 		ld := LegData{
 			TrueFrom: leg.From,
@@ -168,7 +219,8 @@ func (p *Pipeline) Process(tr *trace.Trace, rng *stats.RNG) *TraceData {
 			FP:       fps[i+1],
 		}
 		if rlm, ok := motion.Extract(p.mcfg, leg.Samples, leg.T0, leg.T1, stepLen, &est); ok {
-			ld.RLM = &rlm
+			sc.rlms = append(sc.rlms, rlm)
+			ld.RLM = &sc.rlms[len(sc.rlms)-1]
 		}
 		td.Legs = append(td.Legs, ld)
 	}
@@ -180,16 +232,23 @@ func (p *Pipeline) Process(tr *trace.Trace, rng *stats.RNG) *TraceData {
 // *estimated* endpoints, exactly what a deployed system (with no ground
 // truth) could record.
 func Observations(td *TraceData) []motiondb.Observation {
-	var out []motiondb.Observation
+	return observationsAppend(nil, td)
+}
+
+// observationsAppend is Observations appending into dst, for callers
+// that recycle the observation buffer across traces. Like append, the
+// result aliases dst's backing array, so it is owned by whoever owns
+// dst.
+func observationsAppend(dst []motiondb.Observation, td *TraceData) []motiondb.Observation {
 	for _, ld := range td.Legs {
 		if ld.RLM == nil {
 			continue
 		}
-		out = append(out, motiondb.Observation{
+		dst = append(dst, motiondb.Observation{
 			From: ld.EstFrom, To: ld.EstTo, RLM: *ld.RLM,
 		})
 	}
-	return out
+	return dst
 }
 
 // ProjectTraceData returns a copy of td with every fingerprint
@@ -241,15 +300,24 @@ func BuildMotionDB(p *Pipeline, graph *floorplan.WalkGraph, traces []*trace.Trac
 // builders are merged in block order before the final Build. The
 // pipeline itself is read-only during Process, so workers share it.
 //
-// Each trace draws from its own RNG forked off rng by trace index.
-// Forks depend only on the parent seed and the label — not on how much
-// any other stream consumed — and the in-order merge replays samples
+// Each trace draws from its own stream derived from rng by trace index
+// (a fast generator reseeded with the trace's fork seed, so deriving a
+// stream costs one word write instead of reseeding the standard
+// source's 607-word register). Derived streams depend only on the
+// parent seed and the trace index — not on how much any other stream
+// consumed — and the in-order merge replays samples
 // exactly as a single sequential pass over the forked streams would, so
 // the result (entries and drop counters alike) is bit-identical for
 // every worker count. The per-trace streams differ from the single
 // sequential stream BuildMotionDB consumes, which is why the offline
 // path keeps the serial function: the two are statistically equivalent,
 // not identical. workers < 1 selects GOMAXPROCS.
+//
+// Each worker replays its whole block through one reused RNG
+// (ForkInto) and one reused processing scratch, so the steady-state
+// per-trace allocation cost is the builder's sample growth — nothing
+// else — and the parallel path is never slower than the serial one
+// even on a single CPU.
 func BuildMotionDBParallel(p *Pipeline, graph *floorplan.WalkGraph, traces []*trace.Trace,
 	cfg motiondb.BuilderConfig, rng *stats.RNG, workers int) (*motiondb.DB, *motiondb.Builder, error) {
 	if workers < 1 {
@@ -280,9 +348,12 @@ func BuildMotionDBParallel(p *Pipeline, graph *floorplan.WalkGraph, traces []*tr
 		wg.Add(1)
 		go func(b *motiondb.Builder, lo, hi int) {
 			defer wg.Done()
+			trng := stats.NewFastRNG(0)
+			var sc procScratch
 			for i := lo; i < hi; i++ {
-				trng := rng.Fork("trace-" + strconv.Itoa(i))
-				b.AddAll(Observations(p.Process(traces[i], trng)))
+				rng.ForkInto(trng, "trace-"+strconv.Itoa(i))
+				sc.obs = observationsAppend(sc.obs[:0], p.processInto(traces[i], trng, &sc))
+				b.AddAll(sc.obs)
 			}
 		}(shards[w], lo, hi)
 	}

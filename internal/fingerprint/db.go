@@ -34,15 +34,23 @@ type DB struct {
 	// fps[i] is the radio-map fingerprint of location i+1, a view into
 	// flat.
 	fps []Fingerprint
+	// quant is the int8 blocked-SoA companion of flat used by the
+	// quantized distance kernel (quant.go); nil when the metric is not
+	// Euclidean or the map cannot be quantized.
+	quant *quantMap
 }
 
-// initFlat installs the contiguous radio map and carves the
-// per-location views.
+// initFlat installs the contiguous radio map, carves the per-location
+// views, and — for the Euclidean metric — builds the quantized
+// blocked-SoA companion the masked/quantized kernels scan.
 func (db *DB) initFlat(flat []float64, n int) {
 	db.flat = flat
 	db.fps = make([]Fingerprint, n)
 	for i := 0; i < n; i++ {
 		db.fps[i] = Fingerprint(flat[i*db.numAPs : (i+1)*db.numAPs : (i+1)*db.numAPs])
+	}
+	if _, euclid := db.metric.(Euclidean); euclid {
+		db.quant = buildQuant(flat, n, db.numAPs)
 	}
 }
 

@@ -1,0 +1,519 @@
+package fingerprint
+
+import (
+	"math"
+	"math/bits"
+)
+
+// This file implements the quantized radio-map layout and its distance
+// kernel (DESIGN.md §13). The exact []float64 row-major map stays the
+// reference; alongside it the DB keeps the per-AP RSS means quantized
+// to int8 in a blocked structure-of-arrays layout:
+//
+//	block b covers locations b*qBlock+1 .. b*qBlock+qBlock (1-based);
+//	within a block, AP a's 64 int8 lanes are contiguous —
+//	codes[(b*numAPs+a)*qBlock + j] is AP a of location b*qBlock+j+1.
+//
+// One AP dimension of one block is therefore exactly one 64-byte cache
+// line, and the kernel streams block-by-block accumulating int32
+// squared code differences — no float math, no per-location slice
+// headers, and cold blocks (those outside a candidate mask) are never
+// touched.
+//
+// Quantization never changes results. The kernel is a prefilter: from
+// the accumulated code distance it derives conservative lower and upper
+// bounds on the exact squared Euclidean distance, keeps a bounded top-k
+// of upper bounds, shortlists every location whose lower bound could
+// still make the top-k, and rescores the shortlist exactly over the
+// float64 reference rows with the same (dissimilarity, location)
+// selection the exact scan uses. The result is value-identical to
+// KNearestAppend, ties included. When a query RSS component falls
+// outside the quantization range (so its code would saturate and the
+// error bound would break), the quantized path refuses and the caller
+// falls back to the exact scan.
+
+// qBlock is the number of locations per block: 64 int8 lanes, one cache
+// line per AP dimension. It intentionally equals the width of a uint64
+// so one mask word covers exactly one block.
+const qBlock = 64
+
+// qPad widens the quantization range beyond the radio map's own
+// [min, max] RSS span (in dBm) so that live queries — which carry
+// measurement noise the averaged map rows do not — still quantize
+// without saturating.
+const qPad = 6.0
+
+// quantMap is the quantized blocked-SoA companion of a DB's flat map.
+type quantMap struct {
+	n       int // locations
+	w       int // APs
+	nBlocks int
+	mid     float64 // RSS mapped to code 0
+	step    float64 // dBm per code unit
+	inv     float64 // 1/step
+	codes   []int8
+}
+
+// buildQuant quantizes the flat radio map, or returns nil when the map
+// cannot be quantized (no locations, no finite span). Only Euclidean
+// DBs build one — the kernel bounds squared Euclidean distance.
+func buildQuant(flat []float64, n, w int) *quantMap {
+	if n == 0 || w == 0 {
+		return nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range flat {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	lo, hi = lo-qPad, hi+qPad
+	qm := &quantMap{
+		n:       n,
+		w:       w,
+		nBlocks: (n + qBlock - 1) / qBlock,
+		mid:     (lo + hi) / 2,
+		step:    (hi - lo) / 254,
+	}
+	qm.inv = 1 / qm.step
+	qm.codes = make([]int8, qm.nBlocks*w*qBlock)
+	for i := 0; i < n; i++ {
+		b, j := i/qBlock, i%qBlock
+		row := flat[i*w : (i+1)*w]
+		for a, v := range row {
+			qm.codes[(b*w+a)*qBlock+j] = int8(math.Round((v - qm.mid) * qm.inv))
+		}
+	}
+	return qm
+}
+
+// Query owns the reusable state of quantized and reachability-gated
+// radio-map scans: the candidate mask (one bit per location, one word
+// per block) and the kernel scratch. One Query per serving session; a
+// Query is not safe for concurrent use, but distinct Queries may scan
+// one shared DB concurrently.
+type Query struct {
+	n     int
+	words []uint64 // candidate bitmap; word b covers block b
+	//moloc:reuse
+	touched []int32 // indices of nonzero words, unsorted until a scan
+	count   int     // masked locations
+
+	// Kernel scratch, sized lazily on first use.
+	//moloc:reuse
+	qcode []int32 // quantized query, one code per AP
+	//moloc:reuse
+	acc []int32 // per-lane squared code distance
+	//moloc:reuse
+	short []int32 // shortlist of 0-based location indices
+	//moloc:reuse
+	ub []float64 // bounded top-k of distance upper bounds
+}
+
+// NewQuery sizes a query for a source with numLocs locations.
+func NewQuery(numLocs int) *Query {
+	if numLocs < 0 {
+		numLocs = 0
+	}
+	return &Query{
+		n:     numLocs,
+		words: make([]uint64, (numLocs+qBlock-1)/qBlock),
+	}
+}
+
+// NumLocs returns the location count the query was sized for.
+func (q *Query) NumLocs() int { return q.n }
+
+// ResetMask clears the candidate mask in O(marked blocks).
+func (q *Query) ResetMask() {
+	for _, b := range q.touched {
+		q.words[b] = 0
+	}
+	q.touched = q.touched[:0]
+	q.count = 0
+}
+
+// MaskLoc marks a 1-based location as a scan candidate. Out-of-range
+// locations are ignored; re-marking a location is a no-op.
+func (q *Query) MaskLoc(loc int) {
+	if loc < 1 || loc > q.n {
+		return
+	}
+	i := loc - 1
+	b, bit := i/qBlock, uint(i%qBlock)
+	w := q.words[b]
+	if w&(1<<bit) != 0 {
+		return
+	}
+	if w == 0 {
+		q.touched = append(q.touched, int32(b))
+	}
+	q.words[b] = w | 1<<bit
+	q.count++
+}
+
+// MaskCount returns the number of masked locations.
+func (q *Query) MaskCount() int { return q.count }
+
+// Masked reports whether a 1-based location is in the mask.
+func (q *Query) Masked(loc int) bool {
+	if loc < 1 || loc > q.n {
+		return false
+	}
+	i := loc - 1
+	return q.words[i/qBlock]&(1<<uint(i%qBlock)) != 0
+}
+
+// sortTouched orders the marked block list ascending so masked scans
+// visit locations in ID order (the selection tie-break depends on it).
+// Insertion sort: a gate mask touches a handful of blocks.
+func (q *Query) sortTouched() {
+	t := q.touched
+	for i := 1; i < len(t); i++ {
+		for j := i; j > 0 && t[j] < t[j-1]; j-- {
+			t[j], t[j-1] = t[j-1], t[j]
+		}
+	}
+}
+
+// MaskedCandidateAppender extends CandidateAppender with
+// reachability-gated queries: CandidatesMaskedAppend restricts the
+// candidate scan to the locations marked in q, so a motion prior can
+// prune the scan before any fingerprint distance is computed (SRL-KNN
+// style). Both built-in sources implement it.
+type MaskedCandidateAppender interface {
+	CandidateAppender
+	// CandidatesMaskedAppend fills dst with the (up to) k most plausible
+	// masked locations for f — value-identical to filtering the full
+	// Candidates scan to the mask — with probabilities normalized over
+	// the masked candidates. ok is false (and dst is not filled) when
+	// the mask is empty or nil; callers then fall back to the full scan.
+	CandidatesMaskedAppend(dst []Candidate, f Fingerprint, k int, q *Query) (out []Candidate, ok bool)
+}
+
+var (
+	_ MaskedCandidateAppender = (*DB)(nil)
+	_ MaskedCandidateAppender = (*GaussianDB)(nil)
+)
+
+// CandidatesMaskedAppend implements MaskedCandidateAppender for the
+// deterministic radio map: the quantized kernel over masked blocks
+// when it can serve, the exact masked scan otherwise.
+//
+//moloc:hotpath
+func (db *DB) CandidatesMaskedAppend(dst []Candidate, f Fingerprint, k int, q *Query) ([]Candidate, bool) {
+	if q == nil || q.count == 0 || k <= 0 || len(db.fps) == 0 {
+		return dst, false
+	}
+	mustSameLen(f, db.fps[0])
+	if out, ok := db.kNearestQuant(dst, f, k, q, true); ok {
+		return out, true
+	}
+	return db.kNearestMaskedExact(dst, f, k, q), true
+}
+
+// KNearestQuantAppend is KNearestAppend through the quantized kernel
+// over every block: value-identical to the exact scan (ties included).
+// ok is false when the quantized path cannot serve — non-Euclidean
+// metric, unquantizable map, or a query RSS outside the quantization
+// range — and the caller must use KNearestAppend.
+func (db *DB) KNearestQuantAppend(dst []Candidate, f Fingerprint, k int, q *Query) ([]Candidate, bool) {
+	if k <= 0 || len(db.fps) == 0 {
+		return dst, false
+	}
+	mustSameLen(f, db.fps[0])
+	return db.kNearestQuant(dst, f, k, q, false)
+}
+
+// kNearestQuant runs the blocked quantized prefilter and the exact
+// rescore. With masked set it visits only the mask's blocks and lanes;
+// otherwise every block. See the file comment for the layout and the
+// equivalence argument; the bound derivation is in DESIGN.md §13.
+//
+//moloc:hotpath
+func (db *DB) kNearestQuant(dst []Candidate, f Fingerprint, k int, q *Query, masked bool) ([]Candidate, bool) {
+	qm := db.quant
+	if qm == nil || q == nil || len(f) != qm.w {
+		return dst, false
+	}
+
+	// Quantize the query once. A component outside the quantization
+	// range would saturate and void the error bound: refuse, the caller
+	// runs the exact path. (The comparison is written so NaN refuses.)
+	if cap(q.qcode) < qm.w {
+		q.qcode = make([]int32, qm.w)
+	}
+	qf := q.qcode[:qm.w]
+	for a, v := range f {
+		c := math.Round((v - qm.mid) * qm.inv)
+		if !(c >= -127 && c <= 127) {
+			return dst, false
+		}
+		qf[a] = int32(c)
+	}
+
+	if cap(q.acc) < qBlock {
+		q.acc = make([]int32, qBlock)
+	}
+	acc := q.acc[:qBlock]
+	short := q.short[:0]
+	if cap(q.ub) < k {
+		q.ub = make([]float64, 0, k)
+	}
+	ubTop := q.ub[:0]
+
+	// Bound constants: for exact per-AP difference x and code difference
+	// c, |x - step*c| <= step, so with S = sum c^2 over w APs,
+	//	exact^2 <= step^2 * (S + 2*sqrt(w*S) + w)   (upper)
+	//	exact^2 >= step^2 * (S - 2*sqrt(w*S))       (lower)
+	// by Cauchy-Schwarz on the cross terms.
+	s2 := qm.step * qm.step
+	wf := float64(qm.w)
+	w := qm.w
+
+	var blocks int
+	if masked {
+		q.sortTouched()
+		blocks = len(q.touched)
+	} else {
+		blocks = qm.nBlocks
+	}
+	m := 0
+	tau := math.Inf(1)
+	for bi := 0; bi < blocks; bi++ {
+		b := bi
+		if masked {
+			b = int(q.touched[bi])
+		}
+		// One AP dimension at a time: 64 int8 lanes, one cache line.
+		base := b * w * qBlock
+		for j := range acc {
+			acc[j] = 0
+		}
+		for a := 0; a < w; a++ {
+			qa := qf[a]
+			row := qm.codes[base+a*qBlock : base+a*qBlock+qBlock]
+			for j, c := range row {
+				d := qa - int32(c)
+				acc[j] += d * d
+			}
+		}
+		// Select lanes: the mask word's set bits, or every lane up to n.
+		loc0 := b * qBlock
+		if masked {
+			for word := q.words[b]; word != 0; word &= word - 1 {
+				j := bits.TrailingZeros64(word)
+				sq := float64(acc[j])
+				rt := math.Sqrt(wf * sq)
+				if s2*(sq-2*rt) <= tau { // lower bound can still make top-k
+					short = append(short, int32(loc0+j))
+				}
+				ub := s2 * (sq + 2*rt + wf)
+				if m < k {
+					m++
+					ubTop = ubTop[:m]
+					i := m - 1
+					for i > 0 && ubTop[i-1] > ub {
+						ubTop[i] = ubTop[i-1]
+						i--
+					}
+					ubTop[i] = ub
+				} else if ub < ubTop[m-1] {
+					i := m - 1
+					for i > 0 && ubTop[i-1] > ub {
+						ubTop[i] = ubTop[i-1]
+						i--
+					}
+					ubTop[i] = ub
+				}
+				if m == k {
+					tau = ubTop[m-1]
+				}
+			}
+		} else {
+			lim := qBlock
+			if qm.n-loc0 < lim {
+				lim = qm.n - loc0
+			}
+			for j := 0; j < lim; j++ {
+				sq := float64(acc[j])
+				rt := math.Sqrt(wf * sq)
+				if s2*(sq-2*rt) <= tau {
+					short = append(short, int32(loc0+j))
+				}
+				ub := s2 * (sq + 2*rt + wf)
+				if m < k {
+					m++
+					ubTop = ubTop[:m]
+					i := m - 1
+					for i > 0 && ubTop[i-1] > ub {
+						ubTop[i] = ubTop[i-1]
+						i--
+					}
+					ubTop[i] = ub
+				} else if ub < ubTop[m-1] {
+					i := m - 1
+					for i > 0 && ubTop[i-1] > ub {
+						ubTop[i] = ubTop[i-1]
+						i--
+					}
+					ubTop[i] = ub
+				}
+				if m == k {
+					tau = ubTop[m-1]
+				}
+			}
+		}
+	}
+	q.short, q.ub = short, ubTop[:0]
+
+	// Exact rescore of the shortlist: the same bounded selection as
+	// KNearestAppend over float64 reference rows, in ascending location
+	// order, so ties resolve identically to the exact full scan.
+	if cap(dst) < k {
+		dst = make([]Candidate, 0, k)
+	} else {
+		dst = dst[:0]
+	}
+	sel := 0
+	worst := math.Inf(1)
+	for _, li := range short {
+		row := db.flat[int(li)*w : int(li)*w+w]
+		var s float64
+		for a, v := range f {
+			dv := v - row[a]
+			s += dv * dv
+		}
+		d := math.Sqrt(s)
+		if sel == k && d >= worst {
+			continue
+		}
+		if sel < k {
+			sel++
+			dst = dst[:sel]
+		}
+		j := sel - 1
+		for j > 0 && dst[j-1].Dissim > d {
+			dst[j] = dst[j-1]
+			j--
+		}
+		dst[j] = Candidate{Loc: int(li) + 1, Dissim: d}
+		worst = dst[sel-1].Dissim
+	}
+	assignProbs(dst)
+	return dst, true
+}
+
+// kNearestMaskedExact is the masked scan without quantization: the
+// metric evaluated at every masked location, bounded selection as in
+// KNearestAppend. It serves non-Euclidean metrics and saturating
+// queries, and is the executable specification the quantized masked
+// path is tested against.
+//
+//moloc:hotpath
+func (db *DB) kNearestMaskedExact(dst []Candidate, f Fingerprint, k int, q *Query) []Candidate {
+	if k > q.count {
+		k = q.count
+	}
+	if cap(dst) < k {
+		dst = make([]Candidate, 0, k)
+	} else {
+		dst = dst[:0]
+	}
+	_, euclid := db.metric.(Euclidean)
+	w := db.numAPs
+	q.sortTouched()
+	m := 0
+	worst := math.Inf(1)
+	for _, bw := range q.touched {
+		b := int(bw)
+		for word := q.words[b]; word != 0; word &= word - 1 {
+			i := b*qBlock + bits.TrailingZeros64(word)
+			if i >= len(db.fps) {
+				continue
+			}
+			var d float64
+			if euclid {
+				row := db.flat[i*w : i*w+w]
+				var s float64
+				for a, v := range f {
+					dv := v - row[a]
+					s += dv * dv
+				}
+				d = math.Sqrt(s)
+			} else {
+				d = db.metric.Distance(f, db.fps[i])
+			}
+			if m == k && d >= worst {
+				continue
+			}
+			if m < k {
+				m++
+				dst = dst[:m]
+			}
+			j := m - 1
+			for j > 0 && dst[j-1].Dissim > d {
+				dst[j] = dst[j-1]
+				j--
+			}
+			dst[j] = Candidate{Loc: i + 1, Dissim: d}
+			worst = dst[m-1].Dissim
+		}
+	}
+	assignProbs(dst)
+	return dst
+}
+
+// CandidatesMaskedAppend implements MaskedCandidateAppender for the
+// probabilistic source: the masked locations ranked by negative
+// log-likelihood, softmax-normalized over the masked candidate set.
+//
+//moloc:hotpath
+func (g *GaussianDB) CandidatesMaskedAppend(dst []Candidate, f Fingerprint, k int, q *Query) ([]Candidate, bool) {
+	if q == nil || q.count == 0 || k <= 0 {
+		return dst, false
+	}
+	if k > q.count {
+		k = q.count
+	}
+	if cap(dst) < k {
+		dst = make([]Candidate, 0, k)
+	} else {
+		dst = dst[:0]
+	}
+	q.sortTouched()
+	m := 0
+	worst := math.Inf(1)
+	for _, bw := range q.touched {
+		b := int(bw)
+		for word := q.words[b]; word != 0; word &= word - 1 {
+			i := b*qBlock + bits.TrailingZeros64(word)
+			if i >= len(g.mean) {
+				continue
+			}
+			d := -g.LogLikelihood(i+1, f)
+			if m == k && d >= worst {
+				continue
+			}
+			if m < k {
+				m++
+				dst = dst[:m]
+			}
+			j := m - 1
+			for j > 0 && dst[j-1].Dissim > d {
+				dst[j] = dst[j-1]
+				j--
+			}
+			dst[j] = Candidate{Loc: i + 1, Dissim: d}
+			worst = dst[m-1].Dissim
+		}
+	}
+	softmaxProbs(dst)
+	return dst, true
+}

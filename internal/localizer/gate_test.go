@@ -1,0 +1,219 @@
+package localizer
+
+import (
+	"testing"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/stats"
+)
+
+// chainFixture builds a corridor of n locations with distinct
+// fingerprints and a motion database that only knows the chain edges
+// i <-> i+1: from any single location, exactly its neighbors (and
+// itself) are one-hop reachable.
+func chainFixture(t *testing.T, n int) (*fingerprint.DB, *motiondb.DB) {
+	t.Helper()
+	rng := stats.NewRNG(101)
+	samples := make([][]fingerprint.Fingerprint, n)
+	for i := range samples {
+		fp := make(fingerprint.Fingerprint, 4)
+		for a := range fp {
+			fp[a] = rng.Uniform(-90, -30)
+		}
+		samples[i] = []fingerprint.Fingerprint{fp}
+	}
+	fdb, err := fingerprint.NewDB(fingerprint.Euclidean{}, 4, samples)
+	if err != nil {
+		t.Fatalf("NewDB: %v", err)
+	}
+	mdb := motiondb.New(n)
+	for i := 1; i < n; i++ {
+		mdb.Set(i, i+1, motiondb.Entry{MeanDir: 90, StdDir: 8, MeanOff: 5, StdOff: 0.5, N: 20})
+	}
+	return fdb, mdb
+}
+
+// TestGateRestrictsToReachable: with K=1 the prior is a single location
+// on the chain, so the gate masks exactly {prev-1, prev, prev+1}. A
+// second scan whose fingerprint matches a far-away location must still
+// resolve inside the mask — while the ungated localizer teleports.
+func TestGateRestrictsToReachable(t *testing.T) {
+	fdb, mdb := chainFixture(t, 130)
+	cfg := NewConfig()
+	cfg.K = 1
+	cfg.Gate = true
+	gated, err := NewMoLoc(fdb, mdb, cfg)
+	if err != nil {
+		t.Fatalf("NewMoLoc: %v", err)
+	}
+	cfg.Gate = false
+	ungated, err := NewMoLoc(fdb, mdb, cfg)
+	if err != nil {
+		t.Fatalf("NewMoLoc: %v", err)
+	}
+
+	first := Observation{FP: fdb.At(3)}
+	walk := Observation{FP: fdb.At(100), Motion: &motion.RLM{Dir: 90, Off: 5}}
+
+	if got := gated.Localize(first); got != 3 {
+		t.Fatalf("first fix = %d, want 3", got)
+	}
+	if gated.GatedScans() != 0 {
+		t.Fatalf("first observation must take the full scan, GatedScans = %d", gated.GatedScans())
+	}
+	got := gated.Localize(walk)
+	if got < 2 || got > 4 {
+		t.Errorf("gated fix = %d, want within one hop of 3", got)
+	}
+	if gated.GatedScans() != 1 {
+		t.Errorf("GatedScans = %d after one gated interval, want 1", gated.GatedScans())
+	}
+
+	ungated.Localize(first)
+	if got := ungated.Localize(walk); got != 100 {
+		t.Errorf("ungated fix = %d, want the teleport to 100", got)
+	}
+}
+
+// TestGateFallbackLadder walks every rung: first observation, interval
+// without motion (fingerprint-only degradation), Reset, and a source
+// without masked-scan support — each must take the full scan.
+func TestGateFallbackLadder(t *testing.T) {
+	fdb, mdb := chainFixture(t, 64)
+	cfg := NewConfig()
+	cfg.Gate = true
+	m, err := NewMoLoc(fdb, mdb, cfg)
+	if err != nil {
+		t.Fatalf("NewMoLoc: %v", err)
+	}
+	mv := &motion.RLM{Dir: 90, Off: 5}
+
+	m.Localize(Observation{FP: fdb.At(10)}) // first: full
+	if m.GatedScans() != 0 {
+		t.Fatalf("first observation gated")
+	}
+	m.Localize(Observation{FP: fdb.At(11)}) // no motion: full
+	if m.GatedScans() != 0 {
+		t.Fatalf("motionless interval gated")
+	}
+	m.Localize(Observation{FP: fdb.At(11), Motion: mv}) // gated
+	if m.GatedScans() != 1 {
+		t.Fatalf("GatedScans = %d, want 1", m.GatedScans())
+	}
+	m.Reset()
+	m.Localize(Observation{FP: fdb.At(10), Motion: mv}) // post-Reset: full
+	if m.GatedScans() != 1 {
+		t.Fatalf("post-Reset observation gated")
+	}
+
+	// A source without CandidatesMaskedAppend never gates, even with
+	// motion and a prior.
+	bare := bareSource{fdb}
+	mb, err := NewMoLoc(bare, mdb, cfg)
+	if err != nil {
+		t.Fatalf("NewMoLoc(bare): %v", err)
+	}
+	mb.Localize(Observation{FP: fdb.At(10)})
+	mb.Localize(Observation{FP: fdb.At(11), Motion: mv})
+	if mb.GatedScans() != 0 {
+		t.Errorf("maskless source gated")
+	}
+}
+
+// bareSource strips the masked-scan (and append) capability off a DB.
+type bareSource struct{ db *fingerprint.DB }
+
+func (s bareSource) NumLocs() int { return s.db.NumLocs() }
+func (s bareSource) Candidates(f fingerprint.Fingerprint, k int) []fingerprint.Candidate {
+	return s.db.Candidates(f, k)
+}
+
+// TestGateIdentityWhenUnbinding: over a fully-connected motion
+// database the one-hop mask covers every location, so the gated
+// localizer must produce fixes and candidate sets bit-identical to the
+// ungated one — the gate can only ever remove unreachable locations,
+// never perturb the ranking of reachable ones.
+func TestGateIdentityWhenUnbinding(t *testing.T) {
+	n := 12
+	rng := stats.NewRNG(103)
+	samples := make([][]fingerprint.Fingerprint, n)
+	for i := range samples {
+		fp := make(fingerprint.Fingerprint, 4)
+		for a := range fp {
+			fp[a] = rng.Uniform(-90, -30)
+		}
+		samples[i] = []fingerprint.Fingerprint{fp}
+	}
+	fdb, err := fingerprint.NewDB(fingerprint.Euclidean{}, 4, samples)
+	if err != nil {
+		t.Fatalf("NewDB: %v", err)
+	}
+	mdb := motiondb.New(n)
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			mdb.Set(i, j, motiondb.Entry{MeanDir: 45, StdDir: 30, MeanOff: 4, StdOff: 1, N: 10})
+		}
+	}
+	cfg := NewConfig()
+	cfg.Gate = true
+	gated, err := NewMoLoc(fdb, mdb, cfg)
+	if err != nil {
+		t.Fatalf("NewMoLoc: %v", err)
+	}
+	cfg.Gate = false
+	plain, err := NewMoLoc(fdb, mdb, cfg)
+	if err != nil {
+		t.Fatalf("NewMoLoc: %v", err)
+	}
+	for step := 0; step < 40; step++ {
+		obs := Observation{FP: make(fingerprint.Fingerprint, 4)}
+		for a := range obs.FP {
+			obs.FP[a] = rng.Uniform(-90, -30)
+		}
+		if step%7 != 0 {
+			obs.Motion = &motion.RLM{Dir: rng.Uniform(0, 360), Off: rng.Uniform(1, 6)}
+		}
+		g, p := gated.Localize(obs), plain.Localize(obs)
+		if g != p {
+			t.Fatalf("step %d: gated fix %d != ungated %d", step, g, p)
+		}
+		gc, pc := gated.Candidates(), plain.Candidates()
+		if len(gc) != len(pc) {
+			t.Fatalf("step %d: candidate counts diverge: %d vs %d", step, len(gc), len(pc))
+		}
+		for i := range gc {
+			if gc[i] != pc[i] {
+				t.Fatalf("step %d cand %d: %v != %v", step, i, gc[i], pc[i])
+			}
+		}
+	}
+	if gated.GatedScans() == 0 {
+		t.Fatalf("gate never engaged")
+	}
+}
+
+// TestGatedZeroAllocs pins the gated steady state — mask build,
+// quantized masked scan, fusion — at zero heap allocations.
+func TestGatedZeroAllocs(t *testing.T) {
+	fdb, mdb := chainFixture(t, 512)
+	cfg := NewConfig()
+	cfg.Gate = true
+	m, err := NewMoLoc(fdb, mdb, cfg)
+	if err != nil {
+		t.Fatalf("NewMoLoc: %v", err)
+	}
+	mv := &motion.RLM{Dir: 90, Off: 5}
+	obs := Observation{FP: fdb.At(40), Motion: mv}
+	m.Localize(Observation{FP: fdb.At(40)})
+	m.Localize(obs)
+	if m.GatedScans() == 0 {
+		t.Fatalf("warm-up did not gate")
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		m.Localize(obs)
+	}); avg != 0 {
+		t.Errorf("gated Localize allocates %.1f per run, want 0", avg)
+	}
+}

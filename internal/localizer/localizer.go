@@ -74,6 +74,18 @@ type Config struct {
 	// symmetry means a shifted track matches every subsequent motion
 	// measurement, and only fingerprint evidence can break the tie.
 	PriorBlend float64
+	// Gate enables SRL-KNN-style reachability gating of the candidate
+	// scan: when a previous interval's candidate set exists and the
+	// interval carries motion, the fingerprint search is restricted to
+	// the locations within one motion-DB hop of the prior candidates
+	// (plus the candidates themselves), so the motion prior prunes the
+	// O(n) radio-map scan before any distance is computed. The gated
+	// path falls back to the full scan on Reset, on intervals without
+	// motion (fingerprint-only degradation), on an empty mask, and for
+	// candidate sources without masked-scan support. Off by default:
+	// gating restricts the candidate set, so gated fixes are not
+	// guaranteed bit-identical to the ungated reference.
+	Gate bool
 }
 
 // NewConfig returns the defaults: k = 8 candidates (the paper leaves k
@@ -116,10 +128,16 @@ func (c Config) Validate() error {
 // specification the fast path is tested against.
 type MoLoc struct {
 	src fingerprint.CandidateSource
-	app fingerprint.CandidateAppender // non-nil when src supports appending
+	app fingerprint.CandidateAppender       // non-nil when src supports appending
+	msk fingerprint.MaskedCandidateAppender // non-nil when gating is on and src supports it
 	mdb *motiondb.DB
 	cmp *motiondb.Compiled // nil in reference mode
 	cfg Config
+
+	// query holds the reachability mask and kernel scratch of the gated
+	// scan; nil unless gating is active.
+	query      *fingerprint.Query
+	gatedScans int
 
 	//moloc:reuse
 	prior []fingerprint.Candidate
@@ -155,6 +173,12 @@ func NewMoLoc(src fingerprint.CandidateSource, mdb *motiondb.DB, cfg Config) (*M
 	m.locIdx = make([]int32, src.NumLocs()+1)
 	for i := range m.locIdx {
 		m.locIdx[i] = -1
+	}
+	if cfg.Gate {
+		if msk, ok := src.(fingerprint.MaskedCandidateAppender); ok {
+			m.msk = msk
+			m.query = fingerprint.NewQuery(src.NumLocs())
+		}
 	}
 	return m, nil
 }
@@ -230,6 +254,44 @@ func (m *MoLoc) candidates(fp fingerprint.Fingerprint) []fingerprint.Candidate {
 	return m.src.Candidates(fp, m.cfg.K)
 }
 
+// GatedScans reports how many candidate scans ran through the
+// reachability gate (rather than the full radio map) since
+// construction. Diagnostic only.
+func (m *MoLoc) GatedScans() int { return m.gatedScans }
+
+// candidatesGated queries the source through the reachability gate
+// when it applies, and through the full scan otherwise. The fallback
+// ladder, top to bottom: gating disabled or unsupported by the source;
+// no prior candidate set (first interval of a trace, or just after
+// Reset); no motion in this interval (covers fingerprint-only
+// degradation — the tracker strips Motion); empty mask; masked scan
+// refused. Each rung lands on the exact full scan, so gating can only
+// narrow the search, never wedge it.
+//
+//moloc:reuse
+func (m *MoLoc) candidatesGated(obs Observation) []fingerprint.Candidate {
+	if m.msk == nil || len(m.prior) == 0 || obs.Motion == nil {
+		return m.candidates(obs.FP)
+	}
+	// One-hop reachability from the prior candidate set, plus the
+	// candidates themselves (the user may have stayed put).
+	q := m.query
+	q.ResetMask()
+	for _, prev := range m.prior {
+		q.MaskLoc(prev.Loc)
+		lo, hi := m.cmp.Row(prev.Loc)
+		for e := lo; e < hi; e++ {
+			q.MaskLoc(m.cmp.Col(e))
+		}
+	}
+	if cands, ok := m.msk.CandidatesMaskedAppend(m.candBuf[:0], obs.FP, m.cfg.K, q); ok {
+		m.candBuf = cands
+		m.gatedScans++
+		return cands
+	}
+	return m.candidates(obs.FP)
+}
+
 // Localize implements Localizer. The first observation of a trace (or
 // one without motion) is resolved by fingerprints alone; subsequent
 // observations are fused per Eq. 7 and the posterior is retained as the
@@ -251,7 +313,7 @@ func (m *MoLoc) Localize(obs Observation) int {
 //
 //moloc:hotpath
 func (m *MoLoc) localizeCompiled(obs Observation) int {
-	cands := m.candidates(obs.FP)
+	cands := m.candidatesGated(obs)
 	if len(cands) == 0 {
 		return 0
 	}

@@ -423,8 +423,12 @@ func (b *Builder) Merge(other *Builder) error {
 			continue
 		}
 		a := b.accFor(pair)
+		// Bulk-append the samples (one growth step instead of one per
+		// sample), then replay the streamed moments in the same order a
+		// per-sample loop would — the moment state is order-sensitive, so
+		// this keeps merge results bit-identical to sequential ingestion.
+		a.samples = append(a.samples, oa.samples...)
 		for _, s := range oa.samples {
-			a.samples = append(a.samples, s)
 			a.dir.Add(s.Dir)
 			a.off.Add(s.Off)
 		}

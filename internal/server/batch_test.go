@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+)
+
+// batchFeed synthesizes a few intervals of plausible sensor data: 10 Hz
+// IMU samples up to tEnd and one scan per second drawn from the survey
+// radio map.
+func batchFeed(t *testing.T, s *Server, tEnd float64) ([]sensors.Sample, []scanReq) {
+	t.Helper()
+	rng := stats.NewRNG(71)
+	var samples []sensors.Sample
+	for ts := 0.0; ts < tEnd; ts += 0.1 {
+		samples = append(samples, sensors.Sample{T: ts, Accel: 9.8 + rng.Norm(0, 0.2)})
+	}
+	db, ok := s.src.(*fingerprint.DB)
+	if !ok {
+		t.Fatal("test server source is not a *fingerprint.DB")
+	}
+	var scans []scanReq
+	for ts := 0.0; ts < tEnd; ts++ {
+		fp := db.At(1 + int(ts)%db.NumLocs())
+		rss := make([]float64, len(fp))
+		copy(rss, fp)
+		scans = append(scans, scanReq{T: ts, RSS: rss})
+	}
+	return samples, scans
+}
+
+// TestBatchEndpoint: one POST /batch must return the same fix stream
+// that per-interval imu/scan/tick requests produce on a second session.
+func TestBatchEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	samples, scans := batchFeed(t, srv, 12)
+
+	// Session A: everything in one batch.
+	idA := createSession(t, ts)
+	resp, body := postJSON(t, ts, "/v1/sessions/"+idA+"/batch",
+		batchReq{Samples: samples, Scans: scans, T: 12})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d body %s", resp.StatusCode, body)
+	}
+	var batched batchResp
+	if err := json.Unmarshal(body, &batched); err != nil {
+		t.Fatal(err)
+	}
+	if len(batched.Fixes) == 0 {
+		t.Fatal("batch produced no fixes")
+	}
+
+	// Session B: the same data interval by interval.
+	idB := createSession(t, ts)
+	var serial []fixResp
+	next := 0
+	for tick := 3.0; tick <= 12; tick += 3 {
+		var chunk []sensors.Sample
+		for next < len(samples) && samples[next].T < tick {
+			chunk = append(chunk, samples[next])
+			next++
+		}
+		postJSON(t, ts, "/v1/sessions/"+idB+"/imu", imuReq{Samples: chunk})
+		for _, sc := range scans {
+			if sc.T >= tick-3 && sc.T < tick {
+				postJSON(t, ts, "/v1/sessions/"+idB+"/scan", sc)
+			}
+		}
+		r, b := postJSON(t, ts, "/v1/sessions/"+idB+"/tick", tickReq{T: tick})
+		if r.StatusCode == http.StatusOK {
+			var fx fixResp
+			if err := json.Unmarshal(b, &fx); err != nil {
+				t.Fatal(err)
+			}
+			serial = append(serial, fx)
+		}
+	}
+
+	if len(batched.Fixes) != len(serial) {
+		t.Fatalf("batch emitted %d fixes, serial %d", len(batched.Fixes), len(serial))
+	}
+	for i := range serial {
+		bf, sf := batched.Fixes[i], serial[i]
+		if bf.T != sf.T || bf.Loc != sf.Loc || bf.Moved != sf.Moved || bf.Mode != sf.Mode {
+			t.Errorf("fix %d: batch %+v != serial %+v", i, bf, sf)
+		}
+	}
+}
+
+// TestBatchValidation pins the endpoint's error contract.
+func TestBatchValidation(t *testing.T) {
+	srv, _ := testServer(t)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	id := createSession(t, ts)
+
+	resp, _ := postJSON(t, ts, "/v1/sessions/nope/batch", batchReq{T: 3})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", resp.StatusCode)
+	}
+
+	over := make([]sensors.Sample, srv.opts.MaxIMUBatch+1)
+	resp, _ = postJSON(t, ts, "/v1/sessions/"+id+"/batch", batchReq{Samples: over, T: 3})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: status %d, want 413", resp.StatusCode)
+	}
+
+	resp, _ = postJSON(t, ts, "/v1/sessions/"+id+"/batch",
+		batchReq{Scans: []scanReq{{T: 1, RSS: []float64{-60}}}, T: 3})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong AP count: status %d, want 400", resp.StatusCode)
+	}
+
+	// An empty batch on a fresh session closes nothing: 200 with zero
+	// fixes, not an error.
+	resp, body := postJSON(t, ts, "/v1/sessions/"+id+"/batch", batchReq{T: 0.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty batch: status %d body %s", resp.StatusCode, body)
+	}
+	var out batchResp
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Fixes) != 0 {
+		t.Errorf("empty batch produced %d fixes", len(out.Fixes))
+	}
+}
+
+// TestGatedServerServes: a server with Options.Gate serves the same API
+// and keeps emitting moloc-mode fixes; the gate is invisible to
+// clients.
+func TestGatedServerServes(t *testing.T) {
+	cfgSrv, sys, err := newTestServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgSrv.Close()
+	fdb, err := sys.Survey.BuildDB(fingerprint.Euclidean{}, sys.Model.NumAPs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewWithOptions(sys.Plan, fdb, sys.Model.NumAPs(), sys.MDB,
+		sys.Config.Motion, Options{Gate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	samples, scans := batchFeed(t, srv, 12)
+	id := createSession(t, ts)
+	resp, body := postJSON(t, ts, "/v1/sessions/"+id+"/batch",
+		batchReq{Samples: samples, Scans: scans, T: 12})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gated batch: status %d body %s", resp.StatusCode, body)
+	}
+	var out batchResp
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Fixes) == 0 {
+		t.Fatal("gated server produced no fixes")
+	}
+	for _, fx := range out.Fixes {
+		if fx.Mode != "moloc" {
+			t.Errorf("gated fix mode = %q, want moloc", fx.Mode)
+		}
+		if fx.Loc < 1 || fx.Loc > sys.Plan.NumLocs() {
+			t.Errorf("gated fix loc %d out of range", fx.Loc)
+		}
+	}
+}

@@ -72,6 +72,15 @@ type Options struct {
 	// bounded regardless of client concurrency. Zero selects
 	// GOMAXPROCS.
 	Workers int
+	// Gate enables reachability gating in every session's localizer
+	// (localizer.Config.Gate): steady-state candidate scans are
+	// restricted to the locations one motion-DB hop from the previous
+	// fix's candidates, which bounds the per-fix cost by the adjacency
+	// degree instead of the radio-map size. Fixes may differ from the
+	// ungated ranking only when the fingerprint's nearest locations are
+	// unreachable; every degradation (fingerprint-only mode, Reset,
+	// empty mask) falls back to the full scan.
+	Gate bool
 	// RetrainInterval is the background retrainer's period (retrain.go):
 	// queued POST /v1/observations batches are folded into the motion
 	// database and the dirty edges recompiled this often.

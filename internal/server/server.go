@@ -14,6 +14,7 @@
 //	POST   /v1/sessions/{id}/imu         {"samples":[{"t":0,"accel":9.8,...}]}
 //	POST   /v1/sessions/{id}/scan        {"t":0.5,"rss":[-60,...]}
 //	POST   /v1/sessions/{id}/tick        {"t":3.1}                          -> fix or 204
+//	POST   /v1/sessions/{id}/batch       {"samples":[...],"scans":[...],"t":9.1} -> {"fixes":[...]}
 //	GET    /v1/sessions/{id}             -> lifecycle info + last fix
 //	DELETE /v1/sessions/{id}
 //	POST   /v1/observations              {"observations":[{"from":1,"to":2,"rlm":{"dir":90,"off":5}}]} -> 202
@@ -196,6 +197,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/imu", s.instrument("imu", s.handleIMU))
 	mux.HandleFunc("POST /v1/sessions/{id}/scan", s.instrument("scan", s.handleScan))
 	mux.HandleFunc("POST /v1/sessions/{id}/tick", s.instrument("tick", s.handleTick))
+	mux.HandleFunc("POST /v1/sessions/{id}/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/observations", s.instrument("observations", s.handleObservations))
 	return mux
 }
@@ -255,6 +257,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	stepLen := motion.StepLength(s.mcfg, req.HeightM, req.WeightKg)
 	cfg := tracker.NewConfig(stepLen)
 	cfg.Motion = s.mcfg
+	// Gating changes only the candidate search space, not the localizer
+	// parameters (Alpha/Beta/K), so gated sessions still adopt the one
+	// compiled view the retrainer publishes.
+	cfg.MoLoc.Gate = s.opts.Gate
 	if req.IntervalSec > 0 {
 		cfg.IntervalSec = req.IntervalSec
 		cfg.StaleScanSec = req.IntervalSec // keep the one-interval window
@@ -478,6 +484,83 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 		s.met.fixesMoLoc.Inc()
 	}
 	writeJSON(w, http.StatusOK, s.toResp(fix))
+}
+
+// batchReq is one batched upload: buffered sensor data plus a final
+// tick time, applied in one worker dispatch.
+type batchReq struct {
+	Samples []sensors.Sample `json:"samples"`
+	Scans   []scanReq        `json:"scans"`
+	T       float64          `json:"t"`
+}
+
+// batchResp carries every fix the batch's elapsed intervals produced,
+// oldest first.
+type batchResp struct {
+	Fixes []fixResp `json:"fixes"`
+}
+
+// handleBatch is the batched data plane: a phone that buffered several
+// intervals of sensor data uploads samples, scans, and the final tick
+// time in one request. The whole batch runs as one worker-pool dispatch
+// — one queue wait, one RCU snapshot acquisition (tracker.TickBatch) —
+// and every interval's fix comes back, not just the last, so a batched
+// client sees the same fix stream a per-interval client would.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	ss, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req batchReq
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Samples) > s.opts.MaxIMUBatch {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d samples exceeds the %d-sample cap; split the upload",
+				len(req.Samples), s.opts.MaxIMUBatch))
+		return
+	}
+	for _, sc := range req.Scans {
+		if len(sc.RSS) != s.numAPs {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("scan has %d APs, deployment has %d", len(sc.RSS), s.numAPs))
+			return
+		}
+	}
+	var fixes []tracker.Fix
+	fpOnly := s.fingerprintOnly()
+	start := time.Now()
+	if !s.runSharded(w, ss, func(tk *tracker.Tracker) {
+		tk.SetFingerprintOnly(fpOnly)
+		for _, smp := range req.Samples {
+			tk.AddIMU(smp)
+		}
+		for _, sc := range req.Scans {
+			tk.AddScan(sc.T, fingerprint.Fingerprint(sc.RSS))
+		}
+		a0 := heapAllocBytes()
+		t0 := time.Now()
+		fixes = tk.TickBatch(req.T, nil)
+		s.met.tickSeconds.Observe(time.Since(t0).Seconds())
+		s.met.tickAllocBytes.Observe(float64(heapAllocBytes() - a0))
+	}) {
+		return
+	}
+	if len(fixes) > 0 {
+		s.met.fixSeconds.Observe(time.Since(start).Seconds())
+	}
+	resp := batchResp{Fixes: make([]fixResp, len(fixes))}
+	for i, fix := range fixes {
+		s.met.candidateSetSize.Observe(float64(len(fix.Candidates)))
+		if fix.Mode == tracker.ModeFingerprint {
+			s.met.fixesFingerprint.Inc()
+		} else {
+			s.met.fixesMoLoc.Inc()
+		}
+		resp.Fixes[i] = s.toResp(fix)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) toResp(fix tracker.Fix) fixResp {

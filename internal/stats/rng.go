@@ -25,6 +25,57 @@ func (g *RNG) Fork(label string) *RNG {
 	return NewRNG(HashSeed(label) ^ g.seed)
 }
 
+// fastSource is a splitmix64 math/rand Source64. Its entire state is
+// one word, so Seed is O(1) — unlike the standard source, whose Seed
+// regenerates a 607-word lagged-Fibonacci register and dominates any
+// loop that reseeds per item. The stream for a given seed differs from
+// the standard source's.
+type fastSource struct{ state uint64 }
+
+func (s *fastSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *fastSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *fastSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// NewFastRNG is NewRNG on a splitmix64 source: construction and Reseed
+// are O(1) instead of O(607-word register), at the cost of a different
+// (still deterministic, still seed-only) stream than NewRNG produces
+// for the same seed. Use it for streams whose contract is "depends
+// only on the seed" rather than "matches NewRNG" — e.g. the per-trace
+// training streams, which are reseeded once per trace.
+func NewFastRNG(seed int64) *RNG {
+	src := &fastSource{}
+	src.Seed(seed)
+	return &RNG{seed: seed, r: rand.New(src)}
+}
+
+// Reseed resets the generator in place to the exact state its
+// constructor (NewRNG or NewFastRNG) returns for that seed, without
+// allocating a new source: (*rand.Rand).Seed also clears the cached
+// read state, so a reseeded generator replays the fresh generator's
+// stream bit for bit. It lets hot loops reuse one generator across
+// many logical streams.
+func (g *RNG) Reseed(seed int64) {
+	g.seed = seed
+	g.r.Seed(seed)
+}
+
+// ForkInto is Fork without the allocation: child is reseeded to the
+// derived seed Fork(label) would use, keeping the child's own source
+// kind (a NewFastRNG child replays the fast stream for that seed).
+// Only the parent's seed is read, so concurrent ForkInto calls on one
+// parent (with distinct children) are safe.
+func (g *RNG) ForkInto(child *RNG, label string) {
+	child.Reseed(HashSeed(label) ^ g.seed)
+}
+
 // Float64 returns a uniform sample in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }
 

@@ -342,3 +342,87 @@ func TestForkIndependence(t *testing.T) {
 		t.Error("different fork labels should give different streams")
 	}
 }
+
+// TestReseedMatchesFresh: a reseeded generator must replay the stream a
+// freshly constructed generator produces, bit for bit, for both source
+// kinds — including after Norm draws, which exercise the cached read
+// state (*rand.Rand).Seed must clear.
+func TestReseedMatchesFresh(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(seed int64) *RNG
+	}{
+		{"standard", NewRNG},
+		{"fast", NewFastRNG},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reused := tc.mk(1)
+			for _, seed := range []int64{7, -3, 7, 0} {
+				fresh := tc.mk(seed)
+				reused.Reseed(seed)
+				for i := 0; i < 50; i++ {
+					if a, b := fresh.Norm(0, 1), reused.Norm(0, 1); a != b {
+						t.Fatalf("seed %d draw %d: fresh %v, reseeded %v", seed, i, a, b)
+					}
+					if a, b := fresh.Intn(1000), reused.Intn(1000); a != b {
+						t.Fatalf("seed %d draw %d: fresh Intn %d, reseeded %d", seed, i, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForkIntoMatchesFork: ForkInto must land the child on the seed
+// Fork derives for the same label, regardless of how much the child
+// consumed before, and without perturbing the parent.
+func TestForkIntoMatchesFork(t *testing.T) {
+	parent := NewRNG(42)
+	forked := parent.Fork("trace-9")
+	child := NewRNG(0)
+	child.Intn(100) // stale state the reseed must erase
+	parent.ForkInto(child, "trace-9")
+	for i := 0; i < 50; i++ {
+		if a, b := forked.Float64(), child.Float64(); a != b {
+			t.Fatalf("draw %d: Fork %v, ForkInto %v", i, a, b)
+		}
+	}
+
+	// A fast child keeps its fast source: same derived seed, fast stream.
+	fastChild := NewFastRNG(0)
+	parent.ForkInto(fastChild, "trace-9")
+	wantFast := NewFastRNG(HashSeed("trace-9") ^ 42)
+	for i := 0; i < 50; i++ {
+		if a, b := wantFast.Float64(), fastChild.Float64(); a != b {
+			t.Fatalf("fast draw %d: fresh %v, ForkInto %v", i, a, b)
+		}
+	}
+}
+
+// TestFastRNGStreamQuality sanity-checks the splitmix64 stream: seed
+// determinism, seed sensitivity, and a uniform-looking Float64 mean.
+func TestFastRNGStreamQuality(t *testing.T) {
+	a, b := NewFastRNG(5), NewFastRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("NewFastRNG(5) streams diverge")
+		}
+	}
+	c, d := NewFastRNG(5), NewFastRNG(6)
+	same := 0
+	sum := 0.0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		x, y := c.Float64(), d.Float64()
+		if x == y {
+			same++
+		}
+		sum += x
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds collide on %d of %d draws", same, n)
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}

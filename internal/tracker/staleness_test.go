@@ -1,0 +1,147 @@
+package tracker
+
+import (
+	"testing"
+
+	"moloc/internal/sensors"
+)
+
+// TestStalenessBoundaryTable pins the documented scan-staleness window
+// [start-StaleScanSec, end) at its exact edges, for both the serve
+// decision (scanFor) and buffer pruning (pruneScans): both go through
+// staleCutoff, so a scan landing exactly on the window edge must be
+// served, and must not have been pruned before it could serve.
+func TestStalenessBoundaryTable(t *testing.T) {
+	sys := sysFixture(t)
+	fdb := fullFDB(t, sys)
+	scan := fdb.At(1)
+
+	// Interval geometry: IntervalSec=3, StaleScanSec=3, interval
+	// [12, 15) after four closed intervals starting at t=0.
+	const (
+		start = 12.0
+		end   = 15.0
+		stale = 3.0
+	)
+	cases := []struct {
+		name       string
+		scanT      float64
+		serves     bool
+		staleServe bool // counted as a stale serve (scanT < start)
+	}{
+		{"just_outside_window", start - stale - 0.001, false, false},
+		{"exactly_on_window_edge", start - stale, true, true},
+		{"inside_window_before_start", start - 0.5, true, true},
+		{"exactly_at_start", start, true, false},
+		{"inside_interval", end - 0.5, true, false},
+		{"exactly_at_end", end, false, false}, // belongs to the next interval
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := NewConfig(0.73)
+			cfg.StaleScanSec = stale
+			tr, err := New(sys.Plan, fdb, sys.MDB, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Anchor the session at t=0 and walk empty intervals up to
+			// [12, 15) so pruneScans has run with intervalStart ahead of
+			// the scan — a pruning/serving disagreement would drop the
+			// edge scan before it can serve.
+			tr.AddIMU(sensors.Sample{T: 0, Accel: 9.8})
+			if tc.scanT < start {
+				tr.AddScan(tc.scanT, scan)
+			}
+			tr.Tick(start) // closes [0,3)..[9,12), prunes the buffer
+			if tc.scanT >= start {
+				tr.AddScan(tc.scanT, scan)
+			}
+			before := tr.Stats().StaleServes
+			if _, ok := tr.Tick(end); ok != tc.serves {
+				t.Fatalf("scan at %g for [%g,%g): served=%v, want %v",
+					tc.scanT, start, end, ok, tc.serves)
+			}
+			// The scan may also have served an earlier interval; only the
+			// [12,15) close is under test.
+			wantStale := int64(0)
+			if tc.staleServe {
+				wantStale = 1
+			}
+			if got := tr.Stats().StaleServes - before; got != wantStale {
+				t.Errorf("scan at %g: StaleServes delta = %d, want %d", tc.scanT, got, wantStale)
+			}
+		})
+	}
+}
+
+// TestScanForPruneAgree is the structural half of the boundary fix: for
+// a sweep of timestamps across the window edge, a scan pruneScans keeps
+// is exactly a scan scanFor would serve for the interval starting at
+// intervalStart.
+func TestScanForPruneAgree(t *testing.T) {
+	sys := sysFixture(t)
+	fdb := fullFDB(t, sys)
+	cfg := NewConfig(0.73)
+	cfg.StaleScanSec = 3
+	for _, dt := range []float64{-3.001, -3, -2.999, -1.5, 0, 1.4} {
+		tr, err := New(sys.Plan, fdb, sys.MDB, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.started = true
+		tr.intervalStart = 12
+		tr.scans = []scanRec{{t: 12 + dt, fp: fdb.At(1)}}
+		_, served := tr.scanFor(12, 15)
+		tr.pruneScans()
+		kept := len(tr.scans) == 1
+		if served != kept {
+			t.Errorf("dt=%g: scanFor serves=%v but pruneScans keeps=%v", dt, served, kept)
+		}
+	}
+}
+
+// TestTickBatchEquivalence: one late TickBatch must return exactly the
+// fixes a sequence of per-interval Ticks would have produced, in order.
+func TestTickBatchEquivalence(t *testing.T) {
+	sys := sysFixture(t)
+	fdb := fullFDB(t, sys)
+
+	feed := func(tr *Tracker) {
+		for i := 0; i <= 120; i++ {
+			ts := float64(i) * 0.1
+			tr.AddIMU(sensors.Sample{T: ts, Accel: 9.8})
+		}
+		for i := 0; i < 12; i++ {
+			tr.AddScan(float64(i), fdb.At(1+i%3))
+		}
+	}
+
+	one, err := New(sys.Plan, fdb, sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(one)
+	batch := one.TickBatch(12, nil)
+
+	two, err := New(sys.Plan, fdb, sys.MDB, NewConfig(0.73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(two)
+	var serial []Fix
+	for ts := 3.0; ts <= 12; ts += 3 {
+		if fix, ok := two.Tick(ts); ok {
+			serial = append(serial, fix)
+		}
+	}
+
+	if len(batch) != len(serial) || len(batch) == 0 {
+		t.Fatalf("TickBatch produced %d fixes, serial Ticks %d", len(batch), len(serial))
+	}
+	for i := range batch {
+		if batch[i].T != serial[i].T || batch[i].Loc != serial[i].Loc ||
+			batch[i].Moved != serial[i].Moved || batch[i].Mode != serial[i].Mode {
+			t.Errorf("fix %d: batch %+v != serial %+v", i, batch[i], serial[i])
+		}
+	}
+}

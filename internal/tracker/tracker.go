@@ -173,6 +173,10 @@ type Tracker struct {
 	scans         []scanRec
 	lastFix       *Fix
 	stats         Stats
+
+	// fixBuf is Tick's reused TickBatch destination.
+	//moloc:reuse
+	fixBuf []Fix
 }
 
 // scanRec is one buffered WiFi scan. Scans are buffered (not just the
@@ -307,14 +311,28 @@ func (t *Tracker) AddScan(ts float64, fp fingerprint.Fingerprint) {
 // super-interval; stretches with neither samples nor scans are
 // fast-forwarded in O(1) so intervalStart always catches up to now.
 func (t *Tracker) Tick(now float64) (Fix, bool) {
-	if !t.started || math.IsNaN(now) || math.IsInf(now, 0) {
+	t.fixBuf = t.TickBatch(now, t.fixBuf[:0])
+	if len(t.fixBuf) == 0 {
 		return Fix{}, false
 	}
+	return t.fixBuf[len(t.fixBuf)-1], true
+}
+
+// TickBatch is Tick for batched clients: it closes every elapsed
+// interval exactly as Tick does but appends every fix those intervals
+// produced to dst (which may be nil) instead of keeping only the last,
+// and returns the extended slice. The RCU motion-index snapshot is
+// acquired once for the whole batch, so every interval it closes sees
+// one consistent view. A sequence of TickBatch calls is equivalent to
+// the same sequence of Tick calls — each elapsed interval is closed by
+// whichever call first observes its end.
+//
+//moloc:reuse
+func (t *Tracker) TickBatch(now float64, dst []Fix) []Fix {
+	if !t.started || math.IsNaN(now) || math.IsInf(now, 0) {
+		return dst
+	}
 	t.acquireSnapshot()
-	var (
-		last    Fix
-		emitted bool
-	)
 	for now >= t.intervalStart+t.cfg.IntervalSec {
 		start := t.intervalStart
 		end := start + t.cfg.IntervalSec
@@ -329,7 +347,7 @@ func (t *Tracker) Tick(now float64) (Fix, bool) {
 		t.intervalStart = end
 		t.stats.IntervalsClosed++
 		if fix, ok := t.closeInterval(start, end, samples); ok {
-			last, emitted = fix, true
+			dst = append(dst, fix)
 		}
 		// Compact the consumed interval out of the buffer front so a
 		// long-lived session reuses one backing array instead of letting
@@ -338,27 +356,38 @@ func (t *Tracker) Tick(now float64) (Fix, bool) {
 		t.samples = t.samples[:n]
 		t.pruneScans()
 	}
-	return last, emitted
+	return dst
+}
+
+// staleCutoff is the single definition of the staleness-window edge: a
+// scan serves an interval starting at start iff its timestamp is in
+// [start-StaleScanSec, end). Both the serve check (scanFor) and the
+// buffer pruning (pruneScans) go through it, so the inclusive boundary
+// cannot drift between them: a scan landing exactly on the edge is
+// both served and retained.
+func (t *Tracker) staleCutoff(start float64) float64 {
+	return start - t.cfg.StaleScanSec
 }
 
 // scanFor returns the scan serving the interval [start, end): the most
 // recent buffered scan before end, provided it is not older than the
-// staleness window before start.
+// staleness window before start (see staleCutoff).
 func (t *Tracker) scanFor(start, end float64) (scanRec, bool) {
 	i := sort.Search(len(t.scans), func(i int) bool {
 		return t.scans[i].t >= end
 	}) - 1
-	if i < 0 || t.scans[i].t < start-t.cfg.StaleScanSec {
+	if i < 0 || t.scans[i].t < t.staleCutoff(start) {
 		return scanRec{}, false
 	}
 	return t.scans[i], true
 }
 
-// pruneScans drops buffered scans too old to serve any future interval
-// (every upcoming interval starts at or after intervalStart).
+// pruneScans drops buffered scans too old to serve any future interval:
+// every upcoming interval starts at or after intervalStart, so exactly
+// the scans below staleCutoff(intervalStart) are dead.
 func (t *Tracker) pruneScans() {
 	cut := sort.Search(len(t.scans), func(i int) bool {
-		return t.scans[i].t >= t.intervalStart-t.cfg.StaleScanSec
+		return t.scans[i].t >= t.staleCutoff(t.intervalStart)
 	})
 	if cut > 0 {
 		t.scans = append(t.scans[:0], t.scans[cut:]...)
@@ -455,5 +484,6 @@ func (t *Tracker) Reset() {
 	t.scans = nil
 	t.started = false
 	t.lastFix = nil
+	t.fixBuf = nil
 	t.stats = Stats{}
 }
