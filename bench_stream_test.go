@@ -1,0 +1,254 @@
+// Streaming-ingest benchmarks (PR 8): the binary wire path against the
+// JSON handler path it bypasses (BenchmarkIngestUnderLoad), and the WAL
+// group committer's fsync amortization under concurrent streams. Pinned
+// in BENCH_PR8.json; `make bench-diff` gates them against the previous
+// PR's artifact.
+package moloc_test
+
+import (
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"moloc/internal/core"
+	"moloc/internal/fault"
+	"moloc/internal/fingerprint"
+	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/server"
+	"moloc/internal/wal"
+	"moloc/internal/wire"
+)
+
+// streamBenchSys builds the ingest benchmark world once: the same
+// 50-trace deployment BenchmarkIngestUnderLoad serves, so the two
+// benchmarks measure the same server over different wire formats.
+var (
+	streamSysOnce sync.Once
+	streamSysVal  *core.System
+	streamSrcVal  fingerprint.CandidateSource
+	streamSysErr  error
+)
+
+func streamBenchSys(b *testing.B) (*core.System, fingerprint.CandidateSource) {
+	b.Helper()
+	streamSysOnce.Do(func() {
+		cfg := core.NewConfig()
+		cfg.NumTrainTraces = 50
+		cfg.NumTestTraces = 2
+		sys, err := core.Build(cfg)
+		if err != nil {
+			streamSysErr = err
+			return
+		}
+		fdb, err := sys.Survey.BuildDB(fingerprint.Euclidean{}, sys.Model.NumAPs())
+		if err != nil {
+			streamSysErr = err
+			return
+		}
+		streamSysVal, streamSrcVal = sys, fdb
+	})
+	if streamSysErr != nil {
+		b.Fatalf("building stream bench fixture: %v", streamSysErr)
+	}
+	return streamSysVal, streamSrcVal
+}
+
+// streamBenchBatch synthesizes the 8-observation batch the ingest
+// benchmarks push: jittered ground truth for the DB's first trained
+// pair, the shape BenchmarkIngestUnderLoad posts as JSON.
+func streamBenchBatch(b *testing.B, sys *core.System) []motiondb.Observation {
+	b.Helper()
+	pairs := sys.MDB.Pairs()
+	if len(pairs) == 0 {
+		b.Fatal("motion database has no trained pairs")
+	}
+	p := pairs[0]
+	gtDir, gtOff := floorplan.GroundTruthRLM(sys.Plan, p[0], p[1])
+	obs := make([]motiondb.Observation, 8)
+	for n := range obs {
+		obs[n] = motiondb.Observation{
+			From: p[0], To: p[1],
+			RLM: motion.RLM{
+				Dir: geom.NormalizeDeg(gtDir + float64(n%5) - 2),
+				Off: gtOff + 0.1*float64(n%3),
+			},
+		}
+	}
+	return obs
+}
+
+// benchIngestStream measures one pipelined observation stream end to
+// end: client encode, frame transport, server decode + validate + WAL
+// append, group-commit ack. ns/op is the amortized per-batch cost — the
+// number the tentpole's "10x vs IngestUnderLoad" target is about.
+// Periodic retrains fold the queue into the motion DB off the clock so
+// the measured loop is the steady-state ingest path alone.
+func benchIngestStream(b *testing.B, opts server.Options) {
+	sys, src := streamBenchSys(b)
+	opts.ObsQueueCap = 1 << 22
+	srv, err := server.NewWithOptions(sys.Plan, src, sys.Model.NumAPs(), sys.MDB, sys.Config.Motion, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ServeStreams(ln) }()
+	c, err := wire.DialStream(ln.Addr().String(), "bench", wire.ClientOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		_ = c.Close()
+		srv.Close()
+		if err := <-errc; err != nil {
+			b.Fatal(err)
+		}
+	}()
+
+	batch := streamBenchBatch(b, sys)
+	for i := 0; i < 64; i++ { // warm the scratch pools and the credit window
+		if err := c.SendObservations(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.WaitAcked(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SendObservations(batch); err != nil {
+			b.Fatal(err)
+		}
+		if i%4096 == 4095 {
+			b.StopTimer()
+			if err := c.WaitAcked(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := srv.RetrainNow(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	if err := c.WaitAcked(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+// BenchmarkIngestStream is the binary streaming twin of
+// BenchmarkIngestUnderLoad: mem is the in-memory server,
+// fsync_always adds the durable WAL with group commit — the production
+// configuration whose per-batch fsync the committer amortizes away.
+func BenchmarkIngestStream(b *testing.B) {
+	b.Run("mem", func(b *testing.B) {
+		benchIngestStream(b, server.Options{})
+	})
+	b.Run("fsync_always", func(b *testing.B) {
+		benchIngestStream(b, server.Options{
+			DataDir:     b.TempDir(),
+			FsyncPolicy: wal.SyncAlways,
+		})
+	})
+}
+
+// slowSyncFS holds every fsync for a disk-realistic latency. The CI
+// tmpfs syncs in microseconds, which starves the group of time to form
+// and makes the measured amortization an artifact of the filesystem
+// rather than the committer; pinning the latency makes batches/fsync
+// reflect the committer's behavior on the hardware the server actually
+// runs on.
+type slowSyncFS struct{ fault.FS }
+
+func (s slowSyncFS) OpenFile(name string, flag int, perm os.FileMode) (fault.File, error) {
+	f, err := s.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return slowSyncFile{File: f}, nil
+}
+
+type slowSyncFile struct{ fault.File }
+
+func (f slowSyncFile) Sync() error {
+	time.Sleep(500 * time.Microsecond)
+	return f.File.Sync()
+}
+
+// BenchmarkWALGroupCommit measures the committer's amortization floor:
+// 32 concurrent appenders each looping AppendNoSync + WaitDurable over
+// a SyncAlways log with disk-realistic fsync latency. batches/fsync is
+// the factor the streaming path exists for; the acceptance floor is
+// >= 5 at this concurrency.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	const streams = 32
+	log, err := wal.Open(b.TempDir(),
+		wal.Options{Policy: wal.SyncAlways, FS: slowSyncFS{FS: fault.Disk{}}},
+		func(seq uint64, payload []byte) error { return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := wal.NewGroupCommitter(log)
+	defer func() {
+		g.Close()
+		if err := log.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}()
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	errs := make(chan error, streams)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < streams; w++ {
+		n := b.N / streams
+		if w < b.N%streams {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				seq, err := log.AppendNoSync(payload)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := g.WaitDurable(seq); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	st := g.Stats()
+	if st.Syncs > 0 {
+		ratio := float64(st.Batches) / float64(st.Syncs)
+		b.ReportMetric(ratio, "batches/fsync")
+		// Only enforce the floor once there is enough traffic for the
+		// committer to settle into steady state.
+		if b.N >= 10_000 && ratio < 5 {
+			b.Fatalf("group commit amortized %.1f batches/fsync at %d streams, want >= 5", ratio, streams)
+		}
+	}
+}

@@ -11,6 +11,14 @@
 // Then:
 //
 //	go run ./cmd/molocctl -server http://localhost:8080
+//
+// With -stream, the walk's IMU samples, scans, and ticks ride one
+// persistent binary stream connection (internal/wire) to molocd's
+// -stream-addr listener instead of per-request HTTP; the session is
+// still created over HTTP first:
+//
+//	go run ./cmd/molocd -addr :8080 -stream-addr :8081
+//	go run ./cmd/molocctl -server http://localhost:8080 -stream localhost:8081
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"moloc/internal/core"
 	"moloc/internal/geom"
@@ -26,6 +35,7 @@ import (
 	"moloc/internal/sensors"
 	"moloc/internal/stats"
 	"moloc/internal/trace"
+	"moloc/internal/wire"
 )
 
 // retry backs every request off on 429/5xx/connection refused, so the
@@ -43,6 +53,7 @@ func main() {
 func run() error {
 	var (
 		server = flag.String("server", "http://localhost:8080", "molocd base URL")
+		stream = flag.String("stream", "", "molocd stream listener (host:port); walk data rides the binary stream instead of HTTP")
 		seed   = flag.Int64("seed", 3, "world seed; must match the server's")
 		legs   = flag.Int("legs", 10, "walk length in aisle legs")
 	)
@@ -80,6 +91,9 @@ func run() error {
 	}
 	fmt.Printf("session %s on %s; streaming a %d-leg walk by %s\n",
 		created.SessionID, *server, len(walk.Legs), user.Name)
+	if *stream != "" {
+		return streamWalk(sys, walk, created.SessionID, *stream)
+	}
 	base := *server + "/v1/sessions/" + created.SessionID
 
 	scanRNG := stats.NewRNG(2025)
@@ -115,6 +129,56 @@ func run() error {
 			fmt.Printf("t=%5.1fs server says location %2d %v; walker is at %v (%.1fm off)\n",
 				fix.T, fix.Loc, geom.Pt(fix.X, fix.Y), truth,
 				geom.Pt(fix.X, fix.Y).Dist(truth))
+		}
+	}
+	return nil
+}
+
+// streamWalk replays the walk over one persistent binary stream
+// connection: the same IMU batches, scans, and ticks the HTTP path
+// issues as individual requests, answered with fix frames. The wire
+// client redials and resumes on its own, so the walk rides out a
+// molocd restart the same way the HTTP path's retry policy does.
+func streamWalk(sys *core.System, walk *trace.Trace, sessionID, addr string) error {
+	c, err := wire.DialStream(addr, "molocctl-"+sessionID, wire.ClientOptions{
+		SessionID:      sessionID,
+		RedialAttempts: 5,
+		RedialWait:     200 * time.Millisecond,
+	})
+	if err != nil {
+		return fmt.Errorf("dial stream %s: %w", addr, err)
+	}
+	defer func() {
+		_ = c.Close() // the walk is already delivered and ticked
+	}()
+
+	scanRNG := stats.NewRNG(2025)
+	nextScan := 0.0
+	for _, leg := range walk.Legs {
+		if err := c.SendIMU(leg.Samples); err != nil {
+			return fmt.Errorf("stream imu: %w", err)
+		}
+		for _, s := range leg.Samples {
+			if s.T < nextScan {
+				continue
+			}
+			frac := (s.T - leg.T0) / (leg.T1 - leg.T0)
+			pos := sys.Plan.LocPos(leg.From).Lerp(sys.Plan.LocPos(leg.To), frac)
+			rss := sys.Model.Sample(pos, scanRNG)
+			if err := c.SendScan(s.T, rss); err != nil {
+				return fmt.Errorf("stream scan: %w", err)
+			}
+			nextScan = s.T + 0.5
+		}
+		loc, _, ok, err := c.Tick(leg.T1)
+		if err != nil {
+			return fmt.Errorf("stream tick: %w", err)
+		}
+		if ok {
+			fixPos := sys.Plan.LocPos(loc)
+			truth := sys.Plan.LocPos(leg.To)
+			fmt.Printf("t=%5.1fs server says location %2d %v; walker is at %v (%.1fm off)\n",
+				leg.T1, loc, fixPos, truth, fixPos.Dist(truth))
 		}
 	}
 	return nil

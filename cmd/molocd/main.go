@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	molocd [-addr :8080] [-plan office|mall|museum] [-seed N] [-aps N] [-horus]
-//	       [-train N] [-session-ttl 15m] [-max-sessions N] [-workers N] [-gate]
-//	       [-drain 10s] [-retrain 30s] [-data-dir DIR]
+//	molocd [-addr :8080] [-stream-addr :8081] [-plan office|mall|museum] [-seed N]
+//	       [-aps N] [-horus] [-train N] [-session-ttl 15m] [-max-sessions N]
+//	       [-workers N] [-gate] [-drain 10s] [-retrain 30s] [-data-dir DIR]
 //	       [-fsync always|interval|none] [-fsync-every 100ms] [-pprof addr]
 //
 // The motion database retrains online: POST /v1/observations feeds the
@@ -26,6 +26,14 @@
 // "degraded-fingerprint-only" (durability impaired, fixes keep flowing
 // on the fingerprint-only path), or "recovering".
 //
+// -stream-addr opens a second listener speaking the binary streaming
+// protocol (internal/wire): phones hold one persistent connection,
+// pipeline length-prefixed observation/IMU/scan/tick frames under a
+// credit window, and get each observation batch acknowledged only after
+// its WAL record's covering fsync — with one group-committed fsync
+// amortized over every stream that raced in. molocsim -stream and
+// molocctl stream speak it.
+//
 // Try it:
 //
 //	curl -s -X POST localhost:8080/v1/sessions -d '{"height_m":1.71,"weight_kg":68}'
@@ -39,6 +47,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -63,6 +72,7 @@ func main() {
 func run() error {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		streamAddr  = flag.String("stream-addr", "", "binary streaming-ingest listener address (empty = off)")
 		planName    = flag.String("plan", "office", "floor plan: office, mall, or museum")
 		seed        = flag.Int64("seed", 3, "world seed")
 		aps         = flag.Int("aps", 0, "number of APs to use (0 = all)")
@@ -164,7 +174,7 @@ func run() error {
 		//lint:ignore waitleak the debug listener lives for the process; nothing joins it
 		go servePprof(*pprofAddr)
 	}
-	return serve(srv, *addr, *drain)
+	return serve(srv, *addr, *streamAddr, *drain)
 }
 
 // servePprof serves the net/http/pprof handlers on their own mux and
@@ -189,7 +199,7 @@ func servePprof(addr string) {
 // drains gracefully on SIGINT/SIGTERM: stop accepting new connections,
 // let in-flight requests finish (bounded by the drain timeout), then
 // stop the sweeper.
-func serve(srv *server.Server, addr string, drain time.Duration) error {
+func serve(srv *server.Server, addr, streamAddr string, drain time.Duration) error {
 	srv.Start()
 	defer srv.Close()
 
@@ -200,9 +210,23 @@ func serve(srv *server.Server, addr string, drain time.Duration) error {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 
+	// The streaming plane gets its own listener; srv.Close (deferred
+	// above) stops the accept loop and severs live stream connections.
+	streamErrc := make(chan error, 1)
+	if streamAddr != "" {
+		ln, err := net.Listen("tcp", streamAddr)
+		if err != nil {
+			return fmt.Errorf("stream listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "molocd: binary stream listener on %s\n", streamAddr)
+		go func() { streamErrc <- srv.ServeStreams(ln) }()
+	}
+
 	select {
 	case err := <-errc:
 		return err // bind failure or unexpected listener exit
+	case err := <-streamErrc:
+		return fmt.Errorf("stream listener: %w", err)
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "molocd: signal received, draining...")

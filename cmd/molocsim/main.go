@@ -5,18 +5,35 @@
 // Usage:
 //
 //	molocsim [-seed N] [-plan office|mall|museum] [-train N] [-test N] [-aps list]
+//
+// With -stream, molocsim instead acts as a fleet load generator: it
+// opens -streams persistent binary connections (internal/wire) to a
+// running molocd's -stream-addr listener and pushes jittered
+// crowdsourced observation batches at it, reporting throughput. The
+// target server must have been built from the same plan and seed:
+//
+//	molocsim -stream localhost:8081 -streams 16 -batches 200
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"moloc/internal/core"
 	"moloc/internal/eval"
 	"moloc/internal/floorplan"
+	"moloc/internal/geom"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+	"moloc/internal/stats"
+	"moloc/internal/wire"
 )
 
 func main() {
@@ -34,6 +51,10 @@ func run() error {
 		test     = flag.Int("test", 34, "number of test traces")
 		apCounts = flag.String("aps", "4,5,6", "comma-separated AP counts to evaluate")
 		export   = flag.String("export", "", "directory to export the full-AP deployment bundle to")
+		stream   = flag.String("stream", "", "molocd stream listener (host:port); run a fleet observation load instead of the offline evaluation")
+		streams  = flag.Int("streams", 8, "concurrent stream connections in -stream mode")
+		batches  = flag.Int("batches", 200, "observation batches per stream in -stream mode")
+		batchLen = flag.Int("batch-size", 64, "observations per batch in -stream mode")
 	)
 	flag.Parse()
 
@@ -57,6 +78,9 @@ func run() error {
 	sys, err := core.Build(cfg)
 	if err != nil {
 		return err
+	}
+	if *stream != "" {
+		return streamLoad(sys, *stream, *streams, *batches, *batchLen)
 	}
 	fmt.Printf("plan=%s locations=%d aps=%d train=%d test=%d seed=%d\n",
 		sys.Plan.Name, sys.Plan.NumLocs(), sys.Model.NumAPs(),
@@ -105,6 +129,83 @@ func run() error {
 		fmt.Printf("deployment bundle exported to %s (serve with: molocd -bundle %s)\n",
 			*export, *export)
 	}
+	return nil
+}
+
+// streamLoad drives a fleet of observation streams at a running molocd:
+// each worker owns one persistent wire connection and pushes jittered
+// ground-truth observations for the deployment's trained pairs. It is
+// the load half of the streaming-ingest benchmark run against a real
+// process (EXPERIMENTS.md), and it exercises the exact client path the
+// phones use — binary frames, cumulative acks, redial with resume.
+func streamLoad(sys *core.System, addr string, streams, batches, batchLen int) error {
+	pairs := sys.MDB.Pairs()
+	if len(pairs) == 0 {
+		return errors.New("motion database has no trained pairs to observe")
+	}
+	if streams < 1 || batches < 1 || batchLen < 1 {
+		return fmt.Errorf("streams (%d), batches (%d), and batch-size (%d) must all be >= 1",
+			streams, batches, batchLen)
+	}
+	var (
+		wg      sync.WaitGroup
+		sent    atomic.Int64
+		resumes atomic.Int64
+		errs    = make(chan error, streams)
+	)
+	start := time.Now()
+	for w := 0; w < streams; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := wire.DialStream(addr, fmt.Sprintf("molocsim-%d", w), wire.ClientOptions{
+				RedialAttempts: 10,
+				RedialWait:     100 * time.Millisecond,
+			})
+			if err != nil {
+				errs <- fmt.Errorf("stream %d: dial %s: %w", w, addr, err)
+				return
+			}
+			defer func() {
+				_ = c.Close() // every batch is already acked by WaitAcked below
+			}()
+			rng := stats.NewRNG(stats.HashSeed("molocsim-stream", fmt.Sprint(w)))
+			obs := make([]motiondb.Observation, batchLen)
+			for b := 0; b < batches; b++ {
+				pair := pairs[(w+b)%len(pairs)]
+				gtDir, gtOff := floorplan.GroundTruthRLM(sys.Plan, pair[0], pair[1])
+				for k := range obs {
+					obs[k] = motiondb.Observation{
+						From: pair[0], To: pair[1],
+						RLM: motion.RLM{
+							Dir: geom.NormalizeDeg(gtDir + rng.Uniform(-2, 2)),
+							Off: gtOff + rng.Uniform(0, 0.3),
+						},
+					}
+				}
+				if err := c.SendObservations(obs); err != nil {
+					errs <- fmt.Errorf("stream %d: batch %d: %w", w, b, err)
+					return
+				}
+				sent.Add(int64(batchLen))
+			}
+			if err := c.WaitAcked(); err != nil {
+				errs <- fmt.Errorf("stream %d: wait acked: %w", w, err)
+				return
+			}
+			resumes.Add(int64(c.Resumes()))
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	total := sent.Load()
+	fmt.Printf("streamed %d observations (%d batches of %d over %d streams) in %v: %.0f obs/s, %d resumes\n",
+		total, streams*batches, batchLen, streams, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), resumes.Load())
 	return nil
 }
 

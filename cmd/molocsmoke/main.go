@@ -5,8 +5,11 @@
 // kills the process with SIGKILL and restarts it on the same data
 // directory to verify crash recovery end to end — acknowledged
 // observations replay from the WAL, the ladder reports "ok", and fixes
-// come out motion-matched. The restarted process finally gets SIGTERM
-// to verify the graceful drain path.
+// come out motion-matched. A binary-stream leg then drives the wire
+// protocol against -stream-addr: observation batches over a persistent
+// connection, a second SIGKILL mid-stream, and a reconnect that must
+// resume the stream with zero acked-but-lost records after replay. The
+// final process gets SIGTERM to verify the graceful drain path.
 //
 // Every request goes through internal/httpretry, so the smoke tolerates
 // — and deliberately exercises — the connection-refused window while
@@ -34,7 +37,10 @@ import (
 	"time"
 
 	"moloc/internal/httpretry"
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
 	"moloc/internal/stats"
+	"moloc/internal/wire"
 )
 
 // retry is the backoff policy behind every request the smoke makes.
@@ -61,6 +67,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	streamAddr, err := freeAddr()
+	if err != nil {
+		return err
+	}
 	base := "http://" + addr
 	dataDir, err := os.MkdirTemp("", "molocsmoke-*")
 	if err != nil {
@@ -70,7 +80,7 @@ func run() error {
 		_ = os.RemoveAll(dataDir)
 	}()
 
-	cmd, err := startMolocd(*molocd, addr, *train, dataDir)
+	cmd, err := startMolocd(*molocd, addr, streamAddr, *train, dataDir)
 	if err != nil {
 		return err
 	}
@@ -167,7 +177,7 @@ func run() error {
 	_ = cmd.Wait()
 	fmt.Println("molocsmoke: killed molocd uncleanly (SIGKILL)")
 
-	cmd, err = startMolocd(*molocd, addr, *train, dataDir)
+	cmd, err = startMolocd(*molocd, addr, streamAddr, *train, dataDir)
 	if err != nil {
 		return err
 	}
@@ -204,7 +214,15 @@ func run() error {
 	fmt.Printf("molocsmoke: recovered after crash (replayed %d observations, fix mode %s)\n",
 		len(obs), fix.Mode)
 
-	// 6. Graceful drain: SIGTERM must yield a clean exit.
+	// 6. Binary stream leg: observation batches over the wire protocol,
+	// SIGKILL mid-stream, restart, reconnect with resume — and zero
+	// acked-but-lost records after replay.
+	cmd, err = streamLeg(cmd, *molocd, addr, streamAddr, *train, dataDir, deadline)
+	if err != nil {
+		return fmt.Errorf("stream leg: %w", err)
+	}
+
+	// 7. Graceful drain: SIGTERM must yield a clean exit.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("signal molocd: %w", err)
 	}
@@ -222,10 +240,12 @@ func run() error {
 	return nil
 }
 
-// startMolocd launches one molocd process with durability on dataDir.
-func startMolocd(bin, addr string, train int, dataDir string) (*exec.Cmd, error) {
+// startMolocd launches one molocd process with durability on dataDir
+// and the binary stream listener on streamAddr.
+func startMolocd(bin, addr, streamAddr string, train int, dataDir string) (*exec.Cmd, error) {
 	cmd := exec.Command(bin,
 		"-addr", addr,
+		"-stream-addr", streamAddr,
 		"-train", fmt.Sprint(train),
 		"-drain", "5s",
 		"-data-dir", dataDir,
@@ -235,6 +255,131 @@ func startMolocd(bin, addr string, train int, dataDir string) (*exec.Cmd, error)
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("start %s: %w", bin, err)
 	}
+	return cmd, nil
+}
+
+// streamLeg drives the binary stream protocol end to end against a live
+// molocd: acked batches, a SIGKILL mid-stream, and a reconnect that
+// must resume. The durable-ack invariant under test: every observation
+// the client saw acknowledged before the kill must be in the restarted
+// server's WAL replay — acked-but-lost count must be zero. It returns
+// the restarted process for the caller's drain step.
+func streamLeg(cmd *exec.Cmd, bin, addr, streamAddr string, train int, dataDir string, deadline time.Time) (*exec.Cmd, error) {
+	const (
+		ackedBatches  = 16 // waited on before the kill: all durably acked
+		inflightLimit = 4  // fire-and-forget tail racing the kill
+		resumeBatches = 16 // sent after the restart over the resumed stream
+		obsPerBatch   = 4
+	)
+	base := "http://" + addr
+	batch := make([]motiondb.Observation, obsPerBatch)
+	for i := range batch {
+		batch[i] = motiondb.Observation{From: 1, To: 2, RLM: motion.RLM{Dir: 90, Off: 5}}
+	}
+
+	// checkpoint_writes before any stream traffic: the replay accounting
+	// below only holds while no retrain checkpoint absorbs stream batches
+	// out of the WAL mid-leg.
+	pre, err := scrape(base)
+	if err != nil {
+		return cmd, err
+	}
+	ckptBase := pre.Counters["checkpoint_writes"]
+
+	c, err := wire.DialStream(streamAddr, "molocsmoke", wire.ClientOptions{
+		RedialAttempts: 40,
+		RedialWait:     250 * time.Millisecond,
+	})
+	if err != nil {
+		return cmd, fmt.Errorf("dial stream %s: %w", streamAddr, err)
+	}
+	defer func() {
+		_ = c.Close()
+	}()
+
+	for b := 0; b < ackedBatches; b++ {
+		if err := c.SendObservations(batch); err != nil {
+			return cmd, fmt.Errorf("send batch %d: %w", b, err)
+		}
+	}
+	if err := c.WaitAcked(); err != nil {
+		return cmd, fmt.Errorf("wait acked: %w", err)
+	}
+	// A fire-and-forget tail keeps frames in flight when the kill lands;
+	// whatever the server acked before dying must survive, the rest is
+	// resent on resume.
+	for b := 0; b < inflightLimit; b++ {
+		if err := c.SendObservations(batch); err != nil {
+			return cmd, fmt.Errorf("send in-flight batch %d: %w", b, err)
+		}
+	}
+	ackedAtKill := c.Acked()
+	if ackedAtKill < ackedBatches {
+		return cmd, fmt.Errorf("acked %d batches before kill, want >= %d", ackedAtKill, ackedBatches)
+	}
+	mid, err := scrape(base)
+	if err != nil {
+		return cmd, err
+	}
+	ckptAtKill := mid.Counters["checkpoint_writes"]
+	if mid.Counters["stream_conns"] < 1 || mid.Counters["stream_acks"] < 1 {
+		return cmd, fmt.Errorf("stream metrics flat before kill: conns=%d acks=%d",
+			mid.Counters["stream_conns"], mid.Counters["stream_acks"])
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		return cmd, fmt.Errorf("kill molocd: %w", err)
+	}
+	//lint:ignore errdrop a SIGKILLed process never exits cleanly; the failure is the point
+	_ = cmd.Wait()
+	fmt.Printf("molocsmoke: killed molocd mid-stream (%d batches acked, %d in flight)\n",
+		ackedAtKill, int(c.Acked())-int(ackedAtKill)+c.Pending())
+
+	cmd, err = startMolocd(bin, addr, streamAddr, train, dataDir)
+	if err != nil {
+		return cmd, err
+	}
+	if _, err := waitHealthy(base, deadline); err != nil {
+		return cmd, fmt.Errorf("restart: %w", err)
+	}
+
+	// The next send redials, resumes the stream, and resends the unacked
+	// tail; everything must end up acknowledged.
+	for b := 0; b < resumeBatches; b++ {
+		if err := c.SendObservations(batch); err != nil {
+			return cmd, fmt.Errorf("send after restart: batch %d: %w", b, err)
+		}
+	}
+	if err := c.WaitAcked(); err != nil {
+		return cmd, fmt.Errorf("wait acked after restart: %w", err)
+	}
+	if c.Resumes() < 1 {
+		return cmd, fmt.Errorf("client reports %d resumes after the kill, want >= 1", c.Resumes())
+	}
+	wantAcked := uint64(ackedBatches + inflightLimit + resumeBatches)
+	if c.Acked() != wantAcked {
+		return cmd, fmt.Errorf("acked %d batches total, want %d", c.Acked(), wantAcked)
+	}
+
+	// Zero acked-but-lost: every batch acked before the kill replayed
+	// from the WAL into the restarted server (the scrape runs after
+	// recovery finished, because waitHealthy gates on it).
+	post, err := scrape(base)
+	if err != nil {
+		return cmd, err
+	}
+	replayed := post.Counters["wal_replayed_observations"]
+	ackedObs := int64(ackedAtKill) * obsPerBatch
+	if ckptAtKill == ckptBase && replayed < ackedObs {
+		return cmd, fmt.Errorf("acked-but-lost records: %d observations acked before kill, only %d replayed",
+			ackedObs, replayed)
+	}
+	maxObs := int64(ackedBatches+inflightLimit) * obsPerBatch
+	if replayed > maxObs {
+		return cmd, fmt.Errorf("replayed %d observations, more than the %d ever appended before the kill",
+			replayed, maxObs)
+	}
+	fmt.Printf("molocsmoke: stream resumed after crash (%d/%d acked observations replayed, 0 lost)\n",
+		replayed, ackedObs)
 	return cmd, nil
 }
 

@@ -9,7 +9,12 @@ package lint
 //     the engine's transitive AppendsWAL fact, so an
 //     enqueueDurable-style wrapper three calls above (*Log).Append
 //     counts as the guard.
-//  2. In packages under internal/wal and internal/checkpoint, a Rename
+//  2. The same rule for the binary stream plane, where success is an
+//     ack frame instead of a status code: a call that can reach an
+//     //moloc:ack-annotated primitive (the engine's transitive SendsAck
+//     fact, anchored at (*wire.Writer).WriteAck) inside a
+//     //moloc:durable function must be preceded by an AppendsWAL call.
+//  3. In packages under internal/wal and internal/checkpoint, a Rename
 //     call (the atomic publish of a data file) must be preceded by a
 //     Sync call in the same function — rename-before-fsync can publish
 //     a file whose contents are still in the page cache.
@@ -29,7 +34,7 @@ import (
 // DurableAck reports success acks and renames that outrun durability.
 var DurableAck = &Analyzer{
 	Name: "durableack",
-	Doc:  "2xx acks in //moloc:durable handlers must follow a WAL append; Rename must follow Sync",
+	Doc:  "2xx and stream acks in //moloc:durable handlers must follow a WAL append; Rename must follow Sync",
 	Run:  runDurableAck,
 }
 
@@ -55,15 +60,30 @@ func runDurableAck(pass *Pass) {
 	}
 }
 
-// checkDurableHandler demands every 2xx write in an annotated handler
-// be preceded by a call that can reach a WAL append.
+// checkDurableHandler demands every success release in an annotated
+// handler — a 2xx status write on the HTTP side, a SendsAck-reaching
+// call on the stream side — be preceded by a call that can reach a WAL
+// append.
 func checkDurableHandler(pass *Pass, fd *ast.FuncDecl) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
-		if !ok || !carries2xx(pass, call) {
+		if !ok {
+			return true
+		}
+		isAck := carries2xx(pass, call)
+		kind := "writes a 2xx status"
+		if !isAck {
+			if fn := funcObj(pass.Info, call); fn != nil {
+				if facts := pass.Index.FuncFacts(fn); facts != nil && facts.SendsAck {
+					isAck = true
+					kind = "releases a stream ack"
+				}
+			}
+		}
+		if !isAck {
 			return true
 		}
 		for _, prev := range precedingCalls(fd.Body, call.Pos()) {
@@ -74,7 +94,7 @@ func checkDurableHandler(pass *Pass, fd *ast.FuncDecl) {
 			}
 		}
 		pass.Reportf(call.Pos(),
-			"writes a 2xx status in a //moloc:durable handler with no preceding WAL append")
+			kind+" in a //moloc:durable handler with no preceding WAL append")
 		return true
 	})
 }

@@ -34,10 +34,19 @@ type FuncFacts struct {
 	Calls []*types.Func
 
 	// AppendsWAL reports that the function may reach a WAL append —
-	// (*Log).Append in a package under internal/wal — directly or
-	// through any chain of module-internal calls. durableack uses it to
-	// accept enqueueDurable-style wrappers as the durability guard.
+	// (*Log).Append or (*Log).AppendNoSync in a package under
+	// internal/wal — directly or through any chain of module-internal
+	// calls. durableack uses it to accept enqueueDurable-style wrappers
+	// as the durability guard.
 	AppendsWAL bool
+
+	// SendsAck reports that the function may reach an ack-release
+	// primitive — a function annotated //moloc:ack, like the stream
+	// plane's (*wire.Writer).WriteAck — directly or transitively.
+	// durableack demands such calls in //moloc:durable functions be
+	// preceded by an AppendsWAL call, the binary-protocol twin of the
+	// 2xx-after-append rule.
+	SendsAck bool
 
 	// Blocking reports that the body (or a transitive callee) receives
 	// from a channel: a <-ch expression, a select receive case, or
@@ -159,7 +168,11 @@ func (ix *Index) summarizeFile(pkg *Package, f *ast.File) {
 		if obj == nil {
 			continue
 		}
-		facts := &FuncFacts{Decl: fd, Pkg: pkg, ReuseAnnotated: hasDirective(fd.Doc, "//moloc:reuse")}
+		facts := &FuncFacts{
+			Decl: fd, Pkg: pkg,
+			ReuseAnnotated: hasDirective(fd.Doc, "//moloc:reuse"),
+			SendsAck:       hasDirective(fd.Doc, "//moloc:ack"),
+		}
 		if isWALAppend(obj) {
 			facts.AppendsWAL = true
 		}
@@ -232,10 +245,14 @@ func hasDirective(doc *ast.CommentGroup, directive string) bool {
 	return false
 }
 
-// isWALAppend reports whether fn is the write-ahead log's Append method
-// (any package under internal/wal, so analyzer fixtures can model it).
+// isWALAppend reports whether fn is a write-ahead log append method —
+// Append, or the group-commit split's AppendNoSync — in any package
+// under internal/wal, so analyzer fixtures can model it. AppendNoSync
+// counts because its records are covered by the committer's fsync
+// before any ack releases (the SendsAck side of durableack checks
+// exactly that ordering).
 func isWALAppend(fn *types.Func) bool {
-	return fn.Name() == "Append" && fn.Pkg() != nil &&
+	return (fn.Name() == "Append" || fn.Name() == "AppendNoSync") && fn.Pkg() != nil &&
 		pkgHasSegments(fn.Pkg().Path(), "internal/wal") &&
 		fn.Type().(*types.Signature).Recv() != nil
 }
@@ -258,9 +275,9 @@ func isWaitGroupMethod(fn *types.Func, name string) bool {
 	return ok && named.Obj().Name() == "WaitGroup"
 }
 
-// propagate closes AppendsWAL, Blocking, and RetiresWG over the static
-// call graph: a function inherits each flag from any callee. Iterates
-// to a fixed point (the graph is small and cycles are rare).
+// propagate closes AppendsWAL, SendsAck, Blocking, and RetiresWG over
+// the static call graph: a function inherits each flag from any callee.
+// Iterates to a fixed point (the graph is small and cycles are rare).
 func (ix *Index) propagate() {
 	for changed := true; changed; {
 		changed = false
@@ -272,6 +289,10 @@ func (ix *Index) propagate() {
 				}
 				if cf.AppendsWAL && !facts.AppendsWAL {
 					facts.AppendsWAL = true
+					changed = true
+				}
+				if cf.SendsAck && !facts.SendsAck {
+					facts.SendsAck = true
 					changed = true
 				}
 				if cf.Blocking && !facts.Blocking {

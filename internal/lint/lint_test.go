@@ -179,6 +179,21 @@ func TestIndexTransitiveFacts(t *testing.T) {
 	if factsOf(ix, "saveGood").AppendsWAL {
 		t.Error("saveGood never reaches a WAL append")
 	}
+	if !factsOf(ix, "WriteAck").SendsAck {
+		t.Error("(*wire.Writer).WriteAck carries //moloc:ack; SendsAck must be set")
+	}
+	if !factsOf(ix, "commitAcks").SendsAck {
+		t.Error("commitAcks calls WriteAck directly; SendsAck must propagate")
+	}
+	if !factsOf(ix, "serveGood").SendsAck {
+		t.Error("serveGood reaches WriteAck through commitAcks; SendsAck must be transitive")
+	}
+	if factsOf(ix, "enqueueStream").SendsAck {
+		t.Error("enqueueStream never reaches an ack primitive")
+	}
+	if !factsOf(ix, "enqueueStream").AppendsWAL {
+		t.Error("enqueueStream calls AppendNoSync; AppendsWAL must cover the group-commit append")
+	}
 
 	pkgs, err = LoadTree(filepath.Join("testdata", "waitleak"), "", false)
 	if err != nil {

@@ -11,3 +11,11 @@ func (l *Log) Append(p []byte) (uint64, error) {
 	l.seq++
 	return l.seq, nil
 }
+
+// AppendNoSync is the group-commit half of the real log's API: append
+// under the lock, leave the fsync to the committer. The engine treats
+// it as a WAL append anchor just like Append.
+func (l *Log) AppendNoSync(p []byte) (uint64, error) {
+	l.seq++
+	return l.seq, nil
+}

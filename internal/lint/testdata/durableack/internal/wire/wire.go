@@ -1,0 +1,14 @@
+// Fixture stream-frame writer: the //moloc:ack directive marks
+// WriteAck as the primitive that releases a client-visible success, so
+// the engine's SendsAck fact reaches any wrapper above it — the stream
+// plane's analogue of the 2xx status constant.
+package wire
+
+type Writer struct {
+	acked uint64
+}
+
+//moloc:ack
+func (wr *Writer) WriteAck(seq uint64, window uint32) {
+	wr.acked = seq
+}

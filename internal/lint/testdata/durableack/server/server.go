@@ -5,7 +5,10 @@
 // (*wal.Log).Append still counts.
 package server
 
-import "internal/wal"
+import (
+	"internal/wal"
+	"internal/wire"
+)
 
 type writer interface {
 	WriteHeader(status int)
@@ -79,4 +82,51 @@ func (s *store) handleReject(w writer) {
 // ingest path.
 func (s *store) handleStatus(w writer) {
 	writeJSON(w, 200, resp{})
+}
+
+// --- Streaming plane: the ack is a frame, not a status code. ---
+
+// enqueueStream reaches the WAL through the group-commit append.
+func (s *store) enqueueStream(p []byte) error {
+	_, err := s.log.AppendNoSync(p)
+	return err
+}
+
+// commitAcks reaches //moloc:ack through one level of indirection, so
+// a call to it inherits SendsAck transitively.
+func commitAcks(wr *wire.Writer, seq uint64) {
+	wr.WriteAck(seq, 1)
+}
+
+// The protocol again: append first, ack the frame after.
+//
+//moloc:durable
+func (s *store) serveGood(wr *wire.Writer, p []byte, seq uint64) {
+	if err := s.enqueueStream(p); err != nil {
+		return
+	}
+	commitAcks(wr, seq)
+}
+
+// Ack frame before the append: the stream-side twin of handleAckFirst.
+//
+//moloc:durable
+func (s *store) serveAckFirst(wr *wire.Writer, p []byte, seq uint64) {
+	commitAcks(wr, seq) // want `releases a stream ack in a //moloc:durable handler with no preceding WAL append`
+	if err := s.enqueueStream(p); err != nil {
+		return
+	}
+}
+
+// Direct WriteAck with no append anywhere.
+//
+//moloc:durable
+func (s *store) serveNoAppend(wr *wire.Writer, seq uint64) {
+	wr.WriteAck(seq, 1) // want `releases a stream ack in a //moloc:durable handler with no preceding WAL append`
+}
+
+// Unannotated stream functions are out of scope — the hello ack
+// promises nothing about data durability.
+func serveHello(wr *wire.Writer) {
+	wr.WriteAck(0, 1)
 }

@@ -28,6 +28,7 @@ import (
 	"moloc/internal/checkpoint"
 	"moloc/internal/motiondb"
 	"moloc/internal/wal"
+	"moloc/internal/wire"
 )
 
 // Degradation-ladder states. The zero value is healthy so a server
@@ -135,8 +136,18 @@ func (s *Server) openDurability() {
 		if seq <= ckptSeq {
 			return nil // already folded into the checkpoint
 		}
+		// The WAL holds two payload encodings: binary batches from the
+		// stream plane (self-identified by wire.ObsMagic, which no JSON
+		// document can start with) and legacy JSON from the HTTP path.
 		var batch []motiondb.Observation
-		if err := json.Unmarshal(payload, &batch); err != nil {
+		if wire.IsObsPayload(payload) {
+			b, derr := wire.DecodeObservations(payload, nil)
+			if derr != nil {
+				s.met.walReplaySkipped.Inc()
+				return nil
+			}
+			batch = b
+		} else if err := json.Unmarshal(payload, &batch); err != nil {
 			s.met.walReplaySkipped.Inc()
 			return nil
 		}
@@ -160,6 +171,9 @@ func (s *Server) openDurability() {
 		s.met.walReplayed.Add(int64(replayed))
 		log.EnsureSeqAtLeast(ckptSeq)
 		s.store.log = log
+		// The group committer serves the streaming plane: appends go in
+		// with AppendNoSync and acks wait on its covering fsync.
+		s.group = wal.NewGroupCommitter(log)
 	}
 	s.retrain.initSeqs(ckptSeq)
 
@@ -206,8 +220,13 @@ func (s *Server) installCheckpoint(payload []byte) error {
 	return nil
 }
 
-// closeStore syncs and closes the WAL on shutdown.
+// closeStore syncs and closes the WAL on shutdown. The group committer
+// goes first so no fsync races the closing file (its waiters were
+// already drained when Close tore down the stream connections).
 func (s *Server) closeStore() {
+	if s.group != nil {
+		s.group.Close()
+	}
 	if s.store == nil || s.store.log == nil {
 		return
 	}

@@ -1,0 +1,78 @@
+// Allocation budget of the JSON ingest path: the pooled body/decode/
+// payload scratch must hold POST /v1/observations to a handful of
+// allocations per batch — the pre-pool handler cost ~189 allocs per
+// request, one per observation plus decoder state.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"testing"
+)
+
+// discardRW is a no-op ResponseWriter so the measurement sees the
+// handler's allocations, not a recorder's.
+type discardRW struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardRW) Header() http.Header         { return w.h }
+func (w *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardRW) WriteHeader(c int)           { w.status = c }
+
+func ingestAllocs(t *testing.T, srv *Server) float64 {
+	t.Helper()
+	pair := firstPair(t, srv.mdb)
+	batch := obsNear(srv.plan, pair[0], pair[1], 32)
+	data, err := json.Marshal(obsReq{Observations: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rdr bytes.Reader
+	u, _ := url.Parse("/v1/observations")
+	req := &http.Request{Method: http.MethodPost, URL: u, Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1}
+	w := &discardRW{h: make(http.Header)}
+	post := func() {
+		rdr.Reset(data)
+		req.Body = io.NopCloser(&rdr)
+		w.status = 0
+		srv.handleObservations(w, req)
+		if w.status != http.StatusAccepted {
+			t.Fatalf("ingest: status %d", w.status)
+		}
+		// Keep the queue from filling across thousands of runs.
+		srv.retrain.mu.Lock()
+		srv.retrain.pending = srv.retrain.pending[:0]
+		srv.retrain.mu.Unlock()
+	}
+	for i := 0; i < 16; i++ {
+		post() // warm the scratch pool
+	}
+	return testing.AllocsPerRun(200, post)
+}
+
+func TestIngestAllocBudget(t *testing.T) {
+	sys := buildSys(t)
+	srv := durableServer(t, sys, Options{})
+	defer srv.Close()
+	if allocs := ingestAllocs(t, srv); allocs > 50 {
+		t.Errorf("JSON ingest = %.1f allocs/op, want well under 50", allocs)
+	} else {
+		t.Logf("JSON ingest (in-memory): %.1f allocs/op", allocs)
+	}
+}
+
+func TestIngestAllocBudgetDurable(t *testing.T) {
+	sys := buildSys(t)
+	srv := durableServer(t, sys, Options{DataDir: t.TempDir()})
+	defer srv.Close()
+	if allocs := ingestAllocs(t, srv); allocs > 50 {
+		t.Errorf("JSON ingest (durable) = %.1f allocs/op, want well under 50", allocs)
+	} else {
+		t.Logf("JSON ingest (durable): %.1f allocs/op", allocs)
+	}
+}

@@ -46,6 +46,10 @@ const (
 	// pruning: the newest plus one fallback in case the newest is found
 	// corrupt at the next boot.
 	DefaultCheckpointRetain = 2
+	// DefaultStreamWindow caps the credit window a binary stream
+	// connection is advertised (stream.go): at most this many
+	// unacknowledged frames may be in flight per stream.
+	DefaultStreamWindow = 32
 )
 
 // Options are the serving limits of a Server. The zero value of each
@@ -91,6 +95,12 @@ type Options struct {
 	// ObsQueueCap bounds observations buffered awaiting retraining; a
 	// full queue answers 429 until a retrain drains it.
 	ObsQueueCap int
+	// StreamWindow caps the credit window advertised to binary stream
+	// clients (stream.go): the most unacknowledged observation frames a
+	// stream may keep in flight. The effective window shrinks with the
+	// retrain queue's headroom, so loaded servers throttle streams
+	// instead of shedding them.
+	StreamWindow int
 	// TrainGraph, when non-nil, attaches the walk graph to the online
 	// builder so observations between non-adjacent locations are
 	// discarded at ingest (the paper's adjacency consistency filter).
@@ -145,6 +155,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ObsQueueCap <= 0 {
 		o.ObsQueueCap = DefaultObsQueueCap
+	}
+	if o.StreamWindow <= 0 {
+		o.StreamWindow = DefaultStreamWindow
 	}
 	if o.CheckpointRetain <= 0 {
 		o.CheckpointRetain = DefaultCheckpointRetain
@@ -275,6 +288,10 @@ func (s *Server) sweepLoop() {
 // tear down live sessions; the process is expected to exit after.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.done) })
+	// The streaming plane goes first: once the WAL starts closing no
+	// handler may append, so stop accepting, sever live connections, and
+	// join every handler before touching the store.
+	s.closeStreams()
 	s.wg.Wait()
 	if _, err := s.RetrainNow(); err != nil {
 		// The final flush failing is the same class as a failed retrain:
@@ -313,5 +330,8 @@ func (s *Server) sweepOnce() int {
 	if evicted > 0 {
 		s.met.sessionsExpired.Add(int64(evicted))
 	}
+	// Stream resume state rides the same idle TTL: once no client has
+	// been connected for SessionTTL, nobody is coming back to resume.
+	s.stream.sweep(s.opts.SessionTTL, now)
 	return evicted
 }

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime/metrics"
 	"sync"
@@ -54,6 +55,13 @@ type serverMetrics struct {
 	checkpointCorrupt  *obs.Counter
 	fixesMoLoc         *obs.Counter
 	fixesFingerprint   *obs.Counter
+
+	// Streaming-plane metrics (stream.go).
+	streamConns   *obs.Counter
+	streamResumes *obs.Counter
+	streamFrames  *obs.Counter
+	streamAcks    *obs.Counter
+	streamErrors  *obs.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -88,6 +96,12 @@ func newServerMetrics() *serverMetrics {
 		checkpointCorrupt:  reg.Counter("checkpoint_corrupt_skipped"),
 		fixesMoLoc:         reg.Counter("fixes{mode=moloc}"),
 		fixesFingerprint:   reg.Counter("fixes{mode=fingerprint}"),
+
+		streamConns:   reg.Counter("stream_conns"),
+		streamResumes: reg.Counter("stream_resumes"),
+		streamFrames:  reg.Counter("stream_frames"),
+		streamAcks:    reg.Counter("stream_acks"),
+		streamErrors:  reg.Counter("stream_errors"),
 	}
 }
 
@@ -160,6 +174,39 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			s.met.request(route, sw.status, time.Since(start))
 		}()
 		h(sw, r)
+	}
+}
+
+// readBody reads the full body-capped request body into buf, reusing
+// its capacity (//moloc:reuse) — the hot-ingest alternative to
+// decodeJSON, whose per-request json.Decoder is most of that path's
+// allocations. It answers 413 for oversized bodies and 400 for read
+// failures, reporting whether the handler should proceed.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, buf []byte) ([]byte, bool) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if buf == nil {
+		buf = make([]byte, 0, 4096)
+	}
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, true
+		}
+		if err != nil {
+			var maxErr *http.MaxBytesError
+			if errors.As(err, &maxErr) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds the %d-byte cap", maxErr.Limit))
+			} else {
+				httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+			}
+			return buf, false
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"moloc/internal/floorplan"
 	"moloc/internal/localizer"
 	"moloc/internal/motiondb"
+	"moloc/internal/wire"
 )
 
 // retrainer owns the online-training state. It trains against a private
@@ -123,6 +124,33 @@ func (rt *retrainer) enqueueDurable(store *durableStore, payload []byte, obs []m
 	}
 	rt.pending = append(rt.pending, obs...)
 	return true, nil
+}
+
+// enqueueStream is the streaming twin of enqueueDurable: the append
+// skips its own fsync (wal.AppendNoSync) because the stream handler
+// releases the ack only after GroupCommitter.WaitDurable covers the
+// returned sequence — that split is what lets one fsync serve every
+// stream that raced in. Queue order still matches WAL order (both
+// happen under rt.mu). ok=false means the queue is full; the stream
+// handler blocks and retries rather than shedding.
+func (rt *retrainer) enqueueStream(store *durableStore, payload []byte, obs []motiondb.Observation) (seq uint64, ok bool, err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.pending)+len(obs) > rt.queueCap {
+		return 0, false, nil
+	}
+	if store != nil {
+		if store.log == nil {
+			return 0, false, errWALUnavailable
+		}
+		seq, err = store.log.AppendNoSync(payload)
+		if err != nil {
+			return 0, false, err
+		}
+		rt.lastSeq = seq
+	}
+	rt.pending = append(rt.pending, obs...)
+	return seq, true, nil
 }
 
 // enqueueReplay feeds one replayed WAL batch into the pending queue at
@@ -288,16 +316,40 @@ type obsResp struct {
 	Pending int `json:"pending"`
 }
 
+// obsIngestScratch is the pooled per-request state of the JSON ingest
+// path: the raw body, the decoded batch, and the WAL payload encoding.
+// All three reuse their capacity across requests (//moloc:reuse) —
+// encoding/json decodes into the retained Observations slice without
+// reallocating it — which is what holds the handler to a handful of
+// allocations per batch instead of one per observation.
+type obsIngestScratch struct {
+	body    []byte
+	req     obsReq
+	payload []byte
+}
+
+var obsIngestPool = sync.Pool{
+	New: func() interface{} { return new(obsIngestScratch) },
+}
+
 // handleObservations ingests a crowdsourced batch. The //moloc:durable
 // contract (checked by moloclint's durableack): with durability on, the
 // 202 may only be written after the batch reached the WAL.
 //
 //moloc:durable
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
-	var req obsReq
-	if !s.decodeJSON(w, r, &req) {
+	sc := obsIngestPool.Get().(*obsIngestScratch)
+	defer obsIngestPool.Put(sc)
+	var ok bool
+	if sc.body, ok = s.readBody(w, r, sc.body); !ok {
 		return
 	}
+	sc.req.Observations = sc.req.Observations[:0]
+	if err := json.Unmarshal(sc.body, &sc.req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	req := &sc.req
 	if len(req.Observations) == 0 {
 		httpError(w, http.StatusBadRequest, "no observations")
 		return
@@ -316,15 +368,14 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	// With durability on, the batch must be in the WAL before the 202:
-	// an acknowledged batch survives kill -9. Marshal outside the lock;
-	// append inside it (enqueueDurable) so log order matches queue order.
+	// an acknowledged batch survives kill -9. Encode outside the lock —
+	// in the binary wire format, which WAL replay self-identifies by its
+	// magic byte and which reuses the pooled buffer — and append inside
+	// it (enqueueDurable) so log order matches queue order.
 	var payload []byte
 	if s.store != nil {
-		var err error
-		if payload, err = json.Marshal(req.Observations); err != nil {
-			httpError(w, http.StatusInternalServerError, "encode batch: "+err.Error())
-			return
-		}
+		sc.payload = wire.AppendObservations(sc.payload[:0], req.Observations)
+		payload = sc.payload
 	}
 	ok, err := s.retrain.enqueueDurable(s.store, payload, req.Observations)
 	if err != nil {

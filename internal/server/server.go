@@ -44,6 +44,7 @@ import (
 	"moloc/internal/obs"
 	"moloc/internal/sensors"
 	"moloc/internal/tracker"
+	"moloc/internal/wal"
 )
 
 // Server hosts tracking sessions over one deployment's databases.
@@ -61,6 +62,9 @@ type Server struct {
 	// store holds the durability handles (durability.go); nil when
 	// Options.DataDir is empty and the server runs in-memory only.
 	store *durableStore
+	// group amortizes WAL fsyncs across concurrent stream connections
+	// (wal.GroupCommitter); nil when store is nil.
+	group *wal.GroupCommitter
 	// state is the degradation-ladder position (stateOK, stateDegraded,
 	// stateRecovering), read lock-free by every tick and written on
 	// durability transitions.
@@ -79,6 +83,11 @@ type Server struct {
 	stopOnce  sync.Once
 	done      chan struct{}
 	wg        sync.WaitGroup
+
+	// stream is the streaming plane's registry (stream.go); its mutable
+	// state is guarded by its own mutex, so like plan/src/mdb it sits
+	// above s.mu.
+	stream streamPlane
 
 	mu       sync.Mutex
 	nextID   int
@@ -132,6 +141,7 @@ func NewWithOptions(plan *floorplan.Plan, src fingerprint.CandidateSource, numAP
 		done:     make(chan struct{}),
 		sessions: make(map[string]*session),
 	}
+	s.stream.init()
 	s.snap.Store(cmp)
 	if o.DataDir != "" {
 		s.openDurability()
@@ -224,11 +234,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	gst := s.GroupStats()
 	writeJSON(w, http.StatusOK, metricsResp{
-		Sessions: s.NumSessions(),
-		State:    s.ServingState(),
-		Snapshot: s.met.reg.Snapshot(),
+		Sessions:        s.NumSessions(),
+		State:           s.ServingState(),
+		WALGroupSyncs:   gst.Syncs,
+		WALGroupBatches: gst.Batches,
+		Snapshot:        s.met.reg.Snapshot(),
 	})
+}
+
+// GroupStats snapshots the WAL group committer's amortization counters
+// (zero when durability is off).
+func (s *Server) GroupStats() wal.GroupStats {
+	if s.group == nil {
+		return wal.GroupStats{}
+	}
+	return s.group.Stats()
 }
 
 // createReq is the session-creation body.
@@ -336,6 +358,11 @@ type sessionResp struct {
 type metricsResp struct {
 	Sessions int    `json:"sessions"`
 	State    string `json:"state"`
+	// Group-commit amortization (stream ingest): how many fsyncs the
+	// committer issued and how many acked batches they covered.
+	// Batches/Syncs is the factor the streaming plane exists for.
+	WALGroupSyncs   uint64 `json:"wal_group_syncs"`
+	WALGroupBatches uint64 `json:"wal_group_batches"`
 	obs.Snapshot
 }
 

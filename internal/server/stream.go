@@ -1,0 +1,582 @@
+// Binary streaming ingest: the server side of internal/wire. A phone
+// (or fleet pipeline) opens one persistent connection to the dedicated
+// stream listener (molocd -stream-addr), hellos a resumable stream ID,
+// and pipelines observation batches — each one appended to the WAL
+// without its own fsync (wal.AppendNoSync) and acknowledged only after
+// the group committer's covering fsync. The handler drains every frame
+// already buffered on the connection before committing, so one fsync —
+// and one ack frame — covers an entire burst; across connections the
+// group committer amortizes further. Backpressure is credit-based: each
+// ack advertises how many frames the server is willing to buffer,
+// derived from the retrain queue's headroom, instead of the HTTP path's
+// 429 shedding.
+//
+// Durability contract (same //moloc:durable invariant as the HTTP
+// path): an acked frame's batch is in the WAL with a completed covering
+// fsync under -fsync always, so kill -9 after an ack can never lose it.
+// Within a live stream session frames are deduplicated by sequence
+// number (exactly-once into the queue); after a server restart the
+// stream registry is empty and the client resends its unacked tail
+// (at-least-once into the database, never a loss).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"moloc/internal/fingerprint"
+	"moloc/internal/motiondb"
+	"moloc/internal/sensors"
+	"moloc/internal/tracker"
+	"moloc/internal/wire"
+)
+
+// streamSession is the server-side resume state of one stream ID: the
+// highest frame sequence acknowledged durable, for dedup and the
+// hello-ack resume point. It outlives connections (reconnects resume
+// it) and is pruned by the session sweeper once idle.
+type streamSession struct {
+	id string
+
+	mu         sync.Mutex
+	lastAcked  uint64
+	lastActive time.Time
+	conns      int
+}
+
+func (st *streamSession) acked() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastAcked
+}
+
+func (st *streamSession) setAcked(seq uint64, now time.Time) {
+	st.mu.Lock()
+	if seq > st.lastAcked {
+		st.lastAcked = seq
+	}
+	st.lastActive = now
+	st.mu.Unlock()
+}
+
+// idle reports whether the stream has no live connection and has been
+// inactive past ttl.
+func (st *streamSession) idle(ttl time.Duration, now time.Time) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.conns == 0 && now.Sub(st.lastActive) >= ttl
+}
+
+// streamPlane is the streaming plane's registry: listeners and
+// connections tracked for shutdown, plus the resumable per-stream ack
+// state. It lives inside Server as a value with its own mutex so the
+// serving path's s.mu never contends with accept/teardown traffic.
+type streamPlane struct {
+	mu       sync.Mutex
+	closed   bool
+	lns      map[net.Listener]struct{}
+	conns    map[net.Conn]struct{}
+	sessions map[string]*streamSession
+	wg       sync.WaitGroup
+}
+
+func (sp *streamPlane) init() {
+	sp.mu.Lock()
+	sp.lns = make(map[net.Listener]struct{})
+	sp.conns = make(map[net.Conn]struct{})
+	sp.sessions = make(map[string]*streamSession)
+	sp.mu.Unlock()
+}
+
+// sessionFor resolves (or creates) the stream session for id, attaching
+// this connection. resumed reports whether the ID was already known —
+// i.e. the client is reconnecting with resume.
+func (sp *streamPlane) sessionFor(id string, now time.Time) (st *streamSession, resumed bool) {
+	sp.mu.Lock()
+	st, resumed = sp.sessions[id]
+	if st == nil {
+		st = &streamSession{id: id, lastActive: now}
+		sp.sessions[id] = st
+	}
+	sp.mu.Unlock()
+	st.mu.Lock()
+	st.conns++
+	st.lastActive = now
+	st.mu.Unlock()
+	return st, resumed
+}
+
+// release detaches a connection from its stream session.
+func (sp *streamPlane) release(st *streamSession) {
+	st.mu.Lock()
+	st.conns--
+	st.mu.Unlock()
+}
+
+// sweep drops stream sessions idle beyond ttl (their resume state is
+// only worth keeping while a client might come back). Called from the
+// server's sweepOnce.
+func (sp *streamPlane) sweep(ttl time.Duration, now time.Time) int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	pruned := 0
+	for id, st := range sp.sessions {
+		if st.idle(ttl, now) {
+			delete(sp.sessions, id)
+			pruned++
+		}
+	}
+	return pruned
+}
+
+// register adds an accept listener, refusing when the plane is already
+// shut down.
+func (sp *streamPlane) register(ln net.Listener) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return false
+	}
+	sp.lns[ln] = struct{}{}
+	return true
+}
+
+func (sp *streamPlane) unregister(ln net.Listener) {
+	sp.mu.Lock()
+	delete(sp.lns, ln)
+	sp.mu.Unlock()
+}
+
+// track admits one accepted connection into the shutdown set and
+// reserves its handler in the waitgroup; false means the plane closed
+// while the accept was in flight and the caller must drop the conn.
+func (sp *streamPlane) track(conn net.Conn) bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.closed {
+		return false
+	}
+	sp.conns[conn] = struct{}{}
+	sp.wg.Add(1)
+	return true
+}
+
+// done removes a finished connection from the shutdown set and retires
+// its handler's waitgroup slot.
+func (sp *streamPlane) done(conn net.Conn) {
+	sp.mu.Lock()
+	delete(sp.conns, conn)
+	sp.mu.Unlock()
+	sp.wg.Done()
+}
+
+// isClosed reports whether the plane has begun shutdown.
+func (sp *streamPlane) isClosed() bool {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.closed
+}
+
+// closeAll tears down the streaming plane: stop accepting, close every
+// live connection, and join the handlers.
+func (sp *streamPlane) closeAll() {
+	sp.mu.Lock()
+	sp.closed = true
+	for ln := range sp.lns {
+		//lint:ignore errdrop the listener is being torn down; nothing can act on the error
+		_ = ln.Close()
+	}
+	for conn := range sp.conns {
+		//lint:ignore errdrop the handler sees the reset and exits; the close error is moot
+		_ = conn.Close()
+	}
+	sp.mu.Unlock()
+	sp.wg.Wait()
+}
+
+// streamWindow derives the credit window from the retrain queue's
+// headroom: full batches the queue can still absorb, capped by
+// Options.StreamWindow and floored at 1 so a loaded server slows
+// clients down rather than wedging them (a stalled enqueue blocks in
+// acceptStreamBatch, which is what the window is trying to prevent
+// getting deep).
+func (s *Server) streamWindow() uint32 {
+	w := (s.opts.ObsQueueCap - s.retrain.pendingLen()) / s.opts.MaxObsBatch
+	if w < 1 {
+		w = 1
+	}
+	if w > s.opts.StreamWindow {
+		w = s.opts.StreamWindow
+	}
+	return uint32(w)
+}
+
+// ServeStreams accepts stream connections on ln until the listener
+// closes (Close closes every registered listener). It blocks like
+// http.Serve; run it on its own goroutine.
+func (s *Server) ServeStreams(ln net.Listener) error {
+	if !s.stream.register(ln) {
+		//lint:ignore errdrop refusing a post-shutdown listener; its close error changes nothing
+		_ = ln.Close()
+		return errors.New("server: shutting down")
+	}
+	defer s.stream.unregister(ln)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.stream.isClosed() {
+				return nil
+			}
+			return err
+		}
+		if !s.stream.track(conn) {
+			//lint:ignore errdrop shutdown raced the accept; the conn is abandoned either way
+			_ = conn.Close()
+			return nil
+		}
+		go s.handleStreamConn(conn)
+	}
+}
+
+// closeStreams tears down the streaming plane. Called by Close before
+// the WAL is closed so no handler can append to a closed log.
+func (s *Server) closeStreams() {
+	s.stream.closeAll()
+}
+
+// handleStreamConn owns one connection: hello handshake, then the
+// drain-and-commit frame loop.
+func (s *Server) handleStreamConn(conn net.Conn) {
+	defer s.stream.done(conn)
+	defer conn.Close()
+	s.met.streamConns.Inc()
+
+	rd := wire.NewReader(conn, wire.DefaultMaxPayload)
+	wr := wire.NewWriter(conn)
+
+	fr, err := rd.ReadFrame()
+	if err != nil {
+		s.met.streamErrors.Inc()
+		return
+	}
+	if fr.Type != wire.FrameHello {
+		s.streamFail(wr, fr.Seq, "expected hello frame")
+		return
+	}
+	streamID, sessionID, err := wire.DecodeHello(fr.Payload)
+	if err != nil || streamID == "" {
+		s.streamFail(wr, fr.Seq, "bad hello: missing stream id")
+		return
+	}
+	var ss *session
+	if sessionID != "" {
+		s.mu.Lock()
+		ss = s.sessions[sessionID]
+		s.mu.Unlock()
+		if ss == nil {
+			s.streamFail(wr, fr.Seq, "unknown session "+sessionID)
+			return
+		}
+	}
+	now := s.opts.Now()
+	st, resumed := s.stream.sessionFor(streamID, now)
+	defer s.stream.release(st)
+	if resumed {
+		s.met.streamResumes.Inc()
+	}
+	// The hello-ack's sequence is the resume point: the client drops
+	// every pending frame at or below it and resends the rest.
+	wr.WriteFrame(wire.FrameHelloAck, st.acked(), wire.AppendWindow(nil, s.streamWindow()))
+	if err := wr.Flush(); err != nil {
+		s.met.streamErrors.Inc()
+		return
+	}
+	if err := s.serveStreamFrames(rd, wr, st, ss); err != nil {
+		s.met.streamErrors.Inc()
+	}
+}
+
+// streamFail answers a protocol violation with an error frame and gives
+// up on the connection.
+func (s *Server) streamFail(wr *wire.Writer, seq uint64, msg string) {
+	s.met.streamErrors.Inc()
+	wr.WriteError(seq, msg)
+	//lint:ignore errdrop the connection is being abandoned either way
+	_ = wr.Flush()
+}
+
+// streamScratch is the per-connection reused decode state: observation,
+// IMU, and scan slices frames decode into. One connection serves one
+// frame at a time, so a single set suffices and steady-state frames
+// allocate nothing.
+//
+type streamScratch struct {
+	//moloc:reuse
+	obs []motiondb.Observation
+	//moloc:reuse
+	imu []sensors.Sample
+	//moloc:reuse
+	rss []float64
+}
+
+// serveStreamFrames is the connection's frame loop, and the streaming
+// twin of handleObservations' durability contract: acks are released
+// (commitStreamAcks → wire.Writer.WriteAck) only after the batches they
+// cover were appended to the WAL (acceptStreamBatch → wal.AppendNoSync)
+// and the covering fsync completed (GroupCommitter.WaitDurable). The
+// drain-then-commit shape — accept every fully buffered frame, then
+// commit once — is what batches a burst under a single fsync.
+//
+//moloc:durable
+func (s *Server) serveStreamFrames(rd *wire.Reader, wr *wire.Writer, st *streamSession, ss *session) error {
+	var (
+		scratch    streamScratch
+		ackSeq     uint64 // highest frame sequence to acknowledge at the next commit
+		ackWALSeq  uint64 // WAL sequence whose durability must cover that ack
+		connExpect uint64 // next expected obs frame sequence on this connection
+	)
+	for {
+		fr, err := rd.ReadFrame()
+		if err != nil {
+			// EOF and reset are how clients hang up; only mid-frame
+			// garbage is a protocol error, and either way the connection
+			// is done. Unacked-but-appended batches are not lost: they
+			// replay from the WAL, and the client resends them on resume
+			// (dedup via st.lastAcked).
+			return nil
+		}
+		s.met.streamFrames.Inc()
+		switch fr.Type {
+		case wire.FrameObsBatch:
+			accepted, err := s.acceptStreamBatch(st, fr, &scratch, &connExpect)
+			if err != nil {
+				s.streamFail(wr, fr.Seq, err.Error())
+				return err
+			}
+			if accepted > ackWALSeq {
+				ackWALSeq = accepted
+			}
+			if fr.Seq > ackSeq {
+				ackSeq = fr.Seq
+			}
+			if dup := st.acked(); ackSeq < dup {
+				ackSeq = dup // duplicate of an acked frame: re-ack
+			}
+		case wire.FrameIMUBatch:
+			if err := s.streamIMU(ss, fr, &scratch); err != nil {
+				s.streamFail(wr, fr.Seq, err.Error())
+				return err
+			}
+		case wire.FrameScan:
+			if err := s.streamScan(ss, fr, &scratch); err != nil {
+				s.streamFail(wr, fr.Seq, err.Error())
+				return err
+			}
+		case wire.FrameTick:
+			if err := s.streamTick(ss, wr, fr); err != nil {
+				s.streamFail(wr, fr.Seq, err.Error())
+				return err
+			}
+		default:
+			err := fmt.Errorf("unexpected frame type %d", fr.Type)
+			s.streamFail(wr, fr.Seq, err.Error())
+			return err
+		}
+		// Drain-then-commit: only when no complete frame is already
+		// buffered does the covering fsync run and the cumulative ack go
+		// out — one ack (and at most one fsync wait) per burst.
+		if ackSeq > 0 && !rd.FrameBuffered() {
+			if err := s.commitStreamAcks(wr, st, ackSeq, ackWALSeq); err != nil {
+				return err
+			}
+			ackSeq, ackWALSeq = 0, 0
+		}
+	}
+}
+
+// acceptStreamBatch decodes, validates, and durably enqueues one
+// observation-batch frame. The frame's payload bytes become the WAL
+// record payload unchanged (no re-encode); the append itself skips the
+// fsync (wal.AppendNoSync), which commitStreamAcks waits on. Returns
+// the WAL sequence to cover (0 for duplicates or with durability off).
+// Invalid observations inside a batch are dropped and counted, same as
+// WAL replay — a poison observation must not wedge the stream's resend
+// loop. A full queue blocks here (backpressure), shedding only at
+// server shutdown.
+func (s *Server) acceptStreamBatch(st *streamSession, fr wire.Frame, scratch *streamScratch, connExpect *uint64) (uint64, error) {
+	if fr.Seq <= st.acked() {
+		return 0, nil // duplicate of an acknowledged frame; caller re-acks
+	}
+	if *connExpect != 0 && fr.Seq != *connExpect {
+		return 0, fmt.Errorf("frame sequence gap: got %d, expected %d", fr.Seq, *connExpect)
+	}
+	obs, err := wire.DecodeObservations(fr.Payload, scratch.obs)
+	if err != nil {
+		return 0, fmt.Errorf("observation batch %d: %w", fr.Seq, err)
+	}
+	scratch.obs = obs
+	if len(obs) > s.opts.MaxObsBatch {
+		return 0, fmt.Errorf("batch of %d observations exceeds the %d cap", len(obs), s.opts.MaxObsBatch)
+	}
+	numLocs := s.plan.NumLocs()
+	valid := obs[:0]
+	droppedHere := 0
+	for _, o := range obs {
+		if validateObservation(o, numLocs) != nil {
+			droppedHere++
+			continue
+		}
+		valid = append(valid, o)
+	}
+	if droppedHere > 0 {
+		s.met.observationsDropped.Add(int64(droppedHere))
+	}
+	for {
+		seq, ok, err := s.retrain.enqueueStream(s.store, fr.Payload, valid)
+		if err != nil {
+			s.met.walAppendErrors.Inc()
+			s.setState(stateDegraded)
+			return 0, fmt.Errorf("observation log unavailable: %w", err)
+		}
+		if ok {
+			*connExpect = fr.Seq + 1
+			if s.store != nil {
+				s.met.walAppends.Inc()
+			}
+			s.met.observationsIn.Add(int64(len(valid)))
+			return seq, nil
+		}
+		// Queue full: hold the frame (credit already throttles the
+		// client; this is the backstop) until a retrain drains it or the
+		// server shuts down.
+		if s.waitDone(2 * time.Millisecond) {
+			return 0, errors.New("server shutting down")
+		}
+	}
+}
+
+// commitStreamAcks waits for the covering fsync and releases the
+// cumulative ack. Per the //moloc:durable contract this is the only
+// place stream acks are written, and it runs strictly after the
+// covered appends (lexically and dynamically).
+func (s *Server) commitStreamAcks(wr *wire.Writer, st *streamSession, ackSeq, ackWALSeq uint64) error {
+	if s.group != nil && ackWALSeq > 0 {
+		if err := s.group.WaitDurable(ackWALSeq); err != nil {
+			// The covering fsync failed: the frames must not be acked.
+			// Degrade exactly as the HTTP path does on an append error.
+			s.met.walAppendErrors.Inc()
+			s.setState(stateDegraded)
+			return err
+		}
+	}
+	now := s.opts.Now()
+	st.setAcked(ackSeq, now)
+	wr.WriteAck(ackSeq, s.streamWindow())
+	s.met.streamAcks.Inc()
+	return wr.Flush()
+}
+
+// streamIMU feeds an IMU-batch frame to the scoped tracking session via
+// the sharded worker pool (same queueing discipline as the HTTP path).
+func (s *Server) streamIMU(ss *session, fr wire.Frame, scratch *streamScratch) error {
+	if ss == nil {
+		return errors.New("imu frame on a stream with no tracking session")
+	}
+	samples, err := wire.DecodeIMU(fr.Payload, scratch.imu)
+	if err != nil {
+		return fmt.Errorf("imu frame %d: %w", fr.Seq, err)
+	}
+	scratch.imu = samples
+	if len(samples) > s.opts.MaxIMUBatch {
+		return fmt.Errorf("imu batch of %d samples exceeds the %d-sample cap", len(samples), s.opts.MaxIMUBatch)
+	}
+	return s.runStreamSharded(ss, func(tk *tracker.Tracker) {
+		for _, smp := range samples {
+			tk.AddIMU(smp)
+		}
+	})
+}
+
+// streamScan feeds one scan frame to the scoped tracking session.
+func (s *Server) streamScan(ss *session, fr wire.Frame, scratch *streamScratch) error {
+	if ss == nil {
+		return errors.New("scan frame on a stream with no tracking session")
+	}
+	t, rss, err := wire.DecodeScan(fr.Payload, scratch.rss)
+	if err != nil {
+		return fmt.Errorf("scan frame %d: %w", fr.Seq, err)
+	}
+	scratch.rss = rss
+	if len(rss) != s.numAPs {
+		return fmt.Errorf("scan has %d APs, deployment has %d", len(rss), s.numAPs)
+	}
+	return s.runStreamSharded(ss, func(tk *tracker.Tracker) {
+		tk.AddScan(t, fingerprint.Fingerprint(rss))
+	})
+}
+
+// streamTick advances the scoped session and answers FrameFix or
+// FrameNoFix with the tick frame's sequence.
+func (s *Server) streamTick(ss *session, wr *wire.Writer, fr wire.Frame) error {
+	if ss == nil {
+		return errors.New("tick frame on a stream with no tracking session")
+	}
+	t, err := wire.DecodeTick(fr.Payload)
+	if err != nil {
+		return err
+	}
+	var (
+		fix    tracker.Fix
+		gotFix bool
+	)
+	fpOnly := s.fingerprintOnly()
+	if err := s.runStreamSharded(ss, func(tk *tracker.Tracker) {
+		tk.SetFingerprintOnly(fpOnly)
+		fix, gotFix = tk.Tick(t)
+	}); err != nil {
+		return err
+	}
+	if !gotFix {
+		wr.WriteFrame(wire.FrameNoFix, fr.Seq, nil)
+		return wr.Flush()
+	}
+	if fix.Mode == tracker.ModeFingerprint {
+		s.met.fixesFingerprint.Inc()
+	} else {
+		s.met.fixesMoLoc.Inc()
+	}
+	wr.WriteFrame(wire.FrameFix, fr.Seq, wire.AppendFix(nil, fix.T, fix.Loc, fix.Moved))
+	return wr.Flush()
+}
+
+// runStreamSharded is runSharded for the streaming plane: same worker
+// pool, same panic recovery, error return instead of HTTP status.
+func (s *Server) runStreamSharded(ss *session, fn func(tk *tracker.Tracker)) error {
+	now := s.opts.Now()
+	alive := false
+	panicked := true
+	if !s.pool.run(ss.id, func() {
+		defer func() {
+			if !panicked {
+				return
+			}
+			if rec := recover(); rec != nil {
+				s.met.panicsRecovered.Inc()
+			}
+		}()
+		alive = ss.withTracker(now, fn)
+		panicked = false
+	}) {
+		return errors.New("server shutting down")
+	}
+	if panicked {
+		return errors.New("internal error")
+	}
+	if !alive {
+		return errors.New("session expired")
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+// Streaming-ingest tests: the binary frame plane end to end — durable
+// acks through the group committer, crash recovery with zero
+// acked-but-lost records, session tracking over the stream, and the
+// protocol's dedup/gap discipline.
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"moloc/internal/sensors"
+	"moloc/internal/stats"
+	"moloc/internal/wire"
+)
+
+// startStream exposes srv's streaming plane on a loopback listener and
+// returns its address. The accept loop exits when Close tears the
+// listener down; errc keeps the goroutine joinable by the test.
+func startStream(t *testing.T, srv *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ServeStreams(ln) }()
+	t.Cleanup(func() {
+		if err := <-errc; err != nil {
+			t.Errorf("ServeStreams: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+func TestStreamIngestDurableAck(t *testing.T) {
+	sys := buildSys(t)
+	dir := t.TempDir()
+	srv := durableServer(t, sys, Options{DataDir: dir})
+	defer srv.Close()
+	addr := startStream(t, srv)
+
+	pair := firstPair(t, sys.MDB)
+	batch := obsNear(sys.Plan, pair[0], pair[1], 20)
+
+	c, err := wire.DialStream(addr, "phone-1", wire.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const frames = 8
+	for i := 0; i < frames; i++ {
+		if err := c.SendObservations(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitAcked(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Acked(); got != frames {
+		t.Fatalf("acked %d frames, want %d", got, frames)
+	}
+	if got := srv.retrain.pendingLen(); got != frames*len(batch) {
+		t.Fatalf("pending %d observations, want %d", got, frames*len(batch))
+	}
+	gst := srv.GroupStats()
+	if gst.Batches == 0 || gst.Syncs == 0 {
+		t.Fatalf("group commit idle: %+v", gst)
+	}
+	if gst.Syncs > gst.Batches {
+		t.Fatalf("more syncs (%d) than batches (%d)", gst.Syncs, gst.Batches)
+	}
+	if srv.met.streamAcks.Value() == 0 || srv.met.streamConns.Value() != 1 {
+		t.Fatalf("stream metrics: acks=%d conns=%d",
+			srv.met.streamAcks.Value(), srv.met.streamConns.Value())
+	}
+	if _, err := srv.RetrainNow(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamCrashRecoveryNoAckedLoss is the durable-ack invariant on
+// the stream plane: every acknowledged frame survives a crash (a server
+// abandoned without Close) and replays on the next boot.
+func TestStreamCrashRecoveryNoAckedLoss(t *testing.T) {
+	sys := buildSys(t)
+	dir := t.TempDir()
+	srv := durableServer(t, sys, Options{DataDir: dir})
+	addr := startStream(t, srv)
+
+	pair := firstPair(t, sys.MDB)
+	batch := obsNear(sys.Plan, pair[0], pair[1], 10)
+
+	c, err := wire.DialStream(addr, "phone-crash", wire.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 5
+	for i := 0; i < frames; i++ {
+		if err := c.SendObservations(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitAcked(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Crash: no Close, no flush, no checkpoint. Only the stream Close
+	// path is exercised so the listener goroutine can be joined.
+	srv.closeStreams()
+
+	srv2 := durableServer(t, sys, Options{DataDir: dir})
+	defer srv2.Close()
+	if got := srv2.met.walReplayed.Value(); got != frames*int64(len(batch)) {
+		t.Fatalf("replayed %d observations, want %d (acked must never be lost)",
+			got, frames*len(batch))
+	}
+}
+
+// TestStreamResumeRedelivers: after a server restart the stream
+// registry is gone, the replacement hello-acks sequence 0, and the
+// client carries on — its acked tail is already in the WAL, its unacked
+// tail gets resent. At-least-once, never loss.
+func TestStreamResumeRedelivers(t *testing.T) {
+	sys := buildSys(t)
+	dir := t.TempDir()
+	srv := durableServer(t, sys, Options{DataDir: dir})
+	addr := startStream(t, srv)
+
+	pair := firstPair(t, sys.MDB)
+	batch := obsNear(sys.Plan, pair[0], pair[1], 4)
+
+	// The dial target is swapped when the replacement server comes up.
+	var mu sync.Mutex
+	curAddr := addr
+	c, err := wire.DialStream("", "phone-resume", wire.ClientOptions{
+		RedialAttempts: 3,
+		Dial: func() (net.Conn, error) {
+			mu.Lock()
+			a := curAddr
+			mu.Unlock()
+			return net.Dial("tcp", a)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SendObservations(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitAcked(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the first server (stream plane torn down so its goroutines
+	// join; everything else abandoned) and boot a replacement on the
+	// same data directory.
+	srv.closeStreams()
+	srv2 := durableServer(t, sys, Options{DataDir: dir})
+	defer srv2.Close()
+	if got := srv2.met.walReplayed.Value(); got != int64(len(batch)) {
+		t.Fatalf("replayed %d observations, want %d", got, len(batch))
+	}
+	mu.Lock()
+	curAddr = startStream(t, srv2)
+	mu.Unlock()
+
+	// The old conn was severed; the next send redials, resumes, and the
+	// new frame lands past the acked one.
+	if err := c.SendObservations(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitAcked(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Resumes() != 1 {
+		t.Fatalf("resumes = %d, want 1", c.Resumes())
+	}
+	if got := c.Acked(); got != 2 {
+		t.Fatalf("acked = %d, want 2", got)
+	}
+}
+
+// TestStreamSessionTracking drives a full localization interval over
+// the stream plane: IMU batch, scan, tick, fix reply.
+func TestStreamSessionTracking(t *testing.T) {
+	sys := buildSys(t)
+	srv := durableServer(t, sys, Options{}) // in-memory: acks without WAL
+	defer srv.Close()
+	addr := startStream(t, srv)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := postJSON(t, ts, "/v1/sessions", createReq{HeightM: 1.71, WeightKg: 68})
+	if resp.StatusCode != 201 {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	var created createResp
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := wire.DialStream(addr, "phone-track", wire.ClientOptions{SessionID: created.SessionID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	g, err := sensors.NewGenerator(sys.Config.Sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := 1
+	samples, _ := g.Walk(nil, 0, 4, 1.8, 90, sensors.Device{}, 0, stats.NewRNG(7))
+	if err := c.SendIMU(samples); err != nil {
+		t.Fatal(err)
+	}
+	rss := sys.Model.Sample(sys.Plan.LocPos(loc), stats.NewRNG(107))
+	if err := c.SendScan(1, rss); err != nil {
+		t.Fatal(err)
+	}
+	fixLoc, _, ok, err := c.Tick(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("tick produced no fix despite a scan in the interval")
+	}
+	if fixLoc < 1 || fixLoc > sys.Plan.NumLocs() {
+		t.Fatalf("fix location %d out of range [1,%d]", fixLoc, sys.Plan.NumLocs())
+	}
+	// An unknown session must be refused at hello.
+	if _, err := wire.DialStream(addr, "phone-bad", wire.ClientOptions{SessionID: "nope"}); err == nil {
+		t.Fatal("hello with unknown session succeeded")
+	}
+}
+
+// TestStreamDuplicateAndGap drives the raw protocol: a duplicate frame
+// is re-acked without re-enqueueing, and a sequence gap kills the
+// connection with an error frame.
+func TestStreamDuplicateAndGap(t *testing.T) {
+	sys := buildSys(t)
+	srv := durableServer(t, sys, Options{})
+	defer srv.Close()
+	addr := startStream(t, srv)
+
+	pair := firstPair(t, sys.MDB)
+	batch := obsNear(sys.Plan, pair[0], pair[1], 3)
+	payload := wire.AppendObservations(nil, batch)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := wire.NewReader(conn, 0)
+	wr := wire.NewWriter(conn)
+
+	hello := func() {
+		wr.WriteFrame(wire.FrameHello, 0, wire.AppendHello(nil, "raw-stream", ""))
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		fr, err := rd.ReadFrame()
+		if err != nil || fr.Type != wire.FrameHelloAck {
+			t.Fatalf("hello-ack: %v type %d", err, fr.Type)
+		}
+	}
+	sendObs := func(seq uint64) wire.Frame {
+		wr.WriteFrame(wire.FrameObsBatch, seq, payload)
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		fr, err := rd.ReadFrame()
+		if err != nil {
+			t.Fatalf("reply to seq %d: %v", seq, err)
+		}
+		return fr
+	}
+
+	hello()
+	if fr := sendObs(1); fr.Type != wire.FrameAck || fr.Seq != 1 {
+		t.Fatalf("first frame: type %d seq %d", fr.Type, fr.Seq)
+	}
+	before := srv.retrain.pendingLen()
+	if fr := sendObs(1); fr.Type != wire.FrameAck || fr.Seq != 1 {
+		t.Fatalf("duplicate: type %d seq %d", fr.Type, fr.Seq)
+	}
+	if got := srv.retrain.pendingLen(); got != before {
+		t.Fatalf("duplicate frame re-enqueued: pending %d -> %d", before, got)
+	}
+	if fr := sendObs(5); fr.Type != wire.FrameError {
+		t.Fatalf("gap: got frame type %d, want error", fr.Type)
+	}
+
+	// Fresh connection, same stream: resumes at the acked frame, and a
+	// frame the stream already acked is tolerated.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	rd, wr = wire.NewReader(conn2, 0), wire.NewWriter(conn2)
+	wr.WriteFrame(wire.FrameHello, 0, wire.AppendHello(nil, "raw-stream", ""))
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := rd.ReadFrame()
+	if err != nil || fr.Type != wire.FrameHelloAck || fr.Seq != 1 {
+		t.Fatalf("resume hello-ack: %v type %d seq %d", err, fr.Type, fr.Seq)
+	}
+}

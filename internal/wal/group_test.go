@@ -1,0 +1,226 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"moloc/internal/fault"
+)
+
+// countingFS wraps a fault.FS and counts file Syncs, to measure how
+// many fsyncs a workload actually issued.
+type countingFS struct {
+	fault.FS
+	syncs atomic.Int64
+}
+
+func (c *countingFS) OpenFile(name string, flag int, perm os.FileMode) (fault.File, error) {
+	f, err := c.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{File: f, syncs: &c.syncs}, nil
+}
+
+type countingFile struct {
+	fault.File
+	syncs *atomic.Int64
+}
+
+func (f *countingFile) Sync() error {
+	f.syncs.Add(1)
+	// A tmpfs fsync returns in microseconds, which starves the group of
+	// time to form; hold the sync for a disk-realistic latency so the
+	// amortization the committer exists for is observable and the test
+	// deterministic.
+	time.Sleep(500 * time.Microsecond)
+	return f.File.Sync()
+}
+
+func TestGroupCommitDurableAndOrdered(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupCommitter(l)
+
+	const workers = 16
+	const perWorker = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				seq, err := l.AppendNoSync([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := g.WaitDurable(seq); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := g.Stats()
+	if st.Batches != workers*perWorker {
+		t.Fatalf("batches = %d, want %d", st.Batches, workers*perWorker)
+	}
+	if st.Syncs == 0 || st.Syncs > st.Batches {
+		t.Fatalf("syncs = %d for %d batches", st.Syncs, st.Batches)
+	}
+	g.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every acknowledged record replays.
+	var replayed int
+	l2, err := Open(dir, Options{}, func(seq uint64, payload []byte) error {
+		replayed++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if replayed != workers*perWorker {
+		t.Fatalf("replayed %d records, want %d", replayed, workers*perWorker)
+	}
+}
+
+// TestGroupCommitAmortizes pins the point of the committer: N
+// concurrent appenders share far fewer than N fsyncs.
+func TestGroupCommitAmortizes(t *testing.T) {
+	cfs := &countingFS{FS: fault.Disk{}}
+	l, err := Open(t.TempDir(), Options{Policy: SyncAlways, FS: cfs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupCommitter(l)
+
+	const workers = 32
+	const rounds = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload := []byte("batch-payload")
+			for i := 0; i < rounds; i++ {
+				seq, err := l.AppendNoSync(payload)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := g.WaitDurable(seq); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := g.Stats()
+	g.Close()
+	l.Close()
+	if st.Syncs == 0 {
+		t.Fatal("no syncs issued")
+	}
+	ratio := float64(st.Batches) / float64(st.Syncs)
+	t.Logf("batches=%d syncs=%d ratio=%.1f", st.Batches, st.Syncs, ratio)
+	// 32 concurrent appenders against one committer must amortize well
+	// past the acceptance floor of 5 batches per fsync.
+	if ratio < 5 {
+		t.Fatalf("batches/fsync = %.1f, want >= 5 at %d concurrent appenders", ratio, workers)
+	}
+}
+
+// TestGroupCommitSyncErrorBlocksAck: a failed covering fsync must
+// surface to the waiter (no ack), per the durable-ack invariant.
+func TestGroupCommitSyncErrorBlocksAck(t *testing.T) {
+	// The first fsync (covering the first append) succeeds; the second
+	// fails once; later syncs succeed again.
+	inj := fault.NewInjector(fault.Disk{}, fault.Rule{Op: fault.OpSync, After: 1, Count: 1})
+	l, err := Open(t.TempDir(), Options{Policy: SyncAlways, FS: inj}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupCommitter(l)
+	defer l.Close()
+	defer g.Close()
+
+	seq, err := l.AppendNoSync([]byte("will sync fine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitDurable(seq); err != nil {
+		t.Fatalf("clean sync: %v", err)
+	}
+
+	seq, err = l.AppendNoSync([]byte("sync will fail"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitDurable(seq); err == nil {
+		t.Fatal("WaitDurable returned nil despite failed covering fsync")
+	}
+
+	// The fault is transient: the next append's sync succeeds and acks
+	// flow again.
+	seq, err = l.AppendNoSync([]byte("healed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitDurable(seq); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+// TestGroupCommitIntervalPolicy: under SyncInterval WaitDurable must
+// not block on an fsync — acks may precede durability by SyncEvery.
+func TestGroupCommitIntervalPolicy(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Policy: SyncInterval}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupCommitter(l)
+	defer l.Close()
+	defer g.Close()
+	seq, err := l.AppendNoSync([]byte("interval"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitDurable(seq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitClose: waiters blocked at Close get ErrClosed, and
+// Close joins the committer (no goroutine leak under -race).
+func TestGroupCommitClose(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Policy: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupCommitter(l)
+	g.Close()
+	if err := g.WaitDurable(1); err != ErrClosed {
+		t.Fatalf("after close: %v, want ErrClosed", err)
+	}
+	l.Close()
+}

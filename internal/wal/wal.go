@@ -329,6 +329,43 @@ func (l *Log) EnsureSeqAtLeast(seq uint64) {
 func (l *Log) Append(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	seq, err := l.appendLocked(payload)
+	if err != nil {
+		return 0, err
+	}
+	switch l.o.Policy {
+	case SyncAlways:
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.lastSync = l.o.Now()
+	case SyncInterval:
+		if now := l.o.Now(); now.Sub(l.lastSync) >= l.o.SyncEvery {
+			if err := l.f.Sync(); err != nil {
+				return 0, fmt.Errorf("wal: fsync: %w", err)
+			}
+			l.lastSync = now
+		}
+	}
+	return seq, nil
+}
+
+// AppendNoSync writes one record without making it durable: the write
+// lands in the active segment (and the OS page cache) but no fsync is
+// issued regardless of policy. The record MUST NOT be acknowledged
+// until a covering Sync — in practice GroupCommitter.WaitDurable, which
+// amortizes one fsync over every AppendNoSync that raced in. This is
+// the split that turns N streams × 1 fsync each into 1 fsync total.
+func (l *Log) AppendNoSync(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(payload)
+}
+
+// appendLocked encodes and writes one record under l.mu: torn-tail
+// repair, rotation, framing, the write itself — everything but the
+// fsync decision, which the caller owns.
+func (l *Log) appendLocked(payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
@@ -361,21 +398,37 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	seq := l.nextSeq
 	l.nextSeq++
 	l.size += int64(n)
-	switch l.o.Policy {
-	case SyncAlways:
-		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: fsync: %w", err)
-		}
-		l.lastSync = l.o.Now()
-	case SyncInterval:
-		if now := l.o.Now(); now.Sub(l.lastSync) >= l.o.SyncEvery {
-			if err := l.f.Sync(); err != nil {
-				return 0, fmt.Errorf("wal: fsync: %w", err)
-			}
-			l.lastSync = now
-		}
-	}
 	return seq, nil
+}
+
+// Policy reports the configured fsync policy.
+func (l *Log) Policy() SyncPolicy {
+	return l.o.Policy
+}
+
+// SyncIfDue fsyncs only when the SyncInterval cadence has elapsed since
+// the last sync; under other policies it does nothing. It lets the
+// streaming path honor the interval policy without a timer goroutine:
+// each ack release gives the cadence a chance to fire.
+func (l *Log) SyncIfDue() error {
+	if l.o.Policy != SyncInterval {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil {
+		return nil
+	}
+	if now := l.o.Now(); now.Sub(l.lastSync) >= l.o.SyncEvery {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.lastSync = now
+	}
+	return nil
 }
 
 // Sync forces an fsync of the active segment regardless of policy.

@@ -1,0 +1,180 @@
+// Package wire is the binary streaming ingest protocol: length-prefixed,
+// versioned, CRC32C-checksummed frames over one persistent connection,
+// replacing JSON-per-batch HTTP as the high-volume path by which phones
+// feed the motion database. The related work frames every ordinary user
+// as a fingerprint contributor (Jiang et al.) and shows accuracy decays
+// without a live refresh stream (Tang et al.) — at that volume the
+// ingest path must not pay a JSON decode, a per-batch allocation, and a
+// per-batch fsync, so this protocol decodes straight into caller-owned
+// reused buffers and lets the server amortize one fsync over every
+// batch in flight (wal.GroupCommitter).
+//
+// A stream session opens with a client Hello naming a resumable stream
+// ID (and optionally a tracking session for IMU/scan/tick frames); the
+// server answers HelloAck carrying the highest frame it has already
+// acknowledged durable (the resume point) and a credit window. The
+// client then pipelines observation-batch frames with contiguous
+// sequence numbers, keeping at most window frames unacknowledged; the
+// server acks cumulatively — Ack seq N acknowledges every frame ≤ N —
+// and only after the covering fsync, so an acknowledged frame survives
+// kill -9. Credit is the backpressure: a loaded server shrinks the
+// window advertised in its acks instead of shedding with 429s.
+//
+// The codec is split in two layers. This file is the pure frame layer
+// (byte slices in, byte slices out, no I/O) so FuzzFrameDecode can
+// hammer torn frames, bad CRCs, oversized lengths, and version skew
+// directly; payload.go encodes the per-type payloads; stream.go wraps
+// the frame layer around an io.Reader/io.Writer with reused buffers;
+// client.go is the reconnecting client.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Version is the protocol version this package speaks. A Hello carrying
+// any other version is refused with a FrameError before anything else
+// is read.
+const Version = 1
+
+// Frame types. Client→server types are low, server→client high; the
+// numbering leaves room and deliberately stays far below 200 so no type
+// constant can ever be mistaken for an HTTP 2xx by the durable-ack
+// analyzer.
+const (
+	// FrameHello opens a stream: payload names the resumable stream ID
+	// and (optionally) the tracking session the connection is scoped to.
+	FrameHello = 1
+	// FrameObsBatch carries one crowdsourced observation batch; its Seq
+	// is the client's contiguous frame sequence, and its payload bytes
+	// double as the WAL record payload (no server-side re-encode).
+	FrameObsBatch = 2
+	// FrameIMUBatch carries IMU samples for the scoped tracking session.
+	// Fire-and-forget: no durability, no ack.
+	FrameIMUBatch = 3
+	// FrameScan carries one WiFi scan for the scoped tracking session.
+	FrameScan = 4
+	// FrameTick advances the scoped session's clock; the server answers
+	// FrameFix or FrameNoFix with the same Seq.
+	FrameTick = 5
+	// FrameHelloAck answers a Hello: Seq is the highest frame sequence
+	// already acknowledged durable (the resume point; 0 for an unknown
+	// stream), payload is the credit window.
+	FrameHelloAck = 65
+	// FrameAck acknowledges observation batches cumulatively: Seq is the
+	// highest contiguous frame sequence now durable, payload the updated
+	// credit window.
+	FrameAck = 66
+	// FrameFix answers a tick that produced a fix.
+	FrameFix = 67
+	// FrameNoFix answers a tick that produced none.
+	FrameNoFix = 68
+	// FrameError reports a protocol or validation error; the server
+	// closes the connection after sending one.
+	FrameError = 69
+)
+
+// Frame header layout, little-endian:
+//
+//	offset 0  uint8   protocol version
+//	offset 1  uint8   frame type
+//	offset 2  uint16  reserved, must be zero
+//	offset 4  uint32  payload length
+//	offset 8  uint32  CRC32C over hdr[0:4] + hdr[12:20] + payload
+//	offset 12 uint64  sequence number
+//	offset 20 []byte  payload
+const HeaderSize = 20
+
+// castagnoli is the CRC32C table (hardware-accelerated on every
+// deployment target), shared with the WAL's record format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. ErrShort marks a frame that does not fit the given
+// bytes — on a socket that just means "read more"; in a fuzzer it is a
+// torn frame.
+var (
+	ErrShort    = errors.New("wire: frame extends past end of data")
+	ErrTooBig   = errors.New("wire: frame payload exceeds the cap")
+	ErrChecksum = errors.New("wire: frame checksum mismatch")
+	ErrVersion  = errors.New("wire: unsupported protocol version")
+	ErrReserved = errors.New("wire: reserved header bytes are not zero")
+)
+
+// Frame is one decoded frame. Payload aliases the buffer it was decoded
+// from; it is only valid until that buffer's next reuse.
+type Frame struct {
+	Type uint8
+	Seq  uint64
+	// Payload aliases decode scratch — copy it to retain it.
+	//
+	//moloc:reuse
+	Payload []byte
+}
+
+// AppendFrame encodes one frame onto buf and returns the extended
+// slice. It is the only encoder: every frame on the wire, client or
+// server side, goes through here.
+func AppendFrame(buf []byte, typ uint8, seq uint64, payload []byte) []byte {
+	var hdr [HeaderSize]byte
+	hdr[0] = Version
+	hdr[1] = typ
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[12:20], seq)
+	crc := crc32.Update(0, castagnoli, hdr[0:4])
+	crc = crc32.Update(crc, castagnoli, hdr[12:20])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[8:12], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// DecodeFrame reads one frame from the front of b, returning the frame
+// (payload aliasing b) and its encoded size. maxPayload bounds the
+// length field so a corrupt or hostile prefix cannot demand gigabytes.
+func DecodeFrame(b []byte, maxPayload int) (fr Frame, n int, err error) {
+	if len(b) < HeaderSize {
+		return Frame{}, 0, ErrShort
+	}
+	if b[0] != Version {
+		return Frame{}, 0, fmt.Errorf("%w: got %d, speak %d", ErrVersion, b[0], Version)
+	}
+	if b[2] != 0 || b[3] != 0 {
+		return Frame{}, 0, ErrReserved
+	}
+	plen := int(binary.LittleEndian.Uint32(b[4:8]))
+	if plen > maxPayload {
+		return Frame{}, 0, fmt.Errorf("%w: %d bytes (cap %d)", ErrTooBig, plen, maxPayload)
+	}
+	if len(b) < HeaderSize+plen {
+		return Frame{}, 0, ErrShort
+	}
+	crc := crc32.Update(0, castagnoli, b[0:4])
+	crc = crc32.Update(crc, castagnoli, b[12:20])
+	crc = crc32.Update(crc, castagnoli, b[HeaderSize:HeaderSize+plen])
+	if crc != binary.LittleEndian.Uint32(b[8:12]) {
+		return Frame{}, 0, ErrChecksum
+	}
+	return Frame{
+		Type:    b[1],
+		Seq:     binary.LittleEndian.Uint64(b[12:20]),
+		Payload: b[HeaderSize : HeaderSize+plen],
+	}, HeaderSize + plen, nil
+}
+
+// frameSize reports the full encoded size of the frame whose header
+// starts b, without validating the checksum. It needs only the first 8
+// header bytes; ok is false when even those are missing or the length
+// exceeds maxPayload.
+func frameSize(b []byte, maxPayload int) (int, bool) {
+	if len(b) < 8 {
+		return 0, false
+	}
+	plen := int(binary.LittleEndian.Uint32(b[4:8]))
+	if plen > maxPayload {
+		return 0, false
+	}
+	return HeaderSize + plen, true
+}

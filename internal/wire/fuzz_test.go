@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"moloc/internal/motion"
+	"moloc/internal/motiondb"
+)
+
+// FuzzFrameDecode hammers the frame decoder with torn frames, bit
+// flips, hostile length prefixes, and version skew. The invariants: the
+// decoder never panics, never reads past the input, and any input it
+// accepts re-encodes to the byte-identical frame (so accepting corrupt
+// input is impossible without a CRC32C collision).
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendFrame(nil, FrameObsBatch, 1, []byte("payload")))
+	f.Add(AppendFrame(nil, FrameHello, 0, AppendHello(nil, "stream", "sess")))
+	f.Add(AppendFrame(nil, FrameAck, 900, AppendWindow(nil, 32)))
+	// Torn mid-header and mid-payload.
+	whole := AppendFrame(nil, FrameObsBatch, 7, bytes.Repeat([]byte{0xAA}, 64))
+	f.Add(whole[:HeaderSize-3])
+	f.Add(whole[:len(whole)-9])
+	// Version skew.
+	skew := append([]byte(nil), whole...)
+	skew[0] = Version + 3
+	f.Add(skew)
+	// Hostile length prefix.
+	huge := append([]byte(nil), whole...)
+	huge[4], huge[5], huge[6], huge[7] = 0xFF, 0xFF, 0xFF, 0xFF
+	f.Add(huge)
+	// Back-to-back frames.
+	f.Add(AppendFrame(AppendFrame(nil, FrameTick, 1, nil), FrameTick, 2, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxPayload = 1 << 16
+		fr, n, err := DecodeFrame(data, maxPayload)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("error %v but consumed %d bytes", err, n)
+			}
+			return
+		}
+		if n < HeaderSize || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if len(fr.Payload) > maxPayload {
+			t.Fatalf("accepted %d-byte payload over the %d cap", len(fr.Payload), maxPayload)
+		}
+		// Re-encode: every accepted frame must round-trip bit-identically.
+		re := AppendFrame(nil, fr.Type, fr.Seq, fr.Payload)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("accepted frame does not re-encode identically")
+		}
+	})
+}
+
+// FuzzObsDecode fuzzes the observation payload codec the same way: no
+// panics, no over-reads, accepted payloads round-trip.
+func FuzzObsDecode(f *testing.F) {
+	f.Add(AppendObservations(nil, []motiondb.Observation{
+		{From: 1, To: 2, RLM: motion.RLM{Dir: 90, Off: 5}},
+	}))
+	f.Add(AppendObservations(nil, nil))
+	f.Add([]byte(`[{"from":1,"to":2}]`))
+	f.Add([]byte{ObsMagic})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obs, err := DecodeObservations(data, nil)
+		if err != nil {
+			return
+		}
+		re := AppendObservations(nil, obs)
+		if !bytes.Equal(re, data) {
+			// NaN direction/offset bits are the one legal asymmetry:
+			// float64 round-trips preserve bit patterns, so any
+			// difference is a decoder bug.
+			t.Fatalf("accepted payload does not re-encode identically")
+		}
+	})
+}
