@@ -57,12 +57,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable perf artifact: run the hot-path benchmarks and emit
-# BENCH_PR8.json via cmd/benchjson, one data point in the repo's perf
+# BENCH_PR9.json via cmd/benchjson, one data point in the repo's perf
 # trajectory. BENCHTIME trades precision for CI time.
 BENCHTIME ?= 1s
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkFingerprintKNN|BenchmarkMotionMatchProb|BenchmarkMoLocLocalize|BenchmarkScalability|BenchmarkMotionTrain|BenchmarkRecompileEdges|BenchmarkIngestUnderLoad|BenchmarkIngestStream|BenchmarkWALGroupCommit' \
+	$(GO) test -run '^$$' -bench 'BenchmarkFingerprintKNN|BenchmarkMotionMatchProb|BenchmarkMoLocLocalize|BenchmarkScalability|BenchmarkMotionTrain|BenchmarkRecompileEdges|BenchmarkIngestUnderLoad|BenchmarkIngestStream|BenchmarkWALGroupCommit|BenchmarkSessionShards|BenchmarkTickWheel' \
 		-benchmem -benchtime $(BENCHTIME) -count 1 . > bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < bench.out
 	rm -f bench.out
@@ -71,7 +71,7 @@ bench-json:
 # previous PR's pinned numbers; benchmarks shared by both suites must
 # not regress beyond 25%, and every baseline benchmark must still be
 # present (benchjson -diff fails on removals).
-OLD ?= BENCH_PR7.json
+OLD ?= BENCH_PR8.json
 bench-diff: bench-json
 	$(GO) run ./cmd/benchjson -diff -max-regress 25 $(OLD) $(BENCH_JSON)
 

@@ -7,8 +7,9 @@
 //
 //	molocd [-addr :8080] [-stream-addr :8081] [-plan office|mall|museum] [-seed N]
 //	       [-aps N] [-horus] [-train N] [-session-ttl 15m] [-max-sessions N]
-//	       [-workers N] [-gate] [-drain 10s] [-retrain 30s] [-data-dir DIR]
-//	       [-fsync always|interval|none] [-fsync-every 100ms] [-pprof addr]
+//	       [-workers N] [-shards N] [-paced] [-gate] [-drain 10s] [-retrain 30s]
+//	       [-data-dir DIR] [-fsync always|interval|none] [-fsync-every 100ms]
+//	       [-pprof addr]
 //
 // The motion database retrains online: POST /v1/observations feeds the
 // background retrainer, which republishes the compiled motion index
@@ -33,6 +34,15 @@
 // its WAL record's covering fsync — with one group-committed fsync
 // amortized over every stream that raced in. molocsim -stream and
 // molocctl stream speak it.
+//
+// -paced flips every session to server pacing: instead of clients
+// POSTing /tick, the server's timer wheel ticks each session at its
+// tracker interval, batching the sessions due in a slot per worker
+// (one motion-index snapshot load per batch). Paced fixes are pushed
+// over the stream listener as unsolicited Fix frames; HTTP-only clients
+// poll GET /v1/sessions/{id}. Individual sessions opt in with
+// {"paced":true} at create regardless of the flag. -shards sets the
+// session-registry stripe count (default: one per worker).
 //
 // Try it:
 //
@@ -82,6 +92,9 @@ func run() error {
 		sessionTTL  = flag.Duration("session-ttl", server.DefaultSessionTTL, "idle session eviction deadline")
 		maxSessions = flag.Int("max-sessions", server.DefaultMaxSessions, "live session cap (429 beyond)")
 		workers     = flag.Int("workers", 0, "data-plane worker pool size (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "session-registry lock stripes (0 = workers)")
+		paced       = flag.Bool("paced", false, "server-pace every session: tick on the server's wheel instead of client tick requests")
+		wheelSlot   = flag.Duration("wheel-slot", server.DefaultWheelSlotDur, "tick-wheel slot width; finer slots cut per-fire batch size (and fix-latency tails) at more wheel wakeups")
 		gate        = flag.Bool("gate", false, "reachability-gate steady-state candidate scans (per-fix cost bounded by motion-DB adjacency, not map size)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		retrain     = flag.Duration("retrain", server.DefaultRetrainInterval, "online-retrain period for queued observations")
@@ -100,6 +113,9 @@ func run() error {
 		SessionTTL:      *sessionTTL,
 		MaxSessions:     *maxSessions,
 		Workers:         *workers,
+		Shards:          *shards,
+		PaceAll:         *paced,
+		WheelSlotDur:    *wheelSlot,
 		Gate:            *gate,
 		RetrainInterval: *retrain,
 		DataDir:         *dataDir,

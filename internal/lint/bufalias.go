@@ -175,7 +175,10 @@ func checkFuncAliases(pass *Pass, fd *ast.FuncDecl) {
 }
 
 // recordStore applies one assignment: tainting a local, or reporting a
-// retention when the destination outlives the call.
+// retention when the destination outlives the call. Only slice-typed
+// destinations participate: a view into a reused backing array is a
+// slice, so the int in `n, buf = sweep(buf)` cannot carry the taint the
+// multi-value rule would otherwise smear onto every LHS.
 func recordStore(pass *Pass, tainted map[types.Object]bool, lhs ast.Expr, taint bool) {
 	switch lhs := ast.Unparen(lhs).(type) {
 	case *ast.Ident:
@@ -186,7 +189,7 @@ func recordStore(pass *Pass, tainted map[types.Object]bool, lhs ast.Expr, taint 
 		if obj == nil {
 			obj = pass.Info.Uses[lhs]
 		}
-		if obj == nil {
+		if obj == nil || !sliceTyped(obj) {
 			return
 		}
 		if v, ok := obj.(*types.Var); ok && !v.IsField() &&
@@ -201,7 +204,7 @@ func recordStore(pass *Pass, tainted map[types.Object]bool, lhs ast.Expr, taint 
 	case *ast.SelectorExpr:
 		obj := pass.Info.Uses[lhs.Sel]
 		v, ok := obj.(*types.Var)
-		if !ok || !v.IsField() {
+		if !ok || !v.IsField() || !sliceTyped(obj) {
 			return
 		}
 		if taint && !pass.Index.ReuseField(obj) {
@@ -209,4 +212,10 @@ func recordStore(pass *Pass, tainted map[types.Object]bool, lhs ast.Expr, taint 
 				"stores a view into //moloc:reuse scratch in field %s; annotate the field //moloc:reuse or copy the data out", lhs.Sel.Name)
 		}
 	}
+}
+
+// sliceTyped reports whether obj can hold a slice view at all.
+func sliceTyped(obj types.Object) bool {
+	_, ok := obj.Type().Underlying().(*types.Slice)
+	return ok
 }

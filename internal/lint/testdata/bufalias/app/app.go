@@ -99,6 +99,35 @@ func (l *localizer) best() int {
 	return top.loc
 }
 
+// An annotated sweep returning (count, scratch) — the incremental-
+// sweeper shape. The multi-value assignment must taint only the slice
+// result; the count is an int and cannot be a view.
+//
+//moloc:reuse
+func (l *localizer) sweep(buf []candidate) (int, []candidate) {
+	buf = append(buf[:0], l.buf...)
+	return len(buf), buf
+}
+
+// Accumulating the counts and returning the total is clean.
+func (l *localizer) sweepAll() int {
+	total := 0
+	var buf []candidate
+	for i := 0; i < 3; i++ {
+		var n int
+		n, buf = l.sweep(buf)
+		total += n
+	}
+	_ = buf
+	return total
+}
+
+// The slice half of the pair is still a view.
+func (l *localizer) sweepLeak() []candidate {
+	_, buf := l.sweep(nil)
+	return buf // want `returns a view into //moloc:reuse scratch`
+}
+
 // Cross-package: lib.Source.Candidates is //moloc:reuse-annotated, and
 // the engine's index carries that fact across the import edge.
 func drain(s *lib.Source) []lib.Item {

@@ -108,6 +108,41 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation inside the bucket containing the
+// target rank: values within a bucket are assumed uniform between its
+// lower and upper bound. The overflow bucket has no upper bound, so a
+// rank landing there reports the highest finite bound — an estimate
+// that is deliberately a lower bound rather than an invention. Returns
+// 0 for an empty histogram or an out-of-range q.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || q < 0 || q > 1 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Counts {
+		next := cum + float64(n)
+		if next < rank || n == 0 {
+			cum = next
+			continue
+		}
+		hi := s.Bounds[len(s.Bounds)-1]
+		lo := 0.0
+		if i < len(s.Bounds) {
+			hi = s.Bounds[i]
+		}
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) {
+			return hi // overflow bucket: report the last finite bound
+		}
+		return lo + (hi-lo)*(rank-cum)/float64(n)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // LatencyBuckets are the default request-latency bounds in seconds,
 // spanning sub-millisecond in-process handling to multi-second stalls.
 var LatencyBuckets = []float64{
@@ -125,13 +160,22 @@ var BytesBuckets = []float64{
 	0, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20,
 }
 
-// Registry is a named collection of counters and histograms. Metric
-// handles are stable: the pointer returned for a name never changes,
-// so callers should look up once and hold the handle on hot paths.
+// GaugeFunc reports an instantaneous level (a queue depth, a pool
+// size). Gauges are callback-based: nothing is recorded on the hot
+// path; the function is evaluated only when the registry snapshots, so
+// instrumenting a queue costs its producer nothing. The callback must
+// be safe to invoke from any goroutine.
+type GaugeFunc func() int64
+
+// Registry is a named collection of counters, histograms, and gauges.
+// Metric handles are stable: the pointer returned for a name never
+// changes, so callers should look up once and hold the handle on hot
+// paths.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	histograms map[string]*Histogram
+	gauges     map[string]GaugeFunc
 }
 
 // NewRegistry creates an empty registry.
@@ -139,6 +183,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
 		histograms: make(map[string]*Histogram),
+		gauges:     make(map[string]GaugeFunc),
 	}
 }
 
@@ -169,21 +214,35 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Gauge registers fn under name, replacing any previous registration
+// (a re-registered gauge simply reads from the new source).
+func (r *Registry) Gauge(name string, fn GaugeFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = fn
+}
+
 // Snapshot freezes every registered metric. Counters and histograms
 // keep accumulating while the snapshot is taken; each individual value
-// is atomically read, so the snapshot is per-metric consistent.
+// is atomically read, so the snapshot is per-metric consistent. Gauge
+// callbacks are evaluated here, under the registry lock, so they must
+// not themselves register metrics.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters:   make(map[string]int64, len(r.counters)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}
 	for name, h := range r.histograms {
 		s.Histograms[name] = h.Snapshot()
+	}
+	for name, fn := range r.gauges {
+		s.Gauges[name] = fn()
 	}
 	return s
 }
@@ -192,4 +251,5 @@ func (r *Registry) Snapshot() Snapshot {
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 }

@@ -50,6 +50,17 @@ const (
 	// connection is advertised (stream.go): at most this many
 	// unacknowledged frames may be in flight per stream.
 	DefaultStreamWindow = 32
+	// DefaultWheelSlotDur is the tick wheel's slot width (wheel.go):
+	// server-paced sessions are checked for due intervals at this
+	// granularity. Coarser than any sane tracker interval (3 s in the
+	// paper), so a slot batches many sessions; fine enough that pacing
+	// adds at most a quarter second to a fix's age.
+	DefaultWheelSlotDur = 250 * time.Millisecond
+	// DefaultWheelSlots is the wheel's slot count; slots x slot duration
+	// is the horizon within which a deadline lands in its exact slot
+	// (16 s by default — beyond it entries are re-examined per rotation,
+	// the standard hashed-wheel overflow behavior).
+	DefaultWheelSlots = 64
 )
 
 // Options are the serving limits of a Server. The zero value of each
@@ -76,6 +87,22 @@ type Options struct {
 	// bounded regardless of client concurrency. Zero selects
 	// GOMAXPROCS.
 	Workers int
+	// Shards stripes the session registry (registry.go). Zero selects
+	// Workers, which aligns registry stripes with pool workers: both key
+	// by the same FNV-1a hash, so a stripe's sessions are owned by
+	// exactly one worker and stripe locks are effectively uncontended.
+	// Values other than Workers still serialize correctly (the pool is
+	// the ownership authority); they only change lock granularity.
+	Shards int
+	// PaceAll forces every session onto the server-paced tick wheel
+	// (molocd -paced), as if each create had sent "paced":true.
+	PaceAll bool
+	// WheelSlotDur is the paced tick wheel's slot width; zero selects
+	// DefaultWheelSlotDur.
+	WheelSlotDur time.Duration
+	// WheelSlots is the wheel's slot count; zero selects
+	// DefaultWheelSlots.
+	WheelSlots int
 	// Gate enables reachability gating in every session's localizer
 	// (localizer.Config.Gate): steady-state candidate scans are
 	// restricted to the locations one motion-DB hop from the previous
@@ -147,6 +174,21 @@ func (o Options) withDefaults() Options {
 	if o.Workers < 1 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.Shards < 1 {
+		o.Shards = o.Workers
+	}
+	if o.WheelSlotDur <= 0 {
+		o.WheelSlotDur = DefaultWheelSlotDur
+	}
+	if o.WheelSlots < 1 {
+		o.WheelSlots = DefaultWheelSlots
+		// Finer slots with the default count would shrink the wheel's
+		// horizon below tracker intervals; keep the default horizon so a
+		// rescheduled entry still lands inside the rotation.
+		if o.WheelSlotDur < DefaultWheelSlotDur {
+			o.WheelSlots = int(time.Duration(DefaultWheelSlots) * DefaultWheelSlotDur / o.WheelSlotDur)
+		}
+	}
 	if o.RetrainInterval <= 0 {
 		o.RetrainInterval = DefaultRetrainInterval
 	}
@@ -172,15 +214,23 @@ func (o Options) withDefaults() Options {
 }
 
 // session is one live tracking session. The fields after mu are
-// guarded by it; id and created are immutable.
+// guarded by it; id, created, and paced are immutable.
 type session struct {
 	id      string
 	created time.Time
+	// paced marks a session ticked by the server's wheel (wheel.go)
+	// rather than by client tick requests. Set before the session is
+	// published in the registry, never changed after.
+	paced bool
 
 	mu         sync.Mutex
 	tk         *tracker.Tracker
 	lastActive time.Time
 	evicted    bool
+	// push, when non-nil, is the bound stream connection's serialized
+	// writer: the wheel pushes this session's paced fixes to it as
+	// unsolicited Fix frames (stream.go).
+	push *streamConn
 }
 
 func newSession(id string, tk *tracker.Tracker, now time.Time) *session {
@@ -201,6 +251,43 @@ func (ss *session) withTracker(now time.Time, fn func(tk *tracker.Tracker)) bool
 	ss.lastActive = now
 	fn(ss.tk)
 	return true
+}
+
+// withTrackerPaced is withTracker for the server-driven tick wheel: it
+// runs fn under the session lock but does NOT record data-plane
+// activity — server pacing must not keep an abandoned session alive
+// past its idle TTL; only client uploads do that. It also hands back
+// the bound stream pusher (nil when no stream is attached), read under
+// the same lock so the wheel never races a connection teardown. alive
+// is false for an evicted session, which tells the wheel to drop the
+// entry instead of rescheduling it.
+func (ss *session) withTrackerPaced(fn func(tk *tracker.Tracker)) (push *streamConn, alive bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.evicted {
+		return nil, false
+	}
+	fn(ss.tk)
+	return ss.push, true
+}
+
+// bindPush attaches (or, with nil, detaches) the stream connection that
+// receives this session's paced fixes. The last binder wins; a
+// reconnecting client simply rebinds.
+func (ss *session) bindPush(sc *streamConn) {
+	ss.mu.Lock()
+	ss.push = sc
+	ss.mu.Unlock()
+}
+
+// unbindPush clears the pusher only while it is still sc, so a dying
+// connection cannot unbind its replacement.
+func (ss *session) unbindPush(sc *streamConn) {
+	ss.mu.Lock()
+	if ss.push == sc {
+		ss.push = nil
+	}
+	ss.mu.Unlock()
 }
 
 // sessionView is a consistent read of the mutable session state.
@@ -245,15 +332,17 @@ func (ss *session) close() {
 	ss.evicted = true
 }
 
-// Start launches the background loops: the expiry sweeper and the
-// online retrainer (retrain.go). It is idempotent; Close stops both.
-// Servers embedded in tests may skip Start and drive sweepOnce or
-// RetrainNow directly.
+// Start launches the background loops: the expiry sweeper, the online
+// retrainer (retrain.go), and the paced tick wheel driver (wheel.go).
+// It is idempotent; Close stops all three. Servers embedded in tests
+// may skip Start and drive sweepOnce, RetrainNow, or AdvanceWheel
+// directly.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
-		s.wg.Add(2)
+		s.wg.Add(3)
 		go s.sweepLoop()
 		go s.retrainLoop()
+		go s.paceLoop()
 	})
 }
 
@@ -272,11 +361,29 @@ func (s *Server) waitDone(d time.Duration) bool {
 	}
 }
 
-// sweepLoop evicts idle sessions every SweepInterval until Close.
+// sweepLoop evicts idle sessions incrementally: one registry shard per
+// wake, cycling through all shards every SweepInterval, so eviction
+// never holds more than one stripe lock — and only long enough to
+// snapshot that stripe — no matter how many sessions are live. Stream
+// resume state is swept once per full rotation.
 func (s *Server) sweepLoop() {
 	defer s.wg.Done()
-	for !s.waitDone(s.opts.SweepInterval) {
-		s.sweepOnce()
+	n := s.reg.numShards()
+	wait := s.opts.SweepInterval / time.Duration(n)
+	if wait <= 0 {
+		wait = time.Microsecond
+	}
+	var (
+		cursor int
+		buf    []*session
+	)
+	for !s.waitDone(wait) {
+		_, buf = s.sweepShard(cursor, buf)
+		cursor++
+		if cursor == n {
+			cursor = 0
+			s.stream.sweep(s.opts.SessionTTL, s.opts.Now())
+		}
 	}
 }
 
@@ -302,36 +409,46 @@ func (s *Server) Close() {
 	s.pool.close()
 }
 
-// sweepOnce evicts every session idle beyond the TTL and returns how
-// many it removed. Eviction is two-phase: mark the session evicted
-// under its own lock (so in-flight handlers holding the pointer turn
-// into 404s), then drop it from the map.
-func (s *Server) sweepOnce() int {
+// sweepShard evicts shard i's sessions idle beyond the TTL, reusing buf
+// as the candidate scratch, and returns the eviction count plus the
+// (possibly regrown) buffer. Eviction keeps the two-phase discipline:
+// mark the session evicted under its own lock (so in-flight handlers
+// holding the pointer turn into 404s), then unmap it — and the unmap is
+// identity-checked, so a delete/recreate racing the sweep cannot take
+// out the wrong session.
+//
+//moloc:reuse
+func (s *Server) sweepShard(i int, buf []*session) (int, []*session) {
 	now := s.opts.Now()
-	s.mu.Lock()
-	candidates := make([]*session, 0, len(s.sessions))
-	for _, ss := range s.sessions {
-		candidates = append(candidates, ss)
-	}
-	s.mu.Unlock()
-
+	buf = s.reg.appendShard(i, buf[:0])
 	evicted := 0
-	for _, ss := range candidates {
+	for _, ss := range buf {
 		if !ss.expireIfIdle(s.opts.SessionTTL, now) {
 			continue
 		}
-		s.mu.Lock()
-		if s.sessions[ss.id] == ss {
-			delete(s.sessions, ss.id)
-		}
-		s.mu.Unlock()
+		s.reg.removeMatch(ss)
 		evicted++
 	}
 	if evicted > 0 {
 		s.met.sessionsExpired.Add(int64(evicted))
 	}
+	return evicted, buf
+}
+
+// sweepOnce sweeps every shard (and the stream resume state) in one
+// call and returns how many sessions it evicted — the whole-registry
+// sweep, for tests and embedders; the background loop spreads the same
+// work across the rotation instead.
+func (s *Server) sweepOnce() int {
+	evicted := 0
+	var buf []*session
+	for i := 0; i < s.reg.numShards(); i++ {
+		var n int
+		n, buf = s.sweepShard(i, buf)
+		evicted += n
+	}
 	// Stream resume state rides the same idle TTL: once no client has
 	// been connected for SessionTTL, nobody is coming back to resume.
-	s.stream.sweep(s.opts.SessionTTL, now)
+	s.stream.sweep(s.opts.SessionTTL, s.opts.Now())
 	return evicted
 }

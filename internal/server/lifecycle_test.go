@@ -71,9 +71,7 @@ func TestServerSessionExpiry(t *testing.T) {
 	// A session some client still references mid-flight: grab the live
 	// pointer, let the TTL lapse, sweep, then use both the stale pointer
 	// and the HTTP id.
-	srv.mu.Lock()
-	ss := srv.sessions[id]
-	srv.mu.Unlock()
+	ss, _ := srv.reg.get(id)
 	clock.Advance(2 * time.Minute)
 	if n := srv.sweepOnce(); n != 1 {
 		t.Fatalf("sweeper evicted %d sessions, want 1", n)

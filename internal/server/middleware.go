@@ -62,6 +62,17 @@ type serverMetrics struct {
 	streamFrames  *obs.Counter
 	streamAcks    *obs.Counter
 	streamErrors  *obs.Counter
+
+	// Server-paced tick-wheel metrics (wheel.go). pacedTicks versus
+	// pacedSnapshotLoads is the batching ratio: how many session ticks
+	// each (worker, slot) snapshot load amortized over.
+	pacedSessions      *obs.Counter
+	pacedTicks         *obs.Counter
+	pacedSnapshotLoads *obs.Counter
+	pacedPushes        *obs.Counter
+	pacedPushErrors    *obs.Counter
+	poolShed           *obs.Counter
+	pacedFixSeconds    *obs.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -102,6 +113,14 @@ func newServerMetrics() *serverMetrics {
 		streamFrames:  reg.Counter("stream_frames"),
 		streamAcks:    reg.Counter("stream_acks"),
 		streamErrors:  reg.Counter("stream_errors"),
+
+		pacedSessions:      reg.Counter("paced_sessions"),
+		pacedTicks:         reg.Counter("paced_ticks"),
+		pacedSnapshotLoads: reg.Counter("paced_snapshot_loads"),
+		pacedPushes:        reg.Counter("paced_fixes_pushed"),
+		pacedPushErrors:    reg.Counter("paced_push_errors"),
+		poolShed:           reg.Counter("pool_shed_total"),
+		pacedFixSeconds:    reg.Histogram("paced_fix_seconds", obs.LatencyBuckets),
 	}
 }
 

@@ -1,0 +1,468 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"moloc/internal/sensors"
+	"moloc/internal/wire"
+)
+
+// waitUntil polls cond for up to three seconds — paced batches run
+// asynchronously on pool workers, so assertions after AdvanceWheel need
+// to wait for the dispatched batches to land.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// pushedFix is one server-pushed fix collected by the stream client.
+type pushedFix struct {
+	t     float64
+	loc   int
+	moved bool
+}
+
+// TestPacedServerEquivalence is the end-to-end half of the pacing
+// contract: a server-paced session must push fixes bit-identical to
+// what an identically-fed client-paced session gets from its own tick
+// requests. The paced session's fixes arrive as unsolicited Fix frames
+// on the stream that scoped it; the plain session's from /tick bodies.
+func TestPacedServerEquivalence(t *testing.T) {
+	sys := buildSys(t)
+	clock := newFakeClock()
+	srv := durableServer(t, sys, Options{Now: clock.Now})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	addr := startStream(t, srv)
+
+	resp, body := postJSON(t, ts, "/v1/sessions", createReq{HeightM: 1.71, WeightKg: 68, Paced: true})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create paced: %d %s", resp.StatusCode, body)
+	}
+	var pacedCr createResp
+	if err := json.Unmarshal(body, &pacedCr); err != nil {
+		t.Fatal(err)
+	}
+	if !pacedCr.Paced {
+		t.Fatal("create response does not acknowledge pacing")
+	}
+	plainID := createSession(t, ts)
+
+	var (
+		pushMu sync.Mutex
+		pushed []pushedFix
+	)
+	c, err := wire.DialStream(addr, "eq-stream", wire.ClientOptions{
+		SessionID: pacedCr.SessionID,
+		OnFix: func(ft float64, loc int, moved bool) {
+			pushMu.Lock()
+			pushed = append(pushed, pushedFix{t: ft, loc: loc, moved: moved})
+			pushMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rss := make([]float64, srv.numAPs)
+	for i := range rss {
+		rss[i] = -60
+	}
+	feed := func(id string, fromEvent, toEvent int) {
+		t.Helper()
+		var batch []sensors.Sample
+		for j := fromEvent; j <= toEvent; j++ {
+			batch = append(batch, sensors.Sample{T: float64(j) * 0.1, Accel: 9.8})
+		}
+		resp, _ := postJSON(t, ts, "/v1/sessions/"+id+"/imu", imuReq{Samples: batch})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("imu: %d", resp.StatusCode)
+		}
+	}
+
+	var tickFixes []pushedFix
+	for round := 1; round <= 4; round++ {
+		// Identical evidence for both sessions: IMU up to exactly the
+		// interval boundary, one scan mid-interval.
+		scanT := float64(30*round-20) * 0.1
+		endT := float64(30*round) * 0.1
+		for _, id := range []string{pacedCr.SessionID, plainID} {
+			feed(id, 30*(round-1), 30*round)
+			resp, _ := postJSON(t, ts, "/v1/sessions/"+id+"/scan", scanReq{T: scanT, RSS: rss})
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("scan: %d", resp.StatusCode)
+			}
+		}
+		// Client pacing: an explicit tick at the last event time.
+		resp, body := postJSON(t, ts, "/v1/sessions/"+plainID+"/tick", tickReq{T: endT})
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var fx fixResp
+			if err := json.Unmarshal(body, &fx); err != nil {
+				t.Fatal(err)
+			}
+			tickFixes = append(tickFixes, pushedFix{t: fx.T, loc: fx.Loc, moved: fx.Moved})
+		case http.StatusNoContent:
+		default:
+			t.Fatalf("tick: %d %s", resp.StatusCode, body)
+		}
+		// Server pacing: the wheel fires on wall time and ticks the
+		// session at that same last event time.
+		clock.Advance(srv.opts.SessionTTL / 100) // well under TTL
+		clock.Advance(4 * time.Second)
+		srv.AdvanceWheel(clock.Now())
+		want := len(tickFixes)
+		waitUntil(t, fmt.Sprintf("round %d pushes", round), func() bool {
+			pushMu.Lock()
+			defer pushMu.Unlock()
+			return len(pushed) >= want
+		})
+	}
+
+	pushMu.Lock()
+	defer pushMu.Unlock()
+	if len(tickFixes) == 0 {
+		t.Fatal("scenario produced no fixes; the equivalence check is vacuous")
+	}
+	if len(pushed) != len(tickFixes) {
+		t.Fatalf("paced session pushed %d fixes, client ticks produced %d:\npushed: %+v\nticked: %+v",
+			len(pushed), len(tickFixes), pushed, tickFixes)
+	}
+	for i := range pushed {
+		if pushed[i] != tickFixes[i] {
+			t.Errorf("fix %d: pushed %+v != ticked %+v", i, pushed[i], tickFixes[i])
+		}
+	}
+}
+
+// TestPacedBatchAmortizesSnapshotLoads pins the whole point of the
+// (worker, slot) batching: K paced sessions due in the same slot cost
+// one RCU snapshot load per worker batch, not one per session, and each
+// session's tracker adopts the shared view exactly once.
+func TestPacedBatchAmortizesSnapshotLoads(t *testing.T) {
+	sys := buildSys(t)
+	clock := newFakeClock()
+	srv := durableServer(t, sys, Options{Workers: 3, Now: clock.Now})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const K = 24
+	rss := make([]float64, srv.numAPs)
+	for i := range rss {
+		rss[i] = -60
+	}
+	ids := make([]string, K)
+	for i := range ids {
+		resp, body := postJSON(t, ts, "/v1/sessions", createReq{HeightM: 1.71, WeightKg: 68, Paced: true})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create: %d %s", resp.StatusCode, body)
+		}
+		var cr createResp
+		if err := json.Unmarshal(body, &cr); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = cr.SessionID
+		resp, _ = postJSON(t, ts, "/v1/sessions/"+ids[i]+"/scan", scanReq{T: 0.5, RSS: rss})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("scan: %d", resp.StatusCode)
+		}
+	}
+	if got := srv.met.pacedSessions.Value(); got != K {
+		t.Fatalf("paced_sessions = %d, want %d", got, K)
+	}
+
+	clock.Advance(4 * time.Second)
+	srv.AdvanceWheel(clock.Now())
+	waitUntil(t, "all paced ticks", func() bool { return srv.met.pacedTicks.Value() >= K })
+
+	ticks := srv.met.pacedTicks.Value()
+	loads := srv.met.pacedSnapshotLoads.Value()
+	if ticks != K {
+		t.Fatalf("paced_ticks = %d, want %d", ticks, K)
+	}
+	// All K sessions were created at the same instant with the same
+	// interval, so they share a due slot: at most one batch (and one
+	// snapshot load) per worker.
+	if loads > 3 {
+		t.Errorf("paced_snapshot_loads = %d for %d ticks across 3 workers; batching failed", loads, ticks)
+	}
+	// The view hasn't changed since creation, so no tracker re-adopted.
+	if swaps := snapshotSwaps(t, ts, ids[0]); swaps != 0 {
+		t.Errorf("SnapshotSwaps = %d with an unchanged view, want 0", swaps)
+	}
+
+	// Publish a fresh compiled view, as a retrain would, and fire the
+	// wheel again: every tracker in a batch adopts the one shared view
+	// (one swap each), still off one snapshot load per worker batch.
+	// Compiling from the retrainer's clone sidesteps the serving DB's
+	// per-parameter memoization, which would hand back the same pointer.
+	srv.retrain.mu.Lock()
+	cmp2, err := srv.retrain.db.Compile(srv.retrain.alpha, srv.retrain.beta)
+	srv.retrain.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.snap.Store(cmp2)
+	clock.Advance(4 * time.Second)
+	srv.AdvanceWheel(clock.Now())
+	waitUntil(t, "second paced round", func() bool { return srv.met.pacedTicks.Value() >= 2*K })
+	if loads := srv.met.pacedSnapshotLoads.Value(); loads > 6 {
+		t.Errorf("paced_snapshot_loads = %d after two rounds across 3 workers", loads)
+	}
+	if swaps := snapshotSwaps(t, ts, ids[0]); swaps != 1 {
+		t.Errorf("SnapshotSwaps = %d after one view change, want 1", swaps)
+	}
+}
+
+// snapshotSwaps reads a session's SnapshotSwaps stat over the API.
+func snapshotSwaps(t *testing.T, ts *httptest.Server, id string) int64 {
+	t.Helper()
+	resp, body := getRaw(t, ts, "/v1/sessions/"+id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get session: %d", resp.StatusCode)
+	}
+	var sr sessionResp
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr.Stats.SnapshotSwaps
+}
+
+// getRaw GETs a path and returns the response and body.
+func getRaw(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestPacedSessionStillExpires pins the TTL semantics of pacing:
+// server-driven ticks are not client activity, so an abandoned paced
+// session is still swept at its idle deadline — and its wheel entry is
+// dropped at the next fire instead of ticking a corpse forever.
+func TestPacedSessionStillExpires(t *testing.T) {
+	sys := buildSys(t)
+	clock := newFakeClock()
+	srv := durableServer(t, sys, Options{SessionTTL: time.Minute, Now: clock.Now})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/v1/sessions", createReq{HeightM: 1.71, WeightKg: 68, Paced: true})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d %s", resp.StatusCode, body)
+	}
+	rss := make([]float64, srv.numAPs)
+	for i := range rss {
+		rss[i] = -60
+	}
+	var cr createResp
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = postJSON(t, ts, "/v1/sessions/"+cr.SessionID+"/scan", scanReq{T: 0.5, RSS: rss})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("scan: %d", resp.StatusCode)
+	}
+	if got := srv.wheel.scheduled(); got != 1 {
+		t.Fatalf("scheduled = %d after paced create, want 1", got)
+	}
+
+	// Wheel fires within the TTL: the session ticks but must NOT have
+	// its idle deadline extended by its own server-driven ticking.
+	clock.Advance(4 * time.Second)
+	srv.AdvanceWheel(clock.Now())
+	waitUntil(t, "paced tick", func() bool { return srv.met.pacedTicks.Value() >= 1 })
+
+	clock.Advance(2 * time.Minute)
+	if n := srv.sweepOnce(); n != 1 {
+		t.Fatalf("sweeper evicted %d sessions, want 1 (paced ticks must not refresh the TTL)", n)
+	}
+	// The next fire notices the eviction and retires the wheel entry.
+	clock.Advance(time.Minute)
+	srv.AdvanceWheel(clock.Now())
+	waitUntil(t, "wheel entry drop", func() bool { return srv.wheel.scheduled() == 0 })
+}
+
+// TestServerShardStress hammers the striped registry and the wheel from
+// every direction at once — concurrent creates, scans, ticks, deletes,
+// wheel advances, and incremental sweeps — sized to spread sessions
+// across every stripe. Run under -race in CI; the assertions here are
+// conservation laws (created = live + deleted + expired, wheel drains
+// to zero), the race detector is the real judge.
+func TestServerShardStress(t *testing.T) {
+	n := 10000
+	if testing.Short() {
+		n = 1500
+	}
+	sys := buildSys(t)
+	clock := newFakeClock()
+	srv := durableServer(t, sys, Options{
+		Workers:     4,
+		Shards:      8,
+		MaxSessions: n + 1,
+		SessionTTL:  time.Minute,
+		Now:         clock.Now,
+	})
+	defer srv.Close()
+	handler := srv.Handler()
+
+	do := func(method, path, body string) int {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	rssB := strings.Builder{}
+	rssB.WriteString(`[`)
+	for i := 0; i < srv.numAPs; i++ {
+		if i > 0 {
+			rssB.WriteString(",")
+		}
+		rssB.WriteString("-60")
+	}
+	rssB.WriteString(`]`)
+	rssJSON := rssB.String()
+
+	// Phase 1: concurrent creates, half of them paced.
+	const creators = 16
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for c := 0; c < creators; c++ {
+		lo, hi := n*c/creators, n*(c+1)/creators
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body := `{"height_m":1.71,"weight_kg":68}`
+				if i%2 == 0 {
+					body = `{"height_m":1.71,"weight_kg":68,"paced":true}`
+				}
+				req := httptest.NewRequest(http.MethodPost, "/v1/sessions", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusCreated {
+					t.Errorf("create %d: %d %s", i, rec.Code, rec.Body.String())
+					return
+				}
+				var cr createResp
+				if err := json.Unmarshal(rec.Body.Bytes(), &cr); err != nil {
+					t.Error(err)
+					return
+				}
+				ids[i] = cr.SessionID
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := srv.NumSessions(); got != n {
+		t.Fatalf("NumSessions = %d after %d creates", got, n)
+	}
+
+	// Phase 2: everything at once. Feeders drive data and ticks,
+	// deleters remove a third of the fleet, the wheel advances, and the
+	// sweeper walks stripes incrementally — all concurrently.
+	const feeders = 8
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(f)))
+			for i := 0; i < 400; i++ {
+				id := ids[rng.Intn(n)]
+				switch i % 3 {
+				case 0:
+					do(http.MethodPost, "/v1/sessions/"+id+"/scan",
+						fmt.Sprintf(`{"t":%d,"rss":%s}`, i/3*3, rssJSON))
+				case 1:
+					do(http.MethodPost, "/v1/sessions/"+id+"/imu",
+						fmt.Sprintf(`{"samples":[{"t":%d,"accel":9.8}]}`, i/3*3))
+				default:
+					do(http.MethodPost, "/v1/sessions/"+id+"/tick",
+						fmt.Sprintf(`{"t":%d}`, i/3*3))
+				}
+			}
+		}(f)
+	}
+	deleted := make([]bool, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i += 3 {
+			do(http.MethodDelete, "/v1/sessions/"+ids[i], "")
+			deleted[i] = true
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			clock.Advance(500 * time.Millisecond)
+			srv.AdvanceWheel(clock.Now())
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]*session, 0, 64)
+		nsh := srv.reg.numShards()
+		for i := 0; i < 40; i++ {
+			_, buf = srv.sweepShard(i%nsh, buf)
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Phase 3: expire the remainder and drain the wheel. Conservation:
+	// every created session is exactly one of live/deleted/expired.
+	clock.Advance(time.Hour)
+	srv.sweepOnce()
+	if got := srv.NumSessions(); got != 0 {
+		t.Fatalf("NumSessions = %d after full expiry sweep", got)
+	}
+	created := srv.met.sessionsCreated.Value()
+	del := srv.met.sessionsDeleted.Value()
+	exp := srv.met.sessionsExpired.Value()
+	if created != int64(n) || del+exp != int64(n) {
+		t.Fatalf("conservation violated: created=%d deleted=%d expired=%d (n=%d)", created, del, exp, n)
+	}
+	// Every paced entry is retired within two more fires (one may have
+	// been shed back onto the wheel mid-shutdown of its worker batch).
+	for i := 0; i < 10 && srv.wheel.scheduled() > 0; i++ {
+		clock.Advance(4 * time.Second)
+		srv.AdvanceWheel(clock.Now())
+		time.Sleep(20 * time.Millisecond)
+	}
+	waitUntil(t, "wheel drain", func() bool { return srv.wheel.scheduled() == 0 })
+}

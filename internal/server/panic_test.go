@@ -61,9 +61,7 @@ func TestRunShardedRecoversPanic(t *testing.T) {
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	id := createSession(t, ts)
-	srv.mu.Lock()
-	ss := srv.sessions[id]
-	srv.mu.Unlock()
+	ss, _ := srv.reg.get(id)
 
 	rec := httptest.NewRecorder()
 	if srv.runSharded(rec, ss, func(*tracker.Tracker) { panic("tracker bug") }) {

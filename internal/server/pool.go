@@ -17,7 +17,9 @@ import (
 // the HTTP connection, the natural place for the slowdown to surface).
 const workerQueueDepth = 64
 
-// poolTask is one unit of sharded work.
+// poolTask is one unit of sharded work. done is nil for detached tasks
+// (tryRunShard): nobody waits on those, so there is no channel to
+// signal.
 type poolTask struct {
 	fn   func()
 	done chan struct{}
@@ -53,7 +55,9 @@ func newWorkerPool(n int) *workerPool {
 			defer p.wg.Done()
 			for t := range q {
 				t.fn()
-				t.done <- struct{}{}
+				if t.done != nil {
+					t.done <- struct{}{}
+				}
 			}
 		}()
 	}
@@ -89,6 +93,38 @@ func (p *workerPool) run(key string, fn func()) bool {
 	doneChans.Put(done)
 	return true
 }
+
+// tryRunShard enqueues fn on worker w without waiting for it to run,
+// reporting false — without enqueueing — when that worker's queue is
+// full or the pool is closed. It is the tick wheel's dispatch: the
+// wheel must never block behind a busy worker (that would stall every
+// other worker's slot), so an overloaded worker sheds the batch and the
+// wheel retries the sessions next slot. fn itself must not block on
+// pool work for the same worker (it runs on it).
+func (p *workerPool) tryRunShard(w int, fn func()) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	p.inflight.Add(1)
+	p.mu.Unlock()
+	t := poolTask{fn: func() {
+		defer p.inflight.Done()
+		fn()
+	}}
+	select {
+	case p.queues[w] <- t:
+		return true
+	default:
+		p.inflight.Done()
+		return false
+	}
+}
+
+// queueDepth reports worker w's current backlog, for the per-worker
+// queue gauges on /v1/metricsz.
+func (p *workerPool) queueDepth(w int) int { return len(p.queues[w]) }
 
 // close rejects new work, waits for submitted work to complete, and
 // stops the workers.

@@ -31,7 +31,6 @@ package server
 import (
 	"fmt"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,13 +84,22 @@ type Server struct {
 	wg        sync.WaitGroup
 
 	// stream is the streaming plane's registry (stream.go); its mutable
-	// state is guarded by its own mutex, so like plan/src/mdb it sits
-	// above s.mu.
+	// state is guarded by its own mutex.
 	stream streamPlane
 
-	mu       sync.Mutex
-	nextID   int
-	sessions map[string]*session
+	// reg is the sharded session registry (registry.go): sessions are
+	// striped by the worker pool's own FNV-1a hash, so the serving path
+	// has no global session lock — create/lookup/delete/evict on
+	// different sessions touch different stripes.
+	reg *sessionRegistry
+
+	// wheel drives server-paced sessions (wheel.go): sessions created
+	// with "paced":true are ticked by the server on coarse timer slots,
+	// batched per worker, instead of per-client tick requests.
+	wheel *tickWheel
+	// paceScratch[w] is worker w's reused paced-tick buffers; each is
+	// touched only by tasks the pool serializes onto worker w.
+	paceScratch []pacedScratch
 }
 
 // New builds a server over a candidate source (numAPs wide), a motion
@@ -129,20 +137,24 @@ func NewWithOptions(plan *floorplan.Plan, src fingerprint.CandidateSource, numAP
 		return nil, err
 	}
 	s := &Server{
-		plan:     plan,
-		src:      src,
-		mdb:      mdb,
-		numAPs:   numAPs,
-		mcfg:     mcfg,
-		opts:     o,
-		met:      newServerMetrics(),
-		pool:     newWorkerPool(o.Workers),
-		retrain:  rt,
-		done:     make(chan struct{}),
-		sessions: make(map[string]*session),
+		plan:    plan,
+		src:     src,
+		mdb:     mdb,
+		numAPs:  numAPs,
+		mcfg:    mcfg,
+		opts:    o,
+		met:     newServerMetrics(),
+		pool:    newWorkerPool(o.Workers),
+		retrain: rt,
+		done:    make(chan struct{}),
+		reg:     newSessionRegistry(o.Shards),
 	}
+	s.wheel = newTickWheel(o.WheelSlots, o.WheelSlotDur, len(s.pool.queues))
+	s.wheel.prime(o.Now())
+	s.paceScratch = make([]pacedScratch, len(s.pool.queues))
 	s.stream.init()
 	s.snap.Store(cmp)
+	s.registerPoolGauges()
 	if o.DataDir != "" {
 		s.openDurability()
 	}
@@ -213,11 +225,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 // NumSessions reports the number of live sessions.
-func (s *Server) NumSessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
-}
+func (s *Server) NumSessions() int { return s.reg.len() }
 
 // Metrics exposes the server's metric registry, for embedding hosts
 // that scrape programmatically instead of via /v1/metricsz.
@@ -258,6 +266,12 @@ type createReq struct {
 	HeightM     float64 `json:"height_m"`
 	WeightKg    float64 `json:"weight_kg"`
 	IntervalSec float64 `json:"interval_sec,omitempty"`
+	// Paced opts the session into server-driven ticking (wheel.go): the
+	// server closes elapsed intervals itself on a coarse timer wheel, so
+	// the client only uploads data and either polls GET for the last fix
+	// or receives pushed Fix frames on its bound stream. molocd -paced
+	// forces it for every session.
+	Paced bool `json:"paced,omitempty"`
 }
 
 // createResp announces a new session and its lifecycle contract.
@@ -265,6 +279,7 @@ type createResp struct {
 	SessionID string    `json:"session_id"`
 	TTLSec    float64   `json:"ttl_sec"`
 	Expires   time.Time `json:"expires"`
+	Paced     bool      `json:"paced,omitempty"`
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -295,24 +310,31 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	tk.UseSnapshot(&s.snap)
 
 	now := s.opts.Now()
-	s.mu.Lock()
-	if len(s.sessions) >= s.opts.MaxSessions {
-		s.mu.Unlock()
+	// Admission is an atomic reserve against MaxSessions — no lock, no
+	// map scan — followed by the stripe insert; a rejected create never
+	// touches any shard.
+	if !s.reg.reserve(s.opts.MaxSessions) {
 		s.met.sessionsRejected.Inc()
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("session limit (%d) reached; retry after idle sessions expire", s.opts.MaxSessions))
 		return
 	}
-	s.nextID++
-	id := "s" + strconv.Itoa(s.nextID)
-	s.sessions[id] = newSession(id, tk, now)
-	s.mu.Unlock()
+	id := s.reg.allocID()
+	ss := newSession(id, tk, now)
+	paced := req.Paced || s.opts.PaceAll
+	ss.paced = paced
+	s.reg.insert(ss)
+	if paced {
+		s.met.pacedSessions.Inc()
+		s.wheel.add(ss, pacedInterval(cfg.IntervalSec), shardOf(id, len(s.pool.queues)), now)
+	}
 
 	s.met.sessionsCreated.Inc()
 	writeJSON(w, http.StatusCreated, createResp{
 		SessionID: id,
 		TTLSec:    s.opts.SessionTTL.Seconds(),
 		Expires:   now.Add(s.opts.SessionTTL),
+		Paced:     paced,
 	})
 }
 
@@ -370,9 +392,7 @@ type metricsResp struct {
 // itself when the session does not exist (or has been evicted).
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	ss, ok := s.sessions[id]
-	s.mu.Unlock()
+	ss, ok := s.reg.get(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown session "+id)
 		return nil, false
@@ -407,16 +427,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	ss, ok := s.sessions[id]
-	if ok {
-		delete(s.sessions, id)
-	}
-	s.mu.Unlock()
+	ss, ok := s.reg.remove(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown session "+id)
 		return
 	}
+	// Marking the session evicted also drops it off the tick wheel: a
+	// paced entry whose session is evicted is discarded at its next due
+	// slot instead of rescheduled.
 	ss.close()
 	s.met.sessionsDeleted.Inc()
 	w.WriteHeader(http.StatusNoContent)

@@ -34,6 +34,43 @@ import (
 	"moloc/internal/wire"
 )
 
+// streamConn serializes all writes on one stream connection. Two
+// parties write to a bound connection — the connection's own frame loop
+// (acks, tick replies, errors) and the tick wheel's fix pusher running
+// on a pool worker (wheel.go) — and wire.Writer is not goroutine-safe,
+// so every write goes through this wrapper and flushes under its lock
+// (a frame never sits half-buffered where another writer could
+// interleave with it).
+type streamConn struct {
+	mu sync.Mutex
+	wr *wire.Writer
+}
+
+func newStreamConn(conn net.Conn) *streamConn {
+	return &streamConn{wr: wire.NewWriter(conn)}
+}
+
+func (sc *streamConn) writeFrame(typ uint8, seq uint64, payload []byte) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.wr.WriteFrame(typ, seq, payload)
+	return sc.wr.Flush()
+}
+
+func (sc *streamConn) writeAck(seq uint64, window uint32) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.wr.WriteAck(seq, window)
+	return sc.wr.Flush()
+}
+
+func (sc *streamConn) writeError(seq uint64, msg string) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.wr.WriteError(seq, msg)
+	return sc.wr.Flush()
+}
+
 // streamSession is the server-side resume state of one stream ID: the
 // highest frame sequence acknowledged durable, for dedup and the
 // hello-ack resume point. It outlives connections (reconnects resume
@@ -255,7 +292,7 @@ func (s *Server) handleStreamConn(conn net.Conn) {
 	s.met.streamConns.Inc()
 
 	rd := wire.NewReader(conn, wire.DefaultMaxPayload)
-	wr := wire.NewWriter(conn)
+	sc := newStreamConn(conn)
 
 	fr, err := rd.ReadFrame()
 	if err != nil {
@@ -263,22 +300,27 @@ func (s *Server) handleStreamConn(conn net.Conn) {
 		return
 	}
 	if fr.Type != wire.FrameHello {
-		s.streamFail(wr, fr.Seq, "expected hello frame")
+		s.streamFail(sc, fr.Seq, "expected hello frame")
 		return
 	}
 	streamID, sessionID, err := wire.DecodeHello(fr.Payload)
 	if err != nil || streamID == "" {
-		s.streamFail(wr, fr.Seq, "bad hello: missing stream id")
+		s.streamFail(sc, fr.Seq, "bad hello: missing stream id")
 		return
 	}
 	var ss *session
 	if sessionID != "" {
-		s.mu.Lock()
-		ss = s.sessions[sessionID]
-		s.mu.Unlock()
+		ss, _ = s.reg.get(sessionID)
 		if ss == nil {
-			s.streamFail(wr, fr.Seq, "unknown session "+sessionID)
+			s.streamFail(sc, fr.Seq, "unknown session "+sessionID)
 			return
+		}
+		// A paced session's server-driven fixes push to the stream that
+		// scoped it (last hello wins); unbind on hangup so the wheel
+		// stops writing into a dead connection.
+		if ss.paced {
+			ss.bindPush(sc)
+			defer ss.unbindPush(sc)
 		}
 	}
 	now := s.opts.Now()
@@ -289,23 +331,21 @@ func (s *Server) handleStreamConn(conn net.Conn) {
 	}
 	// The hello-ack's sequence is the resume point: the client drops
 	// every pending frame at or below it and resends the rest.
-	wr.WriteFrame(wire.FrameHelloAck, st.acked(), wire.AppendWindow(nil, s.streamWindow()))
-	if err := wr.Flush(); err != nil {
+	if err := sc.writeFrame(wire.FrameHelloAck, st.acked(), wire.AppendWindow(nil, s.streamWindow())); err != nil {
 		s.met.streamErrors.Inc()
 		return
 	}
-	if err := s.serveStreamFrames(rd, wr, st, ss); err != nil {
+	if err := s.serveStreamFrames(rd, sc, st, ss); err != nil {
 		s.met.streamErrors.Inc()
 	}
 }
 
 // streamFail answers a protocol violation with an error frame and gives
 // up on the connection.
-func (s *Server) streamFail(wr *wire.Writer, seq uint64, msg string) {
+func (s *Server) streamFail(sc *streamConn, seq uint64, msg string) {
 	s.met.streamErrors.Inc()
-	wr.WriteError(seq, msg)
 	//lint:ignore errdrop the connection is being abandoned either way
-	_ = wr.Flush()
+	_ = sc.writeError(seq, msg)
 }
 
 // streamScratch is the per-connection reused decode state: observation,
@@ -331,7 +371,7 @@ type streamScratch struct {
 // commit once — is what batches a burst under a single fsync.
 //
 //moloc:durable
-func (s *Server) serveStreamFrames(rd *wire.Reader, wr *wire.Writer, st *streamSession, ss *session) error {
+func (s *Server) serveStreamFrames(rd *wire.Reader, sc *streamConn, st *streamSession, ss *session) error {
 	var (
 		scratch    streamScratch
 		ackSeq     uint64 // highest frame sequence to acknowledge at the next commit
@@ -353,7 +393,7 @@ func (s *Server) serveStreamFrames(rd *wire.Reader, wr *wire.Writer, st *streamS
 		case wire.FrameObsBatch:
 			accepted, err := s.acceptStreamBatch(st, fr, &scratch, &connExpect)
 			if err != nil {
-				s.streamFail(wr, fr.Seq, err.Error())
+				s.streamFail(sc, fr.Seq, err.Error())
 				return err
 			}
 			if accepted > ackWALSeq {
@@ -367,29 +407,29 @@ func (s *Server) serveStreamFrames(rd *wire.Reader, wr *wire.Writer, st *streamS
 			}
 		case wire.FrameIMUBatch:
 			if err := s.streamIMU(ss, fr, &scratch); err != nil {
-				s.streamFail(wr, fr.Seq, err.Error())
+				s.streamFail(sc, fr.Seq, err.Error())
 				return err
 			}
 		case wire.FrameScan:
 			if err := s.streamScan(ss, fr, &scratch); err != nil {
-				s.streamFail(wr, fr.Seq, err.Error())
+				s.streamFail(sc, fr.Seq, err.Error())
 				return err
 			}
 		case wire.FrameTick:
-			if err := s.streamTick(ss, wr, fr); err != nil {
-				s.streamFail(wr, fr.Seq, err.Error())
+			if err := s.streamTick(ss, sc, fr); err != nil {
+				s.streamFail(sc, fr.Seq, err.Error())
 				return err
 			}
 		default:
 			err := fmt.Errorf("unexpected frame type %d", fr.Type)
-			s.streamFail(wr, fr.Seq, err.Error())
+			s.streamFail(sc, fr.Seq, err.Error())
 			return err
 		}
 		// Drain-then-commit: only when no complete frame is already
 		// buffered does the covering fsync run and the cumulative ack go
 		// out — one ack (and at most one fsync wait) per burst.
 		if ackSeq > 0 && !rd.FrameBuffered() {
-			if err := s.commitStreamAcks(wr, st, ackSeq, ackWALSeq); err != nil {
+			if err := s.commitStreamAcks(sc, st, ackSeq, ackWALSeq); err != nil {
 				return err
 			}
 			ackSeq, ackWALSeq = 0, 0
@@ -462,7 +502,7 @@ func (s *Server) acceptStreamBatch(st *streamSession, fr wire.Frame, scratch *st
 // cumulative ack. Per the //moloc:durable contract this is the only
 // place stream acks are written, and it runs strictly after the
 // covered appends (lexically and dynamically).
-func (s *Server) commitStreamAcks(wr *wire.Writer, st *streamSession, ackSeq, ackWALSeq uint64) error {
+func (s *Server) commitStreamAcks(sc *streamConn, st *streamSession, ackSeq, ackWALSeq uint64) error {
 	if s.group != nil && ackWALSeq > 0 {
 		if err := s.group.WaitDurable(ackWALSeq); err != nil {
 			// The covering fsync failed: the frames must not be acked.
@@ -474,9 +514,8 @@ func (s *Server) commitStreamAcks(wr *wire.Writer, st *streamSession, ackSeq, ac
 	}
 	now := s.opts.Now()
 	st.setAcked(ackSeq, now)
-	wr.WriteAck(ackSeq, s.streamWindow())
 	s.met.streamAcks.Inc()
-	return wr.Flush()
+	return sc.writeAck(ackSeq, s.streamWindow())
 }
 
 // streamIMU feeds an IMU-batch frame to the scoped tracking session via
@@ -520,7 +559,7 @@ func (s *Server) streamScan(ss *session, fr wire.Frame, scratch *streamScratch) 
 
 // streamTick advances the scoped session and answers FrameFix or
 // FrameNoFix with the tick frame's sequence.
-func (s *Server) streamTick(ss *session, wr *wire.Writer, fr wire.Frame) error {
+func (s *Server) streamTick(ss *session, sc *streamConn, fr wire.Frame) error {
 	if ss == nil {
 		return errors.New("tick frame on a stream with no tracking session")
 	}
@@ -540,16 +579,14 @@ func (s *Server) streamTick(ss *session, wr *wire.Writer, fr wire.Frame) error {
 		return err
 	}
 	if !gotFix {
-		wr.WriteFrame(wire.FrameNoFix, fr.Seq, nil)
-		return wr.Flush()
+		return sc.writeFrame(wire.FrameNoFix, fr.Seq, nil)
 	}
 	if fix.Mode == tracker.ModeFingerprint {
 		s.met.fixesFingerprint.Inc()
 	} else {
 		s.met.fixesMoLoc.Inc()
 	}
-	wr.WriteFrame(wire.FrameFix, fr.Seq, wire.AppendFix(nil, fix.T, fix.Loc, fix.Moved))
-	return wr.Flush()
+	return sc.writeFrame(wire.FrameFix, fr.Seq, wire.AppendFix(nil, fix.T, fix.Loc, fix.Moved))
 }
 
 // runStreamSharded is runSharded for the streaming plane: same worker

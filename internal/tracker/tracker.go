@@ -169,6 +169,7 @@ type Tracker struct {
 
 	intervalStart float64
 	started       bool
+	lastEvent     float64
 	samples       []sensors.Sample
 	scans         []scanRec
 	lastFix       *Fix
@@ -240,7 +241,17 @@ func (t *Tracker) acquireSnapshot() {
 	if t.snap == nil {
 		return
 	}
-	c := t.snap.Load()
+	t.adoptCompiled(t.snap.Load())
+}
+
+// adoptCompiled swaps the localizer onto c when it is a new view. It is
+// the snapshot-free half of acquireSnapshot: the server-paced path
+// loads the RCU pointer once per (worker, slot) batch and hands every
+// tracker in the batch the same view through TickBatchShared, so N
+// paced sessions cost one atomic load instead of N. SnapshotSwaps still
+// counts per-tracker adoptions, so the amortization is observable: with
+// pacing on, swaps lag far behind batch counts.
+func (t *Tracker) adoptCompiled(c *motiondb.Compiled) {
 	if c == nil || c == t.curCmp {
 		return
 	}
@@ -261,12 +272,16 @@ func (t *Tracker) AddIMU(s sensors.Sample) {
 	if !t.started {
 		t.started = true
 		t.intervalStart = s.T
+		t.lastEvent = s.T
 	}
 	if n := len(t.samples); n > 0 && s.T < t.samples[n-1].T {
 		t.stats.SamplesDropped++
 		return
 	}
 	t.samples = append(t.samples, s)
+	if s.T > t.lastEvent {
+		t.lastEvent = s.T
+	}
 	t.stats.SamplesIn++
 }
 
@@ -280,9 +295,13 @@ func (t *Tracker) AddScan(ts float64, fp fingerprint.Fingerprint) {
 	if !t.started {
 		t.started = true
 		t.intervalStart = ts
+		t.lastEvent = ts
 	}
 	if n := len(t.scans); n > 0 && ts < t.scans[n-1].t {
 		return
+	}
+	if ts > t.lastEvent {
+		t.lastEvent = ts
 	}
 	t.scans = append(t.scans, scanRec{t: ts, fp: fp})
 	if len(t.scans) > maxBufferedScans {
@@ -333,6 +352,40 @@ func (t *Tracker) TickBatch(now float64, dst []Fix) []Fix {
 		return dst
 	}
 	t.acquireSnapshot()
+	return t.tickLoop(now, dst)
+}
+
+// TickBatchShared is TickBatch with the motion-index view supplied by
+// the caller instead of loaded from the RCU snapshot: the server-paced
+// tick wheel loads the snapshot once per (worker, slot) batch and runs
+// every due tracker against that one view, so a slot of N sessions
+// costs one atomic load, not N. Passing the current snapshot value
+// yields exactly TickBatch's behavior — the shared view goes through
+// the same adoption (and validation) path — so paced and client-paced
+// sessions produce identical fixes for identical event sequences.
+//
+//moloc:reuse
+func (t *Tracker) TickBatchShared(cmp *motiondb.Compiled, now float64, dst []Fix) []Fix {
+	if !t.started || math.IsNaN(now) || math.IsInf(now, 0) {
+		return dst
+	}
+	t.adoptCompiled(cmp)
+	return t.tickLoop(now, dst)
+}
+
+// LastEventTime returns the timestamp of the newest accepted IMU sample
+// or scan; ok is false before the first event. It is the paced serving
+// path's tick clock: ticking at the last event time closes exactly the
+// intervals a client ticking after each upload would close, which is
+// what makes server pacing bit-identical to client pacing (see
+// TickBatch's equivalence contract).
+func (t *Tracker) LastEventTime() (float64, bool) {
+	return t.lastEvent, t.started
+}
+
+// tickLoop closes every interval elapsed at now, appending fixes to
+// dst. Callers have already validated now and adopted a motion view.
+func (t *Tracker) tickLoop(now float64, dst []Fix) []Fix {
 	for now >= t.intervalStart+t.cfg.IntervalSec {
 		start := t.intervalStart
 		end := start + t.cfg.IntervalSec
@@ -483,6 +536,7 @@ func (t *Tracker) Reset() {
 	t.samples = nil
 	t.scans = nil
 	t.started = false
+	t.lastEvent = 0
 	t.lastFix = nil
 	t.fixBuf = nil
 	t.stats = Stats{}
