@@ -37,11 +37,14 @@ smoke:
 
 # Chaos: the fault-injection and crash-recovery suites (torn WAL tails,
 # checkpoint corruption, injected EIO, kill -9 recovery, the degradation
-# ladder) under the race detector, repeated, then the end-to-end smoke —
-# which itself SIGKILLs and restarts molocd on one data directory.
+# ladder, and replication failover: follower kill -9 resume, leader kill
+# to follower-stale and back, promote with no acked-observation loss)
+# under the race detector, repeated, then the end-to-end smoke — which
+# itself SIGKILLs and restarts molocd on one data directory and runs a
+# three-process leader/follower/promote failover leg.
 chaos:
-	$(GO) test -race -count=3 ./internal/fault/ ./internal/wal/ ./internal/checkpoint/
-	$(GO) test -race -count=3 -run 'TestCrashRecovery|TestTornTail|TestCleanShutdown|TestCorruptCheckpoint|TestWAL|TestClosePrompt|TestInstrument|TestRunSharded|TestFingerprintOnly' \
+	$(GO) test -race -count=3 ./internal/fault/ ./internal/wal/ ./internal/checkpoint/ ./internal/replica/
+	$(GO) test -race -count=3 -run 'TestCrashRecovery|TestTornTail|TestCleanShutdown|TestCorruptCheckpoint|TestWAL|TestClosePrompt|TestInstrument|TestRunSharded|TestFingerprintOnly|TestRepl' \
 		./internal/server/ ./internal/tracker/
 	$(MAKE) smoke
 
@@ -57,12 +60,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable perf artifact: run the hot-path benchmarks and emit
-# BENCH_PR9.json via cmd/benchjson, one data point in the repo's perf
+# BENCH_PR10.json via cmd/benchjson, one data point in the repo's perf
 # trajectory. BENCHTIME trades precision for CI time.
 BENCHTIME ?= 1s
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkFingerprintKNN|BenchmarkMotionMatchProb|BenchmarkMoLocLocalize|BenchmarkScalability|BenchmarkMotionTrain|BenchmarkRecompileEdges|BenchmarkIngestUnderLoad|BenchmarkIngestStream|BenchmarkWALGroupCommit|BenchmarkSessionShards|BenchmarkTickWheel' \
+	$(GO) test -run '^$$' -bench 'BenchmarkFingerprintKNN|BenchmarkMotionMatchProb|BenchmarkMoLocLocalize|BenchmarkScalability|BenchmarkMotionTrain|BenchmarkRecompileEdges|BenchmarkIngestUnderLoad|BenchmarkIngestStream|BenchmarkWALGroupCommit|BenchmarkSessionShards|BenchmarkTickWheel|BenchmarkReplApply' \
 		-benchmem -benchtime $(BENCHTIME) -count 1 . > bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCH_JSON) < bench.out
 	rm -f bench.out
@@ -71,7 +74,7 @@ bench-json:
 # previous PR's pinned numbers; benchmarks shared by both suites must
 # not regress beyond 25%, and every baseline benchmark must still be
 # present (benchjson -diff fails on removals).
-OLD ?= BENCH_PR8.json
+OLD ?= BENCH_PR9.json
 bench-diff: bench-json
 	$(GO) run ./cmd/benchjson -diff -max-regress 25 $(OLD) $(BENCH_JSON)
 

@@ -19,6 +19,11 @@
 //
 //	go run ./cmd/molocd -addr :8080 -stream-addr :8081
 //	go run ./cmd/molocctl -server http://localhost:8080 -stream localhost:8081
+//
+// With a replicated deployment (molocd -follow), "molocctl promote"
+// turns the read replica at -server into the leader:
+//
+//	go run ./cmd/molocctl -server http://localhost:8090 promote
 package main
 
 import (
@@ -58,6 +63,11 @@ func run() error {
 		legs   = flag.Int("legs", 10, "walk length in aisle legs")
 	)
 	flag.Parse()
+
+	// Subcommands that talk to the server without simulating a walk.
+	if flag.Arg(0) == "promote" {
+		return promote(*server)
+	}
 
 	// Rebuild the same world locally to simulate the walker's phone.
 	cfg := core.NewConfig()
@@ -180,6 +190,24 @@ func streamWalk(sys *core.System, walk *trace.Trace, sessionID, addr string) err
 			fmt.Printf("t=%5.1fs server says location %2d %v; walker is at %v (%.1fm off)\n",
 				leg.T1, loc, fixPos, truth, fixPos.Dist(truth))
 		}
+	}
+	return nil
+}
+
+// promote flips the read replica at base into a leader via the
+// idempotent admin endpoint and reports the resulting role.
+func promote(base string) error {
+	var resp struct {
+		Role     string `json:"role"`
+		Promoted bool   `json:"promoted"`
+	}
+	if err := post(base+"/v1/admin/promote", struct{}{}, &resp); err != nil {
+		return fmt.Errorf("promote: %w", err)
+	}
+	if resp.Promoted {
+		fmt.Printf("%s promoted: now the leader and accepting observations\n", base)
+	} else {
+		fmt.Printf("%s already the leader; nothing to do\n", base)
 	}
 	return nil
 }

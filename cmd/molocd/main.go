@@ -9,7 +9,7 @@
 //	       [-aps N] [-horus] [-train N] [-session-ttl 15m] [-max-sessions N]
 //	       [-workers N] [-shards N] [-paced] [-gate] [-drain 10s] [-retrain 30s]
 //	       [-data-dir DIR] [-fsync always|interval|none] [-fsync-every 100ms]
-//	       [-pprof addr]
+//	       [-follow leader:port] [-repl-lag-max 10s] [-pprof addr]
 //
 // The motion database retrains online: POST /v1/observations feeds the
 // background retrainer, which republishes the compiled motion index
@@ -34,6 +34,17 @@
 // its WAL record's covering fsync — with one group-committed fsync
 // amortized over every stream that raced in. molocsim -stream and
 // molocctl stream speak it.
+//
+// -follow runs this molocd as a read replica: it dials the named
+// leader's -stream-addr listener, bootstraps from the leader's newest
+// checkpoint, and replays the leader's WAL into its own -data-dir —
+// serving sessions and fixes off the replicated motion database while
+// answering POST /v1/observations with 409 (the leader owns writes).
+// /v1/healthz gains "role" and replication lag fields; a follower more
+// than -repl-lag-max behind serves fingerprint-only fixes until it
+// catches up. POST /v1/admin/promote (molocctl promote) turns the
+// replica into a leader that accepts ingest, with nothing the old
+// leader acknowledged lost.
 //
 // -paced flips every session to server pacing: instead of clients
 // POSTing /tick, the server's timer wheel ticks each session at its
@@ -101,6 +112,8 @@ func run() error {
 		dataDir     = flag.String("data-dir", "", "durability directory: observation WAL + motion-DB checkpoints (empty = in-memory only)")
 		fsync       = flag.String("fsync", "always", "WAL durability policy: always, interval, or none")
 		fsyncEvery  = flag.Duration("fsync-every", wal.DefaultSyncEvery, "group-commit window under -fsync interval")
+		follow      = flag.String("follow", "", "run as a read replica following the leader's stream listener at this host:port (requires -data-dir)")
+		replLagMax  = flag.Duration("repl-lag-max", server.DefaultReplLagMax, "replication lag beyond which a follower serves fingerprint-only fixes")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate debug address (empty = off)")
 	)
 	flag.Parse()
@@ -121,6 +134,11 @@ func run() error {
 		DataDir:         *dataDir,
 		FsyncPolicy:     policy,
 		FsyncInterval:   *fsyncEvery,
+		FollowAddr:      *follow,
+		ReplLagMax:      *replLagMax,
+	}
+	if *follow != "" && *dataDir == "" {
+		return errors.New("-follow requires -data-dir: a replica keeps a durable copy of the leader's history")
 	}
 
 	var srv *server.Server
@@ -185,6 +203,10 @@ func run() error {
 	if *dataDir != "" {
 		fmt.Fprintf(os.Stderr, "molocd: durability on (data-dir=%s fsync=%s); serving state %q\n",
 			*dataDir, *fsync, srv.ServingState())
+	}
+	if *follow != "" {
+		fmt.Fprintf(os.Stderr, "molocd: read replica following %s (lag window %s); POST /v1/admin/promote to take over\n",
+			*follow, *replLagMax)
 	}
 	if *pprofAddr != "" {
 		//lint:ignore waitleak the debug listener lives for the process; nothing joins it

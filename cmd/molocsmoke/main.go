@@ -222,7 +222,24 @@ func run() error {
 		return fmt.Errorf("stream leg: %w", err)
 	}
 
-	// 7. Graceful drain: SIGTERM must yield a clean exit.
+	// 7. Replication leg: a follower molocd replicates the leader's WAL,
+	// survives the leader's SIGKILL in follower-stale, promotes, takes
+	// ingest, and — after its own kill -9 — replays every observation it
+	// ever acknowledged. The leader dies in this leg; the promoted
+	// follower is the process the drain step below shuts down.
+	folDir, err := os.MkdirTemp("", "molocsmoke-fol-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = os.RemoveAll(folDir)
+	}()
+	cmd, err = replicationLeg(cmd, *molocd, streamAddr, *train, folDir, deadline)
+	if err != nil {
+		return fmt.Errorf("replication leg: %w", err)
+	}
+
+	// 8. Graceful drain: SIGTERM must yield a clean exit.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return fmt.Errorf("signal molocd: %w", err)
 	}
@@ -381,6 +398,252 @@ func streamLeg(cmd *exec.Cmd, bin, addr, streamAddr string, train int, dataDir s
 	fmt.Printf("molocsmoke: stream resumed after crash (%d/%d acked observations replayed, 0 lost)\n",
 		replayed, ackedObs)
 	return cmd, nil
+}
+
+// startFollower launches molocd as a read replica of the leader's
+// stream listener. Retraining is pushed out past the leg's lifetime so
+// no checkpoint absorbs replicated records out of the WAL — the replay
+// accounting at the end of the leg counts every one of them.
+func startFollower(bin, addr, streamAddr string, train int, dataDir, leaderStream string) (*exec.Cmd, error) {
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-stream-addr", streamAddr,
+		"-train", fmt.Sprint(train),
+		"-drain", "5s",
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-retrain", "1h",
+		"-follow", leaderStream,
+		"-repl-lag-max", "2s",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start follower %s: %w", bin, err)
+	}
+	return cmd, nil
+}
+
+// smokeHealth is the slice of /v1/healthz the replication leg asserts
+// on.
+type smokeHealth struct {
+	Status    string  `json:"status"`
+	Role      string  `json:"role"`
+	Connected bool    `json:"replication_connected"`
+	LagSeq    float64 `json:"replication_lag_seq"`
+}
+
+// waitHealth polls base's healthz until cond holds on it.
+func waitHealth(base, what string, deadline time.Time, cond func(h smokeHealth) bool) error {
+	for time.Now().Before(deadline) {
+		var h smokeHealth
+		if err := call(http.MethodGet, base+"/v1/healthz", nil, http.StatusOK, &h); err == nil && cond(h) {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("deadline waiting for %s", what)
+}
+
+// replicationLeg is the three-process failover scenario: leader (cmd) +
+// a follower bootstrapped over replication + the promoted follower
+// restarted after its own crash. It kills the leader and returns the
+// promoted follower's process for the caller's drain step.
+//
+// The WAL accounting that makes "no acked-observation loss" checkable
+// from outside: the follower's repl_applied_observations counter must
+// track the leader's acked stream batches exactly (equality, so neither
+// loss nor double-apply), and after the promoted follower's kill -9 its
+// wal_replayed_observations must equal everything it applied over
+// replication plus everything it ingested as the new leader.
+func replicationLeg(cmd *exec.Cmd, bin, leaderStream string, train int, folDir string, deadline time.Time) (*exec.Cmd, error) {
+	const (
+		replBatches = 8
+		obsPerBatch = 4
+	)
+	folAddr, err := freeAddr()
+	if err != nil {
+		return cmd, err
+	}
+	folStream, err := freeAddr()
+	if err != nil {
+		return cmd, err
+	}
+	folBase := "http://" + folAddr
+
+	fol, err := startFollower(bin, folAddr, folStream, train, folDir, leaderStream)
+	if err != nil {
+		return cmd, err
+	}
+	// Backstop for the error paths only: the success path hands the live
+	// process back to the caller's drain step.
+	handedOff := false
+	defer func() {
+		if !handedOff && fol.ProcessState == nil {
+			_ = fol.Process.Kill()
+			_ = fol.Wait()
+		}
+	}()
+	aps, err := waitHealthy(folBase, deadline)
+	if err != nil {
+		return cmd, fmt.Errorf("follower boot: %w", err)
+	}
+
+	// A read replica refuses writes with 409, pointing at the leader.
+	if err := call(http.MethodPost, folBase+"/v1/observations",
+		map[string]interface{}{"observations": []map[string]interface{}{
+			{"from": 1, "to": 2, "rlm": map[string]float64{"dir": 90, "off": 5}},
+		}}, http.StatusConflict, nil); err != nil {
+		return cmd, fmt.Errorf("follower ingest must 409: %w", err)
+	}
+
+	// Catch up on the leader's existing history, then baseline the
+	// applied-observation counter.
+	if err := waitHealth(folBase, "follower catch-up", deadline, func(h smokeHealth) bool {
+		return h.Role == "follower" && h.Connected && h.LagSeq == 0
+	}); err != nil {
+		return cmd, err
+	}
+	m, err := scrape(folBase)
+	if err != nil {
+		return cmd, err
+	}
+	applied0 := m.Counters["repl_applied_observations"]
+	fmt.Printf("molocsmoke: follower caught up (%d observations replicated)\n", applied0)
+
+	// Stream fresh batches to the leader; the follower must apply every
+	// acked observation exactly once.
+	batch := make([]motiondb.Observation, obsPerBatch)
+	for i := range batch {
+		batch[i] = motiondb.Observation{From: 1, To: 2, RLM: motion.RLM{Dir: 90, Off: 5}}
+	}
+	c, err := wire.DialStream(leaderStream, "molocsmoke-repl", wire.ClientOptions{})
+	if err != nil {
+		return cmd, fmt.Errorf("dial leader stream: %w", err)
+	}
+	for b := 0; b < replBatches; b++ {
+		if err := c.SendObservations(batch); err != nil {
+			//lint:ignore errdrop the send error is the failure being reported
+			_ = c.Close()
+			return cmd, fmt.Errorf("send repl batch %d: %w", b, err)
+		}
+	}
+	if err := c.WaitAcked(); err != nil {
+		//lint:ignore errdrop the ack error is the failure being reported
+		_ = c.Close()
+		return cmd, fmt.Errorf("wait acked on leader: %w", err)
+	}
+	if err := c.Close(); err != nil {
+		return cmd, err
+	}
+	wantApplied := applied0 + replBatches*obsPerBatch
+	for {
+		if m, err = scrape(folBase); err != nil {
+			return cmd, err
+		}
+		got := m.Counters["repl_applied_observations"]
+		if got == wantApplied {
+			break
+		}
+		if got > wantApplied {
+			return cmd, fmt.Errorf("follower applied %d observations, leader only acked %d: double-apply",
+				got, wantApplied)
+		}
+		if !time.Now().Before(deadline) {
+			return cmd, fmt.Errorf("follower applied %d observations before deadline, want %d", got, wantApplied)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("molocsmoke: follower applied all %d acked observations exactly once\n", wantApplied)
+
+	// Kill the leader. The follower must degrade to follower-stale —
+	// and keep serving fixes.
+	if err := cmd.Process.Kill(); err != nil {
+		return cmd, fmt.Errorf("kill leader: %w", err)
+	}
+	//lint:ignore errdrop a SIGKILLed process never exits cleanly; the failure is the point
+	_ = cmd.Wait()
+	fmt.Println("molocsmoke: killed the leader (SIGKILL)")
+	if err := waitHealth(folBase, "follower-stale entry", deadline, func(h smokeHealth) bool {
+		return h.Status == "follower-stale" && h.Role == "follower"
+	}); err != nil {
+		return fol, err
+	}
+	var created struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := call(http.MethodPost, folBase+"/v1/sessions",
+		map[string]float64{"height_m": 1.71, "weight_kg": 68}, http.StatusCreated, &created); err != nil {
+		return fol, fmt.Errorf("create session on stale follower: %w", err)
+	}
+	if _, err := driveFix(folBase, created.SessionID, aps); err != nil {
+		return fol, fmt.Errorf("stale follower must still serve fixes: %w", err)
+	}
+	fmt.Println("molocsmoke: leaderless follower is stale but serving")
+
+	// Promote. Ingest opens, the ladder clears, healthz flips role.
+	var promoted struct {
+		Role     string `json:"role"`
+		Promoted bool   `json:"promoted"`
+	}
+	if err := call(http.MethodPost, folBase+"/v1/admin/promote", nil, http.StatusOK, &promoted); err != nil {
+		return fol, fmt.Errorf("promote: %w", err)
+	}
+	if promoted.Role != "leader" || !promoted.Promoted {
+		return fol, fmt.Errorf("promote answered %+v, want promoted leader", promoted)
+	}
+	if err := waitHealth(folBase, "promoted ladder clear", deadline, func(h smokeHealth) bool {
+		return h.Status == "ok" && h.Role == "leader"
+	}); err != nil {
+		return fol, err
+	}
+	ingest := []map[string]interface{}{
+		{"from": 1, "to": 2, "rlm": map[string]float64{"dir": 90, "off": 5}},
+		{"from": 2, "to": 1, "rlm": map[string]float64{"dir": 270, "off": 5}},
+	}
+	if err := call(http.MethodPost, folBase+"/v1/observations",
+		map[string]interface{}{"observations": ingest}, http.StatusAccepted, nil); err != nil {
+		return fol, fmt.Errorf("ingest on promoted follower: %w", err)
+	}
+	fmt.Println("molocsmoke: promoted follower accepts ingest")
+
+	// kill -9 the promoted follower and restart it standalone: the WAL
+	// replay must cover every observation it applied over replication
+	// plus the batch it ingested as leader — zero acked-observation loss
+	// across the whole failover.
+	if err := fol.Process.Kill(); err != nil {
+		return fol, fmt.Errorf("kill promoted follower: %w", err)
+	}
+	//lint:ignore errdrop a SIGKILLed process never exits cleanly; the failure is the point
+	_ = fol.Wait()
+	fol, err = startMolocd(bin, folAddr, folStream, train, folDir)
+	if err != nil {
+		return fol, err
+	}
+	if _, err := waitHealthy(folBase, deadline); err != nil {
+		return fol, fmt.Errorf("promoted follower restart: %w", err)
+	}
+	if m, err = scrape(folBase); err != nil {
+		return fol, err
+	}
+	wantReplay := wantApplied + int64(len(ingest))
+	if got := m.Counters["wal_replayed_observations"]; got != wantReplay {
+		return fol, fmt.Errorf("promoted follower replayed %d observations, want %d (replicated %d + ingested %d)",
+			got, wantReplay, wantApplied, len(ingest))
+	}
+	if err := call(http.MethodPost, folBase+"/v1/sessions",
+		map[string]float64{"height_m": 1.71, "weight_kg": 68}, http.StatusCreated, &created); err != nil {
+		return fol, fmt.Errorf("create session after failover: %w", err)
+	}
+	fix, err := driveFix(folBase, created.SessionID, aps)
+	if err != nil {
+		return fol, fmt.Errorf("after failover: %w", err)
+	}
+	if fix.Mode != "moloc" {
+		return fol, fmt.Errorf("fix mode after failover = %q, want moloc", fix.Mode)
+	}
+	fmt.Printf("molocsmoke: failover complete (replayed %d observations, 0 lost)\n", wantReplay)
+	handedOff = true
+	return fol, nil
 }
 
 // smokeFix is the slice of the fix payload the smoke asserts on.

@@ -1,0 +1,107 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"moloc/internal/fault"
+)
+
+// TestSnapshotChunking sweeps chunk sizes over a payload, asserting
+// every sweep reassembles the exact bytes and terminates with last on
+// the final chunk — including the size-divides-length boundary where
+// the final chunk is exactly full.
+func TestSnapshotChunking(t *testing.T) {
+	payload := []byte("0123456789abcdefghij") // 20 bytes
+	dir := t.TempDir()
+	if err := Save(fault.Disk{}, dir, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 3, 4, 5, 7, 19, 20, 21, 1000} {
+		s, _, err := OpenLatest(fault.Disk{}, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.LastSeq != 7 || s.Size() != len(payload) {
+			t.Fatalf("size %d: LastSeq=%d Size=%d", size, s.LastSeq, s.Size())
+		}
+		var got []byte
+		chunks := 0
+		for {
+			chunk, last := s.Next(size)
+			got = append(got, chunk...)
+			chunks++
+			if len(chunk) > size {
+				t.Fatalf("size %d: chunk of %d bytes exceeds requested size", size, len(chunk))
+			}
+			if last {
+				break
+			}
+			if chunks > len(payload)+1 {
+				t.Fatalf("size %d: no terminating chunk after %d chunks", size, chunks)
+			}
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("size %d: reassembled %q, want %q", size, got, payload)
+		}
+		wantChunks := (len(payload) + size - 1) / size
+		if wantChunks < 1 {
+			wantChunks = 1
+		}
+		if chunks != wantChunks {
+			t.Fatalf("size %d: %d chunks, want %d", size, chunks, wantChunks)
+		}
+		// The stream is exhausted: further reads only repeat the terminator.
+		if chunk, last := s.Next(size); chunk != nil || !last {
+			t.Fatalf("size %d: post-terminator Next = (%q, %v), want (nil, true)", size, chunk, last)
+		}
+	}
+}
+
+// TestSnapshotEmptyCheckpoint: a zero-length checkpoint still yields
+// exactly one (empty, last) chunk so the receiver sees a terminator.
+func TestSnapshotEmptyCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(fault.Disk{}, dir, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := OpenLatest(fault.Disk{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk, last := s.Next(4096)
+	if len(chunk) != 0 || !last {
+		t.Fatalf("empty checkpoint: Next = (%q, %v), want (empty, true)", chunk, last)
+	}
+	if chunk, last := s.Next(4096); chunk != nil || !last {
+		t.Fatalf("after terminator: Next = (%q, %v), want (nil, true)", chunk, last)
+	}
+}
+
+// TestOpenLatestNewestWinsAndNoCheckpoint: OpenLatest shares Latest's
+// newest-valid-wins choice and its typed miss.
+func TestOpenLatestNewestWinsAndNoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(fault.Disk{}, dir, 5, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(fault.Disk{}, dir, 9, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := OpenLatest(fault.Disk{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LastSeq != 9 {
+		t.Fatalf("LastSeq = %d, want the newest checkpoint's 9", s.LastSeq)
+	}
+	chunk, last := s.Next(1 << 20)
+	if string(chunk) != "new" || !last {
+		t.Fatalf("payload = %q, want the newest checkpoint's", chunk)
+	}
+
+	if _, _, err := OpenLatest(fault.Disk{}, t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}

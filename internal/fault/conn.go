@@ -1,0 +1,112 @@
+// Conn is the transport counterpart of the FS seam: a net.Conn wrapper
+// that severs the connection after a byte budget, leaving a torn frame
+// on the wire exactly the way a mid-ship crash or cut does. Replication
+// tests use it to prove that a WAL segment or checkpoint chunk torn in
+// flight is detected (frame CRC / short read) and healed by
+// redial-resume rather than half-applied.
+package fault
+
+import (
+	"net"
+	"sync"
+)
+
+// Conn wraps an inner net.Conn with independent read and write byte
+// budgets. Once a budget is exhausted mid-call, the call transfers only
+// the bytes the budget allows (the torn prefix), the underlying
+// connection is closed, and every later call fails. A negative budget
+// is unlimited.
+type Conn struct {
+	net.Conn
+
+	mu          sync.Mutex
+	readBudget  int64
+	writeBudget int64
+	err         error
+	tripped     bool
+}
+
+// NewConn wraps inner. err is returned from calls after the trip; nil
+// selects ErrInjected.
+func NewConn(inner net.Conn, readBudget, writeBudget int64, err error) *Conn {
+	if err == nil {
+		err = ErrInjected
+	}
+	return &Conn{Conn: inner, readBudget: readBudget, writeBudget: writeBudget, err: err}
+}
+
+// trip closes the inner connection and fails all subsequent calls.
+// Called with c.mu held.
+func (c *Conn) tripLocked() {
+	c.tripped = true
+	//lint:ignore errdrop the injected fault is the error being delivered; the close is cleanup
+	_ = c.Conn.Close()
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.tripped {
+		c.mu.Unlock()
+		return 0, c.err
+	}
+	limit := len(p)
+	limited := c.readBudget >= 0
+	if limited && int64(limit) > c.readBudget {
+		limit = int(c.readBudget)
+	}
+	c.mu.Unlock()
+
+	if limited && limit == 0 {
+		c.mu.Lock()
+		c.tripLocked()
+		c.mu.Unlock()
+		return 0, c.err
+	}
+	n, err := c.Conn.Read(p[:limit])
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if limited {
+		c.readBudget -= int64(n)
+		if c.readBudget <= 0 && !c.tripped {
+			c.tripLocked()
+			return n, c.err
+		}
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.tripped {
+		c.mu.Unlock()
+		return 0, c.err
+	}
+	limit := len(p)
+	limited := c.writeBudget >= 0
+	if limited && int64(limit) > c.writeBudget {
+		limit = int(c.writeBudget)
+	}
+	c.mu.Unlock()
+
+	var n int
+	var err error
+	if limit > 0 {
+		n, err = c.Conn.Write(p[:limit])
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if limited {
+		c.writeBudget -= int64(n)
+		if (c.writeBudget <= 0 || limit < len(p)) && !c.tripped {
+			c.tripLocked()
+			return n, c.err
+		}
+	}
+	if err == nil && n < len(p) {
+		// A short write without an error would silently drop bytes.
+		return n, c.err
+	}
+	return n, err
+}

@@ -11,6 +11,7 @@ package httpretry
 
 import (
 	"bytes"
+	"context"
 	"net/http"
 	"strconv"
 	"time"
@@ -94,10 +95,20 @@ func RetryableStatus(status int) bool {
 // attempts or budget ran out — or the last transport error when no
 // response ever arrived. The caller owns the returned response body.
 func (p Policy) Do(method, url, contentType string, body []byte) (*http.Response, error) {
+	return p.DoContext(context.Background(), method, url, contentType, body)
+}
+
+// DoContext is Do with a caller-owned lifetime: ctx rides every request
+// (so in-flight attempts abort with it) and a cancellation or deadline
+// expiry cuts a backoff sleep short immediately — a caller giving up
+// during the longest capped delay gets control back within a tick, not
+// after the delay runs out. A canceled call returns ctx's error.
+func (p Policy) DoContext(ctx context.Context, method, url, contentType string, body []byte) (*http.Response, error) {
+	customSleep := p.Sleep != nil
 	p = p.withDefaults()
 	var spent time.Duration
 	for attempt := 0; ; attempt++ {
-		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
 		if err != nil {
 			return nil, err // malformed request; no retry can fix it
 		}
@@ -126,7 +137,34 @@ func (p Policy) Do(method, url, contentType string, body []byte) (*http.Response
 			_ = resp.Body.Close()
 		}
 		spent += delay
-		p.Sleep(delay)
+		if werr := p.sleep(ctx, delay, customSleep); werr != nil {
+			// The caller gave up mid-backoff; its cancellation — not the
+			// transport state we were retrying — is the outcome.
+			return nil, werr
+		}
+	}
+}
+
+// sleep waits out one backoff delay, aborting as soon as ctx is
+// canceled. An injected Sleep seam stays synchronous — tests that
+// capture delays own time — but is still fenced by ctx checks on both
+// sides; the default path selects on a real timer so a cancellation
+// mid-delay returns immediately.
+func (p Policy) sleep(ctx context.Context, d time.Duration, customSleep bool) error {
+	if customSleep {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
 	}
 }
 

@@ -1,6 +1,8 @@
 package httpretry
 
 import (
+	"context"
+	"errors"
 	"io"
 	"net"
 	"net/http"
@@ -236,5 +238,75 @@ func TestExhaustedConnectionErrorsSurface(t *testing.T) {
 	}
 	if len(delays) != 2 {
 		t.Fatalf("delays = %v, want 2 retries", delays)
+	}
+}
+
+func TestContextCancelAbortsBackoffMidSleep(t *testing.T) {
+	// The server always sheds, so every attempt wants a long backoff.
+	ts, calls := scripted(http.StatusServiceUnavailable, http.StatusServiceUnavailable,
+		http.StatusServiceUnavailable, http.StatusServiceUnavailable)
+	defer ts.Close()
+
+	p := New(stats.NewRNG(1))
+	// Real sleeps (no seam) with a first delay far longer than the test:
+	// only a cancellation cutting the sleep short lets this finish.
+	p.Base = 30 * time.Second
+	p.Cap = 30 * time.Second
+	p.Budget = 10 * time.Minute
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var resp *http.Response
+	var err error
+	go func() {
+		defer close(done)
+		resp, err = p.DoContext(ctx, http.MethodPost, ts.URL, "application/json", nil)
+	}()
+
+	// Let the first attempt land and the backoff start, then cancel.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("DoContext still sleeping 2s after cancellation; backoff ignored the context")
+	}
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if resp != nil {
+		t.Fatalf("canceled call returned a response: %v", resp.Status)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("attempts after cancel = %d, want 1", got)
+	}
+}
+
+func TestContextCancelWithSleepSeamStillAborts(t *testing.T) {
+	// With an injected Sleep seam the wait is synchronous, but the fence
+	// after it must still stop the retry loop: no request goes out on a
+	// canceled context.
+	ts, calls := scripted(http.StatusServiceUnavailable, http.StatusServiceUnavailable,
+		http.StatusServiceUnavailable)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	p := New(stats.NewRNG(1))
+	var delays []time.Duration
+	p.Sleep = func(d time.Duration) {
+		delays = append(delays, d)
+		cancel() // the caller gives up while the backoff "sleeps"
+	}
+	resp, err := p.DoContext(ctx, http.MethodPost, ts.URL, "application/json", nil)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if resp != nil {
+		t.Fatalf("canceled call returned a response: %v", resp.Status)
+	}
+	if len(delays) != 1 || calls.Load() != 1 {
+		t.Fatalf("delays = %v, calls = %d; want exactly one of each", delays, calls.Load())
 	}
 }

@@ -37,6 +37,11 @@ const (
 	stateOK int32 = iota
 	stateDegraded
 	stateRecovering
+	// stateFollowerStale is the replication rung (replication.go): a
+	// follower trailing its leader beyond Options.ReplLagMax serves
+	// fingerprint-only fixes — its motion DB is as suspect as a degraded
+	// server's — and recovers on its own when it catches back up.
+	stateFollowerStale
 )
 
 // stateName maps ladder states to the strings the API exposes.
@@ -46,6 +51,8 @@ func stateName(st int32) string {
 		return "degraded-fingerprint-only"
 	case stateRecovering:
 		return "recovering"
+	case stateFollowerStale:
+		return "follower-stale"
 	}
 	return "ok"
 }
@@ -59,6 +66,18 @@ func (s *Server) setState(st int32) {
 	if s.state.Swap(st) != st {
 		s.met.reg.Counter("state_transitions{to=" + stateName(st) + "}").Inc()
 	}
+}
+
+// casState moves the ladder only from a specific rung, so independent
+// subsystems (durability here, the replication monitor in
+// replication.go) can each clear the rung they own without clobbering
+// the other's. Reports whether the transition happened.
+func (s *Server) casState(from, to int32) bool {
+	if !s.state.CompareAndSwap(from, to) {
+		return false
+	}
+	s.met.reg.Counter("state_transitions{to=" + stateName(to) + "}").Inc()
+	return true
 }
 
 // fingerprintOnly reports whether sessions should skip motion matching

@@ -7,6 +7,7 @@
 package server
 
 import (
+	"net"
 	"runtime"
 	"sync"
 	"time"
@@ -61,6 +62,11 @@ const (
 	// (16 s by default — beyond it entries are re-examined per rotation,
 	// the standard hashed-wheel overflow behavior).
 	DefaultWheelSlots = 64
+	// DefaultReplLagMax is how far a follower may trail its leader —
+	// measured as time since it last covered the leader's published tail
+	// — before the degradation ladder enters follower-stale
+	// (replication.go) and fixes fall back to the fingerprint path.
+	DefaultReplLagMax = 10 * time.Second
 )
 
 // Options are the serving limits of a Server. The zero value of each
@@ -150,6 +156,22 @@ type Options struct {
 	WALSegmentBytes int64
 	// CheckpointRetain is how many checkpoints pruning keeps.
 	CheckpointRetain int
+	// FollowAddr, when set, boots the server as a read replica
+	// (replication.go): a replication client follows the leader's stream
+	// listener at this address, replaying its WAL into the local one.
+	// Ingest answers 409 pointing here until Promote. Requires DataDir —
+	// a follower's whole point is a durable copy of the leader's history.
+	FollowAddr string
+	// ReplLagMax is the staleness window for the follower-stale rung;
+	// zero selects DefaultReplLagMax.
+	ReplLagMax time.Duration
+	// ReplChunkBytes sizes the checkpoint chunks served to bootstrapping
+	// followers; zero selects the replica package default.
+	ReplChunkBytes int
+	// ReplDial overrides the follower's leader dialer — tests inject
+	// in-process pipes or fault-wrapped connections. With ReplDial set,
+	// FollowAddr may be any non-empty label.
+	ReplDial func() (net.Conn, error)
 	// Now is the clock, overridable by tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -203,6 +225,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointRetain <= 0 {
 		o.CheckpointRetain = DefaultCheckpointRetain
+	}
+	if o.ReplLagMax <= 0 {
+		o.ReplLagMax = DefaultReplLagMax
 	}
 	if o.FS == nil {
 		o.FS = fault.Disk{}
@@ -339,10 +364,20 @@ func (ss *session) close() {
 // directly.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
-		s.wg.Add(3)
+		n := 3
+		if s.follower != nil {
+			// Follower mode adds the replication client and the staleness
+			// monitor (replication.go).
+			n += 2
+		}
+		s.wg.Add(n)
 		go s.sweepLoop()
 		go s.retrainLoop()
 		go s.paceLoop()
+		if s.follower != nil {
+			go s.runFollower()
+			go s.replMonitor()
+		}
 	})
 }
 
@@ -395,6 +430,9 @@ func (s *Server) sweepLoop() {
 // tear down live sessions; the process is expected to exit after.
 func (s *Server) Close() {
 	s.stopOnce.Do(func() { close(s.done) })
+	// The replication client (if any) stops with the server; Promote may
+	// already have stopped it (replication.go).
+	s.stopReplication()
 	// The streaming plane goes first: once the WAL starts closing no
 	// handler may append, so stop accepting, sever live connections, and
 	// join every handler before touching the store.

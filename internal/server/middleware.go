@@ -63,6 +63,14 @@ type serverMetrics struct {
 	streamAcks    *obs.Counter
 	streamErrors  *obs.Counter
 
+	// Replication metrics (replication.go): leader-side connection count,
+	// follower-side apply progress, and role promotions.
+	replConns      *obs.Counter
+	replApplied    *obs.Counter
+	replAppliedObs *obs.Counter
+	replSnapshots  *obs.Counter
+	promotions     *obs.Counter
+
 	// Server-paced tick-wheel metrics (wheel.go). pacedTicks versus
 	// pacedSnapshotLoads is the batching ratio: how many session ticks
 	// each (worker, slot) snapshot load amortized over.
@@ -113,6 +121,12 @@ func newServerMetrics() *serverMetrics {
 		streamFrames:  reg.Counter("stream_frames"),
 		streamAcks:    reg.Counter("stream_acks"),
 		streamErrors:  reg.Counter("stream_errors"),
+
+		replConns:      reg.Counter("repl_conns"),
+		replApplied:    reg.Counter("repl_applied_records"),
+		replAppliedObs: reg.Counter("repl_applied_observations"),
+		replSnapshots:  reg.Counter("repl_snapshots_installed"),
+		promotions:     reg.Counter("promotions"),
 
 		pacedSessions:      reg.Counter("paced_sessions"),
 		pacedTicks:         reg.Counter("paced_ticks"),

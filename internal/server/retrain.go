@@ -280,7 +280,12 @@ func (s *Server) RetrainNow() (int, error) {
 		rt.ckptSeq = rt.lastSeq
 	}
 	if durable {
-		s.setState(stateOK)
+		// A durable fold clears only the durability rungs: the
+		// follower-stale rung is owned by the replication monitor
+		// (replication.go) and must survive a successful local checkpoint —
+		// a stale follower's checkpoints are durable but still behind.
+		s.casState(stateDegraded, stateOK)
+		s.casState(stateRecovering, stateOK)
 	}
 	return len(dirty), nil
 }
@@ -338,6 +343,15 @@ var obsIngestPool = sync.Pool{
 //
 //moloc:durable
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	// A read replica must not accept writes: the leader's WAL is the one
+	// history followers replay, so a batch accepted here would fork it.
+	// 409 (not 503) — the request is fine, this server is the wrong one.
+	if s.role.Load() == roleFollower {
+		httpError(w, http.StatusConflict,
+			"read replica: send observations to the leader at "+s.opts.FollowAddr+
+				" (or promote this follower)")
+		return
+	}
 	sc := obsIngestPool.Get().(*obsIngestScratch)
 	defer obsIngestPool.Put(sc)
 	var ok bool

@@ -41,6 +41,7 @@ import (
 	"moloc/internal/motion"
 	"moloc/internal/motiondb"
 	"moloc/internal/obs"
+	"moloc/internal/replica"
 	"moloc/internal/sensors"
 	"moloc/internal/tracker"
 	"moloc/internal/wal"
@@ -65,9 +66,19 @@ type Server struct {
 	// (wal.GroupCommitter); nil when store is nil.
 	group *wal.GroupCommitter
 	// state is the degradation-ladder position (stateOK, stateDegraded,
-	// stateRecovering), read lock-free by every tick and written on
-	// durability transitions.
+	// stateRecovering, stateFollowerStale), read lock-free by every tick
+	// and written on durability and replication transitions.
 	state atomic.Int32
+
+	// Replication (replication.go). role distinguishes the leader
+	// (accepts ingest, serves replication) from a follower (replays the
+	// leader's WAL, answers ingest with 409); Promote flips it at
+	// runtime. follower/replStop/replStart exist only in follower mode.
+	role         atomic.Int32
+	follower     *replica.Follower
+	replStop     chan struct{}
+	replStopOnce sync.Once
+	replStart    time.Time
 
 	// snap is the RCU-published compiled motion index: the retrainer is
 	// the only writer, every session's tracker loads it once per tick.
@@ -158,6 +169,22 @@ func NewWithOptions(plan *floorplan.Plan, src fingerprint.CandidateSource, numAP
 	if o.DataDir != "" {
 		s.openDurability()
 	}
+	if o.FollowAddr != "" {
+		// A follower replays the leader's history into its own WAL; both
+		// sides of that need working durability.
+		if s.store == nil || s.store.log == nil {
+			return nil, fmt.Errorf("server: following %s requires durability (DataDir with a working WAL)", o.FollowAddr)
+		}
+		s.role.Store(roleFollower)
+		s.replStop = make(chan struct{})
+		s.replStart = o.Now()
+		s.follower = replica.NewFollower(&replApplier{s: s}, replica.FollowerOptions{
+			Addr:   o.FollowAddr,
+			Dial:   o.ReplDial,
+			Window: uint32(o.StreamWindow),
+			Now:    o.Now,
+		})
+	}
 	return s, nil
 }
 
@@ -221,6 +248,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/tick", s.instrument("tick", s.handleTick))
 	mux.HandleFunc("POST /v1/sessions/{id}/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("POST /v1/observations", s.instrument("observations", s.handleObservations))
+	mux.HandleFunc("POST /v1/admin/promote", s.instrument("promote", s.handlePromote))
 	return mux
 }
 
@@ -232,13 +260,38 @@ func (s *Server) NumSessions() int { return s.reg.len() }
 func (s *Server) Metrics() *obs.Registry { return s.met.reg }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"status":    s.ServingState(),
 		"plan":      s.plan.Name,
 		"locations": s.plan.NumLocs(),
 		"aps":       s.numAPs,
 		"sessions":  s.NumSessions(),
-	})
+		"role":      s.RoleName(),
+	}
+	if s.store != nil && s.store.log != nil {
+		resp["wal_last_seq"] = s.store.log.NextSeq() - 1
+	}
+	// Replication lag is reported while the server follows; a promoted
+	// follower drops these fields along with the role flip.
+	if s.role.Load() == roleFollower {
+		st := s.ReplicationStatus()
+		resp["leader"] = s.opts.FollowAddr
+		resp["replication_connected"] = st.Connected
+		resp["replication_applied_seq"] = st.Applied
+		lag := uint64(0)
+		if st.LeaderLast > st.Applied {
+			lag = st.LeaderLast - st.Applied
+		}
+		resp["replication_lag_seq"] = lag
+		// Seconds since the follower last covered the leader's published
+		// tail; -1 before it ever has (no contact yet).
+		lagSec := -1.0
+		if !st.LastCaughtUp.IsZero() {
+			lagSec = s.opts.Now().Sub(st.LastCaughtUp).Seconds()
+		}
+		resp["replication_lag_seconds"] = lagSec
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

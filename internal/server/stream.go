@@ -299,6 +299,12 @@ func (s *Server) handleStreamConn(conn net.Conn) {
 		s.met.streamErrors.Inc()
 		return
 	}
+	if fr.Type == wire.FrameReplHello {
+		// A follower is attaching: hand the connection to the replication
+		// service (replication.go) — same listener, different protocol.
+		s.serveRepl(conn, rd, sc, fr)
+		return
+	}
 	if fr.Type != wire.FrameHello {
 		s.streamFail(sc, fr.Seq, "expected hello frame")
 		return
@@ -391,6 +397,13 @@ func (s *Server) serveStreamFrames(rd *wire.Reader, sc *streamConn, st *streamSe
 		s.met.streamFrames.Inc()
 		switch fr.Type {
 		case wire.FrameObsBatch:
+			// Same write fence as the HTTP 409: a replica's WAL only ever
+			// holds what the leader shipped.
+			if s.role.Load() == roleFollower {
+				err := errors.New("read replica: send observation frames to the leader at " + s.opts.FollowAddr)
+				s.streamFail(sc, fr.Seq, err.Error())
+				return err
+			}
 			accepted, err := s.acceptStreamBatch(st, fr, &scratch, &connExpect)
 			if err != nil {
 				s.streamFail(sc, fr.Seq, err.Error())

@@ -69,9 +69,21 @@ func NewGroupCommitter(l *Log) *GroupCommitter {
 // and the call returns immediately — durability lags acks by at most
 // SyncEvery, exactly as the HTTP path's Append does. Under SyncNone it
 // returns immediately.
+//
+// Failure is sticky per sequence: once a covering sync attempt fails
+// for sequences <= failSeq, those sequences report that failure even if
+// a later fsync succeeds. After a failed fsync the kernel may drop the
+// dirty pages while marking them clean, so a subsequent success proves
+// nothing about writes that preceded the failure — releasing them as
+// durable would be an ack the disk never earned. Sequences appended
+// after the failure (> failSeq) dirtied their pages afresh and are
+// genuinely covered by the next completed fsync.
 func (g *GroupCommitter) WaitDurable(seq uint64) error {
 	if g.log.Policy() != SyncAlways {
 		return g.log.SyncIfDue()
+	}
+	if seq == 0 {
+		return nil // no record to cover
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -79,17 +91,20 @@ func (g *GroupCommitter) WaitDurable(seq uint64) error {
 		g.appended = seq
 		g.kick.Signal()
 	}
-	for g.durable < seq && !(g.failErr != nil && g.failSeq >= seq) && !g.closed {
+	for g.durable < seq && g.failSeq < seq && !g.closed {
 		g.done.Wait()
+	}
+	// Failure takes precedence over success on overlap: a sequence both
+	// below a failed attempt's target and below a later durable horizon
+	// is still poisoned.
+	if g.failSeq >= seq {
+		return g.failErr
 	}
 	if g.durable >= seq {
 		g.batches++
 		return nil
 	}
-	if g.closed {
-		return ErrClosed
-	}
-	return g.failErr
+	return ErrClosed
 }
 
 // commitLoop is the committer: wait for appends to pass the durable
@@ -100,8 +115,19 @@ func (g *GroupCommitter) commitLoop() {
 	defer g.wg.Done()
 	for {
 		g.mu.Lock()
-		for g.appended <= g.durable && !g.closed {
+		// Poisoned sequences (<= failSeq) never become ackable, so only
+		// appends past both horizons warrant another fsync — a persistent
+		// EIO parks the loop instead of spinning on a dead disk.
+		covered := g.durable
+		if g.failSeq > covered {
+			covered = g.failSeq
+		}
+		for g.appended <= covered && !g.closed {
 			g.kick.Wait()
+			covered = g.durable
+			if g.failSeq > covered {
+				covered = g.failSeq
+			}
 		}
 		if g.closed {
 			g.mu.Unlock()
@@ -115,14 +141,14 @@ func (g *GroupCommitter) commitLoop() {
 		g.mu.Lock()
 		g.syncs++
 		if err != nil {
-			g.failSeq, g.failErr = target, err
-		} else {
-			if target > g.durable {
-				g.durable = target
+			// The failure horizon only ratchets forward and the error is
+			// never cleared by a later success: see WaitDurable.
+			if target > g.failSeq {
+				g.failSeq = target
 			}
-			if g.failSeq <= g.durable {
-				g.failErr = nil
-			}
+			g.failErr = err
+		} else if target > g.durable {
+			g.durable = target
 		}
 		g.done.Broadcast()
 		g.mu.Unlock()

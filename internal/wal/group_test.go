@@ -191,6 +191,104 @@ func TestGroupCommitSyncErrorBlocksAck(t *testing.T) {
 	}
 }
 
+// TestGroupCommitFailureStickyPastLaterSuccess is the fan-out
+// regression: a waiter for a poisoned sequence that arrives (or wakes)
+// after a LATER fsync has advanced the durable horizon past it must
+// still get the failure. A failed fsync may have dropped the dirty
+// pages covering that sequence while marking them clean, so the later
+// success proves nothing about it — returning nil here would be an ack
+// the disk never earned.
+func TestGroupCommitFailureStickyPastLaterSuccess(t *testing.T) {
+	inj := fault.NewInjector(fault.Disk{}, fault.Rule{Op: fault.OpSync, After: 1, Count: 1})
+	l, err := Open(t.TempDir(), Options{Policy: SyncAlways, FS: inj}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupCommitter(l)
+	defer l.Close()
+	defer g.Close()
+
+	seq1, err := l.AppendNoSync([]byte("clean"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitDurable(seq1); err != nil {
+		t.Fatalf("clean sync: %v", err)
+	}
+
+	seq2, err := l.AppendNoSync([]byte("poisoned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitDurable(seq2); err == nil {
+		t.Fatal("WaitDurable returned nil despite failed covering fsync")
+	}
+
+	// A later append syncs fine: the durable horizon passes seq2.
+	seq3, err := l.AppendNoSync([]byte("after heal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WaitDurable(seq3); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+
+	// The late waiter for the poisoned sequence: durable(3) >= 2, but
+	// failure takes precedence — this must NOT report durable.
+	if err := g.WaitDurable(seq2); err == nil {
+		t.Fatalf("late WaitDurable(%d) returned nil: durable horizon %d hid the failed fsync", seq2, seq3)
+	}
+}
+
+// TestGroupCommitPersistentFailureFansOutToAllWaiters stresses the
+// failure path under concurrency: with every fsync failing, each of
+// many concurrent WaitDurable waiters must receive the failure — none
+// may be released as durable, none may hang — and the committer must
+// park instead of spinning on the dead disk.
+func TestGroupCommitPersistentFailureFansOutToAllWaiters(t *testing.T) {
+	inj := fault.NewInjector(fault.Disk{}, fault.Rule{Op: fault.OpSync, Count: 1 << 30})
+	l, err := Open(t.TempDir(), Options{Policy: SyncAlways, FS: inj}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupCommitter(l)
+	defer l.Close()
+
+	const workers = 24
+	var wg sync.WaitGroup
+	var nilAcks atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				seq, err := l.AppendNoSync([]byte(fmt.Sprintf("doomed-w%d-%d", w, i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if g.WaitDurable(seq) == nil {
+					nilAcks.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait() // every waiter returned: the failure fanned out, nobody hung
+	if n := nilAcks.Load(); n != 0 {
+		t.Fatalf("%d waiters were released as durable with every fsync failing", n)
+	}
+	st := g.Stats()
+	if st.Batches != 0 {
+		t.Fatalf("batches = %d, want 0: no ack may be counted released", st.Batches)
+	}
+	// Poisoned sequences never warrant another fsync; the committer must
+	// have parked, not retried once per append.
+	if st.Syncs > workers*5 {
+		t.Fatalf("syncs = %d for %d doomed appends: committer spun on a dead disk", st.Syncs, workers*5)
+	}
+	g.Close() // joins the (parked) committer; -race catches a leak
+}
+
 // TestGroupCommitIntervalPolicy: under SyncInterval WaitDurable must
 // not block on an fsync — acks may precede durability by SyncEvery.
 func TestGroupCommitIntervalPolicy(t *testing.T) {

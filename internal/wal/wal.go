@@ -20,6 +20,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -152,7 +153,8 @@ type Log struct {
 	mu        sync.Mutex
 	segs      []segment // sorted; last is active
 	f         fault.File
-	size      int64 // durable-consistent size of the active segment
+	size      int64 // durable-consistent size of the active segment; SegmentBytes doubles as a force-rotation sentinel
+	tail      int64 // exact valid byte length of the last segment (no sentinel) — the read limit for ReadFrom
 	nextSeq   uint64
 	lastSync  time.Time
 	torn      bool // a failed write may have left a partial record
@@ -258,6 +260,7 @@ func Open(dir string, o Options, fn func(seq uint64, payload []byte) error) (*Lo
 	} else {
 		l.size = o.SegmentBytes // force rotation on first append
 	}
+	l.tail = lastSize
 	l.lastSync = o.Now()
 	return l, nil
 }
@@ -307,6 +310,164 @@ func (l *Log) Segments() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.segs)
+}
+
+// FirstSeq returns the sequence number of the oldest record still
+// retained (NextSeq when the log holds no records): reads below it have
+// been truncated away behind a checkpoint.
+func (l *Log) FirstSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) > 0 {
+		return l.segs[0].first
+	}
+	return l.nextSeq
+}
+
+// SegmentInfo describes one live segment file, for replication shipping
+// and diagnostics.
+type SegmentInfo struct {
+	Name  string
+	First uint64 // sequence number of the segment's first record
+}
+
+// SegmentsSince returns the live segments that may hold records with
+// sequence numbers >= seq, oldest first.
+func (l *Log) SegmentsSince(seq uint64) []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Keep the last segment whose first record is <= seq (it may contain
+	// seq) and everything after it.
+	start := 0
+	for i, seg := range l.segs {
+		if seg.first <= seq {
+			start = i
+		}
+	}
+	out := make([]SegmentInfo, 0, len(l.segs)-start)
+	for _, seg := range l.segs[start:] {
+		out = append(out, SegmentInfo{Name: seg.name, First: seg.first})
+	}
+	return out
+}
+
+// ErrTruncated reports a ReadFrom whose requested sequence is no longer
+// materialized in the log — truncated behind a checkpoint, or falling
+// in a sequence jump introduced by EnsureSeqAtLeast. The reader must
+// restart from a checkpoint covering at least that sequence.
+var ErrTruncated = errors.New("wal: requested sequence truncated away")
+
+// errStopScan is fn's way to end a ReadFrom scan early once the record
+// budget is spent; never escapes to callers.
+var errStopScan = errors.New("wal: stop scan")
+
+// readSeg is a consistent point-in-time view of one segment file taken
+// under l.mu: sealed segments are immutable and read whole (limit < 0);
+// the active segment is read only up to its valid tail at snapshot
+// time, so a concurrent append or torn write past it is never observed.
+type readSeg struct {
+	path  string
+	first uint64
+	limit int64
+}
+
+// ReadFrom streams up to max records with sequence numbers >= from
+// through fn, in order, and returns the next sequence to request.
+// next == from with a nil error means the caller is caught up. Safe to
+// call concurrently with appends: the files are read outside l.mu from
+// a snapshot of the segment list. The payload passed to fn aliases a
+// per-call read buffer and is only valid during the callback.
+func (l *Log) ReadFrom(from uint64, max int, fn func(seq uint64, payload []byte) error) (next uint64, err error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return from, ErrClosed
+	}
+	first := l.nextSeq
+	if len(l.segs) > 0 {
+		first = l.segs[0].first
+	}
+	if from < first {
+		l.mu.Unlock()
+		return from, ErrTruncated
+	}
+	if from >= l.nextSeq || max <= 0 {
+		l.mu.Unlock()
+		return from, nil
+	}
+	var snaps []readSeg
+	for i, seg := range l.segs {
+		// end overestimates across an EnsureSeqAtLeast jump; that only
+		// costs a skippable read, never skips a holding segment.
+		end := l.nextSeq
+		if i+1 < len(l.segs) {
+			end = l.segs[i+1].first
+		}
+		if end <= from {
+			continue
+		}
+		rs := readSeg{path: filepath.Join(l.dir, seg.name), first: seg.first, limit: -1}
+		if i == len(l.segs)-1 {
+			rs.limit = l.tail
+		}
+		snaps = append(snaps, rs)
+	}
+	l.mu.Unlock()
+
+	next = from
+	count := 0
+	for _, rs := range snaps {
+		data, rerr := readFile(l.fs, rs.path)
+		if rerr != nil {
+			if errors.Is(rerr, os.ErrNotExist) {
+				// Raced a checkpoint truncation; the checkpoint covers it.
+				return next, ErrTruncated
+			}
+			return next, fmt.Errorf("wal: read %s: %w", rs.path, rerr)
+		}
+		if rs.limit >= 0 && int64(len(data)) > rs.limit {
+			data = data[:rs.limit]
+		}
+		gap := false
+		_, _, defect, serr := scanRecords(data, rs.first, l.o.MaxRecordBytes, func(seq uint64, payload []byte) error {
+			if seq < next {
+				return nil // below the cursor; already delivered
+			}
+			if seq != next {
+				// A jump at a segment boundary (EnsureSeqAtLeast): the
+				// missing range exists only as checkpoint coverage.
+				gap = true
+				return errStopScan
+			}
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+			next = seq + 1
+			count++
+			if count >= max {
+				return errStopScan
+			}
+			return nil
+		})
+		if gap {
+			return next, ErrTruncated
+		}
+		if serr != nil {
+			if errors.Is(serr, errStopScan) {
+				return next, nil
+			}
+			return next, serr
+		}
+		if defect != nil {
+			return next, fmt.Errorf("wal: scan %s: %w", rs.path, defect)
+		}
+	}
+	if count == 0 {
+		// from is below NextSeq yet no record carries it: it fell in a
+		// sequence jump whose range only a checkpoint covers.
+		return next, ErrTruncated
+	}
+	return next, nil
 }
 
 // EnsureSeqAtLeast guarantees the next append's sequence number exceeds
@@ -376,8 +537,9 @@ func (l *Log) appendLocked(payload []byte) (uint64, error) {
 		// A failed write may have left a partial frame; cut the segment
 		// back to the last whole record before writing anything new, so a
 		// transient error (EIO, brief disk-full) heals instead of
-		// poisoning the tail.
-		if err := l.fs.Truncate(l.activePathLocked(), l.size); err != nil {
+		// poisoning the tail. l.tail, not l.size: size may hold the
+		// force-rotation sentinel, which would grow the file with zeros.
+		if err := l.fs.Truncate(l.activePathLocked(), l.tail); err != nil {
 			return 0, fmt.Errorf("wal: repair torn tail: %w", err)
 		}
 		l.torn = false
@@ -398,6 +560,7 @@ func (l *Log) appendLocked(payload []byte) (uint64, error) {
 	seq := l.nextSeq
 	l.nextSeq++
 	l.size += int64(n)
+	l.tail = l.size
 	return seq, nil
 }
 
@@ -530,5 +693,6 @@ func (l *Log) rotateLocked() error {
 	l.segs = append(l.segs, segment{name: name, first: l.nextSeq})
 	l.f = f
 	l.size = 0
+	l.tail = 0
 	return nil
 }

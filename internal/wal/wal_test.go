@@ -487,3 +487,142 @@ func TestOversizeRecordRejected(t *testing.T) {
 		t.Fatalf("max-size record: seq=%d err=%v", seq, err)
 	}
 }
+
+// TestReadFromResumesMidLog walks a replication cursor through the log:
+// bounded reads advance next, and a caught-up cursor returns next ==
+// from with no error and no callbacks.
+func TestReadFromResumesMidLog(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 10; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fn, got := collect()
+	next, err := l.ReadFrom(3, 4, fn)
+	if err != nil || next != 7 {
+		t.Fatalf("ReadFrom(3, 4) = (%d, %v), want (7, nil)", next, err)
+	}
+	if len(*got) != 4 || (*got)[0] != "3:rec-3" || (*got)[3] != "6:rec-6" {
+		t.Fatalf("records: %v", *got)
+	}
+
+	fn, got = collect()
+	next, err = l.ReadFrom(next, 100, fn)
+	if err != nil || next != 11 {
+		t.Fatalf("ReadFrom(7, 100) = (%d, %v), want (11, nil)", next, err)
+	}
+	if len(*got) != 4 {
+		t.Fatalf("records: %v", *got)
+	}
+
+	// Caught up: no records, no error, cursor unchanged.
+	fn, got = collect()
+	next, err = l.ReadFrom(11, 100, fn)
+	if err != nil || next != 11 || len(*got) != 0 {
+		t.Fatalf("caught-up ReadFrom = (%d, %v) with %d records, want (11, nil, 0)", next, err, len(*got))
+	}
+}
+
+// TestReadFromTruncatedBehindCheckpoint: a cursor below FirstSeq names
+// history that only a checkpoint covers now — the reader must get
+// ErrTruncated (bootstrap signal), and a cursor at FirstSeq still works.
+func TestReadFromTruncatedBehindCheckpoint(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 10; i++ {
+		if _, err := l.Append([]byte("0123456789012345678901234567890123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.TruncateThrough(8); err != nil {
+		t.Fatal(err)
+	}
+	first := l.FirstSeq()
+	if first <= 1 {
+		t.Fatalf("FirstSeq = %d; truncation removed nothing, test moot", first)
+	}
+
+	if _, err := l.ReadFrom(1, 100, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ReadFrom(1) below FirstSeq %d: err = %v, want ErrTruncated", first, err)
+	}
+
+	fn, got := collect()
+	next, err := l.ReadFrom(first, 100, fn)
+	if err != nil || next != 11 {
+		t.Fatalf("ReadFrom(FirstSeq=%d) = (%d, %v), want (11, nil)", first, next, err)
+	}
+	if len(*got) != int(11-first) {
+		t.Fatalf("records from FirstSeq: %d, want %d", len(*got), 11-first)
+	}
+}
+
+// TestReadFromSequenceJumpGap: a cursor landing inside an
+// EnsureSeqAtLeast jump names sequences no record ever carried; the
+// reader must get ErrTruncated, never a silent skip.
+func TestReadFromSequenceJumpGap(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 2; i++ {
+		if _, err := l.Append([]byte("before")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.EnsureSeqAtLeast(10)
+	seq, err := l.Append([]byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 11 {
+		t.Fatalf("post-jump seq = %d, want 11", seq)
+	}
+
+	// Cursor inside the jump: truncated.
+	if _, err := l.ReadFrom(5, 100, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ReadFrom(5) inside the jump: err = %v, want ErrTruncated", err)
+	}
+	// A scan that crosses the jump surfaces it too, after delivering the
+	// records before it.
+	fn, got := collect()
+	next, err := l.ReadFrom(1, 100, fn)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ReadFrom(1) across the jump: err = %v, want ErrTruncated", err)
+	}
+	if next != 3 || len(*got) != 2 {
+		t.Fatalf("pre-jump delivery: next=%d records=%v", next, *got)
+	}
+	// Past the jump the cursor reads normally.
+	fn, got = collect()
+	next, err = l.ReadFrom(11, 100, fn)
+	if err != nil || next != 12 || len(*got) != 1 || (*got)[0] != "11:after" {
+		t.Fatalf("ReadFrom(11) = (%d, %v) records=%v", next, err, *got)
+	}
+}
+
+// TestReadFromClosed: a closed log refuses cursors outright.
+func TestReadFromClosed(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReadFrom(1, 1, func(uint64, []byte) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ReadFrom after Close: err = %v, want ErrClosed", err)
+	}
+}

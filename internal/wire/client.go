@@ -29,6 +29,12 @@ type ClientOptions struct {
 	RedialWait time.Duration
 	// MaxPayload caps decoded frame payloads (0 = DefaultMaxPayload).
 	MaxPayload int
+	// MaxPending bounds the retransmit buffer: the most sent-but-unacked
+	// observation frames the client retains for resend-on-resume, even
+	// when the server advertises a larger credit window (0 =
+	// DefaultMaxPending). Senders block at the bound, so per-stream
+	// memory stays capped no matter what window the server offers.
+	MaxPending int
 	// Dial overrides net.Dial, e.g. for in-process benchmarks.
 	Dial func() (net.Conn, error)
 	// OnFix receives server-pushed fixes: when the scoped session was
@@ -89,6 +95,19 @@ type Client struct {
 
 // errClosed reports use after Close.
 var errClosed = errors.New("wire: client is closed")
+
+// DefaultMaxPending caps the retransmit buffer when
+// ClientOptions.MaxPending is zero.
+const DefaultMaxPending = 1024
+
+// ErrResumeGap reports a reconnect whose hello-ack resume point went
+// backwards past frames the client has already released: the server's
+// acked sequence is below what this client saw acknowledged (its
+// durable state regressed — a wiped data dir, a different instance
+// behind the same address), or above what this client ever sent (a
+// stream-ID collision). Either way the retransmit buffer cannot close
+// the gap, so the stream cannot safely resume under this identity.
+var ErrResumeGap = errors.New("wire: resume gap: server ack state does not match this stream")
 
 // DialStream connects, performs the hello handshake, and returns a
 // ready client. streamID is the resumable stream identity: reconnects
@@ -163,6 +182,18 @@ func (c *Client) redialLocked() error {
 	serverAcked := fr.Seq
 
 	resumed := c.connGen > 0 // any dial after the first resumes the stream
+	if resumed && serverAcked >= c.nextSeq {
+		// The server claims acks for frames this client never sent: a
+		// stream-identity collision (two clients sharing an ID, or a
+		// stale address answering for another deployment). Refuse rather
+		// than resume into someone else's history. A resume point *below*
+		// c.acked is not a gap — a restarted server's registry starts
+		// empty and the unacked tail simply resends (at-least-once).
+		//lint:ignore errdrop the resume is being refused; the close error cannot add anything
+		_ = conn.Close()
+		return fmt.Errorf("wire: server resume point %d vs client acked %d, next seq %d: %w",
+			serverAcked, c.acked, c.nextSeq, ErrResumeGap)
+	}
 	c.conn = conn
 	c.wr = wr
 	c.window = window
@@ -170,6 +201,12 @@ func (c *Client) redialLocked() error {
 	c.connGen++
 	if serverAcked > c.acked {
 		c.acked = serverAcked
+		if serverAcked >= c.nextSeq {
+			// First dial against a stream that already has durable
+			// history (a restarted sender reusing its identity): adopt
+			// the server's position so new frames extend it.
+			c.nextSeq = serverAcked + 1
+		}
 	}
 	c.releaseAckedLocked()
 	// Resend every frame the server has not confirmed, in order.
@@ -318,6 +355,20 @@ func (c *Client) ensureConnLocked() error {
 	return fmt.Errorf("wire: redial failed after %d attempts: %w", attempts, err)
 }
 
+// sendLimitLocked is the effective credit: the server's advertised
+// window clamped to the client's retransmit-buffer bound.
+func (c *Client) sendLimitLocked() int {
+	limit := int(c.window)
+	bound := c.opts.MaxPending
+	if bound <= 0 {
+		bound = DefaultMaxPending
+	}
+	if limit > bound {
+		limit = bound
+	}
+	return limit
+}
+
 // SendObservations encodes one batch, waits for credit, and pipelines
 // the frame. It blocks while the number of unacked frames meets the
 // server's advertised window, and transparently reconnects (resuming
@@ -329,8 +380,10 @@ func (c *Client) SendObservations(obs []motiondb.Observation) error {
 	if err := c.ensureConnLocked(); err != nil {
 		return err
 	}
-	// Credit gate: window counts unacked frames the server will buffer.
-	for !c.dead && !c.closed && len(c.pending) >= int(c.window) && c.window > 0 {
+	// Credit gate: window counts unacked frames the server will buffer,
+	// clamped by MaxPending so the retransmit buffer stays bounded even
+	// under an extravagant server window.
+	for !c.dead && !c.closed && c.window > 0 && len(c.pending) >= c.sendLimitLocked() {
 		c.cond.Wait()
 	}
 	if c.window == 0 && !c.dead {

@@ -60,6 +60,16 @@ const (
 	// FrameTick advances the scoped session's clock; the server answers
 	// FrameFix or FrameNoFix with the same Seq.
 	FrameTick = 5
+	// FrameReplHello opens a replication stream on the same listener: a
+	// follower names the highest WAL sequence it has applied and the
+	// credit window it will buffer (payload.go: AppendReplHello). The
+	// leader answers with checkpoint chunks (bootstrap) and/or WAL
+	// segments — never a FrameHelloAck.
+	FrameReplHello = 6
+	// FrameReplAck acknowledges replicated WAL records cumulatively:
+	// Seq is the highest WAL sequence the follower has durably applied,
+	// payload the refreshed credit window.
+	FrameReplAck = 7
 	// FrameHelloAck answers a Hello: Seq is the highest frame sequence
 	// already acknowledged durable (the resume point; 0 for an unknown
 	// stream), payload is the credit window.
@@ -75,6 +85,19 @@ const (
 	// FrameError reports a protocol or validation error; the server
 	// closes the connection after sending one.
 	FrameError = 69
+	// FrameCheckpointChunk carries one chunk of a checkpoint payload
+	// during follower bootstrap; Seq is the zero-based chunk index,
+	// payload names the checkpoint's covered WAL sequence and whether
+	// this is the final chunk (payload.go: AppendCheckpointChunk).
+	FrameCheckpointChunk = 70
+	// FrameWALSegment replicates one WAL record: Seq is the record's WAL
+	// sequence number and the payload is the record payload verbatim, so
+	// the follower's WAL append is a byte-for-byte copy of the leader's.
+	FrameWALSegment = 71
+	// FramePublish announces the leader's current position (WAL tail and
+	// newest checkpoint sequence); doubles as the replication heartbeat
+	// from which followers compute lag.
+	FramePublish = 72
 )
 
 // Frame header layout, little-endian:

@@ -1,0 +1,87 @@
+// Replication payload codecs. A follower opens a replication stream on
+// the leader's stream listener with FrameReplHello naming the highest
+// WAL sequence it holds; the leader bootstraps it over FrameCheckpointChunk
+// if its cursor has been truncated away, then tails the WAL as
+// FrameWALSegment frames (record payloads verbatim, Seq = WAL sequence).
+// The follower acks cumulatively with FrameReplAck after its own covering
+// fsync, and the leader publishes its position with FramePublish as a
+// heartbeat. Same fixed-width little-endian style as payload.go.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// replHelloSize is the fixed ReplHello payload: lastSeq u64 + window u32.
+const replHelloSize = 12
+
+// AppendReplHello encodes a replication hello: lastSeq is the highest
+// WAL sequence the follower has applied (0 for a blank follower),
+// window the number of unacked records it will buffer.
+func AppendReplHello(buf []byte, lastSeq uint64, window uint32) []byte {
+	var b [replHelloSize]byte
+	binary.LittleEndian.PutUint64(b[0:8], lastSeq)
+	binary.LittleEndian.PutUint32(b[8:12], window)
+	return append(buf, b[:]...)
+}
+
+// DecodeReplHello decodes a ReplHello payload.
+func DecodeReplHello(p []byte) (lastSeq uint64, window uint32, err error) {
+	if len(p) != replHelloSize {
+		return 0, 0, fmt.Errorf("wire: repl hello payload is %d bytes, want %d", len(p), replHelloSize)
+	}
+	return binary.LittleEndian.Uint64(p[0:8]), binary.LittleEndian.Uint32(p[8:12]), nil
+}
+
+// chunkHeaderSize prefixes every CheckpointChunk payload: the chunked
+// checkpoint's covered WAL sequence u64 + last-chunk flag u8.
+const chunkHeaderSize = 9
+
+// AppendCheckpointChunk encodes one bootstrap chunk. ckptSeq is the WAL
+// sequence the full checkpoint covers (identical across all chunks of
+// one transfer — a mismatch means the transfer was interleaved and the
+// follower must drop the connection); last marks the final chunk.
+func AppendCheckpointChunk(buf []byte, ckptSeq uint64, last bool, chunk []byte) []byte {
+	var b [chunkHeaderSize]byte
+	binary.LittleEndian.PutUint64(b[0:8], ckptSeq)
+	if last {
+		b[8] = 1
+	}
+	buf = append(buf, b[:]...)
+	return append(buf, chunk...)
+}
+
+// DecodeCheckpointChunk decodes a CheckpointChunk payload. The chunk
+// aliases p — copy it to retain it past the read buffer's reuse.
+func DecodeCheckpointChunk(p []byte) (ckptSeq uint64, last bool, chunk []byte, err error) {
+	if len(p) < chunkHeaderSize {
+		return 0, false, nil, fmt.Errorf("wire: checkpoint chunk payload is %d bytes, want >= %d", len(p), chunkHeaderSize)
+	}
+	if p[8] > 1 {
+		return 0, false, nil, fmt.Errorf("wire: checkpoint chunk last flag is %d, want 0 or 1", p[8])
+	}
+	return binary.LittleEndian.Uint64(p[0:8]), p[8] == 1, p[chunkHeaderSize:], nil
+}
+
+// publishSize is the fixed Publish payload: the leader's WAL tail
+// sequence u64 + its newest checkpoint's covered sequence u64.
+const publishSize = 16
+
+// AppendPublish encodes a leader position announcement: lastSeq is the
+// highest sequence in the leader's WAL, ckptSeq the coverage of its
+// newest checkpoint (0 when it has none).
+func AppendPublish(buf []byte, lastSeq, ckptSeq uint64) []byte {
+	var b [publishSize]byte
+	binary.LittleEndian.PutUint64(b[0:8], lastSeq)
+	binary.LittleEndian.PutUint64(b[8:16], ckptSeq)
+	return append(buf, b[:]...)
+}
+
+// DecodePublish decodes a Publish payload.
+func DecodePublish(p []byte) (lastSeq, ckptSeq uint64, err error) {
+	if len(p) != publishSize {
+		return 0, 0, fmt.Errorf("wire: publish payload is %d bytes, want %d", len(p), publishSize)
+	}
+	return binary.LittleEndian.Uint64(p[0:8]), binary.LittleEndian.Uint64(p[8:16]), nil
+}
